@@ -1,0 +1,46 @@
+//===- bench/BenchUtil.h - Shared bench-harness helpers -----------*- C++ -*-===//
+//
+// Part of the Migrator project benchmark harness.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_BENCH_BENCHUTIL_H
+#define MIGRATOR_BENCH_BENCHUTIL_H
+
+#include "benchsuite/Benchmark.h"
+#include "synth/Synthesizer.h"
+
+#include <cstdio>
+#include <string>
+
+namespace migrator {
+namespace bench {
+
+/// Per-benchmark wall-clock budget in seconds. Textbook benchmarks are
+/// quick; real-world-scale ones get a larger budget. Override with the
+/// MIGRATOR_BENCH_BUDGET environment variable.
+inline double budgetFor(const Benchmark &B) {
+  if (const char *Env = std::getenv("MIGRATOR_BENCH_BUDGET"))
+    return std::atof(Env);
+  return B.Category == "textbook" ? 120.0 : 900.0;
+}
+
+/// Baseline budget (Tables 2 and 3): capped lower — the point of those
+/// tables is that the baselines blow through any reasonable budget.
+inline double baselineBudgetFor(const Benchmark &B) {
+  if (const char *Env = std::getenv("MIGRATOR_BASELINE_BUDGET"))
+    return std::atof(Env);
+  return B.Category == "textbook" ? 60.0 : 120.0;
+}
+
+/// Formats a duration like the paper's tables; ">N" marks budget exhaustion.
+inline std::string fmtTime(double Sec, bool TimedOut) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), TimedOut ? ">%.1f" : "%.1f", Sec);
+  return Buf;
+}
+
+} // namespace bench
+} // namespace migrator
+
+#endif // MIGRATOR_BENCH_BENCHUTIL_H

@@ -1,0 +1,191 @@
+//===- bench/bench_micro.cpp - Micro-benchmarks of the subsystems -----------===//
+//
+// google-benchmark timings for the individual subsystems: string similarity,
+// SAT solving, query evaluation, VC enumeration, sketch generation, bounded
+// testing, and the end-to-end overview synthesis.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Analysis.h"
+#include "benchsuite/Benchmark.h"
+#include "parse/Parser.h"
+#include "sat/Solver.h"
+#include "sketch/SketchGen.h"
+#include "support/StringExtras.h"
+#include "synth/Synthesizer.h"
+#include "vc/VcEnumerator.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace migrator;
+
+namespace {
+
+const char *overviewText() {
+  return R"(
+schema CourseDB {
+  table Class(ClassId: int, InstId: int, TaId: int)
+  table Instructor(InstId: int, IName: string, IPic: binary)
+  table TA(TaId: int, TName: string, TPic: binary)
+}
+schema CourseDBNew {
+  table Class(ClassId: int, InstId: int, TaId: int)
+  table Instructor(InstId: int, IName: string, PicId: int)
+  table TA(TaId: int, TName: string, PicId: int)
+  table Picture(PicId: int, Pic: binary)
+}
+program CourseApp on CourseDB {
+  update addInstructor(id: int, name: string, pic: binary) {
+    insert into Instructor values (InstId: id, IName: name, IPic: pic);
+  }
+  update deleteInstructor(id: int) {
+    delete [Instructor] from Instructor where InstId = id;
+  }
+  query getInstructorInfo(id: int) {
+    select IName, IPic from Instructor where InstId = id;
+  }
+  update addTA(id: int, name: string, pic: binary) {
+    insert into TA values (TaId: id, TName: name, TPic: pic);
+  }
+  update deleteTA(id: int) {
+    delete [TA] from TA where TaId = id;
+  }
+  query getTAInfo(id: int) {
+    select TName, TPic from TA where TaId = id;
+  }
+}
+)";
+}
+
+ParseOutput &overview() {
+  static ParseOutput Out =
+      std::get<ParseOutput>(parseUnit(overviewText()));
+  return Out;
+}
+
+void BM_Levenshtein(benchmark::State &State) {
+  for (auto _ : State)
+    benchmark::DoNotOptimize(levenshtein("InstructorName", "InstructorId"));
+}
+BENCHMARK(BM_Levenshtein);
+
+void BM_ParseOverview(benchmark::State &State) {
+  for (auto _ : State) {
+    auto R = parseUnit(overviewText());
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_ParseOverview);
+
+void BM_SatExactlyOneEnumeration(benchmark::State &State) {
+  const int N = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    sat::Solver S;
+    std::vector<sat::Var> Vars;
+    for (int I = 0; I < N; ++I)
+      Vars.push_back(S.newVar());
+    S.addExactlyOne(Vars);
+    int Models = 0;
+    while (S.solve() == sat::Solver::Result::Sat) {
+      ++Models;
+      std::vector<sat::Lit> Block;
+      for (sat::Var V : Vars)
+        Block.push_back(S.modelValue(V) ? sat::negLit(V) : sat::posLit(V));
+      if (!S.addClause(Block))
+        break;
+    }
+    benchmark::DoNotOptimize(Models);
+  }
+}
+BENCHMARK(BM_SatExactlyOneEnumeration)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_JoinEvaluation(benchmark::State &State) {
+  // Natural three-table join over a populated course database.
+  ParseOutput &Out = overview();
+  const Schema &Tgt = *Out.findSchema("CourseDBNew");
+  Database DB(Tgt);
+  for (int I = 0; I < static_cast<int>(State.range(0)); ++I) {
+    DB.getTable("Picture").insertRow(
+        {Value::makeInt(I), Value::makeBinary("p")});
+    DB.getTable("Instructor").insertRow(
+        {Value::makeInt(I), Value::makeString("n"), Value::makeInt(I)});
+    DB.getTable("TA").insertRow(
+        {Value::makeInt(I), Value::makeString("t"), Value::makeInt(I)});
+  }
+  Evaluator Eval(Tgt);
+  QueryPtr Q = makeSelect({AttrRef::unqualified("IName")},
+                          JoinChain::natural({"Picture", "TA", "Instructor"}),
+                          nullptr);
+  for (auto _ : State) {
+    auto R = Eval.evalQuery(*Q, {}, DB);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_JoinEvaluation)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_VcFirstAssignment(benchmark::State &State) {
+  ParseOutput &Out = overview();
+  const Schema &Src = *Out.findSchema("CourseDB");
+  const Schema &Tgt = *Out.findSchema("CourseDBNew");
+  const Program &P = Out.findProgram("CourseApp")->Prog;
+  std::set<QualifiedAttr> Queried = collectQueriedAttrs(P, Src);
+  for (auto _ : State) {
+    VcEnumerator E(Src, Tgt, Queried);
+    auto VC = E.next();
+    benchmark::DoNotOptimize(VC);
+  }
+}
+BENCHMARK(BM_VcFirstAssignment);
+
+void BM_SketchGeneration(benchmark::State &State) {
+  ParseOutput &Out = overview();
+  const Schema &Src = *Out.findSchema("CourseDB");
+  const Schema &Tgt = *Out.findSchema("CourseDBNew");
+  const Program &P = Out.findProgram("CourseApp")->Prog;
+  VcEnumerator E(Src, Tgt, collectQueriedAttrs(P, Src));
+  ValueCorrespondence Phi = *E.next();
+  for (auto _ : State) {
+    auto Sk = generateSketch(P, Src, Tgt, Phi);
+    benchmark::DoNotOptimize(Sk);
+  }
+}
+BENCHMARK(BM_SketchGeneration);
+
+void BM_BoundedTestCandidate(benchmark::State &State) {
+  // One full bounded-equivalence test of a correct candidate.
+  ParseOutput &Out = overview();
+  const Schema &Src = *Out.findSchema("CourseDB");
+  const Schema &Tgt = *Out.findSchema("CourseDBNew");
+  const Program &P = Out.findProgram("CourseApp")->Prog;
+  SynthResult R = synthesize(Src, P, Tgt);
+  EquivalenceTester T(Src, P, Tgt);
+  for (auto _ : State) {
+    TestOutcome O = T.test(*R.Prog);
+    benchmark::DoNotOptimize(O);
+  }
+}
+BENCHMARK(BM_BoundedTestCandidate);
+
+void BM_EndToEndOverview(benchmark::State &State) {
+  ParseOutput &Out = overview();
+  const Schema &Src = *Out.findSchema("CourseDB");
+  const Schema &Tgt = *Out.findSchema("CourseDBNew");
+  const Program &P = Out.findProgram("CourseApp")->Prog;
+  for (auto _ : State) {
+    SynthResult R = synthesize(Src, P, Tgt);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_EndToEndOverview);
+
+void BM_LoadRealWorldBenchmark(benchmark::State &State) {
+  for (auto _ : State) {
+    Benchmark B = loadBenchmark("visible-closet");
+    benchmark::DoNotOptimize(B);
+  }
+}
+BENCHMARK(BM_LoadRealWorldBenchmark);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+//===- examples/pipeline_tour.cpp - A tour of the synthesis pipeline --------===//
+//
+// Walks the three pipeline stages by hand on a merge-tables refactoring
+// (the Oracle-1 scenario): enumerate value correspondences, generate the
+// program sketch for the best one, and complete the sketch — printing the
+// intermediate artifacts the paper's Fig. 1 describes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Analysis.h"
+#include "parse/Parser.h"
+#include "sketch/SketchGen.h"
+#include "synth/SketchSolver.h"
+#include "vc/VcEnumerator.h"
+
+#include <cstdio>
+
+using namespace migrator;
+
+int main() {
+  const char *Text = R"(
+schema HrDB {
+  table Person(pid: int, firstName: string, lastName: string, phone: string)
+  table PersonDetail(pid: int, street: string, city: string, remarkContent: string)
+}
+schema HrDBNew {
+  table Person(pid: int, firstName: string, lastName: string, phone: string,
+               street: string, city: string)
+}
+program HrApp on HrDB {
+  update addPerson(p: int, fn: string, ln: string, ph: string, st: string,
+                   ct: string, rm: string) {
+    insert into Person join PersonDetail values (pid: p, firstName: fn,
+      lastName: ln, phone: ph, street: st, city: ct, remarkContent: rm);
+  }
+  update removePerson(p: int) {
+    delete [Person, PersonDetail] from Person join PersonDetail where pid = p;
+  }
+  query getPerson(p: int) {
+    select firstName, lastName, phone from Person where pid = p;
+  }
+  query getAddress(p: int) {
+    select street, city from PersonDetail where pid = p;
+  }
+}
+)";
+
+  ParseOutput Out = std::get<ParseOutput>(parseUnit(Text));
+  const Schema &Source = *Out.findSchema("HrDB");
+  const Schema &Target = *Out.findSchema("HrDBNew");
+  const Program &Prog = Out.findProgram("HrApp")->Prog;
+
+  // --- Stage 1: value correspondence enumeration (Sec. 4.2) ---
+  std::set<QualifiedAttr> Queried = collectQueriedAttrs(Prog, Source);
+  std::printf("Queried source attributes (hard constraints):\n");
+  for (const QualifiedAttr &A : Queried)
+    std::printf("  %s\n", A.str().c_str());
+
+  VcEnumerator Vcs(Source, Target, Queried);
+  std::optional<ValueCorrespondence> Phi = Vcs.next();
+  if (!Phi) {
+    std::fprintf(stderr, "no feasible value correspondence\n");
+    return 1;
+  }
+  std::printf("\nBest value correspondence (weight %llu):\n%s",
+              static_cast<unsigned long long>(Vcs.lastWeight()),
+              Phi->str().c_str());
+  std::printf("(attributes with no line above — e.g. the dropped "
+              "remarkContent — have empty images)\n");
+
+  // --- Stage 2: sketch generation (Sec. 4.3) ---
+  std::optional<Sketch> Sk = generateSketch(Prog, Source, Target, *Phi);
+  if (!Sk) {
+    std::fprintf(stderr, "the correspondence cannot support the program\n");
+    return 1;
+  }
+  std::printf("\nGenerated sketch (%zu holes, %.0f completions):\n%s",
+              Sk->getNumHoles(), Sk->spaceSize(), Sk->str().c_str());
+
+  // --- Stage 3: sketch completion (Sec. 4.4) ---
+  SketchSolver Solver(Source, Prog, Target);
+  SolveStats Stats;
+  std::optional<Program> Result = Solver.solve(*Sk, Stats);
+  if (!Result) {
+    std::fprintf(stderr, "no completion is equivalent to the source\n");
+    return 1;
+  }
+  std::printf("\nCompleted after %llu candidate(s); blocking clauses pruned "
+              "%.0f completions.\n\nMigrated program:\n%s",
+              static_cast<unsigned long long>(Stats.Iters),
+              Stats.BlockedTotal, Result->str().c_str());
+  return 0;
+}

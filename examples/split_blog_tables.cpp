@@ -1,0 +1,92 @@
+//===- examples/split_blog_tables.cpp - Split-table migration example --------===//
+//
+// A blogging application whose posts table is split into content and
+// metadata tables (the most common refactoring in the paper's real-world
+// set). After synthesis, the example demonstrates behavioral equivalence by
+// replaying the same invocation sequence against both programs and
+// comparing results.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Evaluator.h"
+#include "parse/Parser.h"
+#include "synth/Synthesizer.h"
+
+#include <cstdio>
+
+using namespace migrator;
+
+int main() {
+  const char *Text = R"(
+schema BlogDB {
+  table Post(postId: int, authorName: string, title: string, body: string,
+             coverImage: binary, likes: int)
+}
+schema BlogDBNew {
+  table Post(postId: int, authorName: string, title: string, likes: int,
+             contentRef: int)
+  table PostContent(contentRef: int, body: string, coverImage: binary)
+}
+program BlogApp on BlogDB {
+  update publish(p: int, a: string, t: string, b: string, img: binary) {
+    insert into Post values (postId: p, authorName: a, title: t, body: b,
+      coverImage: img, likes: 0);
+  }
+  update unpublish(p: int) {
+    delete from Post where postId = p;
+  }
+  update like(p: int, n: int) {
+    update Post set likes = n where postId = p;
+  }
+  query headline(p: int) {
+    select title, authorName, likes from Post where postId = p;
+  }
+  query content(p: int) {
+    select body, coverImage from Post where postId = p;
+  }
+  query byAuthor(a: string) {
+    select postId, title from Post where authorName = a;
+  }
+}
+)";
+
+  ParseOutput Out = std::get<ParseOutput>(parseUnit(Text));
+  const Schema &Source = *Out.findSchema("BlogDB");
+  const Schema &Target = *Out.findSchema("BlogDBNew");
+  const Program &Prog = Out.findProgram("BlogApp")->Prog;
+
+  SynthResult R = synthesize(Source, Prog, Target);
+  if (!R.succeeded()) {
+    std::fprintf(stderr, "synthesis failed\n");
+    return 1;
+  }
+  std::printf("Migrated program (%.2fs):\n\n%s\n", R.Stats.TotalTimeSec,
+              R.Prog->str().c_str());
+
+  // Replay a workload on both versions and compare the final query.
+  InvocationSeq Workload = {
+      {"publish",
+       {Value::makeInt(1), Value::makeString("ada"),
+        Value::makeString("Engines"), Value::makeString("..."),
+        Value::makeBinary("img1")}},
+      {"publish",
+       {Value::makeInt(2), Value::makeString("ada"),
+        Value::makeString("Notes"), Value::makeString("..."),
+        Value::makeBinary("img2")}},
+      {"like", {Value::makeInt(1), Value::makeInt(41)}},
+      {"unpublish", {Value::makeInt(2)}},
+      {"byAuthor", {Value::makeString("ada")}},
+  };
+  std::optional<ResultTable> Old = runSequence(Prog, Source, Workload);
+  std::optional<ResultTable> New = runSequence(*R.Prog, Target, Workload);
+  if (!Old || !New) {
+    std::fprintf(stderr, "workload replay failed\n");
+    return 1;
+  }
+  std::printf("Replayed workload; original result:\n%s",
+              Old->str().c_str());
+  std::printf("migrated result:\n%s", New->str().c_str());
+  std::printf("equivalent: %s\n",
+              resultsEquivalent(*Old, *New) ? "yes" : "NO");
+  return resultsEquivalent(*Old, *New) ? 0 : 1;
+}

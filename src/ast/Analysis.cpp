@@ -1,0 +1,319 @@
+//===- ast/Analysis.cpp - Static analyses over database programs -----------===//
+
+#include "ast/Analysis.h"
+
+#include <sstream>
+
+using namespace migrator;
+
+namespace {
+
+/// Shared traversal state for both attribute collectors and the validator.
+class Walker {
+public:
+  Walker(const Schema &S, std::set<QualifiedAttr> *Read,
+         std::set<QualifiedAttr> *Used)
+      : S(S), Read(Read), Used(Used) {}
+
+  /// First diagnostic encountered, if any.
+  std::optional<std::string> Diag;
+
+  void walkFunction(const Function &F) {
+    CurFunc = &F;
+    if (F.isQuery()) {
+      walkQuery(F.getQuery());
+      return;
+    }
+    for (const StmtPtr &St : F.getBody()) {
+      if (Diag)
+        return; // Stop at the first diagnostic.
+      walkStmt(*St);
+    }
+  }
+
+private:
+  const Schema &S;
+  std::set<QualifiedAttr> *Read;
+  std::set<QualifiedAttr> *Used;
+  const Function *CurFunc = nullptr;
+
+  void error(const std::string &Msg) {
+    if (Diag)
+      return;
+    std::ostringstream OS;
+    OS << "in function '" << (CurFunc ? CurFunc->getName() : "?") << "': "
+       << Msg;
+    Diag = OS.str();
+  }
+
+  /// Resolves \p Ref against \p Chain, recording it as read and/or used.
+  std::optional<QualifiedAttr> resolveAttr(const AttrRef &Ref,
+                                           const JoinChain &Chain, bool IsRead) {
+    std::optional<QualifiedAttr> QA = Chain.resolve(Ref, S);
+    if (!QA) {
+      error("attribute '" + Ref.str() + "' does not resolve in chain '" +
+            Chain.str() + "'");
+      return std::nullopt;
+    }
+    if (Used)
+      Used->insert(*QA);
+    if (IsRead && Read)
+      Read->insert(*QA);
+    return QA;
+  }
+
+  void checkChain(const JoinChain &Chain) {
+    for (const std::string &T : Chain.getTables())
+      if (!S.findTable(T)) {
+        error("table '" + T + "' is not declared in the schema");
+        return;
+      }
+    if (!Chain.isNatural())
+      for (const auto &[L, R] : Chain.getEqs()) {
+        resolveAttr(L, Chain, /*IsRead=*/false);
+        resolveAttr(R, Chain, /*IsRead=*/false);
+      }
+  }
+
+  void checkOperand(const Operand &Op, ValueType Expected,
+                    const std::string &Context) {
+    if (Op.isParam()) {
+      if (!CurFunc)
+        return;
+      std::optional<ValueType> Ty = CurFunc->paramType(Op.getParamName());
+      if (!Ty) {
+        error("unknown parameter '" + Op.getParamName() + "' in " + Context);
+        return;
+      }
+      if (*Ty != Expected)
+        error("parameter '" + Op.getParamName() + "' has type " +
+              typeName(*Ty) + " but " + Context + " expects " +
+              typeName(Expected));
+      return;
+    }
+    if (!Op.getConstant().hasType(Expected))
+      error("constant " + Op.getConstant().str() + " does not have type " +
+            typeName(Expected) + " in " + Context);
+  }
+
+  void walkPred(const Pred &P, const JoinChain &Chain) {
+    switch (P.getKind()) {
+    case Pred::Kind::Cmp: {
+      const auto &C = static_cast<const CmpPred &>(P);
+      std::optional<QualifiedAttr> L =
+          resolveAttr(C.getLhs(), Chain, /*IsRead=*/true);
+      if (C.rhsIsAttr()) {
+        resolveAttr(C.getRhsAttr(), Chain, /*IsRead=*/true);
+      } else if (L) {
+        checkOperand(C.getRhsOperand(), S.attrType(*L),
+                     "comparison against '" + L->str() + "'");
+      }
+      return;
+    }
+    case Pred::Kind::In: {
+      const auto &I = static_cast<const InPred &>(P);
+      resolveAttr(I.getLhs(), Chain, /*IsRead=*/true);
+      walkQuery(I.getSubQuery());
+      return;
+    }
+    case Pred::Kind::And:
+    case Pred::Kind::Or: {
+      const auto &B = static_cast<const BinaryPred &>(P);
+      walkPred(B.getLhs(), Chain);
+      walkPred(B.getRhs(), Chain);
+      return;
+    }
+    case Pred::Kind::Not:
+      walkPred(static_cast<const NotPred &>(P).getSubPred(), Chain);
+      return;
+    }
+  }
+
+  void walkQuery(const Query &Q) {
+    const JoinChain &Chain = Q.getChain();
+    checkChain(Chain);
+    const Query *Cur = &Q;
+    while (true) {
+      switch (Cur->getKind()) {
+      case Query::Kind::Project: {
+        const auto &P = static_cast<const ProjectQuery &>(*Cur);
+        for (const AttrRef &A : P.getAttrs())
+          resolveAttr(A, Chain, /*IsRead=*/true);
+        Cur = &P.getSubQuery();
+        break;
+      }
+      case Query::Kind::Filter: {
+        const auto &F = static_cast<const FilterQuery &>(*Cur);
+        walkPred(F.getPred(), Chain);
+        Cur = &F.getSubQuery();
+        break;
+      }
+      case Query::Kind::Chain:
+        return;
+      }
+    }
+  }
+
+  void walkStmt(const Stmt &St) {
+    switch (St.getKind()) {
+    case Stmt::Kind::Insert: {
+      const auto &I = static_cast<const InsertStmt &>(St);
+      checkChain(I.getChain());
+      for (const auto &[A, Op] : I.getValues()) {
+        std::optional<QualifiedAttr> QA =
+            resolveAttr(A, I.getChain(), /*IsRead=*/false);
+        if (QA)
+          checkOperand(Op, S.attrType(*QA), "insert into '" + QA->str() + "'");
+      }
+      return;
+    }
+    case Stmt::Kind::Delete: {
+      const auto &D = static_cast<const DeleteStmt &>(St);
+      checkChain(D.getChain());
+      for (const std::string &T : D.getTargets())
+        if (!D.getChain().containsTable(T))
+          error("delete target '" + T + "' is not part of chain '" +
+                D.getChain().str() + "'");
+      if (D.getPred())
+        walkPred(*D.getPred(), D.getChain());
+      return;
+    }
+    case Stmt::Kind::Update: {
+      const auto &U = static_cast<const UpdateStmt &>(St);
+      checkChain(U.getChain());
+      std::optional<QualifiedAttr> QA =
+          resolveAttr(U.getTarget(), U.getChain(), /*IsRead=*/false);
+      if (QA)
+        checkOperand(U.getValue(), S.attrType(*QA),
+                     "update of '" + QA->str() + "'");
+      if (U.getPred())
+        walkPred(*U.getPred(), U.getChain());
+      return;
+    }
+    }
+  }
+};
+
+} // namespace
+
+std::set<QualifiedAttr> migrator::collectQueriedAttrs(const Program &P,
+                                                      const Schema &S) {
+  std::set<QualifiedAttr> Read;
+  Walker W(S, &Read, /*Used=*/nullptr);
+  for (const Function &F : P.getFunctions())
+    W.walkFunction(F);
+  return Read;
+}
+
+std::set<QualifiedAttr> migrator::collectUsedAttrs(const Program &P,
+                                                   const Schema &S) {
+  std::set<QualifiedAttr> Used;
+  Walker W(S, /*Read=*/nullptr, &Used);
+  for (const Function &F : P.getFunctions())
+    W.walkFunction(F);
+  return Used;
+}
+
+std::optional<std::string> migrator::validateProgram(const Program &P,
+                                                     const Schema &S) {
+  Walker W(S, /*Read=*/nullptr, /*Used=*/nullptr);
+  for (const Function &F : P.getFunctions()) {
+    W.walkFunction(F);
+    if (W.Diag)
+      return W.Diag;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> migrator::validateFunction(const Function &F,
+                                                      const Schema &S) {
+  Walker W(S, /*Read=*/nullptr, /*Used=*/nullptr);
+  W.walkFunction(F);
+  return W.Diag;
+}
+
+namespace {
+
+void addChainTables(const JoinChain &Chain, std::set<std::string> &Out) {
+  for (const std::string &T : Chain.getTables())
+    Out.insert(T);
+}
+
+void collectQueryReads(const Query &Q, std::set<std::string> &Out);
+
+void collectPredReads(const Pred &P, std::set<std::string> &Out) {
+  switch (P.getKind()) {
+  case Pred::Kind::Cmp:
+    return;
+  case Pred::Kind::In:
+    collectQueryReads(static_cast<const InPred &>(P).getSubQuery(), Out);
+    return;
+  case Pred::Kind::And:
+  case Pred::Kind::Or: {
+    const auto &B = static_cast<const BinaryPred &>(P);
+    collectPredReads(B.getLhs(), Out);
+    collectPredReads(B.getRhs(), Out);
+    return;
+  }
+  case Pred::Kind::Not:
+    collectPredReads(static_cast<const NotPred &>(P).getSubPred(), Out);
+    return;
+  }
+}
+
+void collectQueryReads(const Query &Q, std::set<std::string> &Out) {
+  addChainTables(Q.getChain(), Out);
+  const Query *Cur = &Q;
+  while (true) {
+    switch (Cur->getKind()) {
+    case Query::Kind::Project:
+      Cur = &static_cast<const ProjectQuery &>(*Cur).getSubQuery();
+      break;
+    case Query::Kind::Filter: {
+      const auto &F = static_cast<const FilterQuery &>(*Cur);
+      collectPredReads(F.getPred(), Out);
+      Cur = &F.getSubQuery();
+      break;
+    }
+    case Query::Kind::Chain:
+      return;
+    }
+  }
+}
+
+} // namespace
+
+ReadWriteSets migrator::collectReadWriteSets(const Function &F) {
+  ReadWriteSets RW;
+  if (F.isQuery()) {
+    collectQueryReads(F.getQuery(), RW.Reads);
+    return RW;
+  }
+  for (const StmtPtr &St : F.getBody()) {
+    switch (St->getKind()) {
+    case Stmt::Kind::Insert:
+      addChainTables(static_cast<const InsertStmt &>(*St).getChain(),
+                     RW.Writes);
+      break;
+    case Stmt::Kind::Delete: {
+      const auto &D = static_cast<const DeleteStmt &>(*St);
+      for (const std::string &T : D.getTargets())
+        RW.Writes.insert(T);
+      addChainTables(D.getChain(), RW.Reads);
+      if (D.getPred())
+        collectPredReads(*D.getPred(), RW.Reads);
+      break;
+    }
+    case Stmt::Kind::Update: {
+      const auto &U = static_cast<const UpdateStmt &>(*St);
+      // Conservative: the whole chain counts as written and read.
+      addChainTables(U.getChain(), RW.Writes);
+      addChainTables(U.getChain(), RW.Reads);
+      if (U.getPred())
+        collectPredReads(*U.getPred(), RW.Reads);
+      break;
+    }
+    }
+  }
+  return RW;
+}

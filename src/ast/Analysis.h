@@ -1,0 +1,59 @@
+//===- ast/Analysis.h - Static analyses over database programs ----*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static analyses used by the synthesis pipeline:
+///
+///  * collectQueriedAttrs — the attributes the program *reads* (projections
+///    and predicate operands). These feed the "necessary condition for
+///    equivalence" hard constraints of the value-correspondence MaxSAT
+///    encoding (Sec. 4.2): every queried attribute must map somewhere.
+///  * validateProgram — sanity-checks a program against its schema (every
+///    chain/attribute/parameter resolves, constants are well-typed). Used
+///    by the parser front-end and the benchmark generator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_AST_ANALYSIS_H
+#define MIGRATOR_AST_ANALYSIS_H
+
+#include "ast/Program.h"
+#include "relational/Schema.h"
+
+#include <optional>
+#include <set>
+#include <string>
+
+namespace migrator {
+
+/// Returns the qualified attributes read anywhere in \p P: projection lists
+/// and predicate operands of query bodies, and predicates of update
+/// statements. References are resolved against their enclosing join chain.
+std::set<QualifiedAttr> collectQueriedAttrs(const Program &P, const Schema &S);
+
+/// Returns every qualified attribute mentioned in \p P (read or written).
+std::set<QualifiedAttr> collectUsedAttrs(const Program &P, const Schema &S);
+
+/// Checks that \p P is well-formed over \p S. Returns nullopt on success or
+/// a diagnostic message naming the first problem found.
+std::optional<std::string> validateProgram(const Program &P, const Schema &S);
+
+/// Checks a single function; returns nullopt on success or a diagnostic.
+std::optional<std::string> validateFunction(const Function &F, const Schema &S);
+
+/// The tables function \p F reads (join chains of its queries/predicates,
+/// including IN sub-queries) and writes (join chains of its update
+/// statements). Used by the tester's relevance slicing.
+struct ReadWriteSets {
+  std::set<std::string> Reads;
+  std::set<std::string> Writes;
+};
+ReadWriteSets collectReadWriteSets(const Function &F);
+
+} // namespace migrator
+
+#endif // MIGRATOR_AST_ANALYSIS_H

@@ -1,0 +1,234 @@
+//===- ast/Expr.cpp - Predicates and relational queries --------------------===//
+
+#include "ast/Expr.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace migrator;
+
+const char *migrator::cmpOpName(CmpOp Op) {
+  switch (Op) {
+  case CmpOp::Eq:
+    return "=";
+  case CmpOp::Ne:
+    return "!=";
+  case CmpOp::Lt:
+    return "<";
+  case CmpOp::Le:
+    return "<=";
+  case CmpOp::Gt:
+    return ">";
+  case CmpOp::Ge:
+    return ">=";
+  }
+  assert(false && "unknown comparison operator");
+  return "<invalid>";
+}
+
+bool migrator::evalCmpOp(CmpOp Op, const Value &L, const Value &R) {
+  if (L.kind() != R.kind()) {
+    // Heterogeneous comparisons: only disequality holds.
+    return Op == CmpOp::Ne;
+  }
+  switch (Op) {
+  case CmpOp::Eq:
+    return L == R;
+  case CmpOp::Ne:
+    return L != R;
+  case CmpOp::Lt:
+    return L < R;
+  case CmpOp::Le:
+    return L < R || L == R;
+  case CmpOp::Gt:
+    return R < L;
+  case CmpOp::Ge:
+    return R < L || L == R;
+  }
+  assert(false && "unknown comparison operator");
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Predicates
+//===----------------------------------------------------------------------===//
+
+Pred::~Pred() = default;
+
+PredPtr CmpPred::clone() const {
+  return std::make_unique<CmpPred>(Lhs, Op, Rhs);
+}
+
+std::string CmpPred::str() const {
+  std::ostringstream OS;
+  OS << Lhs.str() << " " << cmpOpName(Op) << " ";
+  OS << (rhsIsAttr() ? getRhsAttr().str() : getRhsOperand().str());
+  return OS.str();
+}
+
+bool CmpPred::equals(const Pred &O) const {
+  if (O.getKind() != Kind::Cmp)
+    return false;
+  const auto &OC = static_cast<const CmpPred &>(O);
+  return Lhs == OC.Lhs && Op == OC.Op && Rhs == OC.Rhs;
+}
+
+InPred::InPred(AttrRef Lhs, QueryPtr Sub)
+    : Pred(Kind::In), Lhs(std::move(Lhs)), Sub(std::move(Sub)) {
+  assert(this->Sub && "IN predicate requires a sub-query");
+}
+
+InPred::~InPred() = default;
+
+PredPtr InPred::clone() const {
+  return std::make_unique<InPred>(Lhs, Sub->clone());
+}
+
+std::string InPred::str() const {
+  return Lhs.str() + " in (" + Sub->str() + ")";
+}
+
+bool InPred::equals(const Pred &O) const {
+  if (O.getKind() != Kind::In)
+    return false;
+  const auto &OI = static_cast<const InPred &>(O);
+  return Lhs == OI.Lhs && Sub->equals(*OI.Sub);
+}
+
+PredPtr BinaryPred::clone() const {
+  return std::make_unique<BinaryPred>(getKind(), L->clone(), R->clone());
+}
+
+std::string BinaryPred::str() const {
+  std::ostringstream OS;
+  OS << "(" << L->str() << (getKind() == Kind::And ? " and " : " or ")
+     << R->str() << ")";
+  return OS.str();
+}
+
+bool BinaryPred::equals(const Pred &O) const {
+  if (O.getKind() != getKind())
+    return false;
+  const auto &OB = static_cast<const BinaryPred &>(O);
+  return L->equals(*OB.L) && R->equals(*OB.R);
+}
+
+PredPtr NotPred::clone() const {
+  return std::make_unique<NotPred>(Sub->clone());
+}
+
+std::string NotPred::str() const { return "not (" + Sub->str() + ")"; }
+
+bool NotPred::equals(const Pred &O) const {
+  if (O.getKind() != Kind::Not)
+    return false;
+  return Sub->equals(static_cast<const NotPred &>(O).getSubPred());
+}
+
+//===----------------------------------------------------------------------===//
+// Queries
+//===----------------------------------------------------------------------===//
+
+Query::~Query() = default;
+
+const JoinChain &Query::getChain() const {
+  const Query *Q = this;
+  while (true) {
+    switch (Q->getKind()) {
+    case Kind::Project:
+      Q = &static_cast<const ProjectQuery *>(Q)->getSubQuery();
+      break;
+    case Kind::Filter:
+      Q = &static_cast<const FilterQuery *>(Q)->getSubQuery();
+      break;
+    case Kind::Chain:
+      return static_cast<const ChainQuery *>(Q)->getJoinChain();
+    }
+  }
+}
+
+QueryPtr ProjectQuery::clone() const {
+  return std::make_unique<ProjectQuery>(Attrs, Sub->clone());
+}
+
+std::string ProjectQuery::str() const {
+  std::ostringstream OS;
+  OS << "select ";
+  for (size_t I = 0; I < Attrs.size(); ++I) {
+    if (I != 0)
+      OS << ", ";
+    OS << Attrs[I].str();
+  }
+  OS << " " << Sub->str();
+  return OS.str();
+}
+
+bool ProjectQuery::equals(const Query &O) const {
+  if (O.getKind() != Kind::Project)
+    return false;
+  const auto &OP = static_cast<const ProjectQuery &>(O);
+  return Attrs == OP.Attrs && Sub->equals(*OP.Sub);
+}
+
+QueryPtr FilterQuery::clone() const {
+  return std::make_unique<FilterQuery>(P->clone(), Sub->clone());
+}
+
+std::string FilterQuery::str() const {
+  return Sub->str() + " where " + P->str();
+}
+
+bool FilterQuery::equals(const Query &O) const {
+  if (O.getKind() != Kind::Filter)
+    return false;
+  const auto &OF = static_cast<const FilterQuery &>(O);
+  return P->equals(*OF.P) && Sub->equals(*OF.Sub);
+}
+
+QueryPtr ChainQuery::clone() const {
+  return std::make_unique<ChainQuery>(Chain);
+}
+
+std::string ChainQuery::str() const { return "from " + Chain.str(); }
+
+bool ChainQuery::equals(const Query &O) const {
+  if (O.getKind() != Kind::Chain)
+    return false;
+  return Chain == static_cast<const ChainQuery &>(O).Chain;
+}
+
+//===----------------------------------------------------------------------===//
+// Convenience builders
+//===----------------------------------------------------------------------===//
+
+PredPtr migrator::makeCmp(AttrRef Lhs, CmpOp Op, Operand Rhs) {
+  return std::make_unique<CmpPred>(std::move(Lhs), Op,
+                                   CmpPred::Rhs_t(std::move(Rhs)));
+}
+
+PredPtr migrator::makeAttrCmp(AttrRef Lhs, CmpOp Op, AttrRef Rhs) {
+  return std::make_unique<CmpPred>(std::move(Lhs), Op,
+                                   CmpPred::Rhs_t(std::move(Rhs)));
+}
+
+PredPtr migrator::makeAnd(PredPtr L, PredPtr R) {
+  return std::make_unique<BinaryPred>(Pred::Kind::And, std::move(L),
+                                      std::move(R));
+}
+
+PredPtr migrator::makeOr(PredPtr L, PredPtr R) {
+  return std::make_unique<BinaryPred>(Pred::Kind::Or, std::move(L),
+                                      std::move(R));
+}
+
+PredPtr migrator::makeNot(PredPtr P) {
+  return std::make_unique<NotPred>(std::move(P));
+}
+
+QueryPtr migrator::makeSelect(std::vector<AttrRef> Attrs, JoinChain Chain,
+                              PredPtr P) {
+  QueryPtr Q = std::make_unique<ChainQuery>(std::move(Chain));
+  if (P)
+    Q = std::make_unique<FilterQuery>(std::move(P), std::move(Q));
+  return std::make_unique<ProjectQuery>(std::move(Attrs), std::move(Q));
+}

@@ -1,0 +1,270 @@
+//===- ast/Expr.h - Predicates and relational queries -------------*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The predicate and query languages of Fig. 5:
+///
+///   Query Q := Π a+ (Q) | σ ϕ (Q) | J
+///   Pred  ϕ := a op a | a op v | a ∈ Q | ϕ ∧ ϕ | ϕ ∨ ϕ | ¬ϕ
+///
+/// Nodes are kind-tagged (LLVM-style hand-rolled RTTI via classof) and
+/// deep-copyable through clone().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_AST_EXPR_H
+#define MIGRATOR_AST_EXPR_H
+
+#include "ast/JoinChain.h"
+#include "ast/Operand.h"
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace migrator {
+
+class Query;
+using QueryPtr = std::unique_ptr<Query>;
+class Pred;
+using PredPtr = std::unique_ptr<Pred>;
+
+/// Binary comparison operators of the predicate language.
+enum class CmpOp { Eq, Ne, Lt, Le, Gt, Ge };
+
+/// Returns the surface spelling of \p Op ("=", "!=", "<", ...).
+const char *cmpOpName(CmpOp Op);
+
+/// Evaluates `L Op R` over runtime values. Comparisons across different
+/// value kinds are false, except `!=` which is true.
+bool evalCmpOp(CmpOp Op, const Value &L, const Value &R);
+
+//===----------------------------------------------------------------------===//
+// Predicates
+//===----------------------------------------------------------------------===//
+
+/// Base class of predicate nodes.
+class Pred {
+public:
+  enum class Kind { Cmp, In, And, Or, Not };
+
+  virtual ~Pred();
+
+  Kind getKind() const { return TheKind; }
+
+  /// Deep-copies the predicate.
+  virtual PredPtr clone() const = 0;
+
+  /// Renders in surface syntax.
+  virtual std::string str() const = 0;
+
+  /// Structural equality.
+  virtual bool equals(const Pred &O) const = 0;
+
+protected:
+  explicit Pred(Kind K) : TheKind(K) {}
+
+private:
+  const Kind TheKind;
+};
+
+/// `a op a` / `a op v`: compares an attribute against another attribute or
+/// an operand (constant or parameter).
+class CmpPred : public Pred {
+public:
+  using Rhs_t = std::variant<AttrRef, Operand>;
+
+  CmpPred(AttrRef Lhs, CmpOp Op, Rhs_t Rhs)
+      : Pred(Kind::Cmp), Lhs(std::move(Lhs)), Op(Op), Rhs(std::move(Rhs)) {}
+
+  const AttrRef &getLhs() const { return Lhs; }
+  CmpOp getOp() const { return Op; }
+  bool rhsIsAttr() const { return Rhs.index() == 0; }
+  const AttrRef &getRhsAttr() const { return std::get<0>(Rhs); }
+  const Operand &getRhsOperand() const { return std::get<1>(Rhs); }
+
+  PredPtr clone() const override;
+  std::string str() const override;
+  bool equals(const Pred &O) const override;
+
+  static bool classof(const Pred *P) { return P->getKind() == Kind::Cmp; }
+
+private:
+  AttrRef Lhs;
+  CmpOp Op;
+  Rhs_t Rhs;
+};
+
+/// `a ∈ Q`: membership of an attribute's value in a sub-query result.
+class InPred : public Pred {
+public:
+  InPred(AttrRef Lhs, QueryPtr Sub);
+  ~InPred() override;
+
+  const AttrRef &getLhs() const { return Lhs; }
+  const Query &getSubQuery() const { return *Sub; }
+
+  PredPtr clone() const override;
+  std::string str() const override;
+  bool equals(const Pred &O) const override;
+
+  static bool classof(const Pred *P) { return P->getKind() == Kind::In; }
+
+private:
+  AttrRef Lhs;
+  QueryPtr Sub;
+};
+
+/// Binary conjunction / disjunction.
+class BinaryPred : public Pred {
+public:
+  BinaryPred(Kind K, PredPtr L, PredPtr R)
+      : Pred(K), L(std::move(L)), R(std::move(R)) {
+    assert((getKind() == Kind::And || getKind() == Kind::Or) &&
+           "binary predicate must be And or Or");
+  }
+
+  const Pred &getLhs() const { return *L; }
+  const Pred &getRhs() const { return *R; }
+
+  PredPtr clone() const override;
+  std::string str() const override;
+  bool equals(const Pred &O) const override;
+
+  static bool classof(const Pred *P) {
+    return P->getKind() == Kind::And || P->getKind() == Kind::Or;
+  }
+
+private:
+  PredPtr L, R;
+};
+
+/// Negation.
+class NotPred : public Pred {
+public:
+  explicit NotPred(PredPtr Sub) : Pred(Kind::Not), Sub(std::move(Sub)) {}
+
+  const Pred &getSubPred() const { return *Sub; }
+
+  PredPtr clone() const override;
+  std::string str() const override;
+  bool equals(const Pred &O) const override;
+
+  static bool classof(const Pred *P) { return P->getKind() == Kind::Not; }
+
+private:
+  PredPtr Sub;
+};
+
+//===----------------------------------------------------------------------===//
+// Queries
+//===----------------------------------------------------------------------===//
+
+/// Base class of query nodes.
+class Query {
+public:
+  enum class Kind { Project, Filter, Chain };
+
+  virtual ~Query();
+
+  Kind getKind() const { return TheKind; }
+
+  virtual QueryPtr clone() const = 0;
+  virtual std::string str() const = 0;
+  virtual bool equals(const Query &O) const = 0;
+
+  /// Returns the join chain at the root of this query's FROM part (every
+  /// query bottoms out in a chain).
+  const JoinChain &getChain() const;
+
+protected:
+  explicit Query(Kind K) : TheKind(K) {}
+
+private:
+  const Kind TheKind;
+};
+
+/// `Π a1,...,an (Q)`.
+class ProjectQuery : public Query {
+public:
+  ProjectQuery(std::vector<AttrRef> Attrs, QueryPtr Sub)
+      : Query(Kind::Project), Attrs(std::move(Attrs)), Sub(std::move(Sub)) {}
+
+  const std::vector<AttrRef> &getAttrs() const { return Attrs; }
+  const Query &getSubQuery() const { return *Sub; }
+
+  QueryPtr clone() const override;
+  std::string str() const override;
+  bool equals(const Query &O) const override;
+
+  static bool classof(const Query *Q) { return Q->getKind() == Kind::Project; }
+
+private:
+  std::vector<AttrRef> Attrs;
+  QueryPtr Sub;
+};
+
+/// `σ ϕ (Q)`.
+class FilterQuery : public Query {
+public:
+  FilterQuery(PredPtr P, QueryPtr Sub)
+      : Query(Kind::Filter), P(std::move(P)), Sub(std::move(Sub)) {}
+
+  const Pred &getPred() const { return *P; }
+  const Query &getSubQuery() const { return *Sub; }
+
+  QueryPtr clone() const override;
+  std::string str() const override;
+  bool equals(const Query &O) const override;
+
+  static bool classof(const Query *Q) { return Q->getKind() == Kind::Filter; }
+
+private:
+  PredPtr P;
+  QueryPtr Sub;
+};
+
+/// A join chain used as a query leaf.
+class ChainQuery : public Query {
+public:
+  explicit ChainQuery(JoinChain Chain)
+      : Query(Kind::Chain), Chain(std::move(Chain)) {}
+
+  const JoinChain &getJoinChain() const { return Chain; }
+
+  QueryPtr clone() const override;
+  std::string str() const override;
+  bool equals(const Query &O) const override;
+
+  static bool classof(const Query *Q) { return Q->getKind() == Kind::Chain; }
+
+private:
+  JoinChain Chain;
+};
+
+//===----------------------------------------------------------------------===//
+// Convenience builders
+//===----------------------------------------------------------------------===//
+
+/// Builds `attr op operand`.
+PredPtr makeCmp(AttrRef Lhs, CmpOp Op, Operand Rhs);
+/// Builds `attr op attr`.
+PredPtr makeAttrCmp(AttrRef Lhs, CmpOp Op, AttrRef Rhs);
+/// Builds `L ∧ R`.
+PredPtr makeAnd(PredPtr L, PredPtr R);
+/// Builds `L ∨ R`.
+PredPtr makeOr(PredPtr L, PredPtr R);
+/// Builds `¬P`.
+PredPtr makeNot(PredPtr P);
+
+/// Builds `Π Attrs (σ P (Chain))`; \p P may be null for an unfiltered scan.
+QueryPtr makeSelect(std::vector<AttrRef> Attrs, JoinChain Chain, PredPtr P);
+
+} // namespace migrator
+
+#endif // MIGRATOR_AST_EXPR_H

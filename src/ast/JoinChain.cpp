@@ -1,0 +1,148 @@
+//===- ast/JoinChain.cpp - Join chains over tables -------------------------===//
+
+#include "ast/JoinChain.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <numeric>
+#include <sstream>
+
+using namespace migrator;
+
+JoinChain JoinChain::table(std::string Name) {
+  JoinChain C;
+  C.Tables.push_back(std::move(Name));
+  C.Natural = true;
+  return C;
+}
+
+JoinChain JoinChain::natural(std::vector<std::string> Tables) {
+  assert(!Tables.empty() && "join chain must contain at least one table");
+  JoinChain C;
+  C.Tables = std::move(Tables);
+  C.Natural = true;
+  return C;
+}
+
+JoinChain JoinChain::explicitJoin(
+    std::vector<std::string> Tables,
+    std::vector<std::pair<AttrRef, AttrRef>> Eqs) {
+  assert(!Tables.empty() && "join chain must contain at least one table");
+  JoinChain C;
+  C.Tables = std::move(Tables);
+  C.Eqs = std::move(Eqs);
+  C.Natural = false;
+  return C;
+}
+
+bool JoinChain::containsTable(const std::string &Name) const {
+  return std::find(Tables.begin(), Tables.end(), Name) != Tables.end();
+}
+
+std::vector<QualifiedAttr> JoinChain::allAttrs(const Schema &S) const {
+  std::vector<QualifiedAttr> Result;
+  for (const std::string &T : Tables) {
+    const TableSchema &TS = S.getTable(T);
+    for (const Attribute &A : TS.getAttrs())
+      Result.push_back({T, A.Name});
+  }
+  return Result;
+}
+
+std::vector<std::vector<QualifiedAttr>>
+JoinChain::attrClasses(const Schema &S) const {
+  std::vector<QualifiedAttr> Attrs = allAttrs(S);
+
+  if (Natural) {
+    // Group by attribute name: a natural chain equates all identically named
+    // attributes across its member tables.
+    std::map<std::string, std::vector<QualifiedAttr>> ByName;
+    std::vector<std::string> Order;
+    for (const QualifiedAttr &A : Attrs) {
+      auto [It, New] = ByName.try_emplace(A.Attr);
+      if (New)
+        Order.push_back(A.Attr);
+      It->second.push_back(A);
+    }
+    std::vector<std::vector<QualifiedAttr>> Classes;
+    Classes.reserve(Order.size());
+    for (const std::string &Name : Order)
+      Classes.push_back(std::move(ByName[Name]));
+    return Classes;
+  }
+
+  // Explicit joins: union-find over the declared equalities; every other
+  // attribute is a singleton class.
+  std::vector<unsigned> Parent(Attrs.size());
+  std::iota(Parent.begin(), Parent.end(), 0u);
+  auto Find = [&Parent](unsigned X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  };
+  auto IndexOf = [&Attrs, this, &S](const AttrRef &Ref) -> unsigned {
+    std::optional<QualifiedAttr> QA = resolve(Ref, S);
+    assert(QA && "join equality names an attribute outside the chain");
+    for (unsigned I = 0; I < Attrs.size(); ++I)
+      if (Attrs[I] == *QA)
+        return I;
+    assert(false && "resolved attribute missing from chain attribute list");
+    return 0;
+  };
+  for (const auto &[L, R] : Eqs)
+    Parent[Find(IndexOf(L))] = Find(IndexOf(R));
+
+  std::map<unsigned, std::vector<QualifiedAttr>> Groups;
+  std::vector<unsigned> Order;
+  for (unsigned I = 0; I < Attrs.size(); ++I) {
+    unsigned Root = Find(I);
+    auto [It, New] = Groups.try_emplace(Root);
+    if (New)
+      Order.push_back(Root);
+    It->second.push_back(Attrs[I]);
+  }
+  std::vector<std::vector<QualifiedAttr>> Classes;
+  Classes.reserve(Order.size());
+  for (unsigned Root : Order)
+    Classes.push_back(std::move(Groups[Root]));
+  return Classes;
+}
+
+std::optional<QualifiedAttr> JoinChain::resolve(const AttrRef &Ref,
+                                                const Schema &S) const {
+  if (Ref.isQualified()) {
+    if (!containsTable(Ref.Table))
+      return std::nullopt;
+    const TableSchema *TS = S.findTable(Ref.Table);
+    if (!TS || !TS->hasAttr(Ref.Attr))
+      return std::nullopt;
+    return QualifiedAttr{Ref.Table, Ref.Attr};
+  }
+  for (const std::string &T : Tables) {
+    const TableSchema *TS = S.findTable(T);
+    if (TS && TS->hasAttr(Ref.Attr))
+      return QualifiedAttr{T, Ref.Attr};
+  }
+  return std::nullopt;
+}
+
+std::string JoinChain::str() const {
+  std::ostringstream OS;
+  for (size_t I = 0; I < Tables.size(); ++I) {
+    if (I != 0)
+      OS << " join ";
+    OS << Tables[I];
+  }
+  if (!Natural && !Eqs.empty()) {
+    OS << " on ";
+    for (size_t I = 0; I < Eqs.size(); ++I) {
+      if (I != 0)
+        OS << " and ";
+      OS << Eqs[I].first.str() << " = " << Eqs[I].second.str();
+    }
+  }
+  return OS.str();
+}

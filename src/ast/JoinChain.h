@@ -1,0 +1,123 @@
+//===- ast/JoinChain.h - Join chains over tables ------------------*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Join chains — the `J := T | J a⋈a J` production of Fig. 5. A chain is an
+/// ordered set of tables combined by equi-joins. Two flavours are supported:
+///
+///  * *natural* chains (the paper's `J1 ⋈ J2` shorthand), whose join
+///    predicate equates all identically named attributes across member
+///    tables, and
+///  * *explicit* chains carrying a list of attribute equalities
+///    (`J1 a⋈b J2`).
+///
+/// The join predicate induces equivalence classes over the chain's
+/// attributes; these classes drive both join evaluation and the fresh-UID
+/// assignment of join-chain inserts (Sec. 3.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_AST_JOINCHAIN_H
+#define MIGRATOR_AST_JOINCHAIN_H
+
+#include "relational/Schema.h"
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace migrator {
+
+/// A possibly-unqualified attribute reference appearing in program text.
+/// An empty Table component means the reference must be resolved against the
+/// enclosing statement's join chain.
+struct AttrRef {
+  std::string Table; ///< Empty for unqualified references.
+  std::string Attr;
+
+  AttrRef() = default;
+  AttrRef(std::string Table, std::string Attr)
+      : Table(std::move(Table)), Attr(std::move(Attr)) {}
+
+  /// Builds an unqualified reference.
+  static AttrRef unqualified(std::string Attr) { return AttrRef("", std::move(Attr)); }
+
+  /// Builds a qualified reference from \p QA.
+  static AttrRef qualified(const QualifiedAttr &QA) {
+    return AttrRef(QA.Table, QA.Attr);
+  }
+
+  bool isQualified() const { return !Table.empty(); }
+
+  bool operator==(const AttrRef &O) const {
+    return Table == O.Table && Attr == O.Attr;
+  }
+  bool operator!=(const AttrRef &O) const { return !(*this == O); }
+
+  /// Renders as `Attr` or `Table.Attr`.
+  std::string str() const { return isQualified() ? Table + "." + Attr : Attr; }
+};
+
+/// An equi-join chain over one or more tables.
+class JoinChain {
+public:
+  JoinChain() = default;
+
+  /// A single-table chain.
+  static JoinChain table(std::string Name);
+
+  /// A natural-join chain over \p Tables (all same-named attributes are
+  /// equated).
+  static JoinChain natural(std::vector<std::string> Tables);
+
+  /// An explicit equi-join chain: \p Eqs lists the attribute equalities; any
+  /// attribute not mentioned is unconstrained.
+  static JoinChain explicitJoin(std::vector<std::string> Tables,
+                                std::vector<std::pair<AttrRef, AttrRef>> Eqs);
+
+  const std::vector<std::string> &getTables() const { return Tables; }
+  size_t getNumTables() const { return Tables.size(); }
+  bool isSingleTable() const { return Tables.size() == 1; }
+  bool isNatural() const { return Natural; }
+  const std::vector<std::pair<AttrRef, AttrRef>> &getEqs() const { return Eqs; }
+
+  bool containsTable(const std::string &Name) const;
+
+  /// All qualified attributes of the chain's member tables.
+  std::vector<QualifiedAttr> allAttrs(const Schema &S) const;
+
+  /// The equivalence classes induced by the join predicate. Every attribute
+  /// of every member table appears in exactly one class; unconstrained
+  /// attributes form singleton classes.
+  std::vector<std::vector<QualifiedAttr>> attrClasses(const Schema &S) const;
+
+  /// Resolves \p Ref against this chain: an unqualified reference resolves
+  /// to the first member table declaring the attribute (under a natural
+  /// join, all declaring tables hold equal values); a qualified reference is
+  /// checked for membership. Returns nullopt if the reference does not name
+  /// an attribute of the chain.
+  std::optional<QualifiedAttr> resolve(const AttrRef &Ref,
+                                       const Schema &S) const;
+
+  bool operator==(const JoinChain &O) const {
+    return Tables == O.Tables && Eqs == O.Eqs && Natural == O.Natural;
+  }
+  bool operator!=(const JoinChain &O) const { return !(*this == O); }
+
+  /// Renders as `T`, `T1 join T2 join T3`, or with explicit `on` clauses.
+  std::string str() const;
+
+private:
+  std::vector<std::string> Tables;
+  std::vector<std::pair<AttrRef, AttrRef>> Eqs;
+  bool Natural = true;
+};
+
+} // namespace migrator
+
+#endif // MIGRATOR_AST_JOINCHAIN_H

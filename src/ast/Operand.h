@@ -1,0 +1,63 @@
+//===- ast/Operand.h - Constants and parameter references --------*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `v ∈ Value ∪ Variable` leaves of Fig. 5: a statement operand is
+/// either a literal constant or a reference to one of the enclosing
+/// function's parameters, resolved at call time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_AST_OPERAND_H
+#define MIGRATOR_AST_OPERAND_H
+
+#include "relational/Value.h"
+
+#include <cassert>
+#include <string>
+#include <variant>
+
+namespace migrator {
+
+/// A literal value or a function-parameter reference.
+class Operand {
+public:
+  Operand() : Rep(Value()) {}
+
+  static Operand constant(Value V) { return Operand(Rep_t(std::move(V))); }
+  static Operand param(std::string Name) {
+    return Operand(Rep_t(std::move(Name)));
+  }
+
+  bool isParam() const { return Rep.index() == 1; }
+  bool isConstant() const { return Rep.index() == 0; }
+
+  const Value &getConstant() const {
+    assert(isConstant() && "operand is not a constant");
+    return std::get<0>(Rep);
+  }
+  const std::string &getParamName() const {
+    assert(isParam() && "operand is not a parameter reference");
+    return std::get<1>(Rep);
+  }
+
+  bool operator==(const Operand &O) const { return Rep == O.Rep; }
+
+  /// Renders in surface syntax: the literal, or the bare parameter name.
+  std::string str() const {
+    return isParam() ? getParamName() : getConstant().str();
+  }
+
+private:
+  using Rep_t = std::variant<Value, std::string>;
+  explicit Operand(Rep_t R) : Rep(std::move(R)) {}
+  Rep_t Rep;
+};
+
+} // namespace migrator
+
+#endif // MIGRATOR_AST_OPERAND_H

@@ -1,0 +1,130 @@
+//===- ast/Program.cpp - Functions and database programs -------------------===//
+
+#include "ast/Program.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace migrator;
+
+Function Function::makeUpdate(std::string Name, std::vector<Param> Params,
+                              std::vector<StmtPtr> Body) {
+  Function F(Kind::Update, std::move(Name), std::move(Params));
+  F.Body = std::move(Body);
+  assert(!F.Body.empty() && "update function must contain a statement");
+  return F;
+}
+
+Function Function::makeQuery(std::string Name, std::vector<Param> Params,
+                             QueryPtr Q) {
+  assert(Q && "query function requires a body");
+  Function F(Kind::Query, std::move(Name), std::move(Params));
+  F.Q = std::move(Q);
+  return F;
+}
+
+std::optional<ValueType> Function::paramType(const std::string &ParamName) const {
+  for (const Param &P : Params)
+    if (P.Name == ParamName)
+      return P.Type;
+  return std::nullopt;
+}
+
+Function Function::clone() const {
+  if (isQuery())
+    return makeQuery(Name, Params, Q->clone());
+  std::vector<StmtPtr> NewBody;
+  NewBody.reserve(Body.size());
+  for (const StmtPtr &S : Body)
+    NewBody.push_back(S->clone());
+  return makeUpdate(Name, Params, std::move(NewBody));
+}
+
+std::string Function::str() const {
+  std::ostringstream OS;
+  OS << (isUpdate() ? "update " : "query ") << Name << "(";
+  for (size_t I = 0; I < Params.size(); ++I) {
+    if (I != 0)
+      OS << ", ";
+    OS << Params[I].Name << ": " << typeName(Params[I].Type);
+  }
+  OS << ") {\n";
+  if (isQuery()) {
+    OS << "  " << Q->str() << ";\n";
+  } else {
+    for (const StmtPtr &S : Body)
+      OS << "  " << S->str() << "\n";
+  }
+  OS << "}\n";
+  return OS.str();
+}
+
+bool Function::equals(const Function &O) const {
+  if (TheKind != O.TheKind || Name != O.Name || !(Params == O.Params))
+    return false;
+  if (isQuery())
+    return Q->equals(*O.Q);
+  if (Body.size() != O.Body.size())
+    return false;
+  for (size_t I = 0; I < Body.size(); ++I)
+    if (!Body[I]->equals(*O.Body[I]))
+      return false;
+  return true;
+}
+
+void Program::addFunction(Function F) {
+  assert(!findFunction(F.getName()) && "duplicate function name in program");
+  Funcs.push_back(std::move(F));
+}
+
+const Function *Program::findFunction(const std::string &Name) const {
+  for (const Function &F : Funcs)
+    if (F.getName() == Name)
+      return &F;
+  return nullptr;
+}
+
+const Function &Program::getFunction(const std::string &Name) const {
+  const Function *F = findFunction(Name);
+  assert(F && "function not declared in program");
+  return *F;
+}
+
+std::vector<std::string> Program::updateFunctionNames() const {
+  std::vector<std::string> Names;
+  for (const Function &F : Funcs)
+    if (F.isUpdate())
+      Names.push_back(F.getName());
+  return Names;
+}
+
+std::vector<std::string> Program::queryFunctionNames() const {
+  std::vector<std::string> Names;
+  for (const Function &F : Funcs)
+    if (F.isQuery())
+      Names.push_back(F.getName());
+  return Names;
+}
+
+Program Program::clone() const {
+  Program P;
+  for (const Function &F : Funcs)
+    P.addFunction(F.clone());
+  return P;
+}
+
+std::string Program::str() const {
+  std::ostringstream OS;
+  for (const Function &F : Funcs)
+    OS << F.str() << "\n";
+  return OS.str();
+}
+
+bool Program::equals(const Program &O) const {
+  if (Funcs.size() != O.Funcs.size())
+    return false;
+  for (size_t I = 0; I < Funcs.size(); ++I)
+    if (!Funcs[I].equals(O.Funcs[I]))
+      return false;
+  return true;
+}

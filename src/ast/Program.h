@@ -1,0 +1,118 @@
+//===- ast/Program.h - Functions and database programs ------------*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A database program (Fig. 5) is a set of named transactions: update
+/// functions (a sequence of insert/delete/update statements) and query
+/// functions (a single relational-algebra expression). An invocation
+/// sequence runs zero or more updates followed by one query (Sec. 3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_AST_PROGRAM_H
+#define MIGRATOR_AST_PROGRAM_H
+
+#include "ast/Expr.h"
+#include "ast/Stmt.h"
+
+#include <string>
+#include <vector>
+
+namespace migrator {
+
+/// A typed function parameter.
+struct Param {
+  std::string Name;
+  ValueType Type;
+
+  bool operator==(const Param &O) const {
+    return Name == O.Name && Type == O.Type;
+  }
+};
+
+/// One database transaction: an update or a query.
+class Function {
+public:
+  enum class Kind { Update, Query };
+
+  /// Builds an update function with statement list \p Body.
+  static Function makeUpdate(std::string Name, std::vector<Param> Params,
+                             std::vector<StmtPtr> Body);
+
+  /// Builds a query function with body \p Q.
+  static Function makeQuery(std::string Name, std::vector<Param> Params,
+                            QueryPtr Q);
+
+  Kind getKind() const { return TheKind; }
+  bool isUpdate() const { return TheKind == Kind::Update; }
+  bool isQuery() const { return TheKind == Kind::Query; }
+
+  const std::string &getName() const { return Name; }
+  const std::vector<Param> &getParams() const { return Params; }
+
+  /// Statement list of an update function.
+  const std::vector<StmtPtr> &getBody() const {
+    assert(isUpdate() && "query functions have no statement body");
+    return Body;
+  }
+
+  /// Query body of a query function.
+  const Query &getQuery() const {
+    assert(isQuery() && "update functions have no query body");
+    return *Q;
+  }
+
+  /// Returns the parameter's declared type, or nullopt if \p ParamName is
+  /// not a parameter of this function.
+  std::optional<ValueType> paramType(const std::string &ParamName) const;
+
+  Function clone() const;
+  std::string str() const;
+  bool equals(const Function &O) const;
+
+private:
+  Function(Kind K, std::string Name, std::vector<Param> Params)
+      : TheKind(K), Name(std::move(Name)), Params(std::move(Params)) {}
+
+  Kind TheKind;
+  std::string Name;
+  std::vector<Param> Params;
+  std::vector<StmtPtr> Body; ///< Update functions.
+  QueryPtr Q;                ///< Query functions.
+};
+
+/// A database program: an ordered set of functions over one schema.
+class Program {
+public:
+  Program() = default;
+
+  void addFunction(Function F);
+
+  const std::vector<Function> &getFunctions() const { return Funcs; }
+  size_t getNumFunctions() const { return Funcs.size(); }
+
+  /// Returns the function named \p Name, or nullptr if absent.
+  const Function *findFunction(const std::string &Name) const;
+
+  /// Returns the function named \p Name (which must exist).
+  const Function &getFunction(const std::string &Name) const;
+
+  /// Names of all update (resp. query) functions, in declaration order.
+  std::vector<std::string> updateFunctionNames() const;
+  std::vector<std::string> queryFunctionNames() const;
+
+  Program clone() const;
+  std::string str() const;
+  bool equals(const Program &O) const;
+
+private:
+  std::vector<Function> Funcs;
+};
+
+} // namespace migrator
+
+#endif // MIGRATOR_AST_PROGRAM_H

@@ -1,0 +1,181 @@
+//===- ast/Simplify.cpp - Program normalization -------------------------------===//
+
+#include "ast/Simplify.h"
+
+#include <cassert>
+
+using namespace migrator;
+
+namespace {
+
+SimplifiedPred simplified(PredPtr P) {
+  return {PredVerdict::Simplified, std::move(P)};
+}
+
+SimplifiedPred verdict(PredVerdict V) { return {V, nullptr}; }
+
+/// `a op a` folds to a constant for reflexive/irreflexive operators.
+std::optional<PredVerdict> foldSelfComparison(const CmpPred &C) {
+  if (!C.rhsIsAttr() || C.getLhs() != C.getRhsAttr())
+    return std::nullopt;
+  switch (C.getOp()) {
+  case CmpOp::Eq:
+  case CmpOp::Le:
+  case CmpOp::Ge:
+    return PredVerdict::AlwaysTrue;
+  case CmpOp::Ne:
+  case CmpOp::Lt:
+  case CmpOp::Gt:
+    return PredVerdict::AlwaysFalse;
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+SimplifiedPred migrator::simplifyPred(const Pred &P) {
+  switch (P.getKind()) {
+  case Pred::Kind::Cmp: {
+    const auto &C = static_cast<const CmpPred &>(P);
+    if (std::optional<PredVerdict> V = foldSelfComparison(C))
+      return verdict(*V);
+    return simplified(C.clone());
+  }
+  case Pred::Kind::In: {
+    const auto &I = static_cast<const InPred &>(P);
+    return simplified(
+        std::make_unique<InPred>(I.getLhs(), simplifyQuery(I.getSubQuery())));
+  }
+  case Pred::Kind::And:
+  case Pred::Kind::Or: {
+    const auto &B = static_cast<const BinaryPred &>(P);
+    bool IsAnd = P.getKind() == Pred::Kind::And;
+    SimplifiedPred L = simplifyPred(B.getLhs());
+    SimplifiedPred R = simplifyPred(B.getRhs());
+
+    // Units and absorbing elements.
+    PredVerdict Unit =
+        IsAnd ? PredVerdict::AlwaysTrue : PredVerdict::AlwaysFalse;
+    PredVerdict Absorb =
+        IsAnd ? PredVerdict::AlwaysFalse : PredVerdict::AlwaysTrue;
+    if (L.Verdict == Absorb || R.Verdict == Absorb)
+      return verdict(Absorb);
+    if (L.Verdict == Unit && R.Verdict == Unit)
+      return verdict(Unit);
+    if (L.Verdict == Unit)
+      return R;
+    if (R.Verdict == Unit)
+      return L;
+
+    // Idempotence: p ∧ p → p.
+    if (L.P->equals(*R.P))
+      return L;
+    return simplified(IsAnd ? makeAnd(std::move(L.P), std::move(R.P))
+                            : makeOr(std::move(L.P), std::move(R.P)));
+  }
+  case Pred::Kind::Not: {
+    const auto &N = static_cast<const NotPred &>(P);
+    // Double negation: ¬¬p → p (simplify the inner predicate first).
+    if (N.getSubPred().getKind() == Pred::Kind::Not)
+      return simplifyPred(
+          static_cast<const NotPred &>(N.getSubPred()).getSubPred());
+    SimplifiedPred Sub = simplifyPred(N.getSubPred());
+    if (Sub.Verdict == PredVerdict::AlwaysTrue)
+      return verdict(PredVerdict::AlwaysFalse);
+    if (Sub.Verdict == PredVerdict::AlwaysFalse)
+      return verdict(PredVerdict::AlwaysTrue);
+    return simplified(makeNot(std::move(Sub.P)));
+  }
+  }
+  assert(false && "unknown predicate kind");
+  return verdict(PredVerdict::AlwaysTrue);
+}
+
+QueryPtr migrator::simplifyQuery(const Query &Q) {
+  switch (Q.getKind()) {
+  case Query::Kind::Project: {
+    const auto &P = static_cast<const ProjectQuery &>(Q);
+    return std::make_unique<ProjectQuery>(P.getAttrs(),
+                                          simplifyQuery(P.getSubQuery()));
+  }
+  case Query::Kind::Filter: {
+    const auto &F = static_cast<const FilterQuery &>(Q);
+    QueryPtr Sub = simplifyQuery(F.getSubQuery());
+    SimplifiedPred P = simplifyPred(F.getPred());
+    switch (P.Verdict) {
+    case PredVerdict::AlwaysTrue:
+      return Sub; // The filter keeps everything.
+    case PredVerdict::AlwaysFalse:
+      // An empty result is only expressible as a filter; keep the original
+      // (already minimal-enough) predicate.
+      return std::make_unique<FilterQuery>(F.getPred().clone(),
+                                           std::move(Sub));
+    case PredVerdict::Simplified:
+      return std::make_unique<FilterQuery>(std::move(P.P), std::move(Sub));
+    }
+    return Sub;
+  }
+  case Query::Kind::Chain:
+    return Q.clone();
+  }
+  assert(false && "unknown query kind");
+  return nullptr;
+}
+
+namespace {
+
+/// Returns the simplified predicate for a statement: null when trivially
+/// true (no filter), the original clone when trivially false.
+PredPtr simplifyStmtPred(const Pred *P) {
+  if (!P)
+    return nullptr;
+  SimplifiedPred S = simplifyPred(*P);
+  switch (S.Verdict) {
+  case PredVerdict::AlwaysTrue:
+    return nullptr;
+  case PredVerdict::AlwaysFalse:
+    return P->clone();
+  case PredVerdict::Simplified:
+    return std::move(S.P);
+  }
+  return nullptr;
+}
+
+StmtPtr simplifyStmt(const Stmt &St) {
+  switch (St.getKind()) {
+  case Stmt::Kind::Insert:
+    return St.clone();
+  case Stmt::Kind::Delete: {
+    const auto &D = static_cast<const DeleteStmt &>(St);
+    return std::make_unique<DeleteStmt>(D.getTargets(), D.getChain(),
+                                        simplifyStmtPred(D.getPred()));
+  }
+  case Stmt::Kind::Update: {
+    const auto &U = static_cast<const UpdateStmt &>(St);
+    return std::make_unique<UpdateStmt>(U.getChain(),
+                                        simplifyStmtPred(U.getPred()),
+                                        U.getTarget(), U.getValue());
+  }
+  }
+  assert(false && "unknown statement kind");
+  return nullptr;
+}
+
+} // namespace
+
+Program migrator::simplifyProgram(const Program &P) {
+  Program Out;
+  for (const Function &F : P.getFunctions()) {
+    if (F.isQuery()) {
+      Out.addFunction(Function::makeQuery(F.getName(), F.getParams(),
+                                          simplifyQuery(F.getQuery())));
+      continue;
+    }
+    std::vector<StmtPtr> Body;
+    for (const StmtPtr &St : F.getBody())
+      Body.push_back(simplifyStmt(*St));
+    Out.addFunction(
+        Function::makeUpdate(F.getName(), F.getParams(), std::move(Body)));
+  }
+  return Out;
+}

@@ -1,0 +1,50 @@
+//===- ast/Simplify.h - Program normalization ---------------------*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantics-preserving simplification of predicates and programs:
+/// double-negation elimination, idempotent ∧/∨ collapsing, constant folding
+/// of comparisons between identical operands, and removal of trivially-true
+/// filters. Used to normalize synthesized programs before presenting them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_AST_SIMPLIFY_H
+#define MIGRATOR_AST_SIMPLIFY_H
+
+#include "ast/Program.h"
+
+namespace migrator {
+
+/// Three-valued outcome of predicate simplification.
+enum class PredVerdict {
+  Simplified, ///< A (possibly smaller) predicate remains.
+  AlwaysTrue,
+  AlwaysFalse,
+};
+
+/// Result of simplifying one predicate.
+struct SimplifiedPred {
+  PredVerdict Verdict;
+  PredPtr P; ///< Set when Verdict == Simplified.
+};
+
+/// Simplifies \p P. The result is semantically equivalent on every database
+/// and environment.
+SimplifiedPred simplifyPred(const Pred &P);
+
+/// Simplifies every predicate of \p Q; trivially-true filters are dropped,
+/// trivially-false filters are kept in minimal form (they make the query
+/// empty, which cannot be expressed otherwise).
+QueryPtr simplifyQuery(const Query &Q);
+
+/// Returns a simplified, semantically equivalent copy of \p P.
+Program simplifyProgram(const Program &P);
+
+} // namespace migrator
+
+#endif // MIGRATOR_AST_SIMPLIFY_H

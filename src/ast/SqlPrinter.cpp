@@ -1,0 +1,293 @@
+//===- ast/SqlPrinter.cpp - SQL rendering of database programs --------------===//
+
+#include "ast/SqlPrinter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+using namespace migrator;
+
+namespace {
+
+const char *sqlType(ValueType Ty) {
+  switch (Ty) {
+  case ValueType::Int:
+    return "INT";
+  case ValueType::String:
+    return "VARCHAR(255)";
+  case ValueType::Binary:
+    return "BLOB";
+  case ValueType::Bool:
+    return "BOOLEAN";
+  }
+  return "INT";
+}
+
+std::string sqlValue(const Value &V) {
+  switch (V.kind()) {
+  case Value::Kind::Int:
+    return std::to_string(V.getInt());
+  case Value::Kind::String:
+    return "'" + V.getString() + "'";
+  case Value::Kind::Binary:
+    return "x'" + V.getBinary() + "'"; // Callers ensure hex-able payloads.
+  case Value::Kind::Bool:
+    return V.getBool() ? "TRUE" : "FALSE";
+  case Value::Kind::Uid:
+    return "@uid" + std::to_string(V.getUid());
+  }
+  return "NULL";
+}
+
+std::string sqlOperand(const Operand &Op) {
+  if (Op.isParam())
+    return ":" + Op.getParamName();
+  return sqlValue(Op.getConstant());
+}
+
+std::string sqlAttr(const AttrRef &A) {
+  return A.isQualified() ? A.Table + "." + A.Attr : A.Attr;
+}
+
+/// Renders a join chain as a FROM clause body: explicit joins use ON
+/// conditions; natural chains use NATURAL JOIN.
+std::string sqlChain(const JoinChain &Chain) {
+  std::ostringstream OS;
+  const std::vector<std::string> &Tables = Chain.getTables();
+  for (size_t I = 0; I < Tables.size(); ++I) {
+    if (I != 0)
+      OS << (Chain.isNatural() ? " NATURAL JOIN " : " JOIN ");
+    OS << Tables[I];
+  }
+  if (!Chain.isNatural() && !Chain.getEqs().empty()) {
+    OS << " ON ";
+    const auto &Eqs = Chain.getEqs();
+    for (size_t I = 0; I < Eqs.size(); ++I) {
+      if (I != 0)
+        OS << " AND ";
+      OS << sqlAttr(Eqs[I].first) << " = " << sqlAttr(Eqs[I].second);
+    }
+  }
+  return OS.str();
+}
+
+std::string sqlPred(const Pred &P) {
+  switch (P.getKind()) {
+  case Pred::Kind::Cmp: {
+    const auto &C = static_cast<const CmpPred &>(P);
+    std::string Op = C.getOp() == CmpOp::Ne ? "<>" : cmpOpName(C.getOp());
+    std::string Rhs = C.rhsIsAttr() ? sqlAttr(C.getRhsAttr())
+                                    : sqlOperand(C.getRhsOperand());
+    return sqlAttr(C.getLhs()) + " " + Op + " " + Rhs;
+  }
+  case Pred::Kind::In: {
+    const auto &I = static_cast<const InPred &>(P);
+    // Sub-queries in our language are select/from/where shaped.
+    const Query *Q = &I.getSubQuery();
+    std::ostringstream OS;
+    OS << sqlAttr(I.getLhs()) << " IN (";
+    // Render the sub-query inline.
+    std::vector<AttrRef> Proj;
+    const Pred *Filter = nullptr;
+    const Query *Cur = Q;
+    bool Walking = true;
+    while (Walking) {
+      switch (Cur->getKind()) {
+      case Query::Kind::Project: {
+        const auto &Pr = static_cast<const ProjectQuery &>(*Cur);
+        if (Proj.empty())
+          Proj = Pr.getAttrs();
+        Cur = &Pr.getSubQuery();
+        break;
+      }
+      case Query::Kind::Filter: {
+        const auto &F = static_cast<const FilterQuery &>(*Cur);
+        Filter = &F.getPred();
+        Cur = &F.getSubQuery();
+        break;
+      }
+      case Query::Kind::Chain:
+        Walking = false;
+        break;
+      }
+    }
+    OS << "SELECT ";
+    for (size_t K = 0; K < Proj.size(); ++K)
+      OS << (K ? ", " : "") << sqlAttr(Proj[K]);
+    OS << " FROM " << sqlChain(Q->getChain());
+    if (Filter)
+      OS << " WHERE " << sqlPred(*Filter);
+    OS << ")";
+    return OS.str();
+  }
+  case Pred::Kind::And:
+  case Pred::Kind::Or: {
+    const auto &B = static_cast<const BinaryPred &>(P);
+    const char *Op = P.getKind() == Pred::Kind::And ? " AND " : " OR ";
+    return "(" + sqlPred(B.getLhs()) + Op + sqlPred(B.getRhs()) + ")";
+  }
+  case Pred::Kind::Not:
+    return "NOT (" + sqlPred(static_cast<const NotPred &>(P).getSubPred()) +
+           ")";
+  }
+  return "";
+}
+
+/// Emits one insert statement; chains expand into the paper's desugaring —
+/// one INSERT per member table, with join-linked attributes sharing fresh
+/// session variables.
+void emitInsert(const InsertStmt &I, const Schema &S, unsigned &FreshCounter,
+                std::ostringstream &OS) {
+  const JoinChain &Chain = I.getChain();
+  std::vector<std::vector<QualifiedAttr>> Classes = Chain.attrClasses(S);
+
+  // Value per class: an explicit operand or a fresh session variable.
+  std::vector<std::string> ClassVal(Classes.size());
+  auto ClassOf = [&Classes](const QualifiedAttr &QA) -> size_t {
+    for (size_t C = 0; C < Classes.size(); ++C)
+      if (std::find(Classes[C].begin(), Classes[C].end(), QA) !=
+          Classes[C].end())
+        return C;
+    assert(false && "attribute missing from class partition");
+    return 0;
+  };
+  for (const auto &[Ref, Op] : I.getValues()) {
+    std::optional<QualifiedAttr> QA = Chain.resolve(Ref, S);
+    assert(QA && "insert attribute does not resolve");
+    ClassVal[ClassOf(*QA)] = sqlOperand(Op);
+  }
+  bool NeedsFresh = false;
+  for (size_t C = 0; C < Classes.size(); ++C)
+    if (ClassVal[C].empty()) {
+      NeedsFresh = true;
+      ClassVal[C] = "@fresh" + std::to_string(FreshCounter++);
+    }
+  if (NeedsFresh)
+    OS << "  -- @freshN: fresh surrogate keys (the paper's UIDs); bind them\n"
+          "  -- to newly generated unique values before running.\n";
+
+  for (const std::string &T : Chain.getTables()) {
+    const TableSchema &TS = S.getTable(T);
+    OS << "  INSERT INTO " << T << " (";
+    for (size_t A = 0; A < TS.getNumAttrs(); ++A)
+      OS << (A ? ", " : "") << TS.getAttrs()[A].Name;
+    OS << ")\n    VALUES (";
+    for (size_t A = 0; A < TS.getNumAttrs(); ++A) {
+      QualifiedAttr QA{T, TS.getAttrs()[A].Name};
+      OS << (A ? ", " : "") << ClassVal[ClassOf(QA)];
+    }
+    OS << ");\n";
+  }
+}
+
+void emitDelete(const DeleteStmt &D, std::ostringstream &OS) {
+  OS << "  DELETE ";
+  const std::vector<std::string> &Targets = D.getTargets();
+  for (size_t I = 0; I < Targets.size(); ++I)
+    OS << (I ? ", " : "") << Targets[I];
+  OS << " FROM " << sqlChain(D.getChain());
+  if (D.getPred())
+    OS << "\n    WHERE " << sqlPred(*D.getPred());
+  OS << ";\n";
+}
+
+void emitUpdate(const UpdateStmt &U, std::ostringstream &OS) {
+  OS << "  UPDATE " << sqlChain(U.getChain()) << "\n    SET "
+     << sqlAttr(U.getTarget()) << " = " << sqlOperand(U.getValue());
+  if (U.getPred())
+    OS << "\n    WHERE " << sqlPred(*U.getPred());
+  OS << ";\n";
+}
+
+void emitQuery(const Query &Q, std::ostringstream &OS) {
+  std::vector<AttrRef> Proj;
+  std::vector<const Pred *> Filters;
+  const Query *Cur = &Q;
+  while (true) {
+    switch (Cur->getKind()) {
+    case Query::Kind::Project: {
+      const auto &P = static_cast<const ProjectQuery &>(*Cur);
+      if (Proj.empty())
+        Proj = P.getAttrs();
+      Cur = &P.getSubQuery();
+      break;
+    }
+    case Query::Kind::Filter: {
+      const auto &F = static_cast<const FilterQuery &>(*Cur);
+      Filters.push_back(&F.getPred());
+      Cur = &F.getSubQuery();
+      break;
+    }
+    case Query::Kind::Chain: {
+      OS << "  SELECT ";
+      if (Proj.empty()) {
+        OS << "*";
+      } else {
+        for (size_t I = 0; I < Proj.size(); ++I)
+          OS << (I ? ", " : "") << sqlAttr(Proj[I]);
+      }
+      OS << "\n  FROM " << sqlChain(Q.getChain());
+      for (size_t I = 0; I < Filters.size(); ++I)
+        OS << (I == 0 ? "\n  WHERE " : " AND ") << sqlPred(*Filters[I]);
+      OS << ";\n";
+      return;
+    }
+    }
+  }
+}
+
+} // namespace
+
+std::string migrator::sqlSchema(const Schema &S) {
+  std::ostringstream OS;
+  OS << "-- schema " << S.getName() << "\n";
+  for (const TableSchema &T : S.getTables()) {
+    OS << "CREATE TABLE " << T.getName() << " (\n";
+    const std::vector<Attribute> &As = T.getAttrs();
+    for (size_t I = 0; I < As.size(); ++I)
+      OS << "  " << As[I].Name << " " << sqlType(As[I].Type)
+         << (I + 1 < As.size() ? ",\n" : "\n");
+    OS << ");\n";
+  }
+  return OS.str();
+}
+
+std::string migrator::sqlFunction(const Function &F, const Schema &S) {
+  std::ostringstream OS;
+  OS << "-- " << (F.isUpdate() ? "update" : "query") << " " << F.getName()
+     << "(";
+  const std::vector<Param> &Ps = F.getParams();
+  for (size_t I = 0; I < Ps.size(); ++I)
+    OS << (I ? ", " : "") << ":" << Ps[I].Name << " " << sqlType(Ps[I].Type);
+  OS << ")\n";
+
+  unsigned FreshCounter = 0;
+  if (F.isQuery()) {
+    emitQuery(F.getQuery(), OS);
+    return OS.str();
+  }
+  OS << "  START TRANSACTION;\n";
+  for (const StmtPtr &St : F.getBody()) {
+    switch (St->getKind()) {
+    case Stmt::Kind::Insert:
+      emitInsert(static_cast<const InsertStmt &>(*St), S, FreshCounter, OS);
+      break;
+    case Stmt::Kind::Delete:
+      emitDelete(static_cast<const DeleteStmt &>(*St), OS);
+      break;
+    case Stmt::Kind::Update:
+      emitUpdate(static_cast<const UpdateStmt &>(*St), OS);
+      break;
+    }
+  }
+  OS << "  COMMIT;\n";
+  return OS.str();
+}
+
+std::string migrator::sqlProgram(const Program &P, const Schema &S) {
+  std::ostringstream OS;
+  for (const Function &F : P.getFunctions())
+    OS << sqlFunction(F, S) << "\n";
+  return OS.str();
+}

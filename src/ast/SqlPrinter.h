@@ -1,0 +1,39 @@
+//===- ast/SqlPrinter.h - SQL rendering of database programs ------*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders schemas and database programs as executable SQL (MySQL dialect —
+/// the dialect whose multi-table DELETE/UPDATE semantics the paper adopts).
+/// Function parameters become named placeholders (`:param`), and the fresh
+/// keys of multi-table inserts become session variables (`@fresh0`, ...),
+/// mirroring the paper's `UID0` notation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_AST_SQLPRINTER_H
+#define MIGRATOR_AST_SQLPRINTER_H
+
+#include "ast/Program.h"
+#include "relational/Schema.h"
+
+#include <string>
+
+namespace migrator {
+
+/// Returns `CREATE TABLE` statements for every table of \p S.
+std::string sqlSchema(const Schema &S);
+
+/// Renders one function as a commented SQL transaction. \p S supplies the
+/// table layouts needed to expand multi-table inserts.
+std::string sqlFunction(const Function &F, const Schema &S);
+
+/// Renders the whole program: one commented transaction per function.
+std::string sqlProgram(const Program &P, const Schema &S);
+
+} // namespace migrator
+
+#endif // MIGRATOR_AST_SQLPRINTER_H

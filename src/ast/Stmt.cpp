@@ -1,0 +1,88 @@
+//===- ast/Stmt.cpp - Update statements ------------------------------------===//
+
+#include "ast/Stmt.h"
+
+#include <sstream>
+
+using namespace migrator;
+
+Stmt::~Stmt() = default;
+
+StmtPtr InsertStmt::clone() const {
+  return std::make_unique<InsertStmt>(Chain, Values);
+}
+
+std::string InsertStmt::str() const {
+  std::ostringstream OS;
+  OS << "insert into " << Chain.str() << " values (";
+  for (size_t I = 0; I < Values.size(); ++I) {
+    if (I != 0)
+      OS << ", ";
+    OS << Values[I].first.str() << ": " << Values[I].second.str();
+  }
+  OS << ");";
+  return OS.str();
+}
+
+bool InsertStmt::equals(const Stmt &O) const {
+  if (O.getKind() != Kind::Insert)
+    return false;
+  const auto &OI = static_cast<const InsertStmt &>(O);
+  return Chain == OI.Chain && Values == OI.Values;
+}
+
+StmtPtr DeleteStmt::clone() const {
+  return std::make_unique<DeleteStmt>(Targets, Chain, P ? P->clone() : nullptr);
+}
+
+std::string DeleteStmt::str() const {
+  std::ostringstream OS;
+  OS << "delete [";
+  for (size_t I = 0; I < Targets.size(); ++I) {
+    if (I != 0)
+      OS << ", ";
+    OS << Targets[I];
+  }
+  OS << "] from " << Chain.str();
+  if (P)
+    OS << " where " << P->str();
+  OS << ";";
+  return OS.str();
+}
+
+bool DeleteStmt::equals(const Stmt &O) const {
+  if (O.getKind() != Kind::Delete)
+    return false;
+  const auto &OD = static_cast<const DeleteStmt &>(O);
+  if (Targets != OD.Targets || Chain != OD.Chain)
+    return false;
+  if ((P == nullptr) != (OD.P == nullptr))
+    return false;
+  return !P || P->equals(*OD.P);
+}
+
+StmtPtr UpdateStmt::clone() const {
+  return std::make_unique<UpdateStmt>(Chain, P ? P->clone() : nullptr, Target,
+                                      Val);
+}
+
+std::string UpdateStmt::str() const {
+  std::ostringstream OS;
+  OS << "update " << Chain.str() << " set " << Target.str() << " = "
+     << Val.str();
+  if (P)
+    OS << " where " << P->str();
+  OS << ";";
+  return OS.str();
+}
+
+bool UpdateStmt::equals(const Stmt &O) const {
+  if (O.getKind() != Kind::Update)
+    return false;
+  const auto &OU = static_cast<const UpdateStmt &>(O);
+  if (Chain != OU.Chain || !(Target == OU.Target) || !(Val == OU.Val))
+    return false;
+  if ((P == nullptr) != (OU.P == nullptr))
+    return false;
+  return !P || P->equals(*OU.P);
+}

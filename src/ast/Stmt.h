@@ -1,0 +1,131 @@
+//===- ast/Stmt.h - Update statements -----------------------------*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The update-statement language of Fig. 5:
+///
+///   InsStmt := ins(J, {(a : v)+})
+///   DelStmt := del([T+], J, ϕ)
+///   UpdStmt := upd(J, ϕ, a, v)
+///
+/// Sequencing (`U ; U`) is represented as the statement list of the
+/// enclosing function body. An insert whose chain spans several tables is
+/// the paper's multi-table insert shorthand (Sec. 3.1): one row is inserted
+/// per member table and join-linked attributes share fresh UIDs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_AST_STMT_H
+#define MIGRATOR_AST_STMT_H
+
+#include "ast/Expr.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace migrator {
+
+class Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Base class of update statements.
+class Stmt {
+public:
+  enum class Kind { Insert, Delete, Update };
+
+  virtual ~Stmt();
+
+  Kind getKind() const { return TheKind; }
+
+  virtual StmtPtr clone() const = 0;
+  virtual std::string str() const = 0;
+  virtual bool equals(const Stmt &O) const = 0;
+
+protected:
+  explicit Stmt(Kind K) : TheKind(K) {}
+
+private:
+  const Kind TheKind;
+};
+
+/// `ins(J, {a1:v1, ..., an:vn})`.
+class InsertStmt : public Stmt {
+public:
+  using Assignment = std::pair<AttrRef, Operand>;
+
+  InsertStmt(JoinChain Chain, std::vector<Assignment> Values)
+      : Stmt(Kind::Insert), Chain(std::move(Chain)), Values(std::move(Values)) {}
+
+  const JoinChain &getChain() const { return Chain; }
+  const std::vector<Assignment> &getValues() const { return Values; }
+
+  StmtPtr clone() const override;
+  std::string str() const override;
+  bool equals(const Stmt &O) const override;
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Insert; }
+
+private:
+  JoinChain Chain;
+  std::vector<Assignment> Values;
+};
+
+/// `del([T1,...,Tn], J, ϕ)`: deletes from the listed tables all source
+/// tuples contributing to a join row satisfying ϕ.
+class DeleteStmt : public Stmt {
+public:
+  DeleteStmt(std::vector<std::string> Targets, JoinChain Chain, PredPtr P)
+      : Stmt(Kind::Delete), Targets(std::move(Targets)),
+        Chain(std::move(Chain)), P(std::move(P)) {}
+
+  const std::vector<std::string> &getTargets() const { return Targets; }
+  const JoinChain &getChain() const { return Chain; }
+  const Pred *getPred() const { return P.get(); } ///< Null = delete all.
+
+  StmtPtr clone() const override;
+  std::string str() const override;
+  bool equals(const Stmt &O) const override;
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Delete; }
+
+private:
+  std::vector<std::string> Targets;
+  JoinChain Chain;
+  PredPtr P;
+};
+
+/// `upd(J, ϕ, a, v)`: sets attribute a to v on all tuples of a's table that
+/// contribute to a join row satisfying ϕ.
+class UpdateStmt : public Stmt {
+public:
+  UpdateStmt(JoinChain Chain, PredPtr P, AttrRef Target, Operand Val)
+      : Stmt(Kind::Update), Chain(std::move(Chain)), P(std::move(P)),
+        Target(std::move(Target)), Val(std::move(Val)) {}
+
+  const JoinChain &getChain() const { return Chain; }
+  const Pred *getPred() const { return P.get(); } ///< Null = update all.
+  const AttrRef &getTarget() const { return Target; }
+  const Operand &getValue() const { return Val; }
+
+  StmtPtr clone() const override;
+  std::string str() const override;
+  bool equals(const Stmt &O) const override;
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Update; }
+
+private:
+  JoinChain Chain;
+  PredPtr P;
+  AttrRef Target;
+  Operand Val;
+};
+
+} // namespace migrator
+
+#endif // MIGRATOR_AST_STMT_H

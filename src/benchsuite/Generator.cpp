@@ -1,0 +1,677 @@
+//===- benchsuite/Generator.cpp - Synthetic benchmark generator -------------===//
+
+#include "benchsuite/Generator.h"
+
+#include "ast/Analysis.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+
+using namespace migrator;
+
+namespace {
+
+/// Fixed table-name pool (26 entries, enough for the largest benchmark).
+const char *NamePool[] = {
+    "users",    "posts",    "comments", "photos",  "albums",   "tags",
+    "orders",   "items",    "carts",    "reviews", "events",   "venues",
+    "tickets",  "profiles", "groups",   "messages", "friends", "likes",
+    "pages",    "sessions", "plans",    "invoices", "coupons", "shops",
+    "brands",   "stocks"};
+
+ValueType dataType(unsigned J) {
+  switch (J % 4) {
+  case 0:
+    return ValueType::String;
+  case 1:
+    return ValueType::Int;
+  case 2:
+    return ValueType::String;
+  default:
+    return ValueType::Binary;
+  }
+}
+
+/// One source table under construction.
+struct TableInfo {
+  std::string Name;
+  std::string Pk;                 ///< Key attribute (shared for satellites).
+  std::vector<Attribute> Data;    ///< Data attributes.
+  std::string Fk;                 ///< Foreign-key attribute name ("" = none).
+  std::string FkTable;            ///< The table Fk points at.
+  bool IsSatellite = false;
+  int PairIndex = -1;             ///< For pair members: the pair number.
+};
+
+/// Builder for the generated program.
+class ProgramBuilder {
+public:
+  explicit ProgramBuilder(std::vector<TableInfo> Tables)
+      : Tables(std::move(Tables)) {}
+
+  const std::vector<TableInfo> &tables() const { return Tables; }
+
+  /// Emits function number \p PatternIdx for unit \p Unit (a pair index or a
+  /// standalone table index). Returns false when the unit has no further
+  /// patterns.
+  bool emit(Program &P, const std::vector<size_t> &Unit, size_t PatternIdx);
+
+private:
+  std::vector<TableInfo> Tables;
+
+  static Operand param(const std::string &Name) { return Operand::param(Name); }
+
+  std::string funcName(const std::string &Kind, const std::string &Table,
+                       unsigned K = ~0u) {
+    std::string N = Kind + "_" + Table;
+    if (K != ~0u)
+      N += "_" + std::to_string(K);
+    return N;
+  }
+
+  // --- standalone patterns ---
+  bool emitStandalone(Program &P, const TableInfo &T, size_t Idx);
+  // --- pair patterns ---
+  bool emitPair(Program &P, const TableInfo &M, const TableInfo &S,
+                size_t Idx);
+};
+
+bool ProgramBuilder::emit(Program &P, const std::vector<size_t> &Unit,
+                          size_t PatternIdx) {
+  if (Unit.size() == 2)
+    return emitPair(P, Tables[Unit[0]], Tables[Unit[1]], PatternIdx);
+  return emitStandalone(P, Tables[Unit[0]], PatternIdx);
+}
+
+bool ProgramBuilder::emitStandalone(Program &P, const TableInfo &T,
+                                    size_t Idx) {
+  const std::string &Tn = T.Name;
+  JoinChain Chain = JoinChain::table(Tn);
+  size_t D = T.Data.size();
+
+  auto PkRef = [&T]() { return AttrRef::unqualified(T.Pk); };
+  auto DataRef = [&T](unsigned K) {
+    return AttrRef::unqualified(T.Data[K].Name);
+  };
+
+  switch (Idx) {
+  case 0: { // add: insert the full row.
+    std::vector<Param> Params = {{"k", ValueType::Int}};
+    std::vector<InsertStmt::Assignment> Values = {{PkRef(), param("k")}};
+    if (!T.Fk.empty()) {
+      Params.push_back({"fk", ValueType::Int});
+      Values.emplace_back(AttrRef::unqualified(T.Fk), param("fk"));
+    }
+    for (unsigned K = 0; K < D; ++K) {
+      std::string Pn = "v" + std::to_string(K);
+      Params.push_back({Pn, T.Data[K].Type});
+      Values.emplace_back(DataRef(K), param(Pn));
+    }
+    std::vector<StmtPtr> Body;
+    Body.push_back(std::make_unique<InsertStmt>(Chain, std::move(Values)));
+    P.addFunction(Function::makeUpdate(funcName("add", Tn), std::move(Params),
+                                       std::move(Body)));
+    return true;
+  }
+  case 1: { // get: first two data attributes by key.
+    std::vector<AttrRef> Proj = {DataRef(0)};
+    if (D >= 2)
+      Proj.push_back(DataRef(1));
+    P.addFunction(Function::makeQuery(
+        funcName("get", Tn), {{"k", ValueType::Int}},
+        makeSelect(std::move(Proj), Chain,
+                   makeCmp(PkRef(), CmpOp::Eq, param("k")))));
+    return true;
+  }
+  case 2: { // del by key.
+    std::vector<StmtPtr> Body;
+    Body.push_back(std::make_unique<DeleteStmt>(
+        std::vector<std::string>{Tn}, Chain,
+        makeCmp(PkRef(), CmpOp::Eq, param("k"))));
+    P.addFunction(Function::makeUpdate(
+        funcName("del", Tn), {{"k", ValueType::Int}}, std::move(Body)));
+    return true;
+  }
+  case 3: { // set first data attribute by key.
+    std::vector<StmtPtr> Body;
+    Body.push_back(std::make_unique<UpdateStmt>(
+        Chain, makeCmp(PkRef(), CmpOp::Eq, param("k")), DataRef(0),
+        param("v")));
+    P.addFunction(Function::makeUpdate(
+        funcName("set", Tn, 0),
+        {{"k", ValueType::Int}, {"v", T.Data[0].Type}}, std::move(Body)));
+    return true;
+  }
+  case 4: { // find by second data attribute.
+    if (D < 2)
+      return true; // Pattern inapplicable; slot intentionally skipped.
+    P.addFunction(Function::makeQuery(
+        funcName("find", Tn, 1), {{"v", T.Data[1].Type}},
+        makeSelect({PkRef(), DataRef(0)}, Chain,
+                   makeCmp(DataRef(1), CmpOp::Eq, param("v")))));
+    return true;
+  }
+  case 5: { // join query through the foreign key.
+    if (T.Fk.empty())
+      return true;
+    const TableInfo *Other = nullptr;
+    for (const TableInfo &O : Tables)
+      if (O.Name == T.FkTable)
+        Other = &O;
+    assert(Other && "foreign key target missing");
+    JoinChain J = JoinChain::natural({Other->Name, Tn});
+    P.addFunction(Function::makeQuery(
+        funcName("joined", Tn), {{"k", ValueType::Int}},
+        makeSelect({DataRef(0), AttrRef::unqualified(Other->Data[0].Name)}, J,
+                   makeCmp(AttrRef::unqualified(Other->Pk), CmpOp::Eq,
+                           param("k")))));
+    return true;
+  }
+  case 6: { // delete by first data attribute.
+    std::vector<StmtPtr> Body;
+    Body.push_back(std::make_unique<DeleteStmt>(
+        std::vector<std::string>{Tn}, Chain,
+        makeCmp(DataRef(0), CmpOp::Eq, param("v"))));
+    P.addFunction(Function::makeUpdate(
+        funcName("delBy", Tn, 0), {{"v", T.Data[0].Type}}, std::move(Body)));
+    return true;
+  }
+  case 7: { // unconditional scan of the first data attribute.
+    P.addFunction(Function::makeQuery(
+        funcName("scan", Tn), {{"k", ValueType::Int}},
+        makeSelect({DataRef(0)}, Chain,
+                   makeCmp(PkRef(), CmpOp::Ne, param("k")))));
+    return true;
+  }
+  default:
+    break;
+  }
+
+  // Extended patterns over the remaining data attributes: get/set/find per
+  // attribute index starting at 2.
+  size_t Ext = Idx - 8;
+  unsigned K = static_cast<unsigned>(2 + Ext / 3);
+  if (K >= D)
+    return false; // Unit exhausted.
+  switch (Ext % 3) {
+  case 0:
+    P.addFunction(Function::makeQuery(
+        funcName("get", Tn, K), {{"k", ValueType::Int}},
+        makeSelect({DataRef(K)}, Chain,
+                   makeCmp(PkRef(), CmpOp::Eq, param("k")))));
+    return true;
+  case 1: {
+    std::vector<StmtPtr> Body;
+    Body.push_back(std::make_unique<UpdateStmt>(
+        Chain, makeCmp(PkRef(), CmpOp::Eq, param("k")), DataRef(K),
+        param("v")));
+    P.addFunction(Function::makeUpdate(
+        funcName("set", Tn, K),
+        {{"k", ValueType::Int}, {"v", T.Data[K].Type}}, std::move(Body)));
+    return true;
+  }
+  default:
+    P.addFunction(Function::makeQuery(
+        funcName("find", Tn, K), {{"v", T.Data[K].Type}},
+        makeSelect({DataRef(0)}, Chain,
+                   makeCmp(DataRef(K), CmpOp::Eq, param("v")))));
+    return true;
+  }
+}
+
+bool ProgramBuilder::emitPair(Program &P, const TableInfo &M,
+                              const TableInfo &S, size_t Idx) {
+  JoinChain Pair = JoinChain::natural({M.Name, S.Name});
+  JoinChain MC = JoinChain::table(M.Name);
+  JoinChain SC = JoinChain::table(S.Name);
+  auto PkRef = [&M]() { return AttrRef::unqualified(M.Pk); };
+  auto MRef = [&M](unsigned K) { return AttrRef::unqualified(M.Data[K].Name); };
+  auto SRef = [&S](unsigned K) { return AttrRef::unqualified(S.Data[K].Name); };
+
+  switch (Idx) {
+  case 0: { // addPair: chain insert into both tables.
+    std::vector<Param> Params = {{"k", ValueType::Int}};
+    std::vector<InsertStmt::Assignment> Values = {{PkRef(), param("k")}};
+    for (unsigned K = 0; K < M.Data.size(); ++K) {
+      std::string Pn = "m" + std::to_string(K);
+      Params.push_back({Pn, M.Data[K].Type});
+      Values.emplace_back(MRef(K), param(Pn));
+    }
+    for (unsigned K = 0; K < S.Data.size(); ++K) {
+      std::string Pn = "s" + std::to_string(K);
+      Params.push_back({Pn, S.Data[K].Type});
+      Values.emplace_back(SRef(K), param(Pn));
+    }
+    std::vector<StmtPtr> Body;
+    Body.push_back(std::make_unique<InsertStmt>(Pair, std::move(Values)));
+    P.addFunction(Function::makeUpdate(funcName("add", M.Name),
+                                       std::move(Params), std::move(Body)));
+    return true;
+  }
+  case 1: // getM
+    P.addFunction(Function::makeQuery(
+        funcName("get", M.Name), {{"k", ValueType::Int}},
+        makeSelect({MRef(0), MRef(1)}, MC,
+                   makeCmp(PkRef(), CmpOp::Eq, param("k")))));
+    return true;
+  case 2: // getS
+    P.addFunction(Function::makeQuery(
+        funcName("get", S.Name), {{"k", ValueType::Int}},
+        makeSelect({SRef(0), SRef(1)}, SC,
+                   makeCmp(PkRef(), CmpOp::Eq, param("k")))));
+    return true;
+  case 3: { // delPair
+    std::vector<StmtPtr> Body;
+    Body.push_back(std::make_unique<DeleteStmt>(
+        std::vector<std::string>{M.Name, S.Name}, Pair,
+        makeCmp(PkRef(), CmpOp::Eq, param("k"))));
+    P.addFunction(Function::makeUpdate(
+        funcName("del", M.Name), {{"k", ValueType::Int}}, std::move(Body)));
+    return true;
+  }
+  case 4: { // getMLast: reads the attribute a "move" refactoring relocates.
+    if (M.Data.size() < 3)
+      return true;
+    unsigned K = static_cast<unsigned>(M.Data.size() - 1);
+    P.addFunction(Function::makeQuery(
+        funcName("get", M.Name, K), {{"k", ValueType::Int}},
+        makeSelect({MRef(K)}, MC, makeCmp(PkRef(), CmpOp::Eq, param("k")))));
+    return true;
+  }
+  case 5: { // setS0
+    std::vector<StmtPtr> Body;
+    Body.push_back(std::make_unique<UpdateStmt>(
+        SC, makeCmp(PkRef(), CmpOp::Eq, param("k")), SRef(0), param("v")));
+    P.addFunction(Function::makeUpdate(
+        funcName("set", S.Name, 0),
+        {{"k", ValueType::Int}, {"v", S.Data[0].Type}}, std::move(Body)));
+    return true;
+  }
+  case 6: // findM
+    P.addFunction(Function::makeQuery(
+        funcName("find", M.Name, 0), {{"v", M.Data[0].Type}},
+        makeSelect({PkRef()}, MC, makeCmp(MRef(0), CmpOp::Eq, param("v")))));
+    return true;
+  case 7: { // setM0
+    std::vector<StmtPtr> Body;
+    Body.push_back(std::make_unique<UpdateStmt>(
+        MC, makeCmp(PkRef(), CmpOp::Eq, param("k")), MRef(0), param("v")));
+    P.addFunction(Function::makeUpdate(
+        funcName("set", M.Name, 0),
+        {{"k", ValueType::Int}, {"v", M.Data[0].Type}}, std::move(Body)));
+    return true;
+  }
+  case 8: // findS0: lookup by the first satellite attribute. (A join query
+          // over the pair would key on the caller-supplied id and so would
+          // not survive a merge refactoring under bag semantics.)
+    P.addFunction(Function::makeQuery(
+        funcName("find", S.Name, 0), {{"v", S.Data[0].Type}},
+        makeSelect({PkRef(), SRef(1)}, SC,
+                   makeCmp(SRef(0), CmpOp::Eq, param("v")))));
+    return true;
+  default:
+    break;
+  }
+
+  // Extended pair patterns: get/set further satellite attributes. Capped at
+  // the first three satellite attributes so that merge refactorings may drop
+  // trailing (write-only) attributes without losing equivalence.
+  size_t Ext = Idx - 9;
+  unsigned K = static_cast<unsigned>(1 + Ext / 2);
+  if (K >= S.Data.size() || K >= 3)
+    return false;
+  if (Ext % 2 == 0) {
+    P.addFunction(Function::makeQuery(
+        funcName("get", S.Name, K), {{"k", ValueType::Int}},
+        makeSelect({SRef(K)}, SC, makeCmp(PkRef(), CmpOp::Eq, param("k")))));
+  } else {
+    std::vector<StmtPtr> Body;
+    Body.push_back(std::make_unique<UpdateStmt>(
+        SC, makeCmp(PkRef(), CmpOp::Eq, param("k")), SRef(K), param("v")));
+    P.addFunction(Function::makeUpdate(
+        funcName("set", S.Name, K),
+        {{"k", ValueType::Int}, {"v", S.Data[K].Type}}, std::move(Body)));
+  }
+  return true;
+}
+
+} // namespace
+
+Benchmark migrator::generateBenchmark(const GenSpec &Spec) {
+  assert(Spec.NumTables >= 2 * Spec.SatellitePairs + 1 &&
+         "not enough tables for the requested satellite pairs");
+  assert(Spec.NumTables <= std::size(NamePool) + Spec.SatellitePairs &&
+         "table-name pool exhausted");
+
+  // --- Lay out the source tables ---
+  std::vector<TableInfo> Tables;
+  unsigned PoolIdx = 0;
+  for (unsigned P = 0; P < Spec.SatellitePairs; ++P) {
+    std::string Main = NamePool[PoolIdx++];
+    TableInfo M;
+    M.Name = Main;
+    M.Pk = Main + "Id";
+    M.PairIndex = static_cast<int>(P);
+    Tables.push_back(M);
+    TableInfo S;
+    S.Name = Main + "Info";
+    S.Pk = M.Pk; // Shared key: the 1-1 link.
+    S.IsSatellite = true;
+    S.PairIndex = static_cast<int>(P);
+    Tables.push_back(S);
+  }
+  std::vector<size_t> StandaloneIdx;
+  while (Tables.size() < Spec.NumTables) {
+    TableInfo T;
+    T.Name = NamePool[PoolIdx++];
+    T.Pk = T.Name + "Id";
+    StandaloneIdx.push_back(Tables.size());
+    Tables.push_back(T);
+  }
+
+  // Foreign keys between consecutive standalone tables (odd positions point
+  // at their predecessor).
+  unsigned NumFks = 0;
+  if (Spec.WithForeignKeys)
+    for (size_t I = 1; I < StandaloneIdx.size(); I += 2) {
+      TableInfo &T = Tables[StandaloneIdx[I]];
+      const TableInfo &Prev = Tables[StandaloneIdx[I - 1]];
+      T.Fk = Prev.Pk;
+      T.FkTable = Prev.Name;
+      ++NumFks;
+    }
+
+  // Distribute data attributes: two per table minimum, remainder round-robin.
+  assert(Spec.NumAttrs >= Spec.NumTables + NumFks + 2 * Spec.NumTables &&
+         "attribute budget too small for the table count");
+  unsigned DataTotal = Spec.NumAttrs - Spec.NumTables - NumFks;
+  std::vector<unsigned> DataCount(Tables.size(), 2);
+  unsigned Remaining = DataTotal - 2 * Spec.NumTables;
+  for (size_t I = 0; Remaining > 0; I = (I + 1) % Tables.size(), --Remaining)
+    ++DataCount[I];
+  for (size_t I = 0; I < Tables.size(); ++I)
+    for (unsigned J = 0; J < DataCount[I]; ++J)
+      Tables[I].Data.push_back(
+          {Tables[I].Name + "C" + std::to_string(J), dataType(J)});
+
+  // Shared splits: pick pairs of standalone tables (largest first) and turn
+  // their index-2 data attribute into a media column ("media<s>A"/"…B");
+  // the target moves both into one shared lookup table. Index 2 is read by
+  // the extended get/set/find patterns, so the migrated program must reach
+  // it through the shared table's join.
+  std::vector<std::pair<size_t, size_t>> SharedPairs;
+  {
+    std::vector<size_t> ByData = StandaloneIdx;
+    std::stable_sort(ByData.begin(), ByData.end(),
+                     [&Tables](size_t A, size_t B) {
+                       return Tables[A].Data.size() > Tables[B].Data.size();
+                     });
+    // Pair tables must not be foreign-key partners: the shared link column
+    // would otherwise leak into the natural join of their fk join queries,
+    // which no migrated program could reproduce.
+    auto FkAdjacent = [&Tables](size_t A, size_t B) {
+      return Tables[A].FkTable == Tables[B].Name ||
+             Tables[B].FkTable == Tables[A].Name;
+    };
+    std::vector<bool> Used(Tables.size(), false);
+    for (unsigned Sh = 0; Sh < Spec.SharedSplits; ++Sh) {
+      bool Found = false;
+      for (size_t I = 0; I < ByData.size() && !Found; ++I) {
+        size_t A = ByData[I];
+        if (Used[A] || Tables[A].Data.size() < 4)
+          continue;
+        for (size_t J = I + 1; J < ByData.size() && !Found; ++J) {
+          size_t B = ByData[J];
+          if (Used[B] || Tables[B].Data.size() < 4 || FkAdjacent(A, B))
+            continue;
+          Used[A] = Used[B] = true;
+          std::string Tag = "media" + std::to_string(Sh);
+          Tables[A].Data[2] = {Tag + "A", ValueType::Binary};
+          Tables[B].Data[2] = {Tag + "B", ValueType::Binary};
+          SharedPairs.emplace_back(A, B);
+          Found = true;
+        }
+      }
+      if (!Found)
+        break;
+    }
+  }
+
+  // --- Build the source schema ---
+  // Benchmark names may contain characters that are not legal identifiers
+  // ("2030Club", "visible-closet"); schema names must reparse.
+  std::string Ident = Spec.Name;
+  for (char &C : Ident)
+    if (C == '-')
+      C = '_';
+  if (!Ident.empty() && std::isdigit(static_cast<unsigned char>(Ident[0])))
+    Ident.insert(Ident.begin(), 'B');
+  Schema Source(Ident + "Src");
+  for (const TableInfo &T : Tables) {
+    std::vector<Attribute> Attrs;
+    Attrs.push_back({T.Pk, ValueType::Int});
+    if (!T.Fk.empty())
+      Attrs.push_back({T.Fk, ValueType::Int});
+    Attrs.insert(Attrs.end(), T.Data.begin(), T.Data.end());
+    Source.addTable(TableSchema(T.Name, std::move(Attrs)));
+  }
+  assert(Source.getNumAttrs() == Spec.NumAttrs &&
+         "attribute distribution does not match the spec");
+
+  // --- Build the program: round-robin over units and pattern indices ---
+  ProgramBuilder Builder(Tables);
+  std::vector<std::vector<size_t>> Units;
+  for (unsigned P = 0; P < Spec.SatellitePairs; ++P)
+    Units.push_back({2 * static_cast<size_t>(P), 2 * static_cast<size_t>(P) + 1});
+  for (size_t I : StandaloneIdx)
+    Units.push_back({I});
+
+  Program Prog;
+  std::vector<bool> Exhausted(Units.size(), false);
+  size_t PatternIdx = 0;
+  while (Prog.getNumFunctions() < Spec.NumFuncs) {
+    bool Progress = false;
+    for (size_t U = 0;
+         U < Units.size() && Prog.getNumFunctions() < Spec.NumFuncs; ++U) {
+      if (Exhausted[U])
+        continue;
+      size_t Before = Prog.getNumFunctions();
+      if (!Builder.emit(Prog, Units[U], PatternIdx)) {
+        Exhausted[U] = true;
+        continue;
+      }
+      Progress |= Prog.getNumFunctions() > Before;
+      Progress = true;
+    }
+    ++PatternIdx;
+    if (!Progress) {
+      bool AllExhausted = true;
+      for (bool E : Exhausted)
+        AllExhausted &= E;
+      assert(!AllExhausted && "function budget exceeds available patterns");
+      (void)AllExhausted;
+    }
+  }
+  assert(Prog.getNumFunctions() == Spec.NumFuncs && "function count mismatch");
+  assert(!validateProgram(Prog, Source) && "generated program is ill-formed");
+
+  // --- Apply the target refactorings ---
+  // Work on a mutable copy of the table layout.
+  struct TgtTable {
+    std::string Name;
+    std::vector<Attribute> Attrs;
+  };
+  std::vector<TgtTable> Tgt;
+  for (const TableSchema &T : Source.getTables())
+    Tgt.push_back({T.getName(), T.getAttrs()});
+
+  auto FindTgt = [&Tgt](const std::string &Name) -> TgtTable & {
+    for (TgtTable &T : Tgt)
+      if (T.Name == Name)
+        return T;
+    assert(false && "target table missing");
+    return Tgt.front();
+  };
+
+  // Merges: fold each merged pair's satellite into its main table, dropping
+  // the duplicate key and the last MergeDropAttrs write-only attributes.
+  for (unsigned P = 0; P < Spec.Merges && P < Spec.SatellitePairs; ++P) {
+    const TableInfo &M = Tables[2 * P];
+    const TableInfo &S = Tables[2 * P + 1];
+    TgtTable &Main = FindTgt(M.Name);
+    unsigned Drop = std::min<unsigned>(
+        Spec.MergeDropAttrs,
+        S.Data.size() > 3 ? static_cast<unsigned>(S.Data.size()) - 3 : 0);
+    for (size_t K = 0; K + Drop < S.Data.size(); ++K)
+      Main.Attrs.push_back(S.Data[K]);
+    Tgt.erase(std::remove_if(Tgt.begin(), Tgt.end(),
+                             [&S](const TgtTable &T) {
+                               return T.Name == S.Name;
+                             }),
+              Tgt.end());
+  }
+
+  // Moves: relocate each designated pair's last main data attribute into the
+  // satellite.
+  for (unsigned P = Spec.Merges;
+       P < Spec.Merges + Spec.MovedAttrs && P < Spec.SatellitePairs; ++P) {
+    const TableInfo &M = Tables[2 * P];
+    const TableInfo &S = Tables[2 * P + 1];
+    if (M.Data.size() < 3)
+      continue;
+    TgtTable &Main = FindTgt(M.Name);
+    TgtTable &Sat = FindTgt(S.Name);
+    Attribute Moved = M.Data.back();
+    Main.Attrs.erase(std::remove_if(Main.Attrs.begin(), Main.Attrs.end(),
+                                    [&Moved](const Attribute &A) {
+                                      return A.Name == Moved.Name;
+                                    }),
+                     Main.Attrs.end());
+    Sat.Attrs.push_back(Moved);
+  }
+
+  // Shared splits: remove the media columns from both tables, link both to
+  // a fresh shared lookup table through a fresh surrogate key.
+  for (unsigned Sh = 0; Sh < SharedPairs.size(); ++Sh) {
+    auto [A, B] = SharedPairs[Sh];
+    std::string Tag = "media" + std::to_string(Sh);
+    TgtTable &TA2 = FindTgt(Tables[A].Name);
+    TgtTable &TB2 = FindTgt(Tables[B].Name);
+    auto DropMedia = [](TgtTable &T, const std::string &Name) {
+      T.Attrs.erase(std::remove_if(T.Attrs.begin(), T.Attrs.end(),
+                                   [&Name](const Attribute &At) {
+                                     return At.Name == Name;
+                                   }),
+                    T.Attrs.end());
+    };
+    DropMedia(TA2, Tag + "A");
+    DropMedia(TB2, Tag + "B");
+    TA2.Attrs.push_back({Tag + "Id", ValueType::Int});
+    TB2.Attrs.push_back({Tag + "Id", ValueType::Int});
+    TgtTable Store;
+    Store.Name = Tag + "Store";
+    Store.Attrs.push_back({Tag + "Id", ValueType::Int});
+    Store.Attrs.push_back({Tag, ValueType::Binary});
+    Tgt.push_back(std::move(Store));
+  }
+
+  // Splits: the standalone tables with the most data attributes each lose
+  // data attributes [1, 1 + SplitAttrs) to a fresh "<T>Ext" table, linked by
+  // a fresh surrogate key present in both.
+  std::vector<size_t> SplitOrder;
+  for (size_t I : StandaloneIdx) {
+    bool InShared = false;
+    for (auto [A, B] : SharedPairs)
+      InShared |= I == A || I == B;
+    if (!InShared)
+      SplitOrder.push_back(I);
+  }
+  std::stable_sort(SplitOrder.begin(), SplitOrder.end(),
+                   [&Tables](size_t A, size_t B) {
+                     return Tables[A].Data.size() > Tables[B].Data.size();
+                   });
+  for (unsigned SplitNo = 0;
+       SplitNo < Spec.Splits && SplitNo < SplitOrder.size(); ++SplitNo) {
+    const TableInfo &T = Tables[SplitOrder[SplitNo]];
+    if (T.Data.size() < Spec.SplitAttrs + 2)
+      continue;
+    TgtTable &Main = FindTgt(T.Name);
+    std::string LinkName = T.Name + "ExtId";
+    TgtTable Ext;
+    Ext.Name = T.Name + "Ext";
+    Ext.Attrs.push_back({LinkName, ValueType::Int});
+    // Move data attrs [1, 1 + SplitAttrs).
+    std::vector<std::string> MovedNames;
+    for (unsigned K = 1; K <= Spec.SplitAttrs && K < T.Data.size(); ++K)
+      MovedNames.push_back(T.Data[K].Name);
+    for (const std::string &Name : MovedNames) {
+      auto It = std::find_if(Main.Attrs.begin(), Main.Attrs.end(),
+                             [&Name](const Attribute &A) {
+                               return A.Name == Name;
+                             });
+      assert(It != Main.Attrs.end());
+      Ext.Attrs.push_back(*It);
+      Main.Attrs.erase(It);
+    }
+    Main.Attrs.push_back({LinkName, ValueType::Int});
+    Tgt.push_back(std::move(Ext));
+  }
+
+  // Attribute renames: the first data attribute of the first RenamedAttrs
+  // non-split standalone tables gains a "Fld" suffix.
+  unsigned Renamed = 0;
+  for (size_t I : StandaloneIdx) {
+    if (Renamed >= Spec.RenamedAttrs)
+      break;
+    const TableInfo &T = Tables[I];
+    bool WasSplit = false;
+    for (const TgtTable &TT : Tgt)
+      WasSplit |= TT.Name == T.Name + "Ext";
+    if (WasSplit)
+      continue;
+    TgtTable &Main = FindTgt(T.Name);
+    for (Attribute &A : Main.Attrs)
+      if (A.Name == T.Data[0].Name) {
+        A.Name += "Fld";
+        ++Renamed;
+        break;
+      }
+  }
+
+  // Table renames: the first RenamedTables standalone non-split tables gain
+  // a "Tbl" suffix.
+  unsigned RenamedT = 0;
+  for (size_t I : StandaloneIdx) {
+    if (RenamedT >= Spec.RenamedTables)
+      break;
+    const TableInfo &T = Tables[I];
+    bool WasSplit = false;
+    for (const TgtTable &TT : Tgt)
+      WasSplit |= TT.Name == T.Name + "Ext";
+    if (WasSplit)
+      continue;
+    FindTgt(T.Name).Name = T.Name + "Tbl";
+    ++RenamedT;
+  }
+
+  // Added attributes: fresh string columns appended round-robin to the
+  // standalone tables (by current target name).
+  for (unsigned A = 0; A < Spec.AddedAttrs; ++A) {
+    TgtTable &T = Tgt[(Tgt.size() - 1 - A % Tgt.size())];
+    T.Attrs.push_back({"extraA" + std::to_string(A), ValueType::String});
+  }
+
+  Schema Target(Ident + "Tgt");
+  for (TgtTable &T : Tgt)
+    Target.addTable(TableSchema(T.Name, std::move(T.Attrs)));
+
+  Benchmark B;
+  B.Name = Spec.Name;
+  B.Description = Spec.Description;
+  B.Category = "real-world";
+  B.Source = std::move(Source);
+  B.Target = std::move(Target);
+  B.Prog = std::move(Prog);
+  return B;
+}

@@ -1,0 +1,36 @@
+//===- benchsuite/TextbookDefs.h - Textbook benchmark sources -----*- C++ -*-===//
+//
+// Internal header of migrator_benchsuite: the embedded surface-syntax
+// sources of the ten textbook benchmarks.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_BENCHSUITE_TEXTBOOKDEFS_H
+#define MIGRATOR_BENCHSUITE_TEXTBOOKDEFS_H
+
+#include <string>
+
+namespace migrator {
+namespace benchsuite {
+
+/// One embedded textbook benchmark: its Table 1 row identity plus the
+/// surface syntax of both schemas and the source program.
+struct TextbookDef {
+  const char *Name;
+  const char *Description;
+  const char *Text; ///< Contains schemas `Src`, `Tgt`, and program `App`.
+};
+
+/// Returns the definition for \p Name, or nullptr.
+const TextbookDef *findTextbookDef(const std::string &Name);
+
+/// Number of textbook definitions (10).
+size_t numTextbookDefs();
+
+/// Definition by index, in Table 1 order.
+const TextbookDef &textbookDefAt(size_t Index);
+
+} // namespace benchsuite
+} // namespace migrator
+
+#endif // MIGRATOR_BENCHSUITE_TEXTBOOKDEFS_H

@@ -1,0 +1,501 @@
+//===- eval/Evaluator.cpp - Database program interpreter -------------------===//
+
+#include "eval/Evaluator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+using namespace migrator;
+
+std::string Invocation::str() const {
+  std::ostringstream OS;
+  OS << Func << "(";
+  for (size_t I = 0; I < Args.size(); ++I) {
+    if (I != 0)
+      OS << ", ";
+    OS << Args[I].str();
+  }
+  OS << ")";
+  return OS.str();
+}
+
+std::string migrator::sequenceStr(const InvocationSeq &Seq) {
+  std::ostringstream OS;
+  for (size_t I = 0; I < Seq.size(); ++I) {
+    if (I != 0)
+      OS << "; ";
+    OS << Seq[I].str();
+  }
+  return OS.str();
+}
+
+namespace {
+
+using Env = std::map<std::string, Value>;
+
+/// An intermediate query value: qualified columns plus rows of values.
+struct VirtualTable {
+  std::vector<QualifiedAttr> Columns;
+  std::vector<Row> Rows;
+
+  /// Resolves \p Ref to a column index: qualified references match exactly;
+  /// unqualified references match the first column with that attribute name.
+  std::optional<size_t> findCol(const AttrRef &Ref) const {
+    for (size_t I = 0; I < Columns.size(); ++I) {
+      if (Columns[I].Attr != Ref.Attr)
+        continue;
+      if (!Ref.isQualified() || Columns[I].Table == Ref.Table)
+        return I;
+    }
+    return std::nullopt;
+  }
+};
+
+/// The provenance-carrying result of evaluating a join chain: for each join
+/// row, the index of the contributing source row in each member table.
+struct JoinRows {
+  std::vector<std::vector<size_t>> Rows; ///< [joinRow][tableIdx] -> row index.
+};
+
+/// Evaluates \p Op in \p E; returns nullopt for an unbound parameter.
+std::optional<Value> evalOperand(const Operand &Op, const Env &E) {
+  if (Op.isConstant())
+    return Op.getConstant();
+  auto It = E.find(Op.getParamName());
+  if (It == E.end())
+    return std::nullopt;
+  return It->second;
+}
+
+/// Joins the chain's member tables: enumerates row combinations consistent
+/// with the chain's attribute equivalence classes, depth-first over tables.
+JoinRows computeJoinRows(const JoinChain &Chain, const Schema &S,
+                         const Database &DB) {
+  const std::vector<std::string> &Tables = Chain.getTables();
+  std::vector<std::vector<QualifiedAttr>> Classes = Chain.attrClasses(S);
+
+  // Map each (tableIdx, attrIdx) to its class id.
+  std::vector<std::vector<unsigned>> ClassOf(Tables.size());
+  for (size_t T = 0; T < Tables.size(); ++T) {
+    const TableSchema &TS = S.getTable(Tables[T]);
+    ClassOf[T].resize(TS.getNumAttrs(), ~0u);
+    for (unsigned A = 0; A < TS.getNumAttrs(); ++A) {
+      QualifiedAttr QA{Tables[T], TS.getAttrs()[A].Name};
+      for (unsigned C = 0; C < Classes.size(); ++C)
+        if (std::find(Classes[C].begin(), Classes[C].end(), QA) !=
+            Classes[C].end()) {
+          ClassOf[T][A] = C;
+          break;
+        }
+      assert(ClassOf[T][A] != ~0u && "attribute missing from class partition");
+    }
+  }
+
+  JoinRows Result;
+  std::vector<size_t> Partial(Tables.size());
+  std::vector<std::optional<Value>> ClassVal(Classes.size());
+
+  // Depth-first extension of partial rows, checking class consistency
+  // incrementally.
+  auto Rec = [&](auto &&Self, size_t T) -> void {
+    if (T == Tables.size()) {
+      Result.Rows.push_back(Partial);
+      return;
+    }
+    const Table &Tbl = DB.getTable(Tables[T]);
+    for (size_t R = 0; R < Tbl.size(); ++R) {
+      const Row &Rw = Tbl.getRow(R);
+      // Check and record class values for this table's attributes.
+      std::vector<std::pair<unsigned, std::optional<Value>>> Saved;
+      bool Ok = true;
+      for (unsigned A = 0; A < Rw.size() && Ok; ++A) {
+        unsigned C = ClassOf[T][A];
+        if (ClassVal[C].has_value()) {
+          if (*ClassVal[C] != Rw[A])
+            Ok = false;
+        } else {
+          Saved.emplace_back(C, ClassVal[C]);
+          ClassVal[C] = Rw[A];
+        }
+      }
+      if (Ok) {
+        Partial[T] = R;
+        Self(Self, T + 1);
+      }
+      for (auto It = Saved.rbegin(); It != Saved.rend(); ++It)
+        ClassVal[It->first] = It->second;
+    }
+  };
+  Rec(Rec, 0);
+  return Result;
+}
+
+/// Materializes join rows into a virtual table with one column per
+/// qualified attribute of the chain.
+VirtualTable materialize(const JoinChain &Chain, const Schema &S,
+                         const Database &DB, const JoinRows &JR) {
+  VirtualTable VT;
+  VT.Columns = Chain.allAttrs(S);
+  const std::vector<std::string> &Tables = Chain.getTables();
+  for (const std::vector<size_t> &Prov : JR.Rows) {
+    Row Out;
+    Out.reserve(VT.Columns.size());
+    for (size_t T = 0; T < Tables.size(); ++T) {
+      const Row &Src = DB.getTable(Tables[T]).getRow(Prov[T]);
+      Out.insert(Out.end(), Src.begin(), Src.end());
+    }
+    VT.Rows.push_back(std::move(Out));
+  }
+  return VT;
+}
+
+class EvalContext {
+public:
+  EvalContext(const Schema &S, const Database &DB, const Env &E)
+      : S(S), DB(DB), E(E) {}
+
+  /// Evaluates predicate \p P over row \p R of \p VT. Returns nullopt on
+  /// ill-formed constructs (unresolvable attribute, unbound parameter).
+  std::optional<bool> evalPred(const Pred &P, const VirtualTable &VT,
+                               const Row &R) {
+    switch (P.getKind()) {
+    case Pred::Kind::Cmp: {
+      const auto &C = static_cast<const CmpPred &>(P);
+      std::optional<size_t> L = VT.findCol(C.getLhs());
+      if (!L)
+        return std::nullopt;
+      Value Rhs;
+      if (C.rhsIsAttr()) {
+        std::optional<size_t> RC = VT.findCol(C.getRhsAttr());
+        if (!RC)
+          return std::nullopt;
+        Rhs = R[*RC];
+      } else {
+        std::optional<Value> V = evalOperand(C.getRhsOperand(), E);
+        if (!V)
+          return std::nullopt;
+        Rhs = *V;
+      }
+      return evalCmpOp(C.getOp(), R[*L], Rhs);
+    }
+    case Pred::Kind::In: {
+      const auto &I = static_cast<const InPred &>(P);
+      std::optional<size_t> L = VT.findCol(I.getLhs());
+      if (!L)
+        return std::nullopt;
+      std::optional<VirtualTable> Sub = evalQueryRec(I.getSubQuery());
+      if (!Sub || Sub->Columns.size() != 1)
+        return std::nullopt;
+      for (const Row &SR : Sub->Rows)
+        if (SR[0] == R[*L])
+          return true;
+      return false;
+    }
+    case Pred::Kind::And:
+    case Pred::Kind::Or: {
+      const auto &B = static_cast<const BinaryPred &>(P);
+      std::optional<bool> L = evalPred(B.getLhs(), VT, R);
+      std::optional<bool> Rv = evalPred(B.getRhs(), VT, R);
+      if (!L || !Rv)
+        return std::nullopt;
+      return P.getKind() == Pred::Kind::And ? (*L && *Rv) : (*L || *Rv);
+    }
+    case Pred::Kind::Not: {
+      std::optional<bool> Sub =
+          evalPred(static_cast<const NotPred &>(P).getSubPred(), VT, R);
+      if (!Sub)
+        return std::nullopt;
+      return !*Sub;
+    }
+    }
+    assert(false && "unknown predicate kind");
+    return std::nullopt;
+  }
+
+  /// Compositional query evaluation.
+  std::optional<VirtualTable> evalQueryRec(const Query &Q) {
+    switch (Q.getKind()) {
+    case Query::Kind::Chain: {
+      const JoinChain &Chain = static_cast<const ChainQuery &>(Q).getJoinChain();
+      for (const std::string &T : Chain.getTables())
+        if (!DB.findTable(T))
+          return std::nullopt;
+      JoinRows JR = computeJoinRows(Chain, S, DB);
+      return materialize(Chain, S, DB, JR);
+    }
+    case Query::Kind::Filter: {
+      const auto &F = static_cast<const FilterQuery &>(Q);
+      std::optional<VirtualTable> Sub = evalQueryRec(F.getSubQuery());
+      if (!Sub)
+        return std::nullopt;
+      VirtualTable Out;
+      Out.Columns = Sub->Columns;
+      for (const Row &R : Sub->Rows) {
+        std::optional<bool> Keep = evalPred(F.getPred(), *Sub, R);
+        if (!Keep)
+          return std::nullopt;
+        if (*Keep)
+          Out.Rows.push_back(R);
+      }
+      return Out;
+    }
+    case Query::Kind::Project: {
+      const auto &P = static_cast<const ProjectQuery &>(Q);
+      std::optional<VirtualTable> Sub = evalQueryRec(P.getSubQuery());
+      if (!Sub)
+        return std::nullopt;
+      std::vector<size_t> Cols;
+      for (const AttrRef &A : P.getAttrs()) {
+        std::optional<size_t> C = Sub->findCol(A);
+        if (!C)
+          return std::nullopt;
+        Cols.push_back(*C);
+      }
+      VirtualTable Out;
+      for (size_t C : Cols)
+        Out.Columns.push_back(Sub->Columns[C]);
+      for (const Row &R : Sub->Rows) {
+        Row Proj;
+        Proj.reserve(Cols.size());
+        for (size_t C : Cols)
+          Proj.push_back(R[C]);
+        Out.Rows.push_back(std::move(Proj));
+      }
+      return Out;
+    }
+    }
+    assert(false && "unknown query kind");
+    return std::nullopt;
+  }
+
+private:
+  const Schema &S;
+  const Database &DB;
+  const Env &E;
+};
+
+/// Binds positional \p Args to \p F's parameters. Returns nullopt on arity
+/// or type mismatch.
+std::optional<Env> bindParams(const Function &F,
+                              const std::vector<Value> &Args) {
+  const std::vector<Param> &Ps = F.getParams();
+  if (Ps.size() != Args.size())
+    return std::nullopt;
+  Env E;
+  for (size_t I = 0; I < Ps.size(); ++I) {
+    if (!Args[I].hasType(Ps[I].Type))
+      return std::nullopt;
+    E.emplace(Ps[I].Name, Args[I]);
+  }
+  return E;
+}
+
+/// Executes an insert statement: one row per chain table; attributes in the
+/// same join-equivalence class share an explicit value or a fresh UID
+/// (Sec. 3.1). Returns false on ill-formed constructs or conflicting
+/// explicit assignments to one class.
+bool execInsert(const InsertStmt &I, const Schema &S, const Env &E,
+                Database &DB, UidGen &Uids) {
+  const JoinChain &Chain = I.getChain();
+  for (const std::string &T : Chain.getTables())
+    if (!DB.findTable(T))
+      return false;
+
+  std::vector<std::vector<QualifiedAttr>> Classes = Chain.attrClasses(S);
+  auto ClassIdxOf = [&Classes](const QualifiedAttr &QA) -> std::optional<unsigned> {
+    for (unsigned C = 0; C < Classes.size(); ++C)
+      if (std::find(Classes[C].begin(), Classes[C].end(), QA) !=
+          Classes[C].end())
+        return C;
+    return std::nullopt;
+  };
+
+  // Assign explicit values to classes.
+  std::vector<std::optional<Value>> ClassVal(Classes.size());
+  for (const auto &[Ref, Op] : I.getValues()) {
+    std::optional<QualifiedAttr> QA = Chain.resolve(Ref, S);
+    if (!QA)
+      return false;
+    std::optional<unsigned> C = ClassIdxOf(*QA);
+    if (!C)
+      return false;
+    std::optional<Value> V = evalOperand(Op, E);
+    if (!V)
+      return false;
+    if (ClassVal[*C].has_value() && *ClassVal[*C] != *V)
+      return false; // Conflicting assignments to one join class.
+    ClassVal[*C] = *V;
+  }
+
+  // Unassigned classes get fresh UIDs.
+  for (std::optional<Value> &V : ClassVal)
+    if (!V.has_value())
+      V = Uids.fresh();
+
+  // Emit one row per member table.
+  for (const std::string &T : Chain.getTables()) {
+    const TableSchema &TS = S.getTable(T);
+    Row R;
+    R.reserve(TS.getNumAttrs());
+    for (const Attribute &A : TS.getAttrs()) {
+      std::optional<unsigned> C = ClassIdxOf({T, A.Name});
+      assert(C && "attribute missing from class partition");
+      R.push_back(*ClassVal[*C]);
+    }
+    DB.getTable(T).insertRow(std::move(R));
+  }
+  return true;
+}
+
+/// Returns, for each chain table, the provenance row indices of join rows
+/// satisfying \p P (or of all join rows if \p P is null). Returns nullopt on
+/// ill-formed constructs.
+std::optional<std::vector<std::vector<size_t>>>
+matchingProvenance(const JoinChain &Chain, const Pred *P, const Schema &S,
+                   const Env &E, const Database &DB) {
+  for (const std::string &T : Chain.getTables())
+    if (!DB.findTable(T))
+      return std::nullopt;
+  JoinRows JR = computeJoinRows(Chain, S, DB);
+  VirtualTable VT = materialize(Chain, S, DB, JR);
+  EvalContext Ctx(S, DB, E);
+
+  std::vector<std::vector<size_t>> Matching;
+  for (size_t R = 0; R < VT.Rows.size(); ++R) {
+    bool Keep = true;
+    if (P) {
+      std::optional<bool> B = Ctx.evalPred(*P, VT, VT.Rows[R]);
+      if (!B)
+        return std::nullopt;
+      Keep = *B;
+    }
+    if (Keep)
+      Matching.push_back(JR.Rows[R]);
+  }
+  return Matching;
+}
+
+bool execDelete(const DeleteStmt &D, const Schema &S, const Env &E,
+                Database &DB) {
+  const JoinChain &Chain = D.getChain();
+  std::optional<std::vector<std::vector<size_t>>> Matching =
+      matchingProvenance(Chain, D.getPred(), S, E, DB);
+  if (!Matching)
+    return false;
+
+  const std::vector<std::string> &Tables = Chain.getTables();
+  for (const std::string &Target : D.getTargets()) {
+    auto It = std::find(Tables.begin(), Tables.end(), Target);
+    if (It == Tables.end())
+      return false;
+    size_t TIdx = static_cast<size_t>(It - Tables.begin());
+    std::vector<size_t> Doomed;
+    for (const std::vector<size_t> &Prov : *Matching)
+      Doomed.push_back(Prov[TIdx]);
+    DB.getTable(Target).eraseRows(Doomed);
+  }
+  return true;
+}
+
+bool execUpdate(const UpdateStmt &U, const Schema &S, const Env &E,
+                Database &DB) {
+  const JoinChain &Chain = U.getChain();
+  std::optional<QualifiedAttr> Target = Chain.resolve(U.getTarget(), S);
+  if (!Target)
+    return false;
+  std::optional<Value> V = evalOperand(U.getValue(), E);
+  if (!V)
+    return false;
+
+  std::optional<std::vector<std::vector<size_t>>> Matching =
+      matchingProvenance(Chain, U.getPred(), S, E, DB);
+  if (!Matching)
+    return false;
+
+  const std::vector<std::string> &Tables = Chain.getTables();
+  auto It = std::find(Tables.begin(), Tables.end(), Target->Table);
+  assert(It != Tables.end() && "resolved attribute outside chain");
+  size_t TIdx = static_cast<size_t>(It - Tables.begin());
+  std::optional<unsigned> AttrIdx =
+      S.getTable(Target->Table).attrIndex(Target->Attr);
+  assert(AttrIdx && "resolved attribute missing from table");
+
+  Table &Tbl = DB.getTable(Target->Table);
+  for (const std::vector<size_t> &Prov : *Matching)
+    Tbl.setValue(Prov[TIdx], *AttrIdx, *V);
+  return true;
+}
+
+} // namespace
+
+bool Evaluator::callUpdate(const Function &F, const std::vector<Value> &Args,
+                           Database &DB, UidGen &Uids) const {
+  assert(F.isUpdate() && "callUpdate requires an update function");
+  std::optional<Env> E = bindParams(F, Args);
+  if (!E)
+    return false;
+  for (const StmtPtr &St : F.getBody()) {
+    bool Ok = false;
+    switch (St->getKind()) {
+    case Stmt::Kind::Insert:
+      Ok = execInsert(static_cast<const InsertStmt &>(*St), S, *E, DB, Uids);
+      break;
+    case Stmt::Kind::Delete:
+      Ok = execDelete(static_cast<const DeleteStmt &>(*St), S, *E, DB);
+      break;
+    case Stmt::Kind::Update:
+      Ok = execUpdate(static_cast<const UpdateStmt &>(*St), S, *E, DB);
+      break;
+    }
+    if (!Ok)
+      return false;
+  }
+  return true;
+}
+
+std::optional<ResultTable>
+Evaluator::callQuery(const Function &F, const std::vector<Value> &Args,
+                     const Database &DB) const {
+  assert(F.isQuery() && "callQuery requires a query function");
+  std::optional<Env> E = bindParams(F, Args);
+  if (!E)
+    return std::nullopt;
+  return evalQuery(F.getQuery(), *E, DB);
+}
+
+std::optional<ResultTable>
+Evaluator::evalQuery(const Query &Q, const std::map<std::string, Value> &Env,
+                     const Database &DB) const {
+  EvalContext Ctx(S, DB, Env);
+  std::optional<VirtualTable> VT = Ctx.evalQueryRec(Q);
+  if (!VT)
+    return std::nullopt;
+  ResultTable RT;
+  RT.Columns.reserve(VT->Columns.size());
+  for (const QualifiedAttr &C : VT->Columns)
+    RT.Columns.push_back(C.str());
+  RT.Rows = std::move(VT->Rows);
+  return RT;
+}
+
+std::optional<ResultTable> migrator::runSequence(const Program &P,
+                                                 const Schema &S,
+                                                 const InvocationSeq &Seq) {
+  if (Seq.empty())
+    return std::nullopt;
+  Evaluator Eval(S);
+  Database DB(S);
+  UidGen Uids;
+  for (size_t I = 0; I + 1 < Seq.size(); ++I) {
+    const Function *F = P.findFunction(Seq[I].Func);
+    if (!F || !F->isUpdate())
+      return std::nullopt;
+    if (!Eval.callUpdate(*F, Seq[I].Args, DB, Uids))
+      return std::nullopt;
+  }
+  const Function *Last = P.findFunction(Seq.back().Func);
+  if (!Last || !Last->isQuery())
+    return std::nullopt;
+  return Eval.callQuery(*Last, Seq.back().Args, DB);
+}

@@ -1,0 +1,100 @@
+//===- eval/Evaluator.h - Database program interpreter ------------*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interpreter for the database-program language of Fig. 5, implementing
+/// the semantics of Sec. 3.1:
+///
+///  * queries evaluate Π/σ/join compositionally over bag-semantics tables;
+///  * join-chain inserts desugar into one insert per member table, with
+///    join-linked attributes sharing explicit values or fresh UIDs;
+///  * deletes and updates over join chains use tuple provenance — they act
+///    on the source tuples contributing to matching join rows.
+///
+/// Candidate programs produced by sketch instantiation may be ill-formed at
+/// runtime (e.g. an attribute hole pointing outside the chosen chain); the
+/// evaluator reports this via call status instead of asserting, and the
+/// synthesizer treats such candidates as failing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_EVAL_EVALUATOR_H
+#define MIGRATOR_EVAL_EVALUATOR_H
+
+#include "ast/Program.h"
+#include "relational/Database.h"
+#include "relational/ResultTable.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace migrator {
+
+/// Generator of globally fresh UID values within one program run.
+class UidGen {
+public:
+  Value fresh() { return Value::makeUid(Next++); }
+
+private:
+  uint64_t Next = 1;
+};
+
+/// One function call of an invocation sequence.
+struct Invocation {
+  std::string Func;
+  std::vector<Value> Args;
+
+  std::string str() const;
+};
+
+/// An invocation sequence: zero or more update calls followed by one query
+/// call (Sec. 3.2).
+using InvocationSeq = std::vector<Invocation>;
+
+/// Renders an invocation sequence, e.g. `addTA(1, "A", b"b0"); getTAInfo(1)`.
+std::string sequenceStr(const InvocationSeq &Seq);
+
+/// Interpreter over one schema.
+class Evaluator {
+public:
+  explicit Evaluator(const Schema &S) : S(S) {}
+
+  const Schema &getSchema() const { return S; }
+
+  /// Runs update function \p F with positional \p Args against \p DB.
+  /// Returns false if evaluation hit an ill-formed construct (the database
+  /// may be partially modified in that case).
+  bool callUpdate(const Function &F, const std::vector<Value> &Args,
+                  Database &DB, UidGen &Uids) const;
+
+  /// Runs query function \p F with positional \p Args. Returns nullopt on
+  /// ill-formed constructs.
+  std::optional<ResultTable> callQuery(const Function &F,
+                                       const std::vector<Value> &Args,
+                                       const Database &DB) const;
+
+  /// Evaluates a bare query (used by tests and the IN-subquery path).
+  std::optional<ResultTable>
+  evalQuery(const Query &Q, const std::map<std::string, Value> &Env,
+            const Database &DB) const;
+
+private:
+  const Schema &S;
+};
+
+/// Executes \p Seq on \p P from an empty instance of \p S and returns the
+/// final query's result. Returns nullopt if any call is ill-formed, names an
+/// unknown function, mismatches an arity, or if a non-final call is not an
+/// update / the final call is not a query.
+std::optional<ResultTable> runSequence(const Program &P, const Schema &S,
+                                       const InvocationSeq &Seq);
+
+} // namespace migrator
+
+#endif // MIGRATOR_EVAL_EVALUATOR_H

@@ -1,0 +1,319 @@
+//===- parse/Lexer.cpp - Tokenizer for the surface syntax -------------------===//
+
+#include "parse/Lexer.h"
+
+#include <cctype>
+#include <map>
+
+using namespace migrator;
+
+const char *migrator::tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::StringLiteral:
+    return "string literal";
+  case TokenKind::BinaryLiteral:
+    return "binary literal";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Eq:
+    return "'='";
+  case TokenKind::Ne:
+    return "'!='";
+  case TokenKind::Lt:
+    return "'<'";
+  case TokenKind::Le:
+    return "'<='";
+  case TokenKind::Gt:
+    return "'>'";
+  case TokenKind::Ge:
+    return "'>='";
+  case TokenKind::KwSchema:
+    return "'schema'";
+  case TokenKind::KwTable:
+    return "'table'";
+  case TokenKind::KwProgram:
+    return "'program'";
+  case TokenKind::KwWorkload:
+    return "'workload'";
+  case TokenKind::KwUpdate:
+    return "'update'";
+  case TokenKind::KwQuery:
+    return "'query'";
+  case TokenKind::KwInsert:
+    return "'insert'";
+  case TokenKind::KwInto:
+    return "'into'";
+  case TokenKind::KwValues:
+    return "'values'";
+  case TokenKind::KwDelete:
+    return "'delete'";
+  case TokenKind::KwFrom:
+    return "'from'";
+  case TokenKind::KwWhere:
+    return "'where'";
+  case TokenKind::KwSelect:
+    return "'select'";
+  case TokenKind::KwSet:
+    return "'set'";
+  case TokenKind::KwJoin:
+    return "'join'";
+  case TokenKind::KwOn:
+    return "'on'";
+  case TokenKind::KwAnd:
+    return "'and'";
+  case TokenKind::KwOr:
+    return "'or'";
+  case TokenKind::KwNot:
+    return "'not'";
+  case TokenKind::KwIn:
+    return "'in'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::Error:
+    return "invalid token";
+  }
+  return "<unknown>";
+}
+
+namespace {
+
+const std::map<std::string, TokenKind> &keywordTable() {
+  static const std::map<std::string, TokenKind> Table = {
+      {"schema", TokenKind::KwSchema},   {"table", TokenKind::KwTable},
+      {"program", TokenKind::KwProgram}, {"workload", TokenKind::KwWorkload},
+      {"update", TokenKind::KwUpdate},
+      {"query", TokenKind::KwQuery},     {"insert", TokenKind::KwInsert},
+      {"into", TokenKind::KwInto},       {"values", TokenKind::KwValues},
+      {"delete", TokenKind::KwDelete},   {"from", TokenKind::KwFrom},
+      {"where", TokenKind::KwWhere},     {"select", TokenKind::KwSelect},
+      {"set", TokenKind::KwSet},         {"join", TokenKind::KwJoin},
+      {"on", TokenKind::KwOn},           {"and", TokenKind::KwAnd},
+      {"or", TokenKind::KwOr},           {"not", TokenKind::KwNot},
+      {"in", TokenKind::KwIn},           {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},
+  };
+  return Table;
+}
+
+class LexerImpl {
+public:
+  explicit LexerImpl(std::string_view Src) : Src(Src) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> Tokens;
+    while (true) {
+      Token T = next();
+      bool Done = T.is(TokenKind::Eof) || T.is(TokenKind::Error);
+      Tokens.push_back(std::move(T));
+      if (Done)
+        break;
+    }
+    if (Tokens.back().is(TokenKind::Error)) {
+      Token Eof;
+      Eof.Kind = TokenKind::Eof;
+      Eof.Line = Line;
+      Eof.Col = Col;
+      Tokens.push_back(std::move(Eof));
+    }
+    return Tokens;
+  }
+
+private:
+  std::string_view Src;
+  size_t Pos = 0;
+  unsigned Line = 1, Col = 1;
+
+  bool atEnd() const { return Pos >= Src.size(); }
+  char peek() const { return Src[Pos]; }
+  char peekAhead() const { return Pos + 1 < Src.size() ? Src[Pos + 1] : '\0'; }
+
+  char advance() {
+    char C = Src[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+
+  void skipTrivia() {
+    while (!atEnd()) {
+      char C = peek();
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        advance();
+        continue;
+      }
+      if (C == '/' && peekAhead() == '/') {
+        while (!atEnd() && peek() != '\n')
+          advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  Token make(TokenKind K, std::string Text = "") {
+    Token T;
+    T.Kind = K;
+    T.Text = std::move(Text);
+    T.Line = StartLine;
+    T.Col = StartCol;
+    return T;
+  }
+
+  Token error(std::string Msg) { return make(TokenKind::Error, std::move(Msg)); }
+
+  unsigned StartLine = 1, StartCol = 1;
+
+  Token lexString(TokenKind Kind) {
+    // Opening quote already consumed.
+    std::string Text;
+    while (true) {
+      if (atEnd() || peek() == '\n')
+        return error("unterminated string literal");
+      char C = advance();
+      if (C == '"')
+        return make(Kind, std::move(Text));
+      if (C == '\\') {
+        if (atEnd())
+          return error("unterminated escape sequence");
+        char E = advance();
+        switch (E) {
+        case 'n':
+          Text.push_back('\n');
+          break;
+        case 't':
+          Text.push_back('\t');
+          break;
+        case '\\':
+        case '"':
+          Text.push_back(E);
+          break;
+        default:
+          return error(std::string("unknown escape sequence '\\") + E + "'");
+        }
+        continue;
+      }
+      Text.push_back(C);
+    }
+  }
+
+  Token next() {
+    skipTrivia();
+    StartLine = Line;
+    StartCol = Col;
+    if (atEnd())
+      return make(TokenKind::Eof);
+
+    char C = advance();
+    switch (C) {
+    case '(':
+      return make(TokenKind::LParen);
+    case ')':
+      return make(TokenKind::RParen);
+    case '{':
+      return make(TokenKind::LBrace);
+    case '}':
+      return make(TokenKind::RBrace);
+    case '[':
+      return make(TokenKind::LBracket);
+    case ']':
+      return make(TokenKind::RBracket);
+    case ',':
+      return make(TokenKind::Comma);
+    case ':':
+      return make(TokenKind::Colon);
+    case ';':
+      return make(TokenKind::Semi);
+    case '.':
+      return make(TokenKind::Dot);
+    case '=':
+      return make(TokenKind::Eq);
+    case '!':
+      if (!atEnd() && peek() == '=') {
+        advance();
+        return make(TokenKind::Ne);
+      }
+      return error("expected '=' after '!'");
+    case '<':
+      if (!atEnd() && peek() == '=') {
+        advance();
+        return make(TokenKind::Le);
+      }
+      return make(TokenKind::Lt);
+    case '>':
+      if (!atEnd() && peek() == '=') {
+        advance();
+        return make(TokenKind::Ge);
+      }
+      return make(TokenKind::Gt);
+    case '"':
+      return lexString(TokenKind::StringLiteral);
+    default:
+      break;
+    }
+
+    if (C == 'b' && !atEnd() && peek() == '"') {
+      advance(); // Consume the quote.
+      return lexString(TokenKind::BinaryLiteral);
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '-' && !atEnd() &&
+         std::isdigit(static_cast<unsigned char>(peek())))) {
+      std::string Digits(1, C);
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        Digits.push_back(advance());
+      Token T = make(TokenKind::IntLiteral, Digits);
+      T.IntVal = std::stoll(Digits);
+      return T;
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Ident(1, C);
+      while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                          peek() == '_'))
+        Ident.push_back(advance());
+      auto It = keywordTable().find(Ident);
+      if (It != keywordTable().end())
+        return make(It->second, std::move(Ident));
+      return make(TokenKind::Identifier, std::move(Ident));
+    }
+
+    return error(std::string("unexpected character '") + C + "'");
+  }
+};
+
+} // namespace
+
+std::vector<Token> migrator::lex(std::string_view Src) {
+  return LexerImpl(Src).run();
+}

@@ -1,0 +1,108 @@
+//===- parse/Lexer.h - Tokenizer for the surface syntax -----------*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the textual form of schemas and database programs. The
+/// surface syntax mirrors Fig. 5 with SQL-flavoured keywords:
+///
+/// \code
+///   schema CourseDB {
+///     table Instructor(InstId: int, IName: string, IPic: binary)
+///   }
+///   program P {
+///     query getInstructorInfo(id: int) {
+///       select IName, IPic from Instructor where InstId = id;
+///     }
+///   }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_PARSE_LEXER_H
+#define MIGRATOR_PARSE_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace migrator {
+
+/// Token kinds produced by the lexer.
+enum class TokenKind {
+  Eof,
+  Identifier,
+  IntLiteral,
+  StringLiteral,
+  BinaryLiteral,
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Colon,
+  Semi,
+  Dot,
+  // Comparison operators.
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  // Keywords.
+  KwSchema,
+  KwTable,
+  KwProgram,
+  KwWorkload,
+  KwUpdate,
+  KwQuery,
+  KwInsert,
+  KwInto,
+  KwValues,
+  KwDelete,
+  KwFrom,
+  KwWhere,
+  KwSelect,
+  KwSet,
+  KwJoin,
+  KwOn,
+  KwAnd,
+  KwOr,
+  KwNot,
+  KwIn,
+  KwTrue,
+  KwFalse,
+  // Lexing error (bad character / unterminated literal).
+  Error,
+};
+
+/// Returns a human-readable name for \p K (used in diagnostics).
+const char *tokenKindName(TokenKind K);
+
+/// One lexed token with its source location (1-based line/column).
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text;    ///< Identifier spelling / literal payload.
+  int64_t IntVal = 0;  ///< For IntLiteral.
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+/// Tokenizes \p Src. `//` line comments are skipped. A malformed input
+/// yields a trailing Error token (whose Text describes the problem)
+/// followed by Eof.
+std::vector<Token> lex(std::string_view Src);
+
+} // namespace migrator
+
+#endif // MIGRATOR_PARSE_LEXER_H

@@ -1,0 +1,612 @@
+//===- parse/Parser.cpp - Parser for schemas and programs -------------------===//
+
+#include "parse/Parser.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace migrator;
+
+const Schema *ParseOutput::findSchema(const std::string &Name) const {
+  for (const Schema &S : Schemas)
+    if (S.getName() == Name)
+      return &S;
+  return nullptr;
+}
+
+const NamedProgram *ParseOutput::findProgram(const std::string &Name) const {
+  for (const NamedProgram &P : Programs)
+    if (P.Name == Name)
+      return &P;
+  return nullptr;
+}
+
+std::vector<const NamedWorkload *>
+ParseOutput::workloadsFor(const std::string &ProgramName) const {
+  std::vector<const NamedWorkload *> Result;
+  for (const NamedWorkload &W : Workloads)
+    if (W.ProgramName == ProgramName)
+      Result.push_back(&W);
+  return Result;
+}
+
+std::string ParseError::str() const {
+  std::ostringstream OS;
+  OS << Line << ":" << Col << ": " << Msg;
+  return OS.str();
+}
+
+namespace {
+
+class ParserImpl {
+public:
+  explicit ParserImpl(std::string_view Src) : Tokens(lex(Src)) {}
+
+  std::variant<ParseOutput, ParseError> run() {
+    ParseOutput Out;
+    while (!check(TokenKind::Eof)) {
+      if (Failed)
+        break;
+      if (check(TokenKind::Error)) {
+        fail(cur().Text);
+        break;
+      }
+      if (match(TokenKind::KwSchema)) {
+        parseSchema(Out);
+      } else if (match(TokenKind::KwProgram)) {
+        parseProgram(Out);
+      } else if (match(TokenKind::KwWorkload)) {
+        parseWorkload(Out);
+      } else {
+        fail(std::string("expected 'schema', 'program', or 'workload', "
+                         "found ") +
+             tokenKindName(cur().Kind));
+      }
+    }
+    if (Failed)
+      return Diag;
+    return std::variant<ParseOutput, ParseError>(std::move(Out));
+  }
+
+private:
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  bool Failed = false;
+  ParseError Diag;
+
+  // Parameters of the function currently being parsed; used to classify
+  // unqualified identifiers as parameter references vs attribute names.
+  const std::vector<Param> *CurParams = nullptr;
+
+  const Token &cur() const { return Tokens[Pos]; }
+  const Token &prev() const { return Tokens[Pos - 1]; }
+
+  bool check(TokenKind K) const { return cur().Kind == K; }
+
+  bool match(TokenKind K) {
+    if (!check(K))
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  void fail(std::string Msg) {
+    if (Failed)
+      return;
+    Failed = true;
+    // A lexing error carries its own message; prefer it over the parser's
+    // "found invalid token" phrasing.
+    if (cur().Kind == TokenKind::Error)
+      Msg = cur().Text;
+    Diag = {cur().Line, cur().Col, std::move(Msg)};
+  }
+
+  bool expect(TokenKind K, const char *Context) {
+    if (match(K))
+      return true;
+    std::ostringstream OS;
+    OS << "expected " << tokenKindName(K) << " " << Context << ", found "
+       << tokenKindName(cur().Kind);
+    fail(OS.str());
+    return false;
+  }
+
+  std::string expectIdent(const char *Context) {
+    if (check(TokenKind::Identifier)) {
+      std::string Name = cur().Text;
+      ++Pos;
+      return Name;
+    }
+    std::ostringstream OS;
+    OS << "expected identifier " << Context << ", found "
+       << tokenKindName(cur().Kind);
+    fail(OS.str());
+    return "";
+  }
+
+  bool isParamName(const std::string &Name) const {
+    if (!CurParams)
+      return false;
+    for (const Param &P : *CurParams)
+      if (P.Name == Name)
+        return true;
+    return false;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Declarations
+  //===--------------------------------------------------------------------===//
+
+  std::optional<ValueType> parseType() {
+    std::string Name = expectIdent("as a type");
+    if (Failed)
+      return std::nullopt;
+    if (Name == "int")
+      return ValueType::Int;
+    if (Name == "string")
+      return ValueType::String;
+    if (Name == "binary")
+      return ValueType::Binary;
+    if (Name == "bool")
+      return ValueType::Bool;
+    fail("unknown type '" + Name + "' (expected int, string, binary, or bool)");
+    return std::nullopt;
+  }
+
+  void parseSchema(ParseOutput &Out) {
+    std::string Name = expectIdent("after 'schema'");
+    if (!expect(TokenKind::LBrace, "to open the schema body"))
+      return;
+    Schema S(Name);
+    while (!Failed && match(TokenKind::KwTable)) {
+      std::string TableName = expectIdent("after 'table'");
+      if (!expect(TokenKind::LParen, "to open the attribute list"))
+        return;
+      std::vector<Attribute> Attrs;
+      do {
+        std::string AttrName = expectIdent("as an attribute name");
+        if (!expect(TokenKind::Colon, "after the attribute name"))
+          return;
+        std::optional<ValueType> Ty = parseType();
+        if (Failed)
+          return;
+        Attrs.push_back({std::move(AttrName), *Ty});
+      } while (match(TokenKind::Comma));
+      if (!expect(TokenKind::RParen, "to close the attribute list"))
+        return;
+      if (S.findTable(TableName)) {
+        fail("duplicate table '" + TableName + "' in schema '" + Name + "'");
+        return;
+      }
+      S.addTable(TableSchema(std::move(TableName), std::move(Attrs)));
+    }
+    if (!expect(TokenKind::RBrace, "to close the schema body"))
+      return;
+    if (Out.findSchema(Name)) {
+      fail("duplicate schema '" + Name + "'");
+      return;
+    }
+    Out.Schemas.push_back(std::move(S));
+  }
+
+  void parseProgram(ParseOutput &Out) {
+    NamedProgram NP;
+    NP.Name = expectIdent("after 'program'");
+    if (match(TokenKind::KwOn))
+      NP.SchemaName = expectIdent("after 'on'");
+    if (!expect(TokenKind::LBrace, "to open the program body"))
+      return;
+    while (!Failed && (check(TokenKind::KwUpdate) || check(TokenKind::KwQuery))) {
+      bool IsQuery = check(TokenKind::KwQuery);
+      ++Pos;
+      std::optional<Function> F = parseFunction(IsQuery);
+      if (Failed)
+        return;
+      if (NP.Prog.findFunction(F->getName())) {
+        fail("duplicate function '" + F->getName() + "'");
+        return;
+      }
+      NP.Prog.addFunction(std::move(*F));
+    }
+    if (!expect(TokenKind::RBrace, "to close the program body"))
+      return;
+    if (Out.findProgram(NP.Name)) {
+      fail("duplicate program '" + NP.Name + "'");
+      return;
+    }
+    Out.Programs.push_back(std::move(NP));
+  }
+
+  void parseWorkload(ParseOutput &Out) {
+    NamedWorkload W;
+    W.Name = expectIdent("after 'workload'");
+    if (!expect(TokenKind::KwOn, "to bind the workload to a program"))
+      return;
+    W.ProgramName = expectIdent("after 'on'");
+    if (!expect(TokenKind::LBrace, "to open the workload body"))
+      return;
+    while (!Failed && !check(TokenKind::RBrace)) {
+      Invocation Inv;
+      Inv.Func = expectIdent("as a function name");
+      if (!expect(TokenKind::LParen, "to open the argument list"))
+        return;
+      if (!check(TokenKind::RParen)) {
+        do {
+          std::optional<Operand> Op = parseOperand();
+          if (Failed)
+            return;
+          if (Op->isParam()) {
+            fail("workload arguments must be literals");
+            return;
+          }
+          Inv.Args.push_back(Op->getConstant());
+        } while (match(TokenKind::Comma));
+      }
+      if (!expect(TokenKind::RParen, "to close the argument list") ||
+          !expect(TokenKind::Semi, "after the call"))
+        return;
+      W.Seq.push_back(std::move(Inv));
+    }
+    if (!expect(TokenKind::RBrace, "to close the workload body"))
+      return;
+    if (W.Seq.empty()) {
+      fail("workload '" + W.Name + "' is empty");
+      return;
+    }
+    Out.Workloads.push_back(std::move(W));
+  }
+
+  std::optional<Function> parseFunction(bool IsQuery) {
+    std::string Name = expectIdent("as the function name");
+    if (!expect(TokenKind::LParen, "to open the parameter list"))
+      return std::nullopt;
+    std::vector<Param> Params;
+    if (!check(TokenKind::RParen)) {
+      do {
+        std::string PName = expectIdent("as a parameter name");
+        if (!expect(TokenKind::Colon, "after the parameter name"))
+          return std::nullopt;
+        std::optional<ValueType> Ty = parseType();
+        if (Failed)
+          return std::nullopt;
+        Params.push_back({std::move(PName), *Ty});
+      } while (match(TokenKind::Comma));
+    }
+    if (!expect(TokenKind::RParen, "to close the parameter list"))
+      return std::nullopt;
+    if (!expect(TokenKind::LBrace, "to open the function body"))
+      return std::nullopt;
+
+    CurParams = &Params;
+    std::optional<Function> F;
+    if (IsQuery) {
+      QueryPtr Q = parseQueryBody();
+      if (!Failed && expect(TokenKind::Semi, "after the query") &&
+          expect(TokenKind::RBrace, "to close the function body"))
+        F = Function::makeQuery(std::move(Name), Params, std::move(Q));
+    } else {
+      std::vector<StmtPtr> Body;
+      while (!Failed && !check(TokenKind::RBrace)) {
+        StmtPtr St = parseStmt();
+        if (Failed)
+          break;
+        Body.push_back(std::move(St));
+      }
+      if (!Failed && Body.empty())
+        fail("update function '" + Name + "' has an empty body");
+      if (!Failed && expect(TokenKind::RBrace, "to close the function body"))
+        F = Function::makeUpdate(std::move(Name), Params, std::move(Body));
+    }
+    CurParams = nullptr;
+    if (Failed)
+      return std::nullopt;
+    return F;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  StmtPtr parseStmt() {
+    if (match(TokenKind::KwInsert))
+      return parseInsert();
+    if (match(TokenKind::KwDelete))
+      return parseDelete();
+    if (match(TokenKind::KwUpdate))
+      return parseUpdateStmt();
+    fail(std::string("expected a statement (insert/delete/update), found ") +
+         tokenKindName(cur().Kind));
+    return nullptr;
+  }
+
+  StmtPtr parseInsert() {
+    if (!expect(TokenKind::KwInto, "after 'insert'"))
+      return nullptr;
+    JoinChain Chain = parseJoinChain();
+    if (Failed)
+      return nullptr;
+    if (!expect(TokenKind::KwValues, "after the insert target") ||
+        !expect(TokenKind::LParen, "to open the value list"))
+      return nullptr;
+    std::vector<InsertStmt::Assignment> Values;
+    do {
+      AttrRef A = parseAttrRef();
+      if (!expect(TokenKind::Colon, "after the attribute name"))
+        return nullptr;
+      std::optional<Operand> Op = parseOperand();
+      if (Failed)
+        return nullptr;
+      Values.emplace_back(std::move(A), std::move(*Op));
+    } while (match(TokenKind::Comma));
+    if (!expect(TokenKind::RParen, "to close the value list") ||
+        !expect(TokenKind::Semi, "after the insert statement"))
+      return nullptr;
+    return std::make_unique<InsertStmt>(std::move(Chain), std::move(Values));
+  }
+
+  StmtPtr parseDelete() {
+    std::vector<std::string> Targets;
+    bool Bracketed = match(TokenKind::LBracket);
+    if (Bracketed) {
+      do {
+        Targets.push_back(expectIdent("as a delete target table"));
+        if (Failed)
+          return nullptr;
+      } while (match(TokenKind::Comma));
+      if (!expect(TokenKind::RBracket, "to close the delete target list"))
+        return nullptr;
+    }
+    if (!expect(TokenKind::KwFrom, "in the delete statement"))
+      return nullptr;
+    JoinChain Chain = parseJoinChain();
+    if (Failed)
+      return nullptr;
+    if (!Bracketed) {
+      // `delete from T where ...` sugar: only valid for single tables.
+      if (!Chain.isSingleTable()) {
+        fail("delete over a join chain requires an explicit [T, ...] target "
+             "list");
+        return nullptr;
+      }
+      Targets.push_back(Chain.getTables().front());
+    }
+    PredPtr P;
+    if (match(TokenKind::KwWhere)) {
+      P = parsePred();
+      if (Failed)
+        return nullptr;
+    }
+    if (!expect(TokenKind::Semi, "after the delete statement"))
+      return nullptr;
+    return std::make_unique<DeleteStmt>(std::move(Targets), std::move(Chain),
+                                        std::move(P));
+  }
+
+  StmtPtr parseUpdateStmt() {
+    JoinChain Chain = parseJoinChain();
+    if (Failed)
+      return nullptr;
+    if (!expect(TokenKind::KwSet, "in the update statement"))
+      return nullptr;
+    AttrRef Target = parseAttrRef();
+    if (!expect(TokenKind::Eq, "after the update target"))
+      return nullptr;
+    std::optional<Operand> Val = parseOperand();
+    if (Failed)
+      return nullptr;
+    PredPtr P;
+    if (match(TokenKind::KwWhere)) {
+      P = parsePred();
+      if (Failed)
+        return nullptr;
+    }
+    if (!expect(TokenKind::Semi, "after the update statement"))
+      return nullptr;
+    return std::make_unique<UpdateStmt>(std::move(Chain), std::move(P),
+                                        std::move(Target), std::move(*Val));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Queries, chains, predicates
+  //===--------------------------------------------------------------------===//
+
+  QueryPtr parseQueryBody() {
+    if (!expect(TokenKind::KwSelect, "to begin the query"))
+      return nullptr;
+    std::vector<AttrRef> Attrs;
+    do {
+      Attrs.push_back(parseAttrRef());
+      if (Failed)
+        return nullptr;
+    } while (match(TokenKind::Comma));
+    if (!expect(TokenKind::KwFrom, "after the projection list"))
+      return nullptr;
+    JoinChain Chain = parseJoinChain();
+    if (Failed)
+      return nullptr;
+    PredPtr P;
+    if (match(TokenKind::KwWhere)) {
+      P = parsePred();
+      if (Failed)
+        return nullptr;
+    }
+    return makeSelect(std::move(Attrs), std::move(Chain), std::move(P));
+  }
+
+  JoinChain parseJoinChain() {
+    std::vector<std::string> Tables;
+    Tables.push_back(expectIdent("as a table name"));
+    if (Failed)
+      return JoinChain();
+    while (match(TokenKind::KwJoin)) {
+      Tables.push_back(expectIdent("after 'join'"));
+      if (Failed)
+        return JoinChain();
+    }
+    // An `on` clause only introduces join equalities when it is followed by
+    // an attribute equality; at statement level the `on` keyword does not
+    // occur in any other position, so this is unambiguous.
+    if (Tables.size() > 1 && match(TokenKind::KwOn)) {
+      std::vector<std::pair<AttrRef, AttrRef>> Eqs;
+      do {
+        AttrRef L = parseAttrRef();
+        if (!expect(TokenKind::Eq, "in the join condition"))
+          return JoinChain();
+        AttrRef R = parseAttrRef();
+        if (Failed)
+          return JoinChain();
+        Eqs.emplace_back(std::move(L), std::move(R));
+      } while (match(TokenKind::KwAnd));
+      return JoinChain::explicitJoin(std::move(Tables), std::move(Eqs));
+    }
+    return JoinChain::natural(std::move(Tables));
+  }
+
+  AttrRef parseAttrRef() {
+    std::string First = expectIdent("as an attribute reference");
+    if (Failed)
+      return AttrRef();
+    if (match(TokenKind::Dot)) {
+      std::string Second = expectIdent("after '.'");
+      if (Failed)
+        return AttrRef();
+      return AttrRef(std::move(First), std::move(Second));
+    }
+    return AttrRef::unqualified(std::move(First));
+  }
+
+  std::optional<Operand> parseOperand() {
+    if (check(TokenKind::IntLiteral)) {
+      int64_t V = cur().IntVal;
+      ++Pos;
+      return Operand::constant(Value::makeInt(V));
+    }
+    if (check(TokenKind::StringLiteral)) {
+      std::string V = cur().Text;
+      ++Pos;
+      return Operand::constant(Value::makeString(std::move(V)));
+    }
+    if (check(TokenKind::BinaryLiteral)) {
+      std::string V = cur().Text;
+      ++Pos;
+      return Operand::constant(Value::makeBinary(std::move(V)));
+    }
+    if (match(TokenKind::KwTrue))
+      return Operand::constant(Value::makeBool(true));
+    if (match(TokenKind::KwFalse))
+      return Operand::constant(Value::makeBool(false));
+    if (check(TokenKind::Identifier)) {
+      std::string Name = cur().Text;
+      if (!isParamName(Name)) {
+        fail("'" + Name + "' is not a parameter of the enclosing function");
+        return std::nullopt;
+      }
+      ++Pos;
+      return Operand::param(std::move(Name));
+    }
+    fail(std::string("expected a literal or parameter, found ") +
+         tokenKindName(cur().Kind));
+    return std::nullopt;
+  }
+
+  std::optional<CmpOp> parseCmpOp() {
+    if (match(TokenKind::Eq))
+      return CmpOp::Eq;
+    if (match(TokenKind::Ne))
+      return CmpOp::Ne;
+    if (match(TokenKind::Lt))
+      return CmpOp::Lt;
+    if (match(TokenKind::Le))
+      return CmpOp::Le;
+    if (match(TokenKind::Gt))
+      return CmpOp::Gt;
+    if (match(TokenKind::Ge))
+      return CmpOp::Ge;
+    fail(std::string("expected a comparison operator, found ") +
+         tokenKindName(cur().Kind));
+    return std::nullopt;
+  }
+
+  PredPtr parsePred() { return parseOr(); }
+
+  PredPtr parseOr() {
+    PredPtr L = parseAnd();
+    while (!Failed && match(TokenKind::KwOr)) {
+      PredPtr R = parseAnd();
+      if (Failed)
+        return nullptr;
+      L = makeOr(std::move(L), std::move(R));
+    }
+    return L;
+  }
+
+  PredPtr parseAnd() {
+    PredPtr L = parseNot();
+    while (!Failed && match(TokenKind::KwAnd)) {
+      PredPtr R = parseNot();
+      if (Failed)
+        return nullptr;
+      L = makeAnd(std::move(L), std::move(R));
+    }
+    return L;
+  }
+
+  PredPtr parseNot() {
+    if (match(TokenKind::KwNot)) {
+      PredPtr Sub = parseNot();
+      if (Failed)
+        return nullptr;
+      return makeNot(std::move(Sub));
+    }
+    return parseAtom();
+  }
+
+  PredPtr parseAtom() {
+    if (match(TokenKind::LParen)) {
+      PredPtr P = parsePred();
+      if (Failed)
+        return nullptr;
+      if (!expect(TokenKind::RParen, "to close the predicate"))
+        return nullptr;
+      return P;
+    }
+    AttrRef Lhs = parseAttrRef();
+    if (Failed)
+      return nullptr;
+    if (match(TokenKind::KwIn)) {
+      if (!expect(TokenKind::LParen, "after 'in'"))
+        return nullptr;
+      QueryPtr Sub = parseQueryBody();
+      if (Failed)
+        return nullptr;
+      if (!expect(TokenKind::RParen, "to close the sub-query"))
+        return nullptr;
+      return std::make_unique<InPred>(std::move(Lhs), std::move(Sub));
+    }
+    std::optional<CmpOp> Op = parseCmpOp();
+    if (Failed)
+      return nullptr;
+    // The right-hand side is an attribute if it is qualified or is not a
+    // parameter of the enclosing function; otherwise it is an operand.
+    if (check(TokenKind::Identifier)) {
+      std::string Name = cur().Text;
+      bool Qualified = Tokens[Pos + 1].is(TokenKind::Dot);
+      if (Qualified || !isParamName(Name)) {
+        AttrRef Rhs = parseAttrRef();
+        if (Failed)
+          return nullptr;
+        return makeAttrCmp(std::move(Lhs), *Op, std::move(Rhs));
+      }
+    }
+    std::optional<Operand> Rhs = parseOperand();
+    if (Failed)
+      return nullptr;
+    return makeCmp(std::move(Lhs), *Op, std::move(*Rhs));
+  }
+};
+
+} // namespace
+
+std::variant<ParseOutput, ParseError> migrator::parseUnit(std::string_view Src) {
+  return ParserImpl(Src).run();
+}

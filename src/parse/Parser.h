@@ -1,0 +1,77 @@
+//===- parse/Parser.h - Parser for schemas and programs -----------*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser producing Schema and Program values from the
+/// textual surface syntax (see Lexer.h for an example). A compilation unit
+/// contains any number of `schema` and `program` declarations; a program
+/// may name the schema it runs over with `program P on SchemaName { ... }`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_PARSE_PARSER_H
+#define MIGRATOR_PARSE_PARSER_H
+
+#include "ast/Program.h"
+#include "eval/Evaluator.h"
+#include "parse/Lexer.h"
+#include "relational/Schema.h"
+
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace migrator {
+
+/// A parsed program together with its declared name and (optional) schema
+/// binding.
+struct NamedProgram {
+  std::string Name;
+  std::string SchemaName; ///< Empty if the program had no `on` clause.
+  Program Prog;
+};
+
+/// A named invocation sequence: `workload W on P { f(1, "x"); q(0); }`.
+/// Arguments must be literals; the final call is expected to be a query.
+struct NamedWorkload {
+  std::string Name;
+  std::string ProgramName;
+  InvocationSeq Seq;
+};
+
+/// The declarations of one compilation unit.
+struct ParseOutput {
+  std::vector<Schema> Schemas;
+  std::vector<NamedProgram> Programs;
+  std::vector<NamedWorkload> Workloads;
+
+  /// Returns the parsed schema named \p Name, or nullptr.
+  const Schema *findSchema(const std::string &Name) const;
+  /// Returns the parsed program named \p Name, or nullptr.
+  const NamedProgram *findProgram(const std::string &Name) const;
+  /// Returns the workloads declared for program \p ProgramName.
+  std::vector<const NamedWorkload *>
+  workloadsFor(const std::string &ProgramName) const;
+};
+
+/// A parse diagnostic with a 1-based source location.
+struct ParseError {
+  unsigned Line = 0;
+  unsigned Col = 0;
+  std::string Msg;
+
+  /// Renders as `line:col: message`.
+  std::string str() const;
+};
+
+/// Parses \p Src. Returns the declarations or the first error encountered.
+std::variant<ParseOutput, ParseError> parseUnit(std::string_view Src);
+
+} // namespace migrator
+
+#endif // MIGRATOR_PARSE_PARSER_H

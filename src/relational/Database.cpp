@@ -1,0 +1,54 @@
+//===- relational/Database.cpp - Database instances -----------------------===//
+
+#include "relational/Database.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace migrator;
+
+Database::Database(const Schema &S) {
+  Tables.reserve(S.getNumTables());
+  for (const TableSchema &T : S.getTables())
+    Tables.emplace_back(T);
+}
+
+Table *Database::findTable(const std::string &Name) {
+  for (Table &T : Tables)
+    if (T.getSchema().getName() == Name)
+      return &T;
+  return nullptr;
+}
+
+const Table *Database::findTable(const std::string &Name) const {
+  return const_cast<Database *>(this)->findTable(Name);
+}
+
+Table &Database::getTable(const std::string &Name) {
+  Table *T = findTable(Name);
+  assert(T && "table not present in database instance");
+  return *T;
+}
+
+const Table &Database::getTable(const std::string &Name) const {
+  return const_cast<Database *>(this)->getTable(Name);
+}
+
+void Database::clear() {
+  for (Table &T : Tables)
+    T.clear();
+}
+
+size_t Database::totalRows() const {
+  size_t N = 0;
+  for (const Table &T : Tables)
+    N += T.size();
+  return N;
+}
+
+std::string Database::str() const {
+  std::ostringstream OS;
+  for (const Table &T : Tables)
+    OS << T.str();
+  return OS.str();
+}

@@ -1,0 +1,62 @@
+//===- relational/Database.h - Database instances ---------------*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A database instance maps each table of a schema to its current rows
+/// (Definition A.4). Instances start empty — equivalence of database
+/// programs is defined over runs from the empty instance (Sec. 3.2) — and
+/// are cheap to copy, which the bounded tester exploits for snapshotting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_RELATIONAL_DATABASE_H
+#define MIGRATOR_RELATIONAL_DATABASE_H
+
+#include "relational/Schema.h"
+#include "relational/Table.h"
+
+#include <string>
+#include <vector>
+
+namespace migrator {
+
+/// A mutable database instance over a fixed schema.
+class Database {
+public:
+  Database() = default;
+
+  /// Creates an empty instance of \p S.
+  explicit Database(const Schema &S);
+
+  /// Returns the table named \p Name (which must exist).
+  Table &getTable(const std::string &Name);
+  const Table &getTable(const std::string &Name) const;
+
+  /// Returns the table named \p Name, or nullptr if absent.
+  Table *findTable(const std::string &Name);
+  const Table *findTable(const std::string &Name) const;
+
+  const std::vector<Table> &getTables() const { return Tables; }
+
+  /// Empties every table.
+  void clear();
+
+  /// Total number of stored rows across all tables.
+  size_t totalRows() const;
+
+  bool operator==(const Database &O) const { return Tables == O.Tables; }
+
+  /// Renders all table contents for debugging.
+  std::string str() const;
+
+private:
+  std::vector<Table> Tables;
+};
+
+} // namespace migrator
+
+#endif // MIGRATOR_RELATIONAL_DATABASE_H

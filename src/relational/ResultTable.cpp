@@ -1,0 +1,94 @@
+//===- relational/ResultTable.cpp - Query results -------------------------===//
+
+#include "relational/ResultTable.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+using namespace migrator;
+
+std::string ResultTable::str() const {
+  std::ostringstream OS;
+  OS << "(";
+  for (size_t I = 0; I < Columns.size(); ++I) {
+    if (I != 0)
+      OS << ", ";
+    OS << Columns[I];
+  }
+  OS << ")\n";
+  for (const Row &R : Rows) {
+    OS << "  (";
+    for (size_t I = 0; I < R.size(); ++I) {
+      if (I != 0)
+        OS << ", ";
+      OS << R[I].str();
+    }
+    OS << ")\n";
+  }
+  return OS.str();
+}
+
+namespace {
+
+/// Orders values with all UIDs collapsed into one equivalence class, so both
+/// results can be sorted into a UID-agnostic canonical row order before the
+/// bijection scan.
+int compareUidAgnostic(const Value &A, const Value &B) {
+  bool AUid = A.isUid(), BUid = B.isUid();
+  if (AUid && BUid)
+    return 0;
+  if (AUid != BUid)
+    return AUid ? 1 : -1;
+  if (A == B)
+    return 0;
+  return A < B ? -1 : 1;
+}
+
+int compareRowUidAgnostic(const Row &A, const Row &B) {
+  for (size_t I = 0; I < A.size(); ++I) {
+    int C = compareUidAgnostic(A[I], B[I]);
+    if (C != 0)
+      return C;
+  }
+  return 0;
+}
+
+} // namespace
+
+bool migrator::resultsEquivalent(const ResultTable &A, const ResultTable &B) {
+  if (A.getNumCols() != B.getNumCols())
+    return false;
+  if (A.getNumRows() != B.getNumRows())
+    return false;
+
+  std::vector<Row> RA = A.Rows, RB = B.Rows;
+  auto Less = [](const Row &X, const Row &Y) {
+    return compareRowUidAgnostic(X, Y) < 0;
+  };
+  std::stable_sort(RA.begin(), RA.end(), Less);
+  std::stable_sort(RB.begin(), RB.end(), Less);
+
+  // Scan pairwise, building a bijection between the two UID spaces.
+  std::map<uint64_t, uint64_t> Fwd, Bwd;
+  for (size_t R = 0; R < RA.size(); ++R) {
+    const Row &X = RA[R], &Y = RB[R];
+    for (size_t C = 0; C < X.size(); ++C) {
+      const Value &V = X[C], &W = Y[C];
+      if (V.isUid() != W.isUid())
+        return false;
+      if (!V.isUid()) {
+        if (V != W)
+          return false;
+        continue;
+      }
+      auto [FIt, FNew] = Fwd.try_emplace(V.getUid(), W.getUid());
+      if (!FNew && FIt->second != W.getUid())
+        return false;
+      auto [BIt, BNew] = Bwd.try_emplace(W.getUid(), V.getUid());
+      if (!BNew && BIt->second != V.getUid())
+        return false;
+    }
+  }
+  return true;
+}

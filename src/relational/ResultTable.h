@@ -1,0 +1,48 @@
+//===- relational/ResultTable.h - Query results ------------------*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Query results and their comparison. Two database programs are equivalent
+/// iff every invocation sequence yields the same query result (Sec. 3.2).
+/// Results compare as multisets of rows; UIDs — the fresh keys introduced by
+/// join-chain inserts — compare up to a consistent bijection, so two
+/// programs that generate their surrogate keys in different orders still
+/// count as producing equal results, while a UID never matches a concrete
+/// value from the source program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_RELATIONAL_RESULTTABLE_H
+#define MIGRATOR_RELATIONAL_RESULTTABLE_H
+
+#include "relational/Table.h"
+
+#include <string>
+#include <vector>
+
+namespace migrator {
+
+/// The value of a query: named columns plus a bag of rows.
+struct ResultTable {
+  std::vector<std::string> Columns;
+  std::vector<Row> Rows;
+
+  size_t getNumRows() const { return Rows.size(); }
+  size_t getNumCols() const { return Columns.size(); }
+
+  /// Renders the result for debugging / example output.
+  std::string str() const;
+};
+
+/// Returns true if \p A and \p B are equal as multisets of rows, treating
+/// UIDs up to bijection. Column names are ignored (the paper's equivalence
+/// compares values, not target-schema column labels); arity must match.
+bool resultsEquivalent(const ResultTable &A, const ResultTable &B);
+
+} // namespace migrator
+
+#endif // MIGRATOR_RELATIONAL_RESULTTABLE_H

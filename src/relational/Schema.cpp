@@ -1,0 +1,91 @@
+//===- relational/Schema.cpp - Relational schemas -------------------------===//
+
+#include "relational/Schema.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace migrator;
+
+std::optional<unsigned> TableSchema::attrIndex(const std::string &AttrName) const {
+  for (unsigned I = 0, E = static_cast<unsigned>(Attrs.size()); I != E; ++I)
+    if (Attrs[I].Name == AttrName)
+      return I;
+  return std::nullopt;
+}
+
+ValueType TableSchema::attrType(const std::string &AttrName) const {
+  std::optional<unsigned> Idx = attrIndex(AttrName);
+  assert(Idx && "attribute not declared in table");
+  return Attrs[*Idx].Type;
+}
+
+void Schema::addTable(TableSchema Table) {
+  assert(!findTable(Table.getName()) && "duplicate table name in schema");
+  Tables.push_back(std::move(Table));
+}
+
+const TableSchema *Schema::findTable(const std::string &TableName) const {
+  for (const TableSchema &T : Tables)
+    if (T.getName() == TableName)
+      return &T;
+  return nullptr;
+}
+
+const TableSchema &Schema::getTable(const std::string &TableName) const {
+  const TableSchema *T = findTable(TableName);
+  assert(T && "table not declared in schema");
+  return *T;
+}
+
+bool Schema::hasAttr(const QualifiedAttr &A) const {
+  const TableSchema *T = findTable(A.Table);
+  return T && T->hasAttr(A.Attr);
+}
+
+ValueType Schema::attrType(const QualifiedAttr &A) const {
+  return getTable(A.Table).attrType(A.Attr);
+}
+
+std::vector<QualifiedAttr> Schema::allAttrs() const {
+  std::vector<QualifiedAttr> Result;
+  for (const TableSchema &T : Tables)
+    for (const Attribute &A : T.getAttrs())
+      Result.push_back({T.getName(), A.Name});
+  return Result;
+}
+
+size_t Schema::getNumAttrs() const {
+  size_t N = 0;
+  for (const TableSchema &T : Tables)
+    N += T.getNumAttrs();
+  return N;
+}
+
+std::vector<std::string> Schema::tablesWithAttr(const std::string &AttrName,
+                                                ValueType Ty) const {
+  std::vector<std::string> Result;
+  for (const TableSchema &T : Tables) {
+    std::optional<unsigned> Idx = T.attrIndex(AttrName);
+    if (Idx && T.getAttrs()[*Idx].Type == Ty)
+      Result.push_back(T.getName());
+  }
+  return Result;
+}
+
+std::string Schema::str() const {
+  std::ostringstream OS;
+  OS << "schema " << (Name.empty() ? "S" : Name) << " {\n";
+  for (const TableSchema &T : Tables) {
+    OS << "  table " << T.getName() << "(";
+    const std::vector<Attribute> &As = T.getAttrs();
+    for (size_t I = 0; I < As.size(); ++I) {
+      if (I != 0)
+        OS << ", ";
+      OS << As[I].Name << ": " << typeName(As[I].Type);
+    }
+    OS << ")\n";
+  }
+  OS << "}\n";
+  return OS.str();
+}

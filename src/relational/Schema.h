@@ -1,0 +1,134 @@
+//===- relational/Schema.h - Relational schemas ------------------*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Relational schemas: named tables with typed attributes. Schemas are the
+/// primary inputs of the synthesis problem — the source schema S the program
+/// is written against and the target schema S' it must be migrated to.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_RELATIONAL_SCHEMA_H
+#define MIGRATOR_RELATIONAL_SCHEMA_H
+
+#include "relational/Value.h"
+
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace migrator {
+
+/// A typed attribute (column) of a table.
+struct Attribute {
+  std::string Name;
+  ValueType Type;
+
+  bool operator==(const Attribute &O) const {
+    return Name == O.Name && Type == O.Type;
+  }
+};
+
+/// A fully qualified attribute reference `Table.Attr`.
+///
+/// The value-correspondence layer and the sketch language always refer to
+/// attributes by qualified name, since the same attribute name may occur in
+/// several tables (e.g. `PicId` in the overview example).
+struct QualifiedAttr {
+  std::string Table;
+  std::string Attr;
+
+  bool operator==(const QualifiedAttr &O) const {
+    return Table == O.Table && Attr == O.Attr;
+  }
+  bool operator!=(const QualifiedAttr &O) const { return !(*this == O); }
+  bool operator<(const QualifiedAttr &O) const {
+    return std::tie(Table, Attr) < std::tie(O.Table, O.Attr);
+  }
+
+  /// Renders as `Table.Attr`.
+  std::string str() const { return Table + "." + Attr; }
+};
+
+/// The schema of a single table.
+class TableSchema {
+public:
+  TableSchema() = default;
+  TableSchema(std::string Name, std::vector<Attribute> Attrs)
+      : Name(std::move(Name)), Attrs(std::move(Attrs)) {}
+
+  const std::string &getName() const { return Name; }
+  const std::vector<Attribute> &getAttrs() const { return Attrs; }
+  size_t getNumAttrs() const { return Attrs.size(); }
+
+  /// Returns the index of attribute \p AttrName, or nullopt if absent.
+  std::optional<unsigned> attrIndex(const std::string &AttrName) const;
+
+  /// Returns true if the table declares attribute \p AttrName.
+  bool hasAttr(const std::string &AttrName) const {
+    return attrIndex(AttrName).has_value();
+  }
+
+  /// Returns the static type of attribute \p AttrName (which must exist).
+  ValueType attrType(const std::string &AttrName) const;
+
+private:
+  std::string Name;
+  std::vector<Attribute> Attrs;
+};
+
+/// A database schema: an ordered collection of table schemas.
+class Schema {
+public:
+  Schema() = default;
+  explicit Schema(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &getName() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  /// Appends a table; table names must be unique.
+  void addTable(TableSchema Table);
+
+  const std::vector<TableSchema> &getTables() const { return Tables; }
+  size_t getNumTables() const { return Tables.size(); }
+
+  /// Returns the table schema named \p TableName, or nullptr if absent.
+  const TableSchema *findTable(const std::string &TableName) const;
+
+  /// Returns the table schema named \p TableName (which must exist).
+  const TableSchema &getTable(const std::string &TableName) const;
+
+  /// Returns true if \p A names an existing table/attribute pair.
+  bool hasAttr(const QualifiedAttr &A) const;
+
+  /// Returns the static type of \p A (which must exist).
+  ValueType attrType(const QualifiedAttr &A) const;
+
+  /// Returns every qualified attribute of the schema, in declaration order.
+  std::vector<QualifiedAttr> allAttrs() const;
+
+  /// Total number of attributes across all tables (the "Attrs" column of
+  /// Table 1).
+  size_t getNumAttrs() const;
+
+  /// Returns the names of all tables declaring an attribute named
+  /// \p AttrName with type \p Ty.
+  std::vector<std::string> tablesWithAttr(const std::string &AttrName,
+                                          ValueType Ty) const;
+
+  /// Renders the schema in surface syntax.
+  std::string str() const;
+
+private:
+  std::string Name;
+  std::vector<TableSchema> Tables;
+};
+
+} // namespace migrator
+
+#endif // MIGRATOR_RELATIONAL_SCHEMA_H

@@ -1,0 +1,187 @@
+//===- relational/SchemaDiff.cpp - Schema change classification ---------------===//
+
+#include "relational/SchemaDiff.h"
+
+#include "support/StringExtras.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+using namespace migrator;
+
+std::string SchemaChange::str() const {
+  const char *Label = "";
+  switch (TheKind) {
+  case Kind::TableAdded:
+    Label = "table added";
+    break;
+  case Kind::TableRemoved:
+    Label = "table removed";
+    break;
+  case Kind::TableRenamed:
+    Label = "table renamed";
+    break;
+  case Kind::AttrAdded:
+    Label = "attribute added";
+    break;
+  case Kind::AttrRemoved:
+    Label = "attribute removed";
+    break;
+  case Kind::AttrRenamed:
+    Label = "attribute renamed";
+    break;
+  case Kind::AttrMoved:
+    Label = "attribute moved";
+    break;
+  case Kind::AttrTypeChanged:
+    Label = "attribute type changed";
+    break;
+  }
+  return std::string(Label) + ": " + Detail;
+}
+
+namespace {
+
+/// Sorted (name, type) multiset of a table's attributes, used to detect
+/// renamed-but-otherwise-identical tables.
+std::vector<std::pair<std::string, ValueType>>
+attrMultiset(const TableSchema &T) {
+  std::vector<std::pair<std::string, ValueType>> A;
+  for (const Attribute &At : T.getAttrs())
+    A.emplace_back(At.Name, At.Type);
+  std::sort(A.begin(), A.end());
+  return A;
+}
+
+} // namespace
+
+std::vector<SchemaChange> migrator::diffSchemas(const Schema &Source,
+                                                const Schema &Target,
+                                                unsigned SimilarityAlpha) {
+  std::vector<SchemaChange> Changes;
+
+  // --- Pass 1: match tables ---
+  // SrcOf maps each target table to its source counterpart (same name, or a
+  // rename detected by identical attribute multisets).
+  std::map<std::string, std::string> SrcOf;
+  std::vector<const TableSchema *> UnmatchedSrc, UnmatchedTgt;
+  for (const TableSchema &T : Target.getTables()) {
+    if (Source.findTable(T.getName()))
+      SrcOf[T.getName()] = T.getName();
+    else
+      UnmatchedTgt.push_back(&T);
+  }
+  for (const TableSchema &T : Source.getTables())
+    if (!Target.findTable(T.getName()))
+      UnmatchedSrc.push_back(&T);
+
+  for (const TableSchema *Tgt : UnmatchedTgt) {
+    const TableSchema *Best = nullptr;
+    for (const TableSchema *Src : UnmatchedSrc) {
+      if (SrcOf.count(Src->getName()) == 0 &&
+          attrMultiset(*Src) == attrMultiset(*Tgt)) {
+        Best = Src;
+        break;
+      }
+    }
+    if (Best) {
+      SrcOf[Tgt->getName()] = Best->getName();
+      UnmatchedSrc.erase(
+          std::find(UnmatchedSrc.begin(), UnmatchedSrc.end(), Best));
+      Changes.push_back({SchemaChange::Kind::TableRenamed,
+                         Best->getName() + " -> " + Tgt->getName()});
+    }
+  }
+
+  // --- Pass 2: attribute-level diffs over matched tables ---
+  // Collect per-side leftovers, then pair them into moves and renames.
+  std::vector<QualifiedAttr> SrcLeft, TgtLeft;
+  for (const auto &[TgtName, SrcName] : SrcOf) {
+    const TableSchema &TS = Source.getTable(SrcName);
+    const TableSchema &TT = Target.getTable(TgtName);
+    for (const Attribute &A : TS.getAttrs()) {
+      std::optional<unsigned> Idx = TT.attrIndex(A.Name);
+      if (!Idx) {
+        SrcLeft.push_back({SrcName, A.Name});
+        continue;
+      }
+      if (TT.getAttrs()[*Idx].Type != A.Type)
+        Changes.push_back({SchemaChange::Kind::AttrTypeChanged,
+                           SrcName + "." + A.Name + ": " +
+                               typeName(A.Type) + " -> " +
+                               typeName(TT.getAttrs()[*Idx].Type)});
+    }
+    for (const Attribute &A : TT.getAttrs())
+      if (!TS.hasAttr(A.Name))
+        TgtLeft.push_back({TgtName, A.Name});
+  }
+  for (const TableSchema *T : UnmatchedSrc) {
+    Changes.push_back({SchemaChange::Kind::TableRemoved, T->getName()});
+    for (const Attribute &A : T->getAttrs())
+      SrcLeft.push_back({T->getName(), A.Name});
+  }
+  std::vector<const TableSchema *> AddedTables;
+  for (const TableSchema &T : Target.getTables())
+    if (!SrcOf.count(T.getName())) {
+      Changes.push_back({SchemaChange::Kind::TableAdded, T.getName()});
+      for (const Attribute &A : T.getAttrs())
+        TgtLeft.push_back({T.getName(), A.Name});
+    }
+
+  // Moves: same attribute name and type, different table.
+  for (auto It = SrcLeft.begin(); It != SrcLeft.end();) {
+    ValueType SrcTy = Source.attrType(*It);
+    auto Counterpart =
+        std::find_if(TgtLeft.begin(), TgtLeft.end(),
+                     [&](const QualifiedAttr &T) {
+                       return T.Attr == It->Attr &&
+                              Target.attrType(T) == SrcTy;
+                     });
+    if (Counterpart != TgtLeft.end()) {
+      Changes.push_back({SchemaChange::Kind::AttrMoved,
+                         It->str() + " -> " + Counterpart->str()});
+      TgtLeft.erase(Counterpart);
+      It = SrcLeft.erase(It);
+    } else {
+      ++It;
+    }
+  }
+
+  // Renames: similar name, same type (greedy best-first by distance).
+  for (auto It = SrcLeft.begin(); It != SrcLeft.end();) {
+    ValueType SrcTy = Source.attrType(*It);
+    unsigned BestDist = SimilarityAlpha;
+    std::vector<QualifiedAttr>::iterator Best = TgtLeft.end();
+    for (auto TIt = TgtLeft.begin(); TIt != TgtLeft.end(); ++TIt) {
+      if (Target.attrType(*TIt) != SrcTy)
+        continue;
+      unsigned Dist = levenshtein(It->Attr, TIt->Attr);
+      if (Dist < BestDist) {
+        BestDist = Dist;
+        Best = TIt;
+      }
+    }
+    if (Best != TgtLeft.end()) {
+      Changes.push_back({SchemaChange::Kind::AttrRenamed,
+                         It->str() + " -> " + Best->str()});
+      TgtLeft.erase(Best);
+      It = SrcLeft.erase(It);
+    } else {
+      ++It;
+    }
+  }
+
+  for (const QualifiedAttr &A : SrcLeft)
+    Changes.push_back({SchemaChange::Kind::AttrRemoved, A.str()});
+  for (const QualifiedAttr &A : TgtLeft)
+    Changes.push_back({SchemaChange::Kind::AttrAdded, A.str()});
+  return Changes;
+}
+
+std::string migrator::diffReport(const std::vector<SchemaChange> &Changes) {
+  std::ostringstream OS;
+  for (const SchemaChange &C : Changes)
+    OS << C.str() << "\n";
+  return OS.str();
+}

@@ -1,0 +1,57 @@
+//===- relational/SchemaDiff.h - Schema change classification -----*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural comparison of two schemas: which tables and attributes were
+/// added, removed, or (heuristically, by name similarity) renamed — the
+/// kinds of changes Table 1's Description column names. Purely structural
+/// and advisory: the synthesis pipeline never depends on it, but
+/// migrate_tool uses it to describe the refactoring it is about to bridge.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_RELATIONAL_SCHEMADIFF_H
+#define MIGRATOR_RELATIONAL_SCHEMADIFF_H
+
+#include "relational/Schema.h"
+
+#include <string>
+#include <vector>
+
+namespace migrator {
+
+/// One detected schema change.
+struct SchemaChange {
+  enum class Kind {
+    TableAdded,
+    TableRemoved,
+    TableRenamed,   ///< Same attribute multiset, different name.
+    AttrAdded,
+    AttrRemoved,
+    AttrRenamed,    ///< Same table and type, similar name.
+    AttrMoved,      ///< Same name and type in a different table.
+    AttrTypeChanged,
+  };
+
+  Kind TheKind;
+  std::string Detail; ///< Human-readable, e.g. "Instructor.IPic -> Picture.Pic".
+
+  std::string str() const;
+};
+
+/// Computes the change list between \p Source and \p Target.
+/// \p SimilarityAlpha is the Levenshtein cutoff used for rename detection.
+std::vector<SchemaChange> diffSchemas(const Schema &Source,
+                                      const Schema &Target,
+                                      unsigned SimilarityAlpha = 10);
+
+/// Renders one change per line.
+std::string diffReport(const std::vector<SchemaChange> &Changes);
+
+} // namespace migrator
+
+#endif // MIGRATOR_RELATIONAL_SCHEMADIFF_H

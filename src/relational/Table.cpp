@@ -1,0 +1,68 @@
+//===- relational/Table.cpp - Bag-semantics tables ------------------------===//
+
+#include "relational/Table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+using namespace migrator;
+
+void Table::insertRow(Row R) {
+  assert(R.size() == Schema.getNumAttrs() &&
+         "row arity does not match table schema");
+  Rows.push_back(std::move(R));
+}
+
+const Row &Table::getRow(size_t Index) const {
+  assert(Index < Rows.size() && "row index out of range");
+  return Rows[Index];
+}
+
+void Table::eraseRows(const std::vector<size_t> &Indices) {
+  if (Indices.empty())
+    return;
+  std::vector<size_t> Sorted(Indices);
+  std::sort(Sorted.begin(), Sorted.end());
+  Sorted.erase(std::unique(Sorted.begin(), Sorted.end()), Sorted.end());
+  assert(Sorted.back() < Rows.size() && "row index out of range");
+
+  std::vector<Row> Kept;
+  Kept.reserve(Rows.size() - Sorted.size());
+  size_t Next = 0;
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    if (Next < Sorted.size() && Sorted[Next] == I) {
+      ++Next;
+      continue;
+    }
+    Kept.push_back(std::move(Rows[I]));
+  }
+  Rows = std::move(Kept);
+}
+
+void Table::setValue(size_t RowIdx, unsigned AttrIdx, Value V) {
+  assert(RowIdx < Rows.size() && "row index out of range");
+  assert(AttrIdx < Schema.getNumAttrs() && "attribute index out of range");
+  Rows[RowIdx][AttrIdx] = std::move(V);
+}
+
+std::string Table::str() const {
+  std::ostringstream OS;
+  OS << Schema.getName() << " [";
+  for (size_t I = 0; I < Schema.getNumAttrs(); ++I) {
+    if (I != 0)
+      OS << ", ";
+    OS << Schema.getAttrs()[I].Name;
+  }
+  OS << "]\n";
+  for (const Row &R : Rows) {
+    OS << "  (";
+    for (size_t I = 0; I < R.size(); ++I) {
+      if (I != 0)
+        OS << ", ";
+      OS << R[I].str();
+    }
+    OS << ")\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,71 @@
+//===- relational/Table.h - Bag-semantics tables -----------------*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// In-memory tables with bag (multiset) semantics: a table is an ordered
+/// list of rows, each row a vector of values aligned with the table schema's
+/// attribute order. Deletions remove specific row occurrences (the paper's
+/// delete-over-join semantics needs tuple provenance, which row indices
+/// provide).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_RELATIONAL_TABLE_H
+#define MIGRATOR_RELATIONAL_TABLE_H
+
+#include "relational/Schema.h"
+#include "relational/Value.h"
+
+#include <vector>
+
+namespace migrator {
+
+/// One stored tuple.
+using Row = std::vector<Value>;
+
+/// A table instance: the rows currently stored under one table schema.
+class Table {
+public:
+  Table() = default;
+  explicit Table(TableSchema Schema) : Schema(std::move(Schema)) {}
+
+  const TableSchema &getSchema() const { return Schema; }
+  const std::vector<Row> &getRows() const { return Rows; }
+  size_t size() const { return Rows.size(); }
+  bool empty() const { return Rows.empty(); }
+
+  /// Appends \p R, which must have one value per schema attribute.
+  void insertRow(Row R);
+
+  /// Returns row \p Index (bounds-checked by assertion).
+  const Row &getRow(size_t Index) const;
+
+  /// Removes the row occurrences named by \p Indices. Duplicate indices are
+  /// tolerated; indices refer to pre-deletion positions.
+  void eraseRows(const std::vector<size_t> &Indices);
+
+  /// Sets attribute \p AttrIdx of row \p RowIdx to \p V.
+  void setValue(size_t RowIdx, unsigned AttrIdx, Value V);
+
+  /// Removes all rows.
+  void clear() { Rows.clear(); }
+
+  bool operator==(const Table &O) const {
+    return Schema.getName() == O.Schema.getName() && Rows == O.Rows;
+  }
+
+  /// Renders the table contents for debugging.
+  std::string str() const;
+
+private:
+  TableSchema Schema;
+  std::vector<Row> Rows;
+};
+
+} // namespace migrator
+
+#endif // MIGRATOR_RELATIONAL_TABLE_H

@@ -1,0 +1,82 @@
+//===- relational/Value.cpp - Dynamically typed database values ----------===//
+
+#include "relational/Value.h"
+
+#include <sstream>
+
+using namespace migrator;
+
+const char *migrator::typeName(ValueType Ty) {
+  switch (Ty) {
+  case ValueType::Int:
+    return "int";
+  case ValueType::String:
+    return "string";
+  case ValueType::Binary:
+    return "binary";
+  case ValueType::Bool:
+    return "bool";
+  }
+  assert(false && "unknown value type");
+  return "<invalid>";
+}
+
+Value Value::defaultOf(ValueType Ty) {
+  switch (Ty) {
+  case ValueType::Int:
+    return makeInt(0);
+  case ValueType::String:
+    return makeString("A");
+  case ValueType::Binary:
+    return makeBinary("b0");
+  case ValueType::Bool:
+    return makeBool(false);
+  }
+  assert(false && "unknown value type");
+  return Value();
+}
+
+bool Value::hasType(ValueType Ty) const {
+  switch (kind()) {
+  case Kind::Int:
+    return Ty == ValueType::Int;
+  case Kind::String:
+    return Ty == ValueType::String;
+  case Kind::Binary:
+    return Ty == ValueType::Binary;
+  case Kind::Bool:
+    return Ty == ValueType::Bool;
+  case Kind::Uid:
+    return true;
+  }
+  assert(false && "unknown value kind");
+  return false;
+}
+
+bool Value::operator<(const Value &Other) const {
+  if (Rep.index() != Other.Rep.index())
+    return Rep.index() < Other.Rep.index();
+  return Rep < Other.Rep;
+}
+
+std::string Value::str() const {
+  std::ostringstream OS;
+  switch (kind()) {
+  case Kind::Int:
+    OS << getInt();
+    break;
+  case Kind::String:
+    OS << '"' << getString() << '"';
+    break;
+  case Kind::Binary:
+    OS << "b\"" << getBinary() << '"';
+    break;
+  case Kind::Bool:
+    OS << (getBool() ? "true" : "false");
+    break;
+  case Kind::Uid:
+    OS << "uid#" << getUid();
+    break;
+  }
+  return OS.str();
+}

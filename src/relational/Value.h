@@ -1,0 +1,125 @@
+//===- relational/Value.h - Dynamically typed database values ---*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamically typed value domain of the database-program language of
+/// Fig. 5. Values carry one of the paper's attribute types (int, String,
+/// Binary, bool) or a UID — a fresh unique identifier generated when a
+/// join-chain insert is desugared (Sec. 3.1's `u0, u1` / the overview's
+/// `UID0, v4` values).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_RELATIONAL_VALUE_H
+#define MIGRATOR_RELATIONAL_VALUE_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace migrator {
+
+/// Static attribute types of the schema language.
+enum class ValueType { Int, String, Binary, Bool };
+
+/// Returns the surface-syntax spelling of \p Ty ("int", "string", ...).
+const char *typeName(ValueType Ty);
+
+/// A runtime database value.
+///
+/// UIDs form their own kind: two UIDs compare equal iff they carry the same
+/// payload, and a UID never equals a value of any other kind. Cross-program
+/// result comparison treats UIDs up to bijection (see ResultTable).
+class Value {
+public:
+  enum class Kind { Int, String, Binary, Bool, Uid };
+
+  Value() : Rep(int64_t(0)) {}
+
+  static Value makeInt(int64_t V) { return Value(Rep_t(std::in_place_index<0>, V)); }
+  static Value makeString(std::string V) {
+    return Value(Rep_t(std::in_place_index<1>, std::move(V)));
+  }
+  static Value makeBinary(std::string V) {
+    return Value(Rep_t(std::in_place_index<2>, Blob{std::move(V)}));
+  }
+  static Value makeBool(bool V) { return Value(Rep_t(std::in_place_index<3>, V)); }
+  static Value makeUid(uint64_t Id) {
+    return Value(Rep_t(std::in_place_index<4>, Uid{Id}));
+  }
+
+  /// Builds the default seed value of static type \p Ty (used by the bounded
+  /// tester's seed sets).
+  static Value defaultOf(ValueType Ty);
+
+  Kind kind() const { return static_cast<Kind>(Rep.index()); }
+
+  bool isInt() const { return kind() == Kind::Int; }
+  bool isString() const { return kind() == Kind::String; }
+  bool isBinary() const { return kind() == Kind::Binary; }
+  bool isBool() const { return kind() == Kind::Bool; }
+  bool isUid() const { return kind() == Kind::Uid; }
+
+  int64_t getInt() const {
+    assert(isInt() && "not an int value");
+    return std::get<0>(Rep);
+  }
+  const std::string &getString() const {
+    assert(isString() && "not a string value");
+    return std::get<1>(Rep);
+  }
+  const std::string &getBinary() const {
+    assert(isBinary() && "not a binary value");
+    return std::get<2>(Rep).Bytes;
+  }
+  bool getBool() const {
+    assert(isBool() && "not a bool value");
+    return std::get<3>(Rep);
+  }
+  uint64_t getUid() const {
+    assert(isUid() && "not a UID value");
+    return std::get<4>(Rep).Id;
+  }
+
+  /// Returns true if this value inhabits static type \p Ty. UIDs inhabit
+  /// every type: the interpreter may store a fresh UID into any column whose
+  /// value is unconstrained by the insert (Sec. 3.1).
+  bool hasType(ValueType Ty) const;
+
+  bool operator==(const Value &Other) const { return Rep == Other.Rep; }
+  bool operator!=(const Value &Other) const { return !(*this == Other); }
+
+  /// Total order used for canonicalizing result tables. Orders first by
+  /// kind, then by payload.
+  bool operator<(const Value &Other) const;
+
+  /// Renders the value in surface syntax (`42`, `"abc"`, `b"..."`, `true`,
+  /// `uid#7`).
+  std::string str() const;
+
+private:
+  struct Blob {
+    std::string Bytes;
+    bool operator==(const Blob &O) const { return Bytes == O.Bytes; }
+    bool operator<(const Blob &O) const { return Bytes < O.Bytes; }
+  };
+  struct Uid {
+    uint64_t Id;
+    bool operator==(const Uid &O) const { return Id == O.Id; }
+    bool operator<(const Uid &O) const { return Id < O.Id; }
+  };
+  using Rep_t = std::variant<int64_t, std::string, Blob, bool, Uid>;
+
+  explicit Value(Rep_t R) : Rep(std::move(R)) {}
+
+  Rep_t Rep;
+};
+
+} // namespace migrator
+
+#endif // MIGRATOR_RELATIONAL_VALUE_H

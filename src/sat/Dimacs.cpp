@@ -1,0 +1,86 @@
+//===- sat/Dimacs.cpp - DIMACS CNF interchange --------------------------------===//
+
+#include "sat/Dimacs.h"
+
+#include <sstream>
+
+using namespace migrator;
+using namespace migrator::sat;
+
+std::variant<DimacsProblem, std::string>
+migrator::sat::parseDimacs(std::string_view Text) {
+  std::istringstream In{std::string(Text)};
+  DimacsProblem P;
+  int DeclaredClauses = -1;
+  bool SawHeader = false;
+  std::vector<Lit> Cur;
+
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty() || Line[0] == 'c')
+      continue;
+    if (Line[0] == 'p') {
+      if (SawHeader)
+        return std::string("duplicate problem header");
+      std::istringstream HS(Line);
+      std::string PTok, Fmt;
+      HS >> PTok >> Fmt >> P.NumVars >> DeclaredClauses;
+      if (Fmt != "cnf" || HS.fail() || P.NumVars < 0 || DeclaredClauses < 0)
+        return std::string("malformed problem header: " + Line);
+      SawHeader = true;
+      continue;
+    }
+    if (!SawHeader)
+      return std::string("clause before the problem header");
+    std::istringstream LS(Line);
+    long V;
+    while (LS >> V) {
+      if (V == 0) {
+        P.Clauses.push_back(std::move(Cur));
+        Cur.clear();
+        continue;
+      }
+      long Abs = V < 0 ? -V : V;
+      if (Abs > P.NumVars)
+        return std::string("literal out of range: " + std::to_string(V));
+      Cur.push_back(Lit(static_cast<Var>(Abs - 1), V < 0));
+    }
+  }
+  if (!SawHeader)
+    return std::string("missing problem header");
+  if (!Cur.empty())
+    return std::string("unterminated clause (missing trailing 0)");
+  if (DeclaredClauses >= 0 &&
+      static_cast<size_t>(DeclaredClauses) != P.Clauses.size())
+    return std::string("clause count mismatch: header declares " +
+                       std::to_string(DeclaredClauses) + ", found " +
+                       std::to_string(P.Clauses.size()));
+  return P;
+}
+
+std::string migrator::sat::toDimacs(const DimacsProblem &P) {
+  std::ostringstream OS;
+  OS << "p cnf " << P.NumVars << " " << P.Clauses.size() << "\n";
+  for (const std::vector<Lit> &C : P.Clauses) {
+    for (const Lit &L : C)
+      OS << (L.negated() ? -(L.var() + 1) : (L.var() + 1)) << " ";
+    OS << "0\n";
+  }
+  return OS.str();
+}
+
+std::optional<std::vector<bool>>
+migrator::sat::solveDimacs(const DimacsProblem &P) {
+  Solver S;
+  for (int V = 0; V < P.NumVars; ++V)
+    S.newVar();
+  for (const std::vector<Lit> &C : P.Clauses)
+    if (!S.addClause(C))
+      return std::nullopt;
+  if (S.solve() != Solver::Result::Sat)
+    return std::nullopt;
+  std::vector<bool> Model(P.NumVars);
+  for (int V = 0; V < P.NumVars; ++V)
+    Model[V] = S.modelValue(V);
+  return Model;
+}

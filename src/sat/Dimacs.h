@@ -1,0 +1,49 @@
+//===- sat/Dimacs.h - DIMACS CNF interchange ----------------------*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// DIMACS CNF parsing and serialization for the SAT substrate, so instances
+/// can be exchanged with external solvers (e.g. to cross-validate the CDCL
+/// implementation) and encoded problems can be dumped for inspection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_SAT_DIMACS_H
+#define MIGRATOR_SAT_DIMACS_H
+
+#include "sat/Solver.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace migrator {
+namespace sat {
+
+/// A CNF problem in memory.
+struct DimacsProblem {
+  int NumVars = 0;
+  std::vector<std::vector<Lit>> Clauses;
+};
+
+/// Parses DIMACS CNF text (`c` comments, one `p cnf V C` header, clauses
+/// terminated by 0). Returns the problem or a diagnostic message.
+std::variant<DimacsProblem, std::string> parseDimacs(std::string_view Text);
+
+/// Serializes \p P as DIMACS CNF.
+std::string toDimacs(const DimacsProblem &P);
+
+/// Loads \p P into a fresh solver and solves it. Returns the model (indexed
+/// by variable) or nullopt for UNSAT.
+std::optional<std::vector<bool>> solveDimacs(const DimacsProblem &P);
+
+} // namespace sat
+} // namespace migrator
+
+#endif // MIGRATOR_SAT_DIMACS_H

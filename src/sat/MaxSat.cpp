@@ -1,0 +1,210 @@
+//===- sat/MaxSat.cpp - Weighted partial MaxSAT ------------------------------===//
+
+#include "sat/MaxSat.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+using namespace migrator;
+using namespace migrator::sat;
+
+int MaxSatSolver::addVars(int N) {
+  assert(N >= 0 && "negative variable count");
+  int First = NumVars;
+  NumVars += N;
+  return First;
+}
+
+void MaxSatSolver::addHard(std::vector<Lit> Lits) {
+  Hard.push_back(std::move(Lits));
+}
+
+void MaxSatSolver::addSoft(std::vector<Lit> Lits, uint64_t Weight) {
+  assert(Weight > 0 && "soft clauses must have positive weight");
+  Soft.push_back({std::move(Lits), Weight});
+}
+
+namespace {
+constexpr int8_t Undef = -1;
+} // namespace
+
+struct MaxSatSolver::SearchState {
+  std::vector<int8_t> Assign; ///< -1 undef / 0 false / 1 true.
+  std::vector<Var> Order;     ///< Static branching order.
+  std::vector<Var> Trail;
+
+  uint64_t TotalSoft = 0;
+  uint64_t BestLost = 0; ///< Lost weight of the best model found (UB).
+  bool HaveBest = false;
+  std::vector<bool> BestModel;
+
+  uint64_t Nodes = 0;
+  uint64_t NodeBudget = 0; ///< 0 = unlimited.
+  bool BudgetExhausted = false;
+
+  const std::vector<std::vector<Lit>> *Hard = nullptr;
+  const std::vector<SoftClause> *Soft = nullptr;
+
+  int8_t litValue(Lit L) const {
+    int8_t A = Assign[L.var()];
+    if (A == Undef)
+      return Undef;
+    return static_cast<int8_t>((A == 1) != L.negated() ? 1 : 0);
+  }
+
+  /// Weight of soft clauses falsified under the current (partial)
+  /// assignment: every literal assigned false.
+  uint64_t lostWeight() const {
+    uint64_t Lost = 0;
+    for (const SoftClause &C : *Soft) {
+      bool AllFalse = true;
+      for (const Lit &L : C.Lits)
+        if (litValue(L) != 0) {
+          AllFalse = false;
+          break;
+        }
+      if (AllFalse)
+        Lost += C.Weight;
+    }
+    return Lost;
+  }
+
+  /// Propagates hard units from trail position \p Mark to fixpoint.
+  /// Returns false on a falsified hard clause.
+  bool propagateHard() {
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (const std::vector<Lit> &C : *Hard) {
+        int Unassigned = 0;
+        Lit UnitLit;
+        bool Satisfied = false;
+        for (const Lit &L : C) {
+          int8_t V = litValue(L);
+          if (V == 1) {
+            Satisfied = true;
+            break;
+          }
+          if (V == Undef) {
+            ++Unassigned;
+            UnitLit = L;
+            if (Unassigned > 1)
+              break;
+          }
+        }
+        if (Satisfied)
+          continue;
+        if (Unassigned == 0)
+          return false;
+        if (Unassigned == 1) {
+          assign(UnitLit.var(), !UnitLit.negated());
+          Changed = true;
+        }
+      }
+    }
+    return true;
+  }
+
+  void assign(Var V, bool B) {
+    assert(Assign[V] == Undef && "assigning an assigned variable");
+    Assign[V] = B ? 1 : 0;
+    Trail.push_back(V);
+  }
+
+  void undoTo(size_t Mark) {
+    while (Trail.size() > Mark) {
+      Assign[Trail.back()] = Undef;
+      Trail.pop_back();
+    }
+  }
+};
+
+bool MaxSatSolver::search(SearchState &St) {
+  if (St.NodeBudget != 0 && St.Nodes >= St.NodeBudget) {
+    St.BudgetExhausted = true;
+    return false;
+  }
+  ++St.Nodes;
+
+  size_t Mark = St.Trail.size();
+  if (!St.propagateHard()) {
+    St.undoTo(Mark);
+    return false;
+  }
+
+  uint64_t Lost = St.lostWeight();
+  if (St.HaveBest && Lost >= St.BestLost) {
+    St.undoTo(Mark);
+    return false;
+  }
+
+  // Find the next unassigned variable in static order.
+  Var Next = -1;
+  for (Var V : St.Order)
+    if (St.Assign[V] == Undef) {
+      Next = V;
+      break;
+    }
+
+  if (Next < 0) {
+    // Total assignment satisfying all hard clauses.
+    St.BestLost = Lost;
+    St.HaveBest = true;
+    St.BestModel.resize(St.Assign.size());
+    for (size_t V = 0; V < St.Assign.size(); ++V)
+      St.BestModel[V] = St.Assign[V] == 1;
+    St.undoTo(Mark);
+    return true;
+  }
+
+  // Value ordering: try the phase carrying more direct soft weight first.
+  uint64_t PosW = 0, NegW = 0;
+  for (const SoftClause &C : *St.Soft)
+    for (const Lit &L : C.Lits) {
+      if (L.var() != Next)
+        continue;
+      (L.negated() ? NegW : PosW) += C.Weight;
+    }
+  bool First = PosW >= NegW;
+
+  for (int Phase = 0; Phase < 2; ++Phase) {
+    bool B = Phase == 0 ? First : !First;
+    size_t Mark2 = St.Trail.size();
+    St.assign(Next, B);
+    search(St);
+    St.undoTo(Mark2);
+    if (St.BudgetExhausted)
+      break;
+  }
+  St.undoTo(Mark);
+  return true;
+}
+
+std::optional<MaxSatResult> MaxSatSolver::solve(uint64_t NodeBudget) {
+  SearchState St;
+  St.Assign.assign(NumVars, Undef);
+  St.Hard = &Hard;
+  St.Soft = &Soft;
+  St.NodeBudget = NodeBudget;
+  St.TotalSoft = std::accumulate(
+      Soft.begin(), Soft.end(), uint64_t(0),
+      [](uint64_t Acc, const SoftClause &C) { return Acc + C.Weight; });
+
+  // Static branching order: descending total soft weight touching the
+  // variable, so decisions settle the objective early and bounds bite.
+  std::vector<uint64_t> VarWeight(NumVars, 0);
+  for (const SoftClause &C : Soft)
+    for (const Lit &L : C.Lits)
+      VarWeight[L.var()] += C.Weight;
+  St.Order.resize(NumVars);
+  std::iota(St.Order.begin(), St.Order.end(), 0);
+  std::stable_sort(St.Order.begin(), St.Order.end(), [&VarWeight](Var A, Var B) {
+    return VarWeight[A] > VarWeight[B];
+  });
+
+  search(St);
+  if (!St.HaveBest)
+    return std::nullopt;
+  return MaxSatResult{St.BestModel, St.TotalSoft - St.BestLost};
+}

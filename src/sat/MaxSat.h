@@ -1,0 +1,81 @@
+//===- sat/MaxSat.h - Weighted partial MaxSAT ---------------------*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An exact branch-and-bound solver for weighted partial MaxSAT — the
+/// (H, S, W) problem of Sec. 4.2: satisfy all hard clauses while maximizing
+/// the total weight of satisfied soft clauses. Used by the
+/// value-correspondence enumerator for small-to-medium encodings; large
+/// schemas use the decomposition-based KBestVcEnumerator, which produces
+/// the same assignment order (validated by tests).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_SAT_MAXSAT_H
+#define MIGRATOR_SAT_MAXSAT_H
+
+#include "sat/Solver.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace migrator {
+namespace sat {
+
+/// A soft clause with a positive weight.
+struct SoftClause {
+  std::vector<Lit> Lits;
+  uint64_t Weight;
+};
+
+/// The result of a MaxSAT call: a model of the hard clauses maximizing the
+/// satisfied soft weight, plus that weight.
+struct MaxSatResult {
+  std::vector<bool> Model; ///< Indexed by variable.
+  uint64_t Weight;         ///< Total weight of satisfied soft clauses.
+};
+
+/// Exact branch-and-bound weighted partial MaxSAT solver.
+///
+/// Usage: allocate variables, add hard and soft clauses, then call solve().
+/// Hard clauses may be added between solve() calls (the VC enumerator adds
+/// blocking clauses this way).
+class MaxSatSolver {
+public:
+  /// Allocates \p N fresh variables; returns the first index.
+  int addVars(int N);
+
+  int getNumVars() const { return NumVars; }
+
+  /// Adds a hard clause.
+  void addHard(std::vector<Lit> Lits);
+
+  /// Adds a soft clause with weight \p Weight (> 0).
+  void addSoft(std::vector<Lit> Lits, uint64_t Weight);
+
+  /// Returns a maximum-weight model, or nullopt if the hard clauses are
+  /// unsatisfiable. \p NodeBudget bounds the search (0 = unlimited); if the
+  /// budget is exhausted the best model found so far is returned (still a
+  /// model of the hard clauses, possibly suboptimal) — callers that need
+  /// exactness pass 0.
+  std::optional<MaxSatResult> solve(uint64_t NodeBudget = 0);
+
+private:
+  int NumVars = 0;
+  std::vector<std::vector<Lit>> Hard;
+  std::vector<SoftClause> Soft;
+
+  // Search state (rebuilt per solve()).
+  struct SearchState;
+  bool search(SearchState &St);
+};
+
+} // namespace sat
+} // namespace migrator
+
+#endif // MIGRATOR_SAT_MAXSAT_H

@@ -1,0 +1,379 @@
+//===- sat/Solver.cpp - CDCL SAT solver -------------------------------------===//
+
+#include "sat/Solver.h"
+
+#include <algorithm>
+
+using namespace migrator;
+using namespace migrator::sat;
+
+namespace {
+
+/// The Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, ... (1-based index).
+uint64_t luby(uint64_t I) {
+  assert(I >= 1 && "the Luby sequence is 1-based");
+  uint64_t K = 1;
+  while ((1ULL << (K + 1)) <= I + 1)
+    ++K;
+  while ((1ULL << K) - 1 != I) {
+    I -= (1ULL << K) - 1;
+    K = 1;
+    while ((1ULL << (K + 1)) <= I + 1)
+      ++K;
+  }
+  return 1ULL << (K - 1);
+}
+
+} // namespace
+
+Var Solver::newVar() {
+  Var V = getNumVars();
+  Assigns.push_back(LUndef);
+  Model.push_back(LUndef);
+  Level.push_back(0);
+  Reason.push_back(NoReason);
+  Activity.push_back(0.0);
+  SavedPhase.push_back(false);
+  HeapPos.push_back(-1);
+  Watches.emplace_back();
+  Watches.emplace_back();
+  heapInsert(V);
+  return V;
+}
+
+bool Solver::addClause(std::vector<Lit> Lits) {
+  if (Unsatisfiable)
+    return false;
+  assert(decisionLevel() == 0 && "clauses must be added at the root level");
+
+  // Simplify: sort, dedup, drop root-false literals, detect tautologies and
+  // root-satisfied clauses.
+  std::sort(Lits.begin(), Lits.end());
+  std::vector<Lit> Out;
+  for (size_t I = 0; I < Lits.size(); ++I) {
+    Lit L = Lits[I];
+    assert(L.var() >= 0 && L.var() < getNumVars() && "literal out of range");
+    if (I + 1 < Lits.size() && Lits[I + 1] == ~L)
+      return true; // Tautology.
+    if (I > 0 && L == Lits[I - 1])
+      continue; // Duplicate.
+    LBool V = valueOf(L);
+    if (V == LTrue)
+      return true; // Already satisfied at the root.
+    if (V == LFalse)
+      continue; // Falsified at the root; drop.
+    Out.push_back(L);
+  }
+
+  if (Out.empty()) {
+    Unsatisfiable = true;
+    return false;
+  }
+  if (Out.size() == 1) {
+    enqueue(Out[0], NoReason);
+    if (propagate() != NoReason) {
+      Unsatisfiable = true;
+      return false;
+    }
+    return true;
+  }
+  attachClause(Clause{std::move(Out), /*Learned=*/false});
+  return true;
+}
+
+bool Solver::addExactlyOne(const std::vector<Var> &Vars) {
+  assert(!Vars.empty() && "exactly-one over an empty set is unsatisfiable");
+  std::vector<Lit> AtLeastOne;
+  AtLeastOne.reserve(Vars.size());
+  for (Var V : Vars)
+    AtLeastOne.push_back(posLit(V));
+  if (!addClause(AtLeastOne))
+    return false;
+  for (size_t I = 0; I < Vars.size(); ++I)
+    for (size_t J = I + 1; J < Vars.size(); ++J)
+      if (!addClause({negLit(Vars[I]), negLit(Vars[J])}))
+        return false;
+  return true;
+}
+
+int Solver::attachClause(Clause C) {
+  assert(C.Lits.size() >= 2 && "attached clauses must have >= 2 literals");
+  int Ref = static_cast<int>(Clauses.size());
+  Watches[C.Lits[0].Code].push_back(Ref);
+  Watches[C.Lits[1].Code].push_back(Ref);
+  Clauses.push_back(std::move(C));
+  return Ref;
+}
+
+void Solver::enqueue(Lit L, int ReasonRef) {
+  assert(valueOf(L) == LUndef && "enqueueing an assigned literal");
+  Var V = L.var();
+  Assigns[V] = L.negated() ? LFalse : LTrue;
+  Level[V] = decisionLevel();
+  Reason[V] = ReasonRef;
+  Trail.push_back(L);
+}
+
+void Solver::cancelUntil(int TargetLevel) {
+  if (decisionLevel() <= TargetLevel)
+    return;
+  size_t Bound = static_cast<size_t>(TrailLim[TargetLevel]);
+  for (size_t I = Trail.size(); I > Bound; --I) {
+    Var V = Trail[I - 1].var();
+    SavedPhase[V] = Assigns[V] == LTrue;
+    Assigns[V] = LUndef;
+    Reason[V] = NoReason;
+    if (HeapPos[V] < 0)
+      heapInsert(V);
+  }
+  Trail.resize(Bound);
+  TrailLim.resize(TargetLevel);
+  PropHead = Trail.size();
+}
+
+int Solver::propagate() {
+  while (PropHead < Trail.size()) {
+    Lit P = Trail[PropHead++]; // P is true; visit clauses watching ~P.
+    std::vector<int> &WL = Watches[(~P).Code];
+    size_t Kept = 0;
+    for (size_t I = 0; I < WL.size(); ++I) {
+      int Ref = WL[I];
+      Clause &C = Clauses[Ref];
+      // Normalize so the falsified watch sits at position 1.
+      if (C.Lits[0] == ~P)
+        std::swap(C.Lits[0], C.Lits[1]);
+      assert(C.Lits[1] == ~P && "watch list out of sync");
+
+      if (valueOf(C.Lits[0]) == LTrue) {
+        WL[Kept++] = Ref;
+        continue;
+      }
+      // Look for a replacement watch.
+      bool Moved = false;
+      for (size_t K = 2; K < C.Lits.size(); ++K) {
+        if (valueOf(C.Lits[K]) == LFalse)
+          continue;
+        std::swap(C.Lits[1], C.Lits[K]);
+        Watches[C.Lits[1].Code].push_back(Ref);
+        Moved = true;
+        break;
+      }
+      if (Moved)
+        continue;
+
+      // Clause is unit or conflicting.
+      WL[Kept++] = Ref;
+      if (valueOf(C.Lits[0]) == LFalse) {
+        // Conflict: keep the remaining watches and report.
+        for (size_t J = I + 1; J < WL.size(); ++J)
+          WL[Kept++] = WL[J];
+        WL.resize(Kept);
+        PropHead = Trail.size();
+        return Ref;
+      }
+      enqueue(C.Lits[0], Ref);
+    }
+    WL.resize(Kept);
+  }
+  return NoReason;
+}
+
+void Solver::analyze(int ConflRef, std::vector<Lit> &Learnt, int &BtLevel) {
+  Learnt.clear();
+  Learnt.push_back(Lit()); // Placeholder for the asserting literal.
+
+  std::vector<bool> Seen(getNumVars(), false);
+  int PathCount = 0;
+  Lit P;
+  bool HaveP = false;
+  size_t Index = Trail.size();
+
+  int Ref = ConflRef;
+  do {
+    assert(Ref != NoReason && "conflict analysis ran out of reasons");
+    const Clause &C = Clauses[Ref];
+    for (const Lit &Q : C.Lits) {
+      if (HaveP && Q == P)
+        continue;
+      Var V = Q.var();
+      if (Seen[V] || Level[V] == 0)
+        continue;
+      Seen[V] = true;
+      bumpActivity(V);
+      if (Level[V] >= decisionLevel())
+        ++PathCount;
+      else
+        Learnt.push_back(Q);
+    }
+    // Walk back to the next marked trail literal.
+    while (!Seen[Trail[Index - 1].var()])
+      --Index;
+    P = Trail[Index - 1];
+    --Index;
+    HaveP = true;
+    Ref = Reason[P.var()];
+    Seen[P.var()] = false;
+    --PathCount;
+  } while (PathCount > 0);
+
+  Learnt[0] = ~P;
+
+  // Backtrack level: the highest level among the non-asserting literals.
+  BtLevel = 0;
+  size_t MaxIdx = 1;
+  for (size_t I = 1; I < Learnt.size(); ++I)
+    if (Level[Learnt[I].var()] > BtLevel) {
+      BtLevel = Level[Learnt[I].var()];
+      MaxIdx = I;
+    }
+  if (Learnt.size() > 1)
+    std::swap(Learnt[1], Learnt[MaxIdx]);
+}
+
+Lit Solver::pickBranchLit() {
+  while (true) {
+    if (Heap.empty())
+      return Lit();
+    Var V = heapPopMax();
+    if (Assigns[V] == LUndef)
+      return Lit(V, !SavedPhase[V]);
+  }
+}
+
+Solver::Result Solver::solve() {
+  if (Unsatisfiable)
+    return Result::Unsat;
+
+  uint64_t RestartCount = 0;
+  uint64_t ConflictsSinceRestart = 0;
+  uint64_t RestartLimit = luby(RestartCount + 1) * 100;
+
+  if (propagate() != NoReason) {
+    Unsatisfiable = true;
+    return Result::Unsat;
+  }
+
+  while (true) {
+    int ConflRef = propagate();
+    if (ConflRef != NoReason) {
+      ++Conflicts;
+      ++ConflictsSinceRestart;
+      if (decisionLevel() == 0) {
+        Unsatisfiable = true;
+        return Result::Unsat;
+      }
+      std::vector<Lit> Learnt;
+      int BtLevel = 0;
+      analyze(ConflRef, Learnt, BtLevel);
+      cancelUntil(BtLevel);
+      if (Learnt.size() == 1) {
+        enqueue(Learnt[0], NoReason);
+      } else {
+        int Ref = attachClause(Clause{Learnt, /*Learned=*/true});
+        enqueue(Learnt[0], Ref);
+      }
+      decayActivity();
+      continue;
+    }
+
+    if (ConflictsSinceRestart >= RestartLimit) {
+      ConflictsSinceRestart = 0;
+      RestartLimit = luby(++RestartCount + 1) * 100;
+      cancelUntil(0);
+      continue;
+    }
+
+    Lit Next = pickBranchLit();
+    if (Next.Code < 0) {
+      // Total assignment: record the model and reset to the root so more
+      // clauses can be added afterwards.
+      Model = Assigns;
+      cancelUntil(0);
+      return Result::Sat;
+    }
+    ++Decisions;
+    TrailLim.push_back(static_cast<int>(Trail.size()));
+    enqueue(Next, NoReason);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// VSIDS activity heap
+//===----------------------------------------------------------------------===//
+
+void Solver::setInitialActivity(Var V, double A) {
+  assert(V >= 0 && V < getNumVars() && "variable out of range");
+  Activity[V] = A;
+  if (HeapPos[V] >= 0) {
+    heapSiftUp(HeapPos[V]);
+    heapSiftDown(HeapPos[V]);
+  }
+}
+
+void Solver::bumpActivity(Var V) {
+  Activity[V] += ActivityInc;
+  if (Activity[V] > 1e100)
+    rescaleActivities();
+  if (HeapPos[V] >= 0)
+    heapSiftUp(HeapPos[V]);
+}
+
+void Solver::rescaleActivities() {
+  for (double &A : Activity)
+    A *= 1e-100;
+  ActivityInc *= 1e-100;
+}
+
+void Solver::heapInsert(Var V) {
+  assert(HeapPos[V] < 0 && "variable already in heap");
+  HeapPos[V] = static_cast<int>(Heap.size());
+  Heap.push_back(V);
+  heapSiftUp(HeapPos[V]);
+}
+
+Var Solver::heapPopMax() {
+  assert(!Heap.empty() && "pop from empty heap");
+  Var Top = Heap[0];
+  HeapPos[Top] = -1;
+  Var Last = Heap.back();
+  Heap.pop_back();
+  if (!Heap.empty()) {
+    Heap[0] = Last;
+    HeapPos[Last] = 0;
+    heapSiftDown(0);
+  }
+  return Top;
+}
+
+void Solver::heapSiftUp(int Pos) {
+  Var V = Heap[Pos];
+  while (Pos > 0) {
+    int Parent = (Pos - 1) / 2;
+    if (!heapLess(Heap[Parent], V))
+      break;
+    Heap[Pos] = Heap[Parent];
+    HeapPos[Heap[Pos]] = Pos;
+    Pos = Parent;
+  }
+  Heap[Pos] = V;
+  HeapPos[V] = Pos;
+}
+
+void Solver::heapSiftDown(int Pos) {
+  Var V = Heap[Pos];
+  int N = static_cast<int>(Heap.size());
+  while (true) {
+    int Child = 2 * Pos + 1;
+    if (Child >= N)
+      break;
+    if (Child + 1 < N && heapLess(Heap[Child], Heap[Child + 1]))
+      ++Child;
+    if (!heapLess(V, Heap[Child]))
+      break;
+    Heap[Pos] = Heap[Child];
+    HeapPos[Heap[Pos]] = Pos;
+    Pos = Child;
+  }
+  Heap[Pos] = V;
+  HeapPos[V] = Pos;
+}

@@ -1,0 +1,174 @@
+//===- sat/Solver.h - CDCL SAT solver ------------------------------*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A conflict-driven clause-learning SAT solver (the role Sat4J plays in the
+/// paper's implementation). Features: two-watched-literal propagation,
+/// first-UIP conflict analysis, VSIDS-style variable activities with a
+/// binary heap, phase saving, and Luby restarts. The solver is incremental
+/// in the sense the sketch-completion loop needs: clauses (in particular,
+/// blocking clauses) may be added between solve() calls and learned clauses
+/// are kept.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_SAT_SOLVER_H
+#define MIGRATOR_SAT_SOLVER_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace migrator {
+namespace sat {
+
+/// A propositional variable, numbered from 0.
+using Var = int;
+
+/// A literal: variable plus sign, encoded as 2*var (positive) or
+/// 2*var + 1 (negated).
+struct Lit {
+  int Code = -2;
+
+  Lit() = default;
+  Lit(Var V, bool Negated) : Code(2 * V + (Negated ? 1 : 0)) {}
+
+  Var var() const { return Code >> 1; }
+  bool negated() const { return Code & 1; }
+  Lit operator~() const {
+    Lit L;
+    L.Code = Code ^ 1;
+    return L;
+  }
+  bool operator==(const Lit &O) const { return Code == O.Code; }
+  bool operator!=(const Lit &O) const { return Code != O.Code; }
+  bool operator<(const Lit &O) const { return Code < O.Code; }
+
+  std::string str() const {
+    return (negated() ? "-" : "") + std::to_string(var() + 1);
+  }
+};
+
+/// Builds the positive literal of \p V.
+inline Lit posLit(Var V) { return Lit(V, false); }
+/// Builds the negative literal of \p V.
+inline Lit negLit(Var V) { return Lit(V, true); }
+
+/// CDCL SAT solver.
+class Solver {
+public:
+  enum class Result { Sat, Unsat };
+
+  Solver() = default;
+
+  /// Allocates and returns a fresh variable.
+  Var newVar();
+
+  int getNumVars() const { return static_cast<int>(Assigns.size()); }
+  uint64_t getNumConflicts() const { return Conflicts; }
+  uint64_t getNumDecisions() const { return Decisions; }
+
+  /// Adds a clause. Returns false if the formula became trivially
+  /// unsatisfiable (which also latches the solver into UNSAT).
+  bool addClause(std::vector<Lit> Lits);
+
+  /// Adds the exactly-one constraint over \p Vars (at-least-one clause plus
+  /// pairwise at-most-one clauses) — the paper's n-ary xor over hole
+  /// indicator variables.
+  bool addExactlyOne(const std::vector<Var> &Vars);
+
+  /// Sets the saved phase of \p V: the polarity tried first when branching.
+  void setPhase(Var V, bool Positive) {
+    assert(V >= 0 && V < getNumVars() && "variable out of range");
+    SavedPhase[V] = Positive;
+  }
+
+  /// Sets the initial VSIDS activity of \p V, biasing the branching order
+  /// before any conflicts occur (used by the sketch encoder to prefer each
+  /// hole's first alternative).
+  void setInitialActivity(Var V, double A);
+
+  /// Solves the current formula.
+  Result solve();
+
+  /// After a Sat result: the model value of \p V.
+  bool modelValue(Var V) const {
+    assert(V >= 0 && V < getNumVars() && "variable out of range");
+    assert(Model[V] != LUndef && "model not total");
+    return Model[V] == LTrue;
+  }
+
+private:
+  // Three-valued assignment.
+  using LBool = uint8_t;
+  static constexpr LBool LUndef = 0, LTrue = 1, LFalse = 2;
+
+  struct Clause {
+    std::vector<Lit> Lits;
+    bool Learned = false;
+  };
+
+  static constexpr int NoReason = -1;
+
+  // Clause database; index into Clauses acts as a clause reference.
+  std::vector<Clause> Clauses;
+  // Watch lists: for each literal code, the clauses watching it.
+  std::vector<std::vector<int>> Watches;
+
+  std::vector<LBool> Assigns;
+  std::vector<LBool> Model;
+  std::vector<int> Level;
+  std::vector<int> Reason;
+  std::vector<Lit> Trail;
+  std::vector<int> TrailLim;
+  size_t PropHead = 0;
+
+  // VSIDS.
+  std::vector<double> Activity;
+  double ActivityInc = 1.0;
+  std::vector<int> HeapPos; ///< Var -> index in Heap, or -1.
+  std::vector<Var> Heap;    ///< Binary max-heap ordered by activity.
+  std::vector<bool> SavedPhase;
+
+  bool Unsatisfiable = false;
+  uint64_t Conflicts = 0;
+  uint64_t Decisions = 0;
+
+  // --- assignment helpers ---
+  LBool valueOf(Lit L) const {
+    LBool A = Assigns[L.var()];
+    if (A == LUndef)
+      return LUndef;
+    bool IsTrue = (A == LTrue) != L.negated();
+    return IsTrue ? LTrue : LFalse;
+  }
+  int decisionLevel() const { return static_cast<int>(TrailLim.size()); }
+  void enqueue(Lit L, int ReasonRef);
+  void cancelUntil(int TargetLevel);
+
+  // --- search ---
+  int propagate(); ///< Returns conflicting clause ref or NoReason.
+  void analyze(int ConflRef, std::vector<Lit> &Learnt, int &BtLevel);
+  Lit pickBranchLit();
+  int attachClause(Clause C); ///< Returns clause ref; caller ensures size>=2.
+
+  // --- VSIDS heap ---
+  void bumpActivity(Var V);
+  void decayActivity() { ActivityInc *= (1.0 / 0.95); }
+  void rescaleActivities();
+  void heapInsert(Var V);
+  Var heapPopMax();
+  void heapSiftUp(int Pos);
+  void heapSiftDown(int Pos);
+  bool heapLess(Var A, Var B) const { return Activity[A] < Activity[B]; }
+};
+
+} // namespace sat
+} // namespace migrator
+
+#endif // MIGRATOR_SAT_SOLVER_H

@@ -1,0 +1,187 @@
+//===- sketch/JoinGraph.cpp - Join graph and Steiner covers -----------------===//
+
+#include "sketch/JoinGraph.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace migrator;
+
+JoinGraph::JoinGraph(const Schema &S) : S(S) {
+  for (const TableSchema &T : S.getTables())
+    Tables.push_back(T.getName());
+  size_t N = Tables.size();
+  Adj.assign(N, std::vector<bool>(N, false));
+  for (size_t I = 0; I < N; ++I) {
+    const TableSchema &TI = S.getTable(Tables[I]);
+    for (size_t J = I + 1; J < N; ++J) {
+      const TableSchema &TJ = S.getTable(Tables[J]);
+      for (const Attribute &A : TI.getAttrs()) {
+        std::optional<unsigned> Idx = TJ.attrIndex(A.Name);
+        if (Idx && TJ.getAttrs()[*Idx].Type == A.Type) {
+          Adj[I][J] = Adj[J][I] = true;
+          break;
+        }
+      }
+    }
+  }
+}
+
+int JoinGraph::indexOf(const std::string &Table) const {
+  for (size_t I = 0; I < Tables.size(); ++I)
+    if (Tables[I] == Table)
+      return static_cast<int>(I);
+  return -1;
+}
+
+bool JoinGraph::joinable(const std::string &A, const std::string &B) const {
+  int IA = indexOf(A), IB = indexOf(B);
+  assert(IA >= 0 && IB >= 0 && "unknown table");
+  return Adj[IA][IB];
+}
+
+bool JoinGraph::isValidCover(const std::vector<int> &Cover,
+                             const std::vector<bool> &IsTerminal) const {
+  // Iteratively prune non-terminal vertices whose induced degree is <= 1; a
+  // Steiner-tree vertex set never loses a vertex this way.
+  std::vector<int> Live = Cover;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 0; I < Live.size(); ++I) {
+      if (IsTerminal[Live[I]])
+        continue;
+      int Degree = 0;
+      for (size_t J = 0; J < Live.size(); ++J)
+        if (J != I && Adj[Live[I]][Live[J]])
+          ++Degree;
+      if (Degree <= 1) {
+        if (Live.size() == Cover.size())
+          return false; // A vertex of the candidate itself was pruned.
+        Live.erase(Live.begin() + I);
+        Changed = true;
+        break;
+      }
+    }
+    if (Live.size() < Cover.size())
+      return false;
+  }
+
+  // Connectivity over the induced subgraph.
+  if (Live.empty())
+    return false;
+  std::vector<bool> Seen(Live.size(), false);
+  std::vector<size_t> Stack = {0};
+  Seen[0] = true;
+  size_t Reached = 1;
+  while (!Stack.empty()) {
+    size_t Cur = Stack.back();
+    Stack.pop_back();
+    for (size_t J = 0; J < Live.size(); ++J)
+      if (!Seen[J] && Adj[Live[Cur]][Live[J]]) {
+        Seen[J] = true;
+        ++Reached;
+        Stack.push_back(J);
+      }
+  }
+  return Reached == Live.size();
+}
+
+std::vector<std::vector<std::string>>
+JoinGraph::componentsOf(const std::vector<std::string> &Terminals) const {
+  // Component id per table via BFS over the whole graph.
+  std::vector<int> Comp(Tables.size(), -1);
+  int NumComp = 0;
+  for (size_t Start = 0; Start < Tables.size(); ++Start) {
+    if (Comp[Start] >= 0)
+      continue;
+    int Id = NumComp++;
+    std::vector<size_t> Work = {Start};
+    Comp[Start] = Id;
+    while (!Work.empty()) {
+      size_t Cur = Work.back();
+      Work.pop_back();
+      for (size_t N = 0; N < Tables.size(); ++N)
+        if (Comp[N] < 0 && Adj[Cur][N]) {
+          Comp[N] = Id;
+          Work.push_back(N);
+        }
+    }
+  }
+  std::vector<std::vector<std::string>> Groups(NumComp);
+  std::vector<bool> Seen(Tables.size(), false);
+  for (const std::string &T : Terminals) {
+    int Idx = indexOf(T);
+    if (Idx < 0 || Seen[Idx])
+      continue;
+    Seen[Idx] = true;
+    Groups[Comp[Idx]].push_back(T);
+  }
+  std::vector<std::vector<std::string>> Result;
+  for (std::vector<std::string> &G : Groups)
+    if (!G.empty())
+      Result.push_back(std::move(G));
+  return Result;
+}
+
+std::vector<std::vector<std::string>>
+JoinGraph::steinerCovers(const std::vector<std::string> &Terminals,
+                         unsigned Slack) const {
+  std::vector<std::vector<std::string>> Result;
+  if (Terminals.empty())
+    return Result;
+
+  std::vector<bool> IsTerminal(Tables.size(), false);
+  std::vector<int> Base;
+  for (const std::string &T : Terminals) {
+    int Idx = indexOf(T);
+    if (Idx < 0)
+      return Result;
+    if (!IsTerminal[Idx]) {
+      IsTerminal[Idx] = true;
+      Base.push_back(Idx);
+    }
+  }
+  std::sort(Base.begin(), Base.end());
+
+  std::vector<int> Others;
+  for (size_t I = 0; I < Tables.size(); ++I)
+    if (!IsTerminal[I])
+      Others.push_back(static_cast<int>(I));
+
+  // Enumerate extra-table subsets by increasing size, then lexicographically,
+  // so the resulting cover order is deterministic and smallest-first.
+  std::vector<int> Extra;
+  auto Emit = [&]() {
+    std::vector<int> Cover = Base;
+    Cover.insert(Cover.end(), Extra.begin(), Extra.end());
+    std::sort(Cover.begin(), Cover.end());
+    if (!isValidCover(Cover, IsTerminal))
+      return;
+    std::vector<std::string> Names;
+    Names.reserve(Cover.size());
+    for (int I : Cover)
+      Names.push_back(Tables[I]);
+    Result.push_back(std::move(Names));
+  };
+
+  for (unsigned Size = 0; Size <= Slack && Size <= Others.size(); ++Size) {
+    // Choose `Size` extra tables out of Others.
+    std::vector<size_t> Pick(Size);
+    auto Rec = [&](auto &&Self, size_t Depth, size_t From) -> void {
+      if (Depth == Size) {
+        Extra.clear();
+        for (size_t K : Pick)
+          Extra.push_back(Others[K]);
+        Emit();
+        return;
+      }
+      for (size_t K = From; K < Others.size(); ++K) {
+        Pick[Depth] = K;
+        Self(Self, Depth + 1, K + 1);
+      }
+    };
+    Rec(Rec, 0, 0);
+  }
+  return Result;
+}

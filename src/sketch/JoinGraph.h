@@ -1,0 +1,69 @@
+//===- sketch/JoinGraph.h - Join graph and Steiner covers ---------*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The join graph over a schema (Sec. 5, "Sketch generation"): nodes are
+/// tables, and an edge connects two tables that can be natural-joined, i.e.
+/// share an attribute with the same name and type. Candidate target join
+/// chains for a source chain are the *Steiner covers* of the tables holding
+/// the mapped attributes: connected vertex sets containing all terminals in
+/// which every non-terminal table lies on a join path between terminals
+/// (the vertex sets of Steiner trees).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_SKETCH_JOINGRAPH_H
+#define MIGRATOR_SKETCH_JOINGRAPH_H
+
+#include "ast/JoinChain.h"
+#include "relational/Schema.h"
+
+#include <string>
+#include <vector>
+
+namespace migrator {
+
+/// The natural-join graph of a schema.
+class JoinGraph {
+public:
+  explicit JoinGraph(const Schema &S);
+
+  const Schema &getSchema() const { return S; }
+
+  /// Returns true if tables \p A and \p B share an attribute (name + type).
+  bool joinable(const std::string &A, const std::string &B) const;
+
+  /// Groups \p Terminals into connected components of the *whole* join
+  /// graph (intermediate tables count as connections). Unknown tables are
+  /// dropped. Used to decompose inserts over disconnected targets into the
+  /// paper's Ω1 ; ... ; Ωn composition.
+  std::vector<std::vector<std::string>>
+  componentsOf(const std::vector<std::string> &Terminals) const;
+
+  /// Enumerates Steiner covers of \p Terminals: connected vertex sets
+  /// X ⊇ Terminals with at most \p Slack extra tables such that iteratively
+  /// pruning non-terminal tables of induced degree <= 1 leaves X intact.
+  /// Results are ordered by size, then by schema declaration order, and each
+  /// cover lists its tables in schema declaration order. Terminals that
+  /// name unknown tables yield an empty result.
+  std::vector<std::vector<std::string>>
+  steinerCovers(const std::vector<std::string> &Terminals,
+                unsigned Slack) const;
+
+private:
+  const Schema &S;
+  std::vector<std::string> Tables;
+  std::vector<std::vector<bool>> Adj;
+
+  int indexOf(const std::string &Table) const;
+  bool isValidCover(const std::vector<int> &Cover,
+                    const std::vector<bool> &IsTerminal) const;
+};
+
+} // namespace migrator
+
+#endif // MIGRATOR_SKETCH_JOINGRAPH_H

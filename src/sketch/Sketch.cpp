@@ -1,0 +1,333 @@
+//===- sketch/Sketch.cpp - Program sketches with holes ----------------------===//
+
+#include "sketch/Sketch.h"
+
+#include "support/StringExtras.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace migrator;
+
+SketchPred::~SketchPred() = default;
+
+SketchIn::SketchIn(SketchAttr Lhs, std::unique_ptr<SketchQuery> Sub)
+    : SketchPred(Kind::In), Lhs(Lhs), Sub(std::move(Sub)) {
+  assert(this->Sub && "IN sketch requires a sub-query");
+}
+
+SketchIn::~SketchIn() = default;
+
+std::string Hole::domainStr() const {
+  std::ostringstream OS;
+  OS << "??{";
+  bool First = true;
+  auto Sep = [&]() {
+    if (!First)
+      OS << ", ";
+    First = false;
+  };
+  switch (TheKind) {
+  case Kind::Attr:
+    for (const QualifiedAttr &A : Attrs) {
+      Sep();
+      OS << A.str();
+    }
+    break;
+  case Kind::Chain:
+    for (const JoinChain &C : Chains) {
+      Sep();
+      OS << C.str();
+    }
+    break;
+  case Kind::ChainSet:
+    for (const std::vector<JoinChain> &Set : ChainSets) {
+      Sep();
+      for (size_t I = 0; I < Set.size(); ++I) {
+        if (I != 0)
+          OS << " ; ";
+        OS << Set[I].str();
+      }
+    }
+    break;
+  case Kind::TableList:
+    for (const std::vector<std::string> &L : TableLists) {
+      Sep();
+      OS << "[" << join(L, ", ") << "]";
+    }
+    break;
+  }
+  OS << "}";
+  return OS.str();
+}
+
+unsigned Sketch::addHole(Hole H) {
+  assert(H.size() > 0 && "hole with an empty domain");
+  Holes.push_back(std::move(H));
+  return static_cast<unsigned>(Holes.size() - 1);
+}
+
+double Sketch::spaceSize() const {
+  double Size = 1.0;
+  for (const Hole &H : Holes)
+    Size *= static_cast<double>(H.size());
+  return Size;
+}
+
+std::vector<unsigned> Sketch::holesOfFunction(const std::string &Func) const {
+  std::vector<unsigned> Ids;
+  for (unsigned I = 0; I < Holes.size(); ++I)
+    if (Holes[I].Func == Func)
+      Ids.push_back(I);
+  return Ids;
+}
+
+namespace {
+
+/// Rebuilds concrete AST pieces from a sketch under one hole assignment.
+class Instantiator {
+public:
+  Instantiator(const Sketch &Sk, const std::vector<unsigned> &Assign)
+      : Sk(Sk), Assign(Assign) {}
+
+  AttrRef attr(SketchAttr A) const {
+    const Hole &H = Sk.getHole(A.HoleId);
+    assert(H.TheKind == Hole::Kind::Attr && "attribute hole expected");
+    return AttrRef::qualified(H.Attrs[alt(A.HoleId)]);
+  }
+
+  const JoinChain &chain(unsigned HoleId) const {
+    const Hole &H = Sk.getHole(HoleId);
+    assert(H.TheKind == Hole::Kind::Chain && "chain hole expected");
+    return H.Chains[alt(HoleId)];
+  }
+
+  const std::vector<JoinChain> &chainSet(unsigned HoleId) const {
+    const Hole &H = Sk.getHole(HoleId);
+    assert(H.TheKind == Hole::Kind::ChainSet && "chain-set hole expected");
+    return H.ChainSets[alt(HoleId)];
+  }
+
+  const std::vector<std::string> &tableList(unsigned HoleId) const {
+    const Hole &H = Sk.getHole(HoleId);
+    assert(H.TheKind == Hole::Kind::TableList && "table-list hole expected");
+    return H.TableLists[alt(HoleId)];
+  }
+
+  PredPtr pred(const SketchPred &P) const {
+    switch (P.getKind()) {
+    case SketchPred::Kind::Cmp: {
+      const auto &C = static_cast<const SketchCmp &>(P);
+      if (C.Rhs.index() == 0)
+        return makeAttrCmp(attr(C.Lhs), C.Op, attr(std::get<0>(C.Rhs)));
+      return makeCmp(attr(C.Lhs), C.Op, std::get<1>(C.Rhs));
+    }
+    case SketchPred::Kind::In: {
+      const auto &I = static_cast<const SketchIn &>(P);
+      return std::make_unique<InPred>(attr(I.Lhs), query(*I.Sub));
+    }
+    case SketchPred::Kind::And:
+    case SketchPred::Kind::Or: {
+      const auto &B = static_cast<const SketchBinary &>(P);
+      Pred::Kind K = P.getKind() == SketchPred::Kind::And ? Pred::Kind::And
+                                                          : Pred::Kind::Or;
+      return std::make_unique<BinaryPred>(K, pred(*B.L), pred(*B.R));
+    }
+    case SketchPred::Kind::Not:
+      return makeNot(pred(*static_cast<const SketchNot &>(P).Sub));
+    }
+    assert(false && "unknown sketch predicate kind");
+    return nullptr;
+  }
+
+  QueryPtr query(const SketchQuery &Q) const {
+    std::vector<AttrRef> Proj;
+    Proj.reserve(Q.Proj.size());
+    for (SketchAttr A : Q.Proj)
+      Proj.push_back(attr(A));
+    PredPtr P = Q.Where ? pred(*Q.Where) : nullptr;
+    return makeSelect(std::move(Proj), chain(Q.ChainHole), std::move(P));
+  }
+
+  /// Appends the concrete statements for \p St to \p Out. Insert sketches
+  /// may expand to several statements (the paper's Ω1 ; ... ; Ωn insert
+  /// composition).
+  void stmts(const SketchStmt &St, std::vector<StmtPtr> &Out) const {
+    if (const auto *I = std::get_if<SketchInsert>(&St)) {
+      for (const JoinChain &Chain : chainSet(I->ChainSetHole)) {
+        std::vector<InsertStmt::Assignment> Values;
+        for (const auto &[A, Op] : I->Values) {
+          AttrRef Ref = attr(A);
+          if (Chain.containsTable(Ref.Table))
+            Values.emplace_back(std::move(Ref), Op);
+        }
+        Out.push_back(
+            std::make_unique<InsertStmt>(Chain, std::move(Values)));
+      }
+      return;
+    }
+    if (const auto *D = std::get_if<SketchDelete>(&St)) {
+      PredPtr P = D->Where ? pred(*D->Where) : nullptr;
+      Out.push_back(std::make_unique<DeleteStmt>(tableList(D->TableListHole),
+                                                 chain(D->ChainHole),
+                                                 std::move(P)));
+      return;
+    }
+    const auto &U = std::get<SketchUpdate>(St);
+    PredPtr P = U.Where ? pred(*U.Where) : nullptr;
+    Out.push_back(std::make_unique<UpdateStmt>(chain(U.ChainHole),
+                                               std::move(P), attr(U.Target),
+                                               U.Val));
+  }
+
+private:
+  const Sketch &Sk;
+  const std::vector<unsigned> &Assign;
+
+  unsigned alt(unsigned HoleId) const {
+    assert(HoleId < Assign.size() && "assignment missing a hole");
+    assert(Assign[HoleId] < Sk.getHole(HoleId).size() &&
+           "alternative index out of range");
+    return Assign[HoleId];
+  }
+};
+
+} // namespace
+
+Program Sketch::instantiate(const std::vector<unsigned> &Assign) const {
+  assert(Assign.size() == Holes.size() &&
+         "assignment arity does not match hole count");
+  Instantiator Inst(*this, Assign);
+  Program P;
+  for (const SketchFunction &F : Funcs) {
+    if (F.TheKind == Function::Kind::Query) {
+      P.addFunction(
+          Function::makeQuery(F.Name, F.Params, Inst.query(*F.Query)));
+      continue;
+    }
+    std::vector<StmtPtr> Body;
+    Body.reserve(F.Body.size());
+    for (const SketchStmt &St : F.Body)
+      Inst.stmts(St, Body);
+    P.addFunction(Function::makeUpdate(F.Name, F.Params, std::move(Body)));
+  }
+  return P;
+}
+
+namespace {
+
+void printPred(const SketchPred &P, std::ostringstream &OS);
+
+void printAttr(SketchAttr A, std::ostringstream &OS) { OS << "??" << A.HoleId; }
+
+void printQuery(const SketchQuery &Q, std::ostringstream &OS) {
+  OS << "select ";
+  for (size_t I = 0; I < Q.Proj.size(); ++I) {
+    if (I != 0)
+      OS << ", ";
+    printAttr(Q.Proj[I], OS);
+  }
+  OS << " from ??" << Q.ChainHole;
+  if (Q.Where) {
+    OS << " where ";
+    printPred(*Q.Where, OS);
+  }
+}
+
+void printPred(const SketchPred &P, std::ostringstream &OS) {
+  switch (P.getKind()) {
+  case SketchPred::Kind::Cmp: {
+    const auto &C = static_cast<const SketchCmp &>(P);
+    printAttr(C.Lhs, OS);
+    OS << " " << cmpOpName(C.Op) << " ";
+    if (C.Rhs.index() == 0)
+      printAttr(std::get<0>(C.Rhs), OS);
+    else
+      OS << std::get<1>(C.Rhs).str();
+    return;
+  }
+  case SketchPred::Kind::In: {
+    const auto &I = static_cast<const SketchIn &>(P);
+    printAttr(I.Lhs, OS);
+    OS << " in (";
+    printQuery(*I.Sub, OS);
+    OS << ")";
+    return;
+  }
+  case SketchPred::Kind::And:
+  case SketchPred::Kind::Or: {
+    const auto &B = static_cast<const SketchBinary &>(P);
+    OS << "(";
+    printPred(*B.L, OS);
+    OS << (P.getKind() == SketchPred::Kind::And ? " and " : " or ");
+    printPred(*B.R, OS);
+    OS << ")";
+    return;
+  }
+  case SketchPred::Kind::Not: {
+    OS << "not (";
+    printPred(*static_cast<const SketchNot &>(P).Sub, OS);
+    OS << ")";
+    return;
+  }
+  }
+}
+
+} // namespace
+
+std::string Sketch::str() const {
+  std::ostringstream OS;
+  for (const SketchFunction &F : Funcs) {
+    OS << (F.TheKind == Function::Kind::Update ? "update " : "query ")
+       << F.Name << "(";
+    for (size_t I = 0; I < F.Params.size(); ++I) {
+      if (I != 0)
+        OS << ", ";
+      OS << F.Params[I].Name << ": " << typeName(F.Params[I].Type);
+    }
+    OS << ") {\n";
+    if (F.TheKind == Function::Kind::Query) {
+      OS << "  ";
+      printQuery(*F.Query, OS);
+      OS << ";\n";
+    } else {
+      for (const SketchStmt &St : F.Body) {
+        OS << "  ";
+        if (const auto *I = std::get_if<SketchInsert>(&St)) {
+          OS << "insert into ??" << I->ChainSetHole << " values (";
+          for (size_t K = 0; K < I->Values.size(); ++K) {
+            if (K != 0)
+              OS << ", ";
+            printAttr(I->Values[K].first, OS);
+            OS << ": " << I->Values[K].second.str();
+          }
+          OS << ");";
+        } else if (const auto *D = std::get_if<SketchDelete>(&St)) {
+          OS << "delete ??" << D->TableListHole << " from ??" << D->ChainHole;
+          if (D->Where) {
+            OS << " where ";
+            printPred(*D->Where, OS);
+          }
+          OS << ";";
+        } else {
+          const auto &U = std::get<SketchUpdate>(St);
+          OS << "update ??" << U.ChainHole << " set ";
+          printAttr(U.Target, OS);
+          OS << " = " << U.Val.str();
+          if (U.Where) {
+            OS << " where ";
+            printPred(*U.Where, OS);
+          }
+          OS << ";";
+        }
+        OS << "\n";
+      }
+    }
+    OS << "}\n";
+  }
+  OS << "\nholes:\n";
+  for (unsigned I = 0; I < Holes.size(); ++I)
+    OS << "  ??" << I << " (" << Holes[I].Func << ") "
+       << Holes[I].domainStr() << "\n";
+  return OS.str();
+}

@@ -1,0 +1,243 @@
+//===- sketch/Sketch.h - Program sketches with holes --------------*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Program sketches — the language of Fig. 6. A sketch mirrors the source
+/// program's structure, but attribute occurrences, join chains, and delete
+/// target lists are *holes*: unknowns ranging over finite domains.
+///
+/// Following the paper's own instantiation (the Fig. 3 sketch whose search
+/// space is 3·15·3·3·3·15·3·3 = 164,025), holes are flat and independent:
+///
+///  * every statement carries one *chain hole* whose domain is the set of
+///    candidate target join chains (Steiner-tree covers);
+///  * every attribute occurrence carries an *attribute hole* whose domain
+///    is Φ(a);
+///  * every delete statement carries a *table-list hole* whose domain is
+///    the non-empty subsets of the union of candidate-chain tables.
+///
+/// The `?` choice construct of Fig. 6 is represented by these selector
+/// holes. Cross-hole well-formedness (a chosen attribute must live in the
+/// chosen chain; a delete target list must be a subset of the chosen chain)
+/// is recorded as *incompatibility pairs*, which the SAT encoder turns into
+/// binary clauses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_SKETCH_SKETCH_H
+#define MIGRATOR_SKETCH_SKETCH_H
+
+#include "ast/Program.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace migrator {
+
+/// One unknown of a sketch with its finite domain. Exactly one of the
+/// domain vectors is populated, matching the hole's kind.
+struct Hole {
+  enum class Kind { Attr, Chain, ChainSet, TableList };
+
+  Kind TheKind;
+  std::string Func; ///< Name of the owning function (used for MFI blocking).
+
+  std::vector<QualifiedAttr> Attrs;
+  std::vector<JoinChain> Chains;
+  /// ChainSet holes (insert statements): each alternative is a *sequence*
+  /// of chains, realizing the paper's update composition Ω1 ; ... ; Ωn
+  /// (Fig. 9/10). Connected refactorings use singleton sets; splits into
+  /// unlinked tables need genuine multi-chain alternatives.
+  std::vector<std::vector<JoinChain>> ChainSets;
+  std::vector<std::vector<std::string>> TableLists;
+
+  size_t size() const {
+    switch (TheKind) {
+    case Kind::Attr:
+      return Attrs.size();
+    case Kind::Chain:
+      return Chains.size();
+    case Kind::ChainSet:
+      return ChainSets.size();
+    case Kind::TableList:
+      return TableLists.size();
+    }
+    return 0;
+  }
+
+  /// Renders the domain as `??{alt1, alt2, ...}`.
+  std::string domainStr() const;
+};
+
+/// A hole standing for one attribute occurrence.
+struct SketchAttr {
+  unsigned HoleId = 0;
+};
+
+class SketchPred;
+using SketchPredPtr = std::unique_ptr<SketchPred>;
+struct SketchQuery;
+
+/// Predicate sketches mirror the Pred hierarchy with holes at attribute
+/// positions.
+class SketchPred {
+public:
+  enum class Kind { Cmp, In, And, Or, Not };
+
+  virtual ~SketchPred();
+  Kind getKind() const { return TheKind; }
+
+protected:
+  explicit SketchPred(Kind K) : TheKind(K) {}
+
+private:
+  const Kind TheKind;
+};
+
+class SketchCmp : public SketchPred {
+public:
+  using Rhs_t = std::variant<SketchAttr, Operand>;
+
+  SketchCmp(SketchAttr Lhs, CmpOp Op, Rhs_t Rhs)
+      : SketchPred(Kind::Cmp), Lhs(Lhs), Op(Op), Rhs(std::move(Rhs)) {}
+
+  SketchAttr Lhs;
+  CmpOp Op;
+  Rhs_t Rhs;
+
+  static bool classof(const SketchPred *P) { return P->getKind() == Kind::Cmp; }
+};
+
+class SketchIn : public SketchPred {
+public:
+  SketchIn(SketchAttr Lhs, std::unique_ptr<SketchQuery> Sub);
+  ~SketchIn() override;
+
+  SketchAttr Lhs;
+  std::unique_ptr<SketchQuery> Sub;
+
+  static bool classof(const SketchPred *P) { return P->getKind() == Kind::In; }
+};
+
+class SketchBinary : public SketchPred {
+public:
+  SketchBinary(Kind K, SketchPredPtr L, SketchPredPtr R)
+      : SketchPred(K), L(std::move(L)), R(std::move(R)) {}
+
+  SketchPredPtr L, R;
+
+  static bool classof(const SketchPred *P) {
+    return P->getKind() == Kind::And || P->getKind() == Kind::Or;
+  }
+};
+
+class SketchNot : public SketchPred {
+public:
+  explicit SketchNot(SketchPredPtr Sub)
+      : SketchPred(Kind::Not), Sub(std::move(Sub)) {}
+
+  SketchPredPtr Sub;
+
+  static bool classof(const SketchPred *P) { return P->getKind() == Kind::Not; }
+};
+
+/// Sketch of a (normalized) query: projection holes over a chain hole with
+/// an optional predicate sketch.
+struct SketchQuery {
+  std::vector<SketchAttr> Proj;
+  unsigned ChainHole = 0;
+  SketchPredPtr Where; ///< Null when unfiltered.
+};
+
+/// Sketch of an insert statement. The chain-set hole selects the sequence
+/// of chains to insert into; each chain receives the value assignments whose
+/// chosen target attribute it hosts.
+struct SketchInsert {
+  unsigned ChainSetHole = 0;
+  std::vector<std::pair<SketchAttr, Operand>> Values;
+};
+
+/// Sketch of a delete statement.
+struct SketchDelete {
+  unsigned TableListHole = 0;
+  unsigned ChainHole = 0;
+  SketchPredPtr Where;
+};
+
+/// Sketch of an update statement.
+struct SketchUpdate {
+  unsigned ChainHole = 0;
+  SketchPredPtr Where;
+  SketchAttr Target;
+  Operand Val;
+};
+
+using SketchStmt = std::variant<SketchInsert, SketchDelete, SketchUpdate>;
+
+/// Sketch of one function.
+struct SketchFunction {
+  Function::Kind TheKind = Function::Kind::Update;
+  std::string Name;
+  std::vector<Param> Params;
+  std::vector<SketchStmt> Body;      ///< Update functions.
+  std::optional<SketchQuery> Query;  ///< Query functions.
+};
+
+/// An (alternative of hole A, alternative of hole B) pair that cannot occur
+/// together in a well-formed instantiation.
+struct Incompatibility {
+  unsigned HoleA;
+  unsigned AltA;
+  unsigned HoleB;
+  unsigned AltB;
+};
+
+/// A complete program sketch over the target schema.
+class Sketch {
+public:
+  /// Appends \p H and returns its id.
+  unsigned addHole(Hole H);
+
+  const std::vector<Hole> &getHoles() const { return Holes; }
+  const Hole &getHole(unsigned Id) const { return Holes[Id]; }
+  size_t getNumHoles() const { return Holes.size(); }
+
+  void addFunction(SketchFunction F) { Funcs.push_back(std::move(F)); }
+  const std::vector<SketchFunction> &getFunctions() const { return Funcs; }
+
+  void addIncompatibility(Incompatibility I) { Incompats.push_back(I); }
+  const std::vector<Incompatibility> &getIncompatibilities() const {
+    return Incompats;
+  }
+
+  /// Number of syntactic instantiations: the product of hole domain sizes
+  /// (the paper's 164,025 for the overview example). Returned as double —
+  /// real-world sketches reach ~1e39.
+  double spaceSize() const;
+
+  /// Ids of the holes owned by function \p Func.
+  std::vector<unsigned> holesOfFunction(const std::string &Func) const;
+
+  /// Builds the concrete program selecting alternative \p Assign[h] for
+  /// each hole h. \p Assign must have one in-range entry per hole.
+  Program instantiate(const std::vector<unsigned> &Assign) const;
+
+  /// Renders the sketch with `??N{...}` hole notation.
+  std::string str() const;
+
+private:
+  std::vector<Hole> Holes;
+  std::vector<SketchFunction> Funcs;
+  std::vector<Incompatibility> Incompats;
+};
+
+} // namespace migrator
+
+#endif // MIGRATOR_SKETCH_SKETCH_H

@@ -1,0 +1,658 @@
+//===- sketch/SketchGen.cpp - Sketch generation from a VC -------------------===//
+
+#include "sketch/SketchGen.h"
+
+#include "sketch/JoinGraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace migrator;
+
+namespace {
+
+/// Builder holding the cross-statement state of one generation run.
+class SketchBuilder {
+public:
+  SketchBuilder(const Schema &Source, const Schema &Target,
+                const ValueCorrespondence &Phi, const SketchGenOptions &Opts)
+      : Source(Source), Target(Target), Phi(Phi), Opts(Opts), Graph(Target) {}
+
+  /// Entry point; nullopt when Φ cannot support the program.
+  std::optional<Sketch> run(const Program &P) {
+    for (const Function &F : P.getFunctions()) {
+      CurFunc = F.getName();
+      SketchFunction SF;
+      SF.TheKind = F.getKind();
+      SF.Name = F.getName();
+      SF.Params = F.getParams();
+      if (F.isQuery()) {
+        std::optional<SketchQuery> Q = genQuery(F.getQuery());
+        if (!Q)
+          return std::nullopt;
+        SF.Query = std::move(Q);
+      } else {
+        for (const StmtPtr &St : F.getBody()) {
+          std::optional<SketchStmt> SS = genStmt(*St);
+          if (!SS)
+            return std::nullopt;
+          SF.Body.push_back(std::move(*SS));
+        }
+      }
+      Result.addFunction(std::move(SF));
+    }
+    return std::move(Result);
+  }
+
+private:
+  const Schema &Source;
+  const Schema &Target;
+  const ValueCorrespondence &Phi;
+  const SketchGenOptions &Opts;
+  JoinGraph Graph;
+  Sketch Result;
+  std::string CurFunc;
+
+  //===--------------------------------------------------------------------===//
+  // Attribute collection
+  //===--------------------------------------------------------------------===//
+
+  /// Resolves \p Ref in \p Chain and appends it to \p Out. Returns false on
+  /// unresolvable references (malformed source programs).
+  bool collectAttr(const AttrRef &Ref, const JoinChain &Chain,
+                   std::set<QualifiedAttr> &Out) const {
+    std::optional<QualifiedAttr> QA = Chain.resolve(Ref, Source);
+    if (!QA)
+      return false;
+    Out.insert(*QA);
+    return true;
+  }
+
+  /// Collects the attributes of predicate \p P (ignoring IN sub-queries,
+  /// which carry their own chains).
+  bool collectPredAttrs(const Pred &P, const JoinChain &Chain,
+                        std::set<QualifiedAttr> &Out) const {
+    switch (P.getKind()) {
+    case Pred::Kind::Cmp: {
+      const auto &C = static_cast<const CmpPred &>(P);
+      if (!collectAttr(C.getLhs(), Chain, Out))
+        return false;
+      if (C.rhsIsAttr())
+        return collectAttr(C.getRhsAttr(), Chain, Out);
+      return true;
+    }
+    case Pred::Kind::In:
+      return collectAttr(static_cast<const InPred &>(P).getLhs(), Chain, Out);
+    case Pred::Kind::And:
+    case Pred::Kind::Or: {
+      const auto &B = static_cast<const BinaryPred &>(P);
+      return collectPredAttrs(B.getLhs(), Chain, Out) &&
+             collectPredAttrs(B.getRhs(), Chain, Out);
+    }
+    case Pred::Kind::Not:
+      return collectPredAttrs(static_cast<const NotPred &>(P).getSubPred(),
+                              Chain, Out);
+    }
+    return false;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Chain candidates (join correspondence via Steiner covers)
+  //===--------------------------------------------------------------------===//
+
+  /// Computes the candidate target chains for a statement. Implements the
+  /// Φ ⊢_A J ∼ J' relation constructively: enumerate the table combinations
+  /// hosting one image per required attribute, then take Steiner covers of
+  /// each combination. Attributes in \p Strict fail the whole VC when
+  /// unmapped (the Fig. 8 side conditions); attributes in \p Lenient are
+  /// skipped when unmapped — this covers refactorings that drop pure join
+  /// keys (merge-tables / replace-keys), where the paper's strict rule would
+  /// reject a VC although an equivalent program exists. Bounded testing
+  /// remains the arbiter of candidate correctness either way.
+  /// Computes the candidate terminal-table sets for a statement (one per
+  /// image-table combination). Returns nullopt when a strict attribute is
+  /// unmapped under Φ.
+  std::optional<std::set<std::vector<std::string>>>
+  terminalSets(const std::set<QualifiedAttr> &Strict,
+               const std::set<QualifiedAttr> &Lenient) const {
+    std::vector<std::vector<std::string>> HostChoices;
+    auto AddHosts = [this, &HostChoices](const QualifiedAttr &A,
+                                         bool FailWhenUnmapped) {
+      const std::vector<QualifiedAttr> &Image = Phi.image(A);
+      if (Image.empty())
+        return !FailWhenUnmapped;
+      std::vector<std::string> Hosts;
+      for (const QualifiedAttr &T : Image)
+        if (std::find(Hosts.begin(), Hosts.end(), T.Table) == Hosts.end())
+          Hosts.push_back(T.Table);
+      HostChoices.push_back(std::move(Hosts));
+      return true;
+    };
+    for (const QualifiedAttr &A : Strict)
+      if (!AddHosts(A, /*FailWhenUnmapped=*/true))
+        return std::nullopt; // Fig. 8 side condition fails under Φ.
+    for (const QualifiedAttr &A : Lenient)
+      if (!Strict.count(A))
+        AddHosts(A, /*FailWhenUnmapped=*/false);
+
+    // Enumerate terminal-set combinations (product of host choices), capped.
+    std::set<std::vector<std::string>> TerminalSets;
+    std::vector<std::string> Combo;
+    size_t Combos = 0;
+    auto Rec = [&](auto &&Self, size_t Depth) -> void {
+      if (Combos >= Opts.MaxTerminalCombos)
+        return;
+      if (Depth == HostChoices.size()) {
+        ++Combos;
+        std::vector<std::string> Terminals = Combo;
+        std::sort(Terminals.begin(), Terminals.end());
+        Terminals.erase(std::unique(Terminals.begin(), Terminals.end()),
+                        Terminals.end());
+        TerminalSets.insert(std::move(Terminals));
+        return;
+      }
+      for (const std::string &Host : HostChoices[Depth]) {
+        Combo.push_back(Host);
+        Self(Self, Depth + 1);
+        Combo.pop_back();
+      }
+    };
+    Rec(Rec, 0);
+    if (HostChoices.empty()) {
+      // A statement with no required attributes (e.g. an insert whose values
+      // were all dropped): any single target table is a candidate.
+      for (const TableSchema &T : Target.getTables())
+        TerminalSets.insert({T.getName()});
+    }
+    return TerminalSets;
+  }
+
+  /// Computes the candidate target chains for a statement. Implements the
+  /// Φ ⊢_A J ∼ J' relation constructively: enumerate the table combinations
+  /// hosting one image per required attribute, then take Steiner covers of
+  /// each combination. Attributes in \p Strict fail the whole VC when
+  /// unmapped (the Fig. 8 side conditions); attributes in \p Lenient are
+  /// skipped when unmapped — this covers refactorings that drop pure join
+  /// keys (merge-tables / replace-keys), where the paper's strict rule would
+  /// reject a VC although an equivalent program exists. Bounded testing
+  /// remains the arbiter of candidate correctness either way.
+  std::optional<std::vector<JoinChain>>
+  chainCandidates(const std::set<QualifiedAttr> &Strict,
+                  const std::set<QualifiedAttr> &Lenient = {}) const {
+    std::optional<std::set<std::vector<std::string>>> Sets =
+        terminalSets(Strict, Lenient);
+    if (!Sets)
+      return std::nullopt;
+
+    // Union of the Steiner covers over all terminal sets.
+    std::set<std::vector<std::string>> Covers;
+    for (const std::vector<std::string> &Terminals : *Sets)
+      for (std::vector<std::string> &Cover :
+           Graph.steinerCovers(Terminals, Opts.SteinerSlack))
+        Covers.insert(std::move(Cover));
+    if (Covers.empty())
+      return std::nullopt;
+
+    // Deterministic order: size first, then schema declaration order (the
+    // cover lists are already in declaration order).
+    std::vector<std::vector<std::string>> Sorted(Covers.begin(), Covers.end());
+    std::stable_sort(Sorted.begin(), Sorted.end(),
+                     [](const auto &A, const auto &B) {
+                       return A.size() < B.size();
+                     });
+    std::vector<JoinChain> Chains;
+    Chains.reserve(Sorted.size());
+    for (std::vector<std::string> &Cover : Sorted)
+      Chains.push_back(JoinChain::natural(std::move(Cover)));
+    return Chains;
+  }
+
+  /// Chain-*set* candidates for insert statements (Fig. 9/10 composition):
+  /// a connected terminal set yields singleton sets (one per Steiner cover);
+  /// a disconnected terminal set decomposes into the components of the
+  /// target join graph, and the alternatives are products of per-component
+  /// covers — one insert per component chain.
+  std::optional<std::vector<std::vector<JoinChain>>>
+  chainSetCandidates(const std::set<QualifiedAttr> &Strict,
+                     const std::set<QualifiedAttr> &Lenient) const {
+    std::optional<std::set<std::vector<std::string>>> Sets =
+        terminalSets(Strict, Lenient);
+    if (!Sets)
+      return std::nullopt;
+
+    std::map<std::string, std::vector<JoinChain>> Alternatives; // key -> set.
+    auto KeyOf = [](const std::vector<JoinChain> &Set) {
+      std::string K;
+      for (const JoinChain &C : Set)
+        K += C.str() + ";";
+      return K;
+    };
+
+    for (const std::vector<std::string> &Terminals : *Sets) {
+      std::vector<std::vector<std::string>> Covers =
+          Graph.steinerCovers(Terminals, Opts.SteinerSlack);
+      if (!Covers.empty()) {
+        for (std::vector<std::string> &Cover : Covers) {
+          std::vector<JoinChain> Set = {JoinChain::natural(std::move(Cover))};
+          Alternatives.emplace(KeyOf(Set), std::move(Set));
+        }
+        continue;
+      }
+      // Disconnected: decompose into components and cover each.
+      std::vector<std::vector<std::string>> Components =
+          Graph.componentsOf(Terminals);
+      if (Components.size() < 2 ||
+          Components.size() > Opts.MaxInsertComponents)
+        continue;
+      std::vector<std::vector<std::vector<std::string>>> PerComp;
+      bool AllCovered = true;
+      for (const std::vector<std::string> &Comp : Components) {
+        PerComp.push_back(Graph.steinerCovers(Comp, Opts.SteinerSlack));
+        if (PerComp.back().empty())
+          AllCovered = false;
+      }
+      if (!AllCovered)
+        continue;
+      // Product of per-component cover choices, capped.
+      std::vector<JoinChain> Cur;
+      size_t Produced = 0;
+      auto Rec = [&](auto &&Self, size_t Depth) -> void {
+        if (Produced >= Opts.MaxTerminalCombos)
+          return;
+        if (Depth == PerComp.size()) {
+          ++Produced;
+          std::vector<JoinChain> Set = Cur;
+          Alternatives.emplace(KeyOf(Set), std::move(Set));
+          return;
+        }
+        for (const std::vector<std::string> &Cover : PerComp[Depth]) {
+          Cur.push_back(JoinChain::natural(Cover));
+          Self(Self, Depth + 1);
+          Cur.pop_back();
+        }
+      };
+      Rec(Rec, 0);
+    }
+    if (Alternatives.empty())
+      return std::nullopt;
+
+    std::vector<std::vector<JoinChain>> Result;
+    for (auto &[Key, Set] : Alternatives)
+      Result.push_back(std::move(Set));
+    std::stable_sort(Result.begin(), Result.end(),
+                     [](const auto &A, const auto &B) {
+                       size_t TA = 0, TB = 0;
+                       for (const JoinChain &C : A)
+                         TA += C.getNumTables();
+                       for (const JoinChain &C : B)
+                         TB += C.getNumTables();
+                       return TA < TB;
+                     });
+    return Result;
+  }
+
+  /// Creates the chain hole for \p Chains.
+  unsigned addChainHole(std::vector<JoinChain> Chains) {
+    Hole H;
+    H.TheKind = Hole::Kind::Chain;
+    H.Func = CurFunc;
+    H.Chains = std::move(Chains);
+    return Result.addHole(std::move(H));
+  }
+
+  /// Creates the chain-set hole for \p Sets (insert statements).
+  unsigned addChainSetHole(std::vector<std::vector<JoinChain>> Sets) {
+    Hole H;
+    H.TheKind = Hole::Kind::ChainSet;
+    H.Func = CurFunc;
+    H.ChainSets = std::move(Sets);
+    return Result.addHole(std::move(H));
+  }
+
+  /// Returns true if alternative \p Alt of chain/chain-set hole \p H hosts
+  /// table \p Table.
+  bool holeAltHostsTable(const Hole &H, unsigned Alt,
+                         const std::string &Table) const {
+    if (H.TheKind == Hole::Kind::Chain)
+      return H.Chains[Alt].containsTable(Table);
+    assert(H.TheKind == Hole::Kind::ChainSet && "chain-like hole expected");
+    for (const JoinChain &C : H.ChainSets[Alt])
+      if (C.containsTable(Table))
+        return true;
+    return false;
+  }
+
+  /// Creates an attribute hole with domain Φ(\p SrcAttr) and records its
+  /// compatibility constraints against chain or chain-set hole \p ChainHole.
+  std::optional<SketchAttr> addAttrHole(const QualifiedAttr &SrcAttr,
+                                        unsigned ChainHole) {
+    const std::vector<QualifiedAttr> &Image = Phi.image(SrcAttr);
+    if (Image.empty())
+      return std::nullopt;
+    Hole H;
+    H.TheKind = Hole::Kind::Attr;
+    H.Func = CurFunc;
+    H.Attrs = Image; // Already sorted by ValueCorrespondence.
+    unsigned Id = Result.addHole(std::move(H));
+
+    const Hole &ChainH = Result.getHole(ChainHole);
+    for (unsigned CA = 0; CA < ChainH.size(); ++CA)
+      for (unsigned AA = 0; AA < Image.size(); ++AA)
+        if (!holeAltHostsTable(ChainH, CA, Image[AA].Table))
+          Result.addIncompatibility({ChainHole, CA, Id, AA});
+    return SketchAttr{Id};
+  }
+
+  /// Creates the table-list hole for a delete statement: non-empty subsets
+  /// of the union of candidate-chain tables.
+  unsigned addTableListHole(unsigned ChainHole) {
+    const Hole &ChainH = Result.getHole(ChainHole);
+
+    // Union of tables, in target-schema declaration order.
+    std::vector<std::string> Union;
+    for (const TableSchema &T : Target.getTables()) {
+      for (const JoinChain &C : ChainH.Chains)
+        if (C.containsTable(T.getName())) {
+          Union.push_back(T.getName());
+          break;
+        }
+    }
+    size_t MaxSize = Union.size() <= Opts.MaxTableListUnion
+                         ? Union.size()
+                         : Opts.MaxTableListSize;
+
+    // Non-empty subsets ordered by size, then lexicographically by index.
+    std::vector<std::vector<std::string>> Lists;
+    std::vector<std::string> Cur;
+    auto Rec = [&](auto &&Self, size_t From, size_t Want) -> void {
+      if (Cur.size() == Want) {
+        Lists.push_back(Cur);
+        return;
+      }
+      for (size_t K = From; K < Union.size(); ++K) {
+        Cur.push_back(Union[K]);
+        Self(Self, K + 1, Want);
+        Cur.pop_back();
+      }
+    };
+    for (size_t Want = 1; Want <= MaxSize; ++Want)
+      Rec(Rec, 0, Want);
+
+    Hole H;
+    H.TheKind = Hole::Kind::TableList;
+    H.Func = CurFunc;
+    H.TableLists = std::move(Lists);
+    unsigned Id = Result.addHole(std::move(H));
+
+    // Compatibility: the chosen list must be a subset of the chosen chain.
+    const Hole &ListH = Result.getHole(Id);
+    const Hole &ChainH2 = Result.getHole(ChainHole);
+    for (unsigned CA = 0; CA < ChainH2.Chains.size(); ++CA)
+      for (unsigned LA = 0; LA < ListH.TableLists.size(); ++LA) {
+        bool Subset = true;
+        for (const std::string &T : ListH.TableLists[LA])
+          if (!ChainH2.Chains[CA].containsTable(T)) {
+            Subset = false;
+            break;
+          }
+        if (!Subset)
+          Result.addIncompatibility({ChainHole, CA, Id, LA});
+      }
+    return Id;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statement / query rewriting (Fig. 8, flattened)
+  //===--------------------------------------------------------------------===//
+
+  /// Rewrites predicate \p P into a sketch predicate over \p ChainHole.
+  std::optional<SketchPredPtr> genPred(const Pred &P, const JoinChain &SrcChain,
+                                       unsigned ChainHole) {
+    switch (P.getKind()) {
+    case Pred::Kind::Cmp: {
+      const auto &C = static_cast<const CmpPred &>(P);
+      std::optional<QualifiedAttr> L = SrcChain.resolve(C.getLhs(), Source);
+      if (!L)
+        return std::nullopt;
+      std::optional<SketchAttr> LH = addAttrHole(*L, ChainHole);
+      if (!LH)
+        return std::nullopt;
+      if (C.rhsIsAttr()) {
+        std::optional<QualifiedAttr> R =
+            SrcChain.resolve(C.getRhsAttr(), Source);
+        if (!R)
+          return std::nullopt;
+        std::optional<SketchAttr> RH = addAttrHole(*R, ChainHole);
+        if (!RH)
+          return std::nullopt;
+        return std::make_unique<SketchCmp>(*LH, C.getOp(),
+                                           SketchCmp::Rhs_t(*RH));
+      }
+      return std::make_unique<SketchCmp>(
+          *LH, C.getOp(), SketchCmp::Rhs_t(C.getRhsOperand()));
+    }
+    case Pred::Kind::In: {
+      const auto &I = static_cast<const InPred &>(P);
+      std::optional<QualifiedAttr> L = SrcChain.resolve(I.getLhs(), Source);
+      if (!L)
+        return std::nullopt;
+      std::optional<SketchAttr> LH = addAttrHole(*L, ChainHole);
+      if (!LH)
+        return std::nullopt;
+      std::optional<SketchQuery> Sub = genQuery(I.getSubQuery());
+      if (!Sub)
+        return std::nullopt;
+      return std::make_unique<SketchIn>(
+          *LH, std::make_unique<SketchQuery>(std::move(*Sub)));
+    }
+    case Pred::Kind::And:
+    case Pred::Kind::Or: {
+      const auto &B = static_cast<const BinaryPred &>(P);
+      std::optional<SketchPredPtr> L = genPred(B.getLhs(), SrcChain, ChainHole);
+      if (!L)
+        return std::nullopt;
+      std::optional<SketchPredPtr> R = genPred(B.getRhs(), SrcChain, ChainHole);
+      if (!R)
+        return std::nullopt;
+      SketchPred::Kind K = P.getKind() == Pred::Kind::And
+                               ? SketchPred::Kind::And
+                               : SketchPred::Kind::Or;
+      return std::make_unique<SketchBinary>(K, std::move(*L), std::move(*R));
+    }
+    case Pred::Kind::Not: {
+      std::optional<SketchPredPtr> Sub = genPred(
+          static_cast<const NotPred &>(P).getSubPred(), SrcChain, ChainHole);
+      if (!Sub)
+        return std::nullopt;
+      return std::make_unique<SketchNot>(std::move(*Sub));
+    }
+    }
+    return std::nullopt;
+  }
+
+  /// Normalized view of a source query: projection list (explicit or
+  /// implicit all-chain-attributes), conjunction of filters, and the chain.
+  struct NormalQuery {
+    std::vector<AttrRef> Proj;
+    std::vector<const Pred *> Filters;
+    const JoinChain *Chain = nullptr;
+  };
+
+  static NormalQuery normalize(const Query &Q) {
+    NormalQuery N;
+    const Query *Cur = &Q;
+    bool SawProj = false;
+    while (true) {
+      switch (Cur->getKind()) {
+      case Query::Kind::Project: {
+        const auto &P = static_cast<const ProjectQuery &>(*Cur);
+        if (!SawProj) {
+          N.Proj = P.getAttrs();
+          SawProj = true;
+        }
+        Cur = &P.getSubQuery();
+        break;
+      }
+      case Query::Kind::Filter: {
+        const auto &F = static_cast<const FilterQuery &>(*Cur);
+        N.Filters.push_back(&F.getPred());
+        Cur = &F.getSubQuery();
+        break;
+      }
+      case Query::Kind::Chain:
+        N.Chain = &static_cast<const ChainQuery &>(*Cur).getJoinChain();
+        return N;
+      }
+    }
+  }
+
+  std::optional<SketchQuery> genQuery(const Query &Q) {
+    NormalQuery N = normalize(Q);
+    const JoinChain &SrcChain = *N.Chain;
+
+    // Implicit projection of every chain attribute when no Π is present.
+    if (N.Proj.empty())
+      for (const QualifiedAttr &A : SrcChain.allAttrs(Source))
+        N.Proj.push_back(AttrRef::qualified(A));
+
+    // Required attributes: projection ∪ filter predicates (Proj rule).
+    std::set<QualifiedAttr> Required;
+    for (const AttrRef &A : N.Proj)
+      if (!collectAttr(A, SrcChain, Required))
+        return std::nullopt;
+    for (const Pred *P : N.Filters)
+      if (!collectPredAttrs(*P, SrcChain, Required))
+        return std::nullopt;
+
+    std::optional<std::vector<JoinChain>> Chains = chainCandidates(Required);
+    if (!Chains)
+      return std::nullopt;
+
+    SketchQuery SQ;
+    SQ.ChainHole = addChainHole(std::move(*Chains));
+    for (const AttrRef &A : N.Proj) {
+      std::optional<QualifiedAttr> QA = SrcChain.resolve(A, Source);
+      assert(QA && "projection attribute resolved above");
+      std::optional<SketchAttr> H = addAttrHole(*QA, SQ.ChainHole);
+      if (!H)
+        return std::nullopt;
+      SQ.Proj.push_back(*H);
+    }
+    for (const Pred *P : N.Filters) {
+      std::optional<SketchPredPtr> SP = genPred(*P, SrcChain, SQ.ChainHole);
+      if (!SP)
+        return std::nullopt;
+      SQ.Where = SQ.Where ? std::make_unique<SketchBinary>(
+                                SketchPred::Kind::And, std::move(SQ.Where),
+                                std::move(*SP))
+                          : std::move(*SP);
+    }
+    return SQ;
+  }
+
+  std::optional<SketchStmt> genStmt(const Stmt &St) {
+    switch (St.getKind()) {
+    case Stmt::Kind::Insert: {
+      const auto &I = static_cast<const InsertStmt &>(St);
+      // Insert rule (A = Attrs(J)), applied leniently: every chain attribute
+      // contributes its image tables, but attributes Φ drops — surrogate
+      // keys removed by the refactoring — are skipped, and their value
+      // assignments are dropped from the rewritten insert (the value is
+      // unobservable under any program equivalent w.r.t. Φ).
+      std::set<QualifiedAttr> Lenient;
+      for (const QualifiedAttr &A : I.getChain().allAttrs(Source))
+        Lenient.insert(A);
+      std::optional<std::vector<std::vector<JoinChain>>> Sets =
+          chainSetCandidates({}, Lenient);
+      if (!Sets)
+        return std::nullopt;
+      SketchInsert SI;
+      SI.ChainSetHole = addChainSetHole(std::move(*Sets));
+      for (const auto &[Ref, Op] : I.getValues()) {
+        std::optional<QualifiedAttr> QA = I.getChain().resolve(Ref, Source);
+        if (!QA)
+          return std::nullopt;
+        if (Phi.image(*QA).empty())
+          continue; // Dropped attribute: no target column stores it.
+        std::optional<SketchAttr> H = addAttrHole(*QA, SI.ChainSetHole);
+        if (!H)
+          return std::nullopt;
+        SI.Values.emplace_back(*H, Op);
+      }
+      return SketchStmt(std::move(SI));
+    }
+    case Stmt::Kind::Delete: {
+      const auto &D = static_cast<const DeleteStmt &>(St);
+      // Delete rule: A = Attrs(L) ∪ Attrs(ϕ). Predicate attributes are
+      // strict; the deleted tables' attributes are lenient (dropped join
+      // keys must not reject the VC).
+      std::set<QualifiedAttr> Strict, Lenient;
+      for (const std::string &T : D.getTargets())
+        for (const Attribute &A : Source.getTable(T).getAttrs())
+          Lenient.insert({T, A.Name});
+      if (D.getPred() && !collectPredAttrs(*D.getPred(), D.getChain(), Strict))
+        return std::nullopt;
+      std::optional<std::vector<JoinChain>> Chains =
+          chainCandidates(Strict, Lenient);
+      if (!Chains)
+        return std::nullopt;
+      SketchDelete SD;
+      SD.ChainHole = addChainHole(std::move(*Chains));
+      SD.TableListHole = addTableListHole(SD.ChainHole);
+      if (D.getPred()) {
+        std::optional<SketchPredPtr> SP =
+            genPred(*D.getPred(), D.getChain(), SD.ChainHole);
+        if (!SP)
+          return std::nullopt;
+        SD.Where = std::move(*SP);
+      }
+      return SketchStmt(std::move(SD));
+    }
+    case Stmt::Kind::Update: {
+      const auto &U = static_cast<const UpdateStmt &>(St);
+      // Update rule: A = Attrs(ϕ) ∪ {a}.
+      std::set<QualifiedAttr> Required;
+      std::optional<QualifiedAttr> Target =
+          U.getChain().resolve(U.getTarget(), Source);
+      if (!Target)
+        return std::nullopt;
+      Required.insert(*Target);
+      if (U.getPred() &&
+          !collectPredAttrs(*U.getPred(), U.getChain(), Required))
+        return std::nullopt;
+      std::optional<std::vector<JoinChain>> Chains = chainCandidates(Required);
+      if (!Chains)
+        return std::nullopt;
+      SketchUpdate SU;
+      SU.ChainHole = addChainHole(std::move(*Chains));
+      std::optional<SketchAttr> TH = addAttrHole(*Target, SU.ChainHole);
+      if (!TH)
+        return std::nullopt;
+      SU.Target = *TH;
+      SU.Val = U.getValue();
+      if (U.getPred()) {
+        std::optional<SketchPredPtr> SP =
+            genPred(*U.getPred(), U.getChain(), SU.ChainHole);
+        if (!SP)
+          return std::nullopt;
+        SU.Where = std::move(*SP);
+      }
+      return SketchStmt(std::move(SU));
+    }
+    }
+    return std::nullopt;
+  }
+};
+
+} // namespace
+
+std::optional<Sketch> migrator::generateSketch(const Program &P,
+                                               const Schema &Source,
+                                               const Schema &Target,
+                                               const ValueCorrespondence &Phi,
+                                               const SketchGenOptions &Opts) {
+  SketchBuilder Builder(Source, Target, Phi, Opts);
+  return Builder.run(P);
+}

@@ -1,0 +1,70 @@
+//===- sketch/SketchGen.h - Sketch generation from a VC -----------*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sketch generation (Sec. 4.3): given the source program and a candidate
+/// value correspondence Φ, produce a sketch over the target schema
+/// representing every program that may be equivalent to the source under Φ.
+///
+/// For each statement, the attributes it requires (per the side conditions
+/// of Fig. 8: all chain attributes for inserts, Attrs(L) ∪ Attrs(ϕ) for
+/// deletes, Attrs(ϕ) ∪ {a} for updates, projection ∪ predicate attributes
+/// for queries) are mapped through Φ; the tables hosting the images become
+/// Steiner terminals; and the candidate target chains are the Steiner
+/// covers of those terminals in the target join graph (Sec. 5's
+/// Steiner-tree construction). Attribute occurrences become holes with
+/// domain Φ(a), and delete target lists become power-set holes.
+///
+/// Returns nullopt when Φ cannot support some statement (an attribute with
+/// an empty image, or no connected cover) — the signal for the top-level
+/// loop to move to the next VC.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_SKETCH_SKETCHGEN_H
+#define MIGRATOR_SKETCH_SKETCHGEN_H
+
+#include "ast/Program.h"
+#include "sketch/Sketch.h"
+#include "vc/ValueCorrespondence.h"
+
+#include <optional>
+
+namespace migrator {
+
+/// Options controlling sketch generation.
+struct SketchGenOptions {
+  /// Maximum number of non-terminal tables a candidate chain may include
+  /// beyond the Steiner terminals (2 reproduces the overview example's
+  /// chain sets).
+  unsigned SteinerSlack = 2;
+
+  /// Cap on the number of image-table combinations explored when a required
+  /// attribute maps to several target tables.
+  size_t MaxTerminalCombos = 64;
+
+  /// Maximum number of disconnected components an insert's target tables may
+  /// span (the Fig. 9/10 multi-chain insert composition Ω1 ; ... ; Ωn).
+  size_t MaxInsertComponents = 3;
+
+  /// Delete table-list holes enumerate non-empty subsets of the union of
+  /// candidate-chain tables; when that union exceeds this bound, subsets
+  /// are limited to MaxTableListSize tables to keep the domain finite.
+  size_t MaxTableListUnion = 16;
+  size_t MaxTableListSize = 4;
+};
+
+/// Generates the sketch of \p P over \p Target under \p Phi, or nullopt if
+/// \p Phi cannot support some statement.
+std::optional<Sketch> generateSketch(const Program &P, const Schema &Source,
+                                     const Schema &Target,
+                                     const ValueCorrespondence &Phi,
+                                     const SketchGenOptions &Opts = {});
+
+} // namespace migrator
+
+#endif // MIGRATOR_SKETCH_SKETCHGEN_H

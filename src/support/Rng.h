@@ -1,0 +1,58 @@
+//===- support/Rng.h - Deterministic random number generator ----*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic splitmix64-based RNG. Used by the synthetic benchmark
+/// generator and by property tests; seeded explicitly so every run of the
+/// suite sees identical workloads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_SUPPORT_RNG_H
+#define MIGRATOR_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace migrator {
+
+/// Deterministic splitmix64 generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a value uniformly distributed in [0, Bound).
+  uint64_t next(uint64_t Bound) {
+    assert(Bound > 0 && "bound must be positive");
+    return next() % Bound;
+  }
+
+  /// Returns an int uniformly distributed in [Lo, Hi] inclusive.
+  int nextInt(int Lo, int Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int>(next(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return next(Den) < Num; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace migrator
+
+#endif // MIGRATOR_SUPPORT_RNG_H

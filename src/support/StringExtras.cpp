@@ -1,0 +1,67 @@
+//===- support/StringExtras.cpp - String utility functions ---------------===//
+
+#include "support/StringExtras.h"
+
+#include <algorithm>
+#include <cctype>
+
+using namespace migrator;
+
+unsigned migrator::levenshtein(std::string_view A, std::string_view B) {
+  // Classic two-row dynamic program.
+  const size_t N = A.size(), M = B.size();
+  if (N == 0)
+    return static_cast<unsigned>(M);
+  if (M == 0)
+    return static_cast<unsigned>(N);
+
+  std::vector<unsigned> Prev(M + 1), Cur(M + 1);
+  for (size_t J = 0; J <= M; ++J)
+    Prev[J] = static_cast<unsigned>(J);
+
+  for (size_t I = 1; I <= N; ++I) {
+    Cur[0] = static_cast<unsigned>(I);
+    for (size_t J = 1; J <= M; ++J) {
+      unsigned Subst = Prev[J - 1] + (A[I - 1] == B[J - 1] ? 0 : 1);
+      Cur[J] = std::min({Prev[J] + 1, Cur[J - 1] + 1, Subst});
+    }
+    std::swap(Prev, Cur);
+  }
+  return Prev[M];
+}
+
+std::string migrator::join(const std::vector<std::string> &Parts,
+                           std::string_view Sep) {
+  std::string Result;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Result.append(Sep);
+    Result.append(Parts[I]);
+  }
+  return Result;
+}
+
+std::string migrator::toLower(std::string_view S) {
+  std::string Result(S);
+  std::transform(Result.begin(), Result.end(), Result.begin(),
+                 [](unsigned char C) { return std::tolower(C); });
+  return Result;
+}
+
+bool migrator::startsWith(std::string_view S, std::string_view Prefix) {
+  return S.size() >= Prefix.size() && S.substr(0, Prefix.size()) == Prefix;
+}
+
+std::vector<std::string> migrator::split(std::string_view S, char Sep) {
+  std::vector<std::string> Parts;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = S.find(Sep, Start);
+    if (Pos == std::string_view::npos) {
+      Parts.emplace_back(S.substr(Start));
+      return Parts;
+    }
+    Parts.emplace_back(S.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}

@@ -1,0 +1,44 @@
+//===- support/StringExtras.h - String utility functions --------*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string utilities used throughout the project: Levenshtein edit
+/// distance (the name-similarity metric of Sec. 4.2), string joining, and
+/// simple case/trim helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_SUPPORT_STRINGEXTRAS_H
+#define MIGRATOR_SUPPORT_STRINGEXTRAS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace migrator {
+
+/// Computes the Levenshtein (edit) distance between \p A and \p B.
+///
+/// This is the similarity metric used by the value-correspondence MaxSAT
+/// encoding: sim(a, b) = Alpha - levenshtein(a, b).
+unsigned levenshtein(std::string_view A, std::string_view B);
+
+/// Joins \p Parts with \p Sep in between consecutive elements.
+std::string join(const std::vector<std::string> &Parts, std::string_view Sep);
+
+/// Returns a lower-cased copy of \p S (ASCII only).
+std::string toLower(std::string_view S);
+
+/// Returns true if \p S starts with \p Prefix.
+bool startsWith(std::string_view S, std::string_view Prefix);
+
+/// Splits \p S on character \p Sep; empty fields are preserved.
+std::vector<std::string> split(std::string_view S, char Sep);
+
+} // namespace migrator
+
+#endif // MIGRATOR_SUPPORT_STRINGEXTRAS_H

@@ -1,0 +1,44 @@
+//===- support/Timer.h - Wall-clock timing helpers --------------*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny wall-clock stopwatch used by the synthesizer to report per-phase
+/// timings (the "Synth Time" / "Total Time" columns of Table 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_SUPPORT_TIMER_H
+#define MIGRATOR_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace migrator {
+
+/// Wall-clock stopwatch. Starts running on construction.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// Returns elapsed seconds since construction or the last reset().
+  double elapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Returns elapsed milliseconds since construction or the last reset().
+  double elapsedMillis() const { return elapsedSeconds() * 1000.0; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace migrator
+
+#endif // MIGRATOR_SUPPORT_TIMER_H

@@ -1,0 +1,110 @@
+//===- synth/Encoder.cpp - SAT encoding of sketch holes ---------------------===//
+
+#include "synth/Encoder.h"
+
+#include <cassert>
+
+using namespace migrator;
+
+SketchEncoder::SketchEncoder(const Sketch &Sk, bool BiasFirstAlternatives)
+    : Sk(Sk) {
+  const std::vector<Hole> &Holes = Sk.getHoles();
+  if (Holes.empty()) {
+    Trivial = true;
+    return;
+  }
+  HoleVars.resize(Holes.size());
+  for (size_t H = 0; H < Holes.size(); ++H) {
+    HoleVars[H].resize(Holes[H].size());
+    // Bias the search toward each hole's first alternative (the smallest
+    // candidate chain / table list), deciding chain holes before the holes
+    // they constrain: models then prefer the simplest programs, which are
+    // cheaper to test and match the paper's outputs.
+    double Base = Holes[H].TheKind == Hole::Kind::Chain ||
+                          Holes[H].TheKind == Hole::Kind::ChainSet
+                      ? 2e-3
+                      : 1e-3;
+    for (size_t A = 0; A < Holes[H].size(); ++A) {
+      sat::Var V = Solver.newVar();
+      HoleVars[H][A] = V;
+      if (BiasFirstAlternatives) {
+        Solver.setPhase(V, A == 0);
+        Solver.setInitialActivity(
+            V,
+            Base * (1.0 - static_cast<double>(A) /
+                              (2.0 * static_cast<double>(Holes[H].size()))));
+      }
+    }
+    if (!Solver.addExactlyOne(HoleVars[H])) {
+      Unsat = true;
+      return;
+    }
+  }
+  for (const Incompatibility &I : Sk.getIncompatibilities())
+    if (!Solver.addClause({sat::negLit(HoleVars[I.HoleA][I.AltA]),
+                           sat::negLit(HoleVars[I.HoleB][I.AltB])})) {
+      Unsat = true;
+      return;
+    }
+}
+
+std::optional<std::vector<unsigned>> SketchEncoder::nextAssignment() {
+  if (Unsat)
+    return std::nullopt;
+  if (Trivial) {
+    if (TrivialUsed)
+      return std::nullopt;
+    TrivialUsed = true;
+    return std::vector<unsigned>();
+  }
+  if (Solver.solve() != sat::Solver::Result::Sat) {
+    Unsat = true;
+    return std::nullopt;
+  }
+  std::vector<unsigned> Assign(HoleVars.size(), 0);
+  for (size_t H = 0; H < HoleVars.size(); ++H) {
+    bool Found = false;
+    for (size_t A = 0; A < HoleVars[H].size(); ++A)
+      if (Solver.modelValue(HoleVars[H][A])) {
+        assert(!Found && "exactly-one constraint violated");
+        Assign[H] = static_cast<unsigned>(A);
+        Found = true;
+      }
+    assert(Found && "exactly-one constraint violated");
+    (void)Found;
+  }
+  return Assign;
+}
+
+void SketchEncoder::block(const std::vector<unsigned> &Assign,
+                          const std::vector<unsigned> &HoleIds) {
+  if (Trivial) {
+    TrivialUsed = true;
+    return;
+  }
+  assert(!HoleIds.empty() && "blocking clause over no holes");
+  std::vector<sat::Lit> Clause;
+  Clause.reserve(HoleIds.size());
+  for (unsigned H : HoleIds)
+    Clause.push_back(sat::negLit(HoleVars[H][Assign[H]]));
+  if (!Solver.addClause(std::move(Clause)))
+    Unsat = true;
+}
+
+void SketchEncoder::blockAll(const std::vector<unsigned> &Assign) {
+  std::vector<unsigned> All(Assign.size());
+  for (unsigned H = 0; H < Assign.size(); ++H)
+    All[H] = H;
+  block(Assign, All);
+}
+
+double SketchEncoder::blockedCount(const std::vector<unsigned> &HoleIds) const {
+  std::vector<bool> InClause(Sk.getNumHoles(), false);
+  for (unsigned H : HoleIds)
+    InClause[H] = true;
+  double Count = 1.0;
+  for (unsigned H = 0; H < Sk.getNumHoles(); ++H)
+    if (!InClause[H])
+      Count *= static_cast<double>(Sk.getHole(H).size());
+  return Count;
+}

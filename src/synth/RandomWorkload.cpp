@@ -1,0 +1,70 @@
+//===- synth/RandomWorkload.cpp - Random invocation sequences -----------------===//
+
+#include "synth/RandomWorkload.h"
+
+#include "relational/ResultTable.h"
+
+#include <cassert>
+
+using namespace migrator;
+
+namespace {
+
+Value randomValue(ValueType Ty, Rng &R, const RandomWorkloadOptions &Opts) {
+  switch (Ty) {
+  case ValueType::Int:
+    return Value::makeInt(R.nextInt(0, Opts.IntDomain - 1));
+  case ValueType::String:
+    return Value::makeString(std::string(
+        1, static_cast<char>('A' + R.nextInt(0, Opts.StrDomain - 1))));
+  case ValueType::Binary:
+    return Value::makeBinary("b" +
+                             std::to_string(R.nextInt(0, Opts.StrDomain - 1)));
+  case ValueType::Bool:
+    return Value::makeBool(R.chance(1, 2));
+  }
+  assert(false && "unknown value type");
+  return Value();
+}
+
+Invocation randomCall(const Function &F, Rng &R,
+                      const RandomWorkloadOptions &Opts) {
+  Invocation I;
+  I.Func = F.getName();
+  for (const Param &P : F.getParams())
+    I.Args.push_back(randomValue(P.Type, R, Opts));
+  return I;
+}
+
+} // namespace
+
+InvocationSeq migrator::randomSequence(const Program &P, Rng &R,
+                                       const RandomWorkloadOptions &Opts) {
+  std::vector<std::string> Updates = P.updateFunctionNames();
+  std::vector<std::string> Queries = P.queryFunctionNames();
+  assert(!Queries.empty() && "program declares no query function");
+
+  InvocationSeq Seq;
+  if (!Updates.empty())
+    for (int L = R.nextInt(0, static_cast<int>(Opts.MaxUpdates)); L > 0; --L)
+      Seq.push_back(
+          randomCall(P.getFunction(Updates[R.next(Updates.size())]), R, Opts));
+  Seq.push_back(
+      randomCall(P.getFunction(Queries[R.next(Queries.size())]), R, Opts));
+  return Seq;
+}
+
+std::optional<InvocationSeq> migrator::findRandomCounterexample(
+    const Program &Source, const Schema &SourceSchema, const Program &Cand,
+    const Schema &CandSchema, unsigned Trials, uint64_t Seed,
+    const RandomWorkloadOptions &Opts) {
+  Rng R(Seed);
+  for (unsigned T = 0; T < Trials; ++T) {
+    InvocationSeq Seq = randomSequence(Source, R, Opts);
+    std::optional<ResultTable> A = runSequence(Source, SourceSchema, Seq);
+    std::optional<ResultTable> B = runSequence(Cand, CandSchema, Seq);
+    if (!A || !B || !resultsEquivalent(*A, *B))
+      return Seq;
+  }
+  return std::nullopt;
+}

@@ -1,0 +1,49 @@
+//===- synth/RandomWorkload.h - Random invocation sequences -------*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic random invocation-sequence generation: update prefixes with
+/// arguments drawn from a configurable value domain, ended by one query
+/// (Sec. 3.2's ω shape). Used by property tests, the examples, and the
+/// statistical equivalence check `randomlyEquivalent` — a complement to the
+/// systematic bounded tester that samples a wider value domain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_SYNTH_RANDOMWORKLOAD_H
+#define MIGRATOR_SYNTH_RANDOMWORKLOAD_H
+
+#include "ast/Program.h"
+#include "eval/Evaluator.h"
+#include "support/Rng.h"
+
+namespace migrator {
+
+/// Options for random workload generation.
+struct RandomWorkloadOptions {
+  unsigned MaxUpdates = 5;  ///< Prefix length is uniform in [0, MaxUpdates].
+  int IntDomain = 4;        ///< Ints drawn from [0, IntDomain).
+  int StrDomain = 4;        ///< Strings "A".."D" style.
+};
+
+/// Generates one random invocation sequence for \p P (updates then a query).
+/// Requires \p P to declare at least one query function.
+InvocationSeq randomSequence(const Program &P, Rng &R,
+                             const RandomWorkloadOptions &Opts = {});
+
+/// Runs \p Trials random sequences against both programs and compares the
+/// results. Returns the first diverging sequence, or nullopt if all trials
+/// agree (statistical evidence of equivalence, not proof).
+std::optional<InvocationSeq>
+findRandomCounterexample(const Program &Source, const Schema &SourceSchema,
+                         const Program &Cand, const Schema &CandSchema,
+                         unsigned Trials, uint64_t Seed,
+                         const RandomWorkloadOptions &Opts = {});
+
+} // namespace migrator
+
+#endif // MIGRATOR_SYNTH_RANDOMWORKLOAD_H

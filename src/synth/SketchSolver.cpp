@@ -1,0 +1,130 @@
+//===- synth/SketchSolver.cpp - Sketch completion ---------------------------===//
+
+#include "synth/SketchSolver.h"
+
+#include "eval/Evaluator.h"
+#include "relational/ResultTable.h"
+
+#include <cassert>
+#include <set>
+
+using namespace migrator;
+
+SketchSolver::SketchSolver(const Schema &SourceSchema,
+                           const Program &SourceProg,
+                           const Schema &TargetSchema, SolverOptions Opts)
+    : SourceSchema(SourceSchema), SourceProg(SourceProg),
+      TargetSchema(TargetSchema), Opts(Opts),
+      Tester(SourceSchema, SourceProg, TargetSchema, Opts.Test),
+      Verifier(SourceSchema, SourceProg, TargetSchema, Opts.Verify) {}
+
+std::optional<Program> SketchSolver::solve(const Sketch &Sk,
+                                           SolveStats &Stats) {
+  Timer Clock;
+  SketchEncoder Enc(Sk, Opts.BiasFirstAlternatives);
+
+  // CEGIS example cache: failing inputs with their source-program results.
+  struct Example {
+    InvocationSeq Seq;
+    ResultTable SrcResult;
+  };
+  std::vector<Example> Examples;
+
+  while (true) {
+    if (Clock.elapsedSeconds() > Opts.TimeBudgetSec) {
+      Stats.TimedOut = true;
+      return std::nullopt;
+    }
+    if (Stats.Iters >= Opts.MaxIters) {
+      Stats.TimedOut = true;
+      return std::nullopt;
+    }
+
+    std::optional<std::vector<unsigned>> Assign = Enc.nextAssignment();
+    if (!Assign) {
+      Stats.Exhausted = true;
+      return std::nullopt;
+    }
+    ++Stats.Iters;
+    Program Cand = Sk.instantiate(*Assign);
+
+    // CEGIS screening: reject candidates that fail a cached example without
+    // running the full tester.
+    if (Opts.TheMode == SolverOptions::Mode::Cegis) {
+      bool Screened = false;
+      for (const Example &E : Examples) {
+        std::optional<ResultTable> CandR =
+            runSequence(Cand, TargetSchema, E.Seq);
+        if (!CandR || !resultsEquivalent(E.SrcResult, *CandR)) {
+          Enc.blockAll(*Assign);
+          Stats.BlockedTotal += 1;
+          Screened = true;
+          break;
+        }
+      }
+      if (Screened)
+        continue;
+    }
+
+    TestOutcome Outcome = Tester.test(Cand);
+
+    if (Outcome.isEquivalent()) {
+      // Bounded testing passed; confirm with the deeper verifier
+      // (the paper's "invoke Mediator only when no failing input is found").
+      Timer VerifyClock;
+      TestOutcome Deep = Verifier.test(Cand);
+      Stats.VerifyTimeSec += VerifyClock.elapsedSeconds();
+      if (Deep.isEquivalent())
+        return Cand;
+      Outcome = std::move(Deep);
+    }
+
+    switch (Outcome.TheKind) {
+    case TestOutcome::Kind::IllFormed: {
+      // The offending function misbehaves independently of database state:
+      // block its holes alone (at least as strong as any mode's clause).
+      std::vector<unsigned> HoleIds =
+          Sk.holesOfFunction(Outcome.IllFormedFunc);
+      if (HoleIds.empty()) {
+        Enc.blockAll(*Assign);
+      } else {
+        Enc.block(*Assign, HoleIds);
+        Stats.BlockedTotal += Enc.blockedCount(HoleIds);
+      }
+      break;
+    }
+    case TestOutcome::Kind::Failing: {
+      if (Opts.TheMode == SolverOptions::Mode::Mfi) {
+        // Block the partial assignment of every hole in the functions the
+        // MFI mentions (Sec. 4.4).
+        std::set<std::string> FuncNames;
+        for (const Invocation &I : Outcome.Mfi)
+          FuncNames.insert(I.Func);
+        std::vector<unsigned> HoleIds;
+        for (const std::string &F : FuncNames)
+          for (unsigned H : Sk.holesOfFunction(F))
+            HoleIds.push_back(H);
+        if (HoleIds.empty()) {
+          Enc.blockAll(*Assign);
+        } else {
+          Enc.block(*Assign, HoleIds);
+          Stats.BlockedTotal += Enc.blockedCount(HoleIds);
+        }
+        break;
+      }
+      if (Opts.TheMode == SolverOptions::Mode::Cegis) {
+        std::optional<ResultTable> SrcR =
+            runSequence(SourceProg, SourceSchema, Outcome.Mfi);
+        assert(SrcR && "source program failed on its own MFI");
+        Examples.push_back({Outcome.Mfi, std::move(*SrcR)});
+      }
+      Enc.blockAll(*Assign);
+      Stats.BlockedTotal += 1;
+      break;
+    }
+    case TestOutcome::Kind::Equivalent:
+      assert(false && "handled above");
+      break;
+    }
+  }
+}

@@ -1,0 +1,99 @@
+//===- synth/SketchSolver.h - Sketch completion --------------------*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sketch completion (Algorithm 2): symbolic search over the SAT encoding of
+/// the hole space, testing each candidate and learning blocking clauses from
+/// failures. Three strategies share the loop:
+///
+///  * Mfi (Migrator) — compute a minimum failing input and block the partial
+///    assignment of the holes in the functions it mentions, pruning every
+///    completion that fails for the same root cause;
+///  * Enumerative — the Table 3 baseline: block only the failing model;
+///  * Cegis — the Table 2 baseline standing in for the Sketch tool: keep a
+///    set of counterexample inputs, screen each candidate against the set
+///    before full testing, and block single models (see DESIGN.md for the
+///    substitution rationale).
+///
+/// A candidate that survives bounded testing is confirmed with the deeper
+/// verification tester before being returned; a deep counterexample is fed
+/// back into the loop like any other failing input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_SYNTH_SKETCHSOLVER_H
+#define MIGRATOR_SYNTH_SKETCHSOLVER_H
+
+#include "sketch/Sketch.h"
+#include "support/Timer.h"
+#include "synth/Encoder.h"
+#include "synth/Tester.h"
+
+#include <limits>
+#include <optional>
+
+namespace migrator {
+
+/// Options controlling sketch completion.
+struct SolverOptions {
+  enum class Mode { Mfi, Enumerative, Cegis };
+  Mode TheMode = Mode::Mfi;
+
+  /// Bounds for the per-candidate tester.
+  TesterOptions Test;
+
+  /// Bounds for the final (deeper) verification pass.
+  TesterOptions Verify = deeperDefaults();
+
+  uint64_t MaxIters = std::numeric_limits<uint64_t>::max();
+  double TimeBudgetSec = std::numeric_limits<double>::infinity();
+
+  /// Seed the SAT search toward each hole's first (smallest) alternative.
+  /// On by default (the full system); the Table 2/3 harnesses turn it off
+  /// for every strategy to compare learning power on equal footing.
+  bool BiasFirstAlternatives = true;
+
+  static TesterOptions deeperDefaults() {
+    TesterOptions T;
+    T.MaxSeqLen = 4;
+    return T;
+  }
+};
+
+/// Statistics of one solve() run.
+struct SolveStats {
+  uint64_t Iters = 0;          ///< Candidate programs explored.
+  double BlockedTotal = 0;     ///< Completions pruned by blocking clauses.
+  double VerifyTimeSec = 0;    ///< Time in the deep verification tester.
+  bool TimedOut = false;
+  bool Exhausted = false;      ///< Hole space exhausted without a solution.
+};
+
+/// Completes sketches against one source program.
+class SketchSolver {
+public:
+  SketchSolver(const Schema &SourceSchema, const Program &SourceProg,
+               const Schema &TargetSchema, SolverOptions Opts = {});
+
+  /// Runs Algorithm 2 on \p Sk. Returns the equivalent completion or
+  /// nullopt (see \p Stats for why).
+  std::optional<Program> solve(const Sketch &Sk, SolveStats &Stats);
+
+  const SolverOptions &getOptions() const { return Opts; }
+
+private:
+  const Schema &SourceSchema;
+  const Program &SourceProg;
+  const Schema &TargetSchema;
+  SolverOptions Opts;
+  EquivalenceTester Tester;
+  EquivalenceTester Verifier;
+};
+
+} // namespace migrator
+
+#endif // MIGRATOR_SYNTH_SKETCHSOLVER_H

@@ -1,0 +1,63 @@
+//===- synth/Synthesizer.cpp - Top-level synthesis loop ---------------------===//
+
+#include "synth/Synthesizer.h"
+
+#include "ast/Analysis.h"
+#include "support/Timer.h"
+
+using namespace migrator;
+
+SynthResult migrator::synthesize(const Schema &SourceSchema,
+                                 const Program &SourceProg,
+                                 const Schema &TargetSchema,
+                                 SynthOptions Opts) {
+  Timer Total;
+  SynthResult Result;
+
+  std::set<QualifiedAttr> Queried =
+      collectQueriedAttrs(SourceProg, SourceSchema);
+  VcEnumerator VcEnum(SourceSchema, TargetSchema, Queried, Opts.Vc);
+
+  while (Result.Stats.NumVcs < Opts.MaxVcs) {
+    double Remaining = Opts.TimeBudgetSec - Total.elapsedSeconds();
+    if (Remaining <= 0) {
+      Result.Stats.TimedOut = true;
+      break;
+    }
+
+    std::optional<ValueCorrespondence> Phi = VcEnum.next();
+    if (!Phi)
+      break; // No further correspondence exists: synthesis fails (⊥).
+    ++Result.Stats.NumVcs;
+
+    std::optional<Sketch> Sk = generateSketch(SourceProg, SourceSchema,
+                                              TargetSchema, *Phi,
+                                              Opts.SketchGen);
+    if (!Sk)
+      continue; // Φ cannot support some statement; try the next VC.
+    Result.Stats.SketchSpace = Sk->spaceSize();
+
+    SolverOptions SolverOpts = Opts.Solver;
+    SolverOpts.TimeBudgetSec = std::min(Opts.Solver.TimeBudgetSec, Remaining);
+    SketchSolver BudgetedSolver(SourceSchema, SourceProg, TargetSchema,
+                                SolverOpts);
+
+    SolveStats SS;
+    std::optional<Program> Prog = BudgetedSolver.solve(*Sk, SS);
+    Result.Stats.Iters += SS.Iters;
+    Result.Stats.VerifyTimeSec += SS.VerifyTimeSec;
+    if (Prog) {
+      Result.Prog = std::move(Prog);
+      break;
+    }
+    if (SS.TimedOut && Total.elapsedSeconds() >= Opts.TimeBudgetSec) {
+      Result.Stats.TimedOut = true;
+      break;
+    }
+  }
+
+  Result.Stats.TotalTimeSec = Total.elapsedSeconds();
+  Result.Stats.SynthTimeSec =
+      Result.Stats.TotalTimeSec - Result.Stats.VerifyTimeSec;
+  return Result;
+}

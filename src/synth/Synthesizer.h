@@ -1,0 +1,67 @@
+//===- synth/Synthesizer.h - Top-level synthesis loop --------------*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level Synthesize procedure (Algorithm 1): lazily enumerate value
+/// correspondences best-first, generate a sketch for each, and attempt
+/// sketch completion; the first completion equivalent to the source program
+/// is the migrated program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_SYNTH_SYNTHESIZER_H
+#define MIGRATOR_SYNTH_SYNTHESIZER_H
+
+#include "sketch/SketchGen.h"
+#include "synth/SketchSolver.h"
+#include "vc/VcEnumerator.h"
+
+#include <optional>
+#include <string>
+
+namespace migrator {
+
+/// Options for the full pipeline.
+struct SynthOptions {
+  VcOptions Vc;
+  SketchGenOptions SketchGen;
+  SolverOptions Solver;
+
+  /// Cap on the number of value correspondences attempted.
+  uint64_t MaxVcs = 10000;
+
+  /// Overall wall-clock budget in seconds (infinity = none).
+  double TimeBudgetSec = std::numeric_limits<double>::infinity();
+};
+
+/// Statistics of one synthesis run (the Table 1 columns).
+struct SynthStats {
+  size_t NumVcs = 0;        ///< "Value Corr": correspondences attempted.
+  uint64_t Iters = 0;       ///< "Iters": candidate programs explored.
+  double SketchSpace = 0;   ///< Completions of the last sketch attempted.
+  double SynthTimeSec = 0;  ///< "Synth Time": total minus verification.
+  double VerifyTimeSec = 0; ///< Deep-verification time.
+  double TotalTimeSec = 0;  ///< "Total Time".
+  bool TimedOut = false;
+};
+
+/// The outcome of Synthesize.
+struct SynthResult {
+  std::optional<Program> Prog;
+  SynthStats Stats;
+
+  bool succeeded() const { return Prog.has_value(); }
+};
+
+/// Runs Algorithm 1: migrates \p SourceProg from \p SourceSchema to
+/// \p TargetSchema.
+SynthResult synthesize(const Schema &SourceSchema, const Program &SourceProg,
+                       const Schema &TargetSchema, SynthOptions Opts = {});
+
+} // namespace migrator
+
+#endif // MIGRATOR_SYNTH_SYNTHESIZER_H

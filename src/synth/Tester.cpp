@@ -1,0 +1,355 @@
+//===- synth/Tester.cpp - Bounded equivalence testing and MFIs --------------===//
+
+#include "synth/Tester.h"
+
+#include "ast/Analysis.h"
+#include "relational/ResultTable.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace migrator;
+
+namespace {
+
+/// Builds the cartesian product of seed values over \p Params.
+std::vector<std::vector<Value>> buildArgTuples(const std::vector<Param> &Params,
+                                               const TesterOptions &Opts) {
+  std::vector<std::vector<Value>> SeedsPerParam;
+  for (const Param &P : Params) {
+    std::vector<Value> Seeds;
+    switch (P.Type) {
+    case ValueType::Int:
+      for (int64_t V : Opts.IntSeeds)
+        Seeds.push_back(Value::makeInt(V));
+      break;
+    case ValueType::String:
+      for (const std::string &V : Opts.StrSeeds)
+        Seeds.push_back(Value::makeString(V));
+      break;
+    case ValueType::Binary:
+      for (const std::string &V : Opts.BinSeeds)
+        Seeds.push_back(Value::makeBinary(V));
+      break;
+    case ValueType::Bool:
+      for (bool V : Opts.BoolSeeds)
+        Seeds.push_back(Value::makeBool(V));
+      break;
+    }
+    assert(!Seeds.empty() && "empty seed set for a parameter type");
+    SeedsPerParam.push_back(std::move(Seeds));
+  }
+
+  std::vector<std::vector<Value>> Tuples;
+  std::vector<Value> Cur;
+  auto Rec = [&](auto &&Self, size_t Depth) -> void {
+    if (Tuples.size() >= Opts.MaxArgTuplesPerFunc)
+      return;
+    if (Depth == SeedsPerParam.size()) {
+      Tuples.push_back(Cur);
+      return;
+    }
+    for (const Value &V : SeedsPerParam[Depth]) {
+      Cur.push_back(V);
+      Self(Self, Depth + 1);
+      Cur.pop_back();
+    }
+  };
+
+  // Small parameter lists get the full seed product.
+  double Product = 1;
+  for (const std::vector<Value> &Seeds : SeedsPerParam)
+    Product *= static_cast<double>(Seeds.size());
+  if (Product <= static_cast<double>(Opts.MaxArgTuplesPerFunc)) {
+    Rec(Rec, 0);
+    return Tuples;
+  }
+
+  // Otherwise choose tuples that still vary every parameter at least once:
+  // the all-first-seed tuple, then one-parameter flips, then a lexicographic
+  // fill up to the cap.
+  std::vector<Value> Base;
+  for (const std::vector<Value> &Seeds : SeedsPerParam)
+    Base.push_back(Seeds.front());
+  Tuples.push_back(Base);
+  for (size_t P = 0; P < SeedsPerParam.size() &&
+                     Tuples.size() < Opts.MaxArgTuplesPerFunc;
+       ++P)
+    for (size_t S = 1; S < SeedsPerParam[P].size() &&
+                       Tuples.size() < Opts.MaxArgTuplesPerFunc;
+         ++S) {
+      std::vector<Value> T = Base;
+      T[P] = SeedsPerParam[P][S];
+      Tuples.push_back(std::move(T));
+    }
+  // Lexicographic fill, then drop duplicates.
+  Rec(Rec, 0); // Appends until the cap; duplicates are possible but rare.
+  std::vector<std::vector<Value>> Dedup;
+  for (std::vector<Value> &T : Tuples) {
+    bool Seen = false;
+    for (const std::vector<Value> &D : Dedup)
+      if (D == T) {
+        Seen = true;
+        break;
+      }
+    if (!Seen)
+      Dedup.push_back(std::move(T));
+  }
+  return Dedup;
+}
+
+/// Serializes a database pair with canonical UID renaming (per side), so
+/// prefixes reaching the same states up to surrogate-key numbering dedupe.
+std::string canonicalState(const Database &Src, const Database &Cand) {
+  std::ostringstream OS;
+  auto Dump = [&OS](const Database &DB) {
+    std::map<uint64_t, uint64_t> UidMap;
+    for (const Table &T : DB.getTables()) {
+      OS << T.getSchema().getName() << "{";
+      for (const Row &R : T.getRows()) {
+        for (const Value &V : R) {
+          if (V.isUid()) {
+            auto [It, New] = UidMap.try_emplace(V.getUid(), UidMap.size());
+            (void)New;
+            OS << "u" << It->second << ",";
+          } else {
+            // Length-prefix the rendering so embedded delimiters in string
+            // payloads cannot alias two distinct states.
+            std::string S = V.str();
+            OS << S.size() << ":" << S << ",";
+          }
+        }
+        OS << ";";
+      }
+      OS << "}";
+    }
+  };
+  Dump(Src);
+  OS << "||";
+  Dump(Cand);
+  return OS.str();
+}
+
+/// One BFS node: paired database states and the update prefix reaching them.
+struct SearchState {
+  Database SrcDB;
+  Database CandDB;
+  UidGen SrcUids;
+  UidGen CandUids;
+  InvocationSeq Prefix;
+};
+
+} // namespace
+
+EquivalenceTester::EquivalenceTester(const Schema &SourceSchema,
+                                     const Program &SourceProg,
+                                     const Schema &TargetSchema,
+                                     TesterOptions Opts)
+    : SourceSchema(SourceSchema), SourceProg(SourceProg),
+      TargetSchema(TargetSchema), Opts(std::move(Opts)) {
+  for (const Function &F : SourceProg.getFunctions())
+    ArgTuples.push_back(buildArgTuples(F.getParams(), this->Opts));
+}
+
+TestOutcome EquivalenceTester::test(const Program &Cand) const {
+  const std::vector<Function> &Funcs = SourceProg.getFunctions();
+  assert(Cand.getNumFunctions() == Funcs.size() &&
+         "candidate function count mismatch");
+
+  // Static validation: ill-formed functions are blocked without any testing.
+  for (const Function &F : Cand.getFunctions())
+    if (validateFunction(F, TargetSchema)) {
+      TestOutcome O;
+      O.TheKind = TestOutcome::Kind::IllFormed;
+      O.IllFormedFunc = F.getName();
+      return O;
+    }
+
+  // Per-function read/write sets over a combined namespace: source tables
+  // are tagged "s:", target tables "t:", so relevance closure can mix both
+  // programs' footprints.
+  size_t N = Funcs.size();
+  std::vector<std::set<std::string>> Reads(N), Writes(N);
+  std::vector<unsigned> UpdateIdx, QueryIdx;
+  for (size_t I = 0; I < N; ++I) {
+    ReadWriteSets SrcRW = collectReadWriteSets(Funcs[I]);
+    ReadWriteSets CandRW =
+        collectReadWriteSets(Cand.getFunction(Funcs[I].getName()));
+    for (const std::string &T : SrcRW.Reads)
+      Reads[I].insert("s:" + T);
+    for (const std::string &T : SrcRW.Writes)
+      Writes[I].insert("s:" + T);
+    for (const std::string &T : CandRW.Reads)
+      Reads[I].insert("t:" + T);
+    for (const std::string &T : CandRW.Writes)
+      Writes[I].insert("t:" + T);
+    (Funcs[I].isUpdate() ? UpdateIdx : QueryIdx)
+        .push_back(static_cast<unsigned>(I));
+  }
+
+  // Relevance closure per query: the updates that can influence its result.
+  auto relevantUpdates = [&](unsigned Q) {
+    std::set<std::string> R = Reads[Q];
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (unsigned U : UpdateIdx) {
+        bool Touches = false;
+        for (const std::string &T : Writes[U])
+          if (R.count(T)) {
+            Touches = true;
+            break;
+          }
+        if (!Touches)
+          continue;
+        for (const std::string &T : Reads[U])
+          if (R.insert(T).second)
+            Changed = true;
+      }
+    }
+    std::vector<unsigned> Rel;
+    for (unsigned U : UpdateIdx) {
+      bool Touches = false;
+      for (const std::string &T : Writes[U])
+        if (R.count(T)) {
+          Touches = true;
+          break;
+        }
+      if (Touches)
+        Rel.push_back(U);
+    }
+    return Rel;
+  };
+
+  // Group queries sharing a relevant update set into one BFS.
+  std::map<std::vector<unsigned>, std::vector<unsigned>> Groups;
+  for (unsigned Q : QueryIdx) {
+    std::vector<unsigned> Rel =
+        Opts.UseRelevanceSlicing ? relevantUpdates(Q) : UpdateIdx;
+    Groups[std::move(Rel)].push_back(Q);
+  }
+
+  // When the groups overlap heavily (their combined frontier is larger than
+  // one unsliced search), fall back to a single group: slicing only pays off
+  // when the program decomposes into mostly-independent table clusters.
+  if (Opts.UseRelevanceSlicing && Groups.size() > 1) {
+    auto FrontierCost = [&](const std::vector<unsigned> &Updates) {
+      double Invs = 0;
+      for (unsigned U : Updates)
+        Invs += static_cast<double>(ArgTuples[U].size());
+      double Cost = 1;
+      for (unsigned L = 1; L < Opts.MaxSeqLen; ++L)
+        Cost *= Invs;
+      return Cost;
+    };
+    double Sliced = 0;
+    for (const auto &[Rel, Qs] : Groups)
+      Sliced += FrontierCost(Rel);
+    if (Sliced > FrontierCost(UpdateIdx)) {
+      Groups.clear();
+      Groups[UpdateIdx] = QueryIdx;
+    }
+  }
+
+  Evaluator SrcEval(SourceSchema);
+  Evaluator CandEval(TargetSchema);
+
+  struct GroupState {
+    const std::vector<unsigned> *RelUpdates = nullptr;
+    const std::vector<unsigned> *Queries = nullptr;
+    std::vector<SearchState> Frontier;
+    std::set<std::string> Seen;
+  };
+  std::vector<GroupState> GS;
+  for (const auto &[Rel, Qs] : Groups) {
+    GroupState G;
+    G.RelUpdates = &Rel;
+    G.Queries = &Qs;
+    SearchState Root;
+    Root.SrcDB = Database(SourceSchema);
+    Root.CandDB = Database(TargetSchema);
+    G.Seen.insert(canonicalState(Root.SrcDB, Root.CandDB));
+    G.Frontier.push_back(std::move(Root));
+    GS.push_back(std::move(G));
+  }
+
+  TestOutcome Fail;
+
+  // Probes every query of group \p G on state \p St; returns true if a
+  // disagreement or ill-formedness was found (recorded in Fail).
+  auto CheckQueries = [&](const GroupState &G, const SearchState &St) {
+    for (unsigned Q : *G.Queries) {
+      const Function &SrcF = Funcs[Q];
+      const Function &CandF = Cand.getFunction(SrcF.getName());
+      for (const std::vector<Value> &Args : ArgTuples[Q]) {
+        ++NumSequencesRun;
+        std::optional<ResultTable> SrcR =
+            SrcEval.callQuery(SrcF, Args, St.SrcDB);
+        assert(SrcR && "source query failed on a valid program");
+        std::optional<ResultTable> CandR =
+            CandEval.callQuery(CandF, Args, St.CandDB);
+        if (!CandR) {
+          Fail.TheKind = TestOutcome::Kind::IllFormed;
+          Fail.IllFormedFunc = SrcF.getName();
+          return true;
+        }
+        if (!resultsEquivalent(*SrcR, *CandR)) {
+          Fail.TheKind = TestOutcome::Kind::Failing;
+          Fail.Mfi = St.Prefix;
+          Fail.Mfi.push_back({SrcF.getName(), Args});
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+
+  for (unsigned Len = 1; Len <= Opts.MaxSeqLen; ++Len) {
+    // Probe all queries on the current frontiers (prefix length Len - 1).
+    for (const GroupState &G : GS)
+      for (const SearchState &St : G.Frontier)
+        if (CheckQueries(G, St))
+          return Fail;
+
+    if (Len == Opts.MaxSeqLen)
+      break;
+
+    // Extend each group's frontier by one update call.
+    for (GroupState &G : GS) {
+      std::vector<SearchState> Next;
+      for (const SearchState &St : G.Frontier) {
+        for (unsigned U : *G.RelUpdates) {
+          const Function &SrcF = Funcs[U];
+          const Function &CandF = Cand.getFunction(SrcF.getName());
+          for (const std::vector<Value> &Args : ArgTuples[U]) {
+            if (Next.size() >= Opts.MaxStatesPerLevel)
+              break;
+            ++NumSequencesRun;
+            SearchState Ext = St;
+            bool SrcOk =
+                SrcEval.callUpdate(SrcF, Args, Ext.SrcDB, Ext.SrcUids);
+            assert(SrcOk && "source update failed on a valid program");
+            (void)SrcOk;
+            if (!CandEval.callUpdate(CandF, Args, Ext.CandDB, Ext.CandUids)) {
+              Fail.TheKind = TestOutcome::Kind::IllFormed;
+              Fail.IllFormedFunc = SrcF.getName();
+              return Fail;
+            }
+            std::string Key = canonicalState(Ext.SrcDB, Ext.CandDB);
+            if (!G.Seen.insert(std::move(Key)).second)
+              continue;
+            Ext.Prefix.push_back({SrcF.getName(), Args});
+            Next.push_back(std::move(Ext));
+          }
+        }
+      }
+      G.Frontier = std::move(Next);
+    }
+  }
+
+  TestOutcome Ok;
+  Ok.TheKind = TestOutcome::Kind::Equivalent;
+  return Ok;
+}

@@ -1,0 +1,48 @@
+//===- vc/ValueCorrespondence.cpp - Attribute correspondences ---------------===//
+
+#include "vc/ValueCorrespondence.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace migrator;
+
+void ValueCorrespondence::add(const QualifiedAttr &Src,
+                              const QualifiedAttr &Tgt) {
+  std::vector<QualifiedAttr> &Image = Map[Src];
+  if (std::find(Image.begin(), Image.end(), Tgt) != Image.end())
+    return;
+  Image.push_back(Tgt);
+  std::sort(Image.begin(), Image.end());
+}
+
+const std::vector<QualifiedAttr> &
+ValueCorrespondence::image(const QualifiedAttr &Src) const {
+  static const std::vector<QualifiedAttr> Empty;
+  auto It = Map.find(Src);
+  return It == Map.end() ? Empty : It->second;
+}
+
+bool ValueCorrespondence::maps(const QualifiedAttr &Src,
+                               const QualifiedAttr &Tgt) const {
+  const std::vector<QualifiedAttr> &Image = image(Src);
+  return std::find(Image.begin(), Image.end(), Tgt) != Image.end();
+}
+
+size_t ValueCorrespondence::getNumPairs() const {
+  size_t N = 0;
+  for (const auto &[Src, Image] : Map)
+    N += Image.size();
+  return N;
+}
+
+std::string ValueCorrespondence::str() const {
+  std::ostringstream OS;
+  for (const auto &[Src, Image] : Map) {
+    OS << Src.str() << " ->";
+    for (const QualifiedAttr &T : Image)
+      OS << " " << T.str();
+    OS << "\n";
+  }
+  return OS.str();
+}

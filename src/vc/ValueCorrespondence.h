@@ -1,0 +1,59 @@
+//===- vc/ValueCorrespondence.h - Attribute correspondences -------*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A value correspondence Φ (Sec. 4.1, after Miller et al.) maps each
+/// attribute of the source schema to a *set* of attributes of the target
+/// schema: `T'.b ∈ Φ(T.a)` asserts that column b of T' stores the same
+/// entries as column a of T. An empty image means the attribute was dropped;
+/// an image with several attributes means it was duplicated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_VC_VALUECORRESPONDENCE_H
+#define MIGRATOR_VC_VALUECORRESPONDENCE_H
+
+#include "relational/Schema.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace migrator {
+
+/// A candidate value correspondence between two schemas.
+class ValueCorrespondence {
+public:
+  /// Adds \p Tgt to Φ(\p Src). Duplicate insertions are ignored.
+  void add(const QualifiedAttr &Src, const QualifiedAttr &Tgt);
+
+  /// Returns Φ(\p Src); the empty set if unmapped.
+  const std::vector<QualifiedAttr> &image(const QualifiedAttr &Src) const;
+
+  /// Returns true if \p Tgt ∈ Φ(\p Src).
+  bool maps(const QualifiedAttr &Src, const QualifiedAttr &Tgt) const;
+
+  /// Number of source attributes with a non-empty image.
+  size_t getNumMappedAttrs() const { return Map.size(); }
+
+  /// Total number of (source, target) pairs.
+  size_t getNumPairs() const;
+
+  bool operator==(const ValueCorrespondence &O) const { return Map == O.Map; }
+  bool operator!=(const ValueCorrespondence &O) const { return !(*this == O); }
+  bool operator<(const ValueCorrespondence &O) const { return Map < O.Map; }
+
+  /// Renders one mapping per line, e.g. `Instructor.IPic -> Picture.Pic`.
+  std::string str() const;
+
+private:
+  std::map<QualifiedAttr, std::vector<QualifiedAttr>> Map;
+};
+
+} // namespace migrator
+
+#endif // MIGRATOR_VC_VALUECORRESPONDENCE_H

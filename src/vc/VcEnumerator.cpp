@@ -1,0 +1,297 @@
+//===- vc/VcEnumerator.cpp - Lazy enumeration of correspondences ------------===//
+
+#include "vc/VcEnumerator.h"
+
+#include "sat/MaxSat.h"
+#include "support/StringExtras.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+using namespace migrator;
+
+unsigned migrator::nameSimilarity(const std::string &A, const std::string &B,
+                                  unsigned Alpha) {
+  unsigned Dist = levenshtein(A, B);
+  return Dist >= Alpha ? 0 : Alpha - Dist;
+}
+
+unsigned migrator::pairWeight(const QualifiedAttr &Src, const QualifiedAttr &Tgt,
+                              unsigned Alpha) {
+  unsigned AttrSim = nameSimilarity(Src.Attr, Tgt.Attr, Alpha);
+  if (AttrSim == 0)
+    return 0;
+  return 4 * AttrSim + nameSimilarity(Src.Table, Tgt.Table, Alpha);
+}
+
+namespace {
+
+/// One possible image (subset of target attributes) for a source attribute,
+/// with its local objective contribution: sum of similarities minus
+/// Alpha * C(|S|, 2) for the violated one-to-one soft clauses.
+struct AttrChoice {
+  int64_t Score;
+  std::vector<unsigned> Subset; ///< Target attribute ids, ascending.
+};
+
+bool choiceBetter(const AttrChoice &A, const AttrChoice &B) {
+  if (A.Score != B.Score)
+    return A.Score > B.Score;
+  if (A.Subset.size() != B.Subset.size())
+    return A.Subset.size() < B.Subset.size();
+  return A.Subset < B.Subset;
+}
+
+/// A frontier node of the best-first product enumeration.
+struct HeapEntry {
+  int64_t Score;
+  std::vector<unsigned> Idx; ///< Choice index per source attribute.
+
+  bool operator<(const HeapEntry &O) const {
+    if (Score != O.Score)
+      return Score < O.Score; // priority_queue is a max-heap.
+    return Idx > O.Idx;       // Deterministic tie-break.
+  }
+};
+
+} // namespace
+
+struct VcEnumerator::Impl {
+  VcOptions Opts;
+  std::vector<QualifiedAttr> SrcAttrs;
+  std::vector<QualifiedAttr> TgtAttrs;
+  std::vector<std::vector<unsigned>> Candidates; ///< Compatible targets per src.
+  std::vector<std::vector<unsigned>> Sims;       ///< sim per candidate.
+  std::vector<bool> IsQueried;
+  bool Infeasible = false;
+  uint64_t ConstOffset = 0; ///< Alpha * sum_i C(|C_i|, 2).
+
+  // KBest backend state.
+  std::vector<std::vector<AttrChoice>> Choices;
+  std::priority_queue<HeapEntry> Heap;
+  std::set<std::vector<unsigned>> Visited;
+
+  // MaxSat backend state.
+  sat::MaxSatSolver MS;
+  std::vector<std::pair<unsigned, unsigned>> VarPair; ///< var -> (src, cand).
+  bool MaxSatBuilt = false;
+
+  /// How many of the highest-similarity candidates participate in
+  /// multi-attribute images. Singleton images consider every compatible
+  /// candidate; images of size >= 2 (attribute duplication) draw from this
+  /// pool, which keeps the per-attribute choice space polynomial.
+  static constexpr unsigned MultiImagePool = 8;
+
+  void buildCommon(const Schema &Source, const Schema &Target,
+                   const std::set<QualifiedAttr> &Queried) {
+    SrcAttrs = Source.allAttrs();
+    TgtAttrs = Target.allAttrs();
+    Candidates.resize(SrcAttrs.size());
+    Sims.resize(SrcAttrs.size());
+    IsQueried.resize(SrcAttrs.size(), false);
+
+    // Exact-name preemption (see VcOptions): target attributes with an
+    // exact-name source candidate of compatible type.
+    std::vector<bool> HasExactSource(TgtAttrs.size(), false);
+    if (Opts.ExactNamePreemption)
+      for (unsigned J = 0; J < TgtAttrs.size(); ++J)
+        for (const QualifiedAttr &A : SrcAttrs)
+          if (A.Attr == TgtAttrs[J].Attr &&
+              Source.attrType(A) == Target.attrType(TgtAttrs[J])) {
+            HasExactSource[J] = true;
+            break;
+          }
+
+    for (unsigned I = 0; I < SrcAttrs.size(); ++I) {
+      ValueType SrcTy = Source.attrType(SrcAttrs[I]);
+      IsQueried[I] = Queried.count(SrcAttrs[I]) > 0;
+      for (unsigned J = 0; J < TgtAttrs.size(); ++J) {
+        if (Target.attrType(TgtAttrs[J]) != SrcTy)
+          continue;
+        if (HasExactSource[J] && SrcAttrs[I].Attr != TgtAttrs[J].Attr)
+          continue;
+        Candidates[I].push_back(J);
+        unsigned Sim = Opts.UseNameSimilarity
+                           ? pairWeight(SrcAttrs[I], TgtAttrs[J], Opts.Alpha)
+                           : 0;
+        Sims[I].push_back(Sim);
+      }
+      if (IsQueried[I] && Candidates[I].empty())
+        Infeasible = true;
+      uint64_t C = Candidates[I].size();
+      ConstOffset +=
+          static_cast<uint64_t>(oneToOnePenalty(Opts.Alpha)) * (C * (C - 1) / 2);
+    }
+  }
+
+  void buildKBest() {
+    Choices.resize(SrcAttrs.size());
+    for (unsigned I = 0; I < SrcAttrs.size(); ++I) {
+      std::vector<AttrChoice> &Out = Choices[I];
+      if (!IsQueried[I])
+        Out.push_back({0, {}});
+      // Singletons over all compatible candidates.
+      for (unsigned K = 0; K < Candidates[I].size(); ++K)
+        Out.push_back({static_cast<int64_t>(Sims[I][K]), {Candidates[I][K]}});
+
+      // Multi-attribute images from the highest-similarity pool.
+      if (Opts.MaxImageSize >= 2 && Candidates[I].size() >= 2) {
+        std::vector<unsigned> Pool(Candidates[I].size());
+        for (unsigned K = 0; K < Pool.size(); ++K)
+          Pool[K] = K;
+        std::stable_sort(Pool.begin(), Pool.end(), [&](unsigned A, unsigned B) {
+          return Sims[I][A] > Sims[I][B];
+        });
+        if (Pool.size() > MultiImagePool)
+          Pool.resize(MultiImagePool);
+        std::sort(Pool.begin(), Pool.end());
+
+        // All subsets of the pool with size in [2, MaxImageSize].
+        std::vector<unsigned> Stack;
+        auto Rec = [&](auto &&Self, unsigned From) -> void {
+          if (Stack.size() >= 2) {
+            int64_t Score = 0;
+            std::vector<unsigned> Subset;
+            for (unsigned K : Stack) {
+              Score += Sims[I][K];
+              Subset.push_back(Candidates[I][K]);
+            }
+            uint64_t N = Stack.size();
+            Score -= static_cast<int64_t>(oneToOnePenalty(Opts.Alpha)) *
+                     (N * (N - 1) / 2);
+            std::sort(Subset.begin(), Subset.end());
+            Out.push_back({Score, std::move(Subset)});
+          }
+          if (Stack.size() >= Opts.MaxImageSize)
+            return;
+          for (unsigned K = From; K < Pool.size(); ++K) {
+            Stack.push_back(Pool[K]);
+            Self(Self, K + 1);
+            Stack.pop_back();
+          }
+        };
+        Rec(Rec, 0);
+      }
+      std::sort(Out.begin(), Out.end(), choiceBetter);
+      assert(!Out.empty() || IsQueried[I]);
+      if (Out.empty())
+        Infeasible = true;
+    }
+    if (Infeasible)
+      return;
+
+    HeapEntry Root;
+    Root.Idx.assign(SrcAttrs.size(), 0);
+    Root.Score = 0;
+    for (unsigned I = 0; I < SrcAttrs.size(); ++I)
+      Root.Score += Choices[I][0].Score;
+    Visited.insert(Root.Idx);
+    Heap.push(std::move(Root));
+  }
+
+  void buildMaxSat() {
+    MaxSatBuilt = true;
+    std::vector<std::vector<int>> Var(SrcAttrs.size());
+    for (unsigned I = 0; I < SrcAttrs.size(); ++I) {
+      Var[I].resize(Candidates[I].size());
+      for (unsigned K = 0; K < Candidates[I].size(); ++K) {
+        Var[I][K] = MS.addVars(1);
+        VarPair.emplace_back(I, K);
+      }
+    }
+    for (unsigned I = 0; I < SrcAttrs.size(); ++I) {
+      // Hard: queried attributes must map somewhere.
+      if (IsQueried[I]) {
+        std::vector<sat::Lit> Clause;
+        for (int V : Var[I])
+          Clause.push_back(sat::posLit(V));
+        MS.addHard(std::move(Clause));
+      }
+      // Soft: name similarity.
+      for (unsigned K = 0; K < Candidates[I].size(); ++K)
+        if (Sims[I][K] > 0)
+          MS.addSoft({sat::posLit(Var[I][K])}, Sims[I][K]);
+      // Soft: one-to-one preference.
+      for (unsigned K = 0; K < Candidates[I].size(); ++K)
+        for (unsigned L = K + 1; L < Candidates[I].size(); ++L)
+          MS.addSoft({sat::negLit(Var[I][K]), sat::negLit(Var[I][L])},
+                     oneToOnePenalty(Opts.Alpha));
+    }
+  }
+
+  std::optional<std::pair<ValueCorrespondence, uint64_t>> nextKBest() {
+    if (Heap.empty())
+      return std::nullopt;
+    HeapEntry Top = Heap.top();
+    Heap.pop();
+
+    // Push the frontier successors.
+    for (unsigned I = 0; I < Top.Idx.size(); ++I) {
+      if (Top.Idx[I] + 1 >= Choices[I].size())
+        continue;
+      HeapEntry Child = Top;
+      Child.Score += Choices[I][Top.Idx[I] + 1].Score -
+                     Choices[I][Top.Idx[I]].Score;
+      ++Child.Idx[I];
+      if (Visited.insert(Child.Idx).second)
+        Heap.push(std::move(Child));
+    }
+
+    ValueCorrespondence VC;
+    for (unsigned I = 0; I < Top.Idx.size(); ++I)
+      for (unsigned J : Choices[I][Top.Idx[I]].Subset)
+        VC.add(SrcAttrs[I], TgtAttrs[J]);
+    uint64_t Weight = static_cast<uint64_t>(
+        std::max<int64_t>(0, Top.Score + static_cast<int64_t>(ConstOffset)));
+    return std::make_pair(std::move(VC), Weight);
+  }
+
+  std::optional<std::pair<ValueCorrespondence, uint64_t>> nextMaxSat() {
+    if (!MaxSatBuilt)
+      buildMaxSat();
+    std::optional<sat::MaxSatResult> R = MS.solve(Opts.MaxSatNodeBudget);
+    if (!R)
+      return std::nullopt;
+
+    ValueCorrespondence VC;
+    std::vector<sat::Lit> Blocking;
+    for (int V = 0; V < MS.getNumVars(); ++V) {
+      auto [I, K] = VarPair[V];
+      if (R->Model[V]) {
+        VC.add(SrcAttrs[I], TgtAttrs[Candidates[I][K]]);
+        Blocking.push_back(sat::negLit(V));
+      } else {
+        Blocking.push_back(sat::posLit(V));
+      }
+    }
+    // Block this exact assignment (Sec. 4.2, "Blocking clauses").
+    MS.addHard(std::move(Blocking));
+    return std::make_pair(std::move(VC), R->Weight);
+  }
+};
+
+VcEnumerator::VcEnumerator(const Schema &Source, const Schema &Target,
+                           const std::set<QualifiedAttr> &Queried,
+                           VcOptions Opts)
+    : P(std::make_unique<Impl>()) {
+  P->Opts = Opts;
+  P->buildCommon(Source, Target, Queried);
+  if (!P->Infeasible && Opts.TheBackend == VcOptions::Backend::KBest)
+    P->buildKBest();
+}
+
+VcEnumerator::~VcEnumerator() = default;
+
+std::optional<ValueCorrespondence> VcEnumerator::next() {
+  if (P->Infeasible)
+    return std::nullopt;
+  std::optional<std::pair<ValueCorrespondence, uint64_t>> R =
+      P->Opts.TheBackend == VcOptions::Backend::KBest ? P->nextKBest()
+                                                      : P->nextMaxSat();
+  if (!R)
+    return std::nullopt;
+  LastWeight = R->second;
+  ++NumEnumerated;
+  return std::move(R->first);
+}

@@ -1,0 +1,101 @@
+//===- tests/TestUtil.h - Shared test fixtures ---------------------*- C++ -*-===//
+//
+// Part of the Migrator project test suite.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared helpers: parse-or-die wrappers and the paper's overview example
+/// (the course database of Sec. 2) used across many test files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_TESTS_TESTUTIL_H
+#define MIGRATOR_TESTS_TESTUTIL_H
+
+#include "parse/Parser.h"
+
+#include <gtest/gtest.h>
+
+namespace migrator {
+namespace test {
+
+/// Parses \p Src, failing the test on a diagnostic.
+inline ParseOutput parseOrDie(std::string_view Src) {
+  std::variant<ParseOutput, ParseError> R = parseUnit(Src);
+  if (auto *E = std::get_if<ParseError>(&R)) {
+    ADD_FAILURE() << "parse error: " << E->str();
+    return ParseOutput();
+  }
+  return std::move(std::get<ParseOutput>(R));
+}
+
+/// The overview example of Sec. 2: source schema, target schema, and the
+/// Fig. 2 program.
+inline const char *overviewSource() {
+  return R"(
+schema CourseDB {
+  table Class(ClassId: int, InstId: int, TaId: int)
+  table Instructor(InstId: int, IName: string, IPic: binary)
+  table TA(TaId: int, TName: string, TPic: binary)
+}
+schema CourseDBNew {
+  table Class(ClassId: int, InstId: int, TaId: int)
+  table Instructor(InstId: int, IName: string, PicId: int)
+  table TA(TaId: int, TName: string, PicId: int)
+  table Picture(PicId: int, Pic: binary)
+}
+program CourseApp on CourseDB {
+  update addInstructor(id: int, name: string, pic: binary) {
+    insert into Instructor values (InstId: id, IName: name, IPic: pic);
+  }
+  update deleteInstructor(id: int) {
+    delete [Instructor] from Instructor where InstId = id;
+  }
+  query getInstructorInfo(id: int) {
+    select IName, IPic from Instructor where InstId = id;
+  }
+  update addTA(id: int, name: string, pic: binary) {
+    insert into TA values (TaId: id, TName: name, TPic: pic);
+  }
+  update deleteTA(id: int) {
+    delete [TA] from TA where TaId = id;
+  }
+  query getTAInfo(id: int) {
+    select TName, TPic from TA where TaId = id;
+  }
+}
+)";
+}
+
+/// The hand-written Fig. 4 result over the new schema (one of the programs
+/// equivalent to the source).
+inline const char *overviewExpected() {
+  return R"(
+program CourseAppNew on CourseDBNew {
+  update addInstructor(id: int, name: string, pic: binary) {
+    insert into Picture join Instructor values (InstId: id, IName: name, Pic: pic);
+  }
+  update deleteInstructor(id: int) {
+    delete [Instructor] from Picture join Instructor where InstId = id;
+  }
+  query getInstructorInfo(id: int) {
+    select IName, Pic from Picture join Instructor where InstId = id;
+  }
+  update addTA(id: int, name: string, pic: binary) {
+    insert into Picture join TA values (TaId: id, TName: name, Pic: pic);
+  }
+  update deleteTA(id: int) {
+    delete [TA] from Picture join TA where TaId = id;
+  }
+  query getTAInfo(id: int) {
+    select TName, Pic from Picture join TA where TaId = id;
+  }
+}
+)";
+}
+
+} // namespace test
+} // namespace migrator
+
+#endif // MIGRATOR_TESTS_TESTUTIL_H

@@ -1,0 +1,262 @@
+//===- tests/ast_test.cpp - AST, join chains, analysis tests ----------------===//
+
+#include "ast/Analysis.h"
+#include "ast/Program.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace migrator;
+using namespace migrator::test;
+
+namespace {
+
+Schema courseTarget() {
+  Schema S("New");
+  S.addTable(TableSchema("Class", {{"ClassId", ValueType::Int},
+                                   {"InstId", ValueType::Int},
+                                   {"TaId", ValueType::Int}}));
+  S.addTable(TableSchema("Instructor", {{"InstId", ValueType::Int},
+                                        {"IName", ValueType::String},
+                                        {"PicId", ValueType::Int}}));
+  S.addTable(TableSchema("TA", {{"TaId", ValueType::Int},
+                                {"TName", ValueType::String},
+                                {"PicId", ValueType::Int}}));
+  S.addTable(TableSchema("Picture", {{"PicId", ValueType::Int},
+                                     {"Pic", ValueType::Binary}}));
+  return S;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// JoinChain
+//===----------------------------------------------------------------------===//
+
+TEST(JoinChainTest, SingleTableChain) {
+  Schema S = courseTarget();
+  JoinChain C = JoinChain::table("Picture");
+  EXPECT_TRUE(C.isSingleTable());
+  EXPECT_TRUE(C.containsTable("Picture"));
+  EXPECT_FALSE(C.containsTable("TA"));
+  EXPECT_EQ(C.allAttrs(S).size(), 2u);
+  // Every class is a singleton for a single table.
+  EXPECT_EQ(C.attrClasses(S).size(), 2u);
+}
+
+TEST(JoinChainTest, NaturalChainGroupsSameNamedAttrs) {
+  Schema S = courseTarget();
+  JoinChain C = JoinChain::natural({"Picture", "TA"});
+  std::vector<std::vector<QualifiedAttr>> Classes = C.attrClasses(S);
+  // Attributes: Picture{PicId, Pic}, TA{TaId, TName, PicId} -> classes:
+  // {P.PicId, TA.PicId}, {Pic}, {TaId}, {TName}.
+  ASSERT_EQ(Classes.size(), 4u);
+  bool FoundShared = false;
+  for (const auto &Cl : Classes)
+    if (Cl.size() == 2) {
+      FoundShared = true;
+      EXPECT_EQ(Cl[0].Attr, "PicId");
+      EXPECT_EQ(Cl[1].Attr, "PicId");
+    }
+  EXPECT_TRUE(FoundShared);
+}
+
+TEST(JoinChainTest, FourTableNaturalChainLinksTransitively) {
+  Schema S = courseTarget();
+  JoinChain C = JoinChain::natural({"Picture", "TA", "Class", "Instructor"});
+  // PicId spans Picture, TA, Instructor; TaId spans TA, Class; InstId spans
+  // Class, Instructor.
+  std::vector<std::vector<QualifiedAttr>> Classes = C.attrClasses(S);
+  size_t Sizes[4] = {0, 0, 0, 0};
+  for (const auto &Cl : Classes) {
+    ASSERT_LE(Cl.size(), 3u);
+    ++Sizes[Cl.size()];
+  }
+  EXPECT_EQ(Sizes[3], 1u); // PicId.
+  EXPECT_EQ(Sizes[2], 2u); // TaId, InstId.
+  // Singletons: ClassId, IName, TName, Pic.
+  EXPECT_EQ(Sizes[1], 4u);
+}
+
+TEST(JoinChainTest, ExplicitJoinUsesDeclaredEqualitiesOnly) {
+  Schema S;
+  S.addTable(TableSchema("A", {{"x", ValueType::Int}, {"k", ValueType::Int}}));
+  S.addTable(TableSchema("B", {{"x", ValueType::Int}, {"k", ValueType::Int}}));
+  JoinChain C = JoinChain::explicitJoin(
+      {"A", "B"}, {{AttrRef("A", "k"), AttrRef("B", "k")}});
+  std::vector<std::vector<QualifiedAttr>> Classes = C.attrClasses(S);
+  // Only A.k ~ B.k; A.x and B.x stay separate.
+  ASSERT_EQ(Classes.size(), 3u);
+  size_t Pairs = 0;
+  for (const auto &Cl : Classes)
+    if (Cl.size() == 2)
+      ++Pairs;
+  EXPECT_EQ(Pairs, 1u);
+}
+
+TEST(JoinChainTest, ResolveUnqualifiedPicksFirstDeclaringTable) {
+  Schema S = courseTarget();
+  JoinChain C = JoinChain::natural({"Picture", "TA"});
+  std::optional<QualifiedAttr> QA = C.resolve(AttrRef::unqualified("PicId"), S);
+  ASSERT_TRUE(QA.has_value());
+  EXPECT_EQ(QA->Table, "Picture");
+  EXPECT_FALSE(C.resolve(AttrRef::unqualified("InstId"), S).has_value());
+  EXPECT_FALSE(C.resolve(AttrRef("Class", "TaId"), S).has_value());
+  std::optional<QualifiedAttr> Q2 = C.resolve(AttrRef("TA", "PicId"), S);
+  ASSERT_TRUE(Q2.has_value());
+  EXPECT_EQ(Q2->Table, "TA");
+}
+
+TEST(JoinChainTest, StrRendersJoins) {
+  EXPECT_EQ(JoinChain::natural({"Picture", "TA"}).str(), "Picture join TA");
+  JoinChain E = JoinChain::explicitJoin(
+      {"A", "B"}, {{AttrRef("A", "k"), AttrRef("B", "k")}});
+  EXPECT_EQ(E.str(), "A join B on A.k = B.k");
+}
+
+//===----------------------------------------------------------------------===//
+// Expr / Stmt
+//===----------------------------------------------------------------------===//
+
+TEST(ExprTest, EvalCmpOpOnValues) {
+  Value A = Value::makeInt(1), B = Value::makeInt(2);
+  EXPECT_TRUE(evalCmpOp(CmpOp::Lt, A, B));
+  EXPECT_FALSE(evalCmpOp(CmpOp::Gt, A, B));
+  EXPECT_TRUE(evalCmpOp(CmpOp::Le, A, A));
+  EXPECT_TRUE(evalCmpOp(CmpOp::Ge, B, B));
+  EXPECT_TRUE(evalCmpOp(CmpOp::Ne, A, B));
+  EXPECT_FALSE(evalCmpOp(CmpOp::Eq, A, B));
+  // Heterogeneous kinds: only != holds.
+  EXPECT_FALSE(evalCmpOp(CmpOp::Eq, A, Value::makeString("1")));
+  EXPECT_TRUE(evalCmpOp(CmpOp::Ne, A, Value::makeString("1")));
+  EXPECT_FALSE(evalCmpOp(CmpOp::Lt, A, Value::makeString("1")));
+  // UIDs never equal concrete values.
+  EXPECT_FALSE(evalCmpOp(CmpOp::Eq, Value::makeUid(1), Value::makeInt(1)));
+}
+
+TEST(ExprTest, CloneIsDeepAndEqual) {
+  PredPtr P = makeAnd(
+      makeCmp(AttrRef::unqualified("a"), CmpOp::Eq, Operand::param("x")),
+      makeNot(makeCmp(AttrRef::unqualified("b"), CmpOp::Lt,
+                      Operand::constant(Value::makeInt(3)))));
+  PredPtr Q = P->clone();
+  EXPECT_TRUE(P->equals(*Q));
+  EXPECT_NE(P.get(), Q.get());
+  EXPECT_EQ(P->str(), "(a = x and not (b < 3))");
+}
+
+TEST(ExprTest, QueryGetChainReachesLeaf) {
+  QueryPtr Q = makeSelect({AttrRef::unqualified("IName")},
+                          JoinChain::natural({"Picture", "Instructor"}),
+                          makeCmp(AttrRef::unqualified("InstId"), CmpOp::Eq,
+                                  Operand::param("id")));
+  EXPECT_EQ(Q->getChain().str(), "Picture join Instructor");
+  EXPECT_EQ(Q->str(),
+            "select IName from Picture join Instructor where InstId = id");
+}
+
+TEST(StmtTest, PrintingAndEquality) {
+  InsertStmt I(JoinChain::table("T"),
+               {{AttrRef::unqualified("a"), Operand::param("x")}});
+  EXPECT_EQ(I.str(), "insert into T values (a: x);");
+  StmtPtr C = I.clone();
+  EXPECT_TRUE(I.equals(*C));
+
+  DeleteStmt D({"T"}, JoinChain::table("T"),
+               makeCmp(AttrRef::unqualified("a"), CmpOp::Eq,
+                       Operand::constant(Value::makeInt(1))));
+  EXPECT_EQ(D.str(), "delete [T] from T where a = 1;");
+  EXPECT_FALSE(D.equals(I));
+
+  UpdateStmt U(JoinChain::table("T"), nullptr, AttrRef::unqualified("a"),
+               Operand::constant(Value::makeInt(5)));
+  EXPECT_EQ(U.str(), "update T set a = 5;");
+  EXPECT_TRUE(U.equals(*U.clone()));
+}
+
+TEST(ProgramTest, LookupAndClone) {
+  ParseOutput Out = parseOrDie(overviewSource());
+  const Program &P = Out.findProgram("CourseApp")->Prog;
+  EXPECT_EQ(P.getNumFunctions(), 6u);
+  EXPECT_NE(P.findFunction("addTA"), nullptr);
+  EXPECT_EQ(P.findFunction("nope"), nullptr);
+  EXPECT_EQ(P.updateFunctionNames().size(), 4u);
+  EXPECT_EQ(P.queryFunctionNames().size(), 2u);
+  Program C = P.clone();
+  EXPECT_TRUE(C.equals(P));
+}
+
+//===----------------------------------------------------------------------===//
+// Analysis
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisTest, CollectQueriedAttrsOfOverview) {
+  ParseOutput Out = parseOrDie(overviewSource());
+  const Schema &S = *Out.findSchema("CourseDB");
+  const Program &P = Out.findProgram("CourseApp")->Prog;
+  std::set<QualifiedAttr> Queried = collectQueriedAttrs(P, S);
+  // Projections: IName, IPic, TName, TPic; predicates: InstId, TaId.
+  EXPECT_EQ(Queried.size(), 6u);
+  EXPECT_TRUE(Queried.count({"Instructor", "IPic"}));
+  EXPECT_TRUE(Queried.count({"TA", "TaId"}));
+  EXPECT_FALSE(Queried.count({"Class", "ClassId"}));
+}
+
+TEST(AnalysisTest, ValidateAcceptsOverview) {
+  ParseOutput Out = parseOrDie(overviewSource());
+  EXPECT_FALSE(validateProgram(Out.findProgram("CourseApp")->Prog,
+                               *Out.findSchema("CourseDB"))
+                   .has_value());
+}
+
+TEST(AnalysisTest, ValidateRejectsUnknownTable) {
+  ParseOutput Out = parseOrDie(R"(
+schema S { table T(a: int) }
+program P on S {
+  query q(x: int) { select a from Nope where a = x; }
+}
+)");
+  std::optional<std::string> Diag =
+      validateProgram(Out.findProgram("P")->Prog, *Out.findSchema("S"));
+  ASSERT_TRUE(Diag.has_value());
+  EXPECT_NE(Diag->find("Nope"), std::string::npos);
+}
+
+TEST(AnalysisTest, ValidateRejectsTypeMismatchedConstant) {
+  ParseOutput Out = parseOrDie(R"(
+schema S { table T(a: int) }
+program P on S {
+  query q() { select a from T where a = "x"; }
+}
+)");
+  EXPECT_TRUE(validateProgram(Out.findProgram("P")->Prog,
+                              *Out.findSchema("S"))
+                  .has_value());
+}
+
+TEST(AnalysisTest, ValidateRejectsDeleteTargetOutsideChain) {
+  ParseOutput Out = parseOrDie(R"(
+schema S { table T(a: int) table U(a: int) }
+program P on S {
+  update d(x: int) { delete [U] from T where a = x; }
+}
+)");
+  EXPECT_TRUE(validateProgram(Out.findProgram("P")->Prog,
+                              *Out.findSchema("S"))
+                  .has_value());
+}
+
+TEST(AnalysisTest, ReadWriteSetsOfCrudFunctions) {
+  ParseOutput Out = parseOrDie(overviewSource());
+  const Program &P = Out.findProgram("CourseApp")->Prog;
+  ReadWriteSets Add = collectReadWriteSets(P.getFunction("addInstructor"));
+  EXPECT_TRUE(Add.Writes.count("Instructor"));
+  EXPECT_TRUE(Add.Reads.empty());
+  ReadWriteSets Del = collectReadWriteSets(P.getFunction("deleteInstructor"));
+  EXPECT_TRUE(Del.Writes.count("Instructor"));
+  EXPECT_TRUE(Del.Reads.count("Instructor"));
+  ReadWriteSets Get = collectReadWriteSets(P.getFunction("getTAInfo"));
+  EXPECT_TRUE(Get.Writes.empty());
+  EXPECT_TRUE(Get.Reads.count("TA"));
+}

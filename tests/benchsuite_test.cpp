@@ -1,0 +1,147 @@
+//===- tests/benchsuite_test.cpp - Benchmark corpus tests --------------------===//
+
+#include "ast/Analysis.h"
+#include "benchsuite/Benchmark.h"
+#include "synth/Synthesizer.h"
+
+#include "parse/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace migrator;
+
+namespace {
+
+/// Expected Table 1 source-side statistics.
+struct Stats {
+  const char *Name;
+  size_t Funcs;
+  size_t SrcTables, SrcAttrs;
+  size_t TgtTables, TgtAttrs; ///< 0 = unchecked (generated targets).
+};
+
+const Stats Expected[] = {
+    {"Oracle-1", 4, 2, 8, 1, 6},
+    {"Oracle-2", 19, 3, 17, 7, 25},
+    {"Ambler-1", 10, 1, 6, 2, 8},
+    {"Ambler-2", 10, 2, 7, 1, 6},
+    {"Ambler-3", 7, 2, 5, 2, 5},
+    {"Ambler-4", 5, 1, 2, 1, 2},
+    {"Ambler-5", 8, 2, 5, 3, 7},
+    {"Ambler-6", 10, 2, 9, 2, 8},
+    {"Ambler-7", 8, 2, 7, 2, 8},
+    {"Ambler-8", 14, 3, 10, 3, 13},
+    {"cdx", 138, 16, 125, 17, 0},
+    {"coachup", 45, 4, 51, 5, 0},
+    {"2030Club", 125, 15, 155, 16, 0},
+    {"rails-ecomm", 65, 8, 69, 9, 0},
+    {"royk", 151, 19, 152, 19, 0},
+    {"MathHotSpot", 54, 7, 38, 7, 0},
+    {"gallery", 58, 7, 52, 8, 0},
+    {"DeeJBase", 70, 10, 92, 11, 0},
+    {"visible-closet", 263, 26, 248, 27, 0},
+    {"probable-engine", 85, 12, 83, 11, 0},
+};
+
+class BenchmarkStats : public ::testing::TestWithParam<Stats> {};
+class TextbookSynthesis : public ::testing::TestWithParam<const char *> {};
+
+} // namespace
+
+TEST(BenchmarkRegistry, TwentyBenchmarksRegistered) {
+  EXPECT_EQ(textbookBenchmarkNames().size(), 10u);
+  EXPECT_EQ(realWorldBenchmarkNames().size(), 10u);
+  EXPECT_EQ(allBenchmarkNames().size(), 20u);
+}
+
+TEST_P(BenchmarkStats, MatchesTable1SourceShape) {
+  const Stats &S = GetParam();
+  Benchmark B = loadBenchmark(S.Name);
+  EXPECT_EQ(B.Name, S.Name);
+  EXPECT_EQ(B.numFuncs(), S.Funcs);
+  EXPECT_EQ(B.Source.getNumTables(), S.SrcTables);
+  EXPECT_EQ(B.Source.getNumAttrs(), S.SrcAttrs);
+  EXPECT_EQ(B.Target.getNumTables(), S.TgtTables);
+  if (S.TgtAttrs != 0) {
+    EXPECT_EQ(B.Target.getNumAttrs(), S.TgtAttrs);
+  }
+}
+
+TEST_P(BenchmarkStats, ProgramIsWellFormedOverSourceSchema) {
+  Benchmark B = loadBenchmark(GetParam().Name);
+  std::optional<std::string> Diag = validateProgram(B.Prog, B.Source);
+  EXPECT_FALSE(Diag.has_value()) << *Diag;
+}
+
+TEST_P(BenchmarkStats, LoadingIsDeterministic) {
+  Benchmark A = loadBenchmark(GetParam().Name);
+  Benchmark B = loadBenchmark(GetParam().Name);
+  EXPECT_TRUE(A.Prog.equals(B.Prog));
+  EXPECT_EQ(A.Source.str(), B.Source.str());
+  EXPECT_EQ(A.Target.str(), B.Target.str());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkStats,
+                         ::testing::ValuesIn(Expected),
+                         [](const ::testing::TestParamInfo<Stats> &Info) {
+                           std::string N = Info.param.Name;
+                           for (char &C : N)
+                             if (C == '-')
+                               C = '_';
+                           return N;
+                         });
+
+TEST_P(TextbookSynthesis, SynthesizesEquivalentProgram) {
+  Benchmark B = loadBenchmark(GetParam());
+  SynthOptions Opts;
+  Opts.TimeBudgetSec = 120;
+  SynthResult R = synthesize(B.Source, B.Prog, B.Target, Opts);
+  ASSERT_TRUE(R.succeeded()) << "VCs=" << R.Stats.NumVcs
+                             << " iters=" << R.Stats.Iters
+                             << " timedOut=" << R.Stats.TimedOut;
+
+  // Confirm with an independent deep tester.
+  TesterOptions Deep;
+  Deep.MaxSeqLen = 4;
+  EquivalenceTester T(B.Source, B.Prog, B.Target, Deep);
+  EXPECT_TRUE(T.test(*R.Prog).isEquivalent());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Textbook, TextbookSynthesis,
+    ::testing::Values("Oracle-1", "Oracle-2", "Ambler-1", "Ambler-2",
+                      "Ambler-3", "Ambler-4", "Ambler-5", "Ambler-6",
+                      "Ambler-7", "Ambler-8"),
+    [](const ::testing::TestParamInfo<const char *> &Info) {
+      std::string N = Info.param;
+      for (char &C : N)
+        if (C == '-')
+          C = '_';
+      return N;
+    });
+
+TEST(RealWorldSynthesis, CoachupSynthesizes) {
+  // The smallest real-world-scale benchmark runs as part of the test suite;
+  // the full set runs in bench/bench_table1.
+  Benchmark B = loadBenchmark("coachup");
+  SynthOptions Opts;
+  Opts.TimeBudgetSec = 300;
+  SynthResult R = synthesize(B.Source, B.Prog, B.Target, Opts);
+  ASSERT_TRUE(R.succeeded()) << "VCs=" << R.Stats.NumVcs
+                             << " iters=" << R.Stats.Iters;
+  EquivalenceTester T(B.Source, B.Prog, B.Target);
+  EXPECT_TRUE(T.test(*R.Prog).isEquivalent());
+}
+
+TEST(BenchmarkRoundTrip, TextbookBenchmarksPrintAndReparse) {
+  for (const std::string &Name : textbookBenchmarkNames()) {
+    Benchmark B = loadBenchmark(Name);
+    std::string Text = B.Source.str() + B.Target.str() + "program P on " +
+                       B.Source.getName() + " {\n" + B.Prog.str() + "}\n";
+    std::variant<ParseOutput, ParseError> R = parseUnit(Text);
+    ASSERT_TRUE(std::holds_alternative<ParseOutput>(R))
+        << Name << ": " << std::get<ParseError>(R).str();
+    EXPECT_TRUE(std::get<ParseOutput>(R).findProgram("P")->Prog.equals(B.Prog))
+        << Name;
+  }
+}

@@ -1,0 +1,367 @@
+//===- tests/coverage_test.cpp - Systematic coverage sweeps -------------------===//
+//
+// Breadth-first coverage of the surface area the focused suites do not
+// reach: lexer/parser diagnostics, evaluator operator matrices, comparison
+// semantics per type, encoder counting, and synthesized-program structure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Analysis.h"
+#include "benchsuite/Benchmark.h"
+#include "parse/Parser.h"
+#include "synth/Synthesizer.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace migrator;
+using namespace migrator::test;
+
+//===----------------------------------------------------------------------===//
+// Lexer / parser diagnostics
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct BadInput {
+  const char *Name;
+  const char *Text;
+  const char *MsgFragment; ///< Expected substring of the diagnostic.
+};
+
+class ParserDiagnostics : public ::testing::TestWithParam<BadInput> {};
+
+} // namespace
+
+TEST_P(ParserDiagnostics, ReportsHelpfulMessage) {
+  std::variant<ParseOutput, ParseError> R = parseUnit(GetParam().Text);
+  ASSERT_TRUE(std::holds_alternative<ParseError>(R)) << GetParam().Text;
+  const ParseError &E = std::get<ParseError>(R);
+  EXPECT_NE(E.Msg.find(GetParam().MsgFragment), std::string::npos)
+      << "got: " << E.Msg;
+  EXPECT_GE(E.Line, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadInputs, ParserDiagnostics,
+    ::testing::Values(
+        BadInput{"TopLevel", "table T(a: int)", "expected 'schema'"},
+        BadInput{"SchemaName", "schema { }", "identifier"},
+        BadInput{"MissingBrace", "schema S table T(a: int)", "'{'"},
+        BadInput{"BadType", "schema S { table T(a: float) }", "unknown type"},
+        BadInput{"MissingColon", "schema S { table T(a int) }", "':'"},
+        BadInput{"EmptySchemaBody", "schema S { table }", "identifier"},
+        BadInput{"FuncKeyword",
+                 "schema S { table T(a: int) }\nprogram P on S { select }",
+                 "'}'"},
+        BadInput{"MissingSemi",
+                 "schema S { table T(a: int) }\nprogram P on S {\n"
+                 "  query q(x: int) { select a from T where a = x }\n}",
+                 "';'"},
+        BadInput{"BadOperator",
+                 "schema S { table T(a: int) }\nprogram P on S {\n"
+                 "  query q(x: int) { select a from T where a ~ x; }\n}",
+                 "unexpected character"},
+        BadInput{"InsertMissingValues",
+                 "schema S { table T(a: int) }\nprogram P on S {\n"
+                 "  update u(x: int) { insert into T (a: x); }\n}",
+                 "'values'"},
+        BadInput{"UpdateMissingSet",
+                 "schema S { table T(a: int) }\nprogram P on S {\n"
+                 "  update u(x: int) { update T a = x; }\n}",
+                 "'set'"},
+        BadInput{"DeleteMissingFrom",
+                 "schema S { table T(a: int) }\nprogram P on S {\n"
+                 "  update u(x: int) { delete T where a = x; }\n}",
+                 "'from'"}),
+    [](const ::testing::TestParamInfo<BadInput> &Info) {
+      return Info.param.Name;
+    });
+
+//===----------------------------------------------------------------------===//
+// Comparison operator matrix per value type
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct CmpCase {
+  const char *Name;
+  Value L, R;
+  // Expected results for Eq, Ne, Lt, Le, Gt, Ge.
+  bool Expect[6];
+};
+
+class CmpMatrix : public ::testing::TestWithParam<CmpCase> {};
+
+} // namespace
+
+TEST_P(CmpMatrix, AllSixOperators) {
+  const CmpCase &C = GetParam();
+  const CmpOp Ops[6] = {CmpOp::Eq, CmpOp::Ne, CmpOp::Lt,
+                        CmpOp::Le, CmpOp::Gt, CmpOp::Ge};
+  for (int I = 0; I < 6; ++I)
+    EXPECT_EQ(evalCmpOp(Ops[I], C.L, C.R), C.Expect[I])
+        << C.Name << " op " << cmpOpName(Ops[I]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CmpMatrix,
+    ::testing::Values(
+        CmpCase{"IntLess", Value::makeInt(1), Value::makeInt(2),
+                {false, true, true, true, false, false}},
+        CmpCase{"IntEqual", Value::makeInt(5), Value::makeInt(5),
+                {true, false, false, true, false, true}},
+        CmpCase{"IntNegative", Value::makeInt(-1), Value::makeInt(0),
+                {false, true, true, true, false, false}},
+        CmpCase{"StringLex", Value::makeString("abc"), Value::makeString("abd"),
+                {false, true, true, true, false, false}},
+        CmpCase{"BinaryEqual", Value::makeBinary("b0"), Value::makeBinary("b0"),
+                {true, false, false, true, false, true}},
+        CmpCase{"BoolOrder", Value::makeBool(false), Value::makeBool(true),
+                {false, true, true, true, false, false}},
+        CmpCase{"UidEqual", Value::makeUid(3), Value::makeUid(3),
+                {true, false, false, true, false, true}},
+        CmpCase{"UidVsInt", Value::makeUid(3), Value::makeInt(3),
+                {false, true, false, false, false, false}},
+        CmpCase{"IntVsString", Value::makeInt(0), Value::makeString("0"),
+                {false, true, false, false, false, false}}),
+    [](const ::testing::TestParamInfo<CmpCase> &Info) {
+      return Info.param.Name;
+    });
+
+//===----------------------------------------------------------------------===//
+// Evaluator: statement matrices
+//===----------------------------------------------------------------------===//
+
+TEST(EvalCoverage, PredicateConnectives) {
+  ParseOutput Out = parseOrDie(R"(
+schema S { table T(a: int, b: int) }
+program P on S {
+  update add(a: int, b: int) { insert into T values (a: a, b: b); }
+  query andQ(x: int, y: int) { select a from T where a = x and b = y; }
+  query orQ(x: int, y: int) { select a from T where a = x or b = y; }
+  query notQ(x: int) { select a from T where not (a = x); }
+  query nested(x: int) { select a from T where not (a = x or not (b = x)); }
+  query range(lo: int, hi: int) {
+    select a from T where a >= lo and a <= hi;
+  }
+}
+)");
+  const Schema &S = *Out.findSchema("S");
+  const Program &P = Out.findProgram("P")->Prog;
+  auto Run = [&](const char *Q, std::vector<Value> Args) {
+    InvocationSeq Seq = {{"add", {Value::makeInt(1), Value::makeInt(1)}},
+                         {"add", {Value::makeInt(1), Value::makeInt(2)}},
+                         {"add", {Value::makeInt(2), Value::makeInt(2)}},
+                         {Q, std::move(Args)}};
+    std::optional<ResultTable> R = runSequence(P, S, Seq);
+    EXPECT_TRUE(R.has_value());
+    return R ? R->getNumRows() : 0;
+  };
+  EXPECT_EQ(Run("andQ", {Value::makeInt(1), Value::makeInt(2)}), 1u);
+  EXPECT_EQ(Run("orQ", {Value::makeInt(1), Value::makeInt(2)}), 3u);
+  EXPECT_EQ(Run("notQ", {Value::makeInt(1)}), 1u);
+  // not (a = x or not (b = x)) == a != x and b == x; for x=2: rows with
+  // a!=2, b=2: (1,2) only.
+  EXPECT_EQ(Run("nested", {Value::makeInt(2)}), 1u);
+  EXPECT_EQ(Run("range", {Value::makeInt(1), Value::makeInt(2)}), 3u);
+  EXPECT_EQ(Run("range", {Value::makeInt(2), Value::makeInt(1)}), 0u);
+}
+
+TEST(EvalCoverage, DeleteWithoutPredicateEmptiesTable) {
+  ParseOutput Out = parseOrDie(R"(
+schema S { table T(a: int) }
+program P on S {
+  update add(a: int) { insert into T values (a: a); }
+  update clear() { delete from T; }
+  query all(x: int) { select a from T where a != x; }
+}
+)");
+  const Schema &S = *Out.findSchema("S");
+  const Program &P = Out.findProgram("P")->Prog;
+  std::optional<ResultTable> R = runSequence(
+      P, S,
+      {{"add", {Value::makeInt(1)}},
+       {"add", {Value::makeInt(2)}},
+       {"clear", {}},
+       {"all", {Value::makeInt(99)}}});
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->getNumRows(), 0u);
+}
+
+TEST(EvalCoverage, MultiStatementUpdateFunctionRunsInOrder) {
+  ParseOutput Out = parseOrDie(R"(
+schema S { table T(a: int) }
+program P on S {
+  update addTwiceRemoveOnce(a: int, b: int) {
+    insert into T values (a: a);
+    insert into T values (a: b);
+    delete from T where a = a;
+  }
+  query count(x: int) { select a from T where a != x; }
+}
+)");
+  const Schema &S = *Out.findSchema("S");
+  const Program &P = Out.findProgram("P")->Prog;
+  std::optional<ResultTable> R = runSequence(
+      P, S,
+      {{"addTwiceRemoveOnce", {Value::makeInt(1), Value::makeInt(2)}},
+       {"count", {Value::makeInt(99)}}});
+  ASSERT_TRUE(R.has_value());
+  // a=1 inserted then deleted (pred a = param a); b=2 remains.
+  ASSERT_EQ(R->getNumRows(), 1u);
+  EXPECT_EQ(R->Rows[0][0].getInt(), 2);
+}
+
+TEST(EvalCoverage, BoolColumnsRoundTrip) {
+  ParseOutput Out = parseOrDie(R"(
+schema S { table Flags(fid: int, enabled: bool) }
+program P on S {
+  update setFlag(f: int, e: bool) {
+    insert into Flags values (fid: f, enabled: e);
+  }
+  query isEnabled(f: int) { select enabled from Flags where fid = f; }
+  query enabledOnes(e: bool) { select fid from Flags where enabled = e; }
+}
+)");
+  const Schema &S = *Out.findSchema("S");
+  const Program &P = Out.findProgram("P")->Prog;
+  std::optional<ResultTable> R = runSequence(
+      P, S,
+      {{"setFlag", {Value::makeInt(1), Value::makeBool(true)}},
+       {"setFlag", {Value::makeInt(2), Value::makeBool(false)}},
+       {"enabledOnes", {Value::makeBool(true)}}});
+  ASSERT_TRUE(R.has_value());
+  ASSERT_EQ(R->getNumRows(), 1u);
+  EXPECT_EQ(R->Rows[0][0].getInt(), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Encoder counting semantics
+//===----------------------------------------------------------------------===//
+
+TEST(EncoderCoverage, BlockedCountIsProductOfOtherDomains) {
+  Sketch Sk;
+  unsigned Sizes[3] = {2, 3, 5};
+  for (unsigned S = 0; S < 3; ++S) {
+    Hole H;
+    H.TheKind = Hole::Kind::Attr;
+    H.Func = "f";
+    for (unsigned A = 0; A < Sizes[S]; ++A)
+      H.Attrs.push_back({"T", "a" + std::to_string(A)});
+    Sk.addHole(std::move(H));
+  }
+  SketchEncoder Enc(Sk);
+  EXPECT_DOUBLE_EQ(Enc.blockedCount({0}), 15.0);      // 3 * 5.
+  EXPECT_DOUBLE_EQ(Enc.blockedCount({1}), 10.0);      // 2 * 5.
+  EXPECT_DOUBLE_EQ(Enc.blockedCount({0, 1}), 5.0);
+  EXPECT_DOUBLE_EQ(Enc.blockedCount({0, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(Sk.spaceSize(), 30.0);
+}
+
+TEST(EncoderCoverage, UnbiasedEncoderStillEnumeratesFullSpace) {
+  Sketch Sk;
+  for (int H = 0; H < 2; ++H) {
+    Hole X;
+    X.TheKind = Hole::Kind::Attr;
+    X.Func = "f";
+    X.Attrs = {{"T", "a"}, {"T", "b"}, {"T", "c"}};
+    Sk.addHole(std::move(X));
+  }
+  SketchEncoder Enc(Sk, /*BiasFirstAlternatives=*/false);
+  int Count = 0;
+  while (std::optional<std::vector<unsigned>> A = Enc.nextAssignment()) {
+    Enc.blockAll(*A);
+    ++Count;
+    ASSERT_LE(Count, 9);
+  }
+  EXPECT_EQ(Count, 9);
+}
+
+//===----------------------------------------------------------------------===//
+// Synthesized-program structure (golden checks)
+//===----------------------------------------------------------------------===//
+
+TEST(GoldenStructure, Oracle1MergedInsertIsSingleTable) {
+  Benchmark B = loadBenchmark("Oracle-1");
+  SynthResult R = synthesize(B.Source, B.Prog, B.Target);
+  ASSERT_TRUE(R.succeeded());
+  const Function &Add = R.Prog->getFunction("addPerson");
+  ASSERT_EQ(Add.getBody().size(), 1u);
+  const auto &Ins = static_cast<const InsertStmt &>(*Add.getBody()[0]);
+  EXPECT_TRUE(Ins.getChain().isSingleTable());
+  EXPECT_EQ(Ins.getChain().getTables().front(), "Person");
+  // The dropped remarkContent value is gone; the six mapped columns remain.
+  EXPECT_EQ(Ins.getValues().size(), 6u);
+}
+
+TEST(GoldenStructure, Ambler1SplitInsertWritesBothTables) {
+  Benchmark B = loadBenchmark("Ambler-1");
+  SynthResult R = synthesize(B.Source, B.Prog, B.Target);
+  ASSERT_TRUE(R.succeeded());
+  const Function &Add = R.Prog->getFunction("addCustomer");
+  // Either one chain insert over Customer ⋈ Address or two inserts.
+  std::set<std::string> Touched;
+  for (const StmtPtr &St : Add.getBody()) {
+    ASSERT_EQ(St->getKind(), Stmt::Kind::Insert);
+    for (const std::string &T :
+         static_cast<const InsertStmt &>(*St).getChain().getTables())
+      Touched.insert(T);
+  }
+  EXPECT_TRUE(Touched.count("Customer"));
+  EXPECT_TRUE(Touched.count("Address"));
+}
+
+TEST(GoldenStructure, Ambler4RenameRewritesAttribute) {
+  Benchmark B = loadBenchmark("Ambler-4");
+  SynthResult R = synthesize(B.Source, B.Prog, B.Target);
+  ASSERT_TRUE(R.succeeded());
+  std::string Str = R.Prog->str();
+  EXPECT_NE(Str.find("taskTitleText"), std::string::npos);
+  EXPECT_EQ(Str.find("taskTitle "), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Synthesizer failure modes
+//===----------------------------------------------------------------------===//
+
+TEST(SynthFailure, DisconnectedQueryAttrsAreUnsatisfiable) {
+  // The query needs name and phone in one result, but the target stores
+  // them in unlinkable tables: no VC admits a sketch.
+  ParseOutput Out = parseOrDie(R"(
+schema Old { table P(name: string, phone: string) }
+schema New { table NameT(name: string) table PhoneT(phone: string) }
+program App on Old {
+  update add(n: string, ph: string) {
+    insert into P values (name: n, phone: ph);
+  }
+  query get(n: string) { select name, phone from P where name = n; }
+}
+)");
+  SynthOptions Opts;
+  Opts.MaxVcs = 50;
+  SynthResult R = synthesize(*Out.findSchema("Old"),
+                             Out.findProgram("App")->Prog,
+                             *Out.findSchema("New"), Opts);
+  EXPECT_FALSE(R.succeeded());
+}
+
+TEST(SynthFailure, MaxVcsBoundsTheSearch) {
+  ParseOutput Out = parseOrDie(R"(
+schema Old { table T(a: int, b: int) }
+schema New { table T(x: int, y: int) }
+program App on Old {
+  update add(a: int, b: int) { insert into T values (a: a, b: b); }
+  query getA(v: int) { select a from T where b = v; }
+}
+)");
+  // Dissimilar names: the right VC needs searching; a cap of 1 may fail but
+  // must terminate quickly and report the VC count honestly.
+  SynthOptions Opts;
+  Opts.MaxVcs = 1;
+  SynthResult R = synthesize(*Out.findSchema("Old"),
+                             Out.findProgram("App")->Prog,
+                             *Out.findSchema("New"), Opts);
+  EXPECT_LE(R.Stats.NumVcs, 1u);
+}

@@ -1,0 +1,72 @@
+//===- tests/dimacs_test.cpp - DIMACS CNF interchange tests -------------------===//
+
+#include "sat/Dimacs.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace migrator;
+using namespace migrator::sat;
+
+TEST(DimacsTest, ParsesWellFormedInput) {
+  auto R = parseDimacs("c a comment\np cnf 3 2\n1 -2 0\n2 3 0\n");
+  ASSERT_TRUE(std::holds_alternative<DimacsProblem>(R));
+  const DimacsProblem &P = std::get<DimacsProblem>(R);
+  EXPECT_EQ(P.NumVars, 3);
+  ASSERT_EQ(P.Clauses.size(), 2u);
+  EXPECT_EQ(P.Clauses[0][0], posLit(0));
+  EXPECT_EQ(P.Clauses[0][1], negLit(1));
+}
+
+TEST(DimacsTest, ClausesMaySpanLines) {
+  auto R = parseDimacs("p cnf 2 2\n1\n2 0 -1\n-2 0\n");
+  ASSERT_TRUE(std::holds_alternative<DimacsProblem>(R));
+  EXPECT_EQ(std::get<DimacsProblem>(R).Clauses.size(), 2u);
+}
+
+TEST(DimacsTest, DiagnosesMalformedInput) {
+  EXPECT_TRUE(std::holds_alternative<std::string>(parseDimacs("1 2 0\n")));
+  EXPECT_TRUE(std::holds_alternative<std::string>(
+      parseDimacs("p cnf 2 1\n1 3 0\n"))); // Out-of-range literal.
+  EXPECT_TRUE(std::holds_alternative<std::string>(
+      parseDimacs("p cnf 2 1\n1 2\n"))); // Missing terminating zero.
+  EXPECT_TRUE(std::holds_alternative<std::string>(
+      parseDimacs("p cnf 2 5\n1 0\n"))); // Clause count mismatch.
+  EXPECT_TRUE(std::holds_alternative<std::string>(
+      parseDimacs("p cnf 2 1\np cnf 2 1\n1 0\n1 0\n"))); // Duplicate header.
+  EXPECT_TRUE(std::holds_alternative<std::string>(parseDimacs("")));
+}
+
+TEST(DimacsTest, RoundTripsThroughSerialization) {
+  Rng R(31);
+  for (int Iter = 0; Iter < 20; ++Iter) {
+    DimacsProblem P;
+    P.NumVars = R.nextInt(1, 12);
+    for (int C = R.nextInt(1, 20); C > 0; --C) {
+      std::vector<Lit> Clause;
+      for (int K = R.nextInt(1, 4); K > 0; --K)
+        Clause.push_back(Lit(R.nextInt(0, P.NumVars - 1), R.chance(1, 2)));
+      P.Clauses.push_back(std::move(Clause));
+    }
+    auto Reparsed = parseDimacs(toDimacs(P));
+    ASSERT_TRUE(std::holds_alternative<DimacsProblem>(Reparsed));
+    const DimacsProblem &Q = std::get<DimacsProblem>(Reparsed);
+    EXPECT_EQ(Q.NumVars, P.NumVars);
+    ASSERT_EQ(Q.Clauses.size(), P.Clauses.size());
+    for (size_t I = 0; I < P.Clauses.size(); ++I)
+      EXPECT_EQ(Q.Clauses[I], P.Clauses[I]);
+  }
+}
+
+TEST(DimacsTest, SolveDimacsFindsModels) {
+  auto R = parseDimacs("p cnf 2 2\n1 2 0\n-1 0\n");
+  ASSERT_TRUE(std::holds_alternative<DimacsProblem>(R));
+  std::optional<std::vector<bool>> Model =
+      solveDimacs(std::get<DimacsProblem>(R));
+  ASSERT_TRUE(Model.has_value());
+  EXPECT_FALSE((*Model)[0]);
+  EXPECT_TRUE((*Model)[1]);
+
+  auto U = parseDimacs("p cnf 1 2\n1 0\n-1 0\n");
+  EXPECT_FALSE(solveDimacs(std::get<DimacsProblem>(U)).has_value());
+}

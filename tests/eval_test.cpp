@@ -1,0 +1,292 @@
+//===- tests/eval_test.cpp - Interpreter tests -------------------------------===//
+
+#include "eval/Evaluator.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace migrator;
+using namespace migrator::test;
+
+namespace {
+
+/// The Car/Part database of Example 3.1.
+const char *carPartSource() {
+  return R"(
+schema CarDB {
+  table Car(cid: int, model: string, year: int)
+  table Part(name: string, amount: int, cid: int)
+}
+program CarApp on CarDB {
+  update addCar(c: int, m: string, y: int) {
+    insert into Car values (cid: c, model: m, year: y);
+  }
+  update addPart(n: string, a: int, c: int) {
+    insert into Part values (name: n, amount: a, cid: c);
+  }
+  update delByModel(m: string) {
+    delete [Car, Part] from Car join Part where model = m;
+  }
+  update setAmount(m: string, n: string, a: int) {
+    update Car join Part set amount = a where model = m and name = n;
+  }
+  query partsOf(c: int) {
+    select name, amount from Part where cid = c;
+  }
+  query carModels() {
+    select model from Car;
+  }
+}
+)";
+}
+
+struct CarFixture {
+  ParseOutput Out;
+  const Schema *S = nullptr;
+  const Program *P = nullptr;
+  Database DB;
+  Evaluator Eval;
+  UidGen Uids;
+
+  CarFixture()
+      : Out(parseOrDie(carPartSource())), S(Out.findSchema("CarDB")),
+        P(&Out.findProgram("CarApp")->Prog), DB(*S), Eval(*S) {
+    // Populate Example 3.1's instance.
+    call("addCar", {Value::makeInt(1), Value::makeString("M1"),
+                    Value::makeInt(2016)});
+    call("addCar", {Value::makeInt(2), Value::makeString("M2"),
+                    Value::makeInt(2018)});
+    call("addPart",
+         {Value::makeString("tire"), Value::makeInt(10), Value::makeInt(1)});
+    call("addPart",
+         {Value::makeString("brake"), Value::makeInt(20), Value::makeInt(1)});
+    call("addPart",
+         {Value::makeString("tire"), Value::makeInt(20), Value::makeInt(2)});
+    call("addPart",
+         {Value::makeString("brake"), Value::makeInt(30), Value::makeInt(2)});
+  }
+
+  void call(const std::string &F, const std::vector<Value> &Args) {
+    ASSERT_TRUE(Eval.callUpdate(P->getFunction(F), Args, DB, Uids));
+  }
+
+  ResultTable query(const std::string &F, const std::vector<Value> &Args) {
+    std::optional<ResultTable> R =
+        Eval.callQuery(P->getFunction(F), Args, DB);
+    EXPECT_TRUE(R.has_value());
+    return R.value_or(ResultTable());
+  }
+};
+
+} // namespace
+
+TEST(EvalTest, InsertAndSelect) {
+  CarFixture F;
+  ResultTable R = F.query("partsOf", {Value::makeInt(1)});
+  ASSERT_EQ(R.getNumRows(), 2u);
+  EXPECT_EQ(R.getNumCols(), 2u);
+  EXPECT_EQ(R.Rows[0][0].getString(), "tire");
+  EXPECT_EQ(R.Rows[0][1].getInt(), 10);
+}
+
+TEST(EvalTest, Example31DeleteOverJoin) {
+  // del([Car, Part], Car ⋈ Part, model = M1) removes car 1 and its parts.
+  CarFixture F;
+  F.call("delByModel", {Value::makeString("M1")});
+  EXPECT_EQ(F.DB.getTable("Car").size(), 1u);
+  EXPECT_EQ(F.DB.getTable("Car").getRow(0)[1].getString(), "M2");
+  ASSERT_EQ(F.DB.getTable("Part").size(), 2u);
+  EXPECT_EQ(F.DB.getTable("Part").getRow(0)[2].getInt(), 2);
+  EXPECT_EQ(F.DB.getTable("Part").getRow(1)[2].getInt(), 2);
+}
+
+TEST(EvalTest, Example31UpdateOverJoin) {
+  // upd(Car ⋈ Part, model = M2 ∧ name = tire, amount, 30) modifies only the
+  // third Part record.
+  CarFixture F;
+  F.call("setAmount",
+         {Value::makeString("M2"), Value::makeString("tire"),
+          Value::makeInt(30)});
+  const Table &Part = F.DB.getTable("Part");
+  ASSERT_EQ(Part.size(), 4u);
+  EXPECT_EQ(Part.getRow(0)[1].getInt(), 10);
+  EXPECT_EQ(Part.getRow(1)[1].getInt(), 20);
+  EXPECT_EQ(Part.getRow(2)[1].getInt(), 30); // (tire, 30, 2).
+  EXPECT_EQ(Part.getRow(3)[1].getInt(), 30);
+}
+
+TEST(EvalTest, DeleteFromSingleListedTableKeepsOther) {
+  CarFixture F;
+  // Delete only the Car side of the join.
+  ParseOutput Out2 = parseOrDie(R"(
+schema CarDB2 {
+  table Car(cid: int, model: string, year: int)
+  table Part(name: string, amount: int, cid: int)
+}
+program OnlyCar on CarDB2 {
+  update delCarByModel(m: string) {
+    delete [Car] from Car join Part where model = m;
+  }
+}
+)");
+  const Program &P2 = Out2.findProgram("OnlyCar")->Prog;
+  Evaluator E2(*F.S);
+  UidGen U2;
+  ASSERT_TRUE(E2.callUpdate(P2.getFunction("delCarByModel"),
+                            {Value::makeString("M1")}, F.DB, U2));
+  EXPECT_EQ(F.DB.getTable("Car").size(), 1u);
+  EXPECT_EQ(F.DB.getTable("Part").size(), 4u);
+}
+
+TEST(EvalTest, DeleteOnlyAffectsJoinedTuples) {
+  CarFixture F;
+  // A car with no parts joins nothing, so delete-over-join keeps it.
+  F.call("addCar",
+         {Value::makeInt(3), Value::makeString("M1"), Value::makeInt(2020)});
+  // Wait: cid=3 car has model M1 but no parts; delByModel(M1) should delete
+  // car 1 (joined) but keep car 3 (unjoined).
+  F.call("delByModel", {Value::makeString("M1")});
+  ASSERT_EQ(F.DB.getTable("Car").size(), 2u);
+  EXPECT_EQ(F.DB.getTable("Car").getRow(0)[0].getInt(), 2);
+  EXPECT_EQ(F.DB.getTable("Car").getRow(1)[0].getInt(), 3);
+}
+
+TEST(EvalTest, ChainInsertSharesFreshUids) {
+  // Sec. 3.1: inserting into Picture ⋈ Instructor gives both rows the same
+  // fresh PicId (the overview's UID0).
+  ParseOutput Out = parseOrDie(overviewSource());
+  ParseOutput Exp = parseOrDie(overviewExpected());
+  const Schema &Tgt = *Out.findSchema("CourseDBNew");
+  const Program &PNew = Exp.findProgram("CourseAppNew")->Prog;
+
+  Database DB(Tgt);
+  Evaluator Eval(Tgt);
+  UidGen Uids;
+  ASSERT_TRUE(Eval.callUpdate(
+      PNew.getFunction("addInstructor"),
+      {Value::makeInt(7), Value::makeString("Ada"), Value::makeBinary("img")},
+      DB, Uids));
+
+  const Table &Inst = DB.getTable("Instructor");
+  const Table &Pic = DB.getTable("Picture");
+  ASSERT_EQ(Inst.size(), 1u);
+  ASSERT_EQ(Pic.size(), 1u);
+  EXPECT_EQ(Inst.getRow(0)[0].getInt(), 7);
+  EXPECT_EQ(Inst.getRow(0)[1].getString(), "Ada");
+  ASSERT_TRUE(Inst.getRow(0)[2].isUid());
+  ASSERT_TRUE(Pic.getRow(0)[0].isUid());
+  EXPECT_EQ(Inst.getRow(0)[2], Pic.getRow(0)[0]); // Shared fresh key.
+  EXPECT_EQ(Pic.getRow(0)[1].getBinary(), "img");
+  EXPECT_EQ(DB.getTable("TA").size(), 0u);
+  EXPECT_EQ(DB.getTable("Class").size(), 0u);
+}
+
+TEST(EvalTest, OverviewMigratedProgramBehavesLikeSource) {
+  ParseOutput Out = parseOrDie(overviewSource());
+  ParseOutput Exp = parseOrDie(overviewExpected());
+  const Schema &Src = *Out.findSchema("CourseDB");
+  const Schema &Tgt = *Out.findSchema("CourseDBNew");
+  const Program &POld = Out.findProgram("CourseApp")->Prog;
+  const Program &PNew = Exp.findProgram("CourseAppNew")->Prog;
+
+  InvocationSeq Seq = {
+      {"addTA",
+       {Value::makeInt(1), Value::makeString("T"), Value::makeBinary("p1")}},
+      {"addInstructor",
+       {Value::makeInt(1), Value::makeString("I"), Value::makeBinary("p2")}},
+      {"getTAInfo", {Value::makeInt(1)}},
+  };
+  std::optional<ResultTable> A = runSequence(POld, Src, Seq);
+  std::optional<ResultTable> B = runSequence(PNew, Tgt, Seq);
+  ASSERT_TRUE(A && B);
+  ASSERT_EQ(A->getNumRows(), 1u);
+  EXPECT_TRUE(resultsEquivalent(*A, *B));
+
+  // After deletion both report empty.
+  InvocationSeq Seq2 = {
+      {"addTA",
+       {Value::makeInt(1), Value::makeString("T"), Value::makeBinary("p1")}},
+      {"deleteTA", {Value::makeInt(1)}},
+      {"getTAInfo", {Value::makeInt(1)}},
+  };
+  A = runSequence(POld, Src, Seq2);
+  B = runSequence(PNew, Tgt, Seq2);
+  ASSERT_TRUE(A && B);
+  EXPECT_EQ(A->getNumRows(), 0u);
+  EXPECT_TRUE(resultsEquivalent(*A, *B));
+}
+
+TEST(EvalTest, RunSequenceRejectsMalformedSequences) {
+  ParseOutput Out = parseOrDie(overviewSource());
+  const Schema &Src = *Out.findSchema("CourseDB");
+  const Program &P = Out.findProgram("CourseApp")->Prog;
+  // Final call must be a query.
+  EXPECT_FALSE(runSequence(P, Src,
+                           {{"addTA",
+                             {Value::makeInt(1), Value::makeString("T"),
+                              Value::makeBinary("p")}}})
+                   .has_value());
+  // Unknown function.
+  EXPECT_FALSE(runSequence(P, Src, {{"nope", {}}}).has_value());
+  // Arity mismatch.
+  EXPECT_FALSE(
+      runSequence(P, Src, {{"getTAInfo", {}}}).has_value());
+  // Empty sequence.
+  EXPECT_FALSE(runSequence(P, Src, {}).has_value());
+}
+
+TEST(EvalTest, InSubqueryMembership) {
+  ParseOutput Out = parseOrDie(R"(
+schema S { table A(x: int) table B(x: int) }
+program P on S {
+  update addA(v: int) { insert into A values (x: v); }
+  update addB(v: int) { insert into B values (x: v); }
+  query q() { select x from A where x in (select x from B); }
+}
+)");
+  const Schema &S = *Out.findSchema("S");
+  const Program &P = Out.findProgram("P")->Prog;
+  std::optional<ResultTable> R = runSequence(
+      P, S,
+      {{"addA", {Value::makeInt(1)}},
+       {"addA", {Value::makeInt(2)}},
+       {"addB", {Value::makeInt(2)}},
+       {"q", {}}});
+  ASSERT_TRUE(R.has_value());
+  ASSERT_EQ(R->getNumRows(), 1u);
+  EXPECT_EQ(R->Rows[0][0].getInt(), 2);
+}
+
+TEST(EvalTest, NaturalJoinMatchesOnSharedColumn) {
+  CarFixture F;
+  ParseOutput Out2 = parseOrDie(R"(
+schema CarDB3 {
+  table Car(cid: int, model: string, year: int)
+  table Part(name: string, amount: int, cid: int)
+}
+program J on CarDB3 {
+  query partsWithModels() { select model, name from Car join Part; }
+}
+)");
+  Evaluator E(*F.S);
+  std::optional<ResultTable> R = E.callQuery(
+      Out2.findProgram("J")->Prog.getFunction("partsWithModels"), {}, F.DB);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->getNumRows(), 4u); // Each part joins exactly its car.
+}
+
+TEST(EvalTest, IllFormedQueryReportsFailure) {
+  ParseOutput Out = parseOrDie(R"(
+schema S { table A(x: int) }
+program Ill {
+  query q() { select nope from A; }
+}
+)");
+  const Schema &S = *Out.findSchema("S");
+  Evaluator E(S);
+  Database DB(S);
+  EXPECT_FALSE(
+      E.callQuery(Out.findProgram("Ill")->Prog.getFunction("q"), {}, DB)
+          .has_value());
+}

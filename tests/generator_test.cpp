@@ -1,0 +1,188 @@
+//===- tests/generator_test.cpp - Synthetic benchmark generator tests --------===//
+
+#include "ast/Analysis.h"
+#include "benchsuite/Generator.h"
+#include "parse/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace migrator;
+
+namespace {
+
+GenSpec smallSpec() {
+  GenSpec S;
+  S.Name = "toy";
+  S.Description = "test";
+  S.NumTables = 4;
+  S.NumAttrs = 24;
+  S.NumFuncs = 18;
+  return S;
+}
+
+} // namespace
+
+TEST(GeneratorTest, SourceShapeMatchesSpecExactly) {
+  GenSpec S = smallSpec();
+  Benchmark B = generateBenchmark(S);
+  EXPECT_EQ(B.Source.getNumTables(), 4u);
+  EXPECT_EQ(B.Source.getNumAttrs(), 24u);
+  EXPECT_EQ(B.numFuncs(), 18u);
+  EXPECT_FALSE(validateProgram(B.Prog, B.Source).has_value());
+}
+
+TEST(GeneratorTest, NoOpsMeansIdenticalSchemas) {
+  Benchmark B = generateBenchmark(smallSpec());
+  EXPECT_EQ(B.Source.getNumTables(), B.Target.getNumTables());
+  EXPECT_EQ(B.Source.getNumAttrs(), B.Target.getNumAttrs());
+  for (const TableSchema &T : B.Source.getTables()) {
+    const TableSchema *TT = B.Target.findTable(T.getName());
+    ASSERT_NE(TT, nullptr);
+    EXPECT_EQ(TT->getAttrs(), T.getAttrs());
+  }
+}
+
+TEST(GeneratorTest, SplitCreatesExtTableWithSurrogateLink) {
+  GenSpec S = smallSpec();
+  S.Splits = 1;
+  S.SplitAttrs = 2;
+  Benchmark B = generateBenchmark(S);
+  EXPECT_EQ(B.Target.getNumTables(), 5u);
+  // One table gained an Ext partner linked by a fresh shared key.
+  const TableSchema *Ext = nullptr;
+  for (const TableSchema &T : B.Target.getTables())
+    if (T.getName().size() > 3 &&
+        T.getName().substr(T.getName().size() - 3) == "Ext")
+      Ext = &T;
+  ASSERT_NE(Ext, nullptr);
+  std::string Main = Ext->getName().substr(0, Ext->getName().size() - 3);
+  std::string Link = Main + "ExtId";
+  EXPECT_TRUE(Ext->hasAttr(Link));
+  EXPECT_TRUE(B.Target.getTable(Main).hasAttr(Link));
+  // The moved attributes exist in Ext but no longer in the main table.
+  for (const Attribute &A : Ext->getAttrs()) {
+    if (A.Name == Link)
+      continue;
+    EXPECT_FALSE(B.Target.getTable(Main).hasAttr(A.Name));
+    // Source keeps them in the main table.
+    EXPECT_TRUE(B.Source.getTable(Main).hasAttr(A.Name));
+  }
+}
+
+TEST(GeneratorTest, MergeRemovesSatelliteTable) {
+  GenSpec S = smallSpec();
+  S.NumTables = 5;
+  S.NumAttrs = 32;
+  S.SatellitePairs = 1;
+  S.Merges = 1;
+  Benchmark B = generateBenchmark(S);
+  EXPECT_EQ(B.Source.getNumTables(), 5u);
+  EXPECT_EQ(B.Target.getNumTables(), 4u);
+  // The satellite's surviving data attributes moved into the main table.
+  const TableSchema &Sat = B.Source.getTables()[1];
+  EXPECT_EQ(B.Target.findTable(Sat.getName()), nullptr);
+  const TableSchema &Main = *B.Target.findTable(
+      B.Source.getTables()[0].getName());
+  EXPECT_TRUE(Main.hasAttr(Sat.getAttrs()[1].Name));
+}
+
+TEST(GeneratorTest, MoveRelocatesLastMainAttr) {
+  GenSpec S = smallSpec();
+  S.NumTables = 5;
+  S.NumAttrs = 32;
+  S.SatellitePairs = 1;
+  S.MovedAttrs = 1;
+  Benchmark B = generateBenchmark(S);
+  const TableSchema &SrcMain = B.Source.getTables()[0];
+  const TableSchema &SrcSat = B.Source.getTables()[1];
+  const std::string &Moved = SrcMain.getAttrs().back().Name;
+  EXPECT_FALSE(B.Target.getTable(SrcMain.getName()).hasAttr(Moved));
+  EXPECT_TRUE(B.Target.getTable(SrcSat.getName()).hasAttr(Moved));
+}
+
+TEST(GeneratorTest, RenamesApplySuffixes) {
+  GenSpec S = smallSpec();
+  S.RenamedAttrs = 2;
+  S.RenamedTables = 1;
+  Benchmark B = generateBenchmark(S);
+  size_t FldCount = 0, TblCount = 0;
+  for (const TableSchema &T : B.Target.getTables()) {
+    if (T.getName().size() > 3 &&
+        T.getName().substr(T.getName().size() - 3) == "Tbl")
+      ++TblCount;
+    for (const Attribute &A : T.getAttrs())
+      if (A.Name.size() > 3 &&
+          A.Name.substr(A.Name.size() - 3) == "Fld")
+        ++FldCount;
+  }
+  EXPECT_EQ(FldCount, 2u);
+  EXPECT_EQ(TblCount, 1u);
+}
+
+TEST(GeneratorTest, AddedAttrsOnlyInTarget) {
+  GenSpec S = smallSpec();
+  S.AddedAttrs = 3;
+  Benchmark B = generateBenchmark(S);
+  EXPECT_EQ(B.Target.getNumAttrs(), B.Source.getNumAttrs() + 3);
+}
+
+TEST(GeneratorTest, FunctionMixContainsAllCrudKinds) {
+  GenSpec S = smallSpec();
+  S.NumFuncs = 26; // Deep enough to reach the foreign-key join pattern.
+  Benchmark B = generateBenchmark(S);
+  bool HasInsert = false, HasDelete = false, HasUpdate = false,
+       HasQuery = false, HasJoinQuery = false;
+  for (const Function &F : B.Prog.getFunctions()) {
+    if (F.isQuery()) {
+      HasQuery = true;
+      HasJoinQuery |= F.getQuery().getChain().getNumTables() > 1;
+      continue;
+    }
+    for (const StmtPtr &St : F.getBody()) {
+      HasInsert |= St->getKind() == Stmt::Kind::Insert;
+      HasDelete |= St->getKind() == Stmt::Kind::Delete;
+      HasUpdate |= St->getKind() == Stmt::Kind::Update;
+    }
+  }
+  EXPECT_TRUE(HasInsert);
+  EXPECT_TRUE(HasDelete);
+  EXPECT_TRUE(HasUpdate);
+  EXPECT_TRUE(HasQuery);
+  EXPECT_TRUE(HasJoinQuery);
+}
+
+TEST(GeneratorTest, GeneratedProgramsPrintAndReparse) {
+  // The printed form of every generated benchmark reparses to an equal AST
+  // (exercises printer/parser round-tripping at scale).
+  for (const std::string &Name : realWorldBenchmarkNames()) {
+    Benchmark B = loadBenchmark(Name);
+    std::string Text =
+        B.Source.str() + B.Target.str() + "program P on " +
+        B.Source.getName() + " {\n" + B.Prog.str() + "}\n";
+    std::variant<ParseOutput, ParseError> R = parseUnit(Text);
+    ASSERT_TRUE(std::holds_alternative<ParseOutput>(R))
+        << Name << ": " << std::get<ParseError>(R).str();
+    ParseOutput &Out = std::get<ParseOutput>(R);
+    ASSERT_NE(Out.findProgram("P"), nullptr);
+    EXPECT_TRUE(Out.findProgram("P")->Prog.equals(B.Prog)) << Name;
+    EXPECT_EQ(Out.findSchema(B.Source.getName())->str(), B.Source.str());
+    EXPECT_EQ(Out.findSchema(B.Target.getName())->str(), B.Target.str());
+  }
+}
+
+TEST(GeneratorTest, SatellitePairsShareTheMainKey) {
+  GenSpec S = smallSpec();
+  S.NumTables = 6;
+  S.NumAttrs = 36;
+  S.SatellitePairs = 2;
+  Benchmark B = generateBenchmark(S);
+  for (unsigned P = 0; P < 2; ++P) {
+    const TableSchema &Main = B.Source.getTables()[2 * P];
+    const TableSchema &Sat = B.Source.getTables()[2 * P + 1];
+    EXPECT_EQ(Sat.getName(), Main.getName() + "Info");
+    EXPECT_TRUE(Sat.hasAttr(Main.getAttrs()[0].Name))
+        << "satellite missing the shared key";
+  }
+}

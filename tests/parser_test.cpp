@@ -1,0 +1,273 @@
+//===- tests/parser_test.cpp - Lexer and parser tests ------------------------===//
+
+#include "parse/Lexer.h"
+#include "parse/Parser.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace migrator;
+using namespace migrator::test;
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(LexerTest, PunctuationAndOperators) {
+  std::vector<Token> Ts = lex("( ) { } [ ] , : ; . = != < <= > >=");
+  std::vector<TokenKind> Kinds;
+  for (const Token &T : Ts)
+    Kinds.push_back(T.Kind);
+  std::vector<TokenKind> Expected = {
+      TokenKind::LParen, TokenKind::RParen, TokenKind::LBrace,
+      TokenKind::RBrace, TokenKind::LBracket, TokenKind::RBracket,
+      TokenKind::Comma, TokenKind::Colon, TokenKind::Semi, TokenKind::Dot,
+      TokenKind::Eq, TokenKind::Ne, TokenKind::Lt, TokenKind::Le,
+      TokenKind::Gt, TokenKind::Ge, TokenKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(LexerTest, KeywordsVersusIdentifiers) {
+  std::vector<Token> Ts = lex("select selector b binary");
+  EXPECT_EQ(Ts[0].Kind, TokenKind::KwSelect);
+  EXPECT_EQ(Ts[1].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Ts[1].Text, "selector");
+  EXPECT_EQ(Ts[2].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Ts[3].Kind, TokenKind::Identifier);
+}
+
+TEST(LexerTest, Literals) {
+  std::vector<Token> Ts = lex(R"(42 -7 "hi\n" b"img" true false)");
+  EXPECT_EQ(Ts[0].Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(Ts[0].IntVal, 42);
+  EXPECT_EQ(Ts[1].IntVal, -7);
+  EXPECT_EQ(Ts[2].Kind, TokenKind::StringLiteral);
+  EXPECT_EQ(Ts[2].Text, "hi\n");
+  EXPECT_EQ(Ts[3].Kind, TokenKind::BinaryLiteral);
+  EXPECT_EQ(Ts[3].Text, "img");
+  EXPECT_EQ(Ts[4].Kind, TokenKind::KwTrue);
+  EXPECT_EQ(Ts[5].Kind, TokenKind::KwFalse);
+}
+
+TEST(LexerTest, CommentsAndLocations) {
+  std::vector<Token> Ts = lex("a // comment\n  b");
+  ASSERT_GE(Ts.size(), 3u);
+  EXPECT_EQ(Ts[0].Text, "a");
+  EXPECT_EQ(Ts[0].Line, 1u);
+  EXPECT_EQ(Ts[1].Text, "b");
+  EXPECT_EQ(Ts[1].Line, 2u);
+  EXPECT_EQ(Ts[1].Col, 3u);
+}
+
+TEST(LexerTest, ErrorsOnBadInput) {
+  std::vector<Token> Ts = lex("\"unterminated");
+  EXPECT_EQ(Ts[0].Kind, TokenKind::Error);
+  Ts = lex("a ! b");
+  bool HasError = false;
+  for (const Token &T : Ts)
+    HasError |= T.Kind == TokenKind::Error;
+  EXPECT_TRUE(HasError);
+  Ts = lex("a # b");
+  HasError = false;
+  for (const Token &T : Ts)
+    HasError |= T.Kind == TokenKind::Error;
+  EXPECT_TRUE(HasError);
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+TEST(ParserTest, ParsesOverviewUnit) {
+  ParseOutput Out = parseOrDie(overviewSource());
+  EXPECT_EQ(Out.Schemas.size(), 2u);
+  EXPECT_EQ(Out.Programs.size(), 1u);
+  const Schema *Src = Out.findSchema("CourseDB");
+  ASSERT_NE(Src, nullptr);
+  EXPECT_EQ(Src->getNumTables(), 3u);
+  EXPECT_EQ(Src->getNumAttrs(), 9u);
+  const NamedProgram *NP = Out.findProgram("CourseApp");
+  ASSERT_NE(NP, nullptr);
+  EXPECT_EQ(NP->SchemaName, "CourseDB");
+  EXPECT_EQ(NP->Prog.getNumFunctions(), 6u);
+}
+
+TEST(ParserTest, PrintedProgramReparsesToEqualAst) {
+  ParseOutput Out = parseOrDie(overviewSource());
+  const Program &P = Out.findProgram("CourseApp")->Prog;
+  std::string Printed = "program Again {\n" + P.str() + "}\n";
+  ParseOutput Out2 = parseOrDie(Printed);
+  ASSERT_NE(Out2.findProgram("Again"), nullptr);
+  EXPECT_TRUE(Out2.findProgram("Again")->Prog.equals(P));
+}
+
+TEST(ParserTest, ExplicitJoinAndPredicates) {
+  ParseOutput Out = parseOrDie(R"(
+schema S {
+  table A(x: int, k: int)
+  table B(y: int, k: int)
+}
+program P on S {
+  query q(v: int) {
+    select x, y from A join B on A.k = B.k
+      where (x = v or y != 3) and not (x < y);
+  }
+}
+)");
+  const Function &F = Out.findProgram("P")->Prog.getFunction("q");
+  ASSERT_TRUE(F.isQuery());
+  const JoinChain &C = F.getQuery().getChain();
+  EXPECT_FALSE(C.isNatural());
+  ASSERT_EQ(C.getEqs().size(), 1u);
+  EXPECT_EQ(F.getQuery().str(),
+            "select x, y from A join B on A.k = B.k where ((x = v or y != 3) "
+            "and not (x < y))");
+}
+
+TEST(ParserTest, InSubquery) {
+  ParseOutput Out = parseOrDie(R"(
+schema S { table A(x: int) table B(x: int) }
+program P on S {
+  query q() { select x from A where x in (select x from B); }
+}
+)");
+  const Function &F = Out.findProgram("P")->Prog.getFunction("q");
+  EXPECT_EQ(F.getQuery().str(),
+            "select x from A where x in (select x from B)");
+}
+
+TEST(ParserTest, UpdateAndDeleteStatements) {
+  ParseOutput Out = parseOrDie(R"(
+schema S { table T(a: int, b: string) table U(a: int) }
+program P on S {
+  update m(x: int, s: string) {
+    insert into T values (a: x, b: s);
+    update T set b = s where a = x;
+    delete from T where a = x;
+    delete [T, U] from T join U where a = x;
+  }
+}
+)");
+  const Function &F = Out.findProgram("P")->Prog.getFunction("m");
+  ASSERT_EQ(F.getBody().size(), 4u);
+  EXPECT_EQ(F.getBody()[0]->getKind(), Stmt::Kind::Insert);
+  EXPECT_EQ(F.getBody()[1]->getKind(), Stmt::Kind::Update);
+  EXPECT_EQ(F.getBody()[2]->getKind(), Stmt::Kind::Delete);
+  const auto &D = static_cast<const DeleteStmt &>(*F.getBody()[3]);
+  EXPECT_EQ(D.getTargets(), (std::vector<std::string>{"T", "U"}));
+}
+
+TEST(ParserTest, UnqualifiedRhsPrefersParamsOverAttrs) {
+  ParseOutput Out = parseOrDie(R"(
+schema S { table T(a: int, b: int) }
+program P on S {
+  query q(a: int) { select b from T where b = a; }
+  query r() { select b from T where b = a; }
+}
+)");
+  // In q, `a` is a parameter; in r it must be the attribute.
+  const auto &QF = Out.findProgram("P")->Prog.getFunction("q");
+  const auto &QFilter =
+      static_cast<const FilterQuery &>(
+          static_cast<const ProjectQuery &>(QF.getQuery()).getSubQuery());
+  const auto &QC = static_cast<const CmpPred &>(QFilter.getPred());
+  EXPECT_FALSE(QC.rhsIsAttr());
+
+  const auto &RF = Out.findProgram("P")->Prog.getFunction("r");
+  const auto &RFilter =
+      static_cast<const FilterQuery &>(
+          static_cast<const ProjectQuery &>(RF.getQuery()).getSubQuery());
+  const auto &RC = static_cast<const CmpPred &>(RFilter.getPred());
+  EXPECT_TRUE(RC.rhsIsAttr());
+}
+
+TEST(ParserTest, DiagnosticsCarryLocations) {
+  std::variant<ParseOutput, ParseError> R = parseUnit("schema S { table }");
+  ASSERT_TRUE(std::holds_alternative<ParseError>(R));
+  const ParseError &E = std::get<ParseError>(R);
+  EXPECT_EQ(E.Line, 1u);
+  EXPECT_GT(E.Col, 1u);
+  EXPECT_NE(E.Msg.find("identifier"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsDuplicates) {
+  EXPECT_TRUE(std::holds_alternative<ParseError>(
+      parseUnit("schema S { table T(a: int) table T(b: int) }")));
+  EXPECT_TRUE(std::holds_alternative<ParseError>(
+      parseUnit("schema S { table T(a: int) } schema S { table U(a: int) }")));
+  EXPECT_TRUE(std::holds_alternative<ParseError>(parseUnit(R"(
+schema S { table T(a: int) }
+program P on S {
+  update u(x: int) { insert into T values (a: x); }
+  update u(x: int) { insert into T values (a: x); }
+}
+)")));
+}
+
+TEST(ParserTest, RejectsUnknownParamReference) {
+  EXPECT_TRUE(std::holds_alternative<ParseError>(parseUnit(R"(
+schema S { table T(a: int) }
+program P on S {
+  update u(x: int) { insert into T values (a: y); }
+}
+)")));
+}
+
+TEST(ParserTest, RejectsJoinDeleteWithoutTargets) {
+  EXPECT_TRUE(std::holds_alternative<ParseError>(parseUnit(R"(
+schema S { table T(a: int) table U(a: int) }
+program P on S {
+  update u(x: int) { delete from T join U where a = x; }
+}
+)")));
+}
+
+TEST(ParserTest, RejectsEmptyUpdateBody) {
+  EXPECT_TRUE(std::holds_alternative<ParseError>(parseUnit(R"(
+schema S { table T(a: int) }
+program P on S { update u(x: int) { } }
+)")));
+}
+
+TEST(ParserTest, WorkloadDeclarations) {
+  ParseOutput Out = parseOrDie(R"(
+schema S { table T(a: int, b: string) }
+program P on S {
+  update add(a: int, b: string) { insert into T values (a: a, b: b); }
+  query get(a: int) { select b from T where a = a; }
+}
+workload W1 on P {
+  add(1, "x");
+  add(2, "y");
+  get(1);
+}
+workload W2 on P { get(0); }
+workload Other on Q { get(0); }
+)");
+  ASSERT_EQ(Out.Workloads.size(), 3u);
+  std::vector<const NamedWorkload *> Ws = Out.workloadsFor("P");
+  ASSERT_EQ(Ws.size(), 2u);
+  EXPECT_EQ(Ws[0]->Name, "W1");
+  ASSERT_EQ(Ws[0]->Seq.size(), 3u);
+  EXPECT_EQ(Ws[0]->Seq[0].Func, "add");
+  ASSERT_EQ(Ws[0]->Seq[0].Args.size(), 2u);
+  EXPECT_EQ(Ws[0]->Seq[0].Args[0].getInt(), 1);
+  EXPECT_EQ(Ws[0]->Seq[0].Args[1].getString(), "x");
+
+  // The workload replays against the program.
+  const Schema &S = *Out.findSchema("S");
+  const Program &P = Out.findProgram("P")->Prog;
+  std::optional<ResultTable> R = runSequence(P, S, Ws[0]->Seq);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->getNumRows(), 1u);
+}
+
+TEST(ParserTest, WorkloadRejectsNonLiteralArgs) {
+  EXPECT_TRUE(std::holds_alternative<ParseError>(parseUnit(R"(
+workload W on P { f(x); }
+)")));
+  EXPECT_TRUE(std::holds_alternative<ParseError>(parseUnit(R"(
+workload W on P { }
+)")));
+}

@@ -1,0 +1,271 @@
+//===- tests/relational_test.cpp - Relational substrate tests ---------------===//
+
+#include "relational/Database.h"
+#include "relational/ResultTable.h"
+#include "relational/Schema.h"
+#include "relational/Table.h"
+#include "relational/Value.h"
+
+#include <gtest/gtest.h>
+
+using namespace migrator;
+
+namespace {
+
+TableSchema carSchema() {
+  return TableSchema("Car", {{"cid", ValueType::Int},
+                             {"model", ValueType::String},
+                             {"year", ValueType::Int}});
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Value
+//===----------------------------------------------------------------------===//
+
+TEST(Value, KindsAndAccessors) {
+  EXPECT_EQ(Value::makeInt(42).getInt(), 42);
+  EXPECT_EQ(Value::makeString("x").getString(), "x");
+  EXPECT_EQ(Value::makeBinary("img").getBinary(), "img");
+  EXPECT_TRUE(Value::makeBool(true).getBool());
+  EXPECT_EQ(Value::makeUid(7).getUid(), 7u);
+}
+
+TEST(Value, EqualityIsKindAndPayload) {
+  EXPECT_EQ(Value::makeInt(1), Value::makeInt(1));
+  EXPECT_NE(Value::makeInt(1), Value::makeInt(2));
+  EXPECT_NE(Value::makeInt(1), Value::makeString("1"));
+  EXPECT_EQ(Value::makeUid(3), Value::makeUid(3));
+  EXPECT_NE(Value::makeUid(3), Value::makeUid(4));
+  EXPECT_NE(Value::makeUid(3), Value::makeInt(3));
+}
+
+TEST(Value, UidInhabitsEveryStaticType) {
+  Value U = Value::makeUid(1);
+  EXPECT_TRUE(U.hasType(ValueType::Int));
+  EXPECT_TRUE(U.hasType(ValueType::String));
+  EXPECT_TRUE(U.hasType(ValueType::Binary));
+  EXPECT_TRUE(U.hasType(ValueType::Bool));
+  EXPECT_FALSE(Value::makeInt(1).hasType(ValueType::String));
+  EXPECT_TRUE(Value::makeBinary("b").hasType(ValueType::Binary));
+}
+
+TEST(Value, TotalOrderIsStrict) {
+  std::vector<Value> Vs = {Value::makeInt(1),      Value::makeInt(2),
+                           Value::makeString("a"), Value::makeBinary("a"),
+                           Value::makeBool(false), Value::makeUid(1)};
+  for (const Value &A : Vs)
+    for (const Value &B : Vs) {
+      EXPECT_EQ(A == B, !(A < B) && !(B < A));
+      EXPECT_FALSE(A < B && B < A);
+    }
+}
+
+TEST(Value, StrRendersSurfaceSyntax) {
+  EXPECT_EQ(Value::makeInt(-3).str(), "-3");
+  EXPECT_EQ(Value::makeString("hi").str(), "\"hi\"");
+  EXPECT_EQ(Value::makeBinary("b0").str(), "b\"b0\"");
+  EXPECT_EQ(Value::makeBool(false).str(), "false");
+  EXPECT_EQ(Value::makeUid(9).str(), "uid#9");
+}
+
+TEST(Value, DefaultOfMatchesType) {
+  for (ValueType Ty : {ValueType::Int, ValueType::String, ValueType::Binary,
+                       ValueType::Bool})
+    EXPECT_TRUE(Value::defaultOf(Ty).hasType(Ty));
+}
+
+//===----------------------------------------------------------------------===//
+// Schema
+//===----------------------------------------------------------------------===//
+
+TEST(SchemaTest, TableAndAttrLookup) {
+  Schema S("Test");
+  S.addTable(carSchema());
+  EXPECT_EQ(S.getNumTables(), 1u);
+  EXPECT_NE(S.findTable("Car"), nullptr);
+  EXPECT_EQ(S.findTable("Nope"), nullptr);
+  EXPECT_TRUE(S.hasAttr({"Car", "model"}));
+  EXPECT_FALSE(S.hasAttr({"Car", "nope"}));
+  EXPECT_FALSE(S.hasAttr({"Nope", "model"}));
+  EXPECT_EQ(S.attrType({"Car", "year"}), ValueType::Int);
+}
+
+TEST(SchemaTest, AllAttrsInDeclarationOrder) {
+  Schema S;
+  S.addTable(carSchema());
+  S.addTable(TableSchema("Part", {{"name", ValueType::String},
+                                  {"cid", ValueType::Int}}));
+  std::vector<QualifiedAttr> All = S.allAttrs();
+  ASSERT_EQ(All.size(), 5u);
+  EXPECT_EQ(All[0].str(), "Car.cid");
+  EXPECT_EQ(All[4].str(), "Part.cid");
+  EXPECT_EQ(S.getNumAttrs(), 5u);
+}
+
+TEST(SchemaTest, TablesWithAttrFiltersByType) {
+  Schema S;
+  S.addTable(carSchema());
+  S.addTable(TableSchema("Part", {{"cid", ValueType::Int}}));
+  S.addTable(TableSchema("Odd", {{"cid", ValueType::String}}));
+  std::vector<std::string> Ts = S.tablesWithAttr("cid", ValueType::Int);
+  EXPECT_EQ(Ts, (std::vector<std::string>{"Car", "Part"}));
+}
+
+TEST(SchemaTest, StrRendersSurfaceSyntax) {
+  Schema S("X");
+  S.addTable(TableSchema("T", {{"a", ValueType::Int}}));
+  EXPECT_EQ(S.str(), "schema X {\n  table T(a: int)\n}\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Table
+//===----------------------------------------------------------------------===//
+
+TEST(TableTest, InsertAndBagSemantics) {
+  Table T(carSchema());
+  Row R = {Value::makeInt(1), Value::makeString("M1"), Value::makeInt(2016)};
+  T.insertRow(R);
+  T.insertRow(R); // Duplicates allowed.
+  EXPECT_EQ(T.size(), 2u);
+  EXPECT_EQ(T.getRow(0), T.getRow(1));
+}
+
+TEST(TableTest, EraseRowsRemovesExactOccurrences) {
+  Table T(carSchema());
+  for (int I = 0; I < 5; ++I)
+    T.insertRow({Value::makeInt(I), Value::makeString("M"),
+                 Value::makeInt(2000 + I)});
+  T.eraseRows({1, 3, 3}); // Duplicate indices tolerated.
+  ASSERT_EQ(T.size(), 3u);
+  EXPECT_EQ(T.getRow(0)[0].getInt(), 0);
+  EXPECT_EQ(T.getRow(1)[0].getInt(), 2);
+  EXPECT_EQ(T.getRow(2)[0].getInt(), 4);
+}
+
+TEST(TableTest, EraseNothingIsNoop) {
+  Table T(carSchema());
+  T.insertRow({Value::makeInt(1), Value::makeString("M"), Value::makeInt(1)});
+  T.eraseRows({});
+  EXPECT_EQ(T.size(), 1u);
+}
+
+TEST(TableTest, SetValueUpdatesInPlace) {
+  Table T(carSchema());
+  T.insertRow({Value::makeInt(1), Value::makeString("M"), Value::makeInt(1)});
+  T.setValue(0, 1, Value::makeString("N"));
+  EXPECT_EQ(T.getRow(0)[1].getString(), "N");
+}
+
+//===----------------------------------------------------------------------===//
+// Database
+//===----------------------------------------------------------------------===//
+
+TEST(DatabaseTest, EmptyInstanceFromSchema) {
+  Schema S;
+  S.addTable(carSchema());
+  S.addTable(TableSchema("Part", {{"cid", ValueType::Int}}));
+  Database DB(S);
+  EXPECT_EQ(DB.getTables().size(), 2u);
+  EXPECT_EQ(DB.totalRows(), 0u);
+  EXPECT_TRUE(DB.getTable("Car").empty());
+  EXPECT_EQ(DB.findTable("Nope"), nullptr);
+}
+
+TEST(DatabaseTest, CopyIsDeepSnapshot) {
+  Schema S;
+  S.addTable(carSchema());
+  Database DB(S);
+  DB.getTable("Car").insertRow(
+      {Value::makeInt(1), Value::makeString("M"), Value::makeInt(1)});
+  Database Snap = DB;
+  DB.getTable("Car").insertRow(
+      {Value::makeInt(2), Value::makeString("N"), Value::makeInt(2)});
+  EXPECT_EQ(Snap.getTable("Car").size(), 1u);
+  EXPECT_EQ(DB.getTable("Car").size(), 2u);
+  EXPECT_FALSE(Snap == DB);
+}
+
+TEST(DatabaseTest, ClearEmptiesAllTables) {
+  Schema S;
+  S.addTable(carSchema());
+  Database DB(S);
+  DB.getTable("Car").insertRow(
+      {Value::makeInt(1), Value::makeString("M"), Value::makeInt(1)});
+  DB.clear();
+  EXPECT_EQ(DB.totalRows(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// ResultTable comparison
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+ResultTable makeResult(std::vector<Row> Rows, size_t Cols) {
+  ResultTable R;
+  for (size_t I = 0; I < Cols; ++I)
+    R.Columns.push_back("c" + std::to_string(I));
+  R.Rows = std::move(Rows);
+  return R;
+}
+
+} // namespace
+
+TEST(ResultEquiv, ColumnNamesIgnoredArityChecked) {
+  ResultTable A = makeResult({{Value::makeInt(1)}}, 1);
+  ResultTable B = makeResult({{Value::makeInt(1)}}, 1);
+  B.Columns[0] = "other";
+  EXPECT_TRUE(resultsEquivalent(A, B));
+  ResultTable C = makeResult({{Value::makeInt(1), Value::makeInt(1)}}, 2);
+  EXPECT_FALSE(resultsEquivalent(A, C));
+}
+
+TEST(ResultEquiv, MultisetOrderInsensitive) {
+  ResultTable A = makeResult({{Value::makeInt(1)}, {Value::makeInt(2)}}, 1);
+  ResultTable B = makeResult({{Value::makeInt(2)}, {Value::makeInt(1)}}, 1);
+  EXPECT_TRUE(resultsEquivalent(A, B));
+}
+
+TEST(ResultEquiv, MultiplicityMatters) {
+  ResultTable A = makeResult({{Value::makeInt(1)}, {Value::makeInt(1)}}, 1);
+  ResultTable B = makeResult({{Value::makeInt(1)}}, 1);
+  EXPECT_FALSE(resultsEquivalent(A, B));
+}
+
+TEST(ResultEquiv, UidsCompareUpToBijection) {
+  // (uid1, uid1) vs (uid9, uid9): consistent bijection 1 -> 9.
+  ResultTable A =
+      makeResult({{Value::makeUid(1), Value::makeUid(1)}}, 2);
+  ResultTable B =
+      makeResult({{Value::makeUid(9), Value::makeUid(9)}}, 2);
+  EXPECT_TRUE(resultsEquivalent(A, B));
+
+  // (uid1, uid1) vs (uid9, uid8): not a function.
+  ResultTable C =
+      makeResult({{Value::makeUid(9), Value::makeUid(8)}}, 2);
+  EXPECT_FALSE(resultsEquivalent(A, C));
+
+  // (uid1, uid2) vs (uid9, uid9): not injective.
+  ResultTable D =
+      makeResult({{Value::makeUid(1), Value::makeUid(2)}}, 2);
+  EXPECT_FALSE(resultsEquivalent(D, B));
+}
+
+TEST(ResultEquiv, UidNeverMatchesConcreteValue) {
+  ResultTable A = makeResult({{Value::makeUid(1)}}, 1);
+  ResultTable B = makeResult({{Value::makeInt(1)}}, 1);
+  EXPECT_FALSE(resultsEquivalent(A, B));
+}
+
+TEST(ResultEquiv, BijectionAcrossRows) {
+  ResultTable A = makeResult(
+      {{Value::makeUid(1)}, {Value::makeUid(1)}, {Value::makeUid(2)}}, 1);
+  ResultTable B = makeResult(
+      {{Value::makeUid(5)}, {Value::makeUid(5)}, {Value::makeUid(6)}}, 1);
+  EXPECT_TRUE(resultsEquivalent(A, B));
+  ResultTable C = makeResult(
+      {{Value::makeUid(5)}, {Value::makeUid(6)}, {Value::makeUid(6)}}, 1);
+  EXPECT_FALSE(resultsEquivalent(A, C));
+}

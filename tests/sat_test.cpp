@@ -1,0 +1,332 @@
+//===- tests/sat_test.cpp - CDCL SAT and MaxSAT solver tests -----------------===//
+
+#include "sat/MaxSat.h"
+#include "sat/Solver.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace migrator;
+using namespace migrator::sat;
+
+namespace {
+
+/// Reference brute-force SAT check.
+bool bruteForceSat(int NumVars, const std::vector<std::vector<Lit>> &Clauses) {
+  assert(NumVars <= 20);
+  for (uint32_t M = 0; M < (1u << NumVars); ++M) {
+    bool AllSat = true;
+    for (const std::vector<Lit> &C : Clauses) {
+      bool Sat = false;
+      for (const Lit &L : C) {
+        bool V = (M >> L.var()) & 1;
+        if (V != L.negated()) {
+          Sat = true;
+          break;
+        }
+      }
+      if (!Sat) {
+        AllSat = false;
+        break;
+      }
+    }
+    if (AllSat)
+      return true;
+  }
+  return false;
+}
+
+/// Reference brute-force MaxSAT optimum; returns nullopt when hard clauses
+/// are unsatisfiable.
+std::optional<uint64_t>
+bruteForceMaxSat(int NumVars, const std::vector<std::vector<Lit>> &Hard,
+                 const std::vector<SoftClause> &Soft) {
+  assert(NumVars <= 20);
+  std::optional<uint64_t> Best;
+  for (uint32_t M = 0; M < (1u << NumVars); ++M) {
+    auto SatisfiedBy = [M](const std::vector<Lit> &C) {
+      for (const Lit &L : C)
+        if ((((M >> L.var()) & 1) != 0) != L.negated())
+          return true;
+      return false;
+    };
+    bool HardOk = true;
+    for (const std::vector<Lit> &C : Hard)
+      if (!SatisfiedBy(C)) {
+        HardOk = false;
+        break;
+      }
+    if (!HardOk)
+      continue;
+    uint64_t W = 0;
+    for (const SoftClause &C : Soft)
+      if (SatisfiedBy(C.Lits))
+        W += C.Weight;
+    if (!Best || W > *Best)
+      Best = W;
+  }
+  return Best;
+}
+
+} // namespace
+
+TEST(SatSolver, TrivialCases) {
+  Solver S;
+  EXPECT_EQ(S.solve(), Solver::Result::Sat); // Empty formula.
+
+  Var A = S.newVar();
+  EXPECT_TRUE(S.addClause({posLit(A)}));
+  EXPECT_EQ(S.solve(), Solver::Result::Sat);
+  EXPECT_TRUE(S.modelValue(A));
+
+  EXPECT_FALSE(S.addClause({negLit(A)})); // Contradicts the unit.
+  EXPECT_EQ(S.solve(), Solver::Result::Unsat);
+}
+
+TEST(SatSolver, SimpleImplicationChain) {
+  Solver S;
+  std::vector<Var> V;
+  for (int I = 0; I < 10; ++I)
+    V.push_back(S.newVar());
+  for (int I = 0; I + 1 < 10; ++I)
+    EXPECT_TRUE(S.addClause({negLit(V[I]), posLit(V[I + 1])})); // Vi -> Vi+1.
+  EXPECT_TRUE(S.addClause({posLit(V[0])}));
+  EXPECT_EQ(S.solve(), Solver::Result::Sat);
+  for (int I = 0; I < 10; ++I)
+    EXPECT_TRUE(S.modelValue(V[I]));
+}
+
+TEST(SatSolver, TautologyAndDuplicateLiterals) {
+  Solver S;
+  Var A = S.newVar(), B = S.newVar();
+  EXPECT_TRUE(S.addClause({posLit(A), negLit(A)}));      // Tautology dropped.
+  EXPECT_TRUE(S.addClause({posLit(B), posLit(B)}));      // Duplicate collapsed.
+  EXPECT_EQ(S.solve(), Solver::Result::Sat);
+  EXPECT_TRUE(S.modelValue(B));
+}
+
+TEST(SatSolver, PigeonholeThreeIntoTwoIsUnsat) {
+  // 3 pigeons, 2 holes: every pigeon somewhere, no hole shared.
+  Solver S;
+  Var X[3][2];
+  for (auto &Row : X)
+    for (Var &V : Row)
+      V = S.newVar();
+  for (int P = 0; P < 3; ++P)
+    EXPECT_TRUE(S.addClause({posLit(X[P][0]), posLit(X[P][1])}));
+  for (int H = 0; H < 2; ++H)
+    for (int P = 0; P < 3; ++P)
+      for (int Q = P + 1; Q < 3; ++Q)
+        EXPECT_TRUE(S.addClause({negLit(X[P][H]), negLit(X[Q][H])}));
+  EXPECT_EQ(S.solve(), Solver::Result::Unsat);
+}
+
+TEST(SatSolver, ExactlyOneSemantics) {
+  Solver S;
+  std::vector<Var> Vs;
+  for (int I = 0; I < 5; ++I)
+    Vs.push_back(S.newVar());
+  EXPECT_TRUE(S.addExactlyOne(Vs));
+  EXPECT_EQ(S.solve(), Solver::Result::Sat);
+  int TrueCount = 0;
+  for (Var V : Vs)
+    TrueCount += S.modelValue(V);
+  EXPECT_EQ(TrueCount, 1);
+
+  // Forcing two of them true is unsatisfiable.
+  Solver S2;
+  std::vector<Var> Vs2;
+  for (int I = 0; I < 3; ++I)
+    Vs2.push_back(S2.newVar());
+  EXPECT_TRUE(S2.addExactlyOne(Vs2));
+  EXPECT_TRUE(S2.addClause({posLit(Vs2[0])}));
+  bool Ok = S2.addClause({posLit(Vs2[1])});
+  EXPECT_TRUE(!Ok || S2.solve() == Solver::Result::Unsat);
+}
+
+TEST(SatSolver, ModelEnumerationByBlocking) {
+  // Exactly-one over 4 vars has exactly 4 models.
+  Solver S;
+  std::vector<Var> Vs;
+  for (int I = 0; I < 4; ++I)
+    Vs.push_back(S.newVar());
+  EXPECT_TRUE(S.addExactlyOne(Vs));
+  int Models = 0;
+  while (S.solve() == Solver::Result::Sat) {
+    ++Models;
+    ASSERT_LE(Models, 4);
+    std::vector<Lit> Block;
+    for (Var V : Vs)
+      Block.push_back(S.modelValue(V) ? negLit(V) : posLit(V));
+    if (!S.addClause(Block))
+      break;
+  }
+  EXPECT_EQ(Models, 4);
+}
+
+TEST(SatSolver, IncrementalClausesAfterSolve) {
+  Solver S;
+  Var A = S.newVar(), B = S.newVar();
+  EXPECT_TRUE(S.addClause({posLit(A), posLit(B)}));
+  EXPECT_EQ(S.solve(), Solver::Result::Sat);
+  EXPECT_TRUE(S.addClause({negLit(A)}));
+  EXPECT_EQ(S.solve(), Solver::Result::Sat);
+  EXPECT_TRUE(S.modelValue(B));
+  // B is forced at the root, so adding ¬B latches UNSAT immediately.
+  EXPECT_FALSE(S.addClause({negLit(B)}));
+  EXPECT_EQ(S.solve(), Solver::Result::Unsat);
+}
+
+namespace {
+
+struct RandomCnfCase {
+  int Vars;
+  int Clauses;
+  uint64_t Seed;
+};
+
+class RandomCnf : public ::testing::TestWithParam<RandomCnfCase> {};
+
+} // namespace
+
+TEST_P(RandomCnf, AgreesWithBruteForce) {
+  RandomCnfCase C = GetParam();
+  Rng R(C.Seed);
+  for (int Iter = 0; Iter < 30; ++Iter) {
+    std::vector<std::vector<Lit>> Clauses;
+    for (int I = 0; I < C.Clauses; ++I) {
+      int Len = R.nextInt(1, 3);
+      std::vector<Lit> Cl;
+      for (int K = 0; K < Len; ++K)
+        Cl.push_back(Lit(R.nextInt(0, C.Vars - 1), R.chance(1, 2)));
+      Clauses.push_back(std::move(Cl));
+    }
+    Solver S;
+    for (int V = 0; V < C.Vars; ++V)
+      S.newVar();
+    bool TriviallyUnsat = false;
+    for (const std::vector<Lit> &Cl : Clauses)
+      if (!S.addClause(Cl))
+        TriviallyUnsat = true;
+    bool Expected = bruteForceSat(C.Vars, Clauses);
+    bool Got = !TriviallyUnsat && S.solve() == Solver::Result::Sat;
+    ASSERT_EQ(Got, Expected) << "seed " << C.Seed << " iter " << Iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SweepSizes, RandomCnf,
+    ::testing::Values(RandomCnfCase{4, 8, 1}, RandomCnfCase{6, 14, 2},
+                      RandomCnfCase{8, 24, 3}, RandomCnfCase{10, 35, 4},
+                      RandomCnfCase{12, 50, 5}, RandomCnfCase{14, 60, 6}));
+
+//===----------------------------------------------------------------------===//
+// MaxSAT
+//===----------------------------------------------------------------------===//
+
+TEST(MaxSatSolver, NoSoftClausesActsAsSat) {
+  MaxSatSolver M;
+  int A = M.addVars(2);
+  M.addHard({posLit(A), posLit(A + 1)});
+  std::optional<MaxSatResult> R = M.solve();
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Weight, 0u);
+  EXPECT_TRUE(R->Model[A] || R->Model[A + 1]);
+}
+
+TEST(MaxSatSolver, UnsatHardClausesReturnNullopt) {
+  MaxSatSolver M;
+  int A = M.addVars(1);
+  M.addHard({posLit(A)});
+  M.addHard({negLit(A)});
+  EXPECT_FALSE(M.solve().has_value());
+}
+
+TEST(MaxSatSolver, PrefersHigherWeight) {
+  MaxSatSolver M;
+  int A = M.addVars(2);
+  // Conflicting softs: weight decides.
+  M.addHard({posLit(A), posLit(A + 1)});
+  M.addHard({negLit(A), negLit(A + 1)});
+  M.addSoft({posLit(A)}, 3);
+  M.addSoft({posLit(A + 1)}, 5);
+  std::optional<MaxSatResult> R = M.solve();
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Weight, 5u);
+  EXPECT_FALSE(R->Model[A]);
+  EXPECT_TRUE(R->Model[A + 1]);
+}
+
+TEST(MaxSatSolver, BlockingEnumeratesDecreasingWeights) {
+  MaxSatSolver M;
+  int A = M.addVars(2);
+  M.addSoft({posLit(A)}, 4);
+  M.addSoft({posLit(A + 1)}, 2);
+  uint64_t Prev = ~0ull;
+  for (int I = 0; I < 4; ++I) {
+    std::optional<MaxSatResult> R = M.solve();
+    ASSERT_TRUE(R.has_value());
+    EXPECT_LE(R->Weight, Prev);
+    Prev = R->Weight;
+    std::vector<Lit> Block;
+    for (int V = 0; V < M.getNumVars(); ++V)
+      Block.push_back(R->Model[V] ? negLit(V) : posLit(V));
+    M.addHard(std::move(Block));
+  }
+  EXPECT_FALSE(M.solve().has_value()); // All four assignments used.
+}
+
+namespace {
+
+struct RandomMaxSatCase {
+  int Vars;
+  int Hard;
+  int Soft;
+  uint64_t Seed;
+};
+
+class RandomMaxSat : public ::testing::TestWithParam<RandomMaxSatCase> {};
+
+} // namespace
+
+TEST_P(RandomMaxSat, OptimumMatchesBruteForce) {
+  RandomMaxSatCase C = GetParam();
+  Rng R(C.Seed);
+  for (int Iter = 0; Iter < 20; ++Iter) {
+    std::vector<std::vector<Lit>> Hard;
+    std::vector<SoftClause> Soft;
+    for (int I = 0; I < C.Hard; ++I) {
+      std::vector<Lit> Cl;
+      for (int K = 0, Len = R.nextInt(1, 3); K < Len; ++K)
+        Cl.push_back(Lit(R.nextInt(0, C.Vars - 1), R.chance(1, 2)));
+      Hard.push_back(std::move(Cl));
+    }
+    for (int I = 0; I < C.Soft; ++I) {
+      std::vector<Lit> Cl;
+      for (int K = 0, Len = R.nextInt(1, 2); K < Len; ++K)
+        Cl.push_back(Lit(R.nextInt(0, C.Vars - 1), R.chance(1, 2)));
+      Soft.push_back({std::move(Cl), static_cast<uint64_t>(R.nextInt(1, 9))});
+    }
+    MaxSatSolver M;
+    M.addVars(C.Vars);
+    for (auto &Cl : Hard)
+      M.addHard(Cl);
+    for (auto &Sc : Soft)
+      M.addSoft(Sc.Lits, Sc.Weight);
+    std::optional<MaxSatResult> Got = M.solve();
+    std::optional<uint64_t> Expected = bruteForceMaxSat(C.Vars, Hard, Soft);
+    ASSERT_EQ(Got.has_value(), Expected.has_value());
+    if (Got) {
+      ASSERT_EQ(Got->Weight, *Expected) << "seed " << C.Seed << " iter " << Iter;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SweepSizes, RandomMaxSat,
+    ::testing::Values(RandomMaxSatCase{4, 3, 5, 11},
+                      RandomMaxSatCase{6, 5, 8, 12},
+                      RandomMaxSatCase{8, 6, 12, 13},
+                      RandomMaxSatCase{10, 8, 15, 14}));

@@ -1,0 +1,126 @@
+//===- tests/schemadiff_test.cpp - Schema diff tests ---------------------------===//
+
+#include "benchsuite/Benchmark.h"
+#include "relational/SchemaDiff.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace migrator;
+using namespace migrator::test;
+
+namespace {
+
+bool hasChange(const std::vector<SchemaChange> &Cs, SchemaChange::Kind K,
+               const std::string &DetailFragment) {
+  for (const SchemaChange &C : Cs)
+    if (C.TheKind == K && C.Detail.find(DetailFragment) != std::string::npos)
+      return true;
+  return false;
+}
+
+size_t countKind(const std::vector<SchemaChange> &Cs, SchemaChange::Kind K) {
+  size_t N = 0;
+  for (const SchemaChange &C : Cs)
+    N += C.TheKind == K;
+  return N;
+}
+
+} // namespace
+
+TEST(SchemaDiff, IdenticalSchemasProduceNoChanges) {
+  ParseOutput Out = parseOrDie(overviewSource());
+  const Schema &S = *Out.findSchema("CourseDB");
+  EXPECT_TRUE(diffSchemas(S, S).empty());
+}
+
+TEST(SchemaDiff, OverviewRefactoringIsClassified) {
+  ParseOutput Out = parseOrDie(overviewSource());
+  std::vector<SchemaChange> Cs =
+      diffSchemas(*Out.findSchema("CourseDB"), *Out.findSchema("CourseDBNew"));
+  EXPECT_TRUE(hasChange(Cs, SchemaChange::Kind::TableAdded, "Picture"));
+  // IPic/TPic leave their tables; PicId columns arrive.
+  EXPECT_TRUE(hasChange(Cs, SchemaChange::Kind::AttrRemoved,
+                        "Instructor.IPic") ||
+              hasChange(Cs, SchemaChange::Kind::AttrRenamed,
+                        "Instructor.IPic"));
+  EXPECT_TRUE(hasChange(Cs, SchemaChange::Kind::AttrAdded, "PicId") ||
+              hasChange(Cs, SchemaChange::Kind::AttrRenamed, "PicId"));
+}
+
+TEST(SchemaDiff, DetectsAttributeRename) {
+  Schema A("A"), B("B");
+  A.addTable(TableSchema("T", {{"taskTitle", ValueType::String}}));
+  B.addTable(TableSchema("T", {{"taskTitleText", ValueType::String}}));
+  std::vector<SchemaChange> Cs = diffSchemas(A, B);
+  ASSERT_EQ(Cs.size(), 1u);
+  EXPECT_EQ(Cs[0].TheKind, SchemaChange::Kind::AttrRenamed);
+  EXPECT_EQ(Cs[0].Detail, "T.taskTitle -> T.taskTitleText");
+}
+
+TEST(SchemaDiff, DissimilarNamesAreRemoveAndAdd) {
+  Schema A("A"), B("B");
+  A.addTable(TableSchema("T", {{"x", ValueType::String}}));
+  B.addTable(TableSchema("T", {{"completelyDifferent", ValueType::String}}));
+  std::vector<SchemaChange> Cs = diffSchemas(A, B);
+  EXPECT_EQ(countKind(Cs, SchemaChange::Kind::AttrRemoved), 1u);
+  EXPECT_EQ(countKind(Cs, SchemaChange::Kind::AttrAdded), 1u);
+}
+
+TEST(SchemaDiff, DetectsMoveAcrossTables) {
+  Schema A("A"), B("B");
+  A.addTable(TableSchema("Emp", {{"empId", ValueType::Int},
+                                 {"roomNo", ValueType::Int}}));
+  A.addTable(TableSchema("Office", {{"empId", ValueType::Int}}));
+  B.addTable(TableSchema("Emp", {{"empId", ValueType::Int}}));
+  B.addTable(TableSchema("Office", {{"empId", ValueType::Int},
+                                    {"roomNo", ValueType::Int}}));
+  std::vector<SchemaChange> Cs = diffSchemas(A, B);
+  ASSERT_EQ(Cs.size(), 1u);
+  EXPECT_EQ(Cs[0].TheKind, SchemaChange::Kind::AttrMoved);
+  EXPECT_EQ(Cs[0].Detail, "Emp.roomNo -> Office.roomNo");
+}
+
+TEST(SchemaDiff, DetectsTableRenameByStructure) {
+  Schema A("A"), B("B");
+  A.addTable(TableSchema("users", {{"usersId", ValueType::Int},
+                                   {"name", ValueType::String}}));
+  B.addTable(TableSchema("usersTbl", {{"usersId", ValueType::Int},
+                                      {"name", ValueType::String}}));
+  std::vector<SchemaChange> Cs = diffSchemas(A, B);
+  ASSERT_EQ(Cs.size(), 1u);
+  EXPECT_EQ(Cs[0].TheKind, SchemaChange::Kind::TableRenamed);
+  EXPECT_EQ(Cs[0].Detail, "users -> usersTbl");
+}
+
+TEST(SchemaDiff, DetectsTypeChange) {
+  Schema A("A"), B("B");
+  A.addTable(TableSchema("T", {{"v", ValueType::Int}}));
+  B.addTable(TableSchema("T", {{"v", ValueType::String}}));
+  std::vector<SchemaChange> Cs = diffSchemas(A, B);
+  ASSERT_EQ(Cs.size(), 1u);
+  EXPECT_EQ(Cs[0].TheKind, SchemaChange::Kind::AttrTypeChanged);
+  EXPECT_NE(Cs[0].str().find("int -> string"), std::string::npos);
+}
+
+TEST(SchemaDiff, GeneratedBenchmarksMatchTheirDescriptions) {
+  // The generator's refactorings must be visible in the diff.
+  {
+    Benchmark B = loadBenchmark("MathHotSpot"); // Rename tables, move attrs.
+    std::vector<SchemaChange> Cs = diffSchemas(B.Source, B.Target);
+    EXPECT_EQ(countKind(Cs, SchemaChange::Kind::TableRenamed), 2u);
+    EXPECT_GE(countKind(Cs, SchemaChange::Kind::AttrMoved), 1u);
+  }
+  {
+    Benchmark B = loadBenchmark("probable-engine"); // Merge tables.
+    std::vector<SchemaChange> Cs = diffSchemas(B.Source, B.Target);
+    EXPECT_EQ(countKind(Cs, SchemaChange::Kind::TableRemoved), 1u);
+    EXPECT_GE(countKind(Cs, SchemaChange::Kind::AttrMoved), 1u);
+  }
+  {
+    Benchmark B = loadBenchmark("coachup"); // Split tables (shared).
+    std::vector<SchemaChange> Cs = diffSchemas(B.Source, B.Target);
+    EXPECT_EQ(countKind(Cs, SchemaChange::Kind::TableAdded), 1u);
+  }
+}

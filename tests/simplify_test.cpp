@@ -1,0 +1,177 @@
+//===- tests/simplify_test.cpp - Program normalization tests ------------------===//
+
+#include "ast/Simplify.h"
+#include "synth/RandomWorkload.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace migrator;
+using namespace migrator::test;
+
+namespace {
+
+AttrRef A(const char *Name) { return AttrRef::unqualified(Name); }
+
+} // namespace
+
+TEST(SimplifyPred, SelfComparisonsFold) {
+  EXPECT_EQ(simplifyPred(*makeAttrCmp(A("x"), CmpOp::Eq, A("x"))).Verdict,
+            PredVerdict::AlwaysTrue);
+  EXPECT_EQ(simplifyPred(*makeAttrCmp(A("x"), CmpOp::Le, A("x"))).Verdict,
+            PredVerdict::AlwaysTrue);
+  EXPECT_EQ(simplifyPred(*makeAttrCmp(A("x"), CmpOp::Ne, A("x"))).Verdict,
+            PredVerdict::AlwaysFalse);
+  EXPECT_EQ(simplifyPred(*makeAttrCmp(A("x"), CmpOp::Lt, A("x"))).Verdict,
+            PredVerdict::AlwaysFalse);
+  // Different attributes do not fold.
+  EXPECT_EQ(simplifyPred(*makeAttrCmp(A("x"), CmpOp::Eq, A("y"))).Verdict,
+            PredVerdict::Simplified);
+}
+
+TEST(SimplifyPred, ConnectiveUnitsAndAbsorption) {
+  PredPtr True = makeAttrCmp(A("x"), CmpOp::Eq, A("x"));
+  PredPtr False = makeAttrCmp(A("x"), CmpOp::Ne, A("x"));
+  PredPtr P = makeCmp(A("a"), CmpOp::Eq, Operand::param("v"));
+
+  // true ∧ p → p.
+  SimplifiedPred S = simplifyPred(*makeAnd(True->clone(), P->clone()));
+  ASSERT_EQ(S.Verdict, PredVerdict::Simplified);
+  EXPECT_TRUE(S.P->equals(*P));
+  // false ∧ p → false.
+  EXPECT_EQ(simplifyPred(*makeAnd(False->clone(), P->clone())).Verdict,
+            PredVerdict::AlwaysFalse);
+  // false ∨ p → p.
+  S = simplifyPred(*makeOr(False->clone(), P->clone()));
+  ASSERT_EQ(S.Verdict, PredVerdict::Simplified);
+  EXPECT_TRUE(S.P->equals(*P));
+  // true ∨ p → true.
+  EXPECT_EQ(simplifyPred(*makeOr(True->clone(), P->clone())).Verdict,
+            PredVerdict::AlwaysTrue);
+  // p ∧ p → p.
+  S = simplifyPred(*makeAnd(P->clone(), P->clone()));
+  ASSERT_EQ(S.Verdict, PredVerdict::Simplified);
+  EXPECT_TRUE(S.P->equals(*P));
+}
+
+TEST(SimplifyPred, NegationRules) {
+  PredPtr P = makeCmp(A("a"), CmpOp::Lt, Operand::constant(Value::makeInt(3)));
+  // ¬¬p → p.
+  SimplifiedPred S = simplifyPred(*makeNot(makeNot(P->clone())));
+  ASSERT_EQ(S.Verdict, PredVerdict::Simplified);
+  EXPECT_TRUE(S.P->equals(*P));
+  // ¬true → false.
+  EXPECT_EQ(
+      simplifyPred(*makeNot(makeAttrCmp(A("x"), CmpOp::Eq, A("x")))).Verdict,
+      PredVerdict::AlwaysFalse);
+  // ¬false → true.
+  EXPECT_EQ(
+      simplifyPred(*makeNot(makeAttrCmp(A("x"), CmpOp::Ne, A("x")))).Verdict,
+      PredVerdict::AlwaysTrue);
+}
+
+TEST(SimplifyQuery, TrueFiltersDropFalseFiltersStay) {
+  JoinChain T = JoinChain::table("T");
+  QueryPtr TrueFilter = makeSelect(
+      {A("a")}, T, makeAttrCmp(A("a"), CmpOp::Eq, A("a")));
+  QueryPtr Simp = simplifyQuery(*TrueFilter);
+  EXPECT_EQ(Simp->str(), "select a from T");
+
+  QueryPtr FalseFilter = makeSelect(
+      {A("a")}, T, makeAttrCmp(A("a"), CmpOp::Ne, A("a")));
+  QueryPtr Simp2 = simplifyQuery(*FalseFilter);
+  EXPECT_EQ(Simp2->str(), "select a from T where a != a");
+}
+
+TEST(SimplifyProgram, PreservesSemanticsOnRandomWorkloads) {
+  ParseOutput Out = parseOrDie(R"(
+schema S { table T(a: int, b: int) }
+program P on S {
+  update add(a: int, b: int) { insert into T values (a: a, b: b); }
+  update clean(x: int) { delete from T where a = x and b = b; }
+  update touch(x: int, v: int) {
+    update T set b = v where not (not (a = x)) or a != a;
+  }
+  query q(x: int) { select b from T where a = x and a = a; }
+}
+)");
+  const Schema &S = *Out.findSchema("S");
+  const Program &P = Out.findProgram("P")->Prog;
+  Program Simp = simplifyProgram(P);
+
+  // The simplifications actually fired.
+  std::string Str = Simp.str();
+  EXPECT_EQ(Str.find("a = a"), std::string::npos);
+  EXPECT_EQ(Str.find("not"), std::string::npos);
+  EXPECT_EQ(Str.find("b = b"), std::string::npos);
+
+  // And semantics are preserved.
+  EXPECT_FALSE(findRandomCounterexample(P, S, Simp, S, 200, 7).has_value());
+}
+
+TEST(SimplifyProgram, IdentityOnAlreadySimplePrograms) {
+  ParseOutput Out = parseOrDie(overviewSource());
+  const Program &P = Out.findProgram("CourseApp")->Prog;
+  EXPECT_TRUE(simplifyProgram(P).equals(P));
+}
+
+//===----------------------------------------------------------------------===//
+// RandomWorkload API
+//===----------------------------------------------------------------------===//
+
+TEST(RandomWorkloadApi, SequencesAreWellFormed) {
+  ParseOutput Out = parseOrDie(overviewSource());
+  const Schema &S = *Out.findSchema("CourseDB");
+  const Program &P = Out.findProgram("CourseApp")->Prog;
+  Rng R(99);
+  for (int I = 0; I < 100; ++I) {
+    InvocationSeq Seq = randomSequence(P, R);
+    ASSERT_FALSE(Seq.empty());
+    EXPECT_TRUE(P.getFunction(Seq.back().Func).isQuery());
+    for (size_t K = 0; K + 1 < Seq.size(); ++K)
+      EXPECT_TRUE(P.getFunction(Seq[K].Func).isUpdate());
+    EXPECT_TRUE(runSequence(P, S, Seq).has_value());
+  }
+}
+
+TEST(RandomWorkloadApi, DetectsInequivalentPrograms) {
+  ParseOutput Out = parseOrDie(overviewSource());
+  const Schema &S = *Out.findSchema("CourseDB");
+  const Program &P = Out.findProgram("CourseApp")->Prog;
+  // A broken variant: getTAInfo projects the instructor name instead.
+  ParseOutput Bad = parseOrDie(R"(
+program Mut on CourseDB {
+  update addInstructor(id: int, name: string, pic: binary) {
+    insert into Instructor values (InstId: id, IName: name, IPic: pic);
+  }
+  update deleteInstructor(id: int) {
+    delete [Instructor] from Instructor where InstId = id;
+  }
+  query getInstructorInfo(id: int) {
+    select IName, IPic from Instructor where InstId = id;
+  }
+  update addTA(id: int, name: string, pic: binary) {
+    insert into TA values (TaId: id, TName: name, TPic: pic);
+  }
+  update deleteTA(id: int) {
+    delete [TA] from TA where TaId = id;
+  }
+  query getTAInfo(id: int) {
+    select TName, TPic from TA where TaId != id;
+  }
+}
+)");
+  std::optional<InvocationSeq> Cex = findRandomCounterexample(
+      P, S, Bad.findProgram("Mut")->Prog, S, 500, 3);
+  ASSERT_TRUE(Cex.has_value());
+  EXPECT_EQ(Cex->back().Func, "getTAInfo");
+}
+
+TEST(RandomWorkloadApi, SelfComparisonFindsNoCounterexample) {
+  ParseOutput Out = parseOrDie(overviewSource());
+  const Schema &S = *Out.findSchema("CourseDB");
+  const Program &P = Out.findProgram("CourseApp")->Prog;
+  EXPECT_FALSE(
+      findRandomCounterexample(P, S, P.clone(), S, 100, 11).has_value());
+}

@@ -1,0 +1,294 @@
+//===- tests/sketch_test.cpp - Join graph and sketch generation tests --------===//
+
+#include "ast/Analysis.h"
+#include "sketch/JoinGraph.h"
+#include "sketch/SketchGen.h"
+#include "synth/Encoder.h"
+#include "vc/VcEnumerator.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace migrator;
+using namespace migrator::test;
+
+namespace {
+
+struct OverviewSketch {
+  ParseOutput Out;
+  const Schema *Src = nullptr;
+  const Schema *Tgt = nullptr;
+  const Program *Prog = nullptr;
+  ValueCorrespondence FirstVc;
+
+  OverviewSketch()
+      : Out(parseOrDie(overviewSource())), Src(Out.findSchema("CourseDB")),
+        Tgt(Out.findSchema("CourseDBNew")),
+        Prog(&Out.findProgram("CourseApp")->Prog) {
+    VcEnumerator E(*Src, *Tgt, collectQueriedAttrs(*Prog, *Src));
+    std::optional<ValueCorrespondence> VC = E.next();
+    EXPECT_TRUE(VC.has_value());
+    if (VC)
+      FirstVc = *VC;
+  }
+};
+
+bool containsCover(const std::vector<std::vector<std::string>> &Covers,
+                   std::vector<std::string> Want) {
+  std::sort(Want.begin(), Want.end());
+  for (std::vector<std::string> C : Covers) {
+    std::sort(C.begin(), C.end());
+    if (C == Want)
+      return true;
+  }
+  return false;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// JoinGraph
+//===----------------------------------------------------------------------===//
+
+TEST(JoinGraphTest, EdgesOfOverviewTarget) {
+  OverviewSketch F;
+  JoinGraph G(*F.Tgt);
+  EXPECT_TRUE(G.joinable("Class", "Instructor"));  // InstId.
+  EXPECT_TRUE(G.joinable("Class", "TA"));          // TaId.
+  EXPECT_TRUE(G.joinable("Instructor", "TA"));     // PicId.
+  EXPECT_TRUE(G.joinable("Instructor", "Picture")); // PicId.
+  EXPECT_TRUE(G.joinable("TA", "Picture"));        // PicId.
+  EXPECT_FALSE(G.joinable("Class", "Picture"));    // No shared attribute.
+}
+
+TEST(JoinGraphTest, SharedNameWithDifferentTypeIsNotAnEdge) {
+  Schema S;
+  S.addTable(TableSchema("A", {{"k", ValueType::Int}}));
+  S.addTable(TableSchema("B", {{"k", ValueType::String}}));
+  JoinGraph G(S);
+  EXPECT_FALSE(G.joinable("A", "B"));
+}
+
+TEST(JoinGraphTest, SteinerCoversOfOverviewMatchFig3) {
+  // Terminals {Picture, Instructor} with slack 2 must give exactly the three
+  // chains of the Fig. 3 sketch.
+  OverviewSketch F;
+  JoinGraph G(*F.Tgt);
+  std::vector<std::vector<std::string>> Covers =
+      G.steinerCovers({"Picture", "Instructor"}, 2);
+  ASSERT_EQ(Covers.size(), 3u);
+  EXPECT_TRUE(containsCover(Covers, {"Picture", "Instructor"}));
+  EXPECT_TRUE(containsCover(Covers, {"Picture", "TA", "Instructor"}));
+  EXPECT_TRUE(containsCover(Covers, {"Picture", "TA", "Class", "Instructor"}));
+  // {Picture, Class, Instructor} is NOT a Steiner cover: Class would be a
+  // pendant non-terminal.
+  EXPECT_FALSE(containsCover(Covers, {"Picture", "Class", "Instructor"}));
+  // Ordered smallest-first.
+  EXPECT_EQ(Covers[0].size(), 2u);
+  EXPECT_EQ(Covers[2].size(), 4u);
+}
+
+TEST(JoinGraphTest, SingleTerminalIncludesItself) {
+  OverviewSketch F;
+  JoinGraph G(*F.Tgt);
+  std::vector<std::vector<std::string>> Covers =
+      G.steinerCovers({"Picture"}, 0);
+  ASSERT_EQ(Covers.size(), 1u);
+  EXPECT_EQ(Covers[0], (std::vector<std::string>{"Picture"}));
+}
+
+TEST(JoinGraphTest, DisconnectedTerminalsHaveNoCover) {
+  Schema S;
+  S.addTable(TableSchema("A", {{"x", ValueType::Int}}));
+  S.addTable(TableSchema("B", {{"y", ValueType::Int}}));
+  JoinGraph G(S);
+  EXPECT_TRUE(G.steinerCovers({"A", "B"}, 2).empty());
+}
+
+TEST(JoinGraphTest, UnknownTerminalYieldsNoCover) {
+  OverviewSketch F;
+  JoinGraph G(*F.Tgt);
+  EXPECT_TRUE(G.steinerCovers({"Nope"}, 1).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Sketch generation (the Fig. 3 sketch)
+//===----------------------------------------------------------------------===//
+
+TEST(SketchGenTest, OverviewSketchSpaceIs164025) {
+  OverviewSketch F;
+  std::optional<Sketch> Sk =
+      generateSketch(*F.Prog, *F.Src, *F.Tgt, F.FirstVc);
+  ASSERT_TRUE(Sk.has_value());
+  EXPECT_DOUBLE_EQ(Sk->spaceSize(), 164025.0);
+}
+
+TEST(SketchGenTest, OverviewChainHolesHaveThreeAlternatives) {
+  OverviewSketch F;
+  std::optional<Sketch> Sk =
+      generateSketch(*F.Prog, *F.Src, *F.Tgt, F.FirstVc);
+  ASSERT_TRUE(Sk.has_value());
+  size_t ChainHoles = 0, TableListHoles = 0, AttrHoles = 0;
+  for (const Hole &H : Sk->getHoles()) {
+    switch (H.TheKind) {
+    case Hole::Kind::Chain:
+    case Hole::Kind::ChainSet: // Inserts carry chain-set holes.
+      ++ChainHoles;
+      EXPECT_EQ(H.size(), 3u);
+      break;
+    case Hole::Kind::TableList:
+      ++TableListHoles;
+      EXPECT_EQ(H.size(), 15u); // Non-empty subsets of 4 tables.
+      break;
+    case Hole::Kind::Attr:
+      ++AttrHoles;
+      EXPECT_EQ(H.size(), 1u); // The first VC maps each attr uniquely.
+      break;
+    }
+  }
+  EXPECT_EQ(ChainHoles, 6u);     // One per statement/query.
+  EXPECT_EQ(TableListHoles, 2u); // The two deletes.
+  // Attribute occurrences: 3 per insert, 1 per delete predicate, 3 per
+  // query (2 projections + 1 predicate), for each of the two table pairs.
+  EXPECT_EQ(AttrHoles, 14u);
+}
+
+TEST(SketchGenTest, HolesAreAttributedToTheirFunctions) {
+  OverviewSketch F;
+  std::optional<Sketch> Sk =
+      generateSketch(*F.Prog, *F.Src, *F.Tgt, F.FirstVc);
+  ASSERT_TRUE(Sk.has_value());
+  size_t Sum = 0;
+  for (const Function &Fn : F.Prog->getFunctions()) {
+    std::vector<unsigned> Ids = Sk->holesOfFunction(Fn.getName());
+    EXPECT_FALSE(Ids.empty());
+    Sum += Ids.size();
+  }
+  EXPECT_EQ(Sum, Sk->getNumHoles());
+}
+
+TEST(SketchGenTest, IncompatibilitiesEnforceChainMembership) {
+  OverviewSketch F;
+  std::optional<Sketch> Sk =
+      generateSketch(*F.Prog, *F.Src, *F.Tgt, F.FirstVc);
+  ASSERT_TRUE(Sk.has_value());
+  // The delete table-list holes must exclude lists not contained in the
+  // 2-table chain alternative.
+  EXPECT_FALSE(Sk->getIncompatibilities().empty());
+  for (const Incompatibility &I : Sk->getIncompatibilities()) {
+    const Hole &A = Sk->getHole(I.HoleA);
+    const Hole &B = Sk->getHole(I.HoleB);
+    EXPECT_TRUE(A.TheKind == Hole::Kind::Chain ||
+                A.TheKind == Hole::Kind::ChainSet);
+    EXPECT_TRUE(B.TheKind == Hole::Kind::TableList ||
+                B.TheKind == Hole::Kind::Attr);
+  }
+}
+
+TEST(SketchGenTest, InstantiationProducesWellFormedPrograms) {
+  OverviewSketch F;
+  std::optional<Sketch> Sk =
+      generateSketch(*F.Prog, *F.Src, *F.Tgt, F.FirstVc);
+  ASSERT_TRUE(Sk.has_value());
+  // Any assignment respecting the incompatibility constraints instantiates
+  // to a well-formed program over the target schema.
+  SketchEncoder Enc(*Sk);
+  for (int I = 0; I < 10; ++I) {
+    std::optional<std::vector<unsigned>> Assign = Enc.nextAssignment();
+    ASSERT_TRUE(Assign.has_value());
+    Program P = Sk->instantiate(*Assign);
+    EXPECT_EQ(P.getNumFunctions(), F.Prog->getNumFunctions());
+    EXPECT_FALSE(validateProgram(P, *F.Tgt).has_value());
+    Enc.blockAll(*Assign);
+  }
+}
+
+TEST(SketchGenTest, FailsWhenVcCannotSupportAStatement) {
+  // A VC that leaves a required attribute unmapped must be rejected.
+  OverviewSketch F;
+  ValueCorrespondence Partial;
+  // Map only the instructor attributes; TA attrs unmapped.
+  Partial.add({"Instructor", "InstId"}, {"Instructor", "InstId"});
+  Partial.add({"Instructor", "IName"}, {"Instructor", "IName"});
+  Partial.add({"Instructor", "IPic"}, {"Picture", "Pic"});
+  EXPECT_FALSE(
+      generateSketch(*F.Prog, *F.Src, *F.Tgt, Partial).has_value());
+}
+
+TEST(SketchGenTest, SketchPrintingMentionsEveryHole) {
+  OverviewSketch F;
+  std::optional<Sketch> Sk =
+      generateSketch(*F.Prog, *F.Src, *F.Tgt, F.FirstVc);
+  ASSERT_TRUE(Sk.has_value());
+  std::string Str = Sk->str();
+  for (unsigned I = 0; I < Sk->getNumHoles(); ++I)
+    EXPECT_NE(Str.find("??" + std::to_string(I)), std::string::npos);
+}
+
+TEST(JoinGraphTest, ComponentsOfGroupsByReachability) {
+  Schema S;
+  S.addTable(TableSchema("A", {{"k", ValueType::Int}}));
+  S.addTable(TableSchema("B", {{"k", ValueType::Int}}));
+  S.addTable(TableSchema("C", {{"x", ValueType::Int}}));
+  JoinGraph G(S);
+  std::vector<std::vector<std::string>> Comps = G.componentsOf({"A", "B", "C"});
+  ASSERT_EQ(Comps.size(), 2u);
+  EXPECT_EQ(Comps[0], (std::vector<std::string>{"A", "B"}));
+  EXPECT_EQ(Comps[1], (std::vector<std::string>{"C"}));
+  // Unknown terminals are dropped; duplicates collapse.
+  EXPECT_EQ(G.componentsOf({"A", "A", "Nope"}).size(), 1u);
+}
+
+TEST(SketchGenTest, DisconnectedInsertUsesMultiChainComposition) {
+  // A table split into two *unlinked* tables: the insert must decompose
+  // into the paper's Fig. 9/10 composition (one insert per component).
+  ParseOutput Out = parseOrDie(R"(
+schema Src { table Settings(theme: string, fontSize: int) }
+schema Tgt {
+  table ThemeCfg(theme: string)
+  table FontCfg(fontSize: int)
+}
+program App on Src {
+  update setup(t: string, f: int) {
+    insert into Settings values (theme: t, fontSize: f);
+  }
+  query getTheme(t: string) { select theme from Settings where theme = t; }
+  query getFont(f: int) { select fontSize from Settings where fontSize = f; }
+}
+)");
+  const Schema &Src = *Out.findSchema("Src");
+  const Schema &Tgt = *Out.findSchema("Tgt");
+  const Program &Prog = Out.findProgram("App")->Prog;
+
+  VcEnumerator E(Src, Tgt, collectQueriedAttrs(Prog, Src));
+  std::optional<ValueCorrespondence> Phi = E.next();
+  ASSERT_TRUE(Phi.has_value());
+  std::optional<Sketch> Sk = generateSketch(Prog, Src, Tgt, *Phi);
+  ASSERT_TRUE(Sk.has_value());
+  bool SawMultiChain = false;
+  for (const Hole &H : Sk->getHoles())
+    if (H.TheKind == Hole::Kind::ChainSet)
+      for (const std::vector<JoinChain> &Set : H.ChainSets)
+        SawMultiChain |= Set.size() == 2;
+  EXPECT_TRUE(SawMultiChain);
+}
+
+TEST(SketchGenTest, OverviewMfiBlockingClausePrunes18225Programs) {
+  // Sec. 2: the MFI `addTA; getTAInfo` yields a blocking clause over the
+  // holes of those two functions, eliminating 18,225 of the 164,025
+  // completions (164,025 / (3 chains x 3 chains)).
+  OverviewSketch F;
+  std::optional<Sketch> Sk =
+      generateSketch(*F.Prog, *F.Src, *F.Tgt, F.FirstVc);
+  ASSERT_TRUE(Sk.has_value());
+  SketchEncoder Enc(*Sk);
+  std::vector<unsigned> HoleIds;
+  for (unsigned H : Sk->holesOfFunction("addTA"))
+    HoleIds.push_back(H);
+  for (unsigned H : Sk->holesOfFunction("getTAInfo"))
+    HoleIds.push_back(H);
+  EXPECT_DOUBLE_EQ(Enc.blockedCount(HoleIds), 18225.0);
+}

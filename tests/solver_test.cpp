@@ -1,0 +1,369 @@
+//===- tests/solver_test.cpp - Sketch solver and edge-case tests -------------===//
+
+#include "sat/MaxSat.h"
+#include "synth/SketchSolver.h"
+#include "synth/Synthesizer.h"
+#include "vc/VcEnumerator.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace migrator;
+using namespace migrator::test;
+
+namespace {
+
+struct OverviewSolve {
+  ParseOutput Out;
+  const Schema *Src = nullptr;
+  const Schema *Tgt = nullptr;
+  const Program *Prog = nullptr;
+
+  OverviewSolve()
+      : Out(parseOrDie(overviewSource())), Src(Out.findSchema("CourseDB")),
+        Tgt(Out.findSchema("CourseDBNew")),
+        Prog(&Out.findProgram("CourseApp")->Prog) {}
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// SketchSolver behaviour
+//===----------------------------------------------------------------------===//
+
+TEST(SketchSolverTest, MaxItersBoundIsRespected) {
+  OverviewSolve F;
+  SynthOptions Opts;
+  Opts.Solver.MaxIters = 0;
+  SynthResult R = synthesize(*F.Src, *F.Prog, *F.Tgt, Opts);
+  EXPECT_FALSE(R.succeeded());
+  EXPECT_EQ(R.Stats.Iters, 0u);
+}
+
+TEST(SketchSolverTest, TimeBudgetZeroTimesOut) {
+  OverviewSolve F;
+  SynthOptions Opts;
+  Opts.TimeBudgetSec = 0.0;
+  SynthResult R = synthesize(*F.Src, *F.Prog, *F.Tgt, Opts);
+  EXPECT_FALSE(R.succeeded());
+  EXPECT_TRUE(R.Stats.TimedOut);
+}
+
+TEST(SketchSolverTest, BlockedTotalGrowsWithFailures) {
+  // Force iteration by making the solver see failing candidates: use the
+  // enumerative mode, whose blocking is one model at a time.
+  OverviewSolve F;
+  SynthOptions Opts;
+  Opts.Solver.TheMode = SolverOptions::Mode::Enumerative;
+  SynthResult R = synthesize(*F.Src, *F.Prog, *F.Tgt, Opts);
+  ASSERT_TRUE(R.succeeded());
+  EXPECT_GE(R.Stats.Iters, 1u);
+}
+
+TEST(SketchSolverTest, AllThreeModesAgreeOnEquivalence) {
+  OverviewSolve F;
+  for (SolverOptions::Mode M :
+       {SolverOptions::Mode::Mfi, SolverOptions::Mode::Enumerative,
+        SolverOptions::Mode::Cegis}) {
+    SynthOptions Opts;
+    Opts.Solver.TheMode = M;
+    SynthResult R = synthesize(*F.Src, *F.Prog, *F.Tgt, Opts);
+    ASSERT_TRUE(R.succeeded());
+    TesterOptions Deep;
+    Deep.MaxSeqLen = 4;
+    EquivalenceTester T(*F.Src, *F.Prog, *F.Tgt, Deep);
+    EXPECT_TRUE(T.test(*R.Prog).isEquivalent());
+  }
+}
+
+TEST(SketchSolverTest, FirstModelPrefersSmallestChains) {
+  // The encoder's bias makes the first completion use two-table chains
+  // (the paper's Fig. 4 shape), not the four-table alternatives.
+  OverviewSolve F;
+  SynthResult R = synthesize(*F.Src, *F.Prog, *F.Tgt);
+  ASSERT_TRUE(R.succeeded());
+  const Function &AddTa = R.Prog->getFunction("addTA");
+  const auto &Ins = static_cast<const InsertStmt &>(*AddTa.getBody()[0]);
+  EXPECT_EQ(Ins.getChain().getNumTables(), 2u);
+  EXPECT_TRUE(Ins.getChain().containsTable("Picture"));
+  EXPECT_TRUE(Ins.getChain().containsTable("TA"));
+}
+
+//===----------------------------------------------------------------------===//
+// Tester options
+//===----------------------------------------------------------------------===//
+
+TEST(TesterOptionsTest, ArgTupleCapRetainsPerParameterVariation) {
+  // A function with many parameters gets a capped tuple set in which every
+  // parameter still varies.
+  ParseOutput Out = parseOrDie(R"(
+schema S { table T(a0: int, a1: int, a2: int, a3: int, a4: int, a5: int,
+                   a6: int) }
+program P on S {
+  update add(p0: int, p1: int, p2: int, p3: int, p4: int, p5: int, p6: int) {
+    insert into T values (a0: p0, a1: p1, a2: p2, a3: p3, a4: p4, a5: p5,
+                          a6: p6);
+  }
+  query q(x: int) { select a1 from T where a0 = x; }
+}
+)");
+  const Schema &S = *Out.findSchema("S");
+  const Program &P = Out.findProgram("P")->Prog;
+  // Identity migration: testing the program against itself must succeed and
+  // must not enumerate all 2^7 argument tuples.
+  TesterOptions Opts;
+  Opts.MaxArgTuplesPerFunc = 10;
+  EquivalenceTester T(S, P, S, Opts);
+  TestOutcome O = T.test(P.clone());
+  EXPECT_TRUE(O.isEquivalent());
+  EXPECT_LT(T.getNumSequencesRun(), 2000u);
+}
+
+TEST(TesterOptionsTest, LongerSequencesFindDeeperBugs) {
+  // A candidate that diverges only after two updates: deleteTA joins
+  // through Instructor. MaxSeqLen=2 misses it; MaxSeqLen=3 finds it.
+  ParseOutput Out = parseOrDie(overviewSource());
+  ParseOutput Bad = parseOrDie(R"(
+program BadDel on CourseDBNew {
+  update addInstructor(id: int, name: string, pic: binary) {
+    insert into Picture join Instructor values (InstId: id, IName: name, Pic: pic);
+  }
+  update deleteInstructor(id: int) {
+    delete [Instructor] from Picture join Instructor where InstId = id;
+  }
+  query getInstructorInfo(id: int) {
+    select IName, Pic from Picture join Instructor where InstId = id;
+  }
+  update addTA(id: int, name: string, pic: binary) {
+    insert into Picture join TA values (TaId: id, TName: name, Pic: pic);
+  }
+  update deleteTA(id: int) {
+    delete [TA] from Picture join Instructor join TA where TaId = id;
+  }
+  query getTAInfo(id: int) {
+    select TName, Pic from Picture join TA where TaId = id;
+  }
+}
+)");
+  const Schema &Src = *Out.findSchema("CourseDB");
+  const Schema &Tgt = *Out.findSchema("CourseDBNew");
+  const Program &P = Out.findProgram("CourseApp")->Prog;
+  const Program &BadProg = Bad.findProgram("BadDel")->Prog;
+
+  TesterOptions Shallow;
+  Shallow.MaxSeqLen = 2;
+  EquivalenceTester TS(Src, P, Tgt, Shallow);
+  EXPECT_TRUE(TS.test(BadProg).isEquivalent()) << "shallow bound sees no bug";
+
+  TesterOptions Deep;
+  Deep.MaxSeqLen = 3;
+  EquivalenceTester TD(Src, P, Tgt, Deep);
+  EXPECT_EQ(TD.test(BadProg).TheKind, TestOutcome::Kind::Failing);
+}
+
+//===----------------------------------------------------------------------===//
+// MaxSAT budget behaviour
+//===----------------------------------------------------------------------===//
+
+TEST(MaxSatBudget, BudgetedSolveStillReturnsAModel) {
+  sat::MaxSatSolver M;
+  int A = M.addVars(12);
+  for (int I = 0; I + 1 < 12; ++I)
+    M.addHard({sat::posLit(A + I), sat::posLit(A + I + 1)});
+  for (int I = 0; I < 12; ++I)
+    M.addSoft({sat::negLit(A + I)}, 1 + I % 3);
+  std::optional<sat::MaxSatResult> Budgeted = M.solve(/*NodeBudget=*/50);
+  ASSERT_TRUE(Budgeted.has_value());
+  std::optional<sat::MaxSatResult> Exact = M.solve();
+  ASSERT_TRUE(Exact.has_value());
+  EXPECT_LE(Budgeted->Weight, Exact->Weight);
+  // The budgeted model still satisfies the hard clauses.
+  for (int I = 0; I + 1 < 12; ++I)
+    EXPECT_TRUE(Budgeted->Model[A + I] || Budgeted->Model[A + I + 1]);
+}
+
+//===----------------------------------------------------------------------===//
+// VC enumeration options
+//===----------------------------------------------------------------------===//
+
+TEST(VcOptionsTest, MaxImageSizeOneForbidsDuplication) {
+  Schema Src("S"), Tgt("T");
+  Src.addTable(TableSchema("A", {{"total", ValueType::Int}}));
+  Tgt.addTable(TableSchema("B", {{"total", ValueType::Int}}));
+  Tgt.addTable(TableSchema("C", {{"total", ValueType::Int}}));
+  std::set<QualifiedAttr> Queried = {{"A", "total"}};
+  VcOptions Opts;
+  Opts.MaxImageSize = 1;
+  VcEnumerator E(Src, Tgt, Queried, Opts);
+  int Count = 0;
+  while (std::optional<ValueCorrespondence> VC = E.next()) {
+    EXPECT_LE(VC->image({"A", "total"}).size(), 1u);
+    ++Count;
+    ASSERT_LE(Count, 10);
+  }
+  EXPECT_EQ(Count, 2); // {B.total} and {C.total}.
+}
+
+TEST(VcOptionsTest, PreemptionAblationAllowsCrossNameMappings) {
+  // With preemption off, a dropped attribute may map onto a column that has
+  // an exact-name source; with it on, that column is reserved.
+  Schema Src("S"), Tgt("T");
+  Src.addTable(TableSchema("A", {{"name", ValueType::String},
+                                 {"nick", ValueType::String}}));
+  Tgt.addTable(TableSchema("A", {{"name", ValueType::String}}));
+  std::set<QualifiedAttr> Queried = {{"A", "name"}};
+
+  VcOptions On; // Default: preemption enabled.
+  VcEnumerator EOn(Src, Tgt, Queried, On);
+  std::optional<ValueCorrespondence> V1 = EOn.next();
+  ASSERT_TRUE(V1.has_value());
+  EXPECT_TRUE(V1->image({"A", "nick"}).empty());
+  // The whole space never maps nick anywhere.
+  while (std::optional<ValueCorrespondence> V = EOn.next())
+    EXPECT_TRUE(V->image({"A", "nick"}).empty());
+
+  VcOptions Off;
+  Off.ExactNamePreemption = false;
+  VcEnumerator EOff(Src, Tgt, Queried, Off);
+  bool SawNickMapping = false;
+  for (int I = 0; I < 5; ++I) {
+    std::optional<ValueCorrespondence> V = EOff.next();
+    if (!V)
+      break;
+    SawNickMapping |= !V->image({"A", "nick"}).empty();
+  }
+  EXPECT_TRUE(SawNickMapping);
+}
+
+//===----------------------------------------------------------------------===//
+// Evaluator edge cases
+//===----------------------------------------------------------------------===//
+
+TEST(EvalEdgeCases, ConflictingChainInsertIsIllFormed) {
+  // Two explicit values for one join class must conflict at runtime when
+  // they differ and succeed when they agree.
+  ParseOutput Out = parseOrDie(R"(
+schema S { table A(k: int, x: string) table B(k: int, y: string) }
+program P on S {
+  update two(a: int, b: int, x: string, y: string) {
+    insert into A join B values (A.k: a, B.k: b, x: x, y: y);
+  }
+}
+)");
+  const Schema &S = *Out.findSchema("S");
+  const Program &P = Out.findProgram("P")->Prog;
+  Evaluator E(S);
+  UidGen U;
+  Database DB(S);
+  EXPECT_FALSE(E.callUpdate(P.getFunction("two"),
+                            {Value::makeInt(1), Value::makeInt(2),
+                             Value::makeString("x"), Value::makeString("y")},
+                            DB, U));
+  Database DB2(S);
+  EXPECT_TRUE(E.callUpdate(P.getFunction("two"),
+                           {Value::makeInt(1), Value::makeInt(1),
+                            Value::makeString("x"), Value::makeString("y")},
+                           DB2, U));
+  EXPECT_EQ(DB2.getTable("A").size(), 1u);
+  EXPECT_EQ(DB2.getTable("B").size(), 1u);
+}
+
+TEST(EvalEdgeCases, ExplicitJoinLeavesSameNamedAttrsUnlinked) {
+  ParseOutput Out = parseOrDie(R"(
+schema S { table A(k: int, v: int) table B(k: int, w: int) }
+program P on S {
+  update addA(k: int, v: int) { insert into A values (k: k, v: v); }
+  update addB(k: int, w: int) { insert into B values (k: k, w: w); }
+  query natural() { select v, w from A join B; }
+  query onVW() { select A.k, B.k from A join B on A.v = B.w; }
+}
+)");
+  const Schema &S = *Out.findSchema("S");
+  const Program &P = Out.findProgram("P")->Prog;
+  std::optional<ResultTable> R = runSequence(
+      P, S,
+      {{"addA", {Value::makeInt(1), Value::makeInt(7)}},
+       {"addB", {Value::makeInt(2), Value::makeInt(7)}},
+       {"natural", {}}});
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->getNumRows(), 0u); // k differs: natural join empty.
+  R = runSequence(P, S,
+                  {{"addA", {Value::makeInt(1), Value::makeInt(7)}},
+                   {"addB", {Value::makeInt(2), Value::makeInt(7)}},
+                   {"onVW", {}}});
+  ASSERT_TRUE(R.has_value());
+  ASSERT_EQ(R->getNumRows(), 1u); // Explicit v=w join matches; k unlinked.
+  EXPECT_EQ(R->Rows[0][0].getInt(), 1);
+  EXPECT_EQ(R->Rows[0][1].getInt(), 2);
+}
+
+TEST(EvalEdgeCases, UpdateOverJoinOnlyTouchesContributingRows) {
+  ParseOutput Out = parseOrDie(R"(
+schema S { table A(k: int, v: int) table B(k: int, tag: string) }
+program P on S {
+  update addA(k: int, v: int) { insert into A values (k: k, v: v); }
+  update addB(k: int, tag: string) { insert into B values (k: k, tag: tag); }
+  update bump(tag: string, nv: int) {
+    update A join B set v = nv where tag = tag;
+  }
+}
+)");
+  // Note: `tag = tag` compares the attribute against the parameter of the
+  // same name — the parser resolves the right-hand side as the parameter.
+  const Schema &S = *Out.findSchema("S");
+  const Program &P = Out.findProgram("P")->Prog;
+  Evaluator E(S);
+  UidGen U;
+  Database DB(S);
+  ASSERT_TRUE(E.callUpdate(P.getFunction("addA"),
+                           {Value::makeInt(1), Value::makeInt(10)}, DB, U));
+  ASSERT_TRUE(E.callUpdate(P.getFunction("addA"),
+                           {Value::makeInt(2), Value::makeInt(20)}, DB, U));
+  ASSERT_TRUE(E.callUpdate(P.getFunction("addB"),
+                           {Value::makeInt(1), Value::makeString("hot")}, DB,
+                           U));
+  ASSERT_TRUE(E.callUpdate(P.getFunction("bump"),
+                           {Value::makeString("hot"), Value::makeInt(99)}, DB,
+                           U));
+  EXPECT_EQ(DB.getTable("A").getRow(0)[1].getInt(), 99); // Joined row.
+  EXPECT_EQ(DB.getTable("A").getRow(1)[1].getInt(), 20); // Unjoined row.
+}
+
+TEST(SketchSolverTest, DisconnectedSplitSynthesizesTwoInserts) {
+  ParseOutput Out = parseOrDie(R"(
+schema Src { table Settings(theme: string, fontSize: int) }
+schema Tgt {
+  table ThemeCfg(theme: string)
+  table FontCfg(fontSize: int)
+}
+program App on Src {
+  update setup(t: string, f: int) {
+    insert into Settings values (theme: t, fontSize: f);
+  }
+  query getTheme(t: string) { select theme from Settings where theme = t; }
+  query getFont(f: int) { select fontSize from Settings where fontSize = f; }
+}
+)");
+  const Schema &Src = *Out.findSchema("Src");
+  const Schema &Tgt = *Out.findSchema("Tgt");
+  const Program &Prog = Out.findProgram("App")->Prog;
+  SynthResult R = synthesize(Src, Prog, Tgt);
+  ASSERT_TRUE(R.succeeded());
+  const Function &Setup = R.Prog->getFunction("setup");
+  // The migrated insert writes both unlinked tables.
+  ASSERT_EQ(Setup.getBody().size(), 2u);
+  std::set<std::string> Tables;
+  for (const StmtPtr &St : Setup.getBody()) {
+    ASSERT_EQ(St->getKind(), Stmt::Kind::Insert);
+    const auto &I = static_cast<const InsertStmt &>(*St);
+    for (const std::string &T : I.getChain().getTables())
+      Tables.insert(T);
+  }
+  EXPECT_TRUE(Tables.count("ThemeCfg"));
+  EXPECT_TRUE(Tables.count("FontCfg"));
+  TesterOptions Deep;
+  Deep.MaxSeqLen = 4;
+  EquivalenceTester T(Src, Prog, Tgt, Deep);
+  EXPECT_TRUE(T.test(*R.Prog).isEquivalent());
+}

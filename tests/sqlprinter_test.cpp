@@ -1,0 +1,120 @@
+//===- tests/sqlprinter_test.cpp - SQL rendering tests ------------------------===//
+
+#include "ast/SqlPrinter.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace migrator;
+using namespace migrator::test;
+
+namespace {
+
+struct SqlFixture {
+  ParseOutput Out;
+  const Schema *Src = nullptr;
+  const Program *Prog = nullptr;
+
+  SqlFixture()
+      : Out(parseOrDie(overviewSource())), Src(Out.findSchema("CourseDB")),
+        Prog(&Out.findProgram("CourseApp")->Prog) {}
+};
+
+} // namespace
+
+TEST(SqlPrinter, SchemaBecomesCreateTables) {
+  SqlFixture F;
+  std::string Sql = sqlSchema(*F.Src);
+  EXPECT_NE(Sql.find("CREATE TABLE Instructor ("), std::string::npos);
+  EXPECT_NE(Sql.find("InstId INT"), std::string::npos);
+  EXPECT_NE(Sql.find("IName VARCHAR(255)"), std::string::npos);
+  EXPECT_NE(Sql.find("IPic BLOB"), std::string::npos);
+  EXPECT_NE(Sql.find("CREATE TABLE TA ("), std::string::npos);
+}
+
+TEST(SqlPrinter, SimpleInsertListsAllColumns) {
+  SqlFixture F;
+  std::string Sql = sqlFunction(F.Prog->getFunction("addInstructor"), *F.Src);
+  EXPECT_NE(Sql.find("-- update addInstructor(:id INT, :name VARCHAR(255), "
+                     ":pic BLOB)"),
+            std::string::npos);
+  EXPECT_NE(
+      Sql.find("INSERT INTO Instructor (InstId, IName, IPic)"),
+      std::string::npos);
+  EXPECT_NE(Sql.find("VALUES (:id, :name, :pic)"), std::string::npos);
+  EXPECT_NE(Sql.find("START TRANSACTION"), std::string::npos);
+  EXPECT_NE(Sql.find("COMMIT"), std::string::npos);
+}
+
+TEST(SqlPrinter, DeleteUsesMySqlMultiTableForm) {
+  SqlFixture F;
+  std::string Sql =
+      sqlFunction(F.Prog->getFunction("deleteInstructor"), *F.Src);
+  EXPECT_NE(Sql.find("DELETE Instructor FROM Instructor"), std::string::npos);
+  EXPECT_NE(Sql.find("WHERE InstId = :id"), std::string::npos);
+}
+
+TEST(SqlPrinter, QueryBecomesSelect) {
+  SqlFixture F;
+  std::string Sql =
+      sqlFunction(F.Prog->getFunction("getInstructorInfo"), *F.Src);
+  EXPECT_NE(Sql.find("SELECT IName, IPic"), std::string::npos);
+  EXPECT_NE(Sql.find("FROM Instructor"), std::string::npos);
+  EXPECT_NE(Sql.find("WHERE InstId = :id"), std::string::npos);
+}
+
+TEST(SqlPrinter, ChainInsertSharesFreshVariables) {
+  // The Fig. 4 chain insert: both rows reference @fresh0 for the new PicId.
+  ParseOutput Out = parseOrDie(overviewSource());
+  ParseOutput Exp = parseOrDie(overviewExpected());
+  const Schema &Tgt = *Out.findSchema("CourseDBNew");
+  const Program &PNew = Exp.findProgram("CourseAppNew")->Prog;
+  std::string Sql = sqlFunction(PNew.getFunction("addInstructor"), Tgt);
+  EXPECT_NE(Sql.find("INSERT INTO Picture (PicId, Pic)"), std::string::npos);
+  EXPECT_NE(Sql.find("INSERT INTO Instructor (InstId, IName, PicId)"),
+            std::string::npos);
+  // @fresh0 appears in both inserts.
+  size_t First = Sql.find("@fresh0");
+  ASSERT_NE(First, std::string::npos);
+  EXPECT_NE(Sql.find("@fresh0", First + 1), std::string::npos);
+}
+
+TEST(SqlPrinter, NaturalJoinAndUpdateForms) {
+  ParseOutput Out = parseOrDie(R"(
+schema S { table A(k: int, v: int) table B(k: int, w: int) }
+program P on S {
+  update bump(k: int, nv: int) {
+    update A join B set v = nv where w >= 3 and not (k != 1);
+  }
+  query q(k: int) { select v from A join B on A.k = B.k where A.k = k; }
+}
+)");
+  const Schema &S = *Out.findSchema("S");
+  const Program &P = Out.findProgram("P")->Prog;
+  std::string Upd = sqlFunction(P.getFunction("bump"), S);
+  EXPECT_NE(Upd.find("UPDATE A NATURAL JOIN B"), std::string::npos);
+  EXPECT_NE(Upd.find("SET v = :nv"), std::string::npos);
+  EXPECT_NE(Upd.find("(w >= 3 AND NOT (k <> 1))"), std::string::npos);
+  std::string Qry = sqlFunction(P.getFunction("q"), S);
+  EXPECT_NE(Qry.find("FROM A JOIN B ON A.k = B.k"), std::string::npos);
+}
+
+TEST(SqlPrinter, InSubqueryRendered) {
+  ParseOutput Out = parseOrDie(R"(
+schema S { table A(x: int) table B(x: int) }
+program P on S {
+  query q() { select x from A where x in (select x from B); }
+}
+)");
+  std::string Sql = sqlFunction(
+      Out.findProgram("P")->Prog.getFunction("q"), *Out.findSchema("S"));
+  EXPECT_NE(Sql.find("x IN (SELECT x FROM B)"), std::string::npos);
+}
+
+TEST(SqlPrinter, WholeProgramRendersEveryFunction) {
+  SqlFixture F;
+  std::string Sql = sqlProgram(*F.Prog, *F.Src);
+  for (const Function &Fn : F.Prog->getFunctions())
+    EXPECT_NE(Sql.find(Fn.getName()), std::string::npos);
+}

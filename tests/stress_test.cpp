@@ -1,0 +1,166 @@
+//===- tests/stress_test.cpp - Stress and robustness tests --------------------===//
+
+#include "benchsuite/Benchmark.h"
+#include "parse/Parser.h"
+#include "sat/Solver.h"
+#include "support/Rng.h"
+#include "synth/Synthesizer.h"
+
+#include <gtest/gtest.h>
+
+using namespace migrator;
+
+//===----------------------------------------------------------------------===//
+// SAT solver under real search pressure
+//===----------------------------------------------------------------------===//
+
+TEST(SatStress, PigeonholeFiveIntoFourLearnsClauses) {
+  // PHP(5,4) needs genuine conflict analysis; check UNSAT plus that the
+  // statistics counters moved.
+  sat::Solver S;
+  sat::Var X[5][4];
+  for (auto &Row : X)
+    for (sat::Var &V : Row)
+      V = S.newVar();
+  for (int P = 0; P < 5; ++P) {
+    std::vector<sat::Lit> C;
+    for (int H = 0; H < 4; ++H)
+      C.push_back(sat::posLit(X[P][H]));
+    ASSERT_TRUE(S.addClause(C));
+  }
+  for (int H = 0; H < 4; ++H)
+    for (int P = 0; P < 5; ++P)
+      for (int Q = P + 1; Q < 5; ++Q)
+        ASSERT_TRUE(S.addClause({sat::negLit(X[P][H]), sat::negLit(X[Q][H])}));
+  EXPECT_EQ(S.solve(), sat::Solver::Result::Unsat);
+  EXPECT_GT(S.getNumConflicts(), 0u);
+  EXPECT_GT(S.getNumDecisions(), 0u);
+}
+
+TEST(SatStress, LargeRandomSatisfiableChains) {
+  // Long implication chains with random extra clauses stay satisfiable and
+  // solve quickly.
+  Rng R(404);
+  for (int Iter = 0; Iter < 5; ++Iter) {
+    sat::Solver S;
+    const int N = 300;
+    std::vector<sat::Var> V;
+    for (int I = 0; I < N; ++I)
+      V.push_back(S.newVar());
+    for (int I = 0; I + 1 < N; ++I)
+      ASSERT_TRUE(S.addClause({sat::negLit(V[I]), sat::posLit(V[I + 1])}));
+    // Random positive 3-clauses cannot make it UNSAT.
+    for (int I = 0; I < 200; ++I)
+      ASSERT_TRUE(S.addClause({sat::posLit(V[R.nextInt(0, N - 1)]),
+                               sat::posLit(V[R.nextInt(0, N - 1)]),
+                               sat::posLit(V[R.nextInt(0, N - 1)])}));
+    EXPECT_EQ(S.solve(), sat::Solver::Result::Sat);
+  }
+}
+
+TEST(SatStress, ManyIncrementalBlockingRounds) {
+  // The sketch-completion usage pattern: exactly-one groups plus hundreds of
+  // alternating solve/block rounds.
+  sat::Solver S;
+  std::vector<std::vector<sat::Var>> Groups;
+  for (int G = 0; G < 6; ++G) {
+    std::vector<sat::Var> Vars;
+    for (int A = 0; A < 4; ++A)
+      Vars.push_back(S.newVar());
+    ASSERT_TRUE(S.addExactlyOne(Vars));
+    Groups.push_back(std::move(Vars));
+  }
+  int Models = 0;
+  while (S.solve() == sat::Solver::Result::Sat) {
+    ++Models;
+    ASSERT_LE(Models, 4096);
+    std::vector<sat::Lit> Block;
+    for (const std::vector<sat::Var> &G : Groups)
+      for (sat::Var V : G)
+        if (S.modelValue(V))
+          Block.push_back(sat::negLit(V));
+    if (!S.addClause(Block))
+      break;
+  }
+  EXPECT_EQ(Models, 4096); // 4^6.
+}
+
+//===----------------------------------------------------------------------===//
+// Parser robustness: random inputs never crash, always diagnose
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class ParserFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(ParserFuzz, RandomTokenSoupNeverCrashes) {
+  static const char *Tokens[] = {
+      "schema", "table",  "program", "update", "query", "insert", "into",
+      "values", "delete", "from",    "where",  "select", "set",   "join",
+      "on",     "and",    "or",      "not",    "in",     "true",  "false",
+      "T",      "a",      "x",       "int",    "string", "(",     ")",
+      "{",      "}",      "[",       "]",      ",",      ":",     ";",
+      ".",      "=",      "!=",      "<",      "<=",     ">",     ">=",
+      "42",     "-7",     "\"s\"",   "b\"x\"", "@",      "\"un",
+  };
+  Rng R(GetParam());
+  for (int Iter = 0; Iter < 300; ++Iter) {
+    std::string Input;
+    for (int K = R.nextInt(0, 60); K > 0; --K) {
+      Input += Tokens[R.next(std::size(Tokens))];
+      Input += ' ';
+    }
+    std::variant<ParseOutput, ParseError> Res = parseUnit(Input);
+    if (auto *E = std::get_if<ParseError>(&Res)) {
+      EXPECT_FALSE(E->Msg.empty());
+      EXPECT_GE(E->Line, 1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
+                         ::testing::Values(1001, 1002, 1003, 1004));
+
+TEST(ParserFuzz, RandomBytesNeverCrash) {
+  Rng R(555);
+  for (int Iter = 0; Iter < 300; ++Iter) {
+    std::string Input;
+    for (int K = R.nextInt(0, 120); K > 0; --K)
+      Input += static_cast<char>(R.nextInt(1, 126));
+    (void)parseUnit(Input);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Further real-world syntheses (the heavier ones live in bench_table1)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class MoreRealWorld : public ::testing::TestWithParam<const char *> {};
+
+} // namespace
+
+TEST_P(MoreRealWorld, Synthesizes) {
+  Benchmark B = loadBenchmark(GetParam());
+  SynthOptions Opts;
+  Opts.TimeBudgetSec = 300;
+  SynthResult R = synthesize(B.Source, B.Prog, B.Target, Opts);
+  ASSERT_TRUE(R.succeeded()) << "VCs=" << R.Stats.NumVcs
+                             << " iters=" << R.Stats.Iters;
+  EquivalenceTester T(B.Source, B.Prog, B.Target);
+  EXPECT_TRUE(T.test(*R.Prog).isEquivalent());
+}
+
+INSTANTIATE_TEST_SUITE_P(RealWorld, MoreRealWorld,
+                         ::testing::Values("MathHotSpot", "probable-engine",
+                                           "gallery"),
+                         [](const ::testing::TestParamInfo<const char *> &I) {
+                           std::string N = I.param;
+                           for (char &C : N)
+                             if (C == '-')
+                               C = '_';
+                           return N;
+                         });

@@ -1,0 +1,98 @@
+//===- tests/support_test.cpp - Support library tests -----------------------===//
+
+#include "support/Rng.h"
+#include "support/StringExtras.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+using namespace migrator;
+
+TEST(Levenshtein, IdenticalStringsHaveZeroDistance) {
+  EXPECT_EQ(levenshtein("Instructor", "Instructor"), 0u);
+  EXPECT_EQ(levenshtein("", ""), 0u);
+}
+
+TEST(Levenshtein, EmptyVersusNonEmptyIsLength) {
+  EXPECT_EQ(levenshtein("", "abc"), 3u);
+  EXPECT_EQ(levenshtein("abcd", ""), 4u);
+}
+
+TEST(Levenshtein, SingleEdit) {
+  EXPECT_EQ(levenshtein("IPic", "Pic"), 1u);  // Deletion.
+  EXPECT_EQ(levenshtein("Pic", "Pik"), 1u);   // Substitution.
+  EXPECT_EQ(levenshtein("Pic", "Pics"), 1u);  // Insertion.
+}
+
+TEST(Levenshtein, PaperExampleDistances) {
+  EXPECT_EQ(levenshtein("TPic", "Pic"), 1u);
+  EXPECT_EQ(levenshtein("IName", "TName"), 1u);
+  EXPECT_EQ(levenshtein("InstId", "TaId"), 4u);
+}
+
+TEST(Levenshtein, SymmetricOnRandomPairs) {
+  Rng R(42);
+  for (int Iter = 0; Iter < 200; ++Iter) {
+    std::string A, B;
+    for (int I = R.nextInt(0, 8); I > 0; --I)
+      A.push_back(static_cast<char>('a' + R.nextInt(0, 3)));
+    for (int I = R.nextInt(0, 8); I > 0; --I)
+      B.push_back(static_cast<char>('a' + R.nextInt(0, 3)));
+    EXPECT_EQ(levenshtein(A, B), levenshtein(B, A));
+  }
+}
+
+TEST(Levenshtein, TriangleInequalityOnRandomTriples) {
+  Rng R(7);
+  for (int Iter = 0; Iter < 200; ++Iter) {
+    std::string S[3];
+    for (auto &Str : S)
+      for (int I = R.nextInt(0, 6); I > 0; --I)
+        Str.push_back(static_cast<char>('a' + R.nextInt(0, 2)));
+    unsigned AB = levenshtein(S[0], S[1]);
+    unsigned BC = levenshtein(S[1], S[2]);
+    unsigned AC = levenshtein(S[0], S[2]);
+    EXPECT_LE(AC, AB + BC);
+  }
+}
+
+TEST(StringExtras, JoinConcatenatesWithSeparator) {
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"a"}, ", "), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, " join "), "a join b join c");
+}
+
+TEST(StringExtras, SplitPreservesEmptyFields) {
+  EXPECT_EQ(split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringExtras, ToLowerAndStartsWith) {
+  EXPECT_EQ(toLower("InstId"), "instid");
+  EXPECT_TRUE(startsWith("Instructor", "Inst"));
+  EXPECT_FALSE(startsWith("In", "Inst"));
+}
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, BoundedValuesStayInRange) {
+  Rng R(5);
+  for (int I = 0; I < 1000; ++I) {
+    EXPECT_LT(R.next(7), 7u);
+    int V = R.nextInt(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+  }
+}
+
+TEST(TimerTest, ElapsedIsMonotone) {
+  Timer T;
+  double A = T.elapsedSeconds();
+  double B = T.elapsedSeconds();
+  EXPECT_GE(B, A);
+  EXPECT_GE(A, 0.0);
+}
