@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dump_benchmarks.cpp" "examples/CMakeFiles/dump_benchmarks.dir/dump_benchmarks.cpp.o" "gcc" "examples/CMakeFiles/dump_benchmarks.dir/dump_benchmarks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchsuite/CMakeFiles/migrator_benchsuite.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/migrator_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/migrator_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/vc/CMakeFiles/migrator_vc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/migrator_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/migrator_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/parse/CMakeFiles/migrator_parse.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/migrator_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/migrator_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/migrator_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

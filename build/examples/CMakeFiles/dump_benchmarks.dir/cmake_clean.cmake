@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dump_benchmarks.dir/dump_benchmarks.cpp.o"
+  "CMakeFiles/dump_benchmarks.dir/dump_benchmarks.cpp.o.d"
+  "dump_benchmarks"
+  "dump_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dump_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

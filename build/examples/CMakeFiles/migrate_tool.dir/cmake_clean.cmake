@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migrate_tool.dir/migrate_tool.cpp.o"
+  "CMakeFiles/migrate_tool.dir/migrate_tool.cpp.o.d"
+  "migrate_tool"
+  "migrate_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migrate_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_tour.dir/pipeline_tour.cpp.o"
+  "CMakeFiles/pipeline_tour.dir/pipeline_tour.cpp.o.d"
+  "pipeline_tour"
+  "pipeline_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/split_blog_tables.dir/split_blog_tables.cpp.o"
+  "CMakeFiles/split_blog_tables.dir/split_blog_tables.cpp.o.d"
+  "split_blog_tables"
+  "split_blog_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/split_blog_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

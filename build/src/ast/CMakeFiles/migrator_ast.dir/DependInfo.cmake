@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/Analysis.cpp" "src/ast/CMakeFiles/migrator_ast.dir/Analysis.cpp.o" "gcc" "src/ast/CMakeFiles/migrator_ast.dir/Analysis.cpp.o.d"
+  "/root/repo/src/ast/Expr.cpp" "src/ast/CMakeFiles/migrator_ast.dir/Expr.cpp.o" "gcc" "src/ast/CMakeFiles/migrator_ast.dir/Expr.cpp.o.d"
+  "/root/repo/src/ast/JoinChain.cpp" "src/ast/CMakeFiles/migrator_ast.dir/JoinChain.cpp.o" "gcc" "src/ast/CMakeFiles/migrator_ast.dir/JoinChain.cpp.o.d"
+  "/root/repo/src/ast/Program.cpp" "src/ast/CMakeFiles/migrator_ast.dir/Program.cpp.o" "gcc" "src/ast/CMakeFiles/migrator_ast.dir/Program.cpp.o.d"
+  "/root/repo/src/ast/Simplify.cpp" "src/ast/CMakeFiles/migrator_ast.dir/Simplify.cpp.o" "gcc" "src/ast/CMakeFiles/migrator_ast.dir/Simplify.cpp.o.d"
+  "/root/repo/src/ast/SqlPrinter.cpp" "src/ast/CMakeFiles/migrator_ast.dir/SqlPrinter.cpp.o" "gcc" "src/ast/CMakeFiles/migrator_ast.dir/SqlPrinter.cpp.o.d"
+  "/root/repo/src/ast/Stmt.cpp" "src/ast/CMakeFiles/migrator_ast.dir/Stmt.cpp.o" "gcc" "src/ast/CMakeFiles/migrator_ast.dir/Stmt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/migrator_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/migrator_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

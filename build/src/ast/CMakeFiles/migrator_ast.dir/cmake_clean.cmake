@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migrator_ast.dir/Analysis.cpp.o"
+  "CMakeFiles/migrator_ast.dir/Analysis.cpp.o.d"
+  "CMakeFiles/migrator_ast.dir/Expr.cpp.o"
+  "CMakeFiles/migrator_ast.dir/Expr.cpp.o.d"
+  "CMakeFiles/migrator_ast.dir/JoinChain.cpp.o"
+  "CMakeFiles/migrator_ast.dir/JoinChain.cpp.o.d"
+  "CMakeFiles/migrator_ast.dir/Program.cpp.o"
+  "CMakeFiles/migrator_ast.dir/Program.cpp.o.d"
+  "CMakeFiles/migrator_ast.dir/Simplify.cpp.o"
+  "CMakeFiles/migrator_ast.dir/Simplify.cpp.o.d"
+  "CMakeFiles/migrator_ast.dir/SqlPrinter.cpp.o"
+  "CMakeFiles/migrator_ast.dir/SqlPrinter.cpp.o.d"
+  "CMakeFiles/migrator_ast.dir/Stmt.cpp.o"
+  "CMakeFiles/migrator_ast.dir/Stmt.cpp.o.d"
+  "libmigrator_ast.a"
+  "libmigrator_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migrator_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchsuite/Benchmarks.cpp" "src/benchsuite/CMakeFiles/migrator_benchsuite.dir/Benchmarks.cpp.o" "gcc" "src/benchsuite/CMakeFiles/migrator_benchsuite.dir/Benchmarks.cpp.o.d"
+  "/root/repo/src/benchsuite/Generator.cpp" "src/benchsuite/CMakeFiles/migrator_benchsuite.dir/Generator.cpp.o" "gcc" "src/benchsuite/CMakeFiles/migrator_benchsuite.dir/Generator.cpp.o.d"
+  "/root/repo/src/benchsuite/Textbook.cpp" "src/benchsuite/CMakeFiles/migrator_benchsuite.dir/Textbook.cpp.o" "gcc" "src/benchsuite/CMakeFiles/migrator_benchsuite.dir/Textbook.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parse/CMakeFiles/migrator_parse.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/migrator_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/migrator_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/migrator_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/migrator_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

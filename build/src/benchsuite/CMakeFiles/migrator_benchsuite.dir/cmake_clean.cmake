@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migrator_benchsuite.dir/Benchmarks.cpp.o"
+  "CMakeFiles/migrator_benchsuite.dir/Benchmarks.cpp.o.d"
+  "CMakeFiles/migrator_benchsuite.dir/Generator.cpp.o"
+  "CMakeFiles/migrator_benchsuite.dir/Generator.cpp.o.d"
+  "CMakeFiles/migrator_benchsuite.dir/Textbook.cpp.o"
+  "CMakeFiles/migrator_benchsuite.dir/Textbook.cpp.o.d"
+  "libmigrator_benchsuite.a"
+  "libmigrator_benchsuite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migrator_benchsuite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migrator_eval.dir/Evaluator.cpp.o"
+  "CMakeFiles/migrator_eval.dir/Evaluator.cpp.o.d"
+  "libmigrator_eval.a"
+  "libmigrator_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migrator_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migrator_parse.dir/Lexer.cpp.o"
+  "CMakeFiles/migrator_parse.dir/Lexer.cpp.o.d"
+  "CMakeFiles/migrator_parse.dir/Parser.cpp.o"
+  "CMakeFiles/migrator_parse.dir/Parser.cpp.o.d"
+  "libmigrator_parse.a"
+  "libmigrator_parse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migrator_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

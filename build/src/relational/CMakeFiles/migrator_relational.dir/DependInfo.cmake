@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/Database.cpp" "src/relational/CMakeFiles/migrator_relational.dir/Database.cpp.o" "gcc" "src/relational/CMakeFiles/migrator_relational.dir/Database.cpp.o.d"
+  "/root/repo/src/relational/ResultTable.cpp" "src/relational/CMakeFiles/migrator_relational.dir/ResultTable.cpp.o" "gcc" "src/relational/CMakeFiles/migrator_relational.dir/ResultTable.cpp.o.d"
+  "/root/repo/src/relational/Schema.cpp" "src/relational/CMakeFiles/migrator_relational.dir/Schema.cpp.o" "gcc" "src/relational/CMakeFiles/migrator_relational.dir/Schema.cpp.o.d"
+  "/root/repo/src/relational/SchemaDiff.cpp" "src/relational/CMakeFiles/migrator_relational.dir/SchemaDiff.cpp.o" "gcc" "src/relational/CMakeFiles/migrator_relational.dir/SchemaDiff.cpp.o.d"
+  "/root/repo/src/relational/Table.cpp" "src/relational/CMakeFiles/migrator_relational.dir/Table.cpp.o" "gcc" "src/relational/CMakeFiles/migrator_relational.dir/Table.cpp.o.d"
+  "/root/repo/src/relational/Value.cpp" "src/relational/CMakeFiles/migrator_relational.dir/Value.cpp.o" "gcc" "src/relational/CMakeFiles/migrator_relational.dir/Value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/migrator_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migrator_relational.dir/Database.cpp.o"
+  "CMakeFiles/migrator_relational.dir/Database.cpp.o.d"
+  "CMakeFiles/migrator_relational.dir/ResultTable.cpp.o"
+  "CMakeFiles/migrator_relational.dir/ResultTable.cpp.o.d"
+  "CMakeFiles/migrator_relational.dir/Schema.cpp.o"
+  "CMakeFiles/migrator_relational.dir/Schema.cpp.o.d"
+  "CMakeFiles/migrator_relational.dir/SchemaDiff.cpp.o"
+  "CMakeFiles/migrator_relational.dir/SchemaDiff.cpp.o.d"
+  "CMakeFiles/migrator_relational.dir/Table.cpp.o"
+  "CMakeFiles/migrator_relational.dir/Table.cpp.o.d"
+  "CMakeFiles/migrator_relational.dir/Value.cpp.o"
+  "CMakeFiles/migrator_relational.dir/Value.cpp.o.d"
+  "libmigrator_relational.a"
+  "libmigrator_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migrator_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sat/Dimacs.cpp" "src/sat/CMakeFiles/migrator_sat.dir/Dimacs.cpp.o" "gcc" "src/sat/CMakeFiles/migrator_sat.dir/Dimacs.cpp.o.d"
+  "/root/repo/src/sat/MaxSat.cpp" "src/sat/CMakeFiles/migrator_sat.dir/MaxSat.cpp.o" "gcc" "src/sat/CMakeFiles/migrator_sat.dir/MaxSat.cpp.o.d"
+  "/root/repo/src/sat/Solver.cpp" "src/sat/CMakeFiles/migrator_sat.dir/Solver.cpp.o" "gcc" "src/sat/CMakeFiles/migrator_sat.dir/Solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/migrator_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migrator_sat.dir/Dimacs.cpp.o"
+  "CMakeFiles/migrator_sat.dir/Dimacs.cpp.o.d"
+  "CMakeFiles/migrator_sat.dir/MaxSat.cpp.o"
+  "CMakeFiles/migrator_sat.dir/MaxSat.cpp.o.d"
+  "CMakeFiles/migrator_sat.dir/Solver.cpp.o"
+  "CMakeFiles/migrator_sat.dir/Solver.cpp.o.d"
+  "libmigrator_sat.a"
+  "libmigrator_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migrator_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

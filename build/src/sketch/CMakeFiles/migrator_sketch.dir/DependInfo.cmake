@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/JoinGraph.cpp" "src/sketch/CMakeFiles/migrator_sketch.dir/JoinGraph.cpp.o" "gcc" "src/sketch/CMakeFiles/migrator_sketch.dir/JoinGraph.cpp.o.d"
+  "/root/repo/src/sketch/Sketch.cpp" "src/sketch/CMakeFiles/migrator_sketch.dir/Sketch.cpp.o" "gcc" "src/sketch/CMakeFiles/migrator_sketch.dir/Sketch.cpp.o.d"
+  "/root/repo/src/sketch/SketchGen.cpp" "src/sketch/CMakeFiles/migrator_sketch.dir/SketchGen.cpp.o" "gcc" "src/sketch/CMakeFiles/migrator_sketch.dir/SketchGen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/migrator_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/vc/CMakeFiles/migrator_vc.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/migrator_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/migrator_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/migrator_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migrator_sketch.dir/JoinGraph.cpp.o"
+  "CMakeFiles/migrator_sketch.dir/JoinGraph.cpp.o.d"
+  "CMakeFiles/migrator_sketch.dir/Sketch.cpp.o"
+  "CMakeFiles/migrator_sketch.dir/Sketch.cpp.o.d"
+  "CMakeFiles/migrator_sketch.dir/SketchGen.cpp.o"
+  "CMakeFiles/migrator_sketch.dir/SketchGen.cpp.o.d"
+  "libmigrator_sketch.a"
+  "libmigrator_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migrator_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

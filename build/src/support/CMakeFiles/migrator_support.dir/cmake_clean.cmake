@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migrator_support.dir/StringExtras.cpp.o"
+  "CMakeFiles/migrator_support.dir/StringExtras.cpp.o.d"
+  "libmigrator_support.a"
+  "libmigrator_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migrator_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

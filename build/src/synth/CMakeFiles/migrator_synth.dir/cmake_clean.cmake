@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migrator_synth.dir/Encoder.cpp.o"
+  "CMakeFiles/migrator_synth.dir/Encoder.cpp.o.d"
+  "CMakeFiles/migrator_synth.dir/RandomWorkload.cpp.o"
+  "CMakeFiles/migrator_synth.dir/RandomWorkload.cpp.o.d"
+  "CMakeFiles/migrator_synth.dir/SketchSolver.cpp.o"
+  "CMakeFiles/migrator_synth.dir/SketchSolver.cpp.o.d"
+  "CMakeFiles/migrator_synth.dir/Synthesizer.cpp.o"
+  "CMakeFiles/migrator_synth.dir/Synthesizer.cpp.o.d"
+  "CMakeFiles/migrator_synth.dir/Tester.cpp.o"
+  "CMakeFiles/migrator_synth.dir/Tester.cpp.o.d"
+  "libmigrator_synth.a"
+  "libmigrator_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migrator_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

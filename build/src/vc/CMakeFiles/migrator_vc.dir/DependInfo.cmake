@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vc/ValueCorrespondence.cpp" "src/vc/CMakeFiles/migrator_vc.dir/ValueCorrespondence.cpp.o" "gcc" "src/vc/CMakeFiles/migrator_vc.dir/ValueCorrespondence.cpp.o.d"
+  "/root/repo/src/vc/VcEnumerator.cpp" "src/vc/CMakeFiles/migrator_vc.dir/VcEnumerator.cpp.o" "gcc" "src/vc/CMakeFiles/migrator_vc.dir/VcEnumerator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/migrator_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/migrator_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/migrator_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

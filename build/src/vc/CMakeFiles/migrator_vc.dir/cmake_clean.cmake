@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migrator_vc.dir/ValueCorrespondence.cpp.o"
+  "CMakeFiles/migrator_vc.dir/ValueCorrespondence.cpp.o.d"
+  "CMakeFiles/migrator_vc.dir/VcEnumerator.cpp.o"
+  "CMakeFiles/migrator_vc.dir/VcEnumerator.cpp.o.d"
+  "libmigrator_vc.a"
+  "libmigrator_vc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migrator_vc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/api_test.cpp" "tests/CMakeFiles/migrator_tests.dir/api_test.cpp.o" "gcc" "tests/CMakeFiles/migrator_tests.dir/api_test.cpp.o.d"
+  "/root/repo/tests/ast_test.cpp" "tests/CMakeFiles/migrator_tests.dir/ast_test.cpp.o" "gcc" "tests/CMakeFiles/migrator_tests.dir/ast_test.cpp.o.d"
+  "/root/repo/tests/benchsuite_test.cpp" "tests/CMakeFiles/migrator_tests.dir/benchsuite_test.cpp.o" "gcc" "tests/CMakeFiles/migrator_tests.dir/benchsuite_test.cpp.o.d"
+  "/root/repo/tests/coverage_test.cpp" "tests/CMakeFiles/migrator_tests.dir/coverage_test.cpp.o" "gcc" "tests/CMakeFiles/migrator_tests.dir/coverage_test.cpp.o.d"
+  "/root/repo/tests/dimacs_test.cpp" "tests/CMakeFiles/migrator_tests.dir/dimacs_test.cpp.o" "gcc" "tests/CMakeFiles/migrator_tests.dir/dimacs_test.cpp.o.d"
+  "/root/repo/tests/eval_test.cpp" "tests/CMakeFiles/migrator_tests.dir/eval_test.cpp.o" "gcc" "tests/CMakeFiles/migrator_tests.dir/eval_test.cpp.o.d"
+  "/root/repo/tests/generator_test.cpp" "tests/CMakeFiles/migrator_tests.dir/generator_test.cpp.o" "gcc" "tests/CMakeFiles/migrator_tests.dir/generator_test.cpp.o.d"
+  "/root/repo/tests/parser_test.cpp" "tests/CMakeFiles/migrator_tests.dir/parser_test.cpp.o" "gcc" "tests/CMakeFiles/migrator_tests.dir/parser_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/migrator_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/migrator_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/relational_test.cpp" "tests/CMakeFiles/migrator_tests.dir/relational_test.cpp.o" "gcc" "tests/CMakeFiles/migrator_tests.dir/relational_test.cpp.o.d"
+  "/root/repo/tests/sat_test.cpp" "tests/CMakeFiles/migrator_tests.dir/sat_test.cpp.o" "gcc" "tests/CMakeFiles/migrator_tests.dir/sat_test.cpp.o.d"
+  "/root/repo/tests/schemadiff_test.cpp" "tests/CMakeFiles/migrator_tests.dir/schemadiff_test.cpp.o" "gcc" "tests/CMakeFiles/migrator_tests.dir/schemadiff_test.cpp.o.d"
+  "/root/repo/tests/simplify_test.cpp" "tests/CMakeFiles/migrator_tests.dir/simplify_test.cpp.o" "gcc" "tests/CMakeFiles/migrator_tests.dir/simplify_test.cpp.o.d"
+  "/root/repo/tests/sketch_test.cpp" "tests/CMakeFiles/migrator_tests.dir/sketch_test.cpp.o" "gcc" "tests/CMakeFiles/migrator_tests.dir/sketch_test.cpp.o.d"
+  "/root/repo/tests/solver_test.cpp" "tests/CMakeFiles/migrator_tests.dir/solver_test.cpp.o" "gcc" "tests/CMakeFiles/migrator_tests.dir/solver_test.cpp.o.d"
+  "/root/repo/tests/sqlprinter_test.cpp" "tests/CMakeFiles/migrator_tests.dir/sqlprinter_test.cpp.o" "gcc" "tests/CMakeFiles/migrator_tests.dir/sqlprinter_test.cpp.o.d"
+  "/root/repo/tests/stress_test.cpp" "tests/CMakeFiles/migrator_tests.dir/stress_test.cpp.o" "gcc" "tests/CMakeFiles/migrator_tests.dir/stress_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/migrator_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/migrator_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/synth_test.cpp" "tests/CMakeFiles/migrator_tests.dir/synth_test.cpp.o" "gcc" "tests/CMakeFiles/migrator_tests.dir/synth_test.cpp.o.d"
+  "/root/repo/tests/vc_test.cpp" "tests/CMakeFiles/migrator_tests.dir/vc_test.cpp.o" "gcc" "tests/CMakeFiles/migrator_tests.dir/vc_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchsuite/CMakeFiles/migrator_benchsuite.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/migrator_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/migrator_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/vc/CMakeFiles/migrator_vc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/migrator_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/migrator_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/parse/CMakeFiles/migrator_parse.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/migrator_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/migrator_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/migrator_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
