@@ -15,6 +15,8 @@
 
 #include "BenchUtil.h"
 
+#include "obs/Metrics.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +25,13 @@ using namespace migrator;
 using namespace migrator::bench;
 
 namespace {
+
+/// Pulls a counter's value out of a run's metrics delta (0 if the counter
+/// never fired).
+uint64_t counterOf(const SynthResult &R, const char *Name) {
+  auto It = R.Metrics.Counters.find(Name);
+  return It == R.Metrics.Counters.end() ? 0 : It->second;
+}
 
 void runConfig(const char *Label, const Benchmark &B, SynthOptions Opts,
                double Budget) {
@@ -37,6 +46,24 @@ void runConfig(const char *Label, const Benchmark &B, SynthOptions Opts,
               static_cast<unsigned long long>(R.Stats.Iters),
               R.Stats.SketchSpace,
               fmtTime(R.Stats.SynthTimeSec, R.Stats.TimedOut).c_str());
+  // Second line: how the search behaved, from the per-run metrics delta —
+  // SAT effort, how often MFI learning actually pruned, and tester load.
+  std::printf("  %-34s sat{calls=%llu conf=%llu dec=%llu} mfi{hit=%llu "
+              "miss=%llu} seqs=%llu tuples=%llu\n",
+              "",
+              static_cast<unsigned long long>(counterOf(R, "solver.sat_calls")),
+              static_cast<unsigned long long>(
+                  counterOf(R, "solver.sat_conflicts")),
+              static_cast<unsigned long long>(
+                  counterOf(R, "solver.sat_decisions")),
+              static_cast<unsigned long long>(
+                  counterOf(R, "solver.mfi_prune_hits")),
+              static_cast<unsigned long long>(
+                  counterOf(R, "solver.mfi_prune_misses")),
+              static_cast<unsigned long long>(
+                  counterOf(R, "tester.sequences_run")),
+              static_cast<unsigned long long>(
+                  counterOf(R, "eval.tuples_scanned")));
   std::fflush(stdout);
 }
 
@@ -44,6 +71,7 @@ void runConfig(const char *Label, const Benchmark &B, SynthOptions Opts,
 
 int main() {
   std::printf("Ablation studies (extensions beyond the paper's tables)\n");
+  obs::setMetricsEnabled(true); // Per-run metric deltas for every config.
 
   // 1 & 2: VC-layer ablations on benchmarks that stress the VC search.
   for (const char *Name : {"Ambler-4", "MathHotSpot", "probable-engine"}) {

@@ -7,6 +7,7 @@
 // Usage:
 //   migrate_tool <file> <program-name> <source-schema> <target-schema>
 //                [budget-seconds] [--sql] [--mode=mfi|enum|cegis]
+//                [--trace=<file.json>] [--stats] [--stats-json=<file>]
 //
 // With --sql, the migrated program is printed as executable SQL (MySQL
 // dialect) instead of surface syntax; --mode selects the sketch-completion
@@ -14,9 +15,17 @@
 // replayed against both versions after synthesis. With no arguments, prints
 // usage and a ready-to-run input template.
 //
+// Observability (see docs/OBSERVABILITY.md): --trace=<file> writes a Chrome
+// trace_event JSON of the run (load into chrome://tracing or Perfetto);
+// the MIGRATOR_TRACE environment variable does the same when the flag is
+// absent. --stats prints the run's pipeline metrics to stderr; --stats-json
+// writes them to a file as JSON.
+//
 //===----------------------------------------------------------------------===//
 
 #include "ast/Simplify.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "relational/ResultTable.h"
 #include "relational/SchemaDiff.h"
 #include "ast/SqlPrinter.h"
@@ -24,6 +33,7 @@
 #include "synth/Synthesizer.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -81,6 +91,8 @@ int main(int Argc, char **Argv) {
 
   SynthOptions Opts;
   bool EmitSql = false;
+  bool PrintStats = false;
+  std::string TracePath, StatsJsonPath;
   for (int A = 5; A < Argc; ++A) {
     std::string Arg = Argv[A];
     if (Arg == "--sql") {
@@ -91,6 +103,12 @@ int main(int Argc, char **Argv) {
       Opts.Solver.TheMode = SolverOptions::Mode::Enumerative;
     } else if (Arg == "--mode=cegis") {
       Opts.Solver.TheMode = SolverOptions::Mode::Cegis;
+    } else if (Arg.rfind("--trace=", 0) == 0) {
+      TracePath = Arg.substr(8);
+    } else if (Arg == "--stats") {
+      PrintStats = true;
+    } else if (Arg.rfind("--stats-json=", 0) == 0) {
+      StatsJsonPath = Arg.substr(13);
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "error: unknown flag '%s'\n", Arg.c_str());
       return 2;
@@ -99,6 +117,17 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  // Environment override: MIGRATOR_TRACE=<file> enables tracing without
+  // touching the command line (handy under test harnesses).
+  if (TracePath.empty())
+    if (const char *Env = std::getenv("MIGRATOR_TRACE"))
+      TracePath = Env;
+
+  if (!TracePath.empty())
+    obs::startTracing();
+  if (PrintStats || !StatsJsonPath.empty() || !TracePath.empty())
+    obs::setMetricsEnabled(true);
+
   std::fprintf(stderr, "migrating '%s' from schema '%s' to schema '%s'\n",
                Argv[2], Argv[3], Argv[4]);
   std::vector<SchemaChange> Changes = diffSchemas(*Source, *Target);
@@ -106,6 +135,30 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "detected schema changes:\n%s",
                  diffReport(Changes).c_str());
   SynthResult R = synthesize(*Source, NP->Prog, *Target, Opts);
+
+  // Export observability artifacts on success and failure alike — failing
+  // runs are the ones most worth profiling.
+  if (!TracePath.empty()) {
+    obs::stopTracing();
+    if (obs::writeTraceJson(TracePath))
+      std::fprintf(stderr, "trace written to %s (%zu events)\n",
+                   TracePath.c_str(), obs::traceEvents().size());
+    else
+      std::fprintf(stderr, "warning: cannot write trace to '%s'\n",
+                   TracePath.c_str());
+  }
+  if (PrintStats)
+    std::fprintf(stderr, "--- pipeline metrics ---\n%s",
+                 R.Metrics.str().c_str());
+  if (!StatsJsonPath.empty()) {
+    std::ofstream StatsOut(StatsJsonPath);
+    if (StatsOut)
+      StatsOut << R.Metrics.json() << "\n";
+    else
+      std::fprintf(stderr, "warning: cannot write stats to '%s'\n",
+                   StatsJsonPath.c_str());
+  }
+
   if (!R.succeeded()) {
     std::fprintf(stderr,
                  "synthesis failed after %.1fs (%zu correspondences, %llu "

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+#===- scripts/check.sh - Sanitized build + tests + obs smoke run ------------===#
+#
+# The tier-1 verification script, strengthened: Debug build under
+# Address/UndefinedBehaviorSanitizer, the full ctest suite, and a
+# migrate_tool observability smoke run whose emitted trace/stats JSON is
+# validated with trace_check.
+#
+# Usage: scripts/check.sh [build-dir]     (default: build-check)
+#
+#===----------------------------------------------------------------------===#
+
+set -euo pipefail
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$REPO/build-check}"
+SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+
+echo "== configure (Debug + ASan/UBSan) =="
+cmake -B "$BUILD" -S "$REPO" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
+  -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
+
+echo "== build =="
+cmake --build "$BUILD" -j"$(nproc)"
+
+echo "== ctest =="
+ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
+
+echo "== observability smoke run =="
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+"$BUILD/examples/dump_benchmarks" "$TMP/dbp" > /dev/null
+
+"$BUILD/examples/migrate_tool" "$TMP/dbp/Oracle-2.dbp" App \
+  Oracle_2Src Oracle_2Tgt \
+  --trace="$TMP/run.trace.json" --stats-json="$TMP/run.stats.json" 120 \
+  > /dev/null
+
+"$BUILD/examples/trace_check" --trace \
+  --expect synthesize --expect vc.next --expect sketch.generate \
+  --expect solve.sketch "$TMP/run.trace.json"
+"$BUILD/examples/trace_check" "$TMP/run.stats.json"
+
+# The MIGRATOR_TRACE env var must work without the flag.
+MIGRATOR_TRACE="$TMP/env.trace.json" \
+  "$BUILD/examples/migrate_tool" "$TMP/dbp/Ambler-2.dbp" App \
+  Ambler_2Src Ambler_2Tgt 120 > /dev/null
+"$BUILD/examples/trace_check" --trace --expect synthesize "$TMP/env.trace.json"
+
+echo "== all checks passed =="

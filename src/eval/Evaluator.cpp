@@ -2,6 +2,8 @@
 
 #include "eval/Evaluator.h"
 
+#include "obs/Metrics.h"
+
 #include <algorithm>
 #include <cassert>
 #include <sstream>
@@ -97,13 +99,16 @@ JoinRows computeJoinRows(const JoinChain &Chain, const Schema &S,
   std::vector<std::optional<Value>> ClassVal(Classes.size());
 
   // Depth-first extension of partial rows, checking class consistency
-  // incrementally.
+  // incrementally. Tuples scanned accumulate in a local — this is the
+  // hottest loop in the system — and publish once below.
+  uint64_t TuplesScanned = 0;
   auto Rec = [&](auto &&Self, size_t T) -> void {
     if (T == Tables.size()) {
       Result.Rows.push_back(Partial);
       return;
     }
     const Table &Tbl = DB.getTable(Tables[T]);
+    TuplesScanned += Tbl.size();
     for (size_t R = 0; R < Tbl.size(); ++R) {
       const Row &Rw = Tbl.getRow(R);
       // Check and record class values for this table's attributes.
@@ -128,6 +133,12 @@ JoinRows computeJoinRows(const JoinChain &Chain, const Schema &S,
     }
   };
   Rec(Rec, 0);
+  if (obs::metricsEnabled()) {
+    MIGRATOR_COUNTER_ADD("eval.joins", 1);
+    MIGRATOR_COUNTER_ADD("eval.tuples_scanned", TuplesScanned);
+    MIGRATOR_COUNTER_ADD("eval.join_rows", Result.Rows.size());
+    MIGRATOR_HISTOGRAM_RECORD("eval.join_width", Tables.size());
+  }
   return Result;
 }
 

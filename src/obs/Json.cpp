@@ -1,0 +1,281 @@
+//===- obs/Json.cpp - Minimal JSON emission and validation ------------------===//
+
+#include "obs/Json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+using namespace migrator;
+using namespace migrator::obs;
+
+std::string obs::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+std::string obs::jsonString(const std::string &S) {
+  return "\"" + jsonEscape(S) + "\"";
+}
+
+std::string obs::jsonNumber(double V) {
+  if (!std::isfinite(V))
+    return "0";
+  // Integral values print without an exponent or trailing zeros; everything
+  // else gets enough digits to round-trip.
+  if (V == static_cast<double>(static_cast<long long>(V)) &&
+      std::fabs(V) < 1e15) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(V));
+    return Buf;
+  }
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  return Buf;
+}
+
+//===----------------------------------------------------------------------===//
+// Validator: recursive descent with a depth cap.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class JsonValidator {
+public:
+  explicit JsonValidator(const std::string &Text) : Text(Text) {}
+
+  bool run(std::string *Error) {
+    skipWs();
+    bool Ok = value(0);
+    if (Ok) {
+      skipWs();
+      if (Pos != Text.size())
+        Ok = fail("trailing content after the top-level value");
+    }
+    if (!Ok && Error)
+      *Error = Message + " at byte " + std::to_string(ErrPos);
+    return Ok;
+  }
+
+private:
+  const std::string &Text;
+  size_t Pos = 0;
+  size_t ErrPos = 0;
+  std::string Message;
+  static constexpr int MaxDepth = 256;
+
+  bool fail(const char *Msg) {
+    // Keep the first (deepest-relevant) failure.
+    if (Message.empty()) {
+      Message = Msg;
+      ErrPos = Pos;
+    }
+    return false;
+  }
+
+  bool atEnd() const { return Pos >= Text.size(); }
+  char peek() const { return Text[Pos]; }
+
+  void skipWs() {
+    while (!atEnd() && (Text[Pos] == ' ' || Text[Pos] == '\t' ||
+                        Text[Pos] == '\n' || Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool literal(const char *Lit) {
+    size_t Start = Pos;
+    for (const char *P = Lit; *P; ++P, ++Pos)
+      if (atEnd() || Text[Pos] != *P) {
+        Pos = Start;
+        return fail("invalid literal");
+      }
+    return true;
+  }
+
+  bool string() {
+    if (atEnd() || peek() != '"')
+      return fail("expected string");
+    ++Pos;
+    while (true) {
+      if (atEnd())
+        return fail("unterminated string");
+      unsigned char C = static_cast<unsigned char>(Text[Pos]);
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C < 0x20)
+        return fail("raw control character in string");
+      if (C == '\\') {
+        ++Pos;
+        if (atEnd())
+          return fail("unterminated escape");
+        char E = Text[Pos];
+        if (E == 'u') {
+          for (int I = 0; I < 4; ++I) {
+            ++Pos;
+            if (atEnd() || !std::isxdigit(static_cast<unsigned char>(Text[Pos])))
+              return fail("invalid \\u escape");
+          }
+        } else if (!std::strchr("\"\\/bfnrt", E)) {
+          return fail("invalid escape character");
+        }
+      }
+      ++Pos;
+    }
+  }
+
+  bool number() {
+    size_t Start = Pos;
+    if (!atEnd() && peek() == '-')
+      ++Pos;
+    if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+      return fail("expected digit");
+    if (peek() == '0') {
+      ++Pos;
+    } else {
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    if (!atEnd() && peek() == '.') {
+      ++Pos;
+      if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return fail("expected digit after decimal point");
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+      ++Pos;
+      if (!atEnd() && (peek() == '+' || peek() == '-'))
+        ++Pos;
+      if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return fail("expected exponent digit");
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    return Pos > Start;
+  }
+
+  bool value(int Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    if (atEnd())
+      return fail("expected value");
+    switch (peek()) {
+    case '{':
+      return object(Depth);
+    case '[':
+      return array(Depth);
+    case '"':
+      return string();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    case 'n':
+      return literal("null");
+    default:
+      return number();
+    }
+  }
+
+  bool object(int Depth) {
+    ++Pos; // '{'
+    skipWs();
+    if (!atEnd() && peek() == '}') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (!string())
+        return false;
+      skipWs();
+      if (atEnd() || peek() != ':')
+        return fail("expected ':' in object");
+      ++Pos;
+      skipWs();
+      if (!value(Depth + 1))
+        return false;
+      skipWs();
+      if (atEnd())
+        return fail("unterminated object");
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      if (peek() == '}') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool array(int Depth) {
+    ++Pos; // '['
+    skipWs();
+    if (!atEnd() && peek() == ']') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (!value(Depth + 1))
+        return false;
+      skipWs();
+      if (atEnd())
+        return fail("unterminated array");
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      if (peek() == ']') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+};
+
+} // namespace
+
+bool obs::validateJson(const std::string &Text, std::string *Error) {
+  return JsonValidator(Text).run(Error);
+}

@@ -1,0 +1,46 @@
+//===- obs/Json.h - Minimal JSON emission and validation ----------*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tiny slice of JSON the observability layer needs: string escaping for
+/// the exporters, and a syntactic validator used by the test suite and the
+/// `trace_check` smoke tool to confirm that emitted traces and stats dumps
+/// are well-formed documents. Not a general-purpose JSON library — there is
+/// deliberately no DOM; consumers of the traces are chrome://tracing,
+/// Perfetto, and jq.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_OBS_JSON_H
+#define MIGRATOR_OBS_JSON_H
+
+#include <string>
+
+namespace migrator {
+namespace obs {
+
+/// Escapes \p S for inclusion inside a JSON string literal (quotes not
+/// included): `"` `\` control characters and non-ASCII-safe bytes become
+/// backslash escapes.
+std::string jsonEscape(const std::string &S);
+
+/// Quotes and escapes: `"` + jsonEscape(S) + `"`.
+std::string jsonString(const std::string &S);
+
+/// Renders a double as a JSON number (never NaN/Inf — those become 0).
+std::string jsonNumber(double V);
+
+/// Returns true iff \p Text is one syntactically well-formed JSON value
+/// (object, array, string, number, bool, or null) with nothing but
+/// whitespace after it. On failure, \p Error (when non-null) receives a
+/// message with the byte offset of the first problem.
+bool validateJson(const std::string &Text, std::string *Error = nullptr);
+
+} // namespace obs
+} // namespace migrator
+
+#endif // MIGRATOR_OBS_JSON_H

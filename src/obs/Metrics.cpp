@@ -1,0 +1,241 @@
+//===- obs/Metrics.cpp - Counters, gauges, latency histograms ---------------===//
+
+#include "obs/Metrics.h"
+
+#include "obs/Json.h"
+
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <sstream>
+
+using namespace migrator;
+using namespace migrator::obs;
+
+std::atomic<bool> obs::detail::MetricsEnabledFlag{false};
+
+void obs::setMetricsEnabled(bool On) {
+  detail::MetricsEnabledFlag.store(On, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+double HistogramSnapshot::percentile(double Q) const {
+  if (Count == 0)
+    return 0;
+  if (Q < 0)
+    Q = 0;
+  if (Q > 1)
+    Q = 1;
+  // Rank of the requested sample (1-based, ceil).
+  uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(Count));
+  if (Rank == 0)
+    Rank = 1;
+  uint64_t Seen = 0;
+  for (size_t B = 0; B < NumBuckets; ++B) {
+    Seen += Buckets[B];
+    if (Seen >= Rank) {
+      if (B == 0)
+        return 0; // Bucket 0 holds exactly {0}.
+      // Geometric midpoint of [2^(B-1), 2^B).
+      double Lo = static_cast<double>(1ULL << (B - 1));
+      return Lo * 1.5;
+    }
+  }
+  return 0;
+}
+
+HistogramSnapshot HistogramSnapshot::operator-(const HistogramSnapshot &Base) const {
+  HistogramSnapshot D;
+  D.Count = Count - Base.Count;
+  D.Sum = Sum - Base.Sum;
+  for (size_t B = 0; B < NumBuckets; ++B)
+    D.Buckets[B] = Buckets[B] - Base.Buckets[B];
+  return D;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot S;
+  for (size_t B = 0; B < HistogramSnapshot::NumBuckets; ++B) {
+    S.Buckets[B] = Counts[B].load(std::memory_order_relaxed);
+    S.Count += S.Buckets[B];
+  }
+  S.Sum = SumV.load(std::memory_order_relaxed);
+  return S;
+}
+
+void Histogram::reset() {
+  for (auto &C : Counts)
+    C.store(0, std::memory_order_relaxed);
+  SumV.store(0, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+struct MetricsRegistry::Impl {
+  std::mutex M;
+  // deques: stable element addresses under growth (instrument references
+  // handed out to call sites must never dangle).
+  std::map<std::string, Counter *> Counters;
+  std::map<std::string, Gauge *> Gauges;
+  std::map<std::string, Histogram *> Histograms;
+  std::deque<Counter> CounterStore;
+  std::deque<Gauge> GaugeStore;
+  std::deque<Histogram> HistogramStore;
+};
+
+MetricsRegistry::Impl &MetricsRegistry::impl() const {
+  // Leaked singleton: instruments must outlive every static destructor that
+  // might still record.
+  static Impl *I = new Impl();
+  return *I;
+}
+
+MetricsRegistry &obs::registry() {
+  static MetricsRegistry R;
+  return R;
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.M);
+  auto It = I.Counters.find(Name);
+  if (It != I.Counters.end())
+    return *It->second;
+  I.CounterStore.emplace_back();
+  return *(I.Counters[Name] = &I.CounterStore.back());
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.M);
+  auto It = I.Gauges.find(Name);
+  if (It != I.Gauges.end())
+    return *It->second;
+  I.GaugeStore.emplace_back();
+  return *(I.Gauges[Name] = &I.GaugeStore.back());
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.M);
+  auto It = I.Histograms.find(Name);
+  if (It != I.Histograms.end())
+    return *It->second;
+  I.HistogramStore.emplace_back();
+  return *(I.Histograms[Name] = &I.HistogramStore.back());
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.M);
+  MetricsSnapshot S;
+  for (const auto &[Name, C] : I.Counters)
+    S.Counters[Name] = C->value();
+  for (const auto &[Name, G] : I.Gauges)
+    S.Gauges[Name] = G->value();
+  for (const auto &[Name, H] : I.Histograms)
+    S.Histograms[Name] = H->snapshot();
+  return S;
+}
+
+void MetricsRegistry::reset() {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.M);
+  for (auto &[Name, C] : I.Counters)
+    C->reset();
+  for (auto &[Name, G] : I.Gauges)
+    G->reset();
+  for (auto &[Name, H] : I.Histograms)
+    H->reset();
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsSnapshot rendering
+//===----------------------------------------------------------------------===//
+
+MetricsSnapshot MetricsSnapshot::operator-(const MetricsSnapshot &Base) const {
+  MetricsSnapshot D;
+  for (const auto &[Name, V] : Counters) {
+    auto It = Base.Counters.find(Name);
+    D.Counters[Name] = It == Base.Counters.end() ? V : V - It->second;
+  }
+  D.Gauges = Gauges; // Last value wins; deltas are meaningless for gauges.
+  for (const auto &[Name, H] : Histograms) {
+    auto It = Base.Histograms.find(Name);
+    D.Histograms[Name] = It == Base.Histograms.end() ? H : H - It->second;
+  }
+  return D;
+}
+
+std::string MetricsSnapshot::str() const {
+  std::ostringstream OS;
+  char Buf[160];
+  for (const auto &[Name, V] : Counters) {
+    std::snprintf(Buf, sizeof(Buf), "%-40s %20llu\n", Name.c_str(),
+                  static_cast<unsigned long long>(V));
+    OS << Buf;
+  }
+  for (const auto &[Name, V] : Gauges) {
+    std::snprintf(Buf, sizeof(Buf), "%-40s %20.6g\n", Name.c_str(), V);
+    OS << Buf;
+  }
+  for (const auto &[Name, H] : Histograms) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "%-40s count=%-10llu mean=%-10.1f p50=%-10.0f p90=%-10.0f "
+                  "p99=%.0f\n",
+                  Name.c_str(), static_cast<unsigned long long>(H.Count),
+                  H.mean(), H.percentile(0.50), H.percentile(0.90),
+                  H.percentile(0.99));
+    OS << Buf;
+  }
+  return OS.str();
+}
+
+std::string MetricsSnapshot::json() const {
+  std::ostringstream OS;
+  OS << "{\"counters\":{";
+  bool First = true;
+  for (const auto &[Name, V] : Counters) {
+    if (!First)
+      OS << ",";
+    First = false;
+    OS << jsonString(Name) << ":" << V;
+  }
+  OS << "},\"gauges\":{";
+  First = true;
+  for (const auto &[Name, V] : Gauges) {
+    if (!First)
+      OS << ",";
+    First = false;
+    OS << jsonString(Name) << ":" << jsonNumber(V);
+  }
+  OS << "},\"histograms\":{";
+  First = true;
+  for (const auto &[Name, H] : Histograms) {
+    if (!First)
+      OS << ",";
+    First = false;
+    OS << jsonString(Name) << ":{\"count\":" << H.Count << ",\"sum\":" << H.Sum
+       << ",\"mean\":" << jsonNumber(H.mean())
+       << ",\"p50\":" << jsonNumber(H.percentile(0.50))
+       << ",\"p90\":" << jsonNumber(H.percentile(0.90))
+       << ",\"p99\":" << jsonNumber(H.percentile(0.99)) << ",\"buckets\":[";
+    // Trailing zero buckets are elided to keep dumps small.
+    size_t Last = H.Buckets.size();
+    while (Last > 0 && H.Buckets[Last - 1] == 0)
+      --Last;
+    for (size_t B = 0; B < Last; ++B) {
+      if (B)
+        OS << ",";
+      OS << H.Buckets[B];
+    }
+    OS << "]}";
+  }
+  OS << "}}";
+  return OS.str();
+}

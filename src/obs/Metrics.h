@@ -1,0 +1,284 @@
+//===- obs/Metrics.h - Counters, gauges, latency histograms -------*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metrics half of `migrator_obs`: a process-wide, thread-safe registry
+/// of named counters, gauges, and log-scale histograms, used to expose what
+/// the synthesis pipeline spends its time and iterations on (SAT calls,
+/// MFI prune hits, tuples scanned, ...).
+///
+/// Design constraints, in priority order:
+///
+///  1. *Near-zero cost when disabled.* Collection is off by default; every
+///     `MIGRATOR_COUNTER_ADD` / `MIGRATOR_LATENCY_SCOPE` site guards on one
+///     relaxed atomic load and a predictable branch. Hot loops (the join
+///     evaluator) accumulate into stack locals and publish once per call.
+///  2. *Lock-free on the hot path when enabled.* Instruments are atomics;
+///     the registry mutex is taken only on first use of a name (resolved
+///     once per site via a function-local static) and on snapshot/reset.
+///  3. *Instrument handles are stable.* The registry never deallocates an
+///     instrument, so cached references stay valid for the process lifetime.
+///
+/// Snapshots are plain value types supporting subtraction, so a caller can
+/// bracket a region (one synthesize() run) and report only its delta even
+/// though the registry is global.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_OBS_METRICS_H
+#define MIGRATOR_OBS_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace migrator {
+namespace obs {
+
+//===----------------------------------------------------------------------===//
+// Global enable switch
+//===----------------------------------------------------------------------===//
+
+namespace detail {
+extern std::atomic<bool> MetricsEnabledFlag;
+} // namespace detail
+
+/// True when metric collection is on. One relaxed load: the guard every
+/// instrumentation macro evaluates first.
+inline bool metricsEnabled() {
+  return detail::MetricsEnabledFlag.load(std::memory_order_relaxed);
+}
+
+/// Turns metric collection on or off (off is the default).
+void setMetricsEnabled(bool On);
+
+//===----------------------------------------------------------------------===//
+// Instruments
+//===----------------------------------------------------------------------===//
+
+/// Monotone event counter.
+class Counter {
+public:
+  void add(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Last-value gauge (e.g. the current sketch's search-space size).
+class Gauge {
+public:
+  void set(double X) { V.store(X, std::memory_order_relaxed); }
+  double value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0.0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<double> V{0.0};
+};
+
+/// Snapshot of a histogram: log2 bucket counts plus count/sum, enough to
+/// reconstruct approximate percentiles. Subtractable (bucket-wise), because
+/// all fields are monotone while collection runs.
+struct HistogramSnapshot {
+  /// Bucket 0 holds {0}; bucket B in [1, 64] holds [2^(B-1), 2^B) — 65
+  /// buckets, so bucketOf(UINT64_MAX) == 64 stays in range.
+  static constexpr size_t NumBuckets = 65;
+
+  uint64_t Count = 0;
+  uint64_t Sum = 0;
+  std::array<uint64_t, NumBuckets> Buckets{}; ///< Bucket B holds values in [2^(B-1), 2^B).
+
+  double mean() const { return Count ? static_cast<double>(Sum) / Count : 0; }
+
+  /// Approximate value at quantile \p Q in [0, 1]: the geometric midpoint of
+  /// the bucket containing the Q-th sample (exact for bucket-aligned data).
+  double percentile(double Q) const;
+
+  HistogramSnapshot operator-(const HistogramSnapshot &Base) const;
+};
+
+/// Log-scale histogram of non-negative integer samples (latencies in
+/// microseconds, widths, sizes). Value V lands in bucket bit_width(V):
+/// bucket 0 holds {0}, bucket B >= 1 holds [2^(B-1), 2^B). 65 buckets cover
+/// the full uint64 range; recording is two relaxed fetch_adds.
+class Histogram {
+public:
+  void record(uint64_t V) {
+    Counts[bucketOf(V)].fetch_add(1, std::memory_order_relaxed);
+    SumV.fetch_add(V, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot snapshot() const;
+  void reset();
+
+  static size_t bucketOf(uint64_t V) {
+    size_t B = 0;
+    while (V) {
+      ++B;
+      V >>= 1;
+    }
+    return B;
+  }
+
+private:
+  std::array<std::atomic<uint64_t>, HistogramSnapshot::NumBuckets> Counts{};
+  std::atomic<uint64_t> SumV{0};
+};
+
+//===----------------------------------------------------------------------===//
+// Snapshots
+//===----------------------------------------------------------------------===//
+
+/// A point-in-time copy of the registry, or the delta between two such
+/// copies. Plain data: copyable, comparable against baselines, and
+/// serializable as text or JSON.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> Counters;
+  std::map<std::string, double> Gauges;
+  std::map<std::string, HistogramSnapshot> Histograms;
+
+  bool empty() const {
+    return Counters.empty() && Gauges.empty() && Histograms.empty();
+  }
+
+  /// Counter/histogram-wise `this - Base`; gauges keep this snapshot's
+  /// (latest) value. Instruments absent from \p Base pass through whole.
+  MetricsSnapshot operator-(const MetricsSnapshot &Base) const;
+
+  /// Human-readable dump: one line per instrument, histograms with
+  /// count/mean/p50/p90/p99.
+  std::string str() const;
+
+  /// The same content as one JSON object:
+  /// {"counters":{...},"gauges":{...},"histograms":{"n":{"count":..,
+  /// "sum":..,"mean":..,"p50":..,"p90":..,"p99":..,"buckets":[..]}}}.
+  std::string json() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+/// Thread-safe name -> instrument registry. Instruments are created on
+/// first lookup and never destroyed, so returned references are stable.
+class MetricsRegistry {
+public:
+  Counter &counter(const std::string &Name);
+  Gauge &gauge(const std::string &Name);
+  Histogram &histogram(const std::string &Name);
+
+  /// Copies every instrument's current value.
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every instrument (names stay registered). Intended for tests
+  /// and tools that want absolute numbers instead of deltas.
+  void reset();
+
+private:
+  friend MetricsRegistry &registry();
+  MetricsRegistry() = default;
+
+  struct Impl;
+  Impl &impl() const;
+};
+
+/// The process-wide registry.
+MetricsRegistry &registry();
+
+//===----------------------------------------------------------------------===//
+// Scoped latency helper
+//===----------------------------------------------------------------------===//
+
+/// Records elapsed microseconds into a histogram at scope exit. Construct
+/// through MIGRATOR_LATENCY_SCOPE so the disabled path is one load+branch.
+class LatencyScope {
+public:
+  explicit LatencyScope(Histogram *H)
+      : H(H), Start(H ? std::chrono::steady_clock::now()
+                      : std::chrono::steady_clock::time_point()) {}
+  ~LatencyScope() {
+    if (H)
+      H->record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - Start)
+              .count()));
+  }
+  LatencyScope(const LatencyScope &) = delete;
+  LatencyScope &operator=(const LatencyScope &) = delete;
+
+private:
+  Histogram *H;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace obs
+} // namespace migrator
+
+//===----------------------------------------------------------------------===//
+// Instrumentation macros
+//===----------------------------------------------------------------------===//
+//
+// Each site caches its instrument in a function-local static (resolved on
+// first enabled execution), so the steady-state enabled cost is one load,
+// one branch, and one relaxed fetch_add; the disabled cost is the load and
+// branch only.
+
+#ifndef MIGRATOR_OBS_CONCAT
+#define MIGRATOR_OBS_CONCAT_IMPL(A, B) A##B
+#define MIGRATOR_OBS_CONCAT(A, B) MIGRATOR_OBS_CONCAT_IMPL(A, B)
+#endif
+
+/// Adds \p N to the counter named \p NAME (a string literal).
+#define MIGRATOR_COUNTER_ADD(NAME, N)                                          \
+  do {                                                                         \
+    if (::migrator::obs::metricsEnabled()) {                                   \
+      static ::migrator::obs::Counter &MigratorObsCtr =                        \
+          ::migrator::obs::registry().counter(NAME);                           \
+      MigratorObsCtr.add(N);                                                   \
+    }                                                                          \
+  } while (0)
+
+/// Sets the gauge named \p NAME to \p V.
+#define MIGRATOR_GAUGE_SET(NAME, V)                                            \
+  do {                                                                         \
+    if (::migrator::obs::metricsEnabled()) {                                   \
+      static ::migrator::obs::Gauge &MigratorObsGauge =                        \
+          ::migrator::obs::registry().gauge(NAME);                             \
+      MigratorObsGauge.set(static_cast<double>(V));                            \
+    }                                                                          \
+  } while (0)
+
+/// Records sample \p V into the histogram named \p NAME.
+#define MIGRATOR_HISTOGRAM_RECORD(NAME, V)                                     \
+  do {                                                                         \
+    if (::migrator::obs::metricsEnabled()) {                                   \
+      static ::migrator::obs::Histogram &MigratorObsHist =                     \
+          ::migrator::obs::registry().histogram(NAME);                         \
+      MigratorObsHist.record(static_cast<uint64_t>(V));                        \
+    }                                                                          \
+  } while (0)
+
+/// Times the enclosing scope into the latency histogram named \p NAME
+/// (microsecond samples).
+#define MIGRATOR_LATENCY_SCOPE(NAME)                                           \
+  ::migrator::obs::Histogram *MIGRATOR_OBS_CONCAT(MigratorObsLatH,             \
+                                                  __LINE__) = nullptr;         \
+  if (::migrator::obs::metricsEnabled()) {                                     \
+    static ::migrator::obs::Histogram &MigratorObsLatHS =                      \
+        ::migrator::obs::registry().histogram(NAME);                           \
+    MIGRATOR_OBS_CONCAT(MigratorObsLatH, __LINE__) = &MigratorObsLatHS;        \
+  }                                                                            \
+  ::migrator::obs::LatencyScope MIGRATOR_OBS_CONCAT(MigratorObsLatScope,       \
+                                                    __LINE__)(                 \
+      MIGRATOR_OBS_CONCAT(MigratorObsLatH, __LINE__))
+
+#endif // MIGRATOR_OBS_METRICS_H

@@ -1,0 +1,182 @@
+//===- obs/Trace.cpp - Structured tracing (Chrome trace_event) --------------===//
+
+#include "obs/Trace.h"
+
+#include "obs/Json.h"
+
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+using namespace migrator;
+using namespace migrator::obs;
+
+std::atomic<bool> obs::detail::TracingEnabledFlag{false};
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+struct TraceBuffer {
+  std::mutex M;
+  std::vector<TraceEvent> Events;
+  SteadyClock::time_point Epoch = SteadyClock::now();
+};
+
+TraceBuffer &buffer() {
+  // Leaked: spans may still be closing during static destruction.
+  static TraceBuffer *B = new TraceBuffer();
+  return *B;
+}
+
+uint64_t nowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          SteadyClock::now() - buffer().Epoch)
+          .count());
+}
+
+uint32_t currentTid() {
+  static std::atomic<uint32_t> NextTid{1};
+  thread_local uint32_t Tid = NextTid.fetch_add(1, std::memory_order_relaxed);
+  return Tid;
+}
+
+} // namespace
+
+void obs::startTracing() {
+  TraceBuffer &B = buffer();
+  std::lock_guard<std::mutex> Lock(B.M);
+  B.Events.clear();
+  B.Epoch = SteadyClock::now();
+  detail::TracingEnabledFlag.store(true, std::memory_order_relaxed);
+}
+
+void obs::stopTracing() {
+  detail::TracingEnabledFlag.store(false, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> obs::traceEvents() {
+  TraceBuffer &B = buffer();
+  std::lock_guard<std::mutex> Lock(B.M);
+  return B.Events;
+}
+
+void obs::traceInstant(const char *Name) {
+  if (!tracingEnabled())
+    return;
+  TraceEvent E;
+  E.Name = Name;
+  E.Phase = 'i';
+  E.TsUs = nowUs();
+  E.Tid = currentTid();
+  TraceBuffer &B = buffer();
+  std::lock_guard<std::mutex> Lock(B.M);
+  B.Events.push_back(std::move(E));
+}
+
+//===----------------------------------------------------------------------===//
+// TraceScope
+//===----------------------------------------------------------------------===//
+
+TraceScope::TraceScope(const char *Name)
+    : Active(tracingEnabled()), Name(Name) {
+  if (Active)
+    StartUs = nowUs();
+}
+
+TraceScope::~TraceScope() {
+  if (!Active)
+    return;
+  TraceEvent E;
+  E.Name = Name;
+  E.Phase = 'X';
+  E.TsUs = StartUs;
+  E.DurUs = nowUs() - StartUs;
+  E.Tid = currentTid();
+  E.ArgsJson = std::move(ArgsJson);
+  TraceBuffer &B = buffer();
+  std::lock_guard<std::mutex> Lock(B.M);
+  B.Events.push_back(std::move(E));
+}
+
+void TraceScope::appendArg(const char *Key, const std::string &Rendered) {
+  if (!ArgsJson.empty())
+    ArgsJson += ",";
+  ArgsJson += jsonString(Key);
+  ArgsJson += ":";
+  ArgsJson += Rendered;
+}
+
+TraceScope &TraceScope::arg(const char *Key, const std::string &V) {
+  if (Active)
+    appendArg(Key, jsonString(V));
+  return *this;
+}
+
+TraceScope &TraceScope::arg(const char *Key, const char *V) {
+  if (Active)
+    appendArg(Key, jsonString(V));
+  return *this;
+}
+
+TraceScope &TraceScope::arg(const char *Key, uint64_t V) {
+  if (Active)
+    appendArg(Key, std::to_string(V));
+  return *this;
+}
+
+TraceScope &TraceScope::arg(const char *Key, int64_t V) {
+  if (Active)
+    appendArg(Key, std::to_string(V));
+  return *this;
+}
+
+TraceScope &TraceScope::arg(const char *Key, double V) {
+  if (Active)
+    appendArg(Key, jsonNumber(V));
+  return *this;
+}
+
+TraceScope &TraceScope::arg(const char *Key, bool V) {
+  if (Active)
+    appendArg(Key, V ? "true" : "false");
+  return *this;
+}
+
+//===----------------------------------------------------------------------===//
+// Export
+//===----------------------------------------------------------------------===//
+
+std::string obs::traceJson() {
+  std::vector<TraceEvent> Events = traceEvents();
+  std::ostringstream OS;
+  OS << "{\"traceEvents\":[";
+  for (size_t I = 0; I < Events.size(); ++I) {
+    const TraceEvent &E = Events[I];
+    if (I)
+      OS << ",";
+    OS << "{\"name\":" << jsonString(E.Name) << ",\"cat\":\"migrator\""
+       << ",\"ph\":\"" << E.Phase << "\",\"ts\":" << E.TsUs;
+    if (E.Phase == 'X')
+      OS << ",\"dur\":" << E.DurUs;
+    if (E.Phase == 'i')
+      OS << ",\"s\":\"t\""; // Instant scope: thread.
+    OS << ",\"pid\":1,\"tid\":" << E.Tid;
+    if (!E.ArgsJson.empty())
+      OS << ",\"args\":{" << E.ArgsJson << "}";
+    OS << "}";
+  }
+  OS << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"tool\":\"migrator\"}}";
+  return OS.str();
+}
+
+bool obs::writeTraceJson(const std::string &Path) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return false;
+  Out << traceJson();
+  Out.flush();
+  return static_cast<bool>(Out);
+}

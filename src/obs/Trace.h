@@ -1,0 +1,146 @@
+//===- obs/Trace.h - Structured tracing (Chrome trace_event) ------*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tracing half of `migrator_obs`: scoped spans and instant events with
+/// key/value annotations, recorded into an in-memory buffer and exported in
+/// the Chrome `trace_event` JSON format, so a synthesis run can be opened
+/// directly in chrome://tracing or https://ui.perfetto.dev.
+///
+/// Usage at an instrumentation site:
+///
+/// \code
+///   void solveOne(...) {
+///     MIGRATOR_TRACE_SCOPE("sketch.complete");           // anonymous span
+///     ...
+///     MIGRATOR_TRACE_SCOPE_NAMED(Span, "sketch.test");   // annotatable span
+///     Span.arg("candidate", Iters).arg("mode", "mfi");
+///     ...
+///     MIGRATOR_TRACE_INSTANT("sketch.mfi_found");        // point event
+///   }
+/// \endcode
+///
+/// Spans nest naturally: the viewer stacks same-thread spans by containment
+/// of their [ts, ts+dur) intervals. When tracing is disabled (the default)
+/// every site costs one relaxed atomic load and a branch; no allocation,
+/// no clock read, no locking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_OBS_TRACE_H
+#define MIGRATOR_OBS_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace migrator {
+namespace obs {
+
+namespace detail {
+extern std::atomic<bool> TracingEnabledFlag;
+} // namespace detail
+
+/// True when trace collection is on. One relaxed load.
+inline bool tracingEnabled() {
+  return detail::TracingEnabledFlag.load(std::memory_order_relaxed);
+}
+
+/// Clears the event buffer and starts collecting.
+void startTracing();
+
+/// Stops collecting; the buffer is kept for export.
+void stopTracing();
+
+/// One recorded event (a complete span, ph == 'X', or an instant, 'i').
+struct TraceEvent {
+  std::string Name;
+  char Phase = 'X';      ///< 'X' complete span, 'i' instant.
+  uint64_t TsUs = 0;     ///< Start, microseconds since trace start.
+  uint64_t DurUs = 0;    ///< Span duration (0 for instants).
+  uint32_t Tid = 0;      ///< Per-process thread number.
+  std::string ArgsJson;  ///< Pre-rendered `"k":v,...` pairs (may be empty).
+};
+
+/// Copies the recorded events (test/debug access).
+std::vector<TraceEvent> traceEvents();
+
+/// Renders the buffer as a Chrome trace_event JSON document
+/// ({"traceEvents":[...],"displayTimeUnit":"ms",...}).
+std::string traceJson();
+
+/// Writes traceJson() to \p Path. Returns false (and leaves a best-effort
+/// partial file) on I/O failure.
+bool writeTraceJson(const std::string &Path);
+
+/// Records an instant event (no-op when disabled).
+void traceInstant(const char *Name);
+
+/// RAII span. Construct via the macros below; when tracing is disabled the
+/// constructor reduces to the enabled check.
+class TraceScope {
+public:
+  explicit TraceScope(const char *Name);
+  ~TraceScope();
+  TraceScope(const TraceScope &) = delete;
+  TraceScope &operator=(const TraceScope &) = delete;
+
+  /// Attaches a key/value annotation, rendered into the span's `args`
+  /// object. No-ops when the span is inactive. Returns *this for chaining.
+  TraceScope &arg(const char *Key, const std::string &V);
+  TraceScope &arg(const char *Key, const char *V);
+  TraceScope &arg(const char *Key, uint64_t V);
+  TraceScope &arg(const char *Key, int64_t V);
+  TraceScope &arg(const char *Key, int V) {
+    return arg(Key, static_cast<int64_t>(V));
+  }
+  TraceScope &arg(const char *Key, unsigned V) {
+    return arg(Key, static_cast<uint64_t>(V));
+  }
+  // No size_t overload: on LP64 it is the same type as uint64_t.
+  TraceScope &arg(const char *Key, double V);
+  TraceScope &arg(const char *Key, bool V);
+
+  bool active() const { return Active; }
+
+private:
+  bool Active;
+  const char *Name = nullptr;
+  uint64_t StartUs = 0;
+  std::string ArgsJson;
+
+  void appendArg(const char *Key, const std::string &RenderedValue);
+};
+
+} // namespace obs
+} // namespace migrator
+
+#ifndef MIGRATOR_OBS_CONCAT
+#define MIGRATOR_OBS_CONCAT_IMPL(A, B) A##B
+#define MIGRATOR_OBS_CONCAT(A, B) MIGRATOR_OBS_CONCAT_IMPL(A, B)
+#endif
+
+/// Opens an anonymous span covering the enclosing scope.
+#define MIGRATOR_TRACE_SCOPE(NAME)                                             \
+  ::migrator::obs::TraceScope MIGRATOR_OBS_CONCAT(MigratorTraceScope,          \
+                                                  __LINE__)(NAME)
+
+/// Opens a span bound to local variable \p VAR so the site can attach
+/// key/value annotations: `MIGRATOR_TRACE_SCOPE_NAMED(S, "x"); S.arg(...)`.
+#define MIGRATOR_TRACE_SCOPE_NAMED(VAR, NAME)                                  \
+  ::migrator::obs::TraceScope VAR(NAME)
+
+/// Records a point-in-time event.
+#define MIGRATOR_TRACE_INSTANT(NAME)                                           \
+  do {                                                                         \
+    if (::migrator::obs::tracingEnabled())                                     \
+      ::migrator::obs::traceInstant(NAME);                                     \
+  } while (0)
+
+#endif // MIGRATOR_OBS_TRACE_H

@@ -42,6 +42,9 @@ struct MaxSatSolver::SearchState {
   uint64_t Nodes = 0;
   uint64_t NodeBudget = 0; ///< 0 = unlimited.
   bool BudgetExhausted = false;
+  uint64_t BoundPrunes = 0;
+  uint64_t ConflictPrunes = 0;
+  uint64_t ModelsFound = 0;
 
   const std::vector<std::vector<Lit>> *Hard = nullptr;
   const std::vector<SoftClause> *Soft = nullptr;
@@ -129,12 +132,14 @@ bool MaxSatSolver::search(SearchState &St) {
 
   size_t Mark = St.Trail.size();
   if (!St.propagateHard()) {
+    ++St.ConflictPrunes;
     St.undoTo(Mark);
     return false;
   }
 
   uint64_t Lost = St.lostWeight();
   if (St.HaveBest && Lost >= St.BestLost) {
+    ++St.BoundPrunes;
     St.undoTo(Mark);
     return false;
   }
@@ -149,6 +154,7 @@ bool MaxSatSolver::search(SearchState &St) {
 
   if (Next < 0) {
     // Total assignment satisfying all hard clauses.
+    ++St.ModelsFound;
     St.BestLost = Lost;
     St.HaveBest = true;
     St.BestModel.resize(St.Assign.size());
@@ -204,6 +210,13 @@ std::optional<MaxSatResult> MaxSatSolver::solve(uint64_t NodeBudget) {
   });
 
   search(St);
+
+  ++TheStats.Calls;
+  TheStats.Nodes += St.Nodes;
+  TheStats.BoundPrunes += St.BoundPrunes;
+  TheStats.ConflictPrunes += St.ConflictPrunes;
+  TheStats.ModelsFound += St.ModelsFound;
+
   if (!St.HaveBest)
     return std::nullopt;
   return MaxSatResult{St.BestModel, St.TotalSoft - St.BestLost};

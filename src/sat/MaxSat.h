@@ -40,6 +40,18 @@ struct MaxSatResult {
   uint64_t Weight;         ///< Total weight of satisfied soft clauses.
 };
 
+/// Cumulative search statistics across all solve() calls on one
+/// MaxSatSolver (reported by the observability layer: how much work each
+/// MaxSAT call does and where candidates die).
+struct MaxSatStats {
+  uint64_t Calls = 0;          ///< solve() invocations.
+  uint64_t Nodes = 0;          ///< Branch-and-bound nodes expanded.
+  uint64_t BoundPrunes = 0;    ///< Subtrees cut by the lost-weight bound.
+  uint64_t ConflictPrunes = 0; ///< Subtrees cut by a falsified hard clause.
+  uint64_t ModelsFound = 0;    ///< Times a (possibly improving) total model
+                               ///< of the hard clauses was reached.
+};
+
 /// Exact branch-and-bound weighted partial MaxSAT solver.
 ///
 /// Usage: allocate variables, add hard and soft clauses, then call solve().
@@ -65,8 +77,11 @@ public:
   /// exactness pass 0.
   std::optional<MaxSatResult> solve(uint64_t NodeBudget = 0);
 
+  const MaxSatStats &getStats() const { return TheStats; }
+
 private:
   int NumVars = 0;
+  MaxSatStats TheStats;
   std::vector<std::vector<Lit>> Hard;
   std::vector<SoftClause> Soft;
 

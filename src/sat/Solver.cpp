@@ -171,6 +171,7 @@ int Solver::propagate() {
         PropHead = Trail.size();
         return Ref;
       }
+      ++Propagations;
       enqueue(C.Lits[0], Ref);
     }
     WL.resize(Kept);
@@ -266,6 +267,7 @@ Solver::Result Solver::solve() {
       int BtLevel = 0;
       analyze(ConflRef, Learnt, BtLevel);
       cancelUntil(BtLevel);
+      ++LearnedClauses;
       if (Learnt.size() == 1) {
         enqueue(Learnt[0], NoReason);
       } else {
@@ -279,6 +281,7 @@ Solver::Result Solver::solve() {
     if (ConflictsSinceRestart >= RestartLimit) {
       ConflictsSinceRestart = 0;
       RestartLimit = luby(++RestartCount + 1) * 100;
+      ++Restarts;
       cancelUntil(0);
       continue;
     }

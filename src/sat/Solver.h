@@ -70,8 +70,14 @@ public:
   Var newVar();
 
   int getNumVars() const { return static_cast<int>(Assigns.size()); }
+
+  /// Cumulative search statistics across all solve() calls (the numbers the
+  /// observability layer and bench_ablation report).
   uint64_t getNumConflicts() const { return Conflicts; }
   uint64_t getNumDecisions() const { return Decisions; }
+  uint64_t getNumPropagations() const { return Propagations; }
+  uint64_t getNumLearnedClauses() const { return LearnedClauses; }
+  uint64_t getNumRestarts() const { return Restarts; }
 
   /// Adds a clause. Returns false if the formula became trivially
   /// unsatisfiable (which also latches the solver into UNSAT).
@@ -138,6 +144,9 @@ private:
   bool Unsatisfiable = false;
   uint64_t Conflicts = 0;
   uint64_t Decisions = 0;
+  uint64_t Propagations = 0;
+  uint64_t LearnedClauses = 0;
+  uint64_t Restarts = 0;
 
   // --- assignment helpers ---
   LBool valueOf(Lit L) const {

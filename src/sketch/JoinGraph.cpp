@@ -2,6 +2,8 @@
 
 #include "sketch/JoinGraph.h"
 
+#include "obs/Metrics.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -151,13 +153,19 @@ JoinGraph::steinerCovers(const std::vector<std::string> &Terminals,
 
   // Enumerate extra-table subsets by increasing size, then lexicographically,
   // so the resulting cover order is deterministic and smallest-first.
+  // Expansion counts accumulate in locals and publish once per call — this
+  // recursion is hot for wide schemas.
+  uint64_t Expanded = 0, Rejected = 0;
   std::vector<int> Extra;
   auto Emit = [&]() {
+    ++Expanded;
     std::vector<int> Cover = Base;
     Cover.insert(Cover.end(), Extra.begin(), Extra.end());
     std::sort(Cover.begin(), Cover.end());
-    if (!isValidCover(Cover, IsTerminal))
+    if (!isValidCover(Cover, IsTerminal)) {
+      ++Rejected;
       return;
+    }
     std::vector<std::string> Names;
     Names.reserve(Cover.size());
     for (int I : Cover)
@@ -183,5 +191,8 @@ JoinGraph::steinerCovers(const std::vector<std::string> &Terminals,
     };
     Rec(Rec, 0, 0);
   }
+  MIGRATOR_COUNTER_ADD("sketch.steiner_expanded", Expanded);
+  MIGRATOR_COUNTER_ADD("sketch.steiner_rejected", Rejected);
+  MIGRATOR_COUNTER_ADD("sketch.steiner_covers", Result.size());
   return Result;
 }

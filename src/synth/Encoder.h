@@ -56,6 +56,10 @@ public:
 
   const Sketch &getSketch() const { return Sk; }
 
+  /// The underlying CDCL solver, exposed read-only so callers can report
+  /// its search statistics (conflicts, decisions, propagations, ...).
+  const sat::Solver &getSatSolver() const { return Solver; }
+
 private:
   const Sketch &Sk;
   sat::Solver Solver;

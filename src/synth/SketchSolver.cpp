@@ -3,12 +3,35 @@
 #include "synth/SketchSolver.h"
 
 #include "eval/Evaluator.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "relational/ResultTable.h"
 
 #include <cassert>
 #include <set>
 
 using namespace migrator;
+
+namespace {
+
+/// Copies the cumulative CDCL counters of \p Sat into \p Stats and publishes
+/// them to the metrics registry. Called once per solve() exit: the encoder
+/// (and its solver) is per-sketch, so cumulative values *are* this solve's
+/// values.
+void recordSatStats(const sat::Solver &Sat, SolveStats &Stats) {
+  Stats.SatConflicts = Sat.getNumConflicts();
+  Stats.SatDecisions = Sat.getNumDecisions();
+  Stats.SatPropagations = Sat.getNumPropagations();
+  Stats.SatLearnedClauses = Sat.getNumLearnedClauses();
+  Stats.SatRestarts = Sat.getNumRestarts();
+  MIGRATOR_COUNTER_ADD("solver.sat_conflicts", Stats.SatConflicts);
+  MIGRATOR_COUNTER_ADD("solver.sat_decisions", Stats.SatDecisions);
+  MIGRATOR_COUNTER_ADD("solver.sat_propagations", Stats.SatPropagations);
+  MIGRATOR_COUNTER_ADD("solver.sat_learned_clauses", Stats.SatLearnedClauses);
+  MIGRATOR_COUNTER_ADD("solver.sat_restarts", Stats.SatRestarts);
+}
+
+} // namespace
 
 SketchSolver::SketchSolver(const Schema &SourceSchema,
                            const Program &SourceProg,
@@ -20,6 +43,8 @@ SketchSolver::SketchSolver(const Schema &SourceSchema,
 
 std::optional<Program> SketchSolver::solve(const Sketch &Sk,
                                            SolveStats &Stats) {
+  MIGRATOR_TRACE_SCOPE_NAMED(Span, "solve.sketch");
+  MIGRATOR_LATENCY_SCOPE("solver.solve_us");
   Timer Clock;
   SketchEncoder Enc(Sk, Opts.BiasFirstAlternatives);
 
@@ -30,80 +55,87 @@ std::optional<Program> SketchSolver::solve(const Sketch &Sk,
   };
   std::vector<Example> Examples;
 
-  while (true) {
-    if (Clock.elapsedSeconds() > Opts.TimeBudgetSec) {
-      Stats.TimedOut = true;
-      return std::nullopt;
-    }
-    if (Stats.Iters >= Opts.MaxIters) {
-      Stats.TimedOut = true;
-      return std::nullopt;
-    }
+  // The loop proper, so every exit path below funnels through one place
+  // that records the encoder's CDCL statistics and the trace span args.
+  auto Run = [&]() -> std::optional<Program> {
+    while (true) {
+      if (Clock.elapsedSeconds() > Opts.TimeBudgetSec) {
+        Stats.TimedOut = true;
+        return std::nullopt;
+      }
+      if (Stats.Iters >= Opts.MaxIters) {
+        Stats.TimedOut = true;
+        return std::nullopt;
+      }
 
-    std::optional<std::vector<unsigned>> Assign = Enc.nextAssignment();
-    if (!Assign) {
-      Stats.Exhausted = true;
-      return std::nullopt;
-    }
-    ++Stats.Iters;
-    Program Cand = Sk.instantiate(*Assign);
+      std::optional<std::vector<unsigned>> Assign;
+      {
+        MIGRATOR_LATENCY_SCOPE("solver.sat_call_us");
+        Assign = Enc.nextAssignment();
+      }
+      ++Stats.SatCalls;
+      MIGRATOR_COUNTER_ADD("solver.sat_calls", 1);
+      if (!Assign) {
+        Stats.Exhausted = true;
+        return std::nullopt;
+      }
+      ++Stats.Iters;
+      MIGRATOR_COUNTER_ADD("solver.candidates", 1);
+      Program Cand = Sk.instantiate(*Assign);
 
-    // CEGIS screening: reject candidates that fail a cached example without
-    // running the full tester.
-    if (Opts.TheMode == SolverOptions::Mode::Cegis) {
-      bool Screened = false;
-      for (const Example &E : Examples) {
-        std::optional<ResultTable> CandR =
-            runSequence(Cand, TargetSchema, E.Seq);
-        if (!CandR || !resultsEquivalent(E.SrcResult, *CandR)) {
-          Enc.blockAll(*Assign);
-          Stats.BlockedTotal += 1;
-          Screened = true;
-          break;
+      // CEGIS screening: reject candidates that fail a cached example without
+      // running the full tester.
+      if (Opts.TheMode == SolverOptions::Mode::Cegis) {
+        bool Screened = false;
+        for (const Example &E : Examples) {
+          std::optional<ResultTable> CandR =
+              runSequence(Cand, TargetSchema, E.Seq);
+          if (!CandR || !resultsEquivalent(E.SrcResult, *CandR)) {
+            Enc.blockAll(*Assign);
+            Stats.BlockedTotal += 1;
+            Screened = true;
+            break;
+          }
+        }
+        if (Screened) {
+          ++Stats.Rejected;
+          MIGRATOR_COUNTER_ADD("solver.cegis_screened", 1);
+          continue;
         }
       }
-      if (Screened)
-        continue;
-    }
 
-    TestOutcome Outcome = Tester.test(Cand);
-
-    if (Outcome.isEquivalent()) {
-      // Bounded testing passed; confirm with the deeper verifier
-      // (the paper's "invoke Mediator only when no failing input is found").
-      Timer VerifyClock;
-      TestOutcome Deep = Verifier.test(Cand);
-      Stats.VerifyTimeSec += VerifyClock.elapsedSeconds();
-      if (Deep.isEquivalent())
-        return Cand;
-      Outcome = std::move(Deep);
-    }
-
-    switch (Outcome.TheKind) {
-    case TestOutcome::Kind::IllFormed: {
-      // The offending function misbehaves independently of database state:
-      // block its holes alone (at least as strong as any mode's clause).
-      std::vector<unsigned> HoleIds =
-          Sk.holesOfFunction(Outcome.IllFormedFunc);
-      if (HoleIds.empty()) {
-        Enc.blockAll(*Assign);
-      } else {
-        Enc.block(*Assign, HoleIds);
-        Stats.BlockedTotal += Enc.blockedCount(HoleIds);
+      TestOutcome Outcome;
+      {
+        MIGRATOR_LATENCY_SCOPE("solver.test_us");
+        Outcome = Tester.test(Cand);
       }
-      break;
-    }
-    case TestOutcome::Kind::Failing: {
-      if (Opts.TheMode == SolverOptions::Mode::Mfi) {
-        // Block the partial assignment of every hole in the functions the
-        // MFI mentions (Sec. 4.4).
-        std::set<std::string> FuncNames;
-        for (const Invocation &I : Outcome.Mfi)
-          FuncNames.insert(I.Func);
-        std::vector<unsigned> HoleIds;
-        for (const std::string &F : FuncNames)
-          for (unsigned H : Sk.holesOfFunction(F))
-            HoleIds.push_back(H);
+
+      if (Outcome.isEquivalent()) {
+        // Bounded testing passed; confirm with the deeper verifier
+        // (the paper's "invoke Mediator only when no failing input is found").
+        Timer VerifyClock;
+        TestOutcome Deep;
+        {
+          MIGRATOR_TRACE_SCOPE("solve.verify");
+          MIGRATOR_LATENCY_SCOPE("solver.verify_us");
+          Deep = Verifier.test(Cand);
+        }
+        Stats.VerifyTimeSec += VerifyClock.elapsedSeconds();
+        if (Deep.isEquivalent())
+          return Cand;
+        MIGRATOR_COUNTER_ADD("solver.deep_rejections", 1);
+        Outcome = std::move(Deep);
+      }
+      ++Stats.Rejected;
+      MIGRATOR_COUNTER_ADD("solver.candidates_rejected", 1);
+
+      switch (Outcome.TheKind) {
+      case TestOutcome::Kind::IllFormed: {
+        // The offending function misbehaves independently of database state:
+        // block its holes alone (at least as strong as any mode's clause).
+        MIGRATOR_COUNTER_ADD("solver.illformed", 1);
+        std::vector<unsigned> HoleIds =
+            Sk.holesOfFunction(Outcome.IllFormedFunc);
         if (HoleIds.empty()) {
           Enc.blockAll(*Assign);
         } else {
@@ -112,19 +144,61 @@ std::optional<Program> SketchSolver::solve(const Sketch &Sk,
         }
         break;
       }
-      if (Opts.TheMode == SolverOptions::Mode::Cegis) {
-        std::optional<ResultTable> SrcR =
-            runSequence(SourceProg, SourceSchema, Outcome.Mfi);
-        assert(SrcR && "source program failed on its own MFI");
-        Examples.push_back({Outcome.Mfi, std::move(*SrcR)});
+      case TestOutcome::Kind::Failing: {
+        if (Opts.TheMode == SolverOptions::Mode::Mfi) {
+          // Block the partial assignment of every hole in the functions the
+          // MFI mentions (Sec. 4.4).
+          MIGRATOR_HISTOGRAM_RECORD("solver.mfi_len", Outcome.Mfi.size());
+          std::set<std::string> FuncNames;
+          for (const Invocation &I : Outcome.Mfi)
+            FuncNames.insert(I.Func);
+          std::vector<unsigned> HoleIds;
+          for (const std::string &F : FuncNames)
+            for (unsigned H : Sk.holesOfFunction(F))
+              HoleIds.push_back(H);
+          if (HoleIds.empty()) {
+            // MFI prune *miss*: the failing functions carry no holes, so the
+            // partial clause degenerates to blocking this one model.
+            ++Stats.MfiPruneMisses;
+            MIGRATOR_COUNTER_ADD("solver.mfi_prune_misses", 1);
+            Enc.blockAll(*Assign);
+          } else {
+            ++Stats.MfiPruneHits;
+            MIGRATOR_COUNTER_ADD("solver.mfi_prune_hits", 1);
+            Enc.block(*Assign, HoleIds);
+            Stats.BlockedTotal += Enc.blockedCount(HoleIds);
+          }
+          break;
+        }
+        if (Opts.TheMode == SolverOptions::Mode::Cegis) {
+          std::optional<ResultTable> SrcR =
+              runSequence(SourceProg, SourceSchema, Outcome.Mfi);
+          assert(SrcR && "source program failed on its own MFI");
+          Examples.push_back({Outcome.Mfi, std::move(*SrcR)});
+        }
+        Enc.blockAll(*Assign);
+        Stats.BlockedTotal += 1;
+        break;
       }
-      Enc.blockAll(*Assign);
-      Stats.BlockedTotal += 1;
-      break;
+      case TestOutcome::Kind::Equivalent:
+        assert(false && "handled above");
+        break;
+      }
     }
-    case TestOutcome::Kind::Equivalent:
-      assert(false && "handled above");
-      break;
-    }
-  }
+  };
+
+  std::optional<Program> Result = Run();
+  recordSatStats(Enc.getSatSolver(), Stats);
+  MIGRATOR_HISTOGRAM_RECORD("solver.candidates_per_sketch", Stats.Iters);
+  if (Span.active())
+    Span.arg("candidates", Stats.Iters)
+        .arg("sat_calls", Stats.SatCalls)
+        .arg("sat_conflicts", Stats.SatConflicts)
+        .arg("mfi_prune_hits", Stats.MfiPruneHits)
+        .arg("mfi_prune_misses", Stats.MfiPruneMisses)
+        .arg("rejected", Stats.Rejected)
+        .arg("solved", Result.has_value())
+        .arg("timed_out", Stats.TimedOut)
+        .arg("exhausted", Stats.Exhausted);
+  return Result;
 }

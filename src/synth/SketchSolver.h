@@ -71,6 +71,23 @@ struct SolveStats {
   double VerifyTimeSec = 0;    ///< Time in the deep verification tester.
   bool TimedOut = false;
   bool Exhausted = false;      ///< Hole space exhausted without a solution.
+
+  // Instrumentation (see docs/OBSERVABILITY.md): where the symbolic search
+  // spends its effort and how often the MFI learning actually bites.
+  uint64_t SatCalls = 0;       ///< Model requests issued to the SAT encoder.
+  uint64_t SatConflicts = 0;   ///< CDCL conflicts inside those requests.
+  uint64_t SatDecisions = 0;
+  uint64_t SatPropagations = 0;
+  uint64_t SatLearnedClauses = 0;
+  uint64_t SatRestarts = 0;
+  uint64_t MfiPruneHits = 0;   ///< Failing candidates blocked by a *partial*
+                               ///< (MFI-derived) clause — each prunes many
+                               ///< completions at once.
+  uint64_t MfiPruneMisses = 0; ///< Failing candidates where only the single
+                               ///< full model could be blocked.
+  uint64_t Rejected = 0;       ///< Candidates rejected per testing round
+                               ///< (screening, bounded testing, or the deep
+                               ///< verifier).
 };
 
 /// Completes sketches against one source program.

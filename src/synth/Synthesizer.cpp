@@ -3,6 +3,7 @@
 #include "synth/Synthesizer.h"
 
 #include "ast/Analysis.h"
+#include "obs/Trace.h"
 #include "support/Timer.h"
 
 using namespace migrator;
@@ -11,8 +12,15 @@ SynthResult migrator::synthesize(const Schema &SourceSchema,
                                  const Program &SourceProg,
                                  const Schema &TargetSchema,
                                  SynthOptions Opts) {
+  MIGRATOR_TRACE_SCOPE_NAMED(Span, "synthesize");
   Timer Total;
   SynthResult Result;
+
+  // Bracket the run with registry snapshots: the delta at the end is this
+  // run's contribution even when other runs share the process.
+  obs::MetricsSnapshot Before;
+  if (obs::metricsEnabled())
+    Before = obs::registry().snapshot();
 
   std::set<QualifiedAttr> Queried =
       collectQueriedAttrs(SourceProg, SourceSchema);
@@ -25,17 +33,36 @@ SynthResult migrator::synthesize(const Schema &SourceSchema,
       break;
     }
 
-    std::optional<ValueCorrespondence> Phi = VcEnum.next();
+    std::optional<ValueCorrespondence> Phi;
+    {
+      MIGRATOR_TRACE_SCOPE("vc.next");
+      MIGRATOR_LATENCY_SCOPE("vc.next_us");
+      Phi = VcEnum.next();
+    }
     if (!Phi)
       break; // No further correspondence exists: synthesis fails (⊥).
     ++Result.Stats.NumVcs;
+    MIGRATOR_COUNTER_ADD("synth.vcs_attempted", 1);
 
-    std::optional<Sketch> Sk = generateSketch(SourceProg, SourceSchema,
-                                              TargetSchema, *Phi,
-                                              Opts.SketchGen);
-    if (!Sk)
+    std::optional<Sketch> Sk;
+    {
+      MIGRATOR_TRACE_SCOPE_NAMED(SkSpan, "sketch.generate");
+      MIGRATOR_LATENCY_SCOPE("sketch.generate_us");
+      Sk = generateSketch(SourceProg, SourceSchema, TargetSchema, *Phi,
+                          Opts.SketchGen);
+      if (SkSpan.active() && Sk)
+        SkSpan.arg("holes", static_cast<uint64_t>(Sk->getNumHoles()))
+            .arg("space", Sk->spaceSize());
+    }
+    if (!Sk) {
+      MIGRATOR_COUNTER_ADD("synth.vcs_unsupported", 1);
       continue; // Φ cannot support some statement; try the next VC.
-    Result.Stats.SketchSpace = Sk->spaceSize();
+    }
+    // Accumulate: a run that burns through several VCs explores the union
+    // of their sketch spaces, not just the final one.
+    Result.Stats.SketchSpace += Sk->spaceSize();
+    MIGRATOR_COUNTER_ADD("synth.sketches_generated", 1);
+    MIGRATOR_HISTOGRAM_RECORD("sketch.holes", Sk->getNumHoles());
 
     SolverOptions SolverOpts = Opts.Solver;
     SolverOpts.TimeBudgetSec = std::min(Opts.Solver.TimeBudgetSec, Remaining);
@@ -59,5 +86,14 @@ SynthResult migrator::synthesize(const Schema &SourceSchema,
   Result.Stats.TotalTimeSec = Total.elapsedSeconds();
   Result.Stats.SynthTimeSec =
       Result.Stats.TotalTimeSec - Result.Stats.VerifyTimeSec;
+
+  if (obs::metricsEnabled())
+    Result.Metrics = obs::registry().snapshot() - Before;
+  if (Span.active())
+    Span.arg("vcs", static_cast<uint64_t>(Result.Stats.NumVcs))
+        .arg("iters", Result.Stats.Iters)
+        .arg("sketch_space", Result.Stats.SketchSpace)
+        .arg("succeeded", Result.succeeded())
+        .arg("timed_out", Result.Stats.TimedOut);
   return Result;
 }

@@ -16,6 +16,7 @@
 #ifndef MIGRATOR_SYNTH_SYNTHESIZER_H
 #define MIGRATOR_SYNTH_SYNTHESIZER_H
 
+#include "obs/Metrics.h"
 #include "sketch/SketchGen.h"
 #include "synth/SketchSolver.h"
 #include "vc/VcEnumerator.h"
@@ -42,7 +43,10 @@ struct SynthOptions {
 struct SynthStats {
   size_t NumVcs = 0;        ///< "Value Corr": correspondences attempted.
   uint64_t Iters = 0;       ///< "Iters": candidate programs explored.
-  double SketchSpace = 0;   ///< Completions of the last sketch attempted.
+  double SketchSpace = 0;   ///< "Sketch Space": total completions across all
+                            ///< sketches attempted in this run (accumulated;
+                            ///< earlier versions reported only the last
+                            ///< sketch, under-counting multi-VC runs).
   double SynthTimeSec = 0;  ///< "Synth Time": total minus verification.
   double VerifyTimeSec = 0; ///< Deep-verification time.
   double TotalTimeSec = 0;  ///< "Total Time".
@@ -53,6 +57,11 @@ struct SynthStats {
 struct SynthResult {
   std::optional<Program> Prog;
   SynthStats Stats;
+
+  /// Delta of the global metrics registry over this run: every counter,
+  /// gauge, and histogram the pipeline touched (empty when metrics were
+  /// disabled). See docs/OBSERVABILITY.md for the metric names.
+  obs::MetricsSnapshot Metrics;
 
   bool succeeded() const { return Prog.has_value(); }
 };

@@ -3,6 +3,7 @@
 #include "synth/Tester.h"
 
 #include "ast/Analysis.h"
+#include "obs/Metrics.h"
 #include "relational/ResultTable.h"
 
 #include <cassert>
@@ -154,6 +155,19 @@ EquivalenceTester::EquivalenceTester(const Schema &SourceSchema,
 }
 
 TestOutcome EquivalenceTester::test(const Program &Cand) const {
+  // Publish the sequences this call executes (delta of the cumulative
+  // counter) no matter which return path is taken.
+  struct SeqGuard {
+    const uint64_t &Cur;
+    uint64_t Start;
+    explicit SeqGuard(const uint64_t &C) : Cur(C), Start(C) {}
+    ~SeqGuard() {
+      MIGRATOR_COUNTER_ADD("tester.sequences_run", Cur - Start);
+      MIGRATOR_HISTOGRAM_RECORD("tester.sequences_per_test", Cur - Start);
+    }
+  } Guard(NumSequencesRun);
+  MIGRATOR_COUNTER_ADD("tester.tests", 1);
+
   const std::vector<Function> &Funcs = SourceProg.getFunctions();
   assert(Cand.getNumFunctions() == Funcs.size() &&
          "candidate function count mismatch");

@@ -2,6 +2,7 @@
 
 #include "vc/VcEnumerator.h"
 
+#include "obs/Metrics.h"
 #include "sat/MaxSat.h"
 #include "support/StringExtras.h"
 
@@ -226,7 +227,10 @@ struct VcEnumerator::Impl {
     HeapEntry Top = Heap.top();
     Heap.pop();
 
-    // Push the frontier successors.
+    // Push the frontier successors. Candidates already visited through a
+    // different parent are pruned — report both so the frontier's branching
+    // factor is visible.
+    uint64_t Pushed = 0, Pruned = 0;
     for (unsigned I = 0; I < Top.Idx.size(); ++I) {
       if (Top.Idx[I] + 1 >= Choices[I].size())
         continue;
@@ -234,9 +238,15 @@ struct VcEnumerator::Impl {
       Child.Score += Choices[I][Top.Idx[I] + 1].Score -
                      Choices[I][Top.Idx[I]].Score;
       ++Child.Idx[I];
-      if (Visited.insert(Child.Idx).second)
+      if (Visited.insert(Child.Idx).second) {
         Heap.push(std::move(Child));
+        ++Pushed;
+      } else {
+        ++Pruned;
+      }
     }
+    MIGRATOR_COUNTER_ADD("vc.kbest_pushed", Pushed);
+    MIGRATOR_COUNTER_ADD("vc.kbest_dedup_pruned", Pruned);
 
     ValueCorrespondence VC;
     for (unsigned I = 0; I < Top.Idx.size(); ++I)
@@ -250,7 +260,19 @@ struct VcEnumerator::Impl {
   std::optional<std::pair<ValueCorrespondence, uint64_t>> nextMaxSat() {
     if (!MaxSatBuilt)
       buildMaxSat();
+    sat::MaxSatStats Pre = MS.getStats(); // Cumulative; report the delta.
     std::optional<sat::MaxSatResult> R = MS.solve(Opts.MaxSatNodeBudget);
+    if (obs::metricsEnabled()) {
+      const sat::MaxSatStats &Post = MS.getStats();
+      MIGRATOR_COUNTER_ADD("vc.maxsat_calls", 1);
+      MIGRATOR_COUNTER_ADD("vc.maxsat_nodes", Post.Nodes - Pre.Nodes);
+      MIGRATOR_COUNTER_ADD("vc.maxsat_bound_prunes",
+                           Post.BoundPrunes - Pre.BoundPrunes);
+      MIGRATOR_COUNTER_ADD("vc.maxsat_conflict_prunes",
+                           Post.ConflictPrunes - Pre.ConflictPrunes);
+      MIGRATOR_COUNTER_ADD("vc.maxsat_models_found",
+                           Post.ModelsFound - Pre.ModelsFound);
+    }
     if (!R)
       return std::nullopt;
 
@@ -293,5 +315,7 @@ std::optional<ValueCorrespondence> VcEnumerator::next() {
     return std::nullopt;
   LastWeight = R->second;
   ++NumEnumerated;
+  MIGRATOR_COUNTER_ADD("vc.enumerated", 1);
+  MIGRATOR_HISTOGRAM_RECORD("vc.weight", LastWeight);
   return std::move(R->first);
 }

@@ -1,0 +1,335 @@
+//===- tests/obs_test.cpp - Observability layer tests ------------------------===//
+//
+// Coverage for migrator_obs: span nesting in the Chrome trace export,
+// histogram bucket/percentile math, registry thread safety, JSON
+// well-formedness of both exporters, and the zero-cost contract when
+// collection is disabled.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+using namespace migrator;
+using namespace migrator::obs;
+
+namespace {
+
+/// RAII: enables metrics for one test and restores the disabled default,
+/// resetting the (global) registry on both ends so tests are independent.
+struct MetricsOn {
+  MetricsOn() {
+    registry().reset();
+    setMetricsEnabled(true);
+  }
+  ~MetricsOn() {
+    setMetricsEnabled(false);
+    registry().reset();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// JSON helpers
+//===----------------------------------------------------------------------===//
+
+TEST(ObsJson, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(jsonString("x"), "\"x\"");
+}
+
+TEST(ObsJson, NumbersAreAlwaysFinite) {
+  EXPECT_EQ(jsonNumber(2.5), "2.5");
+  EXPECT_EQ(jsonNumber(3), "3");
+  EXPECT_EQ(jsonNumber(std::numeric_limits<double>::quiet_NaN()), "0");
+  EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()), "0");
+}
+
+TEST(ObsJson, ValidatorAcceptsWellFormedDocuments) {
+  for (const char *Doc :
+       {"{}", "[]", "null", "true", "42", "-1.5e3", "\"s\"",
+        "{\"a\":[1,2,{\"b\":null}],\"c\":\"\\u0041\"}", "  [1, 2]  "})
+    EXPECT_TRUE(validateJson(Doc)) << Doc;
+}
+
+TEST(ObsJson, ValidatorRejectsMalformedDocuments) {
+  for (const char *Doc :
+       {"", "{", "[1,]", "{\"a\":}", "{'a':1}", "01", "1 2", "nul",
+        "\"unterminated", "{\"a\":1,}", "[1 2]"}) {
+    std::string Error;
+    EXPECT_FALSE(validateJson(Doc, &Error)) << Doc;
+    EXPECT_FALSE(Error.empty()) << Doc;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Histograms
+//===----------------------------------------------------------------------===//
+
+TEST(ObsHistogram, BucketBoundariesArePowersOfTwo) {
+  EXPECT_EQ(Histogram::bucketOf(0), 0u);
+  EXPECT_EQ(Histogram::bucketOf(1), 1u);
+  EXPECT_EQ(Histogram::bucketOf(2), 2u);
+  EXPECT_EQ(Histogram::bucketOf(3), 2u);
+  EXPECT_EQ(Histogram::bucketOf(4), 3u);
+  EXPECT_EQ(Histogram::bucketOf(1023), 10u);
+  EXPECT_EQ(Histogram::bucketOf(1024), 11u);
+  EXPECT_EQ(Histogram::bucketOf(~uint64_t(0)), 64u - 1u + 1u);
+}
+
+TEST(ObsHistogram, CountSumAndMean) {
+  Histogram H;
+  for (uint64_t V : {1, 2, 3, 10, 100})
+    H.record(V);
+  HistogramSnapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 5u);
+  EXPECT_EQ(S.Sum, 116u);
+  EXPECT_DOUBLE_EQ(S.mean(), 116.0 / 5);
+}
+
+TEST(ObsHistogram, PercentilesLandInTheRightBucket) {
+  Histogram H;
+  // 90 small samples and 10 large ones: p50 must be small, p99 large.
+  for (int I = 0; I < 90; ++I)
+    H.record(4); // Bucket [4,8).
+  for (int I = 0; I < 10; ++I)
+    H.record(1024); // Bucket [1024,2048).
+  HistogramSnapshot S = H.snapshot();
+  double P50 = S.percentile(0.50);
+  double P99 = S.percentile(0.99);
+  EXPECT_GE(P50, 4.0);
+  EXPECT_LT(P50, 8.0);
+  EXPECT_GE(P99, 1024.0);
+  EXPECT_LT(P99, 2048.0);
+  // Quantiles are monotone.
+  EXPECT_LE(S.percentile(0.1), S.percentile(0.9));
+  // Empty histogram yields 0 everywhere.
+  EXPECT_DOUBLE_EQ(HistogramSnapshot().percentile(0.99), 0.0);
+}
+
+TEST(ObsHistogram, SnapshotsSubtract) {
+  Histogram H;
+  H.record(5);
+  H.record(7);
+  HistogramSnapshot Before = H.snapshot();
+  H.record(1000);
+  HistogramSnapshot Delta = H.snapshot() - Before;
+  EXPECT_EQ(Delta.Count, 1u);
+  EXPECT_EQ(Delta.Sum, 1000u);
+  EXPECT_EQ(Delta.Buckets[Histogram::bucketOf(1000)], 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+TEST(ObsRegistry, InstrumentsAreNamedAndStable) {
+  MetricsOn Guard;
+  Counter &C1 = registry().counter("test.reg.counter");
+  Counter &C2 = registry().counter("test.reg.counter");
+  EXPECT_EQ(&C1, &C2); // Same name, same instrument.
+  C1.add(3);
+  EXPECT_EQ(C2.value(), 3u);
+
+  registry().gauge("test.reg.gauge").set(2.5);
+  registry().histogram("test.reg.hist").record(7);
+
+  MetricsSnapshot S = registry().snapshot();
+  EXPECT_EQ(S.Counters.at("test.reg.counter"), 3u);
+  EXPECT_DOUBLE_EQ(S.Gauges.at("test.reg.gauge"), 2.5);
+  EXPECT_EQ(S.Histograms.at("test.reg.hist").Count, 1u);
+}
+
+TEST(ObsRegistry, ManyThreadsIncrementOneCounter) {
+  MetricsOn Guard;
+  constexpr int NumThreads = 8;
+  constexpr int PerThread = 20000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([] {
+      // Each thread resolves the instrument itself: exercises concurrent
+      // first-lookup as well as concurrent increments.
+      Counter &C = registry().counter("test.threads.counter");
+      Histogram &H = registry().histogram("test.threads.hist");
+      for (int I = 0; I < PerThread; ++I) {
+        C.add(1);
+        H.record(static_cast<uint64_t>(I % 37));
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  MetricsSnapshot S = registry().snapshot();
+  EXPECT_EQ(S.Counters.at("test.threads.counter"),
+            uint64_t(NumThreads) * PerThread);
+  EXPECT_EQ(S.Histograms.at("test.threads.hist").Count,
+            uint64_t(NumThreads) * PerThread);
+}
+
+TEST(ObsRegistry, SnapshotDeltaIsolatesARegion) {
+  MetricsOn Guard;
+  registry().counter("test.delta.c").add(10);
+  MetricsSnapshot Before = registry().snapshot();
+  registry().counter("test.delta.c").add(5);
+  registry().counter("test.delta.fresh").add(2);
+  MetricsSnapshot Delta = registry().snapshot() - Before;
+  EXPECT_EQ(Delta.Counters.at("test.delta.c"), 5u);
+  EXPECT_EQ(Delta.Counters.at("test.delta.fresh"), 2u);
+}
+
+TEST(ObsRegistry, TextAndJsonDumpsAreWellFormed) {
+  MetricsOn Guard;
+  registry().counter("test.dump.counter").add(42);
+  registry().gauge("test.dump.gauge").set(1.5);
+  Histogram &H = registry().histogram("test.dump.hist");
+  for (uint64_t V = 0; V < 100; ++V)
+    H.record(V);
+  MetricsSnapshot S = registry().snapshot();
+
+  std::string Text = S.str();
+  EXPECT_NE(Text.find("test.dump.counter"), std::string::npos);
+  EXPECT_NE(Text.find("42"), std::string::npos);
+  EXPECT_NE(Text.find("p99"), std::string::npos);
+
+  std::string Json = S.json();
+  std::string Error;
+  EXPECT_TRUE(validateJson(Json, &Error)) << Error;
+  EXPECT_NE(Json.find("\"test.dump.counter\":42"), std::string::npos);
+  EXPECT_NE(Json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(ObsRegistry, MacrosAreInertWhenDisabled) {
+  registry().reset();
+  ASSERT_FALSE(metricsEnabled()); // The process-wide default.
+  MIGRATOR_COUNTER_ADD("test.disabled.counter", 1);
+  MIGRATOR_HISTOGRAM_RECORD("test.disabled.hist", 5);
+  MIGRATOR_GAUGE_SET("test.disabled.gauge", 1.0);
+  { MIGRATOR_LATENCY_SCOPE("test.disabled.lat"); }
+  MetricsSnapshot S = registry().snapshot();
+  EXPECT_EQ(S.Counters.count("test.disabled.counter"), 0u);
+  EXPECT_EQ(S.Histograms.count("test.disabled.hist"), 0u);
+  EXPECT_EQ(S.Gauges.count("test.disabled.gauge"), 0u);
+}
+
+TEST(ObsRegistry, LatencyScopeRecordsMicroseconds) {
+  MetricsOn Guard;
+  {
+    MIGRATOR_LATENCY_SCOPE("test.lat.us");
+  }
+  MetricsSnapshot S = registry().snapshot();
+  ASSERT_EQ(S.Histograms.count("test.lat.us"), 1u);
+  EXPECT_EQ(S.Histograms.at("test.lat.us").Count, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Tracing
+//===----------------------------------------------------------------------===//
+
+TEST(ObsTrace, DisabledByDefaultAndScopesAreInactive) {
+  ASSERT_FALSE(tracingEnabled());
+  {
+    MIGRATOR_TRACE_SCOPE_NAMED(Span, "test.inactive");
+    EXPECT_FALSE(Span.active());
+    Span.arg("k", 1); // Must be a safe no-op.
+    MIGRATOR_TRACE_INSTANT("test.inactive.instant");
+  }
+  EXPECT_TRUE(traceEvents().empty());
+}
+
+TEST(ObsTrace, SpansNestByContainment) {
+  startTracing();
+  {
+    MIGRATOR_TRACE_SCOPE_NAMED(Outer, "test.outer");
+    EXPECT_TRUE(Outer.active());
+    {
+      MIGRATOR_TRACE_SCOPE("test.inner");
+      MIGRATOR_TRACE_INSTANT("test.mark");
+    }
+  }
+  stopTracing();
+
+  std::vector<TraceEvent> Events = traceEvents();
+  ASSERT_EQ(Events.size(), 3u);
+
+  auto Find = [&](const std::string &Name) -> const TraceEvent & {
+    auto It = std::find_if(Events.begin(), Events.end(),
+                           [&](const TraceEvent &E) { return E.Name == Name; });
+    EXPECT_NE(It, Events.end()) << Name;
+    return *It;
+  };
+  const TraceEvent &Outer = Find("test.outer");
+  const TraceEvent &Inner = Find("test.inner");
+  const TraceEvent &Mark = Find("test.mark");
+
+  // Chrome stacks spans by [ts, ts+dur) containment on one thread.
+  EXPECT_EQ(Outer.Phase, 'X');
+  EXPECT_EQ(Inner.Phase, 'X');
+  EXPECT_EQ(Mark.Phase, 'i');
+  EXPECT_EQ(Outer.Tid, Inner.Tid);
+  EXPECT_LE(Outer.TsUs, Inner.TsUs);
+  EXPECT_GE(Outer.TsUs + Outer.DurUs, Inner.TsUs + Inner.DurUs);
+  EXPECT_GE(Mark.TsUs, Inner.TsUs);
+}
+
+TEST(ObsTrace, ArgsAreRenderedIntoTheJson) {
+  startTracing();
+  {
+    MIGRATOR_TRACE_SCOPE_NAMED(Span, "test.args");
+    Span.arg("count", uint64_t(7))
+        .arg("label", "hello \"world\"")
+        .arg("ratio", 0.5)
+        .arg("flag", true);
+  }
+  stopTracing();
+
+  std::string Json = traceJson();
+  std::string Error;
+  ASSERT_TRUE(validateJson(Json, &Error)) << Error;
+  EXPECT_NE(Json.find("\"count\":7"), std::string::npos);
+  EXPECT_NE(Json.find("hello \\\"world\\\""), std::string::npos);
+  EXPECT_NE(Json.find("\"flag\":true"), std::string::npos);
+}
+
+TEST(ObsTrace, ExportIsWellFormedChromeTraceJson) {
+  startTracing();
+  for (int I = 0; I < 5; ++I) {
+    MIGRATOR_TRACE_SCOPE("test.export.span");
+  }
+  stopTracing();
+
+  std::string Json = traceJson();
+  std::string Error;
+  ASSERT_TRUE(validateJson(Json, &Error)) << Error;
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"X\""), std::string::npos);
+
+  // A restart clears the buffer.
+  startTracing();
+  stopTracing();
+  EXPECT_TRUE(traceEvents().empty());
+  EXPECT_TRUE(validateJson(traceJson(), &Error)) << Error;
+}
+
+TEST(ObsTrace, EventsFromMultipleThreadsGetDistinctTids) {
+  startTracing();
+  std::thread A([] { MIGRATOR_TRACE_SCOPE("test.tid.a"); });
+  std::thread B([] { MIGRATOR_TRACE_SCOPE("test.tid.b"); });
+  A.join();
+  B.join();
+  stopTracing();
+
+  std::vector<TraceEvent> Events = traceEvents();
+  ASSERT_EQ(Events.size(), 2u);
+  EXPECT_NE(Events[0].Tid, Events[1].Tid);
+}
+
+} // namespace

@@ -278,6 +278,126 @@ TEST(MaxSatSolver, BlockingEnumeratesDecreasingWeights) {
   EXPECT_FALSE(M.solve().has_value()); // All four assignments used.
 }
 
+//===----------------------------------------------------------------------===//
+// Search statistics (the accessors the observability layer reports)
+//===----------------------------------------------------------------------===//
+
+TEST(SatSolverStats, FreshSolverHasZeroedCounters) {
+  Solver S;
+  EXPECT_EQ(S.getNumConflicts(), 0u);
+  EXPECT_EQ(S.getNumDecisions(), 0u);
+  EXPECT_EQ(S.getNumPropagations(), 0u);
+  EXPECT_EQ(S.getNumLearnedClauses(), 0u);
+  EXPECT_EQ(S.getNumRestarts(), 0u);
+}
+
+TEST(SatSolverStats, PropagationsCountForcedAssignments) {
+  // V0 -> V1 -> ... -> V9 with V0 asserted: nine clause-driven propagations
+  // (the root unit enqueue itself is not clause propagation).
+  Solver S;
+  std::vector<Var> V;
+  for (int I = 0; I < 10; ++I)
+    V.push_back(S.newVar());
+  for (int I = 0; I + 1 < 10; ++I)
+    EXPECT_TRUE(S.addClause({negLit(V[I]), posLit(V[I + 1])}));
+  EXPECT_TRUE(S.addClause({posLit(V[0])}));
+  EXPECT_EQ(S.solve(), Solver::Result::Sat);
+  EXPECT_EQ(S.getNumPropagations(), 9u);
+  EXPECT_EQ(S.getNumConflicts(), 0u);
+}
+
+TEST(SatSolverStats, UnsatInstanceProducesConflictsAndLearnedClauses) {
+  // Pigeonhole 3-into-2: refutation requires conflicts, each of which
+  // learns a clause; decisions must also have happened.
+  Solver S;
+  Var X[3][2];
+  for (auto &Row : X)
+    for (Var &V : Row)
+      V = S.newVar();
+  for (int P = 0; P < 3; ++P)
+    EXPECT_TRUE(S.addClause({posLit(X[P][0]), posLit(X[P][1])}));
+  for (int H = 0; H < 2; ++H)
+    for (int P = 0; P < 3; ++P)
+      for (int Q = P + 1; Q < 3; ++Q)
+        EXPECT_TRUE(S.addClause({negLit(X[P][H]), negLit(X[Q][H])}));
+  EXPECT_EQ(S.solve(), Solver::Result::Unsat);
+  EXPECT_GT(S.getNumConflicts(), 0u);
+  EXPECT_GT(S.getNumDecisions(), 0u);
+  EXPECT_GT(S.getNumPropagations(), 0u);
+  EXPECT_GT(S.getNumLearnedClauses(), 0u);
+  EXPECT_LE(S.getNumLearnedClauses(), S.getNumConflicts());
+}
+
+TEST(SatSolverStats, CountersAccumulateAcrossIncrementalSolves) {
+  Solver S;
+  Var A = S.newVar(), B = S.newVar();
+  EXPECT_TRUE(S.addClause({posLit(A), posLit(B)}));
+  EXPECT_EQ(S.solve(), Solver::Result::Sat);
+  uint64_t D1 = S.getNumDecisions();
+  EXPECT_TRUE(S.addClause({negLit(A)}));
+  EXPECT_EQ(S.solve(), Solver::Result::Sat);
+  EXPECT_GE(S.getNumDecisions(), D1);
+}
+
+TEST(SatSolverStats, RestartsFireOnHardInstances) {
+  // Pigeonhole 7-into-6 forces well over the first Luby restart limit of
+  // 100 conflicts.
+  constexpr int P = 7, H = 6;
+  Solver S;
+  std::vector<std::vector<Var>> X(P, std::vector<Var>(H));
+  for (auto &Row : X)
+    for (Var &V : Row)
+      V = S.newVar();
+  for (int I = 0; I < P; ++I) {
+    std::vector<Lit> C;
+    for (int J = 0; J < H; ++J)
+      C.push_back(posLit(X[I][J]));
+    EXPECT_TRUE(S.addClause(C));
+  }
+  for (int J = 0; J < H; ++J)
+    for (int I = 0; I < P; ++I)
+      for (int K = I + 1; K < P; ++K)
+        EXPECT_TRUE(S.addClause({negLit(X[I][J]), negLit(X[K][J])}));
+  EXPECT_EQ(S.solve(), Solver::Result::Unsat);
+  EXPECT_GT(S.getNumConflicts(), 100u);
+  EXPECT_GT(S.getNumRestarts(), 0u);
+}
+
+TEST(MaxSatStats, CallsNodesAndPrunesAreCounted) {
+  MaxSatSolver M;
+  int A = M.addVars(2);
+  M.addHard({posLit(A), posLit(A + 1)});
+  M.addHard({negLit(A), negLit(A + 1)});
+  M.addSoft({posLit(A)}, 3);
+  M.addSoft({posLit(A + 1)}, 5);
+  EXPECT_EQ(M.getStats().Calls, 0u);
+  ASSERT_TRUE(M.solve().has_value());
+  MaxSatStats S1 = M.getStats();
+  EXPECT_EQ(S1.Calls, 1u);
+  EXPECT_GT(S1.Nodes, 0u);
+  EXPECT_GT(S1.ModelsFound, 0u);
+  // The two-model search space with conflicting softs must cut something:
+  // either by bound or by a falsified hard clause.
+  EXPECT_GT(S1.BoundPrunes + S1.ConflictPrunes, 0u);
+
+  // Stats accumulate across calls.
+  ASSERT_TRUE(M.solve().has_value());
+  MaxSatStats S2 = M.getStats();
+  EXPECT_EQ(S2.Calls, 2u);
+  EXPECT_GE(S2.Nodes, S1.Nodes);
+}
+
+TEST(MaxSatStats, UnsatHardClausesCountConflictPrunes) {
+  MaxSatSolver M;
+  int A = M.addVars(1);
+  M.addHard({posLit(A)});
+  M.addHard({negLit(A)});
+  EXPECT_FALSE(M.solve().has_value());
+  EXPECT_EQ(M.getStats().Calls, 1u);
+  EXPECT_GT(M.getStats().ConflictPrunes, 0u);
+  EXPECT_EQ(M.getStats().ModelsFound, 0u);
+}
+
 namespace {
 
 struct RandomMaxSatCase {
