@@ -9,7 +9,11 @@
 //     columns and enumeration stalls on the larger merge benchmark;
 //  3. Steiner slack sweep — candidate-chain depth vs. sketch size and time;
 //  4. relevance slicing off — per-candidate testing cost without per-query
-//     dependency slicing.
+//     dependency slicing;
+//  ...
+//  7. parallel engine — threads × batch sweep and source-cache on/off under
+//     the stress configuration (first-alternative bias off, so candidate
+//     testing dominates); see docs/PERFORMANCE.md.
 //
 //===----------------------------------------------------------------------===//
 
@@ -133,6 +137,32 @@ int main() {
     Three.Solver.Test.IntSeeds = {0, 1, 2};
     Three.Solver.Verify.IntSeeds = {0, 1, 2};
     runConfig("int seeds {0,1,2}", B, Three, 120);
+  }
+
+  // 7: parallel engine. Bias off forces the solver through many failing
+  // candidates, so the batched tester and portfolio — not the (sequential)
+  // SAT core — carry the run; deterministic mode keeps every configuration
+  // on the same answer.
+  for (const char *Name : {"coachup", "MathHotSpot"}) {
+    Benchmark B = loadBenchmark(Name);
+    std::printf("\n[%s] parallel engine (threads x batch, bias off)\n", Name);
+    const struct {
+      unsigned Jobs, Batch;
+    } Grid[] = {{1, 1}, {2, 4}, {4, 4}};
+    for (auto [Jobs, Batch] : Grid) {
+      SynthOptions Opts;
+      Opts.Solver.BiasFirstAlternatives = false;
+      Opts.Jobs = Jobs;
+      Opts.Solver.Batch = Batch;
+      Opts.Deterministic = true;
+      char Label[64];
+      std::snprintf(Label, sizeof(Label), "jobs=%u batch=%u", Jobs, Batch);
+      runConfig(Label, B, Opts, 300);
+    }
+    SynthOptions NoCache;
+    NoCache.Solver.BiasFirstAlternatives = false;
+    NoCache.UseSourceCache = false;
+    runConfig("source cache off", B, NoCache, 300);
   }
   return 0;
 }

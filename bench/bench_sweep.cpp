@@ -1,0 +1,163 @@
+//===- bench/bench_sweep.cpp - Parallel-engine sweep (BENCH_PR3.json) -------===//
+//
+// Measures the parallel synthesis engine (docs/PERFORMANCE.md) and emits a
+// machine-readable report: per benchmark, wall-clock at jobs = 1, 2, and 4
+// (batch 4, deterministic, first-alternative bias off so candidate testing
+// dominates), plus a source-cache on/off pair at jobs = 1.
+//
+// Usage: bench_sweep [output.json]     (default BENCH_PR3.json)
+//
+// Environment: MIGRATOR_BENCH_BUDGET caps the per-run budget (seconds);
+// MIGRATOR_SWEEP_BENCHMARKS is a comma-separated benchmark-name override.
+//
+// The report records the host's hardware concurrency: thread-scaling
+// numbers are only meaningful when the host actually has the cores (see
+// EXPERIMENTS.md for the single-core caveat); the cache on/off delta and
+// the hit counters are hardware-independent.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "obs/Json.h"
+#include "obs/Metrics.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace migrator;
+using namespace migrator::bench;
+
+namespace {
+
+uint64_t counterOf(const SynthResult &R, const char *Name) {
+  auto It = R.Metrics.Counters.find(Name);
+  return It == R.Metrics.Counters.end() ? 0 : It->second;
+}
+
+struct SweepRow {
+  std::string Bench;
+  unsigned Jobs = 1;
+  unsigned Batch = 1;
+  bool SrcCache = true;
+  bool Ok = false;
+  double WallSec = 0;
+  uint64_t Iters = 0;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t PoolTasks = 0;
+  uint64_t PoolSteals = 0;
+  uint64_t SeqsRun = 0;
+
+  std::string json() const {
+    std::ostringstream O;
+    O << "{\"benchmark\": " << obs::jsonString(Bench)
+      << ", \"jobs\": " << Jobs << ", \"batch\": " << Batch
+      << ", \"src_cache\": " << (SrcCache ? "true" : "false")
+      << ", \"ok\": " << (Ok ? "true" : "false")
+      << ", \"wall_sec\": " << obs::jsonNumber(WallSec)
+      << ", \"iters\": " << Iters << ", \"src_cache_hits\": " << CacheHits
+      << ", \"src_cache_misses\": " << CacheMisses
+      << ", \"pool_tasks\": " << PoolTasks
+      << ", \"pool_steals\": " << PoolSteals
+      << ", \"sequences_run\": " << SeqsRun << "}";
+    return O.str();
+  }
+};
+
+SweepRow runOne(const Benchmark &B, unsigned Jobs, unsigned Batch,
+                bool UseCache) {
+  SynthOptions Opts;
+  Opts.Solver.BiasFirstAlternatives = false; // Stress: testing dominates.
+  Opts.Jobs = Jobs;
+  Opts.Solver.Batch = Batch;
+  Opts.Deterministic = true;
+  Opts.UseSourceCache = UseCache;
+  Opts.TimeBudgetSec = budgetFor(B);
+
+  Timer Clock;
+  SynthResult R = synthesize(B.Source, B.Prog, B.Target, Opts);
+
+  SweepRow Row;
+  Row.Bench = B.Name;
+  Row.Jobs = Jobs;
+  Row.Batch = Batch;
+  Row.SrcCache = UseCache;
+  Row.Ok = R.succeeded();
+  Row.WallSec = Clock.elapsedSeconds();
+  Row.Iters = R.Stats.Iters;
+  Row.CacheHits = counterOf(R, "tester.src_cache_hits");
+  Row.CacheMisses = counterOf(R, "tester.src_cache_misses");
+  Row.PoolTasks = counterOf(R, "pool.tasks");
+  Row.PoolSteals = counterOf(R, "pool.steals");
+  Row.SeqsRun = counterOf(R, "tester.sequences_run");
+  std::printf("  %-16s jobs=%u batch=%u cache=%-3s %-4s wall=%.2fs "
+              "iters=%llu hits=%llu misses=%llu tasks=%llu steals=%llu\n",
+              B.Name.c_str(), Jobs, Batch, UseCache ? "on" : "off",
+              Row.Ok ? "ok" : "FAIL", Row.WallSec,
+              static_cast<unsigned long long>(Row.Iters),
+              static_cast<unsigned long long>(Row.CacheHits),
+              static_cast<unsigned long long>(Row.CacheMisses),
+              static_cast<unsigned long long>(Row.PoolTasks),
+              static_cast<unsigned long long>(Row.PoolSteals));
+  std::fflush(stdout);
+  return Row;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *OutPath = Argc > 1 ? Argv[1] : "BENCH_PR3.json";
+  obs::setMetricsEnabled(true);
+
+  std::vector<std::string> Names = {"Ambler-8", "coachup", "MathHotSpot"};
+  if (const char *Env = std::getenv("MIGRATOR_SWEEP_BENCHMARKS")) {
+    Names.clear();
+    std::string S = Env, Tok;
+    std::istringstream In(S);
+    while (std::getline(In, Tok, ','))
+      if (!Tok.empty())
+        Names.push_back(Tok);
+  }
+
+  std::printf("Parallel engine sweep (bias off, deterministic) -> %s\n",
+              OutPath);
+  std::vector<SweepRow> Rows;
+  for (const std::string &Name : Names) {
+    Benchmark B = loadBenchmark(Name);
+    for (unsigned Jobs : {1u, 2u, 4u})
+      Rows.push_back(runOne(B, Jobs, /*Batch=*/Jobs == 1 ? 1 : 4,
+                            /*UseCache=*/true));
+    // Cache ablation at jobs=1: hardware-independent work reduction.
+    Rows.push_back(runOne(B, /*Jobs=*/1, /*Batch=*/1, /*UseCache=*/false));
+  }
+
+  std::ostringstream Out;
+  Out << "{\n  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n  \"results\": [\n";
+  for (size_t I = 0; I < Rows.size(); ++I)
+    Out << "    " << Rows[I].json() << (I + 1 < Rows.size() ? ",\n" : "\n");
+  Out << "  ]\n}\n";
+
+  std::string Doc = Out.str();
+  std::string Err;
+  if (!obs::validateJson(Doc, &Err)) {
+    std::fprintf(stderr, "internal error: emitted invalid JSON: %s\n",
+                 Err.c_str());
+    return 1;
+  }
+  std::ofstream F(OutPath);
+  if (!F) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", OutPath);
+    return 1;
+  }
+  F << Doc;
+  std::printf("wrote %s (%zu rows)\n", OutPath, Rows.size());
+  return 0;
+}

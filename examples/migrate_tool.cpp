@@ -7,6 +7,7 @@
 // Usage:
 //   migrate_tool <file> <program-name> <source-schema> <target-schema>
 //                [budget-seconds] [--sql] [--mode=mfi|enum|cegis]
+//                [--jobs=N] [--batch=N] [--deterministic] [--no-src-cache]
 //                [--trace=<file.json>] [--stats] [--stats-json=<file>]
 //
 // With --sql, the migrated program is printed as executable SQL (MySQL
@@ -14,6 +15,12 @@
 // strategy (default mfi). Any `workload` blocks bound to the program are
 // replayed against both versions after synthesis. With no arguments, prints
 // usage and a ready-to-run input template.
+//
+// Parallel engine (see docs/PERFORMANCE.md): --jobs=N runs a sketch
+// portfolio over an N-worker pool, --batch=N tests N candidates per SAT
+// round, --deterministic makes the parallel result byte-identical to the
+// sequential one, and --no-src-cache disables the cross-candidate
+// source-result cache.
 //
 // Observability (see docs/OBSERVABILITY.md): --trace=<file> writes a Chrome
 // trace_event JSON of the run (load into chrome://tracing or Perfetto);
@@ -32,6 +39,7 @@
 #include "parse/Parser.h"
 #include "synth/Synthesizer.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -103,6 +111,16 @@ int main(int Argc, char **Argv) {
       Opts.Solver.TheMode = SolverOptions::Mode::Enumerative;
     } else if (Arg == "--mode=cegis") {
       Opts.Solver.TheMode = SolverOptions::Mode::Cegis;
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      Opts.Jobs = static_cast<unsigned>(
+          std::max(1L, std::atol(Arg.c_str() + 7)));
+    } else if (Arg.rfind("--batch=", 0) == 0) {
+      Opts.Solver.Batch = static_cast<unsigned>(
+          std::max(1L, std::atol(Arg.c_str() + 8)));
+    } else if (Arg == "--deterministic") {
+      Opts.Deterministic = true;
+    } else if (Arg == "--no-src-cache") {
+      Opts.UseSourceCache = false;
     } else if (Arg.rfind("--trace=", 0) == 0) {
       TracePath = Arg.substr(8);
     } else if (Arg == "--stats") {

@@ -2,11 +2,15 @@
 #===- scripts/check.sh - Sanitized build + tests + obs smoke run ------------===#
 #
 # The tier-1 verification script, strengthened: Debug build under
-# Address/UndefinedBehaviorSanitizer, the full ctest suite, and a
+# Address/UndefinedBehaviorSanitizer, the full ctest suite, a
 # migrate_tool observability smoke run whose emitted trace/stats JSON is
-# validated with trace_check.
+# validated with trace_check, and a ThreadSanitizer pass over the parallel
+# synthesis engine (thread pool, portfolio, batched tester, source cache).
 #
 # Usage: scripts/check.sh [build-dir]     (default: build-check)
+#
+# Set MIGRATOR_SKIP_TSAN=1 to skip the ThreadSanitizer stage (it builds a
+# second tree).
 #
 #===----------------------------------------------------------------------===#
 
@@ -49,5 +53,24 @@ MIGRATOR_TRACE="$TMP/env.trace.json" \
   "$BUILD/examples/migrate_tool" "$TMP/dbp/Ambler-2.dbp" App \
   Ambler_2Src Ambler_2Tgt 120 > /dev/null
 "$BUILD/examples/trace_check" --trace --expect synthesize "$TMP/env.trace.json"
+
+if [ "${MIGRATOR_SKIP_TSAN:-0}" != "1" ]; then
+  echo "== ThreadSanitizer: parallel engine =="
+  TSAN_BUILD="$BUILD-tsan"
+  TSAN_FLAGS="-fsanitize=thread"
+  cmake -B "$TSAN_BUILD" -S "$REPO" \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" \
+    -DCMAKE_EXE_LINKER_FLAGS="$TSAN_FLAGS"
+  cmake --build "$TSAN_BUILD" -j"$(nproc)" --target migrator_tests \
+    --target migrate_tool --target dump_benchmarks
+  ctest --test-dir "$TSAN_BUILD" --output-on-failure \
+    -R 'ThreadPool|ParallelSynth|SourceCache|SolveStats'
+  # A real parallel run under TSan: portfolio + batching + shared cache.
+  "$TSAN_BUILD/examples/dump_benchmarks" "$TMP/dbp-tsan" > /dev/null
+  "$TSAN_BUILD/examples/migrate_tool" "$TMP/dbp-tsan/Ambler-8.dbp" App \
+    Ambler_8Src Ambler_8Tgt --jobs=4 --batch=4 --deterministic 120 \
+    > /dev/null
+fi
 
 echo "== all checks passed =="

@@ -39,7 +39,16 @@ namespace migrator {
 /// Generator of globally fresh UID values within one program run.
 class UidGen {
 public:
+  UidGen() = default;
+
+  /// Resumes numbering at \p Start (used by the source-result cache to
+  /// continue a memoized prefix state's counter).
+  explicit UidGen(uint64_t Start) : Next(Start) {}
+
   Value fresh() { return Value::makeUid(Next++); }
+
+  /// The id the next fresh() call would return.
+  uint64_t peekNext() const { return Next; }
 
 private:
   uint64_t Next = 1;

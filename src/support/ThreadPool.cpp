@@ -1,0 +1,182 @@
+//===- support/ThreadPool.cpp - Work-stealing thread pool -------------------===//
+
+#include "support/ThreadPool.h"
+
+#include "obs/Metrics.h"
+
+#include <cassert>
+
+using namespace migrator;
+
+namespace {
+
+/// Which pool (if any) the current thread works for, and its queue index.
+/// Lets submit() and popOrSteal() prefer the thread's own deque.
+thread_local ThreadPool *CurrentPool = nullptr;
+thread_local unsigned CurrentIndex = 0;
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned NumWorkers) {
+  if (NumWorkers < 1)
+    NumWorkers = 1;
+  Queues.reserve(NumWorkers);
+  for (unsigned I = 0; I < NumWorkers; ++I)
+    Queues.push_back(std::make_unique<WorkQueue>());
+  Workers.reserve(NumWorkers);
+  for (unsigned I = 0; I < NumWorkers; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  // Callers wait their TaskGroups before the pool dies (TaskGroup's
+  // destructor enforces it), so the queues are normally empty here; any
+  // leftovers are tasks whose group was abandoned, and dropping them is the
+  // only safe option.
+  {
+    std::lock_guard<std::mutex> Lock(IdleM);
+    ShuttingDown = true;
+  }
+  IdleCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(Task T) {
+  NumTasks.fetch_add(1, std::memory_order_relaxed);
+  MIGRATOR_COUNTER_ADD("pool.tasks", 1);
+
+  // A worker pushes to its own deque (depth-first; stolen breadth-first);
+  // external threads scatter round-robin.
+  unsigned Idx = CurrentPool == this
+                     ? CurrentIndex
+                     : NextQueue.fetch_add(1, std::memory_order_relaxed) %
+                           Queues.size();
+  {
+    std::lock_guard<std::mutex> Lock(Queues[Idx]->M);
+    Queues[Idx]->Q.push_back(std::move(T));
+  }
+  QueuedTasks.fetch_add(1, std::memory_order_release);
+  {
+    // Touching IdleM orders this submission against any worker that just
+    // re-checked QueuedTasks and is about to block (see workerLoop).
+    std::lock_guard<std::mutex> Lock(IdleM);
+  }
+  IdleCv.notify_one();
+}
+
+bool ThreadPool::popOrSteal(Task &Out) {
+  size_t N = Queues.size();
+  // Own queue first, back end (LIFO).
+  if (CurrentPool == this) {
+    WorkQueue &Mine = *Queues[CurrentIndex];
+    std::lock_guard<std::mutex> Lock(Mine.M);
+    if (!Mine.Q.empty()) {
+      Out = std::move(Mine.Q.back());
+      Mine.Q.pop_back();
+      QueuedTasks.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  // Steal from victims, front end (FIFO).
+  unsigned Start =
+      CurrentPool == this
+          ? CurrentIndex + 1
+          : NextQueue.fetch_add(1, std::memory_order_relaxed);
+  for (size_t K = 0; K < N; ++K) {
+    WorkQueue &Victim = *Queues[(Start + K) % N];
+    std::lock_guard<std::mutex> Lock(Victim.M);
+    if (!Victim.Q.empty()) {
+      Out = std::move(Victim.Q.front());
+      Victim.Q.pop_front();
+      QueuedTasks.fetch_sub(1, std::memory_order_relaxed);
+      if (CurrentPool == this) {
+        NumSteals.fetch_add(1, std::memory_order_relaxed);
+        MIGRATOR_COUNTER_ADD("pool.steals", 1);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::runTask(Task &T) {
+  T.Fn();
+  if (T.Group)
+    T.Group->finishOne();
+}
+
+bool ThreadPool::tryRunOne() {
+  Task T;
+  if (!popOrSteal(T))
+    return false;
+  runTask(T);
+  return true;
+}
+
+void ThreadPool::workerLoop(unsigned Index) {
+  CurrentPool = this;
+  CurrentIndex = Index;
+  while (true) {
+    Task T;
+    if (popOrSteal(T)) {
+      runTask(T);
+      continue;
+    }
+    std::unique_lock<std::mutex> Lock(IdleM);
+    if (ShuttingDown)
+      return;
+    // Re-check under the lock: a submit() between our failed scan and here
+    // must be observed, because it takes IdleM before notifying.
+    if (QueuedTasks.load(std::memory_order_acquire) > 0)
+      continue;
+    IdleCv.wait(Lock);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// TaskGroup
+//===----------------------------------------------------------------------===//
+
+void TaskGroup::run(std::function<void()> Fn) {
+  if (!Pool) {
+    Fn();
+    return;
+  }
+  Pending.fetch_add(1, std::memory_order_acq_rel);
+  Pool->submit({std::move(Fn), this});
+}
+
+void TaskGroup::finishOne() {
+  // The decrement happens *inside* the critical section: once a waiter can
+  // observe Pending == 0 it must also be able to rely on this thread being
+  // past its last touch of the group (wait() re-acquires M before
+  // returning, which cannot succeed until this scope unlocks). Decrementing
+  // outside the lock would let the waiter destroy the group while this
+  // thread is still about to lock M / notify — a use-after-free.
+  std::lock_guard<std::mutex> Lock(M);
+  if (Pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
+    Cv.notify_all();
+}
+
+void TaskGroup::wait() {
+  if (!Pool)
+    return;
+  while (Pending.load(std::memory_order_acquire) > 0) {
+    // Help: drain queued work (ours or anyone's) instead of sleeping, so a
+    // saturated pool of mutually waiting parents still makes progress.
+    if (Pool->tryRunOne())
+      continue;
+    // Nothing runnable: our remaining tasks are executing on other
+    // threads. Block until the count drains.
+    std::unique_lock<std::mutex> Lock(M);
+    if (Pending.load(std::memory_order_acquire) == 0)
+      return; // Exits under M: the finishing thread has released the group.
+    Cv.wait(Lock);
+  }
+  // Fast-path exit (count observed 0 outside M): the thread that ran our
+  // last task may still be inside finishOne's critical section. Passing
+  // through M orders its final accesses before our return — the caller may
+  // destroy this group immediately after.
+  std::lock_guard<std::mutex> Lock(M);
+}

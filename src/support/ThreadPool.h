@@ -1,0 +1,144 @@
+//===- support/ThreadPool.h - Work-stealing thread pool -----------*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool for the parallel synthesis engine.
+///
+/// Design:
+///
+///  * one double-ended queue per worker; a worker pops its own queue LIFO
+///    (cache-warm, depth-first) and steals FIFO from victims (breadth-first,
+///    the classic Blumofe–Leiserson discipline);
+///  * tasks are submitted through a TaskGroup, which tracks completion so a
+///    caller can block until its own tasks — and only its own — are done;
+///  * TaskGroup::wait() *helps*: while its tasks are outstanding the waiting
+///    thread executes queued tasks instead of sleeping, so nested fan-out
+///    (a portfolio worker batching tester calls onto the same pool) cannot
+///    deadlock even when every worker is itself inside a wait();
+///  * tasks must not throw — the synthesis pipeline reports failure through
+///    return values, and an escaping exception would terminate.
+///
+/// Observability: `pool.tasks` counts submissions, `pool.steals` counts
+/// successful cross-worker steals (see docs/OBSERVABILITY.md).
+///
+/// The pool makes no ordering guarantees; determinism of the synthesis
+/// result is owned by the algorithm layer (see docs/PERFORMANCE.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_SUPPORT_THREADPOOL_H
+#define MIGRATOR_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace migrator {
+
+class TaskGroup;
+
+/// A fixed-size pool of worker threads with per-worker stealing deques.
+class ThreadPool {
+public:
+  /// Spawns \p NumWorkers worker threads (at least 1).
+  explicit ThreadPool(unsigned NumWorkers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned getWorkerCount() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// Pops or steals one queued task and runs it on the calling thread.
+  /// Returns false when every queue is empty. Used by helping waiters.
+  bool tryRunOne();
+
+  /// Total tasks submitted / successful steals over the pool's lifetime.
+  uint64_t getNumTasks() const {
+    return NumTasks.load(std::memory_order_relaxed);
+  }
+  uint64_t getNumSteals() const {
+    return NumSteals.load(std::memory_order_relaxed);
+  }
+
+private:
+  friend class TaskGroup;
+
+  struct Task {
+    std::function<void()> Fn;
+    TaskGroup *Group = nullptr;
+  };
+
+  /// One worker's deque. A plain mutex per deque: tasks here are coarse
+  /// (whole candidate tests / sketch solves), so queue traffic is far off
+  /// the hot path.
+  struct WorkQueue {
+    std::mutex M;
+    std::deque<Task> Q;
+  };
+
+  void submit(Task T);
+  bool popOrSteal(Task &Out);
+  void runTask(Task &T);
+  void workerLoop(unsigned Index);
+
+  std::vector<std::unique_ptr<WorkQueue>> Queues;
+  std::vector<std::thread> Workers;
+
+  /// Wakeup protocol: QueuedTasks counts tasks sitting in queues; a worker
+  /// only blocks after re-checking it under IdleM, and submit() touches
+  /// IdleM before notifying, so wakeups cannot be lost.
+  std::atomic<size_t> QueuedTasks{0};
+  std::mutex IdleM;
+  std::condition_variable IdleCv;
+  bool ShuttingDown = false; ///< Guarded by IdleM.
+
+  std::atomic<unsigned> NextQueue{0};
+  std::atomic<uint64_t> NumTasks{0};
+  std::atomic<uint64_t> NumSteals{0};
+};
+
+/// Tracks a set of tasks so the submitter can wait for exactly them.
+///
+/// Constructed with a null pool, run() executes inline on the caller — the
+/// degenerate sequential mode, so call sites need no 1-thread special case.
+class TaskGroup {
+public:
+  explicit TaskGroup(ThreadPool *Pool) : Pool(Pool) {}
+  ~TaskGroup() { wait(); }
+
+  TaskGroup(const TaskGroup &) = delete;
+  TaskGroup &operator=(const TaskGroup &) = delete;
+
+  /// Submits \p Fn to the pool (or runs it inline without a pool).
+  void run(std::function<void()> Fn);
+
+  /// Blocks until every task run() through this group has finished,
+  /// executing queued tasks on the calling thread while it waits.
+  void wait();
+
+private:
+  friend class ThreadPool;
+  void finishOne();
+
+  ThreadPool *Pool;
+  std::atomic<size_t> Pending{0};
+  std::mutex M;
+  std::condition_variable Cv;
+};
+
+} // namespace migrator
+
+#endif // MIGRATOR_SUPPORT_THREADPOOL_H

@@ -6,9 +6,13 @@
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "relational/ResultTable.h"
+#include "support/ThreadPool.h"
+#include "synth/SourceCache.h"
 
 #include <cassert>
+#include <memory>
 #include <set>
+#include <vector>
 
 using namespace migrator;
 
@@ -33,16 +37,38 @@ void recordSatStats(const sat::Solver &Sat, SolveStats &Stats) {
 
 } // namespace
 
+SolveStats &SolveStats::operator+=(const SolveStats &O) {
+  Iters += O.Iters;
+  BlockedTotal += O.BlockedTotal;
+  VerifyTimeSec += O.VerifyTimeSec;
+  TimedOut = TimedOut || O.TimedOut;
+  Exhausted = Exhausted || O.Exhausted;
+  Cancelled = Cancelled || O.Cancelled;
+  SatCalls += O.SatCalls;
+  SatConflicts += O.SatConflicts;
+  SatDecisions += O.SatDecisions;
+  SatPropagations += O.SatPropagations;
+  SatLearnedClauses += O.SatLearnedClauses;
+  SatRestarts += O.SatRestarts;
+  MfiPruneHits += O.MfiPruneHits;
+  MfiPruneMisses += O.MfiPruneMisses;
+  Rejected += O.Rejected;
+  return *this;
+}
+
 SketchSolver::SketchSolver(const Schema &SourceSchema,
                            const Program &SourceProg,
-                           const Schema &TargetSchema, SolverOptions Opts)
+                           const Schema &TargetSchema, SolverOptions Opts,
+                           SourceResultCache *SrcCache, ThreadPool *Pool)
     : SourceSchema(SourceSchema), SourceProg(SourceProg),
-      TargetSchema(TargetSchema), Opts(Opts),
-      Tester(SourceSchema, SourceProg, TargetSchema, Opts.Test),
-      Verifier(SourceSchema, SourceProg, TargetSchema, Opts.Verify) {}
+      TargetSchema(TargetSchema), Opts(Opts), SrcCache(SrcCache), Pool(Pool),
+      Tester(SourceSchema, SourceProg, TargetSchema, Opts.Test, SrcCache),
+      Verifier(SourceSchema, SourceProg, TargetSchema, Opts.Verify,
+               SrcCache) {}
 
 std::optional<Program> SketchSolver::solve(const Sketch &Sk,
-                                           SolveStats &Stats) {
+                                           SolveStats &Stats,
+                                           const std::atomic<bool> *Cancel) {
   MIGRATOR_TRACE_SCOPE_NAMED(Span, "solve.sketch");
   MIGRATOR_LATENCY_SCOPE("solver.solve_us");
   Timer Clock;
@@ -51,14 +77,26 @@ std::optional<Program> SketchSolver::solve(const Sketch &Sk,
   // CEGIS example cache: failing inputs with their source-program results.
   struct Example {
     InvocationSeq Seq;
-    ResultTable SrcResult;
+    std::shared_ptr<const ResultTable> SrcResult;
   };
   std::vector<Example> Examples;
+
+  // One drawn model of a batch, with its candidate and test verdict.
+  struct Slot {
+    std::vector<unsigned> Assign;
+    std::optional<Program> Cand;
+    bool Screened = false; ///< Rejected by the CEGIS example screen.
+    TestOutcome Outcome;
+  };
 
   // The loop proper, so every exit path below funnels through one place
   // that records the encoder's CDCL statistics and the trace span args.
   auto Run = [&]() -> std::optional<Program> {
     while (true) {
+      if (Cancel && Cancel->load(std::memory_order_relaxed)) {
+        Stats.Cancelled = true;
+        return std::nullopt;
+      }
       if (Clock.elapsedSeconds() > Opts.TimeBudgetSec) {
         Stats.TimedOut = true;
         return std::nullopt;
@@ -68,121 +106,160 @@ std::optional<Program> SketchSolver::solve(const Sketch &Sk,
         return std::nullopt;
       }
 
-      std::optional<std::vector<unsigned>> Assign;
-      {
-        MIGRATOR_LATENCY_SCOPE("solver.sat_call_us");
-        Assign = Enc.nextAssignment();
+      // Draw phase (sequential): pull up to Batch models, blocking each in
+      // full at draw time. The full-model clause reserves the model for
+      // this round and is subsumed by any stronger partial clause learned
+      // from it below, so the remaining-model set evolves exactly as in the
+      // one-at-a-time engine.
+      std::vector<Slot> Batch;
+      uint64_t Want = std::max<unsigned>(Opts.Batch, 1);
+      Want = std::min<uint64_t>(Want, Opts.MaxIters - Stats.Iters);
+      Batch.reserve(Want);
+      for (uint64_t I = 0; I < Want; ++I) {
+        std::optional<std::vector<unsigned>> Assign;
+        {
+          MIGRATOR_LATENCY_SCOPE("solver.sat_call_us");
+          Assign = Enc.nextAssignment();
+        }
+        ++Stats.SatCalls;
+        MIGRATOR_COUNTER_ADD("solver.sat_calls", 1);
+        if (!Assign)
+          break;
+        ++Stats.Iters;
+        MIGRATOR_COUNTER_ADD("solver.candidates", 1);
+        Enc.blockAll(*Assign);
+        Slot S;
+        S.Assign = std::move(*Assign);
+        S.Cand = Sk.instantiate(S.Assign);
+        Batch.push_back(std::move(S));
       }
-      ++Stats.SatCalls;
-      MIGRATOR_COUNTER_ADD("solver.sat_calls", 1);
-      if (!Assign) {
+      if (Batch.empty()) {
         Stats.Exhausted = true;
         return std::nullopt;
       }
-      ++Stats.Iters;
-      MIGRATOR_COUNTER_ADD("solver.candidates", 1);
-      Program Cand = Sk.instantiate(*Assign);
+      MIGRATOR_HISTOGRAM_RECORD("solver.batch_size", Batch.size());
 
-      // CEGIS screening: reject candidates that fail a cached example without
-      // running the full tester.
-      if (Opts.TheMode == SolverOptions::Mode::Cegis) {
-        bool Screened = false;
-        for (const Example &E : Examples) {
-          std::optional<ResultTable> CandR =
-              runSequence(Cand, TargetSchema, E.Seq);
-          if (!CandR || !resultsEquivalent(E.SrcResult, *CandR)) {
-            Enc.blockAll(*Assign);
-            Stats.BlockedTotal += 1;
-            Screened = true;
-            break;
-          }
-        }
-        if (Screened) {
+      // Test phase (parallel): screen and bounded-test every candidate of
+      // the round. Examples is read-only until the group completes, and
+      // the testers synchronize internally, so tasks share no mutable
+      // state. With no pool, TaskGroup::run executes inline.
+      {
+        MIGRATOR_LATENCY_SCOPE("solver.test_us");
+        TaskGroup Group(Pool);
+        for (Slot &S : Batch)
+          Group.run([this, &S, &Examples]() {
+            if (Opts.TheMode == SolverOptions::Mode::Cegis) {
+              for (const Example &E : Examples) {
+                std::optional<ResultTable> CandR =
+                    runSequence(*S.Cand, TargetSchema, E.Seq);
+                if (!CandR || !resultsEquivalent(*E.SrcResult, *CandR)) {
+                  S.Screened = true;
+                  return;
+                }
+              }
+            }
+            S.Outcome = Tester.test(*S.Cand);
+          });
+        Group.wait();
+      }
+
+      // Process phase (sequential, in draw order): learn clauses and
+      // confirm survivors. Draw-order processing keeps the clause sequence
+      // — and hence the whole search — independent of the thread count.
+      for (Slot &S : Batch) {
+        if (S.Screened) {
+          Stats.BlockedTotal += 1;
           ++Stats.Rejected;
           MIGRATOR_COUNTER_ADD("solver.cegis_screened", 1);
           continue;
         }
-      }
 
-      TestOutcome Outcome;
-      {
-        MIGRATOR_LATENCY_SCOPE("solver.test_us");
-        Outcome = Tester.test(Cand);
-      }
-
-      if (Outcome.isEquivalent()) {
-        // Bounded testing passed; confirm with the deeper verifier
-        // (the paper's "invoke Mediator only when no failing input is found").
-        Timer VerifyClock;
-        TestOutcome Deep;
-        {
-          MIGRATOR_TRACE_SCOPE("solve.verify");
-          MIGRATOR_LATENCY_SCOPE("solver.verify_us");
-          Deep = Verifier.test(Cand);
+        TestOutcome Outcome = std::move(S.Outcome);
+        if (Outcome.isEquivalent()) {
+          if (Cancel && Cancel->load(std::memory_order_relaxed)) {
+            Stats.Cancelled = true;
+            return std::nullopt;
+          }
+          // Bounded testing passed; confirm with the deeper verifier (the
+          // paper's "invoke Mediator only when no failing input is found").
+          Timer VerifyClock;
+          TestOutcome Deep;
+          {
+            MIGRATOR_TRACE_SCOPE("solve.verify");
+            MIGRATOR_LATENCY_SCOPE("solver.verify_us");
+            Deep = Verifier.test(*S.Cand);
+          }
+          Stats.VerifyTimeSec += VerifyClock.elapsedSeconds();
+          if (Deep.isEquivalent())
+            return std::move(*S.Cand);
+          MIGRATOR_COUNTER_ADD("solver.deep_rejections", 1);
+          Outcome = std::move(Deep);
         }
-        Stats.VerifyTimeSec += VerifyClock.elapsedSeconds();
-        if (Deep.isEquivalent())
-          return Cand;
-        MIGRATOR_COUNTER_ADD("solver.deep_rejections", 1);
-        Outcome = std::move(Deep);
-      }
-      ++Stats.Rejected;
-      MIGRATOR_COUNTER_ADD("solver.candidates_rejected", 1);
+        ++Stats.Rejected;
+        MIGRATOR_COUNTER_ADD("solver.candidates_rejected", 1);
 
-      switch (Outcome.TheKind) {
-      case TestOutcome::Kind::IllFormed: {
-        // The offending function misbehaves independently of database state:
-        // block its holes alone (at least as strong as any mode's clause).
-        MIGRATOR_COUNTER_ADD("solver.illformed", 1);
-        std::vector<unsigned> HoleIds =
-            Sk.holesOfFunction(Outcome.IllFormedFunc);
-        if (HoleIds.empty()) {
-          Enc.blockAll(*Assign);
-        } else {
-          Enc.block(*Assign, HoleIds);
-          Stats.BlockedTotal += Enc.blockedCount(HoleIds);
-        }
-        break;
-      }
-      case TestOutcome::Kind::Failing: {
-        if (Opts.TheMode == SolverOptions::Mode::Mfi) {
-          // Block the partial assignment of every hole in the functions the
-          // MFI mentions (Sec. 4.4).
-          MIGRATOR_HISTOGRAM_RECORD("solver.mfi_len", Outcome.Mfi.size());
-          std::set<std::string> FuncNames;
-          for (const Invocation &I : Outcome.Mfi)
-            FuncNames.insert(I.Func);
-          std::vector<unsigned> HoleIds;
-          for (const std::string &F : FuncNames)
-            for (unsigned H : Sk.holesOfFunction(F))
-              HoleIds.push_back(H);
-          if (HoleIds.empty()) {
-            // MFI prune *miss*: the failing functions carry no holes, so the
-            // partial clause degenerates to blocking this one model.
-            ++Stats.MfiPruneMisses;
-            MIGRATOR_COUNTER_ADD("solver.mfi_prune_misses", 1);
-            Enc.blockAll(*Assign);
-          } else {
-            ++Stats.MfiPruneHits;
-            MIGRATOR_COUNTER_ADD("solver.mfi_prune_hits", 1);
-            Enc.block(*Assign, HoleIds);
+        switch (Outcome.TheKind) {
+        case TestOutcome::Kind::IllFormed: {
+          // The offending function misbehaves independently of database
+          // state: block its holes alone (at least as strong as any mode's
+          // clause). The full model is already blocked from the draw phase.
+          MIGRATOR_COUNTER_ADD("solver.illformed", 1);
+          std::vector<unsigned> HoleIds =
+              Sk.holesOfFunction(Outcome.IllFormedFunc);
+          if (!HoleIds.empty()) {
+            Enc.block(S.Assign, HoleIds);
             Stats.BlockedTotal += Enc.blockedCount(HoleIds);
           }
           break;
         }
-        if (Opts.TheMode == SolverOptions::Mode::Cegis) {
-          std::optional<ResultTable> SrcR =
-              runSequence(SourceProg, SourceSchema, Outcome.Mfi);
-          assert(SrcR && "source program failed on its own MFI");
-          Examples.push_back({Outcome.Mfi, std::move(*SrcR)});
+        case TestOutcome::Kind::Failing: {
+          if (Opts.TheMode == SolverOptions::Mode::Mfi) {
+            // Block the partial assignment of every hole in the functions
+            // the MFI mentions (Sec. 4.4).
+            MIGRATOR_HISTOGRAM_RECORD("solver.mfi_len", Outcome.Mfi.size());
+            std::set<std::string> FuncNames;
+            for (const Invocation &I : Outcome.Mfi)
+              FuncNames.insert(I.Func);
+            std::vector<unsigned> HoleIds;
+            for (const std::string &F : FuncNames)
+              for (unsigned H : Sk.holesOfFunction(F))
+                HoleIds.push_back(H);
+            if (HoleIds.empty()) {
+              // MFI prune *miss*: the failing functions carry no holes, so
+              // the partial clause degenerates to the (already-applied)
+              // full-model block.
+              ++Stats.MfiPruneMisses;
+              MIGRATOR_COUNTER_ADD("solver.mfi_prune_misses", 1);
+            } else {
+              ++Stats.MfiPruneHits;
+              MIGRATOR_COUNTER_ADD("solver.mfi_prune_hits", 1);
+              Enc.block(S.Assign, HoleIds);
+              Stats.BlockedTotal += Enc.blockedCount(HoleIds);
+            }
+            break;
+          }
+          if (Opts.TheMode == SolverOptions::Mode::Cegis) {
+            // Record the counterexample with its source result; the source
+            // cache reuses memoized prefixes when attached.
+            std::shared_ptr<const ResultTable> SrcR;
+            if (SrcCache) {
+              SrcR = SrcCache->run(Outcome.Mfi);
+            } else {
+              std::optional<ResultTable> R =
+                  runSequence(SourceProg, SourceSchema, Outcome.Mfi);
+              if (R)
+                SrcR = std::make_shared<const ResultTable>(std::move(*R));
+            }
+            assert(SrcR && "source program failed on its own MFI");
+            Examples.push_back({std::move(Outcome.Mfi), std::move(SrcR)});
+          }
+          Stats.BlockedTotal += 1;
+          break;
         }
-        Enc.blockAll(*Assign);
-        Stats.BlockedTotal += 1;
-        break;
-      }
-      case TestOutcome::Kind::Equivalent:
-        assert(false && "handled above");
-        break;
+        case TestOutcome::Kind::Equivalent:
+          assert(false && "handled above");
+          break;
+        }
       }
     }
   };
@@ -199,6 +276,7 @@ std::optional<Program> SketchSolver::solve(const Sketch &Sk,
         .arg("rejected", Stats.Rejected)
         .arg("solved", Result.has_value())
         .arg("timed_out", Stats.TimedOut)
+        .arg("cancelled", Stats.Cancelled)
         .arg("exhausted", Stats.Exhausted);
   return Result;
 }

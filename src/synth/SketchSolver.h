@@ -23,6 +23,16 @@
 /// verification tester before being returned; a deep counterexample is fed
 /// back into the loop like any other failing input.
 ///
+/// *Batched candidate testing* (docs/PERFORMANCE.md): with Batch > 1 each
+/// SAT round draws up to Batch models sequentially — every drawn model is
+/// blocked in full at draw time, which reserves it and is logically subsumed
+/// by any stronger (partial) clause learned from it later, so the set of
+/// remaining models matches the one-at-a-time engine exactly — then fans
+/// instantiation, CEGIS screening, and bounded testing onto a thread pool,
+/// and finally processes outcomes in draw order. Draw order processing makes
+/// the learned clause sequence, and hence the whole search, independent of
+/// the thread count.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MIGRATOR_SYNTH_SKETCHSOLVER_H
@@ -33,10 +43,14 @@
 #include "synth/Encoder.h"
 #include "synth/Tester.h"
 
+#include <atomic>
 #include <limits>
 #include <optional>
 
 namespace migrator {
+
+class SourceResultCache;
+class ThreadPool;
 
 /// Options controlling sketch completion.
 struct SolverOptions {
@@ -57,6 +71,12 @@ struct SolverOptions {
   /// for every strategy to compare learning power on equal footing.
   bool BiasFirstAlternatives = true;
 
+  /// Models drawn — and candidates tested — per SAT round. The SAT solver
+  /// stays sequential; with a thread pool attached, the per-candidate work
+  /// of one round runs concurrently. The search is deterministic in Batch
+  /// but independent of the thread count.
+  unsigned Batch = 1;
+
   static TesterOptions deeperDefaults() {
     TesterOptions T;
     T.MaxSeqLen = 4;
@@ -71,6 +91,7 @@ struct SolveStats {
   double VerifyTimeSec = 0;    ///< Time in the deep verification tester.
   bool TimedOut = false;
   bool Exhausted = false;      ///< Hole space exhausted without a solution.
+  bool Cancelled = false;      ///< Stopped by a portfolio cancellation token.
 
   // Instrumentation (see docs/OBSERVABILITY.md): where the symbolic search
   // spends its effort and how often the MFI learning actually bites.
@@ -88,17 +109,30 @@ struct SolveStats {
   uint64_t Rejected = 0;       ///< Candidates rejected per testing round
                                ///< (screening, bounded testing, or the deep
                                ///< verifier).
+
+  /// Accumulates another run's statistics into this one: counters and times
+  /// sum, termination flags OR (the aggregate "timed out" iff any run did).
+  SolveStats &operator+=(const SolveStats &O);
 };
 
 /// Completes sketches against one source program.
 class SketchSolver {
 public:
+  /// \p SrcCache, when non-null, is shared by the bounded tester, the deep
+  /// verifier, and the CEGIS example screen; \p Pool, when non-null, runs
+  /// the per-candidate work of a batch concurrently. Both may be shared
+  /// across solvers and must outlive this one.
   SketchSolver(const Schema &SourceSchema, const Program &SourceProg,
-               const Schema &TargetSchema, SolverOptions Opts = {});
+               const Schema &TargetSchema, SolverOptions Opts = {},
+               SourceResultCache *SrcCache = nullptr,
+               ThreadPool *Pool = nullptr);
 
   /// Runs Algorithm 2 on \p Sk. Returns the equivalent completion or
-  /// nullopt (see \p Stats for why).
-  std::optional<Program> solve(const Sketch &Sk, SolveStats &Stats);
+  /// nullopt (see \p Stats for why). \p Cancel, when non-null, is polled
+  /// between rounds: once set, solve() returns nullopt with
+  /// Stats.Cancelled (portfolio losers stop early).
+  std::optional<Program> solve(const Sketch &Sk, SolveStats &Stats,
+                               const std::atomic<bool> *Cancel = nullptr);
 
   const SolverOptions &getOptions() const { return Opts; }
 
@@ -107,6 +141,8 @@ private:
   const Program &SourceProg;
   const Schema &TargetSchema;
   SolverOptions Opts;
+  SourceResultCache *SrcCache;
+  ThreadPool *Pool;
   EquivalenceTester Tester;
   EquivalenceTester Verifier;
 };

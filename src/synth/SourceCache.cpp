@@ -1,0 +1,161 @@
+//===- synth/SourceCache.cpp - Cross-candidate source-result cache ----------===//
+
+#include "synth/SourceCache.h"
+
+#include "obs/Metrics.h"
+
+#include <cassert>
+
+using namespace migrator;
+
+namespace {
+
+void appendValue(std::string &Key, const Value &V) {
+  std::string Payload;
+  char Tag = '?';
+  switch (V.kind()) {
+  case Value::Kind::Int:
+    Tag = 'i';
+    Payload = std::to_string(V.getInt());
+    break;
+  case Value::Kind::String:
+    Tag = 's';
+    Payload = V.getString();
+    break;
+  case Value::Kind::Binary:
+    Tag = 'b';
+    Payload = V.getBinary();
+    break;
+  case Value::Kind::Bool:
+    Tag = 'o';
+    Payload = V.getBool() ? "1" : "0";
+    break;
+  case Value::Kind::Uid:
+    Tag = 'u';
+    Payload = std::to_string(V.getUid());
+    break;
+  }
+  Key += Tag;
+  Key += std::to_string(Payload.size());
+  Key += ':';
+  Key += Payload;
+}
+
+void appendInvocation(std::string &Key, const Invocation &Inv) {
+  Key += std::to_string(Inv.Func.size());
+  Key += ':';
+  Key += Inv.Func;
+  Key += '(';
+  for (const Value &V : Inv.Args)
+    appendValue(Key, V);
+  Key += ')';
+}
+
+} // namespace
+
+std::string migrator::invocationSeqKey(const InvocationSeq &Seq) {
+  std::string Key;
+  for (const Invocation &Inv : Seq)
+    appendInvocation(Key, Inv);
+  return Key;
+}
+
+SourceResultCache::SourceResultCache(const Schema &SourceSchema,
+                                     const Program &SourceProg,
+                                     size_t MaxEntries)
+    : SourceSchema(SourceSchema), SourceProg(SourceProg),
+      MaxEntries(MaxEntries), Eval(SourceSchema),
+      EmptyDB(std::make_shared<const Database>(SourceSchema)) {}
+
+void SourceResultCache::countHit() {
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  MIGRATOR_COUNTER_ADD("tester.src_cache_hits", 1);
+}
+
+void SourceResultCache::countMiss() {
+  Misses.fetch_add(1, std::memory_order_relaxed);
+  MIGRATOR_COUNTER_ADD("tester.src_cache_misses", 1);
+}
+
+SourceResultCache::PrefixState SourceResultCache::initialState() const {
+  return {EmptyDB, 1, std::string()};
+}
+
+std::optional<SourceResultCache::PrefixState>
+SourceResultCache::extend(const PrefixState &Parent, const Invocation &Inv) {
+  std::string Key = Parent.Key;
+  appendInvocation(Key, Inv);
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = States.find(Key);
+    if (It != States.end()) {
+      countHit();
+      return It->second;
+    }
+  }
+  countMiss();
+
+  const Function *F = SourceProg.findFunction(Inv.Func);
+  assert(F && F->isUpdate() && "prefix invocation is not a source update");
+  Database DB = *Parent.DB; // Copy-on-extend; the snapshot stays immutable.
+  UidGen Uids(Parent.NextUid);
+  if (!Eval.callUpdate(*F, Inv.Args, DB, Uids))
+    return std::nullopt;
+  PrefixState St{std::make_shared<const Database>(std::move(DB)),
+                 Uids.peekNext(), Key};
+
+  std::lock_guard<std::mutex> Lock(M);
+  if (States.size() < MaxEntries) {
+    // First insert wins: a racing worker may have computed the same state;
+    // both copies are identical, so either snapshot serves every reader.
+    auto [It, Inserted] = States.try_emplace(std::move(Key), St);
+    if (!Inserted)
+      return It->second;
+  }
+  return St;
+}
+
+std::shared_ptr<const ResultTable>
+SourceResultCache::query(const PrefixState &St, const Invocation &Query) {
+  std::string Key = St.Key;
+  Key += '|'; // Separates prefix from query; components are length-prefixed.
+  appendInvocation(Key, Query);
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = Results.find(Key);
+    if (It != Results.end()) {
+      countHit();
+      return It->second;
+    }
+  }
+  countMiss();
+
+  const Function *F = SourceProg.findFunction(Query.Func);
+  assert(F && F->isQuery() && "final invocation is not a source query");
+  std::optional<ResultTable> R = Eval.callQuery(*F, Query.Args, *St.DB);
+  if (!R)
+    return nullptr;
+  auto Shared = std::make_shared<const ResultTable>(std::move(*R));
+
+  std::lock_guard<std::mutex> Lock(M);
+  if (Results.size() < MaxEntries) {
+    auto [It, Inserted] = Results.try_emplace(std::move(Key), Shared);
+    if (!Inserted)
+      return It->second;
+  }
+  return Shared;
+}
+
+std::shared_ptr<const ResultTable>
+SourceResultCache::run(const InvocationSeq &Seq) {
+  if (Seq.empty())
+    return nullptr;
+  PrefixState St = initialState();
+  for (size_t I = 0; I + 1 < Seq.size(); ++I) {
+    std::optional<PrefixState> Next = extend(St, Seq[I]);
+    if (!Next)
+      return nullptr;
+    St = std::move(*Next);
+  }
+  return query(St, Seq.back());
+}

@@ -1,0 +1,124 @@
+//===- synth/SourceCache.h - Cross-candidate source-result cache --*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The source side of every bounded-equivalence test is candidate
+/// independent: executing invocation sequence σ on the *source* program
+/// always starts from the empty instance and always produces the same
+/// database state and query result, no matter which candidate is on the
+/// other side. The sequential engine nevertheless re-executed it for every
+/// candidate of every sketch. This cache hoists those runs:
+///
+///  * *prefix states* — the source database (and next-UID counter) after an
+///    update prefix, keyed by the serialized prefix and shared as immutable
+///    `shared_ptr<const Database>` snapshots;
+///  * *query results* — the source result of a full sequence (update prefix
+///    plus final query call), keyed likewise.
+///
+/// Both maps are shared across candidates, sketches, and portfolio workers
+/// within one synthesize() run. Keys length-prefix every component, so no
+/// two distinct sequences can alias; and because a prefix fully determines
+/// the source run (updates applied in order from the empty instance, UIDs
+/// drawn from a counter starting at 1), a cached state or result is
+/// byte-identical to a recomputation — including UID numbering, so the
+/// UID-bijection-aware result comparison behaves exactly as without the
+/// cache (guarded by `SourceCacheTest` / `ParallelSynthTest`).
+///
+/// Thread safety: lookups and insertions take one mutex; executions run
+/// outside it, so concurrent workers may rarely duplicate a computation
+/// (first insert wins) but never block each other on evaluator work.
+///
+/// Observability: `tester.src_cache_hits` / `tester.src_cache_misses`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_SYNTH_SOURCECACHE_H
+#define MIGRATOR_SYNTH_SOURCECACHE_H
+
+#include "eval/Evaluator.h"
+#include "relational/Database.h"
+#include "relational/ResultTable.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace migrator {
+
+/// Memoized execution of one fixed source program over one fixed schema.
+class SourceResultCache {
+public:
+  /// \p MaxEntries bounds each internal map; once full, further misses are
+  /// computed but not stored (the working set of a synthesis run is far
+  /// below the default bound — the cap only guards degenerate workloads).
+  SourceResultCache(const Schema &SourceSchema, const Program &SourceProg,
+                    size_t MaxEntries = 1u << 20);
+
+  /// An immutable source-side snapshot: the database after some update
+  /// prefix, the UID counter the next fresh key would be drawn from, and
+  /// the prefix's serialized cache key. Carrying the key in the state makes
+  /// extending it O(one invocation) instead of re-serializing the whole
+  /// prefix on every probe.
+  struct PrefixState {
+    std::shared_ptr<const Database> DB;
+    uint64_t NextUid = 1;
+    std::string Key;
+  };
+
+  /// The empty-instance state (the root of every bounded-test search).
+  PrefixState initialState() const;
+
+  /// State after appending update invocation \p Inv to \p Parent's prefix.
+  /// On a miss, \p Inv is applied to a copy of \p Parent. Returns nullopt
+  /// only if the update is ill-formed — impossible for a valid source
+  /// program.
+  std::optional<PrefixState> extend(const PrefixState &Parent,
+                                    const Invocation &Inv);
+
+  /// Source result of query invocation \p Query on top of state \p St.
+  /// Returns nullptr only on an ill-formed query.
+  std::shared_ptr<const ResultTable> query(const PrefixState &St,
+                                           const Invocation &Query);
+
+  /// Memoized equivalent of runSequence(SourceProg, SourceSchema, Seq):
+  /// walks the prefix through the state cache (so CEGIS example screens
+  /// reuse cached prefixes), then the final query through the result cache.
+  std::shared_ptr<const ResultTable> run(const InvocationSeq &Seq);
+
+  uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+
+private:
+  void countHit();
+  void countMiss();
+
+  const Schema &SourceSchema;
+  const Program &SourceProg;
+  const size_t MaxEntries;
+  Evaluator Eval;
+  std::shared_ptr<const Database> EmptyDB;
+
+  mutable std::mutex M;
+  std::unordered_map<std::string, PrefixState> States;
+  std::unordered_map<std::string, std::shared_ptr<const ResultTable>> Results;
+
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+};
+
+/// Serializes \p Seq into an unambiguous cache key: every function name and
+/// argument is length-prefixed, so distinct sequences never collide.
+/// Exposed for tests.
+std::string invocationSeqKey(const InvocationSeq &Seq);
+
+} // namespace migrator
+
+#endif // MIGRATOR_SYNTH_SOURCECACHE_H

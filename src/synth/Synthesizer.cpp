@@ -4,7 +4,13 @@
 
 #include "ast/Analysis.h"
 #include "obs/Trace.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
+#include "synth/SourceCache.h"
+
+#include <atomic>
+#include <memory>
+#include <vector>
 
 using namespace migrator;
 
@@ -26,6 +32,18 @@ SynthResult migrator::synthesize(const Schema &SourceSchema,
       collectQueriedAttrs(SourceProg, SourceSchema);
   VcEnumerator VcEnum(SourceSchema, TargetSchema, Queried, Opts.Vc);
 
+  const unsigned Jobs = std::max(1u, Opts.Jobs);
+  const unsigned Width =
+      std::max(1u, Opts.PortfolioWidth ? Opts.PortfolioWidth : Jobs);
+  std::unique_ptr<ThreadPool> Pool;
+  if (Jobs > 1)
+    Pool = std::make_unique<ThreadPool>(Jobs);
+  std::unique_ptr<SourceResultCache> Cache;
+  if (Opts.UseSourceCache)
+    Cache = std::make_unique<SourceResultCache>(SourceSchema, SourceProg);
+
+  SolveStats Agg; // Merged across every solve via SolveStats::operator+=.
+
   while (Result.Stats.NumVcs < Opts.MaxVcs) {
     double Remaining = Opts.TimeBudgetSec - Total.elapsedSeconds();
     if (Remaining <= 0) {
@@ -33,56 +51,138 @@ SynthResult migrator::synthesize(const Schema &SourceSchema,
       break;
     }
 
-    std::optional<ValueCorrespondence> Phi;
-    {
-      MIGRATOR_TRACE_SCOPE("vc.next");
-      MIGRATOR_LATENCY_SCOPE("vc.next_us");
-      Phi = VcEnum.next();
-    }
-    if (!Phi)
-      break; // No further correspondence exists: synthesis fails (⊥).
-    ++Result.Stats.NumVcs;
-    MIGRATOR_COUNTER_ADD("synth.vcs_attempted", 1);
+    // Gather one wave: the next Width sketches in rank (best-first VC)
+    // order. Enumeration and sketch generation stay on this thread.
+    std::vector<Sketch> Wave;
+    bool VcsExhausted = false;
+    while (Wave.size() < Width && Result.Stats.NumVcs < Opts.MaxVcs) {
+      std::optional<ValueCorrespondence> Phi;
+      {
+        MIGRATOR_TRACE_SCOPE("vc.next");
+        MIGRATOR_LATENCY_SCOPE("vc.next_us");
+        Phi = VcEnum.next();
+      }
+      if (!Phi) {
+        VcsExhausted = true;
+        break;
+      }
+      ++Result.Stats.NumVcs;
+      MIGRATOR_COUNTER_ADD("synth.vcs_attempted", 1);
 
-    std::optional<Sketch> Sk;
-    {
-      MIGRATOR_TRACE_SCOPE_NAMED(SkSpan, "sketch.generate");
-      MIGRATOR_LATENCY_SCOPE("sketch.generate_us");
-      Sk = generateSketch(SourceProg, SourceSchema, TargetSchema, *Phi,
-                          Opts.SketchGen);
-      if (SkSpan.active() && Sk)
-        SkSpan.arg("holes", static_cast<uint64_t>(Sk->getNumHoles()))
-            .arg("space", Sk->spaceSize());
+      std::optional<Sketch> Sk;
+      {
+        MIGRATOR_TRACE_SCOPE_NAMED(SkSpan, "sketch.generate");
+        MIGRATOR_LATENCY_SCOPE("sketch.generate_us");
+        Sk = generateSketch(SourceProg, SourceSchema, TargetSchema, *Phi,
+                            Opts.SketchGen);
+        if (SkSpan.active() && Sk)
+          SkSpan.arg("holes", static_cast<uint64_t>(Sk->getNumHoles()))
+              .arg("space", Sk->spaceSize());
+      }
+      if (!Sk) {
+        MIGRATOR_COUNTER_ADD("synth.vcs_unsupported", 1);
+        continue; // Φ cannot support some statement; try the next VC.
+      }
+      // Accumulate: a run that burns through several VCs explores the union
+      // of their sketch spaces, not just the final one.
+      Result.Stats.SketchSpace += Sk->spaceSize();
+      MIGRATOR_COUNTER_ADD("synth.sketches_generated", 1);
+      MIGRATOR_HISTOGRAM_RECORD("sketch.holes", Sk->getNumHoles());
+      Wave.push_back(std::move(*Sk));
     }
-    if (!Sk) {
-      MIGRATOR_COUNTER_ADD("synth.vcs_unsupported", 1);
-      continue; // Φ cannot support some statement; try the next VC.
+    if (Wave.empty()) {
+      if (VcsExhausted)
+        break; // No further correspondence exists: synthesis fails (⊥).
+      continue; // Every gathered VC was unsupported; the MaxVcs guard above
+                // bounds how long this can go on.
     }
-    // Accumulate: a run that burns through several VCs explores the union
-    // of their sketch spaces, not just the final one.
-    Result.Stats.SketchSpace += Sk->spaceSize();
-    MIGRATOR_COUNTER_ADD("synth.sketches_generated", 1);
-    MIGRATOR_HISTOGRAM_RECORD("sketch.holes", Sk->getNumHoles());
 
     SolverOptions SolverOpts = Opts.Solver;
     SolverOpts.TimeBudgetSec = std::min(Opts.Solver.TimeBudgetSec, Remaining);
-    SketchSolver BudgetedSolver(SourceSchema, SourceProg, TargetSchema,
-                                SolverOpts);
 
-    SolveStats SS;
-    std::optional<Program> Prog = BudgetedSolver.solve(*Sk, SS);
-    Result.Stats.Iters += SS.Iters;
-    Result.Stats.VerifyTimeSec += SS.VerifyTimeSec;
-    if (Prog) {
-      Result.Prog = std::move(Prog);
-      break;
+    const size_t W = Wave.size();
+    std::vector<std::optional<Program>> Progs(W);
+    std::vector<SolveStats> WaveStats(W);
+
+    if (W == 1 || !Pool) {
+      // Sequential portfolio: ranks in order, first success wins — the
+      // same answer deterministic parallel mode produces.
+      for (size_t R = 0; R < W; ++R) {
+        SketchSolver Solver(SourceSchema, SourceProg, TargetSchema,
+                            SolverOpts, Cache.get(), Pool.get());
+        Progs[R] = Solver.solve(Wave[R], WaveStats[R]);
+        if (Progs[R]) {
+          Result.Prog = std::move(*Progs[R]);
+          break;
+        }
+      }
+    } else {
+      // Parallel portfolio: one task per rank, each with a private solver
+      // and SAT encoder over the shared pool and cache. A winner cancels
+      // higher ranks (deterministic mode) or everyone (first-wins mode).
+      auto CancelFlags = std::make_unique<std::atomic<bool>[]>(W);
+      for (size_t I = 0; I < W; ++I)
+        CancelFlags[I].store(false, std::memory_order_relaxed);
+      std::atomic<int> FirstWinner{-1};
+      {
+        TaskGroup Group(Pool.get());
+        for (size_t R = 0; R < W; ++R)
+          Group.run([&, R]() {
+            if (CancelFlags[R].load(std::memory_order_relaxed)) {
+              WaveStats[R].Cancelled = true;
+              return;
+            }
+            SketchSolver Solver(SourceSchema, SourceProg, TargetSchema,
+                                SolverOpts, Cache.get(), Pool.get());
+            Progs[R] = Solver.solve(Wave[R], WaveStats[R], &CancelFlags[R]);
+            if (!Progs[R])
+              return;
+            MIGRATOR_COUNTER_ADD("synth.portfolio_wins", 1);
+            if (Opts.Deterministic) {
+              // Only higher ranks become moot; lower ranks may still
+              // produce the (preferred) answer.
+              for (size_t I = R + 1; I < W; ++I)
+                CancelFlags[I].store(true, std::memory_order_relaxed);
+            } else {
+              int Expected = -1;
+              if (FirstWinner.compare_exchange_strong(Expected,
+                                                      static_cast<int>(R)))
+                for (size_t I = 0; I < W; ++I)
+                  if (I != R)
+                    CancelFlags[I].store(true, std::memory_order_relaxed);
+            }
+          });
+        Group.wait();
+      }
+      if (Opts.Deterministic) {
+        for (size_t R = 0; R < W; ++R)
+          if (Progs[R]) {
+            Result.Prog = std::move(*Progs[R]);
+            break;
+          }
+      } else {
+        int Win = FirstWinner.load(std::memory_order_relaxed);
+        if (Win >= 0)
+          Result.Prog = std::move(*Progs[static_cast<size_t>(Win)]);
+      }
     }
-    if (SS.TimedOut && Total.elapsedSeconds() >= Opts.TimeBudgetSec) {
+
+    bool WaveTimedOut = false;
+    for (const SolveStats &SS : WaveStats) {
+      Agg += SS;
+      WaveTimedOut = WaveTimedOut || SS.TimedOut;
+    }
+    if (Result.Prog)
+      break;
+    if (WaveTimedOut && Total.elapsedSeconds() >= Opts.TimeBudgetSec) {
       Result.Stats.TimedOut = true;
       break;
     }
   }
 
+  Result.Stats.Solve = Agg;
+  Result.Stats.Iters = Agg.Iters;
+  Result.Stats.VerifyTimeSec = Agg.VerifyTimeSec;
   Result.Stats.TotalTimeSec = Total.elapsedSeconds();
   Result.Stats.SynthTimeSec =
       Result.Stats.TotalTimeSec - Result.Stats.VerifyTimeSec;
@@ -93,6 +193,7 @@ SynthResult migrator::synthesize(const Schema &SourceSchema,
     Span.arg("vcs", static_cast<uint64_t>(Result.Stats.NumVcs))
         .arg("iters", Result.Stats.Iters)
         .arg("sketch_space", Result.Stats.SketchSpace)
+        .arg("jobs", static_cast<uint64_t>(Jobs))
         .arg("succeeded", Result.succeeded())
         .arg("timed_out", Result.Stats.TimedOut);
   return Result;

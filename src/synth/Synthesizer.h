@@ -11,6 +11,20 @@
 /// sketch completion; the first completion equivalent to the source program
 /// is the migrated program.
 ///
+/// The parallel engine (docs/PERFORMANCE.md) layers three mechanisms over
+/// Algorithm 1 without changing what is synthesized:
+///
+///  * *sketch portfolio* — waves of the next PortfolioWidth rank-ordered
+///    sketches race on a shared work-stealing pool, each worker with its own
+///    solver and SAT encoder; a verified solution cancels the losers;
+///  * *batched candidate testing* — each solver draws SolverOptions::Batch
+///    models per SAT round and fans their tests onto the same pool;
+///  * *source-result cache* — source-side executions are memoized across
+///    candidates, sketches, and workers (synth/SourceCache.h).
+///
+/// With Deterministic set, a wave always answers with its lowest-ranked
+/// successful sketch, making the output byte-identical at any thread count.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MIGRATOR_SYNTH_SYNTHESIZER_H
@@ -37,6 +51,24 @@ struct SynthOptions {
 
   /// Overall wall-clock budget in seconds (infinity = none).
   double TimeBudgetSec = std::numeric_limits<double>::infinity();
+
+  /// Worker threads shared by the sketch portfolio and candidate batches.
+  /// 1 = fully sequential: no pool is created and no threads are spawned.
+  unsigned Jobs = 1;
+
+  /// Sketches raced per portfolio wave; 0 picks Jobs. Width 1 disables the
+  /// portfolio but keeps batched testing and the source cache.
+  unsigned PortfolioWidth = 0;
+
+  /// Deterministic portfolio mode: a wave always returns the completion of
+  /// its lowest-ranked successful sketch (a winning rank only cancels
+  /// higher ranks), so results are byte-identical at any Jobs value. Off:
+  /// the first verified solution wins and cancels every other rank.
+  bool Deterministic = false;
+
+  /// Memoize source-side executions across candidates, sketches, and
+  /// portfolio workers (see synth/SourceCache.h).
+  bool UseSourceCache = true;
 };
 
 /// Statistics of one synthesis run (the Table 1 columns).
@@ -51,6 +83,11 @@ struct SynthStats {
   double VerifyTimeSec = 0; ///< Deep-verification time.
   double TotalTimeSec = 0;  ///< "Total Time".
   bool TimedOut = false;
+
+  /// Full solver statistics, merged across every solve of the run in rank
+  /// order via SolveStats::operator+= (Iters and VerifyTimeSec above mirror
+  /// the corresponding fields for the Table 1 columns).
+  SolveStats Solve;
 };
 
 /// The outcome of Synthesize.

@@ -5,9 +5,11 @@
 #include "ast/Analysis.h"
 #include "obs/Metrics.h"
 #include "relational/ResultTable.h"
+#include "synth/SourceCache.h"
 
 #include <cassert>
 #include <map>
+#include <memory>
 #include <set>
 #include <sstream>
 
@@ -19,6 +21,7 @@ namespace {
 std::vector<std::vector<Value>> buildArgTuples(const std::vector<Param> &Params,
                                                const TesterOptions &Opts) {
   std::vector<std::vector<Value>> SeedsPerParam;
+  SeedsPerParam.reserve(Params.size());
   for (const Param &P : Params) {
     std::vector<Value> Seeds;
     switch (P.Type) {
@@ -45,11 +48,25 @@ std::vector<std::vector<Value>> buildArgTuples(const std::vector<Param> &Params,
 
   std::vector<std::vector<Value>> Tuples;
   std::vector<Value> Cur;
+  Cur.reserve(SeedsPerParam.size());
   auto Rec = [&](auto &&Self, size_t Depth) -> void {
     if (Tuples.size() >= Opts.MaxArgTuplesPerFunc)
       return;
-    if (Depth == SeedsPerParam.size()) {
-      Tuples.push_back(Cur);
+    if (Depth == SeedsPerParam.size()) { // Zero-parameter functions only.
+      Tuples.emplace_back(Cur);
+      return;
+    }
+    if (Depth + 1 == SeedsPerParam.size()) {
+      // Leaf level: assemble each tuple in place instead of copying Cur
+      // through a push/pop round-trip per seed.
+      for (const Value &V : SeedsPerParam[Depth]) {
+        if (Tuples.size() >= Opts.MaxArgTuplesPerFunc)
+          return;
+        std::vector<Value> &T = Tuples.emplace_back();
+        T.reserve(Cur.size() + 1);
+        T.insert(T.end(), Cur.begin(), Cur.end());
+        T.push_back(V);
+      }
       return;
     }
     for (const Value &V : SeedsPerParam[Depth]) {
@@ -64,6 +81,7 @@ std::vector<std::vector<Value>> buildArgTuples(const std::vector<Param> &Params,
   for (const std::vector<Value> &Seeds : SeedsPerParam)
     Product *= static_cast<double>(Seeds.size());
   if (Product <= static_cast<double>(Opts.MaxArgTuplesPerFunc)) {
+    Tuples.reserve(static_cast<size_t>(Product));
     Rec(Rec, 0);
     return Tuples;
   }
@@ -71,7 +89,9 @@ std::vector<std::vector<Value>> buildArgTuples(const std::vector<Param> &Params,
   // Otherwise choose tuples that still vary every parameter at least once:
   // the all-first-seed tuple, then one-parameter flips, then a lexicographic
   // fill up to the cap.
+  Tuples.reserve(Opts.MaxArgTuplesPerFunc);
   std::vector<Value> Base;
+  Base.reserve(SeedsPerParam.size());
   for (const std::vector<Value> &Seeds : SeedsPerParam)
     Base.push_back(Seeds.front());
   Tuples.push_back(Base);
@@ -88,6 +108,7 @@ std::vector<std::vector<Value>> buildArgTuples(const std::vector<Param> &Params,
   // Lexicographic fill, then drop duplicates.
   Rec(Rec, 0); // Appends until the cap; duplicates are possible but rare.
   std::vector<std::vector<Value>> Dedup;
+  Dedup.reserve(Tuples.size());
   for (std::vector<Value> &T : Tuples) {
     bool Seen = false;
     for (const std::vector<Value> &D : Dedup)
@@ -134,10 +155,11 @@ std::string canonicalState(const Database &Src, const Database &Cand) {
 }
 
 /// One BFS node: paired database states and the update prefix reaching them.
+/// The source side is an immutable shared snapshot, so candidate-independent
+/// states can be served from the cross-candidate cache.
 struct SearchState {
-  Database SrcDB;
+  SourceResultCache::PrefixState Src;
   Database CandDB;
-  UidGen SrcUids;
   UidGen CandUids;
   InvocationSeq Prefix;
 };
@@ -147,25 +169,30 @@ struct SearchState {
 EquivalenceTester::EquivalenceTester(const Schema &SourceSchema,
                                      const Program &SourceProg,
                                      const Schema &TargetSchema,
-                                     TesterOptions Opts)
+                                     TesterOptions Opts,
+                                     SourceResultCache *SrcCache)
     : SourceSchema(SourceSchema), SourceProg(SourceProg),
-      TargetSchema(TargetSchema), Opts(std::move(Opts)) {
+      TargetSchema(TargetSchema), Opts(std::move(Opts)), SrcCache(SrcCache) {
   for (const Function &F : SourceProg.getFunctions())
     ArgTuples.push_back(buildArgTuples(F.getParams(), this->Opts));
 }
 
 TestOutcome EquivalenceTester::test(const Program &Cand) const {
-  // Publish the sequences this call executes (delta of the cumulative
-  // counter) no matter which return path is taken.
+  // Sequences explored by this call, accumulated locally (test() may run
+  // concurrently on several candidates) and published once at every return
+  // path.
+  uint64_t Seqs = 0;
   struct SeqGuard {
-    const uint64_t &Cur;
-    uint64_t Start;
-    explicit SeqGuard(const uint64_t &C) : Cur(C), Start(C) {}
+    std::atomic<uint64_t> &Total;
+    const uint64_t &Local;
+    SeqGuard(std::atomic<uint64_t> &T, const uint64_t &L)
+        : Total(T), Local(L) {}
     ~SeqGuard() {
-      MIGRATOR_COUNTER_ADD("tester.sequences_run", Cur - Start);
-      MIGRATOR_HISTOGRAM_RECORD("tester.sequences_per_test", Cur - Start);
+      Total.fetch_add(Local, std::memory_order_relaxed);
+      MIGRATOR_COUNTER_ADD("tester.sequences_run", Local);
+      MIGRATOR_HISTOGRAM_RECORD("tester.sequences_per_test", Local);
     }
-  } Guard(NumSequencesRun);
+  } Guard(NumSequencesRun, Seqs);
   MIGRATOR_COUNTER_ADD("tester.tests", 1);
 
   const std::vector<Function> &Funcs = SourceProg.getFunctions();
@@ -282,9 +309,12 @@ TestOutcome EquivalenceTester::test(const Program &Cand) const {
     G.RelUpdates = &Rel;
     G.Queries = &Qs;
     SearchState Root;
-    Root.SrcDB = Database(SourceSchema);
+    Root.Src = SrcCache ? SrcCache->initialState()
+                        : SourceResultCache::PrefixState{
+                              std::make_shared<const Database>(SourceSchema),
+                              1, {}};
     Root.CandDB = Database(TargetSchema);
-    G.Seen.insert(canonicalState(Root.SrcDB, Root.CandDB));
+    G.Seen.insert(canonicalState(*Root.Src.DB, Root.CandDB));
     G.Frontier.push_back(std::move(Root));
     GS.push_back(std::move(G));
   }
@@ -298,9 +328,19 @@ TestOutcome EquivalenceTester::test(const Program &Cand) const {
       const Function &SrcF = Funcs[Q];
       const Function &CandF = Cand.getFunction(SrcF.getName());
       for (const std::vector<Value> &Args : ArgTuples[Q]) {
-        ++NumSequencesRun;
-        std::optional<ResultTable> SrcR =
-            SrcEval.callQuery(SrcF, Args, St.SrcDB);
+        ++Seqs;
+        // Source side: memoized across candidates when a cache is attached.
+        std::shared_ptr<const ResultTable> SrcShared;
+        std::optional<ResultTable> SrcLocal;
+        const ResultTable *SrcR = nullptr;
+        if (SrcCache) {
+          SrcShared = SrcCache->query(St.Src, {SrcF.getName(), Args});
+          SrcR = SrcShared.get();
+        } else {
+          SrcLocal = SrcEval.callQuery(SrcF, Args, *St.Src.DB);
+          if (SrcLocal)
+            SrcR = &*SrcLocal;
+        }
         assert(SrcR && "source query failed on a valid program");
         std::optional<ResultTable> CandR =
             CandEval.callQuery(CandF, Args, St.CandDB);
@@ -340,21 +380,42 @@ TestOutcome EquivalenceTester::test(const Program &Cand) const {
           for (const std::vector<Value> &Args : ArgTuples[U]) {
             if (Next.size() >= Opts.MaxStatesPerLevel)
               break;
-            ++NumSequencesRun;
-            SearchState Ext = St;
-            bool SrcOk =
-                SrcEval.callUpdate(SrcF, Args, Ext.SrcDB, Ext.SrcUids);
-            assert(SrcOk && "source update failed on a valid program");
-            (void)SrcOk;
-            if (!CandEval.callUpdate(CandF, Args, Ext.CandDB, Ext.CandUids)) {
+            ++Seqs;
+            // Candidate side always executes (it is candidate specific).
+            Database CandDB = St.CandDB;
+            UidGen CandUids = St.CandUids;
+            if (!CandEval.callUpdate(CandF, Args, CandDB, CandUids)) {
               Fail.TheKind = TestOutcome::Kind::IllFormed;
               Fail.IllFormedFunc = SrcF.getName();
               return Fail;
             }
-            std::string Key = canonicalState(Ext.SrcDB, Ext.CandDB);
+            // Source side: shared snapshot, served from the cache when one
+            // is attached (identical bytes to a direct recomputation).
+            InvocationSeq NewPrefix = St.Prefix;
+            NewPrefix.push_back({SrcF.getName(), Args});
+            SourceResultCache::PrefixState NewSrc;
+            if (SrcCache) {
+              std::optional<SourceResultCache::PrefixState> S =
+                  SrcCache->extend(St.Src, NewPrefix.back());
+              assert(S && "source update failed on a valid program");
+              NewSrc = std::move(*S);
+            } else {
+              Database SrcDB = *St.Src.DB;
+              UidGen SrcUids(St.Src.NextUid);
+              bool SrcOk = SrcEval.callUpdate(SrcF, Args, SrcDB, SrcUids);
+              assert(SrcOk && "source update failed on a valid program");
+              (void)SrcOk;
+              NewSrc = {std::make_shared<const Database>(std::move(SrcDB)),
+                        SrcUids.peekNext(), {}};
+            }
+            std::string Key = canonicalState(*NewSrc.DB, CandDB);
             if (!G.Seen.insert(std::move(Key)).second)
               continue;
-            Ext.Prefix.push_back({SrcF.getName(), Args});
+            SearchState Ext;
+            Ext.Src = std::move(NewSrc);
+            Ext.CandDB = std::move(CandDB);
+            Ext.CandUids = CandUids;
+            Ext.Prefix = std::move(NewPrefix);
             Next.push_back(std::move(Ext));
           }
         }

@@ -25,6 +25,12 @@
 ///  * *State deduplication* — distinct prefixes reaching identical
 ///    (source DB, candidate DB) pairs (up to UID renaming) are explored
 ///    once.
+///  * *Source-result caching* — the source side of every sequence is
+///    candidate independent; when constructed with a SourceResultCache the
+///    tester reuses memoized source database states and query results
+///    across candidates, sketches, and portfolio workers (see
+///    synth/SourceCache.h). Cached runs are byte-identical to direct ones,
+///    so outcomes (including MFI minimality) do not change.
 ///
 /// The same tester doubles as the bounded equivalence verifier (run with
 /// larger bounds), substituting for the paper's Mediator back-end; see
@@ -39,6 +45,7 @@
 #include "eval/Evaluator.h"
 #include "relational/Schema.h"
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -85,18 +92,32 @@ struct TestOutcome {
   bool isEquivalent() const { return TheKind == Kind::Equivalent; }
 };
 
+class SourceResultCache;
+
 /// Bounded equivalence tester for one (source program, target schema) pair;
 /// candidates over the target schema are tested against the source.
+///
+/// test() is safe to call concurrently from multiple threads on one tester
+/// instance (the batched solver fans candidate tests onto the pool): all
+/// per-test state is local, the sequence counter is atomic, and the shared
+/// source cache synchronizes internally.
 class EquivalenceTester {
 public:
+  /// \p SrcCache, when non-null, memoizes source-side states and results
+  /// across candidates; it must outlive the tester.
   EquivalenceTester(const Schema &SourceSchema, const Program &SourceProg,
-                    const Schema &TargetSchema, TesterOptions Opts = {});
+                    const Schema &TargetSchema, TesterOptions Opts = {},
+                    SourceResultCache *SrcCache = nullptr);
 
   /// Tests \p Cand against the source program.
   TestOutcome test(const Program &Cand) const;
 
-  /// Total sequences executed across all test() calls (statistics).
-  uint64_t getNumSequencesRun() const { return NumSequencesRun; }
+  /// Total sequences explored across all test() calls (statistics). Counts
+  /// logical sequences; source-side work avoided by the cache is visible in
+  /// tester.src_cache_hits instead.
+  uint64_t getNumSequencesRun() const {
+    return NumSequencesRun.load(std::memory_order_relaxed);
+  }
 
   const TesterOptions &getOptions() const { return Opts; }
 
@@ -105,10 +126,11 @@ private:
   const Program &SourceProg;
   const Schema &TargetSchema;
   TesterOptions Opts;
+  SourceResultCache *SrcCache;
 
   /// All argument tuples for each function (seed-set product), precomputed.
   std::vector<std::vector<std::vector<Value>>> ArgTuples; ///< [funcIdx].
-  mutable uint64_t NumSequencesRun = 0;
+  mutable std::atomic<uint64_t> NumSequencesRun{0};
 };
 
 } // namespace migrator

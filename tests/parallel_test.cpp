@@ -1,0 +1,237 @@
+//===- tests/parallel_test.cpp - Parallel engine and source cache ------------===//
+//
+// Guards the two correctness contracts of the parallel synthesis engine
+// (docs/PERFORMANCE.md): deterministic mode produces byte-identical programs
+// at any thread count, and the cross-candidate source-result cache never
+// changes a test outcome — including the minimality of the failing input.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchsuite/Benchmark.h"
+#include "eval/Evaluator.h"
+#include "synth/SourceCache.h"
+#include "synth/Synthesizer.h"
+#include "synth/Tester.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace migrator;
+using namespace migrator::test;
+
+namespace {
+
+std::string invocationStr(const InvocationSeq &Seq) { return sequenceStr(Seq); }
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Deterministic parallel synthesis
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelSynthTest, DeterministicAcrossThreadCounts) {
+  // Three textbook benchmarks, synthesized at 1, 2, and 8 threads in
+  // deterministic mode: the pretty-printed result must be byte-identical.
+  for (const char *Name : {"Ambler-3", "Ambler-5", "Ambler-6"}) {
+    Benchmark B = loadBenchmark(Name);
+    std::string Reference;
+    for (unsigned Jobs : {1u, 2u, 8u}) {
+      SynthOptions Opts;
+      Opts.Jobs = Jobs;
+      Opts.Solver.Batch = 4;
+      Opts.Deterministic = true;
+      SynthResult R = synthesize(B.Source, B.Prog, B.Target, Opts);
+      ASSERT_TRUE(R.succeeded()) << Name << " jobs=" << Jobs;
+      std::string Text = R.Prog->str();
+      if (Reference.empty())
+        Reference = Text;
+      else
+        EXPECT_EQ(Text, Reference) << Name << " diverged at jobs=" << Jobs;
+    }
+  }
+}
+
+TEST(ParallelSynthTest, BatchingMatchesSingleDraw) {
+  // Batch size changes how many models are in flight, not which candidate
+  // ultimately wins: the sequential engine at Batch=1 and Batch=4 must
+  // agree (both deterministic by construction).
+  Benchmark B = loadBenchmark("Ambler-3");
+  std::string Reference;
+  for (unsigned Batch : {1u, 4u}) {
+    SynthOptions Opts;
+    Opts.Solver.Batch = Batch;
+    SynthResult R = synthesize(B.Source, B.Prog, B.Target, Opts);
+    ASSERT_TRUE(R.succeeded()) << "batch=" << Batch;
+    std::string Text = R.Prog->str();
+    if (Reference.empty())
+      Reference = Text;
+    else
+      EXPECT_EQ(Text, Reference) << "diverged at batch=" << Batch;
+  }
+}
+
+TEST(ParallelSynthTest, StatsAggregateAcrossWaves) {
+  Benchmark B = loadBenchmark("Ambler-5");
+  SynthOptions Opts;
+  Opts.Jobs = 2;
+  Opts.Solver.Batch = 2;
+  Opts.Deterministic = true;
+  SynthResult R = synthesize(B.Source, B.Prog, B.Target, Opts);
+  ASSERT_TRUE(R.succeeded());
+  // The mirrored Table 1 fields come from the merged SolveStats.
+  EXPECT_EQ(R.Stats.Iters, R.Stats.Solve.Iters);
+  EXPECT_EQ(R.Stats.VerifyTimeSec, R.Stats.Solve.VerifyTimeSec);
+  EXPECT_GE(R.Stats.Solve.SatCalls, R.Stats.Solve.Iters);
+}
+
+//===----------------------------------------------------------------------===//
+// Source-result cache
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A source program over a join-chain schema whose queries return the
+/// chain-linking attribute — a fresh-UID value — so cached results exercise
+/// the UID-bijection comparison path.
+struct UidFixture {
+  ParseOutput Out;
+  const Schema *S = nullptr;
+  const Program *Prog = nullptr;
+
+  UidFixture()
+      : Out(parseOrDie(R"(
+schema Media {
+  table Picture(PicId: int, Pic: binary)
+  table TA(TaId: int, TName: string, PicId: int)
+}
+program MediaApp on Media {
+  update addTA(id: int, name: string, pic: binary) {
+    insert into Picture join TA values (TaId: id, TName: name, Pic: pic);
+  }
+  update deleteTA(id: int) {
+    delete [TA] from Picture join TA where TaId = id;
+  }
+  query getTA(id: int) {
+    select TName, PicId from Picture join TA where TaId = id;
+  }
+}
+)")),
+        S(Out.findSchema("Media")), Prog(&Out.findProgram("MediaApp")->Prog) {}
+};
+
+} // namespace
+
+TEST(SourceCacheTest, KeysAreUnambiguous) {
+  // Length-prefixed components: sequences that would collide under naive
+  // concatenation must map to distinct keys.
+  InvocationSeq A = {{"ab", {Value::makeString("c")}}};
+  InvocationSeq B = {{"a", {Value::makeString("bc")}}};
+  InvocationSeq C = {{"a", {Value::makeString("b"), Value::makeString("c")}}};
+  EXPECT_NE(invocationSeqKey(A), invocationSeqKey(B));
+  EXPECT_NE(invocationSeqKey(B), invocationSeqKey(C));
+  EXPECT_NE(invocationSeqKey(A), invocationSeqKey(C));
+  // Value kinds are tagged: int 1 vs string "1" vs uid 1.
+  InvocationSeq I = {{"f", {Value::makeInt(1)}}};
+  InvocationSeq St = {{"f", {Value::makeString("1")}}};
+  InvocationSeq U = {{"f", {Value::makeUid(1)}}};
+  EXPECT_NE(invocationSeqKey(I), invocationSeqKey(St));
+  EXPECT_NE(invocationSeqKey(I), invocationSeqKey(U));
+}
+
+TEST(SourceCacheTest, CachedRunMatchesDirectExecution) {
+  UidFixture F;
+  SourceResultCache Cache(*F.S, *F.Prog);
+  InvocationSeq Seq = {
+      {"addTA", {Value::makeInt(1), Value::makeString("A"),
+                 Value::makeBinary("b0")}},
+      {"addTA", {Value::makeInt(2), Value::makeString("B"),
+                 Value::makeBinary("b1")}},
+      {"getTA", {Value::makeInt(2)}},
+  };
+  std::shared_ptr<const ResultTable> Cached = Cache.run(Seq);
+  std::optional<ResultTable> Direct = runSequence(*F.Prog, *F.S, Seq);
+  ASSERT_TRUE(Cached);
+  ASSERT_TRUE(Direct);
+  // Byte-identical, not merely bijection-equivalent: deterministic UID
+  // numbering makes the memoized run reproduce the direct one exactly.
+  EXPECT_EQ(Cached->str(), Direct->str());
+
+  // Replaying the sequence is pure hits; a shared prefix reuses states.
+  uint64_t MissesBefore = Cache.misses();
+  std::shared_ptr<const ResultTable> Again = Cache.run(Seq);
+  ASSERT_TRUE(Again);
+  EXPECT_EQ(Cache.misses(), MissesBefore);
+  EXPECT_GT(Cache.hits(), 0u);
+}
+
+TEST(SourceCacheTest, CachedOutcomesMatchUncached) {
+  // The tester with a cache must produce the same verdict — and the same
+  // minimum failing input — as without, on candidates whose results carry
+  // fresh UIDs.
+  UidFixture F;
+  ParseOutput Cands = parseOrDie(R"(
+schema Media2 {
+  table Picture(PicId: int, Pic: binary)
+  table TA(TaId: int, TName: string, PicId: int)
+}
+program Good on Media2 {
+  update addTA(id: int, name: string, pic: binary) {
+    insert into Picture join TA values (TaId: id, TName: name, Pic: pic);
+  }
+  update deleteTA(id: int) {
+    delete [TA] from Picture join TA where TaId = id;
+  }
+  query getTA(id: int) {
+    select TName, PicId from Picture join TA where TaId = id;
+  }
+}
+program Bad on Media2 {
+  update addTA(id: int, name: string, pic: binary) {
+    insert into Picture join TA values (TaId: id, TName: name, Pic: pic);
+  }
+  update deleteTA(id: int) {
+    insert into TA values (TaId: id, TName: "X", PicId: id);
+  }
+  query getTA(id: int) {
+    select TName, PicId from Picture join TA where TaId = id;
+  }
+}
+)");
+  const Schema *Tgt = Cands.findSchema("Media2");
+  ASSERT_NE(Tgt, nullptr);
+
+  SourceResultCache Cache(*F.S, *F.Prog);
+  EquivalenceTester Plain(*F.S, *F.Prog, *Tgt);
+  EquivalenceTester Caching(*F.S, *F.Prog, *Tgt, {}, &Cache);
+
+  for (const char *Name : {"Good", "Bad"}) {
+    const Program &Cand = Cands.findProgram(Name)->Prog;
+    TestOutcome P = Plain.test(Cand);
+    TestOutcome C = Caching.test(Cand);
+    EXPECT_EQ(P.TheKind, C.TheKind) << Name;
+    // MFI minimality: identical failing input, invocation for invocation.
+    EXPECT_EQ(invocationStr(P.Mfi), invocationStr(C.Mfi)) << Name;
+    EXPECT_EQ(P.IllFormedFunc, C.IllFormedFunc) << Name;
+  }
+  EXPECT_EQ(Plain.test(Cands.findProgram("Good")->Prog).TheKind,
+            TestOutcome::Kind::Equivalent);
+  EXPECT_EQ(Plain.test(Cands.findProgram("Bad")->Prog).TheKind,
+            TestOutcome::Kind::Failing);
+
+  // Testing a second candidate against the same source reuses cached
+  // source-side work.
+  EXPECT_GT(Cache.hits(), 0u);
+}
+
+TEST(SourceCacheTest, SynthesisResultUnchangedByCache) {
+  Benchmark B = loadBenchmark("Ambler-3");
+  SynthOptions WithCache, Without;
+  Without.UseSourceCache = false;
+  SynthResult R1 = synthesize(B.Source, B.Prog, B.Target, WithCache);
+  SynthResult R2 = synthesize(B.Source, B.Prog, B.Target, Without);
+  ASSERT_TRUE(R1.succeeded());
+  ASSERT_TRUE(R2.succeeded());
+  EXPECT_EQ(R1.Prog->str(), R2.Prog->str());
+  EXPECT_EQ(R1.Stats.Iters, R2.Stats.Iters);
+}

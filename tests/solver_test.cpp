@@ -367,3 +367,67 @@ program App on Src {
   EquivalenceTester T(Src, Prog, Tgt, Deep);
   EXPECT_TRUE(T.test(*R.Prog).isEquivalent());
 }
+
+//===----------------------------------------------------------------------===//
+// SolveStats aggregation
+//===----------------------------------------------------------------------===//
+
+TEST(SolveStatsTest, PlusEqualsSumsCountersAndOrsFlags) {
+  SolveStats A;
+  A.Iters = 3;
+  A.BlockedTotal = 10.5;
+  A.VerifyTimeSec = 0.25;
+  A.SatCalls = 4;
+  A.SatConflicts = 7;
+  A.SatDecisions = 11;
+  A.SatPropagations = 13;
+  A.SatLearnedClauses = 5;
+  A.SatRestarts = 1;
+  A.MfiPruneHits = 2;
+  A.MfiPruneMisses = 1;
+  A.Rejected = 3;
+  A.TimedOut = false;
+  A.Exhausted = true;
+  A.Cancelled = false;
+
+  SolveStats B;
+  B.Iters = 9;
+  B.BlockedTotal = 2.0;
+  B.VerifyTimeSec = 0.75;
+  B.SatCalls = 10;
+  B.SatConflicts = 1;
+  B.SatDecisions = 2;
+  B.SatPropagations = 3;
+  B.SatLearnedClauses = 4;
+  B.SatRestarts = 0;
+  B.MfiPruneHits = 6;
+  B.MfiPruneMisses = 2;
+  B.Rejected = 8;
+  B.TimedOut = true;
+  B.Exhausted = false;
+  B.Cancelled = true;
+
+  A += B;
+  EXPECT_EQ(A.Iters, 12u);
+  EXPECT_DOUBLE_EQ(A.BlockedTotal, 12.5);
+  EXPECT_DOUBLE_EQ(A.VerifyTimeSec, 1.0);
+  EXPECT_EQ(A.SatCalls, 14u);
+  EXPECT_EQ(A.SatConflicts, 8u);
+  EXPECT_EQ(A.SatDecisions, 13u);
+  EXPECT_EQ(A.SatPropagations, 16u);
+  EXPECT_EQ(A.SatLearnedClauses, 9u);
+  EXPECT_EQ(A.SatRestarts, 1u);
+  EXPECT_EQ(A.MfiPruneHits, 8u);
+  EXPECT_EQ(A.MfiPruneMisses, 3u);
+  EXPECT_EQ(A.Rejected, 11u);
+  EXPECT_TRUE(A.TimedOut);
+  EXPECT_TRUE(A.Exhausted);
+  EXPECT_TRUE(A.Cancelled);
+
+  // Identity: accumulating a default-constructed stats changes nothing.
+  SolveStats Copy = A;
+  A += SolveStats();
+  EXPECT_EQ(A.Iters, Copy.Iters);
+  EXPECT_DOUBLE_EQ(A.BlockedTotal, Copy.BlockedTotal);
+  EXPECT_EQ(A.TimedOut, Copy.TimedOut);
+}

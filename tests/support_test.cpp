@@ -2,9 +2,14 @@
 
 #include "support/Rng.h"
 #include "support/StringExtras.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
 
 using namespace migrator;
 
@@ -95,4 +100,96 @@ TEST(TimerTest, ElapsedIsMonotone) {
   double B = T.elapsedSeconds();
   EXPECT_GE(B, A);
   EXPECT_GE(A, 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.getWorkerCount(), 4u);
+  std::atomic<int> Count{0};
+  {
+    TaskGroup Group(&Pool);
+    for (int I = 0; I < 1000; ++I)
+      Group.run([&Count]() { Count.fetch_add(1, std::memory_order_relaxed); });
+    Group.wait();
+  }
+  EXPECT_EQ(Count.load(), 1000);
+  EXPECT_GE(Pool.getNumTasks(), 1000u);
+}
+
+TEST(ThreadPoolTest, NullPoolRunsInline) {
+  // The degenerate sequential mode: no pool, run() executes on the caller.
+  std::thread::id Caller = std::this_thread::get_id();
+  int Count = 0;
+  TaskGroup Group(nullptr);
+  for (int I = 0; I < 10; ++I)
+    Group.run([&Count, Caller]() {
+      EXPECT_EQ(std::this_thread::get_id(), Caller);
+      ++Count;
+    });
+  Group.wait();
+  EXPECT_EQ(Count, 10);
+}
+
+TEST(ThreadPoolTest, NestedGroupsDoNotDeadlock) {
+  // Every worker fans out a nested group onto the same pool and waits on
+  // it — the shape the batched solver produces under the portfolio. The
+  // helping wait() must keep making progress even when all workers are
+  // themselves waiting.
+  ThreadPool Pool(2);
+  std::atomic<int> Inner{0};
+  {
+    TaskGroup Outer(&Pool);
+    for (int I = 0; I < 8; ++I)
+      Outer.run([&Pool, &Inner]() {
+        TaskGroup Group(&Pool);
+        for (int J = 0; J < 16; ++J)
+          Group.run(
+              [&Inner]() { Inner.fetch_add(1, std::memory_order_relaxed); });
+        Group.wait();
+      });
+    Outer.wait();
+  }
+  EXPECT_EQ(Inner.load(), 8 * 16);
+}
+
+TEST(ThreadPoolTest, WaitHelpsOnSaturatedPool) {
+  // One worker, many tasks: the waiting main thread must execute queued
+  // tasks itself rather than sleep until the lone worker drains them.
+  ThreadPool Pool(1);
+  std::atomic<int> Count{0};
+  TaskGroup Group(&Pool);
+  for (int I = 0; I < 200; ++I)
+    Group.run([&Count]() { Count.fetch_add(1, std::memory_order_relaxed); });
+  Group.wait();
+  EXPECT_EQ(Count.load(), 200);
+}
+
+TEST(ThreadPoolTest, GroupsWaitOnlyOnTheirOwnTasks) {
+  // A group's wait() must return once its own tasks are done, not when the
+  // whole pool drains. The foreign task spins with a deadline rather than
+  // an unconditional flag wait: the helping Quick.wait() may legitimately
+  // execute it inline, and an unbounded spin would then deadlock.
+  ThreadPool Pool(2);
+  std::atomic<bool> Release{false};
+  std::atomic<int> Fast{0};
+  TaskGroup Slow(&Pool);
+  Slow.run([&Release]() {
+    Timer Deadline;
+    while (!Release.load(std::memory_order_acquire) &&
+           Deadline.elapsedSeconds() < 2.0)
+      std::this_thread::yield();
+  });
+  {
+    TaskGroup Quick(&Pool);
+    for (int I = 0; I < 4; ++I)
+      Quick.run([&Fast]() { Fast.fetch_add(1, std::memory_order_relaxed); });
+    Quick.wait();
+    EXPECT_EQ(Fast.load(), 4);
+  }
+  Release.store(true, std::memory_order_release);
+  Slow.wait();
 }
