@@ -1,11 +1,17 @@
-//===- bench/bench_sweep.cpp - Parallel-engine sweep (BENCH_PR3.json) -------===//
+//===- bench/bench_sweep.cpp - Engine sweep (BENCH_PR4.json) ----------------===//
 //
-// Measures the parallel synthesis engine (docs/PERFORMANCE.md) and emits a
-// machine-readable report: per benchmark, wall-clock at jobs = 1, 2, and 4
-// (batch 4, deterministic, first-alternative bias off so candidate testing
-// dominates), plus a source-cache on/off pair at jobs = 1.
+// Measures the parallel synthesis engine and the indexed join engine
+// (docs/PERFORMANCE.md) and emits a machine-readable report:
 //
-// Usage: bench_sweep [output.json]     (default BENCH_PR3.json)
+//  * per benchmark, wall-clock at jobs = 1, 2, and 4 (batch 4,
+//    deterministic, first-alternative bias off so candidate testing
+//    dominates), plus a source-cache on/off pair at jobs = 1;
+//  * an eval-dominated three-table-join workload evaluated with the indexed
+//    engine and with the naive nested-loop oracle (MIGRATOR_NO_INDEX
+//    semantics), reporting wall-clock and the eval.tuples_scanned /
+//    eval.index_probes counters — the index speedup in isolation.
+//
+// Usage: bench_sweep [output.json]     (default BENCH_PR4.json)
 //
 // Environment: MIGRATOR_BENCH_BUDGET caps the per-run budget (seconds);
 // MIGRATOR_SWEEP_BENCHMARKS is a comma-separated benchmark-name override.
@@ -19,8 +25,11 @@
 
 #include "BenchUtil.h"
 
+#include "eval/Evaluator.h"
+#include "eval/Plan.h"
 #include "obs/Json.h"
 #include "obs/Metrics.h"
+#include "parse/Parser.h"
 #include "support/Timer.h"
 
 #include <cstdio>
@@ -110,10 +119,113 @@ SweepRow runOne(const Benchmark &B, unsigned Jobs, unsigned Batch,
   return Row;
 }
 
+//===----------------------------------------------------------------------===//
+// Join-engine workload: indexed engine vs naive oracle
+//===----------------------------------------------------------------------===//
+
+/// One run of the eval-dominated join workload under one engine.
+struct JoinEngineRow {
+  bool Indexed = false;
+  double WallSec = 0;
+  uint64_t TuplesScanned = 0;
+  uint64_t IndexProbes = 0;
+  uint64_t IndexBuilds = 0;
+  uint64_t PlanCompiles = 0;
+  uint64_t PlanCacheHits = 0;
+  uint64_t JoinRows = 0;
+
+  std::string json() const {
+    std::ostringstream O;
+    O << "{\"indexed\": " << (Indexed ? "true" : "false")
+      << ", \"wall_sec\": " << obs::jsonNumber(WallSec)
+      << ", \"tuples_scanned\": " << TuplesScanned
+      << ", \"index_probes\": " << IndexProbes
+      << ", \"index_builds\": " << IndexBuilds
+      << ", \"plan_compiles\": " << PlanCompiles
+      << ", \"plan_cache_hits\": " << PlanCacheHits
+      << ", \"join_rows\": " << JoinRows << "}";
+    return O.str();
+  }
+};
+
+/// A three-table key-linked chain: every T1 row joins exactly one T2 and one
+/// T3 row, so the naive engine's middle levels scan the full inner tables
+/// while the indexed engine reaches them by single-bucket probes.
+const char *joinWorkloadSource() {
+  return R"(
+schema JoinDB {
+  table T1(a: int, b: int)
+  table T2(b: int, c: int)
+  table T3(c: int, d: int)
+}
+program JoinApp on JoinDB {
+  query lookup(x: int) {
+    select T1.a, T3.d from T1 join T2 join T3 where a = x;
+  }
+  query fullJoin(x: int) {
+    select T1.a, T3.d from T1 join T2 join T3 where d >= x;
+  }
+}
+)";
+}
+
+JoinEngineRow runJoinEngine(bool Indexed, unsigned NumRows,
+                            unsigned NumQueries) {
+  auto Parsed = parseUnit(joinWorkloadSource());
+  const ParseOutput &PO = std::get<ParseOutput>(Parsed);
+  const Schema &S = *PO.findSchema("JoinDB");
+  const Program &P = PO.findProgram("JoinApp")->Prog;
+
+  setEvalIndexEnabled(Indexed);
+  Evaluator Eval(S);
+  Database DB(S);
+  for (unsigned I = 0; I < NumRows; ++I) {
+    DB.getTable("T1").insertRow({Value::makeInt(I), Value::makeInt(I)});
+    DB.getTable("T2").insertRow({Value::makeInt(I), Value::makeInt(I)});
+    DB.getTable("T3").insertRow({Value::makeInt(I), Value::makeInt(I)});
+  }
+
+  obs::MetricsSnapshot Before = obs::registry().snapshot();
+  Timer Clock;
+  uint64_t Rows = 0;
+  for (unsigned Q = 0; Q < NumQueries; ++Q) {
+    const Function &F =
+        P.getFunction(Q % 4 == 0 ? "fullJoin" : "lookup");
+    std::optional<ResultTable> R = Eval.callQuery(
+        F, {Value::makeInt(static_cast<int64_t>(Q % NumRows))}, DB);
+    if (!R) {
+      std::fprintf(stderr, "error: join workload query failed\n");
+      std::exit(1);
+    }
+    Rows += R->Rows.size();
+  }
+  JoinEngineRow Row;
+  Row.Indexed = Indexed;
+  Row.WallSec = Clock.elapsedSeconds();
+  obs::MetricsSnapshot Delta = obs::registry().snapshot() - Before;
+  Row.TuplesScanned = Delta.Counters["eval.tuples_scanned"];
+  Row.IndexProbes = Delta.Counters["eval.index_probes"];
+  Row.IndexBuilds = Delta.Counters["eval.index_builds"];
+  Row.PlanCompiles = Delta.Counters["eval.plan_compiles"];
+  Row.PlanCacheHits = Delta.Counters["plan.cache_hits"];
+  Row.JoinRows = Rows;
+  setEvalIndexEnabled(true);
+
+  std::printf("  join-engine    indexed=%-3s wall=%.3fs tuples=%llu "
+              "probes=%llu plan_hits=%llu rows=%llu\n",
+              Indexed ? "on" : "off", Row.WallSec,
+              static_cast<unsigned long long>(Row.TuplesScanned),
+              static_cast<unsigned long long>(Row.IndexProbes),
+              static_cast<unsigned long long>(Row.PlanCacheHits),
+              static_cast<unsigned long long>(Row.JoinRows));
+  std::fflush(stdout);
+  return Row;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
-  const char *OutPath = Argc > 1 ? Argv[1] : "BENCH_PR3.json";
+  const char *OutPath = Argc > 1 ? Argv[1] : "BENCH_PR4.json";
   obs::setMetricsEnabled(true);
 
   std::vector<std::string> Names = {"Ambler-8", "coachup", "MathHotSpot"};
@@ -138,9 +250,26 @@ int main(int Argc, char **Argv) {
     Rows.push_back(runOne(B, /*Jobs=*/1, /*Batch=*/1, /*UseCache=*/false));
   }
 
+  // Join-engine ablation: the same eval-dominated workload with indexes on
+  // and off; the tuples_scanned ratio is hardware-independent.
+  std::printf("Join engine ablation (3-table chain, 400 rows/table)\n");
+  std::vector<JoinEngineRow> JoinRows;
+  JoinRows.push_back(runJoinEngine(/*Indexed=*/true, /*NumRows=*/400,
+                                   /*NumQueries=*/400));
+  JoinRows.push_back(runJoinEngine(/*Indexed=*/false, /*NumRows=*/400,
+                                   /*NumQueries=*/400));
+  if (JoinRows[0].TuplesScanned > 0)
+    std::printf("  tuples_scanned ratio (naive/indexed): %.1fx\n",
+                static_cast<double>(JoinRows[1].TuplesScanned) /
+                    static_cast<double>(JoinRows[0].TuplesScanned));
+
   std::ostringstream Out;
   Out << "{\n  \"hardware_concurrency\": "
-      << std::thread::hardware_concurrency() << ",\n  \"results\": [\n";
+      << std::thread::hardware_concurrency() << ",\n  \"join_engine\": [\n";
+  for (size_t I = 0; I < JoinRows.size(); ++I)
+    Out << "    " << JoinRows[I].json()
+        << (I + 1 < JoinRows.size() ? ",\n" : "\n");
+  Out << "  ],\n  \"results\": [\n";
   for (size_t I = 0; I < Rows.size(); ++I)
     Out << "    " << Rows[I].json() << (I + 1 < Rows.size() ? ",\n" : "\n");
   Out << "  ]\n}\n";

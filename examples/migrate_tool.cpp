@@ -8,7 +8,8 @@
 //   migrate_tool <file> <program-name> <source-schema> <target-schema>
 //                [budget-seconds] [--sql] [--mode=mfi|enum|cegis]
 //                [--jobs=N] [--batch=N] [--deterministic] [--no-src-cache]
-//                [--trace=<file.json>] [--stats] [--stats-json=<file>]
+//                [--no-index] [--trace=<file.json>] [--stats]
+//                [--stats-json=<file>]
 //
 // With --sql, the migrated program is printed as executable SQL (MySQL
 // dialect) instead of surface syntax; --mode selects the sketch-completion
@@ -20,7 +21,9 @@
 // portfolio over an N-worker pool, --batch=N tests N candidates per SAT
 // round, --deterministic makes the parallel result byte-identical to the
 // sequential one, and --no-src-cache disables the cross-candidate
-// source-result cache.
+// source-result cache. --no-index (or MIGRATOR_NO_INDEX=1) falls back to
+// the naive nested-loop join engine — the differential-testing oracle; the
+// synthesized program is identical either way.
 //
 // Observability (see docs/OBSERVABILITY.md): --trace=<file> writes a Chrome
 // trace_event JSON of the run (load into chrome://tracing or Perfetto);
@@ -31,6 +34,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "ast/Simplify.h"
+#include "eval/Plan.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "relational/ResultTable.h"
@@ -121,6 +125,8 @@ int main(int Argc, char **Argv) {
       Opts.Deterministic = true;
     } else if (Arg == "--no-src-cache") {
       Opts.UseSourceCache = false;
+    } else if (Arg == "--no-index") {
+      setEvalIndexEnabled(false);
     } else if (Arg.rfind("--trace=", 0) == 0) {
       TracePath = Arg.substr(8);
     } else if (Arg == "--stats") {

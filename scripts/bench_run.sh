@@ -2,14 +2,15 @@
 #===- scripts/bench_run.sh - Parallel-engine benchmark sweep ----------------===#
 #
 # Builds the Release tree and runs bench_sweep, producing the
-# machine-readable BENCH_PR3.json report: per benchmark, wall-clock at
+# machine-readable BENCH_PR4.json report: per benchmark, wall-clock at
 # jobs = 1, 2, and 4 (deterministic, batch 4) plus a source-cache on/off
-# pair. See docs/PERFORMANCE.md for how to read the numbers — thread
-# scaling is only meaningful on a multi-core host (the report records
-# hardware_concurrency).
+# pair, and the join-engine ablation (indexed vs naive nested-loop, with
+# eval.tuples_scanned / eval.index_probes deltas). See docs/PERFORMANCE.md
+# for how to read the numbers — thread scaling is only meaningful on a
+# multi-core host (the report records hardware_concurrency).
 #
 # Usage: scripts/bench_run.sh [build-dir] [output.json]
-#        (defaults: build, BENCH_PR3.json at the repo root)
+#        (defaults: build, BENCH_PR4.json at the repo root)
 #
 # Environment: MIGRATOR_BENCH_BUDGET (per-run seconds cap),
 # MIGRATOR_SWEEP_BENCHMARKS (comma-separated names).
@@ -20,7 +21,7 @@ set -euo pipefail
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$REPO/build}"
-OUT="${2:-$REPO/BENCH_PR3.json}"
+OUT="${2:-$REPO/BENCH_PR4.json}"
 
 echo "== configure + build (Release) =="
 cmake -B "$BUILD" -S "$REPO" -DCMAKE_BUILD_TYPE=Release

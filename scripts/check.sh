@@ -2,10 +2,12 @@
 #===- scripts/check.sh - Sanitized build + tests + obs smoke run ------------===#
 #
 # The tier-1 verification script, strengthened: Debug build under
-# Address/UndefinedBehaviorSanitizer, the full ctest suite, a
-# migrate_tool observability smoke run whose emitted trace/stats JSON is
-# validated with trace_check, and a ThreadSanitizer pass over the parallel
-# synthesis engine (thread pool, portfolio, batched tester, source cache).
+# Address/UndefinedBehaviorSanitizer, the full ctest suite (run twice: with
+# the indexed join engine, and with MIGRATOR_NO_INDEX=1 forcing the naive
+# nested-loop oracle), a migrate_tool observability smoke run whose emitted
+# trace/stats JSON is validated with trace_check, and a ThreadSanitizer pass
+# over the parallel synthesis engine (thread pool, portfolio, batched
+# tester, source cache, shared plan cache and lazy index builds).
 #
 # Usage: scripts/check.sh [build-dir]     (default: build-check)
 #
@@ -29,8 +31,11 @@ cmake -B "$BUILD" -S "$REPO" \
 echo "== build =="
 cmake --build "$BUILD" -j"$(nproc)"
 
-echo "== ctest =="
+echo "== ctest (indexed join engine) =="
 ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
+
+echo "== ctest (MIGRATOR_NO_INDEX=1: naive join oracle) =="
+MIGRATOR_NO_INDEX=1 ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
 
 echo "== observability smoke run =="
 TMP="$(mktemp -d)"

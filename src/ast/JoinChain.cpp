@@ -111,6 +111,34 @@ JoinChain::attrClasses(const Schema &S) const {
   return Classes;
 }
 
+std::optional<unsigned>
+JoinChain::AttrClassPartition::classOf(const QualifiedAttr &QA) const {
+  auto It = Index.find(QA);
+  if (It == Index.end())
+    return std::nullopt;
+  return It->second;
+}
+
+JoinChain::AttrClassPartition
+JoinChain::attrClassPartition(const Schema &S) const {
+  AttrClassPartition P;
+  P.Classes = attrClasses(S);
+  for (unsigned C = 0; C < P.Classes.size(); ++C)
+    for (const QualifiedAttr &QA : P.Classes[C])
+      P.Index.emplace(QA, C);
+  P.ClassOf.resize(Tables.size());
+  for (size_t T = 0; T < Tables.size(); ++T) {
+    const TableSchema &TS = S.getTable(Tables[T]);
+    P.ClassOf[T].reserve(TS.getNumAttrs());
+    for (const Attribute &A : TS.getAttrs()) {
+      std::optional<unsigned> C = P.classOf({Tables[T], A.Name});
+      assert(C && "attribute missing from class partition");
+      P.ClassOf[T].push_back(*C);
+    }
+  }
+  return P;
+}
+
 std::optional<QualifiedAttr> JoinChain::resolve(const AttrRef &Ref,
                                                 const Schema &S) const {
   if (Ref.isQualified()) {

@@ -26,6 +26,7 @@
 
 #include "relational/Schema.h"
 
+#include <map>
 #include <optional>
 #include <string>
 #include <utility>
@@ -95,6 +96,27 @@ public:
   /// of every member table appears in exactly one class; unconstrained
   /// attributes form singleton classes.
   std::vector<std::vector<QualifiedAttr>> attrClasses(const Schema &S) const;
+
+  /// attrClasses() plus the lookup tables the evaluator needs per query:
+  /// the class of each (member table, attribute index) pair and a by-name
+  /// class index. Built once per (chain, schema) by the plan cache
+  /// (eval/Plan.h) instead of per evaluation.
+  struct AttrClassPartition {
+    std::vector<std::vector<QualifiedAttr>> Classes;
+    /// [tableIdx][attrIdx] -> class id, aligned with getTables() and the
+    /// table schema's attribute order.
+    std::vector<std::vector<unsigned>> ClassOf;
+
+    /// Class id of \p QA, or nullopt if it is not a chain attribute.
+    std::optional<unsigned> classOf(const QualifiedAttr &QA) const;
+
+  private:
+    friend class JoinChain;
+    std::map<QualifiedAttr, unsigned> Index;
+  };
+
+  /// Builds the full class partition for this chain over \p S.
+  AttrClassPartition attrClassPartition(const Schema &S) const;
 
   /// Resolves \p Ref against this chain: an unqualified reference resolves
   /// to the first member table declaring the attribute (under a natural

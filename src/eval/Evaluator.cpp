@@ -1,12 +1,37 @@
 //===- eval/Evaluator.cpp - Database program interpreter -------------------===//
+//
+// Query evaluation runs in one of two modes (see docs/PERFORMANCE.md, "Join
+// engine"):
+//
+//  * *indexed* (default): join chains are evaluated through compiled plans
+//    (eval/Plan.h) and per-column hash indexes (relational/Table.h) — table
+//    order is chosen by a most-bound-classes / smallest-table heuristic,
+//    each subsequent table is reached by an index probe on an already-bound
+//    join class, filter predicates are compiled once per evaluation
+//    (resolved column indices, hoisted operands and IN-subqueries), and
+//    equality conjuncts with constant/bound operands push down into the
+//    join as pre-bound classes;
+//  * *naive* (`MIGRATOR_NO_INDEX=1` / `--no-index`): the original
+//    nested-loop enumeration with per-row predicate resolution — the
+//    differential-testing oracle.
+//
+// Both modes produce byte-identical results, row order included: the naive
+// depth-first enumeration emits provenance tuples in lexicographic order of
+// per-table row indices, and the indexed path restores exactly that order
+// (bucket vectors are kept sorted; out-of-chain-order exploration is
+// followed by a provenance sort).
+//
+//===----------------------------------------------------------------------===//
 
 #include "eval/Evaluator.h"
 
+#include "eval/Plan.h"
 #include "obs/Metrics.h"
 
 #include <algorithm>
 #include <cassert>
 #include <sstream>
+#include <unordered_set>
 
 using namespace migrator;
 
@@ -44,10 +69,15 @@ struct VirtualTable {
   /// Resolves \p Ref to a column index: qualified references match exactly;
   /// unqualified references match the first column with that attribute name.
   std::optional<size_t> findCol(const AttrRef &Ref) const {
-    for (size_t I = 0; I < Columns.size(); ++I) {
-      if (Columns[I].Attr != Ref.Attr)
+    return findColIn(Columns, Ref);
+  }
+
+  static std::optional<size_t> findColIn(const std::vector<QualifiedAttr> &Cols,
+                                         const AttrRef &Ref) {
+    for (size_t I = 0; I < Cols.size(); ++I) {
+      if (Cols[I].Attr != Ref.Attr)
         continue;
-      if (!Ref.isQualified() || Columns[I].Table == Ref.Table)
+      if (!Ref.isQualified() || Cols[I].Table == Ref.Table)
         return I;
     }
     return std::nullopt;
@@ -70,10 +100,14 @@ std::optional<Value> evalOperand(const Operand &Op, const Env &E) {
   return It->second;
 }
 
+//===----------------------------------------------------------------------===//
+// Naive join enumeration (the --no-index differential-testing oracle)
+//===----------------------------------------------------------------------===//
+
 /// Joins the chain's member tables: enumerates row combinations consistent
 /// with the chain's attribute equivalence classes, depth-first over tables.
-JoinRows computeJoinRows(const JoinChain &Chain, const Schema &S,
-                         const Database &DB) {
+JoinRows computeJoinRowsNaive(const JoinChain &Chain, const Schema &S,
+                              const Database &DB) {
   const std::vector<std::string> &Tables = Chain.getTables();
   std::vector<std::vector<QualifiedAttr>> Classes = Chain.attrClasses(S);
 
@@ -142,13 +176,144 @@ JoinRows computeJoinRows(const JoinChain &Chain, const Schema &S,
   return Result;
 }
 
+//===----------------------------------------------------------------------===//
+// Indexed join enumeration
+//===----------------------------------------------------------------------===//
+
+/// Per-class bound values, indexed by class id.
+using ClassVals = std::vector<std::optional<Value>>;
+
+/// Index-probe join over a compiled plan. \p Pre optionally pre-binds join
+/// classes (pushed-down equality predicates); rows violating a pre-bound
+/// class are never enumerated. The result is emitted in lexicographic
+/// provenance order — byte-identical to computeJoinRowsNaive.
+JoinRows computeJoinRowsIndexed(const ChainPlan &P, const Database &DB,
+                                const ClassVals *Pre) {
+  const std::vector<std::string> &Tables = P.Chain.getTables();
+  const size_t NT = Tables.size();
+  std::vector<const Table *> Tbls(NT);
+  for (size_t T = 0; T < NT; ++T)
+    Tbls[T] = &DB.getTable(Tables[T]);
+
+  ClassVals ClassVal = Pre ? *Pre : ClassVals(P.numClasses());
+
+  // Join order: greedily prefer the table with the most attributes in
+  // already-bound classes (it is reached by an index probe and filters
+  // hardest), breaking ties by smallest row count, then chain position.
+  std::vector<size_t> Order;
+  Order.reserve(NT);
+  std::vector<bool> Used(NT, false);
+  std::vector<bool> Bound(P.numClasses(), false);
+  for (size_t C = 0; C < ClassVal.size(); ++C)
+    Bound[C] = ClassVal[C].has_value();
+  for (size_t Step = 0; Step < NT; ++Step) {
+    size_t Best = NT;
+    size_t BestScore = 0, BestSize = 0;
+    for (size_t T = 0; T < NT; ++T) {
+      if (Used[T])
+        continue;
+      size_t Score = 0;
+      for (unsigned C : P.Part.ClassOf[T])
+        Score += Bound[C];
+      if (Best == NT || Score > BestScore ||
+          (Score == BestScore && Tbls[T]->size() < BestSize)) {
+        Best = T;
+        BestScore = Score;
+        BestSize = Tbls[T]->size();
+      }
+    }
+    Used[Best] = true;
+    Order.push_back(Best);
+    for (unsigned C : P.Part.ClassOf[Best])
+      Bound[C] = true;
+  }
+  bool ChainOrder = true;
+  for (size_t D = 0; D < NT; ++D)
+    ChainOrder &= Order[D] == D;
+
+  JoinRows Result;
+  std::vector<size_t> Partial(NT);
+  uint64_t TuplesScanned = 0, Probes = 0;
+
+  auto Rec = [&](auto &&Self, size_t D) -> void {
+    if (D == NT) {
+      Result.Rows.push_back(Partial);
+      return;
+    }
+    const size_t T = Order[D];
+    const Table &Tbl = *Tbls[T];
+    const std::vector<unsigned> &CO = P.Part.ClassOf[T];
+
+    // Probe the hash index on the first attribute whose class is already
+    // bound; with nothing bound, fall back to a scan (only possible at
+    // depths the join graph leaves unconstrained).
+    const std::vector<size_t> *Bucket = nullptr;
+    bool Probed = false;
+    for (unsigned A = 0; A < CO.size(); ++A)
+      if (ClassVal[CO[A]].has_value()) {
+        Bucket = Tbl.probeIndex(A, *ClassVal[CO[A]]);
+        Probed = true;
+        break;
+      }
+    if (Probed) {
+      ++Probes;
+      if (!Bucket)
+        return;
+    }
+    const size_t NumCand = Probed ? Bucket->size() : Tbl.size();
+    TuplesScanned += NumCand;
+
+    for (size_t I = 0; I < NumCand; ++I) {
+      const size_t R = Probed ? (*Bucket)[I] : I;
+      const Row &Rw = Tbl.getRow(R);
+      // Check and bind class values exactly as the naive enumeration does
+      // (the probe attribute re-checks trivially).
+      std::vector<std::pair<unsigned, std::optional<Value>>> Saved;
+      bool Ok = true;
+      for (unsigned A = 0; A < Rw.size() && Ok; ++A) {
+        unsigned C = CO[A];
+        if (ClassVal[C].has_value()) {
+          if (*ClassVal[C] != Rw[A])
+            Ok = false;
+        } else {
+          Saved.emplace_back(C, ClassVal[C]);
+          ClassVal[C] = Rw[A];
+        }
+      }
+      if (Ok) {
+        Partial[T] = R;
+        Self(Self, D + 1);
+      }
+      for (auto It = Saved.rbegin(); It != Saved.rend(); ++It)
+        ClassVal[It->first] = It->second;
+    }
+  };
+  Rec(Rec, 0);
+
+  // Out-of-chain-order exploration permutes emission order; the sort
+  // restores the naive path's lexicographic provenance order. Provenance
+  // tuples are pairwise distinct, so the order is total and deterministic.
+  if (!ChainOrder)
+    std::sort(Result.Rows.begin(), Result.Rows.end());
+
+  if (obs::metricsEnabled()) {
+    MIGRATOR_COUNTER_ADD("eval.joins", 1);
+    MIGRATOR_COUNTER_ADD("eval.tuples_scanned", TuplesScanned);
+    MIGRATOR_COUNTER_ADD("eval.join_rows", Result.Rows.size());
+    MIGRATOR_COUNTER_ADD("eval.index_probes", Probes);
+    MIGRATOR_HISTOGRAM_RECORD("eval.join_width", NT);
+  }
+  return Result;
+}
+
 /// Materializes join rows into a virtual table with one column per
-/// qualified attribute of the chain.
-VirtualTable materialize(const JoinChain &Chain, const Schema &S,
-                         const Database &DB, const JoinRows &JR) {
+/// qualified attribute of the chain (column list supplied by the caller —
+/// either freshly computed or taken from a plan).
+VirtualTable materializeRows(std::vector<QualifiedAttr> Columns,
+                             const std::vector<std::string> &Tables,
+                             const Database &DB, const JoinRows &JR) {
   VirtualTable VT;
-  VT.Columns = Chain.allAttrs(S);
-  const std::vector<std::string> &Tables = Chain.getTables();
+  VT.Columns = std::move(Columns);
   for (const std::vector<size_t> &Prov : JR.Rows) {
     Row Out;
     Out.reserve(VT.Columns.size());
@@ -161,13 +326,68 @@ VirtualTable materialize(const JoinChain &Chain, const Schema &S,
   return VT;
 }
 
+//===----------------------------------------------------------------------===//
+// Compiled predicates
+//===----------------------------------------------------------------------===//
+
+/// A predicate compiled against a fixed column list: attribute references
+/// resolved to column indices once, operand values and IN-subquery results
+/// hoisted out of the per-row loop. Whether a predicate is well-formed does
+/// not depend on row values, so compilation failure (nullopt) means the
+/// original per-row evaluation would return nullopt on every row.
+struct CompiledPred {
+  Pred::Kind K = Pred::Kind::Cmp;
+  size_t LhsCol = 0;                ///< Cmp / In.
+  CmpOp Op = CmpOp::Eq;             ///< Cmp.
+  bool RhsIsCol = false;            ///< Cmp.
+  size_t RhsCol = 0;                ///< Cmp, when RhsIsCol.
+  Value RhsVal;                     ///< Cmp, when !RhsIsCol.
+  std::unordered_set<Value> InSet;  ///< In: hoisted subquery values.
+  std::unique_ptr<CompiledPred> A, B; ///< And/Or: both; Not: A.
+};
+
+bool evalCompiled(const CompiledPred &C, const Row &R) {
+  switch (C.K) {
+  case Pred::Kind::Cmp:
+    return evalCmpOp(C.Op, R[C.LhsCol], C.RhsIsCol ? R[C.RhsCol] : C.RhsVal);
+  case Pred::Kind::In:
+    return C.InSet.count(R[C.LhsCol]) != 0;
+  case Pred::Kind::And:
+    return evalCompiled(*C.A, R) && evalCompiled(*C.B, R);
+  case Pred::Kind::Or:
+    return evalCompiled(*C.A, R) || evalCompiled(*C.B, R);
+  case Pred::Kind::Not:
+    return !evalCompiled(*C.A, R);
+  }
+  assert(false && "unknown predicate kind");
+  return false;
+}
+
+/// Collects top-level equality conjuncts `col = value` as pre-bound join
+/// classes. Returns false when two conjuncts bind one class to different
+/// values — the filter is then unsatisfiable over the join.
+bool collectEqBindings(const CompiledPred &C, const ChainPlan &P,
+                       ClassVals &Vals) {
+  if (C.K == Pred::Kind::And)
+    return collectEqBindings(*C.A, P, Vals) && collectEqBindings(*C.B, P, Vals);
+  if (C.K == Pred::Kind::Cmp && C.Op == CmpOp::Eq && !C.RhsIsCol) {
+    unsigned Cls = P.ColClass[C.LhsCol];
+    if (Vals[Cls].has_value())
+      return *Vals[Cls] == C.RhsVal;
+    Vals[Cls] = C.RhsVal;
+  }
+  return true;
+}
+
 class EvalContext {
 public:
-  EvalContext(const Schema &S, const Database &DB, const Env &E)
-      : S(S), DB(DB), E(E) {}
+  EvalContext(const Schema &S, const Database &DB, const Env &E,
+              PlanCache &Plans)
+      : S(S), DB(DB), E(E), Plans(Plans) {}
 
   /// Evaluates predicate \p P over row \p R of \p VT. Returns nullopt on
   /// ill-formed constructs (unresolvable attribute, unbound parameter).
+  /// Used by the naive (--no-index) mode.
   std::optional<bool> evalPred(const Pred &P, const VirtualTable &VT,
                                const Row &R) {
     switch (P.getKind()) {
@@ -224,19 +444,139 @@ public:
     return std::nullopt;
   }
 
-  /// Compositional query evaluation.
-  std::optional<VirtualTable> evalQueryRec(const Query &Q) {
-    switch (Q.getKind()) {
-    case Query::Kind::Chain: {
-      const JoinChain &Chain = static_cast<const ChainQuery &>(Q).getJoinChain();
+  /// Compiles \p P against column list \p Cols. Returns nullopt when the
+  /// predicate is ill-formed (which is row-independent).
+  std::optional<CompiledPred>
+  compilePred(const Pred &P, const std::vector<QualifiedAttr> &Cols) {
+    CompiledPred C;
+    C.K = P.getKind();
+    switch (P.getKind()) {
+    case Pred::Kind::Cmp: {
+      const auto &Cmp = static_cast<const CmpPred &>(P);
+      std::optional<size_t> L = VirtualTable::findColIn(Cols, Cmp.getLhs());
+      if (!L)
+        return std::nullopt;
+      C.LhsCol = *L;
+      C.Op = Cmp.getOp();
+      if (Cmp.rhsIsAttr()) {
+        std::optional<size_t> RC =
+            VirtualTable::findColIn(Cols, Cmp.getRhsAttr());
+        if (!RC)
+          return std::nullopt;
+        C.RhsIsCol = true;
+        C.RhsCol = *RC;
+      } else {
+        std::optional<Value> V = evalOperand(Cmp.getRhsOperand(), E);
+        if (!V)
+          return std::nullopt;
+        C.RhsVal = std::move(*V);
+      }
+      return C;
+    }
+    case Pred::Kind::In: {
+      const auto &I = static_cast<const InPred &>(P);
+      std::optional<size_t> L = VirtualTable::findColIn(Cols, I.getLhs());
+      if (!L)
+        return std::nullopt;
+      C.LhsCol = *L;
+      // The subquery does not depend on the outer row: evaluate it once.
+      std::optional<VirtualTable> Sub = evalQueryRec(I.getSubQuery());
+      if (!Sub || Sub->Columns.size() != 1)
+        return std::nullopt;
+      for (const Row &SR : Sub->Rows)
+        C.InSet.insert(SR[0]);
+      return C;
+    }
+    case Pred::Kind::And:
+    case Pred::Kind::Or: {
+      const auto &B = static_cast<const BinaryPred &>(P);
+      std::optional<CompiledPred> L = compilePred(B.getLhs(), Cols);
+      std::optional<CompiledPred> R = compilePred(B.getRhs(), Cols);
+      if (!L || !R)
+        return std::nullopt;
+      C.A = std::make_unique<CompiledPred>(std::move(*L));
+      C.B = std::make_unique<CompiledPred>(std::move(*R));
+      return C;
+    }
+    case Pred::Kind::Not: {
+      std::optional<CompiledPred> Sub =
+          compilePred(static_cast<const NotPred &>(P).getSubPred(), Cols);
+      if (!Sub)
+        return std::nullopt;
+      C.A = std::make_unique<CompiledPred>(std::move(*Sub));
+      return C;
+    }
+    }
+    assert(false && "unknown predicate kind");
+    return std::nullopt;
+  }
+
+  /// Evaluates a chain leaf. Returns nullopt if a member table is missing.
+  std::optional<VirtualTable> evalChain(const JoinChain &Chain) {
+    for (const std::string &T : Chain.getTables())
+      if (!DB.findTable(T))
+        return std::nullopt;
+    if (!evalIndexEnabled()) {
+      JoinRows JR = computeJoinRowsNaive(Chain, S, DB);
+      return materializeRows(Chain.allAttrs(S), Chain.getTables(), DB, JR);
+    }
+    std::shared_ptr<const ChainPlan> Plan = Plans.chainPlan(Chain);
+    JoinRows JR = computeJoinRowsIndexed(*Plan, DB, nullptr);
+    return materializeRows(Plan->AllAttrs, Chain.getTables(), DB, JR);
+  }
+
+  /// Indexed-mode σ: compile the predicate once; when the subquery is a
+  /// bare chain, push equality conjuncts down into the join as pre-bound
+  /// classes. Byte-identical to the naive path: the pushdown only prunes
+  /// rows the compiled predicate would reject, and predicate
+  /// well-formedness is row-independent (an ill-formed predicate yields
+  /// nullopt iff the subquery has at least one row, as before).
+  std::optional<VirtualTable> evalFilterIndexed(const FilterQuery &F) {
+    std::optional<VirtualTable> Sub;
+    std::optional<CompiledPred> CP;
+    if (const auto *CQ = dyn_cast_chain(F.getSubQuery())) {
+      const JoinChain &Chain = CQ->getJoinChain();
       for (const std::string &T : Chain.getTables())
         if (!DB.findTable(T))
           return std::nullopt;
-      JoinRows JR = computeJoinRows(Chain, S, DB);
-      return materialize(Chain, S, DB, JR);
+      std::shared_ptr<const ChainPlan> Plan = Plans.chainPlan(Chain);
+      CP = compilePred(F.getPred(), Plan->AllAttrs);
+      JoinRows JR;
+      bool Feasible = true;
+      ClassVals Pre(Plan->numClasses());
+      if (CP)
+        Feasible = collectEqBindings(*CP, *Plan, Pre);
+      if (Feasible)
+        JR = computeJoinRowsIndexed(*Plan, DB, CP ? &Pre : nullptr);
+      Sub = materializeRows(Plan->AllAttrs, Chain.getTables(), DB, JR);
+    } else {
+      Sub = evalQueryRec(F.getSubQuery());
+      if (!Sub)
+        return std::nullopt;
+      CP = compilePred(F.getPred(), Sub->Columns);
     }
+    VirtualTable Out;
+    Out.Columns = Sub->Columns;
+    if (!CP) {
+      if (Sub->Rows.empty())
+        return Out;
+      return std::nullopt;
+    }
+    for (Row &R : Sub->Rows)
+      if (evalCompiled(*CP, R))
+        Out.Rows.push_back(std::move(R));
+    return Out;
+  }
+
+  /// Compositional query evaluation.
+  std::optional<VirtualTable> evalQueryRec(const Query &Q) {
+    switch (Q.getKind()) {
+    case Query::Kind::Chain:
+      return evalChain(static_cast<const ChainQuery &>(Q).getJoinChain());
     case Query::Kind::Filter: {
       const auto &F = static_cast<const FilterQuery &>(Q);
+      if (evalIndexEnabled())
+        return evalFilterIndexed(F);
       std::optional<VirtualTable> Sub = evalQueryRec(F.getSubQuery());
       if (!Sub)
         return std::nullopt;
@@ -281,9 +621,16 @@ public:
   }
 
 private:
+  static const ChainQuery *dyn_cast_chain(const Query &Q) {
+    return Q.getKind() == Query::Kind::Chain
+               ? static_cast<const ChainQuery *>(&Q)
+               : nullptr;
+  }
+
   const Schema &S;
   const Database &DB;
   const Env &E;
+  PlanCache &Plans;
 };
 
 /// Binds positional \p Args to \p F's parameters. Returns nullopt on arity
@@ -307,28 +654,32 @@ std::optional<Env> bindParams(const Function &F,
 /// (Sec. 3.1). Returns false on ill-formed constructs or conflicting
 /// explicit assignments to one class.
 bool execInsert(const InsertStmt &I, const Schema &S, const Env &E,
-                Database &DB, UidGen &Uids) {
+                Database &DB, UidGen &Uids, PlanCache &Plans) {
   const JoinChain &Chain = I.getChain();
   for (const std::string &T : Chain.getTables())
     if (!DB.findTable(T))
       return false;
 
-  std::vector<std::vector<QualifiedAttr>> Classes = Chain.attrClasses(S);
-  auto ClassIdxOf = [&Classes](const QualifiedAttr &QA) -> std::optional<unsigned> {
-    for (unsigned C = 0; C < Classes.size(); ++C)
-      if (std::find(Classes[C].begin(), Classes[C].end(), QA) !=
-          Classes[C].end())
-        return C;
-    return std::nullopt;
-  };
+  // The class partition comes from the plan cache in indexed mode and is
+  // rebuilt per statement in oracle mode (the original behaviour).
+  std::shared_ptr<const ChainPlan> Plan;
+  std::optional<JoinChain::AttrClassPartition> Local;
+  const JoinChain::AttrClassPartition *Part;
+  if (evalIndexEnabled()) {
+    Plan = Plans.chainPlan(Chain);
+    Part = &Plan->Part;
+  } else {
+    Local = Chain.attrClassPartition(S);
+    Part = &*Local;
+  }
 
   // Assign explicit values to classes.
-  std::vector<std::optional<Value>> ClassVal(Classes.size());
+  std::vector<std::optional<Value>> ClassVal(Part->Classes.size());
   for (const auto &[Ref, Op] : I.getValues()) {
     std::optional<QualifiedAttr> QA = Chain.resolve(Ref, S);
     if (!QA)
       return false;
-    std::optional<unsigned> C = ClassIdxOf(*QA);
+    std::optional<unsigned> C = Part->classOf(*QA);
     if (!C)
       return false;
     std::optional<Value> V = evalOperand(Op, E);
@@ -345,16 +696,14 @@ bool execInsert(const InsertStmt &I, const Schema &S, const Env &E,
       V = Uids.fresh();
 
   // Emit one row per member table.
-  for (const std::string &T : Chain.getTables()) {
-    const TableSchema &TS = S.getTable(T);
+  const std::vector<std::string> &Tables = Chain.getTables();
+  for (size_t T = 0; T < Tables.size(); ++T) {
+    const std::vector<unsigned> &CO = Part->ClassOf[T];
     Row R;
-    R.reserve(TS.getNumAttrs());
-    for (const Attribute &A : TS.getAttrs()) {
-      std::optional<unsigned> C = ClassIdxOf({T, A.Name});
-      assert(C && "attribute missing from class partition");
-      R.push_back(*ClassVal[*C]);
-    }
-    DB.getTable(T).insertRow(std::move(R));
+    R.reserve(CO.size());
+    for (unsigned C : CO)
+      R.push_back(*ClassVal[C]);
+    DB.getTable(Tables[T]).insertRow(std::move(R));
   }
   return true;
 }
@@ -364,13 +713,52 @@ bool execInsert(const InsertStmt &I, const Schema &S, const Env &E,
 /// ill-formed constructs.
 std::optional<std::vector<std::vector<size_t>>>
 matchingProvenance(const JoinChain &Chain, const Pred *P, const Schema &S,
-                   const Env &E, const Database &DB) {
+                   const Env &E, const Database &DB, PlanCache &Plans) {
   for (const std::string &T : Chain.getTables())
     if (!DB.findTable(T))
       return std::nullopt;
-  JoinRows JR = computeJoinRows(Chain, S, DB);
-  VirtualTable VT = materialize(Chain, S, DB, JR);
-  EvalContext Ctx(S, DB, E);
+  EvalContext Ctx(S, DB, E, Plans);
+
+  if (evalIndexEnabled()) {
+    std::shared_ptr<const ChainPlan> Plan = Plans.chainPlan(Chain);
+    std::optional<CompiledPred> CP;
+    JoinRows JR;
+    bool Feasible = true;
+    if (P) {
+      CP = Ctx.compilePred(*P, Plan->AllAttrs);
+      if (CP) {
+        ClassVals Pre(Plan->numClasses());
+        Feasible = collectEqBindings(*CP, *Plan, Pre);
+        if (Feasible)
+          JR = computeJoinRowsIndexed(*Plan, DB, &Pre);
+      } else {
+        JR = computeJoinRowsIndexed(*Plan, DB, nullptr);
+      }
+    } else {
+      JR = computeJoinRowsIndexed(*Plan, DB, nullptr);
+    }
+    if (P && !CP) {
+      // Ill-formed predicate: nullopt iff any join row exists (matching the
+      // per-row oracle, which fails on the first row it evaluates).
+      if (JR.Rows.empty())
+        return std::vector<std::vector<size_t>>{};
+      return std::nullopt;
+    }
+    std::vector<std::vector<size_t>> Matching;
+    if (!P) {
+      Matching = std::move(JR.Rows);
+      return Matching;
+    }
+    VirtualTable VT =
+        materializeRows(Plan->AllAttrs, Chain.getTables(), DB, JR);
+    for (size_t R = 0; R < VT.Rows.size(); ++R)
+      if (evalCompiled(*CP, VT.Rows[R]))
+        Matching.push_back(JR.Rows[R]);
+    return Matching;
+  }
+
+  JoinRows JR = computeJoinRowsNaive(Chain, S, DB);
+  VirtualTable VT = materializeRows(Chain.allAttrs(S), Chain.getTables(), DB, JR);
 
   std::vector<std::vector<size_t>> Matching;
   for (size_t R = 0; R < VT.Rows.size(); ++R) {
@@ -388,10 +776,10 @@ matchingProvenance(const JoinChain &Chain, const Pred *P, const Schema &S,
 }
 
 bool execDelete(const DeleteStmt &D, const Schema &S, const Env &E,
-                Database &DB) {
+                Database &DB, PlanCache &Plans) {
   const JoinChain &Chain = D.getChain();
   std::optional<std::vector<std::vector<size_t>>> Matching =
-      matchingProvenance(Chain, D.getPred(), S, E, DB);
+      matchingProvenance(Chain, D.getPred(), S, E, DB, Plans);
   if (!Matching)
     return false;
 
@@ -410,7 +798,7 @@ bool execDelete(const DeleteStmt &D, const Schema &S, const Env &E,
 }
 
 bool execUpdate(const UpdateStmt &U, const Schema &S, const Env &E,
-                Database &DB) {
+                Database &DB, PlanCache &Plans) {
   const JoinChain &Chain = U.getChain();
   std::optional<QualifiedAttr> Target = Chain.resolve(U.getTarget(), S);
   if (!Target)
@@ -420,7 +808,7 @@ bool execUpdate(const UpdateStmt &U, const Schema &S, const Env &E,
     return false;
 
   std::optional<std::vector<std::vector<size_t>>> Matching =
-      matchingProvenance(Chain, U.getPred(), S, E, DB);
+      matchingProvenance(Chain, U.getPred(), S, E, DB, Plans);
   if (!Matching)
     return false;
 
@@ -440,6 +828,11 @@ bool execUpdate(const UpdateStmt &U, const Schema &S, const Env &E,
 
 } // namespace
 
+Evaluator::Evaluator(const Schema &S)
+    : S(S), Plans(std::make_unique<PlanCache>(S)) {}
+
+Evaluator::~Evaluator() = default;
+
 bool Evaluator::callUpdate(const Function &F, const std::vector<Value> &Args,
                            Database &DB, UidGen &Uids) const {
   assert(F.isUpdate() && "callUpdate requires an update function");
@@ -450,13 +843,14 @@ bool Evaluator::callUpdate(const Function &F, const std::vector<Value> &Args,
     bool Ok = false;
     switch (St->getKind()) {
     case Stmt::Kind::Insert:
-      Ok = execInsert(static_cast<const InsertStmt &>(*St), S, *E, DB, Uids);
+      Ok = execInsert(static_cast<const InsertStmt &>(*St), S, *E, DB, Uids,
+                      *Plans);
       break;
     case Stmt::Kind::Delete:
-      Ok = execDelete(static_cast<const DeleteStmt &>(*St), S, *E, DB);
+      Ok = execDelete(static_cast<const DeleteStmt &>(*St), S, *E, DB, *Plans);
       break;
     case Stmt::Kind::Update:
-      Ok = execUpdate(static_cast<const UpdateStmt &>(*St), S, *E, DB);
+      Ok = execUpdate(static_cast<const UpdateStmt &>(*St), S, *E, DB, *Plans);
       break;
     }
     if (!Ok)
@@ -478,7 +872,7 @@ Evaluator::callQuery(const Function &F, const std::vector<Value> &Args,
 std::optional<ResultTable>
 Evaluator::evalQuery(const Query &Q, const std::map<std::string, Value> &Env,
                      const Database &DB) const {
-  EvalContext Ctx(S, DB, Env);
+  EvalContext Ctx(S, DB, Env, *Plans);
   std::optional<VirtualTable> VT = Ctx.evalQueryRec(Q);
   if (!VT)
     return std::nullopt;

@@ -30,11 +30,14 @@
 #include "relational/ResultTable.h"
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 namespace migrator {
+
+class PlanCache;
 
 /// Generator of globally fresh UID values within one program run.
 class UidGen {
@@ -69,10 +72,17 @@ using InvocationSeq = std::vector<Invocation>;
 /// Renders an invocation sequence, e.g. `addTA(1, "A", b"b0"); getTAInfo(1)`.
 std::string sequenceStr(const InvocationSeq &Seq);
 
-/// Interpreter over one schema.
+/// Interpreter over one schema. Holds a per-instance plan cache (eval/Plan.h)
+/// memoizing join-chain class partitions and column maps across calls; the
+/// cache is thread-safe, so one Evaluator may be shared across threads (the
+/// source-result cache relies on this). Non-copyable.
 class Evaluator {
 public:
-  explicit Evaluator(const Schema &S) : S(S) {}
+  explicit Evaluator(const Schema &S);
+  ~Evaluator();
+
+  Evaluator(const Evaluator &) = delete;
+  Evaluator &operator=(const Evaluator &) = delete;
 
   const Schema &getSchema() const { return S; }
 
@@ -95,6 +105,9 @@ public:
 
 private:
   const Schema &S;
+  /// Compiled-plan memo; mutated by const evaluation entry points (it is a
+  /// cache, not observable state) and internally synchronized.
+  std::unique_ptr<PlanCache> Plans;
 };
 
 /// Executes \p Seq on \p P from an empty instance of \p S and returns the

@@ -1,0 +1,67 @@
+//===- eval/Plan.cpp - Compiled join-chain query plans ----------------------===//
+
+#include "eval/Plan.h"
+
+#include "obs/Metrics.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+using namespace migrator;
+
+namespace {
+
+std::atomic<int> IndexEnabledOverride{-1}; ///< -1 = follow the environment.
+
+bool envDisablesIndex() {
+  static const bool Disabled = [] {
+    const char *E = std::getenv("MIGRATOR_NO_INDEX");
+    return E && *E && std::string_view(E) != "0";
+  }();
+  return Disabled;
+}
+
+} // namespace
+
+bool migrator::evalIndexEnabled() {
+  int O = IndexEnabledOverride.load(std::memory_order_relaxed);
+  if (O >= 0)
+    return O != 0;
+  return !envDisablesIndex();
+}
+
+void migrator::setEvalIndexEnabled(bool On) {
+  IndexEnabledOverride.store(On ? 1 : 0, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const ChainPlan> PlanCache::chainPlan(const JoinChain &C) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = Plans.find(&C);
+    if (It != Plans.end() && It->second->Chain == C) {
+      MIGRATOR_COUNTER_ADD("plan.cache_hits", 1);
+      return It->second;
+    }
+  }
+
+  auto Plan = std::make_shared<ChainPlan>();
+  Plan->Chain = C;
+  Plan->Part = C.attrClassPartition(S);
+  Plan->AllAttrs = C.allAttrs(S);
+  Plan->ColOffset.reserve(C.getNumTables());
+  Plan->ColClass.reserve(Plan->AllAttrs.size());
+  size_t Off = 0;
+  for (size_t T = 0; T < C.getNumTables(); ++T) {
+    Plan->ColOffset.push_back(Off);
+    Off += Plan->Part.ClassOf[T].size();
+    for (unsigned Cls : Plan->Part.ClassOf[T])
+      Plan->ColClass.push_back(Cls);
+  }
+  MIGRATOR_COUNTER_ADD("eval.plan_compiles", 1);
+
+  std::lock_guard<std::mutex> Lock(M);
+  // First insert wins under races; address reuse overwrites the stale plan.
+  Plans[&C] = Plan;
+  return Plan;
+}

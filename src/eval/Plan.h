@@ -1,0 +1,96 @@
+//===- eval/Plan.h - Compiled join-chain query plans --------------*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiled-plan half of the indexed join engine (docs/PERFORMANCE.md,
+/// "Join engine"). Evaluating a join chain used to recompute, on *every*
+/// call, the chain's attribute equivalence classes, the per-attribute class
+/// map, and the materialized column list; the bounded tester evaluates the
+/// same handful of chains thousands of times per candidate. A ChainPlan
+/// captures everything that depends only on (chain, schema); the PlanCache
+/// memoizes plans per evaluator, keyed by chain identity and validated by
+/// structural equality (so a recycled AST address can never serve a stale
+/// plan).
+///
+/// The runtime-variant parts — join order (depends on table sizes) and
+/// predicate operand values (depend on the parameter environment) — are
+/// deliberately *not* in the plan; Evaluator.cpp derives them per call from
+/// the plan's tables.
+///
+/// Observability: `eval.plan_compiles` counts compilations, `plan.cache_hits`
+/// counts lookups served from the cache.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_EVAL_PLAN_H
+#define MIGRATOR_EVAL_PLAN_H
+
+#include "ast/JoinChain.h"
+#include "relational/Schema.h"
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace migrator {
+
+/// Returns true when the indexed join engine is active (the default).
+/// Disabled by `migrate_tool --no-index`, the MIGRATOR_NO_INDEX=1
+/// environment variable, or setEvalIndexEnabled(false); when off, the
+/// evaluator runs the original nested-loop/per-row-resolution code paths
+/// unchanged — the differential-testing oracle.
+bool evalIndexEnabled();
+
+/// Overrides the index-engine switch for this process (tests, tools).
+void setEvalIndexEnabled(bool On);
+
+/// Everything about evaluating one join chain that depends only on the
+/// (chain, schema) pair.
+struct ChainPlan {
+  /// Structural copy of the source chain, used to validate cache hits.
+  JoinChain Chain;
+
+  /// Class partition: classes, [table][attr] -> class, by-name lookup.
+  JoinChain::AttrClassPartition Part;
+
+  /// The materialized column list (Chain.allAttrs), one column per
+  /// qualified attribute in chain-table order.
+  std::vector<QualifiedAttr> AllAttrs;
+
+  /// Offset of each member table's first column within AllAttrs.
+  std::vector<size_t> ColOffset;
+
+  /// Class id of each materialized column (aligned with AllAttrs).
+  std::vector<unsigned> ColClass;
+
+  size_t numTables() const { return Part.ClassOf.size(); }
+  size_t numClasses() const { return Part.Classes.size(); }
+};
+
+/// Per-evaluator memo of chain plans. Thread-safe: the source-result cache
+/// shares one evaluator across portfolio workers.
+class PlanCache {
+public:
+  explicit PlanCache(const Schema &S) : S(S) {}
+
+  /// Returns the plan for \p C, compiling it on first use. The plan is
+  /// shared-owned, so it stays valid regardless of later cache growth.
+  std::shared_ptr<const ChainPlan> chainPlan(const JoinChain &C);
+
+private:
+  const Schema &S;
+  std::mutex M;
+  /// Keyed by chain address for O(1) lookups; every hit is validated
+  /// against the stored structural copy before being served.
+  std::unordered_map<const JoinChain *, std::shared_ptr<const ChainPlan>>
+      Plans;
+};
+
+} // namespace migrator
+
+#endif // MIGRATOR_EVAL_PLAN_H

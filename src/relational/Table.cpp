@@ -2,16 +2,74 @@
 
 #include "relational/Table.h"
 
+#include "obs/Metrics.h"
+
 #include <algorithm>
 #include <cassert>
 #include <sstream>
 
 using namespace migrator;
 
+Table::Table() : Idx(std::make_unique<IndexState>()) {}
+
+Table::Table(TableSchema Schema)
+    : Schema(std::move(Schema)), Idx(std::make_unique<IndexState>()) {}
+
+Table::Table(const Table &O) : Schema(O.Schema), Rows(O.Rows) {
+  // Carry built indexes across the copy (the tester snapshots databases at
+  // every search node; rebuilding from scratch would defeat warmth). The
+  // source may be a shared const snapshot with a lazy build in flight, so
+  // read its index state under its mutex.
+  Idx = std::make_unique<IndexState>();
+  std::lock_guard<std::mutex> Lock(O.Idx->M);
+  Idx->Cols.resize(O.Idx->Cols.size());
+  for (size_t C = 0; C < O.Idx->Cols.size(); ++C)
+    if (O.Idx->Cols[C])
+      Idx->Cols[C] = std::make_unique<ColumnIndex>(*O.Idx->Cols[C]);
+}
+
+Table &Table::operator=(const Table &O) {
+  if (this != &O) {
+    Table Tmp(O);
+    *this = std::move(Tmp);
+  }
+  return *this;
+}
+
+Table::Table(Table &&O) noexcept
+    : Schema(std::move(O.Schema)), Rows(std::move(O.Rows)),
+      Idx(std::move(O.Idx)) {}
+
+Table &Table::operator=(Table &&O) noexcept {
+  if (this != &O) {
+    Schema = std::move(O.Schema);
+    Rows = std::move(O.Rows);
+    Idx = std::move(O.Idx);
+  }
+  return *this;
+}
+
 void Table::insertRow(Row R) {
   assert(R.size() == Schema.getNumAttrs() &&
          "row arity does not match table schema");
   Rows.push_back(std::move(R));
+  indexInsertedRow();
+}
+
+void Table::indexInsertedRow() {
+  assert(Idx && "operation on a moved-from table");
+  if (Idx->Cols.empty())
+    return;
+  const Row &R = Rows.back();
+  size_t NewIdx = Rows.size() - 1;
+  uint64_t Ops = 0;
+  for (size_t C = 0; C < Idx->Cols.size(); ++C)
+    if (ColumnIndex *CI = Idx->Cols[C].get()) {
+      // NewIdx is the largest row index, so appending keeps buckets sorted.
+      CI->Buckets[R[C]].push_back(NewIdx);
+      ++Ops;
+    }
+  MIGRATOR_COUNTER_ADD("eval.index_maint_ops", Ops);
 }
 
 const Row &Table::getRow(size_t Index) const {
@@ -27,23 +85,96 @@ void Table::eraseRows(const std::vector<size_t> &Indices) {
   Sorted.erase(std::unique(Sorted.begin(), Sorted.end()), Sorted.end());
   assert(Sorted.back() < Rows.size() && "row index out of range");
 
+  // Old index -> new index, or SIZE_MAX for erased rows. The remap is
+  // monotone, so applying it to a sorted bucket keeps the bucket sorted.
+  std::vector<size_t> Remap(Rows.size());
   std::vector<Row> Kept;
   Kept.reserve(Rows.size() - Sorted.size());
   size_t Next = 0;
   for (size_t I = 0; I < Rows.size(); ++I) {
     if (Next < Sorted.size() && Sorted[Next] == I) {
       ++Next;
+      Remap[I] = SIZE_MAX;
       continue;
     }
+    Remap[I] = Kept.size();
     Kept.push_back(std::move(Rows[I]));
   }
   Rows = std::move(Kept);
+
+  assert(Idx && "operation on a moved-from table");
+  uint64_t Ops = 0;
+  for (std::unique_ptr<ColumnIndex> &CI : Idx->Cols) {
+    if (!CI)
+      continue;
+    ++Ops;
+    for (auto It = CI->Buckets.begin(); It != CI->Buckets.end();) {
+      std::vector<size_t> &B = It->second;
+      size_t Out = 0;
+      for (size_t R : B)
+        if (Remap[R] != SIZE_MAX)
+          B[Out++] = Remap[R];
+      B.resize(Out);
+      It = B.empty() ? CI->Buckets.erase(It) : std::next(It);
+    }
+  }
+  MIGRATOR_COUNTER_ADD("eval.index_maint_ops", Ops);
 }
 
 void Table::setValue(size_t RowIdx, unsigned AttrIdx, Value V) {
   assert(RowIdx < Rows.size() && "row index out of range");
   assert(AttrIdx < Schema.getNumAttrs() && "attribute index out of range");
+  assert(Idx && "operation on a moved-from table");
+  if (AttrIdx < Idx->Cols.size() && Idx->Cols[AttrIdx]) {
+    ColumnIndex &CI = *Idx->Cols[AttrIdx];
+    const Value &Old = Rows[RowIdx][AttrIdx];
+    if (Old != V) {
+      auto OldIt = CI.Buckets.find(Old);
+      assert(OldIt != CI.Buckets.end() && "indexed value missing a bucket");
+      std::vector<size_t> &OldB = OldIt->second;
+      OldB.erase(std::lower_bound(OldB.begin(), OldB.end(), RowIdx));
+      if (OldB.empty())
+        CI.Buckets.erase(OldIt);
+      std::vector<size_t> &NewB = CI.Buckets[V];
+      NewB.insert(std::lower_bound(NewB.begin(), NewB.end(), RowIdx), RowIdx);
+      MIGRATOR_COUNTER_ADD("eval.index_maint_ops", 1);
+    }
+  }
   Rows[RowIdx][AttrIdx] = std::move(V);
+}
+
+void Table::clear() {
+  Rows.clear();
+  assert(Idx && "operation on a moved-from table");
+  Idx->Cols.clear();
+}
+
+const std::vector<size_t> *Table::probeIndex(unsigned Col,
+                                             const Value &V) const {
+  assert(Col < Schema.getNumAttrs() && "column index out of range");
+  assert(Idx && "operation on a moved-from table");
+  // Serialize against concurrent lazy builds on shared const snapshots. The
+  // returned bucket stays valid after unlock: buckets of other values or
+  // columns never alias it, and mutation requires exclusive ownership.
+  std::lock_guard<std::mutex> Lock(Idx->M);
+  if (Idx->Cols.size() <= Col)
+    Idx->Cols.resize(Schema.getNumAttrs());
+  std::unique_ptr<ColumnIndex> &CI = Idx->Cols[Col];
+  if (!CI) {
+    CI = std::make_unique<ColumnIndex>();
+    CI->Buckets.reserve(Rows.size());
+    for (size_t R = 0; R < Rows.size(); ++R)
+      CI->Buckets[Rows[R][Col]].push_back(R);
+    MIGRATOR_COUNTER_ADD("eval.index_builds", 1);
+  }
+  auto It = CI->Buckets.find(V);
+  return It == CI->Buckets.end() ? nullptr : &It->second;
+}
+
+bool Table::hasIndex(unsigned Col) const {
+  assert(Idx && "operation on a moved-from table");
+  std::lock_guard<std::mutex> Lock(Idx->M);
+  return Col < Idx->Cols.size() && Idx->Cols[Col] != nullptr;
 }
 
 std::string Table::str() const {

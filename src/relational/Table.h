@@ -12,6 +12,21 @@
 /// delete-over-join semantics needs tuple provenance, which row indices
 /// provide).
 ///
+/// Tables additionally carry lazily-built per-column hash indexes
+/// (Value -> sorted row indices), the storage half of the indexed join
+/// engine (see docs/PERFORMANCE.md, "Join engine"). An index is built the
+/// first time a column is probed and is then maintained *incrementally* by
+/// insertRow/eraseRows/setValue rather than invalidated wholesale, so the
+/// bounded tester's long insert/delete/update prefixes keep indexes warm.
+/// Copying a table copies its built indexes for the same reason.
+///
+/// Thread safety: mutating methods require exclusive ownership (as before),
+/// but probeIndex() is safe to call concurrently on a shared *const* table —
+/// the lazy build is serialized on an internal mutex, and once built the
+/// buckets of a const table never move. This matters because the
+/// source-result cache shares immutable database snapshots across portfolio
+/// workers.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MIGRATOR_RELATIONAL_TABLE_H
@@ -20,6 +35,9 @@
 #include "relational/Schema.h"
 #include "relational/Value.h"
 
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 namespace migrator {
@@ -30,8 +48,13 @@ using Row = std::vector<Value>;
 /// A table instance: the rows currently stored under one table schema.
 class Table {
 public:
-  Table() = default;
-  explicit Table(TableSchema Schema) : Schema(std::move(Schema)) {}
+  Table();
+  explicit Table(TableSchema Schema);
+
+  Table(const Table &O);
+  Table &operator=(const Table &O);
+  Table(Table &&O) noexcept;
+  Table &operator=(Table &&O) noexcept;
 
   const TableSchema &getSchema() const { return Schema; }
   const std::vector<Row> &getRows() const { return Rows; }
@@ -52,7 +75,16 @@ public:
   void setValue(size_t RowIdx, unsigned AttrIdx, Value V);
 
   /// Removes all rows.
-  void clear() { Rows.clear(); }
+  void clear();
+
+  /// Looks up the rows whose column \p Col holds \p V through the column's
+  /// hash index, building the index on first use. Returns the ascending row
+  /// indices, or null when no row matches. The returned vector stays valid
+  /// until the table is next mutated or destroyed.
+  const std::vector<size_t> *probeIndex(unsigned Col, const Value &V) const;
+
+  /// True if column \p Col currently has a built hash index (test hook).
+  bool hasIndex(unsigned Col) const;
 
   bool operator==(const Table &O) const {
     return Schema.getName() == O.Schema.getName() && Rows == O.Rows;
@@ -62,8 +94,27 @@ public:
   std::string str() const;
 
 private:
+  /// Hash index over one column: value -> ascending row indices. Bucket
+  /// vectors are kept sorted so index-probe joins enumerate candidate rows
+  /// in exactly the order a full scan would.
+  struct ColumnIndex {
+    std::unordered_map<Value, std::vector<size_t>> Buckets;
+  };
+
+  /// The lazily-built indexes plus the mutex serializing concurrent lazy
+  /// builds on shared const snapshots. Heap-held so tables stay movable.
+  struct IndexState {
+    mutable std::mutex M;
+    std::vector<std::unique_ptr<ColumnIndex>> Cols; ///< One slot per attr.
+  };
+
+  /// Rebuilds nothing — registers \p R (already appended at index
+  /// Rows.size()-1) in every built column index.
+  void indexInsertedRow();
+
   TableSchema Schema;
   std::vector<Row> Rows;
+  mutable std::unique_ptr<IndexState> Idx; ///< Null only after move-from.
 };
 
 } // namespace migrator

@@ -53,6 +53,41 @@ bool Value::hasType(ValueType Ty) const {
   return false;
 }
 
+namespace {
+
+/// splitmix64 finalizer: a cheap full-avalanche mix for integral payloads.
+uint64_t mix64(uint64_t Z) {
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+} // namespace
+
+size_t Value::hash() const {
+  // Seed with the kind tag so equal payloads of different kinds (int 0 /
+  // bool false / uid#0, string vs. binary with the same bytes) land apart.
+  uint64_t H = 0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(kind()) + 1);
+  switch (kind()) {
+  case Kind::Int:
+    H = mix64(H ^ static_cast<uint64_t>(getInt()));
+    break;
+  case Kind::String:
+    H = mix64(H ^ std::hash<std::string>{}(getString()));
+    break;
+  case Kind::Binary:
+    H = mix64(H ^ std::hash<std::string>{}(getBinary()));
+    break;
+  case Kind::Bool:
+    H = mix64(H ^ static_cast<uint64_t>(getBool()));
+    break;
+  case Kind::Uid:
+    H = mix64(H ^ getUid());
+    break;
+  }
+  return static_cast<size_t>(H);
+}
+
 bool Value::operator<(const Value &Other) const {
   if (Rep.index() != Other.Rep.index())
     return Rep.index() < Other.Rep.index();

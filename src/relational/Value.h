@@ -19,6 +19,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <variant>
 
@@ -94,6 +95,12 @@ public:
   bool operator==(const Value &Other) const { return Rep == Other.Rep; }
   bool operator!=(const Value &Other) const { return !(*this == Other); }
 
+  /// Hash consistent with operator==: equal values hash equal, and the kind
+  /// tag is mixed in so same-payload values of different kinds (e.g. int 0,
+  /// bool false, uid#0) do not collide systematically. This is what backs
+  /// `std::hash<Value>` and the hash indexes of relational/Table.
+  size_t hash() const;
+
   /// Total order used for canonicalizing result tables. Orders first by
   /// kind, then by payload.
   bool operator<(const Value &Other) const;
@@ -121,5 +128,13 @@ private:
 };
 
 } // namespace migrator
+
+namespace std {
+template <> struct hash<migrator::Value> {
+  size_t operator()(const migrator::Value &V) const noexcept {
+    return V.hash();
+  }
+};
+} // namespace std
 
 #endif // MIGRATOR_RELATIONAL_VALUE_H

@@ -172,7 +172,8 @@ EquivalenceTester::EquivalenceTester(const Schema &SourceSchema,
                                      TesterOptions Opts,
                                      SourceResultCache *SrcCache)
     : SourceSchema(SourceSchema), SourceProg(SourceProg),
-      TargetSchema(TargetSchema), Opts(std::move(Opts)), SrcCache(SrcCache) {
+      TargetSchema(TargetSchema), Opts(std::move(Opts)), SrcCache(SrcCache),
+      SrcEval(SourceSchema) {
   for (const Function &F : SourceProg.getFunctions())
     ArgTuples.push_back(buildArgTuples(F.getParams(), this->Opts));
 }
@@ -294,7 +295,6 @@ TestOutcome EquivalenceTester::test(const Program &Cand) const {
     }
   }
 
-  Evaluator SrcEval(SourceSchema);
   Evaluator CandEval(TargetSchema);
 
   struct GroupState {

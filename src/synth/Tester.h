@@ -128,6 +128,14 @@ private:
   TesterOptions Opts;
   SourceResultCache *SrcCache;
 
+  /// Shared source-side interpreter: the source program is fixed for the
+  /// tester's lifetime, so hoisting the evaluator out of test() lets its
+  /// plan cache stay warm across candidates and threads (it is internally
+  /// synchronized). The candidate-side evaluator stays per-test — candidate
+  /// ASTs are short-lived, so a shared cache would only accumulate dead
+  /// entries.
+  Evaluator SrcEval;
+
   /// All argument tuples for each function (seed-set product), precomputed.
   std::vector<std::vector<std::vector<Value>>> ArgTuples; ///< [funcIdx].
   mutable std::atomic<uint64_t> NumSequencesRun{0};
