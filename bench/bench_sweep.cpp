@@ -1,17 +1,26 @@
-//===- bench/bench_sweep.cpp - Engine sweep (BENCH_PR4.json) ----------------===//
+//===- bench/bench_sweep.cpp - Engine sweep (BENCH_PR5.json) ----------------===//
 //
-// Measures the parallel synthesis engine and the indexed join engine
-// (docs/PERFORMANCE.md) and emits a machine-readable report:
+// Measures the parallel synthesis engine, the indexed join engine, and the
+// copy-on-write state engine (docs/PERFORMANCE.md) and emits a
+// machine-readable report:
 //
 //  * per benchmark, wall-clock at jobs = 1, 2, and 4 (batch 4,
 //    deterministic, first-alternative bias off so candidate testing
-//    dominates), plus a source-cache on/off pair at jobs = 1;
+//    dominates), plus a source-cache on/off pair at jobs = 1 (the cache
+//    forced on for its rows — by default synthesize() only attaches it in
+//    parallel mode);
 //  * an eval-dominated three-table-join workload evaluated with the indexed
 //    engine and with the naive nested-loop oracle (MIGRATOR_NO_INDEX
 //    semantics), reporting wall-clock and the eval.tuples_scanned /
-//    eval.index_probes counters — the index speedup in isolation.
+//    eval.index_probes counters — the index speedup in isolation;
+//  * the state-engine ablation: each benchmark synthesized at jobs = 1
+//    under COW on/off x failure-corpus on/off, reporting wall-clock,
+//    peak RSS (reset per configuration via /proc/self/clear_refs), the
+//    table.cow_shares / table.cow_clones and tester.corpus_* counters, and
+//    a hash of the synthesized program — identical across all four
+//    configurations by construction.
 //
-// Usage: bench_sweep [output.json]     (default BENCH_PR4.json)
+// Usage: bench_sweep [output.json]     (default BENCH_PR5.json)
 //
 // Environment: MIGRATOR_BENCH_BUDGET caps the per-run budget (seconds);
 // MIGRATOR_SWEEP_BENCHMARKS is a comma-separated benchmark-name override.
@@ -30,10 +39,15 @@
 #include "obs/Json.h"
 #include "obs/Metrics.h"
 #include "parse/Parser.h"
+#include "relational/Table.h"
 #include "support/Timer.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -88,6 +102,7 @@ SweepRow runOne(const Benchmark &B, unsigned Jobs, unsigned Batch,
   Opts.Solver.Batch = Batch;
   Opts.Deterministic = true;
   Opts.UseSourceCache = UseCache;
+  Opts.SourceCacheMinJobs = 1; // These rows measure the cache itself.
   Opts.TimeBudgetSec = budgetFor(B);
 
   Timer Clock;
@@ -222,10 +237,131 @@ JoinEngineRow runJoinEngine(bool Indexed, unsigned NumRows,
   return Row;
 }
 
+//===----------------------------------------------------------------------===//
+// State-engine ablation: COW snapshots x failure corpus
+//===----------------------------------------------------------------------===//
+
+/// Resets the kernel's peak-RSS water mark for this process so each
+/// configuration reports its own peak, not the run's running maximum.
+/// Best-effort: silently a no-op where /proc/self/clear_refs is absent.
+/// Freed-but-resident heap from earlier configurations would floor the
+/// post-reset high-water mark, so give it back to the kernel first.
+void resetPeakRss() {
+#if defined(__GLIBC__)
+  malloc_trim(0);
+#endif
+  std::ofstream F("/proc/self/clear_refs");
+  if (F)
+    F << "5";
+}
+
+/// Current peak RSS (VmHWM) in KiB, or 0 when /proc is unavailable.
+uint64_t peakRssKb() {
+  std::ifstream F("/proc/self/status");
+  std::string Line;
+  while (std::getline(F, Line))
+    if (Line.rfind("VmHWM:", 0) == 0)
+      return std::strtoull(Line.c_str() + 6, nullptr, 10);
+  return 0;
+}
+
+/// FNV-1a over the synthesized program text: enough to assert that every
+/// state-engine configuration produced byte-identical output.
+std::string progHash(const SynthResult &R) {
+  if (!R.succeeded())
+    return "-";
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : R.Prog->str()) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  char Buf[19];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(H));
+  return Buf;
+}
+
+/// One run of one benchmark under one state-engine configuration.
+struct StateEngineRow {
+  std::string Bench;
+  bool Cow = true;
+  bool Corpus = true;
+  bool Ok = false;
+  double WallSec = 0;
+  uint64_t Iters = 0;
+  uint64_t SeqsRun = 0;
+  uint64_t PeakRssKb = 0;
+  uint64_t CowShares = 0;
+  uint64_t CowClones = 0;
+  uint64_t CorpusReplays = 0;
+  uint64_t CorpusKills = 0;
+  std::string ProgHash;
+
+  std::string json() const {
+    std::ostringstream O;
+    O << "{\"benchmark\": " << obs::jsonString(Bench)
+      << ", \"cow\": " << (Cow ? "true" : "false")
+      << ", \"corpus\": " << (Corpus ? "true" : "false")
+      << ", \"ok\": " << (Ok ? "true" : "false")
+      << ", \"wall_sec\": " << obs::jsonNumber(WallSec)
+      << ", \"iters\": " << Iters << ", \"sequences_run\": " << SeqsRun
+      << ", \"peak_rss_kb\": " << PeakRssKb
+      << ", \"cow_shares\": " << CowShares
+      << ", \"cow_clones\": " << CowClones
+      << ", \"corpus_replays\": " << CorpusReplays
+      << ", \"corpus_kills\": " << CorpusKills
+      << ", \"prog_hash\": " << obs::jsonString(ProgHash) << "}";
+    return O.str();
+  }
+};
+
+StateEngineRow runStateEngine(const Benchmark &B, bool Cow, bool Corpus) {
+  SynthOptions Opts;
+  Opts.Solver.BiasFirstAlternatives = false; // Stress: testing dominates.
+  Opts.Deterministic = true;
+  Opts.Solver.UseFailureCorpus = Corpus;
+  Opts.TimeBudgetSec = budgetFor(B);
+
+  setTableCowEnabled(Cow);
+  resetPeakRss();
+  Timer Clock;
+  SynthResult R = synthesize(B.Source, B.Prog, B.Target, Opts);
+  double Wall = Clock.elapsedSeconds();
+  uint64_t Rss = peakRssKb();
+  setTableCowEnabled(true);
+
+  StateEngineRow Row;
+  Row.Bench = B.Name;
+  Row.Cow = Cow;
+  Row.Corpus = Corpus;
+  Row.Ok = R.succeeded();
+  Row.WallSec = Wall;
+  Row.Iters = R.Stats.Iters;
+  Row.SeqsRun = counterOf(R, "tester.sequences_run");
+  Row.PeakRssKb = Rss;
+  Row.CowShares = counterOf(R, "table.cow_shares");
+  Row.CowClones = counterOf(R, "table.cow_clones");
+  Row.CorpusReplays = counterOf(R, "tester.corpus_replays");
+  Row.CorpusKills = counterOf(R, "tester.corpus_kills");
+  Row.ProgHash = progHash(R);
+  std::printf("  %-16s cow=%-3s corpus=%-3s %-4s wall=%.2fs iters=%llu "
+              "seqs=%llu rss=%lluKB clones=%llu kills=%llu hash=%s\n",
+              B.Name.c_str(), Cow ? "on" : "off", Corpus ? "on" : "off",
+              Row.Ok ? "ok" : "FAIL", Row.WallSec,
+              static_cast<unsigned long long>(Row.Iters),
+              static_cast<unsigned long long>(Row.SeqsRun),
+              static_cast<unsigned long long>(Row.PeakRssKb),
+              static_cast<unsigned long long>(Row.CowClones),
+              static_cast<unsigned long long>(Row.CorpusKills),
+              Row.ProgHash.c_str());
+  std::fflush(stdout);
+  return Row;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
-  const char *OutPath = Argc > 1 ? Argv[1] : "BENCH_PR4.json";
+  const char *OutPath = Argc > 1 ? Argv[1] : "BENCH_PR5.json";
   obs::setMetricsEnabled(true);
 
   std::vector<std::string> Names = {"Ambler-8", "coachup", "MathHotSpot"};
@@ -263,12 +399,36 @@ int main(int Argc, char **Argv) {
                 static_cast<double>(JoinRows[1].TuplesScanned) /
                     static_cast<double>(JoinRows[0].TuplesScanned));
 
+  // State-engine ablation: COW on/off x corpus on/off at jobs=1. The
+  // synthesized program must be identical in all four configurations.
+  std::printf("State engine ablation (jobs=1, bias off, deterministic)\n");
+  std::vector<StateEngineRow> StateRows;
+  for (const std::string &Name : Names) {
+    Benchmark B = loadBenchmark(Name);
+    std::string Hash;
+    for (bool Cow : {true, false})
+      for (bool Corpus : {true, false}) {
+        StateRows.push_back(runStateEngine(B, Cow, Corpus));
+        const StateEngineRow &Row = StateRows.back();
+        if (Hash.empty())
+          Hash = Row.ProgHash;
+        else if (Row.Ok && Row.ProgHash != Hash)
+          std::printf("  WARNING: %s produced a different program under "
+                      "cow=%d corpus=%d\n",
+                      Name.c_str(), Row.Cow, Row.Corpus);
+      }
+  }
+
   std::ostringstream Out;
   Out << "{\n  \"hardware_concurrency\": "
       << std::thread::hardware_concurrency() << ",\n  \"join_engine\": [\n";
   for (size_t I = 0; I < JoinRows.size(); ++I)
     Out << "    " << JoinRows[I].json()
         << (I + 1 < JoinRows.size() ? ",\n" : "\n");
+  Out << "  ],\n  \"state_engine\": [\n";
+  for (size_t I = 0; I < StateRows.size(); ++I)
+    Out << "    " << StateRows[I].json()
+        << (I + 1 < StateRows.size() ? ",\n" : "\n");
   Out << "  ],\n  \"results\": [\n";
   for (size_t I = 0; I < Rows.size(); ++I)
     Out << "    " << Rows[I].json() << (I + 1 < Rows.size() ? ",\n" : "\n");

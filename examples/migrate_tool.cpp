@@ -8,8 +8,8 @@
 //   migrate_tool <file> <program-name> <source-schema> <target-schema>
 //                [budget-seconds] [--sql] [--mode=mfi|enum|cegis]
 //                [--jobs=N] [--batch=N] [--deterministic] [--no-src-cache]
-//                [--no-index] [--trace=<file.json>] [--stats]
-//                [--stats-json=<file>]
+//                [--no-index] [--no-cow] [--no-corpus]
+//                [--trace=<file.json>] [--stats] [--stats-json=<file>]
 //
 // With --sql, the migrated program is printed as executable SQL (MySQL
 // dialect) instead of surface syntax; --mode selects the sketch-completion
@@ -25,6 +25,12 @@
 // the naive nested-loop join engine — the differential-testing oracle; the
 // synthesized program is identical either way.
 //
+// State engine (see docs/PERFORMANCE.md): --no-cow (or MIGRATOR_NO_COW=1)
+// replaces copy-on-write table snapshots with eager deep copies — the
+// differential oracle for the sharing machinery, identical output;
+// --no-corpus disables failure-directed candidate screening (replaying
+// recent killer sequences before the full bounded enumeration).
+//
 // Observability (see docs/OBSERVABILITY.md): --trace=<file> writes a Chrome
 // trace_event JSON of the run (load into chrome://tracing or Perfetto);
 // the MIGRATOR_TRACE environment variable does the same when the flag is
@@ -39,6 +45,7 @@
 #include "obs/Trace.h"
 #include "relational/ResultTable.h"
 #include "relational/SchemaDiff.h"
+#include "relational/Table.h"
 #include "ast/SqlPrinter.h"
 #include "parse/Parser.h"
 #include "synth/Synthesizer.h"
@@ -127,6 +134,10 @@ int main(int Argc, char **Argv) {
       Opts.UseSourceCache = false;
     } else if (Arg == "--no-index") {
       setEvalIndexEnabled(false);
+    } else if (Arg == "--no-cow") {
+      setTableCowEnabled(false);
+    } else if (Arg == "--no-corpus") {
+      Opts.Solver.UseFailureCorpus = false;
     } else if (Arg.rfind("--trace=", 0) == 0) {
       TracePath = Arg.substr(8);
     } else if (Arg == "--stats") {

@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
-#===- scripts/bench_run.sh - Parallel-engine benchmark sweep ----------------===#
+#===- scripts/bench_run.sh - Engine benchmark sweep -------------------------===#
 #
 # Builds the Release tree and runs bench_sweep, producing the
-# machine-readable BENCH_PR4.json report: per benchmark, wall-clock at
+# machine-readable BENCH_PR5.json report: per benchmark, wall-clock at
 # jobs = 1, 2, and 4 (deterministic, batch 4) plus a source-cache on/off
-# pair, and the join-engine ablation (indexed vs naive nested-loop, with
-# eval.tuples_scanned / eval.index_probes deltas). See docs/PERFORMANCE.md
-# for how to read the numbers — thread scaling is only meaningful on a
-# multi-core host (the report records hardware_concurrency).
+# pair; the join-engine ablation (indexed vs naive nested-loop, with
+# eval.tuples_scanned / eval.index_probes deltas); and the state-engine
+# ablation (COW snapshots on/off x failure corpus on/off, with peak RSS,
+# cow_shares/cow_clones, corpus counters, and a synthesized-program hash
+# that must match across configurations). See docs/PERFORMANCE.md for how
+# to read the numbers — thread scaling is only meaningful on a multi-core
+# host (the report records hardware_concurrency).
 #
 # Usage: scripts/bench_run.sh [build-dir] [output.json]
-#        (defaults: build, BENCH_PR4.json at the repo root)
+#        (defaults: build, BENCH_PR5.json at the repo root)
 #
 # Environment: MIGRATOR_BENCH_BUDGET (per-run seconds cap),
 # MIGRATOR_SWEEP_BENCHMARKS (comma-separated names).
@@ -21,7 +24,7 @@ set -euo pipefail
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$REPO/build}"
-OUT="${2:-$REPO/BENCH_PR4.json}"
+OUT="${2:-$REPO/BENCH_PR5.json}"
 
 echo "== configure + build (Release) =="
 cmake -B "$BUILD" -S "$REPO" -DCMAKE_BUILD_TYPE=Release

@@ -2,12 +2,14 @@
 #===- scripts/check.sh - Sanitized build + tests + obs smoke run ------------===#
 #
 # The tier-1 verification script, strengthened: Debug build under
-# Address/UndefinedBehaviorSanitizer, the full ctest suite (run twice: with
-# the indexed join engine, and with MIGRATOR_NO_INDEX=1 forcing the naive
-# nested-loop oracle), a migrate_tool observability smoke run whose emitted
+# Address/UndefinedBehaviorSanitizer, the full ctest suite (run three times:
+# with the default engines, with MIGRATOR_NO_INDEX=1 forcing the naive
+# nested-loop join oracle, and with MIGRATOR_NO_COW=1 forcing the deep-copy
+# table-storage oracle), a migrate_tool observability smoke run whose emitted
 # trace/stats JSON is validated with trace_check, and a ThreadSanitizer pass
 # over the parallel synthesis engine (thread pool, portfolio, batched
-# tester, source cache, shared plan cache and lazy index builds).
+# tester, source cache, shared plan cache, lazy index builds, and COW
+# payload sharing across worker threads).
 #
 # Usage: scripts/check.sh [build-dir]     (default: build-check)
 #
@@ -37,6 +39,9 @@ ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
 echo "== ctest (MIGRATOR_NO_INDEX=1: naive join oracle) =="
 MIGRATOR_NO_INDEX=1 ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
 
+echo "== ctest (MIGRATOR_NO_COW=1: deep-copy storage oracle) =="
+MIGRATOR_NO_COW=1 ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
+
 echo "== observability smoke run =="
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -59,6 +64,10 @@ MIGRATOR_TRACE="$TMP/env.trace.json" \
   Ambler_2Src Ambler_2Tgt 120 > /dev/null
 "$BUILD/examples/trace_check" --trace --expect synthesize "$TMP/env.trace.json"
 
+# Deep-copy storage oracle end to end under ASan/UBSan.
+"$BUILD/examples/migrate_tool" "$TMP/dbp/Ambler-8.dbp" App \
+  Ambler_8Src Ambler_8Tgt --no-cow 120 > /dev/null
+
 if [ "${MIGRATOR_SKIP_TSAN:-0}" != "1" ]; then
   echo "== ThreadSanitizer: parallel engine =="
   TSAN_BUILD="$BUILD-tsan"
@@ -70,11 +79,16 @@ if [ "${MIGRATOR_SKIP_TSAN:-0}" != "1" ]; then
   cmake --build "$TSAN_BUILD" -j"$(nproc)" --target migrator_tests \
     --target migrate_tool --target dump_benchmarks
   ctest --test-dir "$TSAN_BUILD" --output-on-failure \
-    -R 'ThreadPool|ParallelSynth|SourceCache|SolveStats'
-  # A real parallel run under TSan: portfolio + batching + shared cache.
+    -R 'ThreadPool|ParallelSynth|SourceCache|SolveStats|TableCow|CowDifferential'
+  # A real parallel run under TSan: portfolio + batching + shared cache +
+  # COW payloads shared across workers; then the same with the deep-copy
+  # storage oracle.
   "$TSAN_BUILD/examples/dump_benchmarks" "$TMP/dbp-tsan" > /dev/null
   "$TSAN_BUILD/examples/migrate_tool" "$TMP/dbp-tsan/Ambler-8.dbp" App \
     Ambler_8Src Ambler_8Tgt --jobs=4 --batch=4 --deterministic 120 \
+    > /dev/null
+  "$TSAN_BUILD/examples/migrate_tool" "$TMP/dbp-tsan/Ambler-8.dbp" App \
+    Ambler_8Src Ambler_8Tgt --jobs=4 --batch=4 --deterministic --no-cow 120 \
     > /dev/null
 fi
 

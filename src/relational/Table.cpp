@@ -5,27 +5,80 @@
 #include "obs/Metrics.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <cstdlib>
 #include <sstream>
+#include <string_view>
 
 using namespace migrator;
 
-Table::Table() : Idx(std::make_unique<IndexState>()) {}
+//===----------------------------------------------------------------------===//
+// COW-storage switch (mirrors evalIndexEnabled in eval/Plan.cpp)
+//===----------------------------------------------------------------------===//
 
-Table::Table(TableSchema Schema)
-    : Schema(std::move(Schema)), Idx(std::make_unique<IndexState>()) {}
+namespace {
 
-Table::Table(const Table &O) : Schema(O.Schema), Rows(O.Rows) {
-  // Carry built indexes across the copy (the tester snapshots databases at
-  // every search node; rebuilding from scratch would defeat warmth). The
-  // source may be a shared const snapshot with a lazy build in flight, so
-  // read its index state under its mutex.
-  Idx = std::make_unique<IndexState>();
-  std::lock_guard<std::mutex> Lock(O.Idx->M);
-  Idx->Cols.resize(O.Idx->Cols.size());
-  for (size_t C = 0; C < O.Idx->Cols.size(); ++C)
-    if (O.Idx->Cols[C])
-      Idx->Cols[C] = std::make_unique<ColumnIndex>(*O.Idx->Cols[C]);
+/// -1 = consult the environment, 0 = forced off, 1 = forced on.
+std::atomic<int> CowEnabledOverride{-1};
+
+bool envDisablesCow() {
+  static const bool Disabled = [] {
+    const char *E = std::getenv("MIGRATOR_NO_COW");
+    return E && *E && std::string_view(E) != "0";
+  }();
+  return Disabled;
+}
+
+} // namespace
+
+bool migrator::tableCowEnabled() {
+  int O = CowEnabledOverride.load(std::memory_order_relaxed);
+  if (O >= 0)
+    return O != 0;
+  return !envDisablesCow();
+}
+
+void migrator::setTableCowEnabled(bool On) {
+  CowEnabledOverride.store(On ? 1 : 0, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Table
+//===----------------------------------------------------------------------===//
+
+Table::Table()
+    : Schema(std::make_shared<const TableSchema>()),
+      P(std::make_shared<Payload>()) {}
+
+Table::Table(TableSchema S)
+    : Schema(std::make_shared<const TableSchema>(std::move(S))),
+      P(std::make_shared<Payload>()) {}
+
+std::shared_ptr<Table::Payload> Table::clonePayload(const Payload &O) {
+  auto N = std::make_shared<Payload>();
+  // Rows are only written under exclusive ownership, so a shared source's
+  // rows are stable; no lock needed for them.
+  N->Rows = O.Rows;
+  // Built indexes carry over warm (rebuilding at every tester snapshot would
+  // defeat warmth). The source may be a shared const snapshot with a lazy
+  // build in flight, so read its index state under its mutex.
+  std::lock_guard<std::mutex> Lock(O.Idx.M);
+  N->Idx.Cols.resize(O.Idx.Cols.size());
+  for (size_t C = 0; C < O.Idx.Cols.size(); ++C)
+    if (O.Idx.Cols[C])
+      N->Idx.Cols[C] = std::make_unique<ColumnIndex>(*O.Idx.Cols[C]);
+  return N;
+}
+
+Table::Table(const Table &O) : Schema(O.Schema) {
+  assert(O.P && "copy of a moved-from table");
+  if (tableCowEnabled()) {
+    P = O.P;
+    MIGRATOR_COUNTER_ADD("table.cow_shares", 1);
+  } else {
+    P = clonePayload(*O.P);
+  }
 }
 
 Table &Table::operator=(const Table &O) {
@@ -37,34 +90,43 @@ Table &Table::operator=(const Table &O) {
 }
 
 Table::Table(Table &&O) noexcept
-    : Schema(std::move(O.Schema)), Rows(std::move(O.Rows)),
-      Idx(std::move(O.Idx)) {}
+    : Schema(std::move(O.Schema)), P(std::move(O.P)) {}
 
 Table &Table::operator=(Table &&O) noexcept {
   if (this != &O) {
     Schema = std::move(O.Schema);
-    Rows = std::move(O.Rows);
-    Idx = std::move(O.Idx);
+    P = std::move(O.P);
   }
   return *this;
 }
 
+void Table::detach() {
+  assert(P && "operation on a moved-from table");
+  // use_count() is race-free here: a payload only gains owners through a
+  // Table that references it, and mutation requires exclusive ownership of
+  // this Table — so a count of 1 cannot concurrently grow.
+  if (P.use_count() > 1) {
+    P = clonePayload(*P);
+    MIGRATOR_COUNTER_ADD("table.cow_clones", 1);
+  }
+}
+
 void Table::insertRow(Row R) {
-  assert(R.size() == Schema.getNumAttrs() &&
+  assert(R.size() == Schema->getNumAttrs() &&
          "row arity does not match table schema");
-  Rows.push_back(std::move(R));
+  detach();
+  P->Rows.push_back(std::move(R));
   indexInsertedRow();
 }
 
 void Table::indexInsertedRow() {
-  assert(Idx && "operation on a moved-from table");
-  if (Idx->Cols.empty())
+  if (P->Idx.Cols.empty())
     return;
-  const Row &R = Rows.back();
-  size_t NewIdx = Rows.size() - 1;
+  const Row &R = P->Rows.back();
+  size_t NewIdx = P->Rows.size() - 1;
   uint64_t Ops = 0;
-  for (size_t C = 0; C < Idx->Cols.size(); ++C)
-    if (ColumnIndex *CI = Idx->Cols[C].get()) {
+  for (size_t C = 0; C < P->Idx.Cols.size(); ++C)
+    if (ColumnIndex *CI = P->Idx.Cols[C].get()) {
       // NewIdx is the largest row index, so appending keeps buckets sorted.
       CI->Buckets[R[C]].push_back(NewIdx);
       ++Ops;
@@ -73,13 +135,15 @@ void Table::indexInsertedRow() {
 }
 
 const Row &Table::getRow(size_t Index) const {
-  assert(Index < Rows.size() && "row index out of range");
-  return Rows[Index];
+  assert(Index < P->Rows.size() && "row index out of range");
+  return P->Rows[Index];
 }
 
 void Table::eraseRows(const std::vector<size_t> &Indices) {
   if (Indices.empty())
     return;
+  detach();
+  std::vector<Row> &Rows = P->Rows;
   std::vector<size_t> Sorted(Indices);
   std::sort(Sorted.begin(), Sorted.end());
   Sorted.erase(std::unique(Sorted.begin(), Sorted.end()), Sorted.end());
@@ -102,9 +166,8 @@ void Table::eraseRows(const std::vector<size_t> &Indices) {
   }
   Rows = std::move(Kept);
 
-  assert(Idx && "operation on a moved-from table");
   uint64_t Ops = 0;
-  for (std::unique_ptr<ColumnIndex> &CI : Idx->Cols) {
+  for (std::unique_ptr<ColumnIndex> &CI : P->Idx.Cols) {
     if (!CI)
       continue;
     ++Ops;
@@ -122,12 +185,12 @@ void Table::eraseRows(const std::vector<size_t> &Indices) {
 }
 
 void Table::setValue(size_t RowIdx, unsigned AttrIdx, Value V) {
-  assert(RowIdx < Rows.size() && "row index out of range");
-  assert(AttrIdx < Schema.getNumAttrs() && "attribute index out of range");
-  assert(Idx && "operation on a moved-from table");
-  if (AttrIdx < Idx->Cols.size() && Idx->Cols[AttrIdx]) {
-    ColumnIndex &CI = *Idx->Cols[AttrIdx];
-    const Value &Old = Rows[RowIdx][AttrIdx];
+  assert(RowIdx < P->Rows.size() && "row index out of range");
+  assert(AttrIdx < Schema->getNumAttrs() && "attribute index out of range");
+  detach();
+  if (AttrIdx < P->Idx.Cols.size() && P->Idx.Cols[AttrIdx]) {
+    ColumnIndex &CI = *P->Idx.Cols[AttrIdx];
+    const Value &Old = P->Rows[RowIdx][AttrIdx];
     if (Old != V) {
       auto OldIt = CI.Buckets.find(Old);
       assert(OldIt != CI.Buckets.end() && "indexed value missing a bucket");
@@ -140,31 +203,39 @@ void Table::setValue(size_t RowIdx, unsigned AttrIdx, Value V) {
       MIGRATOR_COUNTER_ADD("eval.index_maint_ops", 1);
     }
   }
-  Rows[RowIdx][AttrIdx] = std::move(V);
+  P->Rows[RowIdx][AttrIdx] = std::move(V);
 }
 
 void Table::clear() {
-  Rows.clear();
-  assert(Idx && "operation on a moved-from table");
-  Idx->Cols.clear();
+  assert(P && "operation on a moved-from table");
+  // A fresh payload beats detach()+clear: no point cloning rows and indexes
+  // that are about to be dropped.
+  if (P.use_count() > 1) {
+    P = std::make_shared<Payload>();
+    return;
+  }
+  P->Rows.clear();
+  P->Idx.Cols.clear();
 }
 
 const std::vector<size_t> *Table::probeIndex(unsigned Col,
                                              const Value &V) const {
-  assert(Col < Schema.getNumAttrs() && "column index out of range");
-  assert(Idx && "operation on a moved-from table");
+  assert(Col < Schema->getNumAttrs() && "column index out of range");
+  assert(P && "operation on a moved-from table");
   // Serialize against concurrent lazy builds on shared const snapshots. The
   // returned bucket stays valid after unlock: buckets of other values or
-  // columns never alias it, and mutation requires exclusive ownership.
-  std::lock_guard<std::mutex> Lock(Idx->M);
-  if (Idx->Cols.size() <= Col)
-    Idx->Cols.resize(Schema.getNumAttrs());
-  std::unique_ptr<ColumnIndex> &CI = Idx->Cols[Col];
+  // columns never alias it, and mutation requires exclusive ownership (and,
+  // under COW, detaches from the shared payload first).
+  IndexState &Idx = P->Idx;
+  std::lock_guard<std::mutex> Lock(Idx.M);
+  if (Idx.Cols.size() <= Col)
+    Idx.Cols.resize(Schema->getNumAttrs());
+  std::unique_ptr<ColumnIndex> &CI = Idx.Cols[Col];
   if (!CI) {
     CI = std::make_unique<ColumnIndex>();
-    CI->Buckets.reserve(Rows.size());
-    for (size_t R = 0; R < Rows.size(); ++R)
-      CI->Buckets[Rows[R][Col]].push_back(R);
+    CI->Buckets.reserve(P->Rows.size());
+    for (size_t R = 0; R < P->Rows.size(); ++R)
+      CI->Buckets[P->Rows[R][Col]].push_back(R);
     MIGRATOR_COUNTER_ADD("eval.index_builds", 1);
   }
   auto It = CI->Buckets.find(V);
@@ -172,21 +243,21 @@ const std::vector<size_t> *Table::probeIndex(unsigned Col,
 }
 
 bool Table::hasIndex(unsigned Col) const {
-  assert(Idx && "operation on a moved-from table");
-  std::lock_guard<std::mutex> Lock(Idx->M);
-  return Col < Idx->Cols.size() && Idx->Cols[Col] != nullptr;
+  assert(P && "operation on a moved-from table");
+  std::lock_guard<std::mutex> Lock(P->Idx.M);
+  return Col < P->Idx.Cols.size() && P->Idx.Cols[Col] != nullptr;
 }
 
 std::string Table::str() const {
   std::ostringstream OS;
-  OS << Schema.getName() << " [";
-  for (size_t I = 0; I < Schema.getNumAttrs(); ++I) {
+  OS << Schema->getName() << " [";
+  for (size_t I = 0; I < Schema->getNumAttrs(); ++I) {
     if (I != 0)
       OS << ", ";
-    OS << Schema.getAttrs()[I].Name;
+    OS << Schema->getAttrs()[I].Name;
   }
   OS << "]\n";
-  for (const Row &R : Rows) {
+  for (const Row &R : P->Rows) {
     OS << "  (";
     for (size_t I = 0; I < R.size(); ++I) {
       if (I != 0)

@@ -18,14 +18,24 @@
 /// first time a column is probed and is then maintained *incrementally* by
 /// insertRow/eraseRows/setValue rather than invalidated wholesale, so the
 /// bounded tester's long insert/delete/update prefixes keep indexes warm.
-/// Copying a table copies its built indexes for the same reason.
 ///
-/// Thread safety: mutating methods require exclusive ownership (as before),
-/// but probeIndex() is safe to call concurrently on a shared *const* table —
-/// the lazy build is serialized on an internal mutex, and once built the
-/// buckets of a const table never move. This matters because the
-/// source-result cache shares immutable database snapshots across portfolio
-/// workers.
+/// *Copy-on-write storage* (docs/PERFORMANCE.md, "State engine"): rows and
+/// indexes live in a shared payload, so copying a table — the bounded
+/// tester snapshots whole databases at every search node — is two refcount
+/// bumps, and built indexes stay warm across snapshots for free. The first
+/// mutation of a table whose payload is shared clones the payload
+/// (`table.cow_clones`); exclusive tables mutate in place exactly as
+/// before. `setTableCowEnabled(false)` (or MIGRATOR_NO_COW=1) restores
+/// eager deep copies — the differential-testing oracle for the sharing
+/// machinery, mirroring the join engine's MIGRATOR_NO_INDEX switch.
+///
+/// Thread safety: mutating methods require exclusive ownership of the
+/// *table object* (as before) — COW cloning keeps concurrently-held sibling
+/// snapshots untouched. probeIndex() is safe to call concurrently on a
+/// shared *const* table: the lazy build is serialized on a per-payload
+/// mutex, and once built the buckets of a const table never move. This
+/// matters because the source-result cache shares immutable database
+/// snapshots across portfolio workers.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -42,6 +52,16 @@
 
 namespace migrator {
 
+/// Returns true when copy-on-write table storage is active (the default).
+/// Disabled by `migrate_tool --no-cow`, the MIGRATOR_NO_COW=1 environment
+/// variable, or setTableCowEnabled(false); when off, every table copy
+/// eagerly deep-copies rows and indexes — the differential-testing oracle
+/// for the sharing machinery.
+bool tableCowEnabled();
+
+/// Overrides the COW-storage switch for this process (tests, tools).
+void setTableCowEnabled(bool On);
+
 /// One stored tuple.
 using Row = std::vector<Value>;
 
@@ -56,10 +76,10 @@ public:
   Table(Table &&O) noexcept;
   Table &operator=(Table &&O) noexcept;
 
-  const TableSchema &getSchema() const { return Schema; }
-  const std::vector<Row> &getRows() const { return Rows; }
-  size_t size() const { return Rows.size(); }
-  bool empty() const { return Rows.empty(); }
+  const TableSchema &getSchema() const { return *Schema; }
+  const std::vector<Row> &getRows() const { return P->Rows; }
+  size_t size() const { return P->Rows.size(); }
+  bool empty() const { return P->Rows.empty(); }
 
   /// Appends \p R, which must have one value per schema attribute.
   void insertRow(Row R);
@@ -80,14 +100,21 @@ public:
   /// Looks up the rows whose column \p Col holds \p V through the column's
   /// hash index, building the index on first use. Returns the ascending row
   /// indices, or null when no row matches. The returned vector stays valid
-  /// until the table is next mutated or destroyed.
+  /// until this table is next mutated or every table sharing its payload is
+  /// destroyed.
   const std::vector<size_t> *probeIndex(unsigned Col, const Value &V) const;
 
   /// True if column \p Col currently has a built hash index (test hook).
+  /// Under COW, an index built through any snapshot sharing this payload
+  /// counts — index state is a cache, not observable table content.
   bool hasIndex(unsigned Col) const;
 
+  /// True if \p O shares this table's row/index payload (test hook).
+  bool sharesStorageWith(const Table &O) const { return P && P == O.P; }
+
   bool operator==(const Table &O) const {
-    return Schema.getName() == O.Schema.getName() && Rows == O.Rows;
+    return Schema->getName() == O.Schema->getName() &&
+           (P == O.P || P->Rows == O.P->Rows);
   }
 
   /// Renders the table contents for debugging.
@@ -102,19 +129,35 @@ private:
   };
 
   /// The lazily-built indexes plus the mutex serializing concurrent lazy
-  /// builds on shared const snapshots. Heap-held so tables stay movable.
+  /// builds on shared const snapshots.
   struct IndexState {
     mutable std::mutex M;
     std::vector<std::unique_ptr<ColumnIndex>> Cols; ///< One slot per attr.
   };
 
+  /// The copy-on-write payload: everything a snapshot shares. Mutators
+  /// detach() first, so a payload reachable from more than one table is
+  /// only ever written by the (mutex-serialized) lazy index build.
+  struct Payload {
+    std::vector<Row> Rows;
+    IndexState Idx;
+  };
+
+  /// Deep-copies \p O (rows and built indexes), serializing against a lazy
+  /// index build in flight on a shared snapshot.
+  static std::shared_ptr<Payload> clonePayload(const Payload &O);
+
+  /// Ensures exclusive payload ownership before a mutation, cloning the
+  /// payload when it is shared.
+  void detach();
+
   /// Rebuilds nothing — registers \p R (already appended at index
   /// Rows.size()-1) in every built column index.
   void indexInsertedRow();
 
-  TableSchema Schema;
-  std::vector<Row> Rows;
-  mutable std::unique_ptr<IndexState> Idx; ///< Null only after move-from.
+  /// Shared with every copy: the schema of one table never changes.
+  std::shared_ptr<const TableSchema> Schema;
+  std::shared_ptr<Payload> P; ///< Null only after move-from.
 };
 
 } // namespace migrator

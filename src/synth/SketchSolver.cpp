@@ -2,6 +2,7 @@
 
 #include "synth/SketchSolver.h"
 
+#include "ast/Analysis.h"
 #include "eval/Evaluator.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
@@ -9,6 +10,7 @@
 #include "support/ThreadPool.h"
 #include "synth/SourceCache.h"
 
+#include <algorithm>
 #include <cassert>
 #include <memory>
 #include <set>
@@ -81,11 +83,40 @@ std::optional<Program> SketchSolver::solve(const Sketch &Sk,
   };
   std::vector<Example> Examples;
 
+  // Failure corpus: killer sequences of recent candidates with their
+  // (candidate-independent) source results, replayed against each new
+  // candidate before the full bounded enumeration. Entries are shared
+  // const so the parallel test phase can read the vector while process
+  // phases of later rounds reorder it; all mutation happens in the
+  // sequential process phase, in draw order, keeping the search
+  // deterministic and thread-count independent.
+  struct CorpusEntry {
+    InvocationSeq Seq;
+    std::string Key; ///< invocationSeqKey(Seq), for dedup.
+    std::shared_ptr<const ResultTable> SrcResult;
+  };
+  std::vector<std::shared_ptr<const CorpusEntry>> Corpus;
+  const bool CorpusOn =
+      Opts.UseFailureCorpus && Opts.TheMode != SolverOptions::Mode::Cegis;
+
+  // The source result of a failing sequence, memoized when a cache is
+  // attached (CEGIS examples and corpus entries both need it).
+  auto SourceResultOf =
+      [&](const InvocationSeq &Seq) -> std::shared_ptr<const ResultTable> {
+    if (SrcCache)
+      return SrcCache->run(Seq);
+    std::optional<ResultTable> R = runSequence(SourceProg, SourceSchema, Seq);
+    if (!R)
+      return nullptr;
+    return std::make_shared<const ResultTable>(std::move(*R));
+  };
+
   // One drawn model of a batch, with its candidate and test verdict.
   struct Slot {
     std::vector<unsigned> Assign;
     std::optional<Program> Cand;
     bool Screened = false; ///< Rejected by the CEGIS example screen.
+    std::shared_ptr<const CorpusEntry> Killer; ///< Corpus entry that hit.
     TestOutcome Outcome;
   };
 
@@ -147,13 +178,49 @@ std::optional<Program> SketchSolver::solve(const Sketch &Sk,
         MIGRATOR_LATENCY_SCOPE("solver.test_us");
         TaskGroup Group(Pool);
         for (Slot &S : Batch)
-          Group.run([this, &S, &Examples]() {
+          Group.run([this, &S, &Examples, &Corpus, CorpusOn]() {
             if (Opts.TheMode == SolverOptions::Mode::Cegis) {
               for (const Example &E : Examples) {
                 std::optional<ResultTable> CandR =
                     runSequence(*S.Cand, TargetSchema, E.Seq);
                 if (!CandR || !resultsEquivalent(*E.SrcResult, *CandR)) {
                   S.Screened = true;
+                  return;
+                }
+              }
+            }
+            if (CorpusOn && !Corpus.empty()) {
+              // Statically ill-formed candidates go straight to the tester,
+              // whose IllFormed verdict earns the dedicated (stronger)
+              // single-function clause; a corpus kill would demote it to a
+              // failing-input clause.
+              bool WellFormed = true;
+              for (const Function &F : S.Cand->getFunctions())
+                if (validateFunction(F, TargetSchema)) {
+                  WellFormed = false;
+                  break;
+                }
+              if (WellFormed) {
+                uint64_t Replays = 0;
+                for (const std::shared_ptr<const CorpusEntry> &E : Corpus) {
+                  ++Replays;
+                  std::optional<ResultTable> CandR =
+                      runSequence(*S.Cand, TargetSchema, E->Seq);
+                  // A nullopt result is a dynamic error on E->Seq — also a
+                  // kill; either way the candidate demonstrably misbehaves
+                  // on this input.
+                  if (!CandR || !resultsEquivalent(*E->SrcResult, *CandR)) {
+                    S.Killer = E;
+                    break;
+                  }
+                }
+                MIGRATOR_COUNTER_ADD("tester.corpus_replays", Replays);
+                if (S.Killer) {
+                  MIGRATOR_COUNTER_ADD("tester.corpus_kills", 1);
+                  // Synthesize a Failing outcome so the process phase
+                  // learns from corpus kills exactly as from tester kills.
+                  S.Outcome.TheKind = TestOutcome::Kind::Failing;
+                  S.Outcome.Mfi = S.Killer->Seq;
                   return;
                 }
               }
@@ -241,15 +308,8 @@ std::optional<Program> SketchSolver::solve(const Sketch &Sk,
           if (Opts.TheMode == SolverOptions::Mode::Cegis) {
             // Record the counterexample with its source result; the source
             // cache reuses memoized prefixes when attached.
-            std::shared_ptr<const ResultTable> SrcR;
-            if (SrcCache) {
-              SrcR = SrcCache->run(Outcome.Mfi);
-            } else {
-              std::optional<ResultTable> R =
-                  runSequence(SourceProg, SourceSchema, Outcome.Mfi);
-              if (R)
-                SrcR = std::make_shared<const ResultTable>(std::move(*R));
-            }
+            std::shared_ptr<const ResultTable> SrcR =
+                SourceResultOf(Outcome.Mfi);
             assert(SrcR && "source program failed on its own MFI");
             Examples.push_back({std::move(Outcome.Mfi), std::move(SrcR)});
           }
@@ -259,6 +319,37 @@ std::optional<Program> SketchSolver::solve(const Sketch &Sk,
         case TestOutcome::Kind::Equivalent:
           assert(false && "handled above");
           break;
+        }
+
+        // Corpus bookkeeping (sequential, draw order — deterministic at any
+        // thread count). Kills promote their entry to the front so the next
+        // candidate usually dies on replay #1; fresh killer sequences from
+        // the bounded tester or the deep verifier are remembered up front.
+        if (CorpusOn && Outcome.TheKind == TestOutcome::Kind::Failing) {
+          if (S.Killer) {
+            auto It = std::find(Corpus.begin(), Corpus.end(), S.Killer);
+            if (It != Corpus.end() && It != Corpus.begin())
+              std::rotate(Corpus.begin(), It, It + 1);
+          } else {
+            std::string Key = invocationSeqKey(Outcome.Mfi);
+            bool Known = false;
+            for (const std::shared_ptr<const CorpusEntry> &E : Corpus)
+              if (E->Key == Key) {
+                Known = true;
+                break;
+              }
+            if (!Known) {
+              std::shared_ptr<const ResultTable> SrcR =
+                  SourceResultOf(Outcome.Mfi);
+              assert(SrcR && "source program failed on its own MFI");
+              Corpus.insert(Corpus.begin(),
+                            std::make_shared<const CorpusEntry>(CorpusEntry{
+                                std::move(Outcome.Mfi), std::move(Key),
+                                std::move(SrcR)}));
+              if (Corpus.size() > Opts.MaxFailureCorpus)
+                Corpus.pop_back();
+            }
+          }
         }
       }
     }

@@ -33,6 +33,12 @@
 /// the learned clause sequence, and hence the whole search, independent of
 /// the thread count.
 ///
+/// *Failure corpus* (docs/PERFORMANCE.md, "State engine"): in Mfi and
+/// Enumerative modes the solver keeps the recent killer sequences and
+/// replays them against each new candidate before bounded testing — the
+/// CEGIS insight applied as a screen in front of the full enumeration.
+/// See SolverOptions::UseFailureCorpus.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MIGRATOR_SYNTH_SKETCHSOLVER_H
@@ -76,6 +82,23 @@ struct SolverOptions {
   /// of one round runs concurrently. The search is deterministic in Batch
   /// but independent of the thread count.
   unsigned Batch = 1;
+
+  /// Failure-directed candidate screening: remember the invocation
+  /// sequences that killed recent candidates and replay them (move-to-front
+  /// order) against each new candidate before the full bounded enumeration,
+  /// so most candidates die in a handful of evaluations instead of
+  /// thousands. Replaying a failing input is sound for clause learning: a
+  /// candidate's behaviour on a sequence depends only on the functions the
+  /// sequence invokes, so the MFI-style partial clause derived from a
+  /// corpus kill prunes exactly the completions that fail the same way
+  /// (the sequence just isn't guaranteed minimal). Ignored in Cegis mode,
+  /// whose example set is already this screen. Counters:
+  /// `tester.corpus_replays` / `tester.corpus_kills`.
+  bool UseFailureCorpus = true;
+
+  /// Bound on remembered killer sequences; move-to-front keeps the hot
+  /// ones, stale entries fall off the tail.
+  size_t MaxFailureCorpus = 32;
 
   static TesterOptions deeperDefaults() {
     TesterOptions T;

@@ -51,6 +51,19 @@ void appendInvocation(std::string &Key, const Invocation &Inv) {
   Key += ')';
 }
 
+/// `<parent id><sep><serialized invocation>`: O(1) in the prefix length.
+/// Ids never repeat, invocation serialization is length-prefixed, and the
+/// separator distinguishes state keys from result keys, so no two distinct
+/// probes alias.
+std::string childKey(uint64_t ParentId, char Sep, const Invocation &Inv) {
+  std::string Key;
+  Key.reserve(32 + Inv.Func.size());
+  Key += std::to_string(ParentId);
+  Key += Sep;
+  appendInvocation(Key, Inv);
+  return Key;
+}
+
 } // namespace
 
 std::string migrator::invocationSeqKey(const InvocationSeq &Seq) {
@@ -78,14 +91,15 @@ void SourceResultCache::countMiss() {
 }
 
 SourceResultCache::PrefixState SourceResultCache::initialState() const {
-  return {EmptyDB, 1, std::string()};
+  return {EmptyDB, 1, 0};
 }
 
 std::optional<SourceResultCache::PrefixState>
 SourceResultCache::extend(const PrefixState &Parent, const Invocation &Inv) {
-  std::string Key = Parent.Key;
-  appendInvocation(Key, Inv);
-  {
+  const bool Cacheable = (Parent.Id & UnstoredBit) == 0;
+  std::string Key;
+  if (Cacheable) {
+    Key = childKey(Parent.Id, '#', Inv);
     std::lock_guard<std::mutex> Lock(M);
     auto It = States.find(Key);
     if (It != States.end()) {
@@ -97,30 +111,37 @@ SourceResultCache::extend(const PrefixState &Parent, const Invocation &Inv) {
 
   const Function *F = SourceProg.findFunction(Inv.Func);
   assert(F && F->isUpdate() && "prefix invocation is not a source update");
-  Database DB = *Parent.DB; // Copy-on-extend; the snapshot stays immutable.
+  Database DB = *Parent.DB; // COW copy-on-extend; the snapshot stays
+                            // immutable, so sharing is never broken by it.
   UidGen Uids(Parent.NextUid);
   if (!Eval.callUpdate(*F, Inv.Args, DB, Uids))
     return std::nullopt;
   PrefixState St{std::make_shared<const Database>(std::move(DB)),
-                 Uids.peekNext(), Key};
+                 Uids.peekNext(), 0};
 
-  std::lock_guard<std::mutex> Lock(M);
-  if (States.size() < MaxEntries) {
-    // First insert wins: a racing worker may have computed the same state;
-    // both copies are identical, so either snapshot serves every reader.
-    auto [It, Inserted] = States.try_emplace(std::move(Key), St);
-    if (!Inserted)
-      return It->second;
+  if (Cacheable) {
+    std::lock_guard<std::mutex> Lock(M);
+    if (States.size() < MaxEntries) {
+      St.Id = NextId.fetch_add(1, std::memory_order_relaxed);
+      // First insert wins: a racing worker may have computed the same state;
+      // both copies are identical, so either snapshot (and its id) serves
+      // every reader.
+      auto [It, Inserted] = States.try_emplace(std::move(Key), St);
+      if (!Inserted)
+        return It->second;
+      return St;
+    }
   }
+  St.Id = UnstoredBit | NextId.fetch_add(1, std::memory_order_relaxed);
   return St;
 }
 
 std::shared_ptr<const ResultTable>
 SourceResultCache::query(const PrefixState &St, const Invocation &Query) {
-  std::string Key = St.Key;
-  Key += '|'; // Separates prefix from query; components are length-prefixed.
-  appendInvocation(Key, Query);
-  {
+  const bool Cacheable = (St.Id & UnstoredBit) == 0;
+  std::string Key;
+  if (Cacheable) {
+    Key = childKey(St.Id, '|', Query);
     std::lock_guard<std::mutex> Lock(M);
     auto It = Results.find(Key);
     if (It != Results.end()) {
@@ -137,11 +158,13 @@ SourceResultCache::query(const PrefixState &St, const Invocation &Query) {
     return nullptr;
   auto Shared = std::make_shared<const ResultTable>(std::move(*R));
 
-  std::lock_guard<std::mutex> Lock(M);
-  if (Results.size() < MaxEntries) {
-    auto [It, Inserted] = Results.try_emplace(std::move(Key), Shared);
-    if (!Inserted)
-      return It->second;
+  if (Cacheable) {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Results.size() < MaxEntries) {
+      auto [It, Inserted] = Results.try_emplace(std::move(Key), Shared);
+      if (!Inserted)
+        return It->second;
+    }
   }
   return Shared;
 }

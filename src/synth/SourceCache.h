@@ -14,19 +14,24 @@
 /// candidate of every sketch. This cache hoists those runs:
 ///
 ///  * *prefix states* — the source database (and next-UID counter) after an
-///    update prefix, keyed by the serialized prefix and shared as immutable
-///    `shared_ptr<const Database>` snapshots;
+///    update prefix, shared as immutable `shared_ptr<const Database>`
+///    snapshots;
 ///  * *query results* — the source result of a full sequence (update prefix
-///    plus final query call), keyed likewise.
+///    plus final query call).
 ///
 /// Both maps are shared across candidates, sketches, and portfolio workers
-/// within one synthesize() run. Keys length-prefix every component, so no
-/// two distinct sequences can alias; and because a prefix fully determines
-/// the source run (updates applied in order from the empty instance, UIDs
-/// drawn from a counter starting at 1), a cached state or result is
-/// byte-identical to a recomputation — including UID numbering, so the
-/// UID-bijection-aware result comparison behaves exactly as without the
-/// cache (guarded by `SourceCacheTest` / `ParallelSynthTest`).
+/// within one synthesize() run. Every stored prefix state carries a small
+/// numeric id, and cache keys are `<parent id>#<one serialized invocation>`
+/// — O(1) in the prefix length — instead of the full serialized prefix the
+/// first engine hashed on every probe (the dominant cost of the cache at
+/// jobs=1; see EXPERIMENTS.md). Invocation serialization length-prefixes
+/// every component and ids are unique per stored state, so no two distinct
+/// (state, invocation) pairs can alias; and because a prefix fully
+/// determines the source run (updates applied in order from the empty
+/// instance, UIDs drawn from a counter starting at 1), a cached state or
+/// result is byte-identical to a recomputation — including UID numbering,
+/// so the UID-bijection-aware result comparison behaves exactly as without
+/// the cache (guarded by `SourceCacheTest` / `ParallelSynthTest`).
 ///
 /// Thread safety: lookups and insertions take one mutex; executions run
 /// outside it, so concurrent workers may rarely duplicate a computation
@@ -64,14 +69,21 @@ public:
 
   /// An immutable source-side snapshot: the database after some update
   /// prefix, the UID counter the next fresh key would be drawn from, and
-  /// the prefix's serialized cache key. Carrying the key in the state makes
-  /// extending it O(one invocation) instead of re-serializing the whole
+  /// the state's cache id. Carrying the id in the state makes extending it
+  /// O(one invocation) instead of re-serializing (and re-hashing) the whole
   /// prefix on every probe.
   struct PrefixState {
     std::shared_ptr<const Database> DB;
     uint64_t NextUid = 1;
-    std::string Key;
+    /// 0 is the empty-instance root; states the cache declined to store
+    /// (cap reached, or an unstored parent) have UnstoredBit set, which
+    /// makes their descendants bypass the cache instead of polluting it
+    /// with keys that can never be probed again.
+    uint64_t Id = 0;
   };
+
+  /// Marks a PrefixState id whose state is not in the cache.
+  static constexpr uint64_t UnstoredBit = uint64_t(1) << 63;
 
   /// The empty-instance state (the root of every bounded-test search).
   PrefixState initialState() const;
@@ -107,6 +119,8 @@ private:
   std::shared_ptr<const Database> EmptyDB;
 
   mutable std::mutex M;
+  /// Next id handed to a stored prefix state (0 is the implicit root).
+  std::atomic<uint64_t> NextId{1};
   std::unordered_map<std::string, PrefixState> States;
   std::unordered_map<std::string, std::shared_ptr<const ResultTable>> Results;
 

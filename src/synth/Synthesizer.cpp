@@ -39,7 +39,11 @@ SynthResult migrator::synthesize(const Schema &SourceSchema,
   if (Jobs > 1)
     Pool = std::make_unique<ThreadPool>(Jobs);
   std::unique_ptr<SourceResultCache> Cache;
-  if (Opts.UseSourceCache)
+  // A cached run is byte-identical to an uncached one, so attaching the
+  // cache is purely a cost call: it pays when several workers share the
+  // memoized source work, while a sequential run recomputes COW-backed
+  // prefixes faster than the cache can serve them (EXPERIMENTS.md).
+  if (Opts.UseSourceCache && Jobs >= std::max(1u, Opts.SourceCacheMinJobs))
     Cache = std::make_unique<SourceResultCache>(SourceSchema, SourceProg);
 
   SolveStats Agg; // Merged across every solve via SolveStats::operator+=.

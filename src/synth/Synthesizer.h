@@ -69,6 +69,14 @@ struct SynthOptions {
   /// Memoize source-side executions across candidates, sketches, and
   /// portfolio workers (see synth/SourceCache.h).
   bool UseSourceCache = true;
+
+  /// Minimum Jobs value at which the source cache is actually attached.
+  /// With copy-on-write table snapshots a sequential run recomputes source
+  /// prefixes faster than the cache can memoize them (the jobs=1 regression
+  /// measured in EXPERIMENTS.md), so by default the cache only rides along
+  /// when several workers share it. Set to 1 (or 0) to force the cache on
+  /// at any Jobs value — benches and tests measuring the cache itself do.
+  unsigned SourceCacheMinJobs = 2;
 };
 
 /// Statistics of one synthesis run (the Table 1 columns).

@@ -122,36 +122,73 @@ std::vector<std::vector<Value>> buildArgTuples(const std::vector<Param> &Params,
   return Dedup;
 }
 
+/// Appends one value to a canonical-state key: a kind tag plus the raw
+/// payload, length-prefixed where variable-length so embedded delimiters in
+/// string payloads cannot alias two distinct states. UIDs are renamed to
+/// first-occurrence order through \p UidMap.
+void appendCanonValue(std::string &Out, const Value &V,
+                      std::map<uint64_t, uint64_t> &UidMap) {
+  switch (V.kind()) {
+  case Value::Kind::Uid: {
+    auto [It, New] = UidMap.try_emplace(V.getUid(), UidMap.size());
+    (void)New;
+    Out += 'u';
+    Out += std::to_string(It->second);
+    break;
+  }
+  case Value::Kind::Int:
+    Out += 'i';
+    Out += std::to_string(V.getInt());
+    break;
+  case Value::Kind::Bool:
+    Out += V.getBool() ? "o1" : "o0";
+    break;
+  case Value::Kind::String: {
+    const std::string &S = V.getString();
+    Out += 's';
+    Out += std::to_string(S.size());
+    Out += ':';
+    Out += S;
+    break;
+  }
+  case Value::Kind::Binary: {
+    const std::string &S = V.getBinary();
+    Out += 'b';
+    Out += std::to_string(S.size());
+    Out += ':';
+    Out += S;
+    break;
+  }
+  }
+  Out += ',';
+}
+
 /// Serializes a database pair with canonical UID renaming (per side), so
 /// prefixes reaching the same states up to surrogate-key numbering dedupe.
+/// Built with direct string appends over the raw value payloads: this runs
+/// once per explored prefix extension (millions per synthesis on the larger
+/// benchmarks), where ostringstream and Value::str() churn was measurable
+/// once COW snapshots removed the copying that used to dominate.
 std::string canonicalState(const Database &Src, const Database &Cand) {
-  std::ostringstream OS;
-  auto Dump = [&OS](const Database &DB) {
+  std::string Out;
+  Out.reserve(256);
+  auto Dump = [&Out](const Database &DB) {
     std::map<uint64_t, uint64_t> UidMap;
     for (const Table &T : DB.getTables()) {
-      OS << T.getSchema().getName() << "{";
+      Out += T.getSchema().getName();
+      Out += '{';
       for (const Row &R : T.getRows()) {
-        for (const Value &V : R) {
-          if (V.isUid()) {
-            auto [It, New] = UidMap.try_emplace(V.getUid(), UidMap.size());
-            (void)New;
-            OS << "u" << It->second << ",";
-          } else {
-            // Length-prefix the rendering so embedded delimiters in string
-            // payloads cannot alias two distinct states.
-            std::string S = V.str();
-            OS << S.size() << ":" << S << ",";
-          }
-        }
-        OS << ";";
+        for (const Value &V : R)
+          appendCanonValue(Out, V, UidMap);
+        Out += ';';
       }
-      OS << "}";
+      Out += '}';
     }
   };
   Dump(Src);
-  OS << "||";
+  Out += "||";
   Dump(Cand);
-  return OS.str();
+  return Out;
 }
 
 /// One BFS node: paired database states and the update prefix reaching them.
@@ -382,6 +419,11 @@ TestOutcome EquivalenceTester::test(const Program &Cand) const {
               break;
             ++Seqs;
             // Candidate side always executes (it is candidate specific).
+            // Under COW table storage this "copy" is a per-table refcount
+            // bump that stays shared until the update's first mutation —
+            // sibling extensions of St and St itself are never disturbed.
+            // With --no-cow it is the original eager deep copy, the
+            // differential oracle for the sharing machinery.
             Database CandDB = St.CandDB;
             UidGen CandUids = St.CandUids;
             if (!CandEval.callUpdate(CandF, Args, CandDB, CandUids)) {

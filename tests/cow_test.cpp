@@ -1,0 +1,311 @@
+//===- tests/cow_test.cpp - Copy-on-write state engine tests ----------------===//
+//
+// Guards the correctness contracts of the copy-on-write table storage and
+// the failure corpus (docs/PERFORMANCE.md, "State engine"): snapshots share
+// payloads until the first mutation, mutation never leaks into sibling
+// snapshots (row content and index state alike), the deep-copy oracle
+// (MIGRATOR_NO_COW) never shares, and — the load-bearing property — COW and
+// deep-copy storage are byte-identical on direct evaluation, on randomized
+// program workloads, and through the full synthesis pipeline; likewise
+// synthesis with and without the failure corpus returns the same program.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchsuite/Benchmark.h"
+#include "benchsuite/Generator.h"
+#include "eval/Evaluator.h"
+#include "obs/Metrics.h"
+#include "relational/Database.h"
+#include "relational/Table.h"
+#include "relational/Value.h"
+#include "support/Rng.h"
+#include "synth/RandomWorkload.h"
+#include "synth/Synthesizer.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace migrator;
+using namespace migrator::test;
+
+namespace {
+
+/// Restores the global COW switch (and metrics enablement) on scope exit,
+/// so a failing assertion cannot leak deep-copy mode into other tests.
+struct CowGuard {
+  ~CowGuard() {
+    setTableCowEnabled(true);
+    obs::setMetricsEnabled(false);
+  }
+};
+
+TableSchema pairSchema(const char *Name, const char *A, const char *B) {
+  return TableSchema(Name, {{A, ValueType::Int}, {B, ValueType::Int}});
+}
+
+Table smallTable() {
+  Table T(pairSchema("T", "a", "b"));
+  for (int I = 0; I < 4; ++I)
+    T.insertRow({Value::makeInt(I % 2), Value::makeInt(I)});
+  return T;
+}
+
+/// Reference implementation: ascending indices of rows with R[Col] == V.
+std::vector<size_t> scanColumn(const Table &T, unsigned Col, const Value &V) {
+  std::vector<size_t> Out;
+  for (size_t R = 0; R < T.size(); ++R)
+    if (T.getRow(R)[Col] == V)
+      Out.push_back(R);
+  return Out;
+}
+
+/// Probe must agree with a linear scan (null probe == empty scan).
+void expectProbeMatchesScan(const Table &T, unsigned Col, const Value &V) {
+  const std::vector<size_t> *B = T.probeIndex(Col, V);
+  std::vector<size_t> Ref = scanColumn(T, Col, V);
+  if (!B) {
+    EXPECT_TRUE(Ref.empty());
+    return;
+  }
+  EXPECT_EQ(*B, Ref);
+}
+
+/// Exact comparison: optional-ness, column labels, row order, values.
+void expectIdentical(const std::optional<ResultTable> &A,
+                     const std::optional<ResultTable> &B,
+                     const std::string &What) {
+  ASSERT_EQ(A.has_value(), B.has_value()) << What;
+  if (!A)
+    return;
+  EXPECT_EQ(A->Columns, B->Columns) << What;
+  ASSERT_EQ(A->Rows.size(), B->Rows.size()) << What;
+  for (size_t R = 0; R < A->Rows.size(); ++R)
+    EXPECT_TRUE(A->Rows[R] == B->Rows[R]) << What << " row " << R;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Payload sharing and detachment
+//===----------------------------------------------------------------------===//
+
+TEST(TableCow, CopySharesUntilFirstMutation) {
+  CowGuard Guard;
+  setTableCowEnabled(true);
+
+  Table T = smallTable();
+  Table C = T;
+  EXPECT_TRUE(C.sharesStorageWith(T));
+  EXPECT_TRUE(T == C);
+
+  // First mutation detaches the copy; the original is untouched.
+  C.insertRow({Value::makeInt(9), Value::makeInt(9)});
+  EXPECT_FALSE(C.sharesStorageWith(T));
+  EXPECT_EQ(T.size(), 4u);
+  EXPECT_EQ(C.size(), 5u);
+
+  // A table mutating with exclusive ownership does not re-clone.
+  C.insertRow({Value::makeInt(8), Value::makeInt(8)});
+  EXPECT_EQ(C.size(), 6u);
+}
+
+TEST(TableCow, EveryMutatorIsolatesSiblingSnapshots) {
+  CowGuard Guard;
+  setTableCowEnabled(true);
+
+  Table T = smallTable();
+  const std::vector<Row> Original = T.getRows();
+
+  {
+    Table C = T;
+    C.insertRow({Value::makeInt(7), Value::makeInt(7)});
+    EXPECT_TRUE(T.getRows() == Original);
+  }
+  {
+    Table C = T;
+    C.eraseRows({0, 2});
+    EXPECT_TRUE(T.getRows() == Original);
+    EXPECT_EQ(C.size(), 2u);
+  }
+  {
+    Table C = T;
+    C.setValue(1, 1, Value::makeInt(42));
+    EXPECT_TRUE(T.getRows() == Original);
+    EXPECT_EQ(C.getRow(1)[1], Value::makeInt(42));
+  }
+  {
+    Table C = T;
+    C.clear();
+    EXPECT_TRUE(T.getRows() == Original);
+    EXPECT_TRUE(C.empty());
+  }
+}
+
+TEST(TableCow, IndexStateDoesNotLeakAcrossDetachedSnapshots) {
+  CowGuard Guard;
+  setTableCowEnabled(true);
+
+  Table T = smallTable();
+  T.probeIndex(0, Value::makeInt(0)); // Build column 0's index.
+  ASSERT_TRUE(T.hasIndex(0));
+
+  Table C = T;
+  EXPECT_TRUE(C.hasIndex(0)); // Shared payload carries the warm index.
+
+  // Mutating the copy detaches it; its index must track its own rows while
+  // the original's index keeps answering for the original rows.
+  C.insertRow({Value::makeInt(0), Value::makeInt(100)});
+  C.eraseRows({1});
+  C.setValue(0, 0, Value::makeInt(5));
+  for (int K : {0, 1, 2, 5}) {
+    expectProbeMatchesScan(C, 0, Value::makeInt(K));
+    expectProbeMatchesScan(T, 0, Value::makeInt(K));
+  }
+  EXPECT_EQ(T.size(), 4u);
+
+  // An index built through a shared alias is payload state (a cache), so
+  // the sibling sees it too — but never each other's mutations.
+  Table D = T;
+  D.probeIndex(1, Value::makeInt(2));
+  EXPECT_TRUE(T.hasIndex(1));
+  D.setValue(2, 1, Value::makeInt(77));
+  expectProbeMatchesScan(D, 1, Value::makeInt(77));
+  expectProbeMatchesScan(T, 1, Value::makeInt(2));
+  EXPECT_EQ(T.getRow(2)[1], Value::makeInt(2));
+}
+
+TEST(TableCow, DatabaseCopyIsSharedPerTable) {
+  CowGuard Guard;
+  setTableCowEnabled(true);
+
+  ParseOutput PO = parseOrDie(overviewSource());
+  const Schema *S = PO.findSchema("CourseDB");
+  ASSERT_NE(S, nullptr);
+  Database DB(*S);
+  DB.getTable("Class").insertRow(
+      {Value::makeInt(1), Value::makeInt(2), Value::makeInt(3)});
+
+  Database Snap = DB;
+  for (size_t I = 0; I < DB.getTables().size(); ++I)
+    EXPECT_TRUE(Snap.getTables()[I].sharesStorageWith(DB.getTables()[I]));
+
+  // Mutating one table of the copy detaches only that table.
+  Snap.getTable("Class").clear();
+  EXPECT_FALSE(Snap.getTable("Class").sharesStorageWith(DB.getTable("Class")));
+  EXPECT_TRUE(Snap.getTable("TA").sharesStorageWith(DB.getTable("TA")));
+  EXPECT_TRUE(
+      Snap.getTable("Instructor").sharesStorageWith(DB.getTable("Instructor")));
+  EXPECT_EQ(DB.getTable("Class").size(), 1u);
+}
+
+TEST(TableCow, DeepCopyOracleNeverShares) {
+  CowGuard Guard;
+  setTableCowEnabled(false);
+
+  Table T = smallTable();
+  T.probeIndex(0, Value::makeInt(0));
+  Table C = T;
+  EXPECT_FALSE(C.sharesStorageWith(T));
+  EXPECT_TRUE(C.hasIndex(0)); // Indexes still copied warm, just eagerly.
+  C.insertRow({Value::makeInt(9), Value::makeInt(9)});
+  EXPECT_EQ(T.size(), 4u);
+  for (int K : {0, 1, 9})
+    expectProbeMatchesScan(C, 0, Value::makeInt(K));
+}
+
+//===----------------------------------------------------------------------===//
+// COW vs deep-copy oracle: randomized program workloads
+//===----------------------------------------------------------------------===//
+
+TEST(CowDifferential, RandomWorkloadsMatchDeepCopy) {
+  CowGuard Guard;
+
+  // Generated benchmarks exercise joins, provenance deletes, updates, and
+  // IN-subquery shapes; every run is repeated under both storage engines on
+  // fresh databases so UID numbering is identical.
+  std::vector<GenSpec> Specs(2);
+  Specs[0].Name = "cow-diff-0";
+  Specs[0].NumTables = 4;
+  Specs[0].NumAttrs = 16;
+  Specs[0].NumFuncs = 10;
+  Specs[0].Splits = 1;
+  Specs[1].Name = "cow-diff-1";
+  Specs[1].NumTables = 5;
+  Specs[1].NumAttrs = 18;
+  Specs[1].NumFuncs = 12;
+  Specs[1].SatellitePairs = 2;
+  Specs[1].SharedSplits = 1;
+
+  Rng R(0xC0FFEE);
+  RandomWorkloadOptions WOpts;
+  WOpts.MaxUpdates = 6;
+  for (const GenSpec &Spec : Specs) {
+    Benchmark B = generateBenchmark(Spec);
+    for (int Trial = 0; Trial < 25; ++Trial) {
+      InvocationSeq Seq = randomSequence(B.Prog, R, WOpts);
+      setTableCowEnabled(true);
+      std::optional<ResultTable> Cow = runSequence(B.Prog, B.Source, Seq);
+      setTableCowEnabled(false);
+      std::optional<ResultTable> Deep = runSequence(B.Prog, B.Source, Seq);
+      expectIdentical(Cow, Deep,
+                      Spec.Name + " trial " + std::to_string(Trial) + ": " +
+                          sequenceStr(Seq));
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// COW vs deep-copy oracle: full synthesis pipeline
+//===----------------------------------------------------------------------===//
+
+TEST(CowDifferential, SynthesisIsIdenticalWithAndWithoutCow) {
+  CowGuard Guard;
+  Benchmark B = loadBenchmark("Ambler-3");
+
+  std::string Reference;
+  for (bool Cow : {true, false}) {
+    setTableCowEnabled(Cow);
+    for (unsigned Jobs : {1u, 2u}) {
+      SynthOptions Opts;
+      Opts.Jobs = Jobs;
+      Opts.Solver.Batch = 4;
+      Opts.Deterministic = true;
+      SynthResult Res = synthesize(B.Source, B.Prog, B.Target, Opts);
+      ASSERT_TRUE(Res.succeeded()) << "cow=" << Cow << " jobs=" << Jobs;
+      std::string Text = Res.Prog->str();
+      if (Reference.empty())
+        Reference = Text;
+      else
+        EXPECT_EQ(Text, Reference)
+            << "diverged at cow=" << Cow << " jobs=" << Jobs;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Failure corpus
+//===----------------------------------------------------------------------===//
+
+TEST(FailureCorpus, SynthesisIsIdenticalWithAndWithoutCorpus) {
+  CowGuard Guard;
+  setTableCowEnabled(true);
+  Benchmark B = loadBenchmark("Ambler-3");
+
+  std::string Reference;
+  for (bool Corpus : {true, false}) {
+    SynthOptions Opts;
+    Opts.Deterministic = true;
+    // Bias off so the search wades through failing candidates — the corpus
+    // must actually screen, not ride along unused.
+    Opts.Solver.BiasFirstAlternatives = false;
+    Opts.Solver.UseFailureCorpus = Corpus;
+    SynthResult Res = synthesize(B.Source, B.Prog, B.Target, Opts);
+    ASSERT_TRUE(Res.succeeded()) << "corpus=" << Corpus;
+    std::string Text = Res.Prog->str();
+    if (Reference.empty())
+      Reference = Text;
+    else
+      EXPECT_EQ(Text, Reference) << "diverged at corpus=" << Corpus;
+  }
+}

@@ -7,9 +7,13 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "benchsuite/Benchmark.h"
 #include "obs/Json.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "relational/Table.h"
+#include "relational/Value.h"
+#include "synth/Synthesizer.h"
 
 #include <gtest/gtest.h>
 
@@ -317,6 +321,68 @@ TEST(ObsTrace, ExportIsWellFormedChromeTraceJson) {
   stopTracing();
   EXPECT_TRUE(traceEvents().empty());
   EXPECT_TRUE(validateJson(traceJson(), &Error)) << Error;
+}
+
+//===----------------------------------------------------------------------===//
+// State-engine counters (docs/OBSERVABILITY.md)
+//===----------------------------------------------------------------------===//
+
+/// Throw-free counter lookup: 0 when the counter was never touched.
+uint64_t counterOr0(const MetricsSnapshot &S, const std::string &Name) {
+  auto It = S.Counters.find(Name);
+  return It == S.Counters.end() ? 0 : It->second;
+}
+
+TEST(ObsStateEngine, CowCountersTrackSharesAndClones) {
+  MetricsOn Guard;
+  setTableCowEnabled(true);
+
+  TableSchema TS("T", {{"a", ValueType::Int}});
+  Table T(TS);
+  T.insertRow({Value::makeInt(1)});
+
+  // One COW copy: a share, no clone yet.
+  Table C = T;
+  MetricsSnapshot S1 = registry().snapshot();
+  EXPECT_GE(counterOr0(S1, "table.cow_shares"), 1u);
+  EXPECT_EQ(counterOr0(S1, "table.cow_clones"), 0u);
+
+  // First mutation of the shared copy: exactly one clone; further mutations
+  // with exclusive ownership add none.
+  C.insertRow({Value::makeInt(2)});
+  C.insertRow({Value::makeInt(3)});
+  MetricsSnapshot S2 = registry().snapshot();
+  EXPECT_EQ(counterOr0(S2, "table.cow_clones"), 1u);
+
+  // The deep-copy oracle records neither.
+  setTableCowEnabled(false);
+  Table D = T;
+  D.insertRow({Value::makeInt(4)});
+  MetricsSnapshot S3 = registry().snapshot();
+  EXPECT_EQ(counterOr0(S3, "table.cow_shares"), counterOr0(S2, "table.cow_shares"));
+  EXPECT_EQ(counterOr0(S3, "table.cow_clones"), 1u);
+  setTableCowEnabled(true);
+}
+
+TEST(ObsStateEngine, CorpusCountersTrackReplaysAndKills) {
+  MetricsOn Guard;
+  // MathHotSpot is the smallest benchmark on which the corpus screen is
+  // known to fire (deterministic mode, bias off): the search wades through
+  // failing candidates, the corpus accumulates their killer sequences, and
+  // at least one later candidate dies on replay before full enumeration.
+  Benchmark B = loadBenchmark("MathHotSpot");
+  SynthOptions Opts;
+  Opts.Deterministic = true;
+  Opts.Solver.BiasFirstAlternatives = false;
+  SynthResult Res = synthesize(B.Source, B.Prog, B.Target, Opts);
+  ASSERT_TRUE(Res.succeeded());
+
+  MetricsSnapshot S = registry().snapshot();
+  EXPECT_GT(counterOr0(S, "tester.corpus_replays"), 0u);
+  EXPECT_GT(counterOr0(S, "tester.corpus_kills"), 0u);
+  // Every kill was established by at least one replay.
+  EXPECT_GE(counterOr0(S, "tester.corpus_replays"),
+            counterOr0(S, "tester.corpus_kills"));
 }
 
 TEST(ObsTrace, EventsFromMultipleThreadsGetDistinctTids) {

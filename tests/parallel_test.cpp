@@ -227,6 +227,7 @@ program Bad on Media2 {
 TEST(SourceCacheTest, SynthesisResultUnchangedByCache) {
   Benchmark B = loadBenchmark("Ambler-3");
   SynthOptions WithCache, Without;
+  WithCache.SourceCacheMinJobs = 1; // Force the cache on even at Jobs = 1.
   Without.UseSourceCache = false;
   SynthResult R1 = synthesize(B.Source, B.Prog, B.Target, WithCache);
   SynthResult R2 = synthesize(B.Source, B.Prog, B.Target, Without);
