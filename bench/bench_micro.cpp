@@ -8,6 +8,7 @@
 
 #include "ast/Analysis.h"
 #include "benchsuite/Benchmark.h"
+#include "obs/LockProfile.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "parse/Parser.h"
@@ -236,6 +237,43 @@ void BM_ObsHistogramEnabled(benchmark::State &State) {
   obs::setMetricsEnabled(false);
 }
 BENCHMARK(BM_ObsHistogramEnabled);
+
+void BM_PlainMutexLockUnlock(benchmark::State &State) {
+  // The baseline the profiled wrapper is judged against.
+  std::mutex M;
+  for (auto _ : State) {
+    std::lock_guard<std::mutex> Lock(M);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_PlainMutexLockUnlock);
+
+void BM_ProfiledMutexDisabled(benchmark::State &State) {
+  // The acceptance bar: within ~1ns/op of BM_PlainMutexLockUnlock — one
+  // relaxed load + branch on lock, one plain load + branch on unlock.
+  static obs::LockSite Site("bench.lock.disabled");
+  obs::setLockProfilingEnabled(false);
+  obs::ProfiledMutex M(Site);
+  for (auto _ : State) {
+    std::lock_guard<obs::ProfiledMutex> Lock(M);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ProfiledMutexDisabled);
+
+void BM_ProfiledMutexEnabled(benchmark::State &State) {
+  // Cost of actually collecting: try_lock + two clock reads + fetch_adds.
+  static obs::LockSite Site("bench.lock.enabled");
+  obs::setLockProfilingEnabled(true);
+  obs::ProfiledMutex M(Site);
+  for (auto _ : State) {
+    std::lock_guard<obs::ProfiledMutex> Lock(M);
+    benchmark::ClobberMemory();
+  }
+  obs::setLockProfilingEnabled(false);
+  Site.reset();
+}
+BENCHMARK(BM_ProfiledMutexEnabled);
 
 void BM_EndToEndOverviewInstrumented(benchmark::State &State) {
   // End-to-end synthesis with metric collection ON (tracing still off):

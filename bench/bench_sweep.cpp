@@ -1,4 +1,4 @@
-//===- bench/bench_sweep.cpp - Engine sweep (BENCH_PR5.json) ----------------===//
+//===- bench/bench_sweep.cpp - Engine sweep (BENCH_PR6.json) ----------------===//
 //
 // Measures the parallel synthesis engine, the indexed join engine, and the
 // copy-on-write state engine (docs/PERFORMANCE.md) and emits a
@@ -20,10 +20,24 @@
 //    a hash of the synthesized program — identical across all four
 //    configurations by construction.
 //
-// Usage: bench_sweep [output.json]     (default BENCH_PR5.json)
+//  * a contention section: each benchmark re-run at the sweep's widest
+//    jobs setting with lock profiling on, reporting per-site acquisition/
+//    contended counts, total wait/hold nanoseconds, and wait p50/p95 —
+//    which named lock the workers actually serialized on;
+//  * a meta block (git SHA, compiler, build type, nproc, CPU model,
+//    timestamp) so every BENCH_*.json in the ledger is attributable to a
+//    revision and a host. The sweep *refuses to run* when the scheduler
+//    affinity mask (nproc) disagrees with hardware_concurrency — numbers
+//    from a constrained container would silently poison the trajectory —
+//    unless MIGRATOR_SWEEP_IGNORE_NPROC=1 overrides.
+//
+// Usage: bench_sweep [output.json]     (default BENCH_PR6.json)
 //
 // Environment: MIGRATOR_BENCH_BUDGET caps the per-run budget (seconds);
-// MIGRATOR_SWEEP_BENCHMARKS is a comma-separated benchmark-name override.
+// MIGRATOR_SWEEP_BENCHMARKS is a comma-separated benchmark-name override;
+// MIGRATOR_SWEEP_QUICK=1 shrinks the sweep (jobs <= 2, smaller join
+// workload, 3s default budget) for CI smoke use — quick numbers are for
+// schema checks (scripts/bench_diff.py self-comparison), not the ledger.
 //
 // The report records the host's hardware concurrency: thread-scaling
 // numbers are only meaningful when the host actually has the cores (see
@@ -37,6 +51,7 @@
 #include "eval/Evaluator.h"
 #include "eval/Plan.h"
 #include "obs/Json.h"
+#include "obs/LockProfile.h"
 #include "obs/Metrics.h"
 #include "parse/Parser.h"
 #include "relational/Table.h"
@@ -45,12 +60,18 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <ctime>
 #if defined(__GLIBC__)
 #include <malloc.h>
+#endif
+#if defined(__linux__)
+#include <sched.h>
 #endif
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -58,6 +79,11 @@ using namespace migrator;
 using namespace migrator::bench;
 
 namespace {
+
+bool quickMode() {
+  const char *E = std::getenv("MIGRATOR_SWEEP_QUICK");
+  return E && *E && std::string_view(E) != "0";
+}
 
 uint64_t counterOf(const SynthResult &R, const char *Name) {
   auto It = R.Metrics.Counters.find(Name);
@@ -358,10 +384,188 @@ StateEngineRow runStateEngine(const Benchmark &B, bool Cow, bool Corpus) {
   return Row;
 }
 
+//===----------------------------------------------------------------------===//
+// Meta block: what machine, what revision, what compiler
+//===----------------------------------------------------------------------===//
+
+/// First line of `Cmd`'s stdout, or "" on any failure.
+std::string commandLine(const char *Cmd) {
+  std::string Out;
+  if (FILE *P = popen(Cmd, "r")) {
+    char Buf[256];
+    if (std::fgets(Buf, sizeof(Buf), P))
+      Out = Buf;
+    pclose(P);
+  }
+  while (!Out.empty() && (Out.back() == '\n' || Out.back() == '\r'))
+    Out.pop_back();
+  return Out;
+}
+
+/// The CPUs this process may actually run on — `nproc` semantics, which a
+/// container or taskset can shrink below the machine's core count.
+unsigned affinityNproc() {
+#if defined(__linux__)
+  cpu_set_t Set;
+  if (sched_getaffinity(0, sizeof(Set), &Set) == 0)
+    return static_cast<unsigned>(CPU_COUNT(&Set));
+#endif
+  return std::thread::hardware_concurrency();
+}
+
+std::string cpuModel() {
+#if defined(__linux__)
+  std::ifstream F("/proc/cpuinfo");
+  std::string Line;
+  while (std::getline(F, Line))
+    if (Line.rfind("model name", 0) == 0) {
+      size_t Colon = Line.find(':');
+      if (Colon != std::string::npos) {
+        size_t Start = Line.find_first_not_of(" \t", Colon + 1);
+        return Start == std::string::npos ? "" : Line.substr(Start);
+      }
+    }
+#endif
+  return "";
+}
+
+std::string utcTimestamp() {
+  std::time_t Now = std::time(nullptr);
+  char Buf[32];
+  std::tm Tm;
+  if (!gmtime_r(&Now, &Tm) ||
+      std::strftime(Buf, sizeof(Buf), "%Y-%m-%dT%H:%M:%SZ", &Tm) == 0)
+    return "";
+  return Buf;
+}
+
+std::string metaJson(bool Quick) {
+  unsigned Nproc = affinityNproc();
+  unsigned Hw = std::thread::hardware_concurrency();
+  std::ostringstream O;
+  O << "{\n    \"git_sha\": "
+    << obs::jsonString(commandLine("git rev-parse HEAD 2>/dev/null"))
+    << ",\n    \"compiler\": " << obs::jsonString(__VERSION__)
+    << ",\n    \"build\": "
+    // The project strips -DNDEBUG from Release (asserts stay on), so key
+    // on optimization instead: __OPTIMIZE__ is defined at -O1 and above.
+#if defined(NDEBUG) || defined(__OPTIMIZE__)
+    << "\"optimized\""
+#else
+    << "\"debug\""
+#endif
+    << ",\n    \"nproc\": " << Nproc
+    << ",\n    \"hardware_concurrency\": " << Hw
+    << ",\n    \"cpu_model\": " << obs::jsonString(cpuModel())
+    << ",\n    \"timestamp_utc\": " << obs::jsonString(utcTimestamp())
+    << ",\n    \"quick\": " << (Quick ? "true" : "false") << "\n  }";
+  return O.str();
+}
+
+/// A sweep on a host whose affinity mask hides cores would record scaling
+/// numbers that look like engine regressions. Refuse, loudly, unless
+/// explicitly overridden.
+void checkNprocAgreement() {
+  unsigned Nproc = affinityNproc();
+  unsigned Hw = std::thread::hardware_concurrency();
+  if (Nproc == Hw || Hw == 0)
+    return;
+  const char *Ignore = std::getenv("MIGRATOR_SWEEP_IGNORE_NPROC");
+  if (Ignore && *Ignore && std::string_view(Ignore) != "0") {
+    std::fprintf(stderr,
+                 "warning: nproc (%u) != hardware_concurrency (%u); "
+                 "proceeding under MIGRATOR_SWEEP_IGNORE_NPROC\n",
+                 Nproc, Hw);
+    return;
+  }
+  std::fprintf(stderr,
+               "error: scheduler affinity grants %u CPU(s) but the machine "
+               "reports %u — thread-scaling numbers from this run would be "
+               "misleading.\nUnpin the process, or set "
+               "MIGRATOR_SWEEP_IGNORE_NPROC=1 to record them anyway.\n",
+               Nproc, Hw);
+  std::exit(1);
+}
+
+//===----------------------------------------------------------------------===//
+// Contention pass: which lock serialized the workers
+//===----------------------------------------------------------------------===//
+
+/// One lock site's statistics from one benchmark's profiled parallel run.
+struct ContentionRow {
+  std::string Bench;
+  unsigned Jobs = 0;
+  std::string Site;
+  uint64_t Acquisitions = 0;
+  uint64_t Contended = 0;
+  uint64_t WaitNs = 0;
+  uint64_t HoldNs = 0;
+  double WaitUsP50 = 0;
+  double WaitUsP95 = 0;
+
+  std::string json() const {
+    std::ostringstream O;
+    O << "{\"benchmark\": " << obs::jsonString(Bench)
+      << ", \"jobs\": " << Jobs << ", \"site\": " << obs::jsonString(Site)
+      << ", \"acquisitions\": " << Acquisitions
+      << ", \"contended\": " << Contended << ", \"wait_ns\": " << WaitNs
+      << ", \"hold_ns\": " << HoldNs
+      << ", \"wait_us_p50\": " << obs::jsonNumber(WaitUsP50)
+      << ", \"wait_us_p95\": " << obs::jsonNumber(WaitUsP95) << "}";
+    return O.str();
+  }
+};
+
+/// Re-runs \p B at \p Jobs with lock profiling on and reports every touched
+/// site, ranked by total wait. Kept out of the timing rows above: the
+/// enabled profiler adds clock reads to every lock operation.
+std::vector<ContentionRow> runContention(const Benchmark &B, unsigned Jobs) {
+  SynthOptions Opts;
+  Opts.Solver.BiasFirstAlternatives = false;
+  Opts.Jobs = Jobs;
+  Opts.Solver.Batch = 4;
+  Opts.Deterministic = true;
+  Opts.TimeBudgetSec = budgetFor(B);
+
+  obs::resetLockProfile();
+  obs::setLockProfilingEnabled(true);
+  synthesize(B.Source, B.Prog, B.Target, Opts);
+  obs::setLockProfilingEnabled(false);
+
+  std::vector<ContentionRow> Rows;
+  for (const obs::LockSiteSnapshot &S : obs::lockProfileSnapshot()) {
+    ContentionRow Row;
+    Row.Bench = B.Name;
+    Row.Jobs = Jobs;
+    Row.Site = S.Name;
+    Row.Acquisitions = S.Acquisitions;
+    Row.Contended = S.Contended;
+    Row.WaitNs = S.WaitNs;
+    Row.HoldNs = S.HoldNs;
+    Row.WaitUsP50 = S.WaitUs.percentile(0.50);
+    Row.WaitUsP95 = S.WaitUs.percentile(0.95);
+    std::printf("  %-16s jobs=%u %-14s acq=%llu contended=%llu "
+                "wait=%.2fms hold=%.2fms\n",
+                B.Name.c_str(), Jobs, Row.Site.c_str(),
+                static_cast<unsigned long long>(Row.Acquisitions),
+                static_cast<unsigned long long>(Row.Contended),
+                static_cast<double>(Row.WaitNs) / 1e6,
+                static_cast<double>(Row.HoldNs) / 1e6);
+    Rows.push_back(std::move(Row));
+  }
+  std::fflush(stdout);
+  obs::resetLockProfile();
+  return Rows;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
-  const char *OutPath = Argc > 1 ? Argv[1] : "BENCH_PR5.json";
+  const char *OutPath = Argc > 1 ? Argv[1] : "BENCH_PR6.json";
+  const bool Quick = quickMode();
+  if (Quick && !std::getenv("MIGRATOR_BENCH_BUDGET"))
+    setenv("MIGRATOR_BENCH_BUDGET", "3", 1);
+  checkNprocAgreement();
   obs::setMetricsEnabled(true);
 
   std::vector<std::string> Names = {"Ambler-8", "coachup", "MathHotSpot"};
@@ -376,24 +580,36 @@ int main(int Argc, char **Argv) {
 
   std::printf("Parallel engine sweep (bias off, deterministic) -> %s\n",
               OutPath);
+  const std::vector<unsigned> JobsList =
+      Quick ? std::vector<unsigned>{1u, 2u} : std::vector<unsigned>{1u, 2u, 4u};
   std::vector<SweepRow> Rows;
   for (const std::string &Name : Names) {
     Benchmark B = loadBenchmark(Name);
-    for (unsigned Jobs : {1u, 2u, 4u})
+    for (unsigned Jobs : JobsList)
       Rows.push_back(runOne(B, Jobs, /*Batch=*/Jobs == 1 ? 1 : 4,
                             /*UseCache=*/true));
     // Cache ablation at jobs=1: hardware-independent work reduction.
     Rows.push_back(runOne(B, /*Jobs=*/1, /*Batch=*/1, /*UseCache=*/false));
   }
 
+  // Contention pass: the widest parallel configuration again, this time
+  // with lock profiling on — which named lock did the workers wait on?
+  const unsigned ContJobs = JobsList.back();
+  std::printf("Lock contention (jobs=%u, profiled)\n", ContJobs);
+  std::vector<ContentionRow> ContRows;
+  for (const std::string &Name : Names) {
+    Benchmark B = loadBenchmark(Name);
+    std::vector<ContentionRow> R = runContention(B, ContJobs);
+    ContRows.insert(ContRows.end(), R.begin(), R.end());
+  }
+
   // Join-engine ablation: the same eval-dominated workload with indexes on
   // and off; the tuples_scanned ratio is hardware-independent.
-  std::printf("Join engine ablation (3-table chain, 400 rows/table)\n");
+  const unsigned JoinN = Quick ? 100 : 400;
+  std::printf("Join engine ablation (3-table chain, %u rows/table)\n", JoinN);
   std::vector<JoinEngineRow> JoinRows;
-  JoinRows.push_back(runJoinEngine(/*Indexed=*/true, /*NumRows=*/400,
-                                   /*NumQueries=*/400));
-  JoinRows.push_back(runJoinEngine(/*Indexed=*/false, /*NumRows=*/400,
-                                   /*NumQueries=*/400));
+  JoinRows.push_back(runJoinEngine(/*Indexed=*/true, JoinN, JoinN));
+  JoinRows.push_back(runJoinEngine(/*Indexed=*/false, JoinN, JoinN));
   if (JoinRows[0].TuplesScanned > 0)
     std::printf("  tuples_scanned ratio (naive/indexed): %.1fx\n",
                 static_cast<double>(JoinRows[1].TuplesScanned) /
@@ -420,8 +636,13 @@ int main(int Argc, char **Argv) {
   }
 
   std::ostringstream Out;
-  Out << "{\n  \"hardware_concurrency\": "
-      << std::thread::hardware_concurrency() << ",\n  \"join_engine\": [\n";
+  Out << "{\n  \"meta\": " << metaJson(Quick)
+      << ",\n  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n  \"contention\": [\n";
+  for (size_t I = 0; I < ContRows.size(); ++I)
+    Out << "    " << ContRows[I].json()
+        << (I + 1 < ContRows.size() ? ",\n" : "\n");
+  Out << "  ],\n  \"join_engine\": [\n";
   for (size_t I = 0; I < JoinRows.size(); ++I)
     Out << "    " << JoinRows[I].json()
         << (I + 1 < JoinRows.size() ? ",\n" : "\n");

@@ -10,6 +10,7 @@
 //                [--jobs=N] [--batch=N] [--deterministic] [--no-src-cache]
 //                [--no-index] [--no-cow] [--no-corpus]
 //                [--trace=<file.json>] [--stats] [--stats-json=<file>]
+//                [--profile-locks] [--flight-dump=<file.json>]
 //
 // With --sql, the migrated program is printed as executable SQL (MySQL
 // dialect) instead of surface syntax; --mode selects the sketch-completion
@@ -35,12 +36,19 @@
 // trace_event JSON of the run (load into chrome://tracing or Perfetto);
 // the MIGRATOR_TRACE environment variable does the same when the flag is
 // absent. --stats prints the run's pipeline metrics to stderr; --stats-json
-// writes them to a file as JSON.
+// writes them to a file as JSON. --profile-locks attributes wait/hold time
+// to named lock sites and prints the contention table (ranked by total
+// wait) to stderr; the same data rides in --stats / --stats-json as
+// lock.<site>.* metrics. --flight-dump=<file> keeps a bounded per-thread
+// ring of recent trace events and writes it at exit — and, best-effort,
+// on a fatal signal — so wedged or crashed parallel runs stay diagnosable.
 //
 //===----------------------------------------------------------------------===//
 
 #include "ast/Simplify.h"
 #include "eval/Plan.h"
+#include "obs/Flight.h"
+#include "obs/LockProfile.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "relational/ResultTable.h"
@@ -51,14 +59,33 @@
 #include "synth/Synthesizer.h"
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include <fcntl.h>
+
 using namespace migrator;
 
 namespace {
+
+/// Crash-path flight dump: the fd is opened before synthesis starts so the
+/// handler never allocates or calls open(2). -1 until --flight-dump is
+/// parsed.
+int FlightCrashFd = -1;
+
+void flightSignalHandler(int Sig) {
+  obs::flightDumpToFd(FlightCrashFd >= 0 ? FlightCrashFd : 2);
+  std::signal(Sig, SIG_DFL);
+  std::raise(Sig);
+}
+
+void installFlightSignalHandlers() {
+  for (int Sig : {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT})
+    std::signal(Sig, flightSignalHandler);
+}
 
 int usage(const char *Argv0) {
   std::fprintf(stderr,
@@ -111,7 +138,8 @@ int main(int Argc, char **Argv) {
   SynthOptions Opts;
   bool EmitSql = false;
   bool PrintStats = false;
-  std::string TracePath, StatsJsonPath;
+  bool ProfileLocks = false;
+  std::string TracePath, StatsJsonPath, FlightPath;
   for (int A = 5; A < Argc; ++A) {
     std::string Arg = Argv[A];
     if (Arg == "--sql") {
@@ -144,6 +172,10 @@ int main(int Argc, char **Argv) {
       PrintStats = true;
     } else if (Arg.rfind("--stats-json=", 0) == 0) {
       StatsJsonPath = Arg.substr(13);
+    } else if (Arg == "--profile-locks") {
+      ProfileLocks = true;
+    } else if (Arg.rfind("--flight-dump=", 0) == 0) {
+      FlightPath = Arg.substr(14);
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "error: unknown flag '%s'\n", Arg.c_str());
       return 2;
@@ -162,6 +194,19 @@ int main(int Argc, char **Argv) {
     obs::startTracing();
   if (PrintStats || !StatsJsonPath.empty() || !TracePath.empty())
     obs::setMetricsEnabled(true);
+  if (ProfileLocks)
+    obs::setLockProfilingEnabled(true);
+  if (!FlightPath.empty()) {
+    obs::setFlightRecorderEnabled(true);
+    // The crash path needs an already-open descriptor (open(2) is off the
+    // menu inside a signal handler). The clean path rewrites it at exit.
+    FlightCrashFd = ::open(FlightPath.c_str(),
+                           O_CREAT | O_TRUNC | O_WRONLY, 0644);
+    if (FlightCrashFd < 0)
+      std::fprintf(stderr, "warning: cannot open flight-dump file '%s'\n",
+                   FlightPath.c_str());
+    installFlightSignalHandlers();
+  }
 
   std::fprintf(stderr, "migrating '%s' from schema '%s' to schema '%s'\n",
                Argv[2], Argv[3], Argv[4]);
@@ -185,6 +230,18 @@ int main(int Argc, char **Argv) {
   if (PrintStats)
     std::fprintf(stderr, "--- pipeline metrics ---\n%s",
                  R.Metrics.str().c_str());
+  if (ProfileLocks)
+    std::fprintf(stderr, "--- lock contention (ranked by wait) ---\n%s",
+                 obs::lockProfileReport().c_str());
+  if (!FlightPath.empty()) {
+    // Clean-path dump supersedes whatever the crash fd would have held.
+    if (obs::writeFlightJson(FlightPath))
+      std::fprintf(stderr, "flight recorder written to %s\n",
+                   FlightPath.c_str());
+    else
+      std::fprintf(stderr, "warning: cannot write flight dump to '%s'\n",
+                   FlightPath.c_str());
+  }
   if (!StatsJsonPath.empty()) {
     std::ofstream StatsOut(StatsJsonPath);
     if (StatsOut)

@@ -1,35 +1,70 @@
 //===- examples/trace_check.cpp - Validate an emitted trace file -------------===//
 //
 // Smoke checker for the observability exporters: confirms that a file
-// produced by `migrate_tool --trace=...` (or --stats-json=...) is a
-// syntactically well-formed JSON document, and — for traces — that it has
-// the Chrome trace_event envelope ("traceEvents" array) and at least the
-// expected top-level pipeline spans.
+// produced by `migrate_tool --trace=...`, `--stats-json=...`, or
+// `--flight-dump=...` is a syntactically well-formed JSON document, and
+// that it has the structure the flag promised — the Chrome trace_event
+// envelope, per-worker lanes, the metrics object, or the flight-recorder
+// dump shape.
 //
 // Usage:
-//   trace_check <file.json>               # well-formed JSON?
-//   trace_check --trace <file.json>       # ... plus trace_event structure
-//   trace_check --expect NAME <file.json> # ... plus an event named NAME
+//   trace_check <file.json>                  # well-formed JSON?
+//   trace_check --trace <file.json>          # ... plus trace_event structure
+//   trace_check --expect NAME <file.json>    # ... plus an event named NAME
+//   trace_check --lanes <file.json>          # ... plus named worker lanes
+//   trace_check --min-tids N <file.json>     # ... plus >= N distinct tids
+//   trace_check --stats <file.json>          # stats-json structure
+//   trace_check --expect-counter NAME <f>    # ... plus counter NAME
+//   trace_check --expect-hist NAME <f>       # ... plus histogram NAME
+//   trace_check --flight <file.json>         # flight-dump structure
 //
 // Exit code 0 on success; 1 with a diagnostic on stderr otherwise. Used by
-// scripts/check.sh after its migrate_tool smoke run.
+// scripts/check.sh after its migrate_tool smoke runs.
 //
 //===----------------------------------------------------------------------===//
 
 #include "obs/Json.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 using namespace migrator;
 
+namespace {
+
+/// Distinct `"tid":<N>` values in \p Text (string-level, good enough for
+/// exporter output where the key is always rendered the same way).
+size_t countDistinctTids(const std::string &Text) {
+  std::set<long> Tids;
+  const std::string Key = "\"tid\":";
+  for (size_t Pos = Text.find(Key); Pos != std::string::npos;
+       Pos = Text.find(Key, Pos + Key.size()))
+    Tids.insert(std::atol(Text.c_str() + Pos + Key.size()));
+  return Tids.size();
+}
+
+int fail(const char *Path, const std::string &Why) {
+  std::fprintf(stderr, "trace_check: '%s' %s\n", Path, Why.c_str());
+  return 1;
+}
+
+} // namespace
+
 int main(int Argc, char **Argv) {
   bool CheckTrace = false;
+  bool CheckLanes = false;
+  bool CheckStats = false;
+  bool CheckFlight = false;
+  size_t MinTids = 0;
   std::vector<std::string> Expect;
+  std::vector<std::string> ExpectCounters;
+  std::vector<std::string> ExpectHists;
   const char *Path = nullptr;
 
   for (int A = 1; A < Argc; ++A) {
@@ -38,13 +73,30 @@ int main(int Argc, char **Argv) {
     } else if (std::strcmp(Argv[A], "--expect") == 0 && A + 1 < Argc) {
       Expect.push_back(Argv[++A]);
       CheckTrace = true;
+    } else if (std::strcmp(Argv[A], "--lanes") == 0) {
+      CheckLanes = CheckTrace = true;
+    } else if (std::strcmp(Argv[A], "--min-tids") == 0 && A + 1 < Argc) {
+      MinTids = static_cast<size_t>(std::atol(Argv[++A]));
+      CheckTrace = true;
+    } else if (std::strcmp(Argv[A], "--stats") == 0) {
+      CheckStats = true;
+    } else if (std::strcmp(Argv[A], "--expect-counter") == 0 && A + 1 < Argc) {
+      ExpectCounters.push_back(Argv[++A]);
+      CheckStats = true;
+    } else if (std::strcmp(Argv[A], "--expect-hist") == 0 && A + 1 < Argc) {
+      ExpectHists.push_back(Argv[++A]);
+      CheckStats = true;
+    } else if (std::strcmp(Argv[A], "--flight") == 0) {
+      CheckFlight = true;
     } else {
       Path = Argv[A];
     }
   }
   if (!Path) {
     std::fprintf(stderr,
-                 "usage: %s [--trace] [--expect NAME]... <file.json>\n",
+                 "usage: %s [--trace] [--expect NAME]... [--lanes] "
+                 "[--min-tids N] [--stats] [--expect-counter NAME]... "
+                 "[--expect-hist NAME]... [--flight] <file.json>\n",
                  Argv[0]);
     return 2;
   }
@@ -58,43 +110,69 @@ int main(int Argc, char **Argv) {
   Buf << In.rdbuf();
   std::string Text = Buf.str();
 
-  if (Text.empty()) {
-    std::fprintf(stderr, "trace_check: '%s' is empty\n", Path);
-    return 1;
-  }
+  if (Text.empty())
+    return fail(Path, "is empty");
 
   std::string Error;
-  if (!obs::validateJson(Text, &Error)) {
-    std::fprintf(stderr, "trace_check: '%s' is not valid JSON: %s\n", Path,
-                 Error.c_str());
-    return 1;
-  }
+  if (!obs::validateJson(Text, &Error))
+    return fail(Path, "is not valid JSON: " + Error);
 
   if (CheckTrace) {
     // Structural checks, string-level on purpose: the consumers (Chrome,
     // Perfetto) only need the envelope, and validateJson already proved
     // syntax. An empty traceEvents array is a failure — a smoke run must
     // record something.
-    if (Text.find("\"traceEvents\"") == std::string::npos) {
-      std::fprintf(stderr,
-                   "trace_check: '%s' has no \"traceEvents\" key — not a "
-                   "Chrome trace\n",
-                   Path);
-      return 1;
-    }
-    if (Text.find("\"ph\"") == std::string::npos) {
-      std::fprintf(stderr, "trace_check: '%s' contains no events\n", Path);
-      return 1;
-    }
+    if (Text.find("\"traceEvents\"") == std::string::npos)
+      return fail(Path, "has no \"traceEvents\" key — not a Chrome trace");
+    if (Text.find("\"ph\"") == std::string::npos)
+      return fail(Path, "contains no events");
     for (const std::string &Name : Expect) {
       std::string Needle = "\"name\":" + obs::jsonString(Name);
-      if (Text.find(Needle) == std::string::npos) {
-        std::fprintf(stderr,
-                     "trace_check: '%s' has no event named '%s'\n", Path,
-                     Name.c_str());
-        return 1;
-      }
+      if (Text.find(Needle) == std::string::npos)
+        return fail(Path, "has no event named '" + Name + "'");
     }
+    if (CheckLanes) {
+      // A parallel run must label its worker lanes: thread_name metadata
+      // events with the pool's lane-name convention.
+      if (Text.find("\"name\":\"thread_name\",\"ph\":\"M\"") ==
+          std::string::npos)
+        return fail(Path, "has no thread_name metadata events (--lanes)");
+      if (Text.find("pool-worker-") == std::string::npos)
+        return fail(Path, "has no pool-worker-* lane names (--lanes)");
+    }
+    if (MinTids > 0) {
+      size_t Tids = countDistinctTids(Text);
+      if (Tids < MinTids)
+        return fail(Path, "has events on " + std::to_string(Tids) +
+                              " thread(s), expected >= " +
+                              std::to_string(MinTids));
+    }
+  }
+
+  if (CheckStats) {
+    if (Text.find("\"counters\"") == std::string::npos ||
+        Text.find("\"histograms\"") == std::string::npos)
+      return fail(Path, "lacks \"counters\"/\"histograms\" — not a "
+                        "stats-json dump");
+    for (const std::string &Name : ExpectCounters) {
+      std::string Needle = obs::jsonString(Name) + ":";
+      if (Text.find(Needle) == std::string::npos)
+        return fail(Path, "has no counter named '" + Name + "'");
+    }
+    for (const std::string &Name : ExpectHists) {
+      std::string Needle = obs::jsonString(Name) + ":{\"count\"";
+      if (Text.find(Needle) == std::string::npos)
+        return fail(Path, "has no histogram named '" + Name + "'");
+    }
+  }
+
+  if (CheckFlight) {
+    if (Text.find("\"flightLanes\"") == std::string::npos)
+      return fail(Path, "has no \"flightLanes\" key — not a flight dump");
+    if (Text.find("\"ph\"") == std::string::npos)
+      return fail(Path, "contains no flight events");
+    if (Text.find("\"dropped\"") == std::string::npos)
+      return fail(Path, "flight lanes lack \"dropped\" counts");
   }
 
   std::printf("trace_check: %s OK (%zu bytes)\n", Path, Text.size());

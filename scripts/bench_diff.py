@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Benchmark regression ledger: compare two bench_sweep BENCH_*.json files.
+
+Usage:
+    scripts/bench_diff.py [options] BASELINE.json NEW.json
+
+Compares the two reports section by section — `results` (the parallel
+engine sweep), `state_engine`, `join_engine`, and `contention` — matching
+rows by their configuration key and flagging regressions beyond tolerance:
+
+  * wall-clock per row            (--wall-tol, default +10%)
+  * peak RSS per state-engine row (--rss-tol, default +15%)
+  * sequences_run / work counters (--work-tol, default +25%)
+  * total lock wait per site      (--wait-tol, default +50%)
+  * a benchmark that succeeded in the baseline but fails in the new run
+  * a state-engine prog_hash that changed between runs of the same config
+  * a baseline row with no matching row in the new run (coverage loss)
+
+Rows whose baseline wall time is below --min-wall-sec (default 0.25s) skip
+the wall comparison: sub-quarter-second runs are scheduler noise. Counter
+comparisons skip baselines below --min-work (default 100).
+
+The meta blocks (git SHA, host) of both files are echoed so a ledger entry
+is attributable; files from before the meta block are tolerated.
+
+Exit status: 0 = no regressions, 1 = regressions found, 2 = bad usage or
+unreadable/mismatched input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_diff: cannot read '{path}': {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def fmt_meta(doc):
+    meta = doc.get("meta")
+    if not isinstance(meta, dict):
+        return "no meta block (pre-ledger format)"
+    sha = meta.get("git_sha") or "?"
+    build = meta.get("build", "?")
+    nproc = meta.get("nproc", "?")
+    ts = meta.get("timestamp_utc") or "?"
+    quick = " QUICK" if meta.get("quick") else ""
+    return f"sha={sha[:12]} build={build} nproc={nproc} time={ts}{quick}"
+
+
+def index_rows(doc, section, key_fields):
+    """Maps each row's configuration key to the row; ignores missing
+    sections (older files) and rows lacking a key field."""
+    out = {}
+    for row in doc.get(section) or []:
+        try:
+            key = tuple(row[f] for f in key_fields)
+        except (KeyError, TypeError):
+            continue
+        out[key] = row
+    return out
+
+
+class Ledger:
+    def __init__(self):
+        self.regressions = []
+        self.improvements = []
+        self.notes = []
+
+    def regress(self, msg):
+        self.regressions.append(msg)
+
+    def improve(self, msg):
+        self.improvements.append(msg)
+
+    def note(self, msg):
+        self.notes.append(msg)
+
+
+def key_str(section, key):
+    return f"{section}[{', '.join(str(k) for k in key)}]"
+
+
+def cmp_metric(ledger, where, name, base, new, tol, floor=0.0, unit=""):
+    """Flags new > base * (1 + tol); reports improvements beyond the same
+    tolerance. Skips baselines at/below the noise floor."""
+    if base is None or new is None or base <= floor:
+        return
+    if new > base * (1.0 + tol):
+        ledger.regress(
+            f"{where}: {name} {base:g}{unit} -> {new:g}{unit} "
+            f"(+{100.0 * (new - base) / base:.1f}%, tol +{100.0 * tol:.0f}%)")
+    elif new < base * (1.0 - tol):
+        ledger.improve(
+            f"{where}: {name} {base:g}{unit} -> {new:g}{unit} "
+            f"({100.0 * (new - base) / base:+.1f}%)")
+
+
+def cmp_section(ledger, base_doc, new_doc, section, key_fields, metrics,
+                args, check_ok=False, check_hash=False):
+    base = index_rows(base_doc, section, key_fields)
+    new = index_rows(new_doc, section, key_fields)
+    if not base:
+        return
+    for key, brow in sorted(base.items(), key=lambda kv: str(kv[0])):
+        where = key_str(section, key)
+        nrow = new.get(key)
+        if nrow is None:
+            ledger.regress(f"{where}: present in baseline, missing in new run")
+            continue
+        if check_ok and brow.get("ok") and not nrow.get("ok"):
+            ledger.regress(f"{where}: succeeded in baseline, FAILS in new run")
+            continue
+        for name, tol, floor, unit in metrics:
+            cmp_metric(ledger, where, name, brow.get(name), nrow.get(name),
+                       tol, floor, unit)
+        if (check_hash and brow.get("ok") and nrow.get("ok")
+                and brow.get("prog_hash") not in (None, "-")
+                and nrow.get("prog_hash") not in (None, "-")
+                and brow["prog_hash"] != nrow["prog_hash"]):
+            ledger.regress(
+                f"{where}: synthesized program changed "
+                f"({brow['prog_hash']} -> {nrow['prog_hash']})")
+    extra = set(new) - set(base)
+    if extra:
+        ledger.note(f"{section}: {len(extra)} new row(s) not in baseline")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Compare two bench_sweep BENCH_*.json reports.")
+    ap.add_argument("baseline")
+    ap.add_argument("new")
+    ap.add_argument("--wall-tol", type=float, default=0.10,
+                    help="allowed wall-clock growth (fraction, default 0.10)")
+    ap.add_argument("--rss-tol", type=float, default=0.15,
+                    help="allowed peak-RSS growth (default 0.15)")
+    ap.add_argument("--work-tol", type=float, default=0.25,
+                    help="allowed work-counter growth (default 0.25)")
+    ap.add_argument("--wait-tol", type=float, default=0.50,
+                    help="allowed lock-wait growth (default 0.50)")
+    ap.add_argument("--min-wall-sec", type=float, default=0.25,
+                    help="skip wall comparison below this baseline (s)")
+    ap.add_argument("--min-work", type=float, default=100,
+                    help="skip counter comparison below this baseline")
+    ap.add_argument("--min-wait-ms", type=float, default=5.0,
+                    help="skip wait comparison below this baseline (ms)")
+    args = ap.parse_args()
+
+    base_doc = load(args.baseline)
+    new_doc = load(args.new)
+    for name, doc in ((args.baseline, base_doc), (args.new, new_doc)):
+        if not isinstance(doc, dict) or not any(
+                k in doc for k in ("results", "state_engine", "join_engine")):
+            print(f"bench_diff: '{name}' is not a bench_sweep report",
+                  file=sys.stderr)
+            sys.exit(2)
+
+    print(f"baseline: {args.baseline}  ({fmt_meta(base_doc)})")
+    print(f"new:      {args.new}  ({fmt_meta(new_doc)})")
+
+    ledger = Ledger()
+    wall = ("wall_sec", args.wall_tol, args.min_wall_sec, "s")
+    cmp_section(
+        ledger, base_doc, new_doc, "results",
+        ("benchmark", "jobs", "batch", "src_cache"),
+        [wall, ("sequences_run", args.work_tol, args.min_work, ""),
+         ("iters", args.work_tol, args.min_work, "")],
+        args, check_ok=True)
+    cmp_section(
+        ledger, base_doc, new_doc, "state_engine",
+        ("benchmark", "cow", "corpus"),
+        [wall, ("peak_rss_kb", args.rss_tol, 0, "KB"),
+         ("sequences_run", args.work_tol, args.min_work, "")],
+        args, check_ok=True, check_hash=True)
+    cmp_section(
+        ledger, base_doc, new_doc, "join_engine",
+        ("indexed",),
+        [wall, ("tuples_scanned", args.work_tol, args.min_work, "")],
+        args)
+    cmp_section(
+        ledger, base_doc, new_doc, "contention",
+        ("benchmark", "jobs", "site"),
+        [("wait_ns", args.wait_tol, args.min_wait_ms * 1e6, "ns")],
+        args)
+
+    for msg in ledger.notes:
+        print(f"note:       {msg}")
+    for msg in ledger.improvements:
+        print(f"improvement: {msg}")
+    for msg in ledger.regressions:
+        print(f"REGRESSION: {msg}")
+    print(f"bench_diff: {len(ledger.regressions)} regression(s), "
+          f"{len(ledger.improvements)} improvement(s)")
+    return 1 if ledger.regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

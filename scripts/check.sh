@@ -5,11 +5,15 @@
 # Address/UndefinedBehaviorSanitizer, the full ctest suite (run three times:
 # with the default engines, with MIGRATOR_NO_INDEX=1 forcing the naive
 # nested-loop join oracle, and with MIGRATOR_NO_COW=1 forcing the deep-copy
-# table-storage oracle), a migrate_tool observability smoke run whose emitted
-# trace/stats JSON is validated with trace_check, and a ThreadSanitizer pass
-# over the parallel synthesis engine (thread pool, portfolio, batched
-# tester, source cache, shared plan cache, lazy index builds, and COW
-# payload sharing across worker threads).
+# table-storage oracle), a migrate_tool observability smoke run whose
+# emitted trace/stats/flight JSON is validated with trace_check (per-worker
+# trace lanes, lock-contention metrics, flight-recorder dump), a
+# deterministic-mode byte-identity check with profiling enabled, a
+# bench_diff.py self-check (quick sweep vs itself must report zero
+# regressions; an injected wall-clock regression must be caught), and a
+# ThreadSanitizer pass over the parallel synthesis engine and the
+# concurrency-observability layer (lock profiling, sharded counters, flight
+# recorder, worker lanes).
 #
 # Usage: scripts/check.sh [build-dir]     (default: build-check)
 #
@@ -48,15 +52,24 @@ trap 'rm -rf "$TMP"' EXIT
 
 "$BUILD/examples/dump_benchmarks" "$TMP/dbp" > /dev/null
 
+# Parallel run with every exporter on: Chrome trace (with per-worker
+# lanes), stats JSON (with lock.* contention metrics and pool.w<I>.*
+# per-worker counters), lock-contention table, flight-recorder dump.
 "$BUILD/examples/migrate_tool" "$TMP/dbp/Oracle-2.dbp" App \
-  Oracle_2Src Oracle_2Tgt \
-  --trace="$TMP/run.trace.json" --stats-json="$TMP/run.stats.json" 120 \
+  Oracle_2Src Oracle_2Tgt --jobs=2 \
+  --trace="$TMP/run.trace.json" --stats-json="$TMP/run.stats.json" \
+  --profile-locks --flight-dump="$TMP/run.flight.json" 120 \
   > /dev/null
 
 "$BUILD/examples/trace_check" --trace \
   --expect synthesize --expect vc.next --expect sketch.generate \
-  --expect solve.sketch "$TMP/run.trace.json"
-"$BUILD/examples/trace_check" "$TMP/run.stats.json"
+  --expect solve.sketch --expect pool.task \
+  --lanes --min-tids 2 "$TMP/run.trace.json"
+"$BUILD/examples/trace_check" --stats \
+  --expect-counter lock.plan_cache.acquisitions \
+  --expect-hist lock.plan_cache.wait_us \
+  --expect-counter pool.w0.tasks "$TMP/run.stats.json"
+"$BUILD/examples/trace_check" --flight "$TMP/run.flight.json"
 
 # The MIGRATOR_TRACE env var must work without the flag.
 MIGRATOR_TRACE="$TMP/env.trace.json" \
@@ -68,8 +81,39 @@ MIGRATOR_TRACE="$TMP/env.trace.json" \
 "$BUILD/examples/migrate_tool" "$TMP/dbp/Ambler-8.dbp" App \
   Ambler_8Src Ambler_8Tgt --no-cow 120 > /dev/null
 
+echo "== deterministic mode is byte-identical with profiling on =="
+"$BUILD/examples/migrate_tool" "$TMP/dbp/Ambler-8.dbp" App \
+  Ambler_8Src Ambler_8Tgt --jobs=2 --deterministic 120 \
+  > "$TMP/det.plain.out"
+"$BUILD/examples/migrate_tool" "$TMP/dbp/Ambler-8.dbp" App \
+  Ambler_8Src Ambler_8Tgt --jobs=2 --deterministic --profile-locks \
+  --flight-dump="$TMP/det.flight.json" 120 \
+  > "$TMP/det.profiled.out"
+cmp "$TMP/det.plain.out" "$TMP/det.profiled.out"
+
+echo "== bench_diff.py regression-ledger self-check =="
+# A quick sweep compared against itself must be clean; the same file with
+# an injected wall-clock regression must trip the ledger.
+MIGRATOR_SWEEP_QUICK=1 MIGRATOR_SWEEP_BENCHMARKS=Ambler-8 \
+  "$BUILD/bench/bench_sweep" "$TMP/bench_a.json" > /dev/null
+python3 "$REPO/scripts/bench_diff.py" --min-wall-sec 0 \
+  "$TMP/bench_a.json" "$TMP/bench_a.json"
+python3 - "$TMP/bench_a.json" "$TMP/bench_b.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for row in doc.get("results") or []:
+    row["wall_sec"] = row.get("wall_sec", 0.0) * 1.5
+json.dump(doc, open(sys.argv[2], "w"))
+PY
+if python3 "$REPO/scripts/bench_diff.py" --min-wall-sec 0 \
+    "$TMP/bench_a.json" "$TMP/bench_b.json" > /dev/null; then
+  echo "error: bench_diff.py missed an injected 50% wall regression" >&2
+  exit 1
+fi
+echo "injected regression caught, self-comparison clean"
+
 if [ "${MIGRATOR_SKIP_TSAN:-0}" != "1" ]; then
-  echo "== ThreadSanitizer: parallel engine =="
+  echo "== ThreadSanitizer: parallel engine + observability =="
   TSAN_BUILD="$BUILD-tsan"
   TSAN_FLAGS="-fsanitize=thread"
   cmake -B "$TSAN_BUILD" -S "$REPO" \
@@ -79,14 +123,16 @@ if [ "${MIGRATOR_SKIP_TSAN:-0}" != "1" ]; then
   cmake --build "$TSAN_BUILD" -j"$(nproc)" --target migrator_tests \
     --target migrate_tool --target dump_benchmarks
   ctest --test-dir "$TSAN_BUILD" --output-on-failure \
-    -R 'ThreadPool|ParallelSynth|SourceCache|SolveStats|TableCow|CowDifferential'
+    -R 'ThreadPool|ParallelSynth|SourceCache|SolveStats|TableCow|CowDifferential|LockProfile|MetricShard|Flight|WorkerLane'
   # A real parallel run under TSan: portfolio + batching + shared cache +
-  # COW payloads shared across workers; then the same with the deep-copy
-  # storage oracle.
+  # COW payloads shared across workers — with lock profiling and the
+  # flight recorder live; then the same with the deep-copy storage oracle.
   "$TSAN_BUILD/examples/dump_benchmarks" "$TMP/dbp-tsan" > /dev/null
   "$TSAN_BUILD/examples/migrate_tool" "$TMP/dbp-tsan/Ambler-8.dbp" App \
-    Ambler_8Src Ambler_8Tgt --jobs=4 --batch=4 --deterministic 120 \
+    Ambler_8Src Ambler_8Tgt --jobs=4 --batch=4 --deterministic \
+    --profile-locks --flight-dump="$TMP/tsan.flight.json" 120 \
     > /dev/null
+  "$TSAN_BUILD/examples/trace_check" --flight "$TMP/tsan.flight.json"
   "$TSAN_BUILD/examples/migrate_tool" "$TMP/dbp-tsan/Ambler-8.dbp" App \
     Ambler_8Src Ambler_8Tgt --jobs=4 --batch=4 --deterministic --no-cow 120 \
     > /dev/null

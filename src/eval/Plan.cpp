@@ -10,6 +10,11 @@
 
 using namespace migrator;
 
+obs::LockSite &migrator::detail::planCacheLockSite() {
+  static obs::LockSite Site("plan_cache");
+  return Site;
+}
+
 namespace {
 
 std::atomic<int> IndexEnabledOverride{-1}; ///< -1 = follow the environment.
@@ -37,7 +42,7 @@ void migrator::setEvalIndexEnabled(bool On) {
 
 std::shared_ptr<const ChainPlan> PlanCache::chainPlan(const JoinChain &C) {
   {
-    std::lock_guard<std::mutex> Lock(M);
+    std::lock_guard<obs::ProfiledMutex> Lock(M);
     auto It = Plans.find(&C);
     if (It != Plans.end() && It->second->Chain == C) {
       MIGRATOR_COUNTER_ADD("plan.cache_hits", 1);
@@ -60,7 +65,7 @@ std::shared_ptr<const ChainPlan> PlanCache::chainPlan(const JoinChain &C) {
   }
   MIGRATOR_COUNTER_ADD("eval.plan_compiles", 1);
 
-  std::lock_guard<std::mutex> Lock(M);
+  std::lock_guard<obs::ProfiledMutex> Lock(M);
   // First insert wins under races; address reuse overwrites the stale plan.
   Plans[&C] = Plan;
   return Plan;

@@ -30,6 +30,7 @@
 #define MIGRATOR_EVAL_PLAN_H
 
 #include "ast/JoinChain.h"
+#include "obs/LockProfile.h"
 #include "relational/Schema.h"
 
 #include <memory>
@@ -38,6 +39,12 @@
 #include <vector>
 
 namespace migrator {
+
+namespace detail {
+/// The shared `plan_cache` lock site (one per-evaluator cache exists per
+/// synthesize() run in practice; all report under one name).
+obs::LockSite &planCacheLockSite();
+} // namespace detail
 
 /// Returns true when the indexed join engine is active (the default).
 /// Disabled by `migrate_tool --no-index`, the MIGRATOR_NO_INDEX=1
@@ -84,7 +91,7 @@ public:
 
 private:
   const Schema &S;
-  std::mutex M;
+  obs::ProfiledMutex M{detail::planCacheLockSite()};
   /// Keyed by chain address for O(1) lookups; every hit is validated
   /// against the stored structural copy before being served.
   std::unordered_map<const JoinChain *, std::shared_ptr<const ChainPlan>>

@@ -1,0 +1,231 @@
+//===- obs/Flight.cpp - Per-thread flight-recorder ring buffer --------------===//
+
+#include "obs/Flight.h"
+
+#include "obs/Json.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include <unistd.h>
+
+using namespace migrator;
+using namespace migrator::obs;
+
+namespace {
+
+/// One thread's ring. Heap-allocated on the owning thread's first record
+/// and deliberately leaked: an exited worker's final moments are exactly
+/// what a postmortem wants to see, so rings outlive their threads.
+///
+/// The mutex is taken for every append and for clean-path reads. Appends
+/// are uncontended in steady state (one writer — the owner), so the cost
+/// is an uncontended lock/unlock pair; dumps are rare. The crash path
+/// reads everything without the mutex, accepting torn entries.
+struct FlightRing {
+  std::mutex M;
+  uint32_t Tid = 0;
+  uint64_t Seq = 0; ///< Total events ever recorded (ring head = Seq % Cap).
+  std::array<FlightEvent, FlightRingCapacity> Slots{};
+
+  FlightRing *Next = nullptr; ///< Intrusive registry list (never unlinked).
+};
+
+struct RingRegistry {
+  std::mutex M;
+  std::atomic<FlightRing *> Head{nullptr};
+};
+
+RingRegistry &ringRegistry() {
+  // Leaked: rings may be dumped during static destruction (crash path).
+  static RingRegistry *R = new RingRegistry();
+  return *R;
+}
+
+FlightRing &myRing() {
+  thread_local FlightRing *Ring = [] {
+    FlightRing *R = new FlightRing();
+    R->Tid = obs::detail::traceCurrentTid();
+    RingRegistry &Reg = ringRegistry();
+    std::lock_guard<std::mutex> Lock(Reg.M);
+    R->Next = Reg.Head.load(std::memory_order_relaxed);
+    Reg.Head.store(R, std::memory_order_release);
+    return R;
+  }();
+  return *Ring;
+}
+
+/// Every registered ring, oldest registration first.
+std::vector<FlightRing *> allRings() {
+  std::vector<FlightRing *> Rings;
+  for (FlightRing *R = ringRegistry().Head.load(std::memory_order_acquire);
+       R; R = R->Next)
+    Rings.push_back(R);
+  std::reverse(Rings.begin(), Rings.end());
+  return Rings;
+}
+
+} // namespace
+
+void obs::setFlightRecorderEnabled(bool On) {
+  obs::detail::FlightEnabledFlag.store(On, std::memory_order_relaxed);
+}
+
+void obs::detail::flightRecord(const char *Name, char Phase, uint64_t TsUs,
+                               uint64_t DurUs) {
+  FlightRing &R = myRing();
+  std::lock_guard<std::mutex> Lock(R.M);
+  FlightEvent &E = R.Slots[R.Seq % FlightRingCapacity];
+  E.Name = Name;
+  E.Phase = Phase;
+  E.TsUs = TsUs;
+  E.DurUs = DurUs;
+  ++R.Seq;
+}
+
+std::vector<FlightLane> obs::flightLanes() {
+  std::vector<FlightLane> Lanes;
+  for (FlightRing *R : allRings()) {
+    std::lock_guard<std::mutex> Lock(R->M);
+    if (R->Seq == 0)
+      continue;
+    FlightLane L;
+    L.Tid = R->Tid;
+    uint64_t Kept = std::min<uint64_t>(R->Seq, FlightRingCapacity);
+    L.Dropped = R->Seq - Kept;
+    L.Events.reserve(Kept);
+    for (uint64_t I = R->Seq - Kept; I < R->Seq; ++I)
+      L.Events.push_back(R->Slots[I % FlightRingCapacity]);
+    Lanes.push_back(std::move(L));
+  }
+  std::sort(Lanes.begin(), Lanes.end(),
+            [](const FlightLane &A, const FlightLane &B) {
+              return A.Tid < B.Tid;
+            });
+  return Lanes;
+}
+
+void obs::flightClear() {
+  for (FlightRing *R : allRings()) {
+    std::lock_guard<std::mutex> Lock(R->M);
+    R->Seq = 0;
+    R->Slots.fill(FlightEvent{});
+  }
+}
+
+std::string obs::flightJson() {
+  std::vector<FlightLane> Lanes = flightLanes();
+  std::ostringstream OS;
+  OS << "{\"flightLanes\":[";
+  for (size_t L = 0; L < Lanes.size(); ++L) {
+    const FlightLane &Lane = Lanes[L];
+    if (L)
+      OS << ",";
+    OS << "{\"tid\":" << Lane.Tid << ",\"dropped\":" << Lane.Dropped
+       << ",\"events\":[";
+    for (size_t I = 0; I < Lane.Events.size(); ++I) {
+      const FlightEvent &E = Lane.Events[I];
+      if (I)
+        OS << ",";
+      OS << "{\"name\":" << jsonString(E.Name ? E.Name : "")
+         << ",\"ph\":\"" << E.Phase << "\",\"ts\":" << E.TsUs;
+      if (E.Phase == 'X')
+        OS << ",\"dur\":" << E.DurUs;
+      OS << "}";
+    }
+    OS << "]}";
+  }
+  OS << "]}";
+  return OS.str();
+}
+
+bool obs::writeFlightJson(const std::string &Path) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return false;
+  Out << flightJson();
+  Out.flush();
+  return static_cast<bool>(Out);
+}
+
+//===----------------------------------------------------------------------===//
+// Crash path
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// write(2) wrapper that tolerates short writes and EINTR; best-effort.
+void fdWrite(int Fd, const char *Buf, size_t Len) {
+  while (Len) {
+    ssize_t N = ::write(Fd, Buf, Len);
+    if (N <= 0)
+      return;
+    Buf += N;
+    Len -= static_cast<size_t>(N);
+  }
+}
+
+void fdWriteStr(int Fd, const char *S) { fdWrite(Fd, S, std::strlen(S)); }
+
+/// Escapes \p Name into \p Buf minimally for JSON (literals are plain
+/// identifiers in practice; anything exotic is replaced with '?'). Not
+/// allocation-free-fancy: just enough to keep output parseable.
+void fdWriteJsonName(int Fd, const char *Name) {
+  char Buf[128];
+  size_t O = 0;
+  Buf[O++] = '"';
+  for (const char *P = Name; *P && O < sizeof(Buf) - 2; ++P) {
+    unsigned char C = static_cast<unsigned char>(*P);
+    Buf[O++] = (C == '"' || C == '\\' || C < 0x20) ? '?' : static_cast<char>(C);
+  }
+  Buf[O++] = '"';
+  fdWrite(Fd, Buf, O);
+}
+
+} // namespace
+
+void obs::flightDumpToFd(int Fd) {
+  // Async-signal best-effort: no locks (a handler interrupting a holder
+  // would self-deadlock), no allocation. Reads race with appenders; a torn
+  // entry prints garbage values for one event, the rest stay intact.
+  fdWriteStr(Fd, "{\"flightLanes\":[");
+  bool FirstLane = true;
+  for (FlightRing *R = ringRegistry().Head.load(std::memory_order_acquire);
+       R; R = R->Next) {
+    uint64_t Seq = R->Seq;
+    if (Seq == 0)
+      continue;
+    char Buf[160];
+    uint64_t Kept = Seq < FlightRingCapacity ? Seq : FlightRingCapacity;
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s{\"tid\":%u,\"dropped\":%llu,\"events\":[",
+                  FirstLane ? "" : ",", R->Tid,
+                  static_cast<unsigned long long>(Seq - Kept));
+    FirstLane = false;
+    fdWriteStr(Fd, Buf);
+    for (uint64_t I = Seq - Kept; I < Seq; ++I) {
+      const FlightEvent &E = R->Slots[I % FlightRingCapacity];
+      if (I != Seq - Kept)
+        fdWriteStr(Fd, ",");
+      fdWriteStr(Fd, "{\"name\":");
+      fdWriteJsonName(Fd, E.Name ? E.Name : "");
+      char Phase = (E.Phase == 'X' || E.Phase == 'i') ? E.Phase : '?';
+      if (Phase == 'X')
+        std::snprintf(Buf, sizeof(Buf), ",\"ph\":\"X\",\"ts\":%llu,\"dur\":%llu}",
+                      static_cast<unsigned long long>(E.TsUs),
+                      static_cast<unsigned long long>(E.DurUs));
+      else
+        std::snprintf(Buf, sizeof(Buf), ",\"ph\":\"%c\",\"ts\":%llu}", Phase,
+                      static_cast<unsigned long long>(E.TsUs));
+      fdWriteStr(Fd, Buf);
+    }
+    fdWriteStr(Fd, "]}");
+  }
+  fdWriteStr(Fd, "]}\n");
+}

@@ -1,0 +1,103 @@
+//===- obs/Flight.h - Per-thread flight-recorder ring buffer ------*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flight recorder: a bounded per-thread ring buffer of the most recent
+/// trace events, so a crashed or wedged parallel run can be diagnosed
+/// postmortem — "what was each worker doing just before it died?" — without
+/// paying for (or sifting through) a full trace of the whole run.
+///
+/// Feeding it costs nothing new at instrumentation sites: every
+/// `MIGRATOR_TRACE_SCOPE` / `MIGRATOR_TRACE_INSTANT` site already records
+/// into the calling thread's ring whenever `setFlightRecorderEnabled(true)`
+/// is in effect (independent of full tracing; see obs/Trace.h). Each ring
+/// holds the last `FlightRingCapacity` events; older ones are overwritten,
+/// and the per-ring `Dropped` count says how many.
+///
+/// Two dump paths with different guarantees:
+///
+///  * `flightJson()` / `writeFlightJson()` — the clean path: takes each
+///    ring's mutex, so it is race-free (TSan-clean) and exact. Used by
+///    `migrate_tool --flight-dump=<file>` at end of run.
+///  * `flightDumpToFd()` — the crash path: lock-free, allocation-free,
+///    reads rings racily and writes with snprintf + write(2). Meant for
+///    fatal-signal handlers where taking a mutex could self-deadlock; the
+///    output is best-effort (a concurrently appending thread may tear one
+///    entry) but every other lane's recent history survives.
+///
+/// Event names are `const char *` literals (the same pointers the trace
+/// macros pass), so rings are fixed-size POD and the crash path can print
+/// them without allocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_OBS_FLIGHT_H
+#define MIGRATOR_OBS_FLIGHT_H
+
+#include "obs/Trace.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace migrator {
+namespace obs {
+
+/// Events retained per thread. Sized to hold a few scheduling quanta of
+/// pool activity (task + idle spans) while keeping a ring in one page.
+constexpr size_t FlightRingCapacity = 256;
+
+/// Turns flight recording on or off (off is the default). Independent of
+/// startTracing()/stopTracing().
+void setFlightRecorderEnabled(bool On);
+
+/// One ring entry. `Name` aliases the site's string literal.
+struct FlightEvent {
+  const char *Name = nullptr;
+  char Phase = 'X';   ///< 'X' complete span, 'i' instant.
+  uint64_t TsUs = 0;  ///< Start, microseconds since the trace epoch.
+  uint64_t DurUs = 0; ///< Span duration (0 for instants).
+};
+
+/// One thread's recent history, oldest first (clean-path copy).
+struct FlightLane {
+  uint32_t Tid = 0;
+  uint64_t Dropped = 0; ///< Events overwritten since the last clear.
+  std::vector<FlightEvent> Events;
+};
+
+/// Copies every thread's ring (including exited threads'), ordered by lane
+/// id. Exact: taken under the per-ring mutexes.
+std::vector<FlightLane> flightLanes();
+
+/// Clears every ring (rings stay registered).
+void flightClear();
+
+/// Renders the rings as one JSON document:
+/// {"flightLanes":[{"tid":..,"dropped":..,
+///   "events":[{"name":..,"ph":"X","ts":..,"dur":..},..]},..]}.
+std::string flightJson();
+
+/// Writes flightJson() to \p Path. Returns false on I/O failure.
+bool writeFlightJson(const std::string &Path);
+
+/// Crash-path dump to a file descriptor (same JSON shape, best-effort
+/// content): async-signal-safe — no locks, no allocation, snprintf into a
+/// stack buffer, write(2) out.
+void flightDumpToFd(int Fd);
+
+namespace detail {
+/// Appends one event to the calling thread's ring. Called from the trace
+/// layer; callers have already checked flightRecorderEnabled().
+void flightRecord(const char *Name, char Phase, uint64_t TsUs,
+                  uint64_t DurUs);
+} // namespace detail
+
+} // namespace obs
+} // namespace migrator
+
+#endif // MIGRATOR_OBS_FLIGHT_H

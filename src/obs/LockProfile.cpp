@@ -1,0 +1,158 @@
+//===- obs/LockProfile.cpp - Instrumented lock wrappers ---------------------===//
+
+#include "obs/LockProfile.h"
+
+#include "obs/Json.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+
+using namespace migrator;
+using namespace migrator::obs;
+
+std::atomic<bool> obs::detail::LockProfilingEnabledFlag{false};
+
+void obs::setLockProfilingEnabled(bool On) {
+  detail::LockProfilingEnabledFlag.store(On, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Site registry
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Head of the intrusive site list plus the mutex guarding registration.
+/// Sites are pushed at static-init time from arbitrary translation units
+/// and never removed; traversal reads Head with acquire so a concurrently
+/// registered site is either fully visible or not seen at all.
+struct SiteRegistry {
+  std::mutex M;
+  std::atomic<LockSite *> Head{nullptr};
+};
+
+SiteRegistry &siteRegistry() {
+  // Leaked: sites may be consulted during static destruction.
+  static SiteRegistry *R = new SiteRegistry();
+  return *R;
+}
+
+} // namespace
+
+LockSite::LockSite(const char *Name) : Name(Name) {
+  SiteRegistry &R = siteRegistry();
+  std::lock_guard<std::mutex> Lock(R.M);
+  Next = R.Head.load(std::memory_order_relaxed);
+  R.Head.store(this, std::memory_order_release);
+}
+
+void LockSite::reset() {
+  Acquisitions.store(0, std::memory_order_relaxed);
+  Contended.store(0, std::memory_order_relaxed);
+  WaitNsTotal.store(0, std::memory_order_relaxed);
+  HoldNsTotal.store(0, std::memory_order_relaxed);
+  WaitUs.reset();
+  HoldUs.reset();
+}
+
+std::vector<const LockSite *> obs::lockSites() {
+  std::vector<const LockSite *> Sites;
+  for (const LockSite *S =
+           siteRegistry().Head.load(std::memory_order_acquire);
+       S; S = S->Next)
+    Sites.push_back(S);
+  // Head is a LIFO stack; present sites in registration order.
+  std::reverse(Sites.begin(), Sites.end());
+  return Sites;
+}
+
+void obs::resetLockProfile() {
+  for (const LockSite *S : lockSites())
+    const_cast<LockSite *>(S)->reset();
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshots and reports
+//===----------------------------------------------------------------------===//
+
+std::vector<LockSiteSnapshot> obs::lockProfileSnapshot() {
+  std::vector<LockSiteSnapshot> Out;
+  for (const LockSite *S : lockSites()) {
+    if (S->acquisitions() == 0)
+      continue;
+    LockSiteSnapshot Snap;
+    Snap.Name = S->name();
+    Snap.Acquisitions = S->acquisitions();
+    Snap.Contended = S->contended();
+    Snap.WaitNs = S->waitNs();
+    Snap.HoldNs = S->holdNs();
+    Snap.WaitUs = S->waitHistogram().snapshot();
+    Snap.HoldUs = S->holdHistogram().snapshot();
+    Out.push_back(std::move(Snap));
+  }
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const LockSiteSnapshot &A, const LockSiteSnapshot &B) {
+                     return A.WaitNs > B.WaitNs;
+                   });
+  return Out;
+}
+
+std::string obs::lockProfileReport() {
+  std::vector<LockSiteSnapshot> Sites = lockProfileSnapshot();
+  std::ostringstream OS;
+  OS << "lock site                 acquisitions   contended     wait_ms     "
+        "hold_ms  wait_p50_us  wait_p95_us\n";
+  char Buf[192];
+  for (const LockSiteSnapshot &S : Sites) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "%-24s %13llu %11llu %11.3f %11.3f %12.0f %12.0f\n",
+                  S.Name.c_str(),
+                  static_cast<unsigned long long>(S.Acquisitions),
+                  static_cast<unsigned long long>(S.Contended),
+                  static_cast<double>(S.WaitNs) / 1e6,
+                  static_cast<double>(S.HoldNs) / 1e6,
+                  S.WaitUs.percentile(0.50), S.WaitUs.percentile(0.95));
+    OS << Buf;
+  }
+  if (Sites.empty())
+    OS << "(no lock acquisitions recorded — was profiling enabled?)\n";
+  return OS.str();
+}
+
+std::string obs::lockProfileJson() {
+  std::vector<LockSiteSnapshot> Sites = lockProfileSnapshot();
+  std::ostringstream OS;
+  OS << "[";
+  for (size_t I = 0; I < Sites.size(); ++I) {
+    const LockSiteSnapshot &S = Sites[I];
+    if (I)
+      OS << ",";
+    OS << "{\"site\":" << jsonString(S.Name)
+       << ",\"acquisitions\":" << S.Acquisitions
+       << ",\"contended\":" << S.Contended << ",\"wait_ns\":" << S.WaitNs
+       << ",\"hold_ns\":" << S.HoldNs
+       << ",\"wait_us_p50\":" << jsonNumber(S.WaitUs.percentile(0.50))
+       << ",\"wait_us_p95\":" << jsonNumber(S.WaitUs.percentile(0.95))
+       << ",\"hold_us_p50\":" << jsonNumber(S.HoldUs.percentile(0.50))
+       << ",\"hold_us_p95\":" << jsonNumber(S.HoldUs.percentile(0.95))
+       << "}";
+  }
+  OS << "]";
+  return OS.str();
+}
+
+void obs::detail::appendLockMetrics(MetricsSnapshot &S) {
+  for (const LockSite *Site : lockSites()) {
+    if (Site->acquisitions() == 0)
+      continue;
+    std::string Prefix = std::string("lock.") + Site->name();
+    S.Counters[Prefix + ".acquisitions"] = Site->acquisitions();
+    S.Counters[Prefix + ".contended"] = Site->contended();
+    S.Counters[Prefix + ".wait_ns"] = Site->waitNs();
+    S.Counters[Prefix + ".hold_ns"] = Site->holdNs();
+    S.Histograms[Prefix + ".wait_us"] = Site->waitHistogram().snapshot();
+    S.Histograms[Prefix + ".hold_us"] = Site->holdHistogram().snapshot();
+  }
+}

@@ -1,0 +1,297 @@
+//===- obs/LockProfile.h - Instrumented lock wrappers -------------*- C++ -*-===//
+//
+// Part of the Migrator project: a reproduction of "Synthesizing Database
+// Programs for Schema Refactoring" (Wang et al., PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lock-contention profiling for the parallel synthesis engine: drop-in
+/// mutex wrappers that attribute acquisition counts, wait time, and hold
+/// time to *named lock sites*, so a jobs=N slowdown can be pinned on the
+/// specific lock that serialized the workers (the source-result cache, the
+/// COW index mutexes, the plan cache, the pool queues, ...).
+///
+/// Model:
+///
+///  * a `LockSite` is a process-lifetime statistics block for one named
+///    site, registered once (usually as a function-local static) in an
+///    intrusive global list — creation never takes a map lookup, so a
+///    per-payload mutex (Table's index mutex is constructed hundreds of
+///    thousands of times per run) costs one pointer store;
+///  * `ProfiledMutex` / `ProfiledSharedMutex` wrap `std::mutex` /
+///    `std::shared_mutex` and satisfy *Lockable*, so `std::lock_guard` /
+///    `std::unique_lock` work unchanged. Many mutexes may share one site:
+///    the four pool deques all report as `pool.queue`;
+///  * profiling is off by default. The disabled path adds one relaxed
+///    atomic load and a predictable branch around the underlying lock call
+///    (measured by `BM_ProfiledMutex*` in bench/bench_micro.cpp), and one
+///    plain load + branch on unlock. Enabled, a lock/unlock pair costs
+///    three `steady_clock` reads plus a handful of relaxed fetch_adds.
+///
+/// Accounting per site: `Acquisitions` (every successful exclusive or
+/// shared acquisition), `Contended` (acquisitions whose initial try_lock
+/// failed), total wait/hold nanoseconds, and log2 microsecond histograms
+/// of wait and hold times (so `--stats-json` can report wait p50/p95 per
+/// site). Hold time is tracked for exclusive holds only — a shared_mutex
+/// has no single holder to carry the acquisition timestamp.
+///
+/// Export: `lockProfileSnapshot()` (ranked by total wait),
+/// `lockProfileReport()` (human table), `lockProfileJson()`; additionally
+/// `MetricsRegistry::snapshot()` folds every touched site into the normal
+/// metrics namespace (`lock.<site>.acquisitions`, `.contended`,
+/// `.wait_ns`, `.hold_ns` counters and `lock.<site>.wait_us` / `.hold_us`
+/// histograms), so `SynthResult::Metrics` deltas and `--stats-json` carry
+/// lock data with no extra plumbing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIGRATOR_OBS_LOCKPROFILE_H
+#define MIGRATOR_OBS_LOCKPROFILE_H
+
+#include "obs/Metrics.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+namespace migrator {
+namespace obs {
+
+//===----------------------------------------------------------------------===//
+// Enable switch
+//===----------------------------------------------------------------------===//
+
+namespace detail {
+extern std::atomic<bool> LockProfilingEnabledFlag;
+
+inline uint64_t lockNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+} // namespace detail
+
+/// True when lock profiling is on. One relaxed load: the guard every
+/// profiled lock operation evaluates first.
+inline bool lockProfilingEnabled() {
+  return detail::LockProfilingEnabledFlag.load(std::memory_order_relaxed);
+}
+
+/// Turns lock profiling on or off (off is the default).
+void setLockProfilingEnabled(bool On);
+
+//===----------------------------------------------------------------------===//
+// LockSite
+//===----------------------------------------------------------------------===//
+
+/// Statistics block for one named lock site. Construct as a static (the
+/// constructor links it into a global intrusive list and never unlinks:
+/// sites, like metric instruments, live for the process lifetime).
+class LockSite {
+public:
+  explicit LockSite(const char *Name);
+
+  LockSite(const LockSite &) = delete;
+  LockSite &operator=(const LockSite &) = delete;
+
+  const char *name() const { return Name; }
+
+  /// Records one successful acquisition that waited \p WaitNs (0 when the
+  /// initial try_lock succeeded). \p WasContended marks a failed try_lock.
+  void recordWait(uint64_t WaitNs, bool WasContended) {
+    Acquisitions.fetch_add(1, std::memory_order_relaxed);
+    if (WasContended)
+      Contended.fetch_add(1, std::memory_order_relaxed);
+    WaitNsTotal.fetch_add(WaitNs, std::memory_order_relaxed);
+    WaitUs.record(WaitNs / 1000);
+  }
+
+  /// Records one exclusive hold of \p HoldNs nanoseconds.
+  void recordHold(uint64_t HoldNs) {
+    HoldNsTotal.fetch_add(HoldNs, std::memory_order_relaxed);
+    HoldUs.record(HoldNs / 1000);
+  }
+
+  uint64_t acquisitions() const {
+    return Acquisitions.load(std::memory_order_relaxed);
+  }
+  uint64_t contended() const {
+    return Contended.load(std::memory_order_relaxed);
+  }
+  uint64_t waitNs() const {
+    return WaitNsTotal.load(std::memory_order_relaxed);
+  }
+  uint64_t holdNs() const {
+    return HoldNsTotal.load(std::memory_order_relaxed);
+  }
+  const Histogram &waitHistogram() const { return WaitUs; }
+  const Histogram &holdHistogram() const { return HoldUs; }
+
+  void reset();
+
+private:
+  friend std::vector<const LockSite *> lockSites();
+
+  const char *Name;
+  std::atomic<uint64_t> Acquisitions{0};
+  std::atomic<uint64_t> Contended{0};
+  std::atomic<uint64_t> WaitNsTotal{0};
+  std::atomic<uint64_t> HoldNsTotal{0};
+  Histogram WaitUs; ///< Wait-time histogram, microsecond samples.
+  Histogram HoldUs; ///< Exclusive-hold histogram, microsecond samples.
+
+  LockSite *Next = nullptr; ///< Intrusive registry list (never unlinked).
+};
+
+/// Every registered site, in registration order (test/export access).
+std::vector<const LockSite *> lockSites();
+
+/// Zeroes every site's statistics (sites stay registered). Also invoked by
+/// MetricsRegistry::reset() so tests that reset the registry stay isolated.
+void resetLockProfile();
+
+//===----------------------------------------------------------------------===//
+// Snapshots and reports
+//===----------------------------------------------------------------------===//
+
+/// Value-type copy of one site's statistics.
+struct LockSiteSnapshot {
+  std::string Name;
+  uint64_t Acquisitions = 0;
+  uint64_t Contended = 0;
+  uint64_t WaitNs = 0;
+  uint64_t HoldNs = 0;
+  HistogramSnapshot WaitUs;
+  HistogramSnapshot HoldUs;
+};
+
+/// Copies every site that recorded at least one acquisition, ranked by
+/// total wait time (descending) — the order a contention investigation
+/// reads them in.
+std::vector<LockSiteSnapshot> lockProfileSnapshot();
+
+/// Human-readable contention table: one line per touched site, ranked by
+/// total wait, with acquisition/contended counts and wait p50/p95.
+std::string lockProfileReport();
+
+/// The same content as one JSON array:
+/// [{"site":..,"acquisitions":..,"contended":..,"wait_ns":..,"hold_ns":..,
+///   "wait_us_p50":..,"wait_us_p95":..,"hold_us_p50":..,"hold_us_p95":..}].
+std::string lockProfileJson();
+
+namespace detail {
+/// Folds every touched lock site into \p Counters / \p Histograms under
+/// the `lock.<site>.*` names. Called by MetricsRegistry::snapshot().
+void appendLockMetrics(MetricsSnapshot &S);
+} // namespace detail
+
+//===----------------------------------------------------------------------===//
+// Profiled lock wrappers
+//===----------------------------------------------------------------------===//
+
+/// Wraps \p MutexT with per-site wait/hold accounting. Satisfies Lockable.
+template <class MutexT> class ProfiledLock {
+public:
+  explicit ProfiledLock(LockSite &Site) : Site(&Site) {}
+
+  ProfiledLock(const ProfiledLock &) = delete;
+  ProfiledLock &operator=(const ProfiledLock &) = delete;
+
+  void lock() {
+    if (!lockProfilingEnabled()) {
+      M.lock();
+      return;
+    }
+    if (M.try_lock()) {
+      Site->recordWait(0, /*WasContended=*/false);
+      AcqNs = detail::lockNowNs();
+      return;
+    }
+    uint64_t T0 = detail::lockNowNs();
+    M.lock();
+    uint64_t T1 = detail::lockNowNs();
+    Site->recordWait(T1 - T0, /*WasContended=*/true);
+    AcqNs = T1;
+  }
+
+  bool try_lock() {
+    if (!lockProfilingEnabled())
+      return M.try_lock();
+    if (!M.try_lock())
+      return false;
+    Site->recordWait(0, /*WasContended=*/false);
+    AcqNs = detail::lockNowNs();
+    return true;
+  }
+
+  void unlock() {
+    // AcqNs is only ever written by the current holder (and read here by
+    // the same holder), so this is a plain load; 0 means the acquisition
+    // was not profiled (profiling was off at lock time).
+    if (AcqNs) {
+      Site->recordHold(detail::lockNowNs() - AcqNs);
+      AcqNs = 0;
+    }
+    M.unlock();
+  }
+
+  /// The profiled site (test access).
+  const LockSite &site() const { return *Site; }
+
+protected:
+  MutexT M;
+  LockSite *Site;
+
+private:
+  /// Exclusive-acquisition timestamp; written and cleared under the lock,
+  /// so ordinary (non-atomic) access is race-free.
+  uint64_t AcqNs = 0;
+};
+
+/// Instrumented `std::mutex`.
+using ProfiledMutex = ProfiledLock<std::mutex>;
+
+/// Instrumented `std::shared_mutex`: exclusive operations account wait and
+/// hold; shared operations account wait only (a shared hold has no single
+/// owner to carry the timestamp, and timing it would need per-thread state
+/// that costs more than it informs).
+class ProfiledSharedMutex : public ProfiledLock<std::shared_mutex> {
+public:
+  using ProfiledLock<std::shared_mutex>::ProfiledLock;
+
+  void lock_shared() {
+    if (!lockProfilingEnabled()) {
+      M.lock_shared();
+      return;
+    }
+    if (M.try_lock_shared()) {
+      Site->recordWait(0, /*WasContended=*/false);
+      return;
+    }
+    uint64_t T0 = detail::lockNowNs();
+    M.lock_shared();
+    Site->recordWait(detail::lockNowNs() - T0, /*WasContended=*/true);
+  }
+
+  bool try_lock_shared() {
+    if (!lockProfilingEnabled())
+      return M.try_lock_shared();
+    if (!M.try_lock_shared())
+      return false;
+    Site->recordWait(0, /*WasContended=*/false);
+    return true;
+  }
+
+  void unlock_shared() { M.unlock_shared(); }
+};
+
+} // namespace obs
+} // namespace migrator
+
+#endif // MIGRATOR_OBS_LOCKPROFILE_H

@@ -3,6 +3,7 @@
 #include "obs/Metrics.h"
 
 #include "obs/Json.h"
+#include "obs/LockProfile.h"
 
 #include <cstdio>
 #include <deque>
@@ -16,6 +17,11 @@ std::atomic<bool> obs::detail::MetricsEnabledFlag{false};
 
 void obs::setMetricsEnabled(bool On) {
   detail::MetricsEnabledFlag.store(On, std::memory_order_relaxed);
+}
+
+size_t obs::detail::nextCounterShardSlot() {
+  static std::atomic<size_t> Next{0};
+  return Next.fetch_add(1, std::memory_order_relaxed) % Counter::NumShards;
 }
 
 //===----------------------------------------------------------------------===//
@@ -35,13 +41,20 @@ double HistogramSnapshot::percentile(double Q) const {
     Rank = 1;
   uint64_t Seen = 0;
   for (size_t B = 0; B < NumBuckets; ++B) {
-    Seen += Buckets[B];
+    uint64_t InBucket = Buckets[B];
+    Seen += InBucket;
     if (Seen >= Rank) {
       if (B == 0)
         return 0; // Bucket 0 holds exactly {0}.
-      // Geometric midpoint of [2^(B-1), 2^B).
+      // Interpolate the rank's position within [2^(B-1), 2^B): samples are
+      // assumed evenly spread across the bucket, each owning 1/InBucket of
+      // its width, evaluated at the slot center. A single-sample bucket
+      // degenerates to the midpoint Lo * 1.5.
       double Lo = static_cast<double>(1ULL << (B - 1));
-      return Lo * 1.5;
+      uint64_t PosInBucket = Rank - (Seen - InBucket); // in [1, InBucket]
+      double Frac = (static_cast<double>(PosInBucket) - 0.5) /
+                    static_cast<double>(InBucket);
+      return Lo + Frac * Lo;
     }
   }
   return 0;
@@ -140,6 +153,9 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     S.Gauges[Name] = G->value();
   for (const auto &[Name, H] : I.Histograms)
     S.Histograms[Name] = H->snapshot();
+  // Touched lock sites ride along as lock.<site>.* counters/histograms, so
+  // SynthResult::Metrics deltas and --stats-json carry contention data.
+  detail::appendLockMetrics(S);
   return S;
 }
 
@@ -152,6 +168,7 @@ void MetricsRegistry::reset() {
     G->reset();
   for (auto &[Name, H] : I.Histograms)
     H->reset();
+  resetLockProfile();
 }
 
 //===----------------------------------------------------------------------===//
@@ -187,10 +204,10 @@ std::string MetricsSnapshot::str() const {
   for (const auto &[Name, H] : Histograms) {
     std::snprintf(Buf, sizeof(Buf),
                   "%-40s count=%-10llu mean=%-10.1f p50=%-10.0f p90=%-10.0f "
-                  "p99=%.0f\n",
+                  "p95=%-10.0f p99=%.0f\n",
                   Name.c_str(), static_cast<unsigned long long>(H.Count),
                   H.mean(), H.percentile(0.50), H.percentile(0.90),
-                  H.percentile(0.99));
+                  H.percentile(0.95), H.percentile(0.99));
     OS << Buf;
   }
   return OS.str();
@@ -224,6 +241,7 @@ std::string MetricsSnapshot::json() const {
        << ",\"mean\":" << jsonNumber(H.mean())
        << ",\"p50\":" << jsonNumber(H.percentile(0.50))
        << ",\"p90\":" << jsonNumber(H.percentile(0.90))
+       << ",\"p95\":" << jsonNumber(H.percentile(0.95))
        << ",\"p99\":" << jsonNumber(H.percentile(0.99)) << ",\"buckets\":[";
     // Trailing zero buckets are elided to keep dumps small.
     size_t Last = H.Buckets.size();

@@ -48,6 +48,17 @@ namespace obs {
 
 namespace detail {
 extern std::atomic<bool> MetricsEnabledFlag;
+
+/// Assigns the calling thread its counter shard slot (round-robin).
+size_t nextCounterShardSlot();
+
+/// The calling thread's counter shard, resolved once per thread. Worker
+/// threads land on distinct slots (round-robin assignment), so concurrent
+/// counter traffic from different workers touches different cache lines.
+inline size_t counterShardIndex() {
+  thread_local size_t Slot = nextCounterShardSlot();
+  return Slot;
+}
 } // namespace detail
 
 /// True when metric collection is on. One relaxed load: the guard every
@@ -63,15 +74,38 @@ void setMetricsEnabled(bool On);
 // Instruments
 //===----------------------------------------------------------------------===//
 
-/// Monotone event counter.
+/// Monotone event counter, internally *sharded per worker thread*: add()
+/// lands on the calling thread's slot (cache-line padded, round-robin
+/// assigned), so concurrent workers never bounce one counter cell between
+/// cores; value()/snapshot merges the shards on flush. Each shard is
+/// monotone, so merged reads are monotone across snapshots too — delta
+/// subtraction stays exact under concurrent flushes.
 class Counter {
 public:
-  void add(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
-  uint64_t value() const { return V.load(std::memory_order_relaxed); }
-  void reset() { V.store(0, std::memory_order_relaxed); }
+  /// Shard count: enough slots that a reasonable worker fleet (jobs <= 16)
+  /// maps 1:1, while keeping a counter's footprint at one page.
+  static constexpr size_t NumShards = 16;
+
+  void add(uint64_t N = 1) {
+    Shards[detail::counterShardIndex() % NumShards].V.fetch_add(
+        N, std::memory_order_relaxed);
+  }
+  uint64_t value() const {
+    uint64_t Sum = 0;
+    for (const Shard &S : Shards)
+      Sum += S.V.load(std::memory_order_relaxed);
+    return Sum;
+  }
+  void reset() {
+    for (Shard &S : Shards)
+      S.V.store(0, std::memory_order_relaxed);
+  }
 
 private:
-  std::atomic<uint64_t> V{0};
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> V{0};
+  };
+  std::array<Shard, NumShards> Shards{};
 };
 
 /// Last-value gauge (e.g. the current sketch's search-space size).
@@ -99,8 +133,11 @@ struct HistogramSnapshot {
 
   double mean() const { return Count ? static_cast<double>(Sum) / Count : 0; }
 
-  /// Approximate value at quantile \p Q in [0, 1]: the geometric midpoint of
-  /// the bucket containing the Q-th sample (exact for bucket-aligned data).
+  /// Approximate value at quantile \p Q in [0, 1]: linear interpolation of
+  /// the ranked sample's position within its log2 bucket (reducing to the
+  /// bucket midpoint for a single-sample bucket). Always inside the
+  /// bucket's [2^(B-1), 2^B) range, so the estimate is within a factor of
+  /// two of the true quantile.
   double percentile(double Q) const;
 
   HistogramSnapshot operator-(const HistogramSnapshot &Base) const;
@@ -155,12 +192,13 @@ struct MetricsSnapshot {
   MetricsSnapshot operator-(const MetricsSnapshot &Base) const;
 
   /// Human-readable dump: one line per instrument, histograms with
-  /// count/mean/p50/p90/p99.
+  /// count/mean/p50/p90/p95/p99.
   std::string str() const;
 
   /// The same content as one JSON object:
   /// {"counters":{...},"gauges":{...},"histograms":{"n":{"count":..,
-  /// "sum":..,"mean":..,"p50":..,"p90":..,"p99":..,"buckets":[..]}}}.
+  /// "sum":..,"mean":..,"p50":..,"p90":..,"p95":..,"p99":..,
+  /// "buckets":[..]}}}.
   std::string json() const;
 };
 

@@ -2,6 +2,7 @@
 
 #include "obs/Trace.h"
 
+#include "obs/Flight.h"
 #include "obs/Json.h"
 
 #include <chrono>
@@ -13,43 +14,70 @@ using namespace migrator;
 using namespace migrator::obs;
 
 std::atomic<bool> obs::detail::TracingEnabledFlag{false};
+std::atomic<bool> obs::detail::FlightEnabledFlag{false};
 
 namespace {
 
 using SteadyClock = std::chrono::steady_clock;
 
-struct TraceBuffer {
+/// One thread's event stream. Appends take only this stream's mutex, so
+/// workers never contend with each other on the hot path; the sink mutex
+/// is taken once per thread (registration) and at clear/export.
+struct ThreadStream {
   std::mutex M;
+  uint32_t Tid = 0;
+  std::string ThreadName; ///< Lane label (empty until setTraceThreadName).
   std::vector<TraceEvent> Events;
+};
+
+struct TraceSink {
+  std::mutex M;
+  std::vector<ThreadStream *> Streams; ///< Leaked; ordered by registration.
   SteadyClock::time_point Epoch = SteadyClock::now();
 };
 
-TraceBuffer &buffer() {
+TraceSink &sink() {
   // Leaked: spans may still be closing during static destruction.
-  static TraceBuffer *B = new TraceBuffer();
-  return *B;
+  static TraceSink *S = new TraceSink();
+  return *S;
 }
 
-uint64_t nowUs() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          SteadyClock::now() - buffer().Epoch)
-          .count());
+ThreadStream &myStream() {
+  // Leaked per thread: an exited worker's events must survive until export.
+  thread_local ThreadStream *Stream = [] {
+    ThreadStream *S = new ThreadStream();
+    S->Tid = obs::detail::traceCurrentTid();
+    TraceSink &Sink = sink();
+    std::lock_guard<std::mutex> Lock(Sink.M);
+    Sink.Streams.push_back(S);
+    return S;
+  }();
+  return *Stream;
 }
 
-uint32_t currentTid() {
+} // namespace
+
+uint32_t obs::detail::traceCurrentTid() {
   static std::atomic<uint32_t> NextTid{1};
   thread_local uint32_t Tid = NextTid.fetch_add(1, std::memory_order_relaxed);
   return Tid;
 }
 
-} // namespace
+uint64_t obs::detail::traceNowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          SteadyClock::now() - sink().Epoch)
+          .count());
+}
 
 void obs::startTracing() {
-  TraceBuffer &B = buffer();
-  std::lock_guard<std::mutex> Lock(B.M);
-  B.Events.clear();
-  B.Epoch = SteadyClock::now();
+  TraceSink &S = sink();
+  std::lock_guard<std::mutex> Lock(S.M);
+  for (ThreadStream *Stream : S.Streams) {
+    std::lock_guard<std::mutex> StreamLock(Stream->M);
+    Stream->Events.clear();
+  }
+  S.Epoch = SteadyClock::now();
   detail::TracingEnabledFlag.store(true, std::memory_order_relaxed);
 }
 
@@ -57,23 +85,61 @@ void obs::stopTracing() {
   detail::TracingEnabledFlag.store(false, std::memory_order_relaxed);
 }
 
+void obs::setTraceThreadName(const std::string &Name) {
+  ThreadStream &S = myStream();
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.ThreadName = Name;
+}
+
 std::vector<TraceEvent> obs::traceEvents() {
-  TraceBuffer &B = buffer();
-  std::lock_guard<std::mutex> Lock(B.M);
-  return B.Events;
+  std::vector<ThreadStream *> Streams;
+  {
+    TraceSink &S = sink();
+    std::lock_guard<std::mutex> Lock(S.M);
+    Streams = S.Streams;
+  }
+  std::vector<TraceEvent> Events;
+  for (ThreadStream *Stream : Streams) {
+    std::lock_guard<std::mutex> Lock(Stream->M);
+    Events.insert(Events.end(), Stream->Events.begin(), Stream->Events.end());
+  }
+  return Events;
+}
+
+std::vector<std::pair<uint32_t, std::string>> obs::traceThreadNames() {
+  std::vector<ThreadStream *> Streams;
+  {
+    TraceSink &S = sink();
+    std::lock_guard<std::mutex> Lock(S.M);
+    Streams = S.Streams;
+  }
+  std::vector<std::pair<uint32_t, std::string>> Names;
+  for (ThreadStream *Stream : Streams) {
+    std::lock_guard<std::mutex> Lock(Stream->M);
+    if (!Stream->ThreadName.empty())
+      Names.emplace_back(Stream->Tid, Stream->ThreadName);
+  }
+  return Names;
 }
 
 void obs::traceInstant(const char *Name) {
-  if (!tracingEnabled())
+  bool TraceOn = tracingEnabled();
+  bool FlightOn = flightRecorderEnabled();
+  if (!TraceOn && !FlightOn)
+    return;
+  uint64_t TsUs = detail::traceNowUs();
+  if (FlightOn)
+    detail::flightRecord(Name, 'i', TsUs, 0);
+  if (!TraceOn)
     return;
   TraceEvent E;
   E.Name = Name;
   E.Phase = 'i';
-  E.TsUs = nowUs();
-  E.Tid = currentTid();
-  TraceBuffer &B = buffer();
-  std::lock_guard<std::mutex> Lock(B.M);
-  B.Events.push_back(std::move(E));
+  E.TsUs = TsUs;
+  E.Tid = detail::traceCurrentTid();
+  ThreadStream &S = myStream();
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.Events.push_back(std::move(E));
 }
 
 //===----------------------------------------------------------------------===//
@@ -81,24 +147,30 @@ void obs::traceInstant(const char *Name) {
 //===----------------------------------------------------------------------===//
 
 TraceScope::TraceScope(const char *Name)
-    : Active(tracingEnabled()), Name(Name) {
-  if (Active)
-    StartUs = nowUs();
+    : TraceOn(tracingEnabled()), FlightOn(flightRecorderEnabled()),
+      Name(Name) {
+  if (TraceOn || FlightOn)
+    StartUs = detail::traceNowUs();
 }
 
 TraceScope::~TraceScope() {
-  if (!Active)
+  if (!TraceOn && !FlightOn)
+    return;
+  uint64_t DurUs = detail::traceNowUs() - StartUs;
+  if (FlightOn)
+    detail::flightRecord(Name, 'X', StartUs, DurUs);
+  if (!TraceOn)
     return;
   TraceEvent E;
   E.Name = Name;
   E.Phase = 'X';
   E.TsUs = StartUs;
-  E.DurUs = nowUs() - StartUs;
-  E.Tid = currentTid();
+  E.DurUs = DurUs;
+  E.Tid = detail::traceCurrentTid();
   E.ArgsJson = std::move(ArgsJson);
-  TraceBuffer &B = buffer();
-  std::lock_guard<std::mutex> Lock(B.M);
-  B.Events.push_back(std::move(E));
+  ThreadStream &S = myStream();
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.Events.push_back(std::move(E));
 }
 
 void TraceScope::appendArg(const char *Key, const std::string &Rendered) {
@@ -110,37 +182,37 @@ void TraceScope::appendArg(const char *Key, const std::string &Rendered) {
 }
 
 TraceScope &TraceScope::arg(const char *Key, const std::string &V) {
-  if (Active)
+  if (TraceOn)
     appendArg(Key, jsonString(V));
   return *this;
 }
 
 TraceScope &TraceScope::arg(const char *Key, const char *V) {
-  if (Active)
+  if (TraceOn)
     appendArg(Key, jsonString(V));
   return *this;
 }
 
 TraceScope &TraceScope::arg(const char *Key, uint64_t V) {
-  if (Active)
+  if (TraceOn)
     appendArg(Key, std::to_string(V));
   return *this;
 }
 
 TraceScope &TraceScope::arg(const char *Key, int64_t V) {
-  if (Active)
+  if (TraceOn)
     appendArg(Key, std::to_string(V));
   return *this;
 }
 
 TraceScope &TraceScope::arg(const char *Key, double V) {
-  if (Active)
+  if (TraceOn)
     appendArg(Key, jsonNumber(V));
   return *this;
 }
 
 TraceScope &TraceScope::arg(const char *Key, bool V) {
-  if (Active)
+  if (TraceOn)
     appendArg(Key, V ? "true" : "false");
   return *this;
 }
@@ -150,13 +222,23 @@ TraceScope &TraceScope::arg(const char *Key, bool V) {
 //===----------------------------------------------------------------------===//
 
 std::string obs::traceJson() {
+  std::vector<std::pair<uint32_t, std::string>> Names = traceThreadNames();
   std::vector<TraceEvent> Events = traceEvents();
   std::ostringstream OS;
   OS << "{\"traceEvents\":[";
-  for (size_t I = 0; I < Events.size(); ++I) {
-    const TraceEvent &E = Events[I];
-    if (I)
+  bool First = true;
+  // Lane labels first: one thread_name metadata event per named stream.
+  for (const auto &[Tid, Name] : Names) {
+    if (!First)
       OS << ",";
+    First = false;
+    OS << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << Tid
+       << ",\"args\":{\"name\":" << jsonString(Name) << "}}";
+  }
+  for (const TraceEvent &E : Events) {
+    if (!First)
+      OS << ",";
+    First = false;
     OS << "{\"name\":" << jsonString(E.Name) << ",\"cat\":\"migrator\""
        << ",\"ph\":\"" << E.Phase << "\",\"ts\":" << E.TsUs;
     if (E.Phase == 'X')

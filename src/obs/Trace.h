@@ -7,7 +7,7 @@
 ///
 /// \file
 /// The tracing half of `migrator_obs`: scoped spans and instant events with
-/// key/value annotations, recorded into an in-memory buffer and exported in
+/// key/value annotations, recorded into *per-thread* streams and exported in
 /// the Chrome `trace_event` JSON format, so a synthesis run can be opened
 /// directly in chrome://tracing or https://ui.perfetto.dev.
 ///
@@ -25,9 +25,21 @@
 /// \endcode
 ///
 /// Spans nest naturally: the viewer stacks same-thread spans by containment
-/// of their [ts, ts+dur) intervals. When tracing is disabled (the default)
-/// every site costs one relaxed atomic load and a branch; no allocation,
-/// no clock read, no locking.
+/// of their [ts, ts+dur) intervals. Each thread appends to its own stream
+/// (own mutex, so appends never contend across workers); streams are merged
+/// only at export. A thread can label its lane with `setTraceThreadName()`
+/// — the pool names its workers `pool-worker-<I>` — which exports as a
+/// `thread_name` metadata event so the viewer shows one labelled lane per
+/// worker with its run/steal/idle timeline.
+///
+/// When tracing is disabled (the default) every site costs one relaxed
+/// atomic load and a branch; no allocation, no clock read, no locking.
+///
+/// Every span/instant site also feeds the flight recorder (obs/Flight.h)
+/// when *that* is enabled: a bounded per-thread ring of recent events that
+/// survives until a crash dump. The two switches are independent — flight
+/// recording is cheap enough to leave on for whole runs that would produce
+/// unmanageably large full traces.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -45,6 +57,13 @@ namespace obs {
 
 namespace detail {
 extern std::atomic<bool> TracingEnabledFlag;
+extern std::atomic<bool> FlightEnabledFlag;
+
+/// This thread's stable per-process trace lane id (assigned on first use).
+uint32_t traceCurrentTid();
+
+/// Microseconds since the trace epoch (reset by startTracing()).
+uint64_t traceNowUs();
 } // namespace detail
 
 /// True when trace collection is on. One relaxed load.
@@ -52,11 +71,21 @@ inline bool tracingEnabled() {
   return detail::TracingEnabledFlag.load(std::memory_order_relaxed);
 }
 
-/// Clears the event buffer and starts collecting.
+/// True when flight recording is on (see obs/Flight.h). One relaxed load.
+inline bool flightRecorderEnabled() {
+  return detail::FlightEnabledFlag.load(std::memory_order_relaxed);
+}
+
+/// Clears the event streams and starts collecting.
 void startTracing();
 
-/// Stops collecting; the buffer is kept for export.
+/// Stops collecting; the streams are kept for export.
 void stopTracing();
+
+/// Labels the calling thread's trace lane (exported as a Chrome
+/// `thread_name` metadata event, shown as the lane title in the viewer).
+/// Safe to call whether or not tracing is currently enabled.
+void setTraceThreadName(const std::string &Name);
 
 /// One recorded event (a complete span, ph == 'X', or an instant, 'i').
 struct TraceEvent {
@@ -68,22 +97,27 @@ struct TraceEvent {
   std::string ArgsJson;  ///< Pre-rendered `"k":v,...` pairs (may be empty).
 };
 
-/// Copies the recorded events (test/debug access).
+/// Copies the recorded events, streams concatenated in lane order — events
+/// from one thread keep their recording order (test/debug access).
 std::vector<TraceEvent> traceEvents();
 
-/// Renders the buffer as a Chrome trace_event JSON document
-/// ({"traceEvents":[...],"displayTimeUnit":"ms",...}).
+/// The registered lane names, as (tid, name) pairs (test/debug access).
+std::vector<std::pair<uint32_t, std::string>> traceThreadNames();
+
+/// Renders the streams as a Chrome trace_event JSON document
+/// ({"traceEvents":[...],"displayTimeUnit":"ms",...}); named lanes lead
+/// with `thread_name` metadata events.
 std::string traceJson();
 
 /// Writes traceJson() to \p Path. Returns false (and leaves a best-effort
 /// partial file) on I/O failure.
 bool writeTraceJson(const std::string &Path);
 
-/// Records an instant event (no-op when disabled).
+/// Records an instant event (no-op when both trace and flight are off).
 void traceInstant(const char *Name);
 
 /// RAII span. Construct via the macros below; when tracing is disabled the
-/// constructor reduces to the enabled check.
+/// constructor reduces to the enabled checks.
 class TraceScope {
 public:
   explicit TraceScope(const char *Name);
@@ -93,6 +127,8 @@ public:
 
   /// Attaches a key/value annotation, rendered into the span's `args`
   /// object. No-ops when the span is inactive. Returns *this for chaining.
+  /// Annotations go to the full trace only — flight-ring entries stay
+  /// fixed-size — so `active()`/arg() answer for tracing, not flight.
   TraceScope &arg(const char *Key, const std::string &V);
   TraceScope &arg(const char *Key, const char *V);
   TraceScope &arg(const char *Key, uint64_t V);
@@ -107,10 +143,11 @@ public:
   TraceScope &arg(const char *Key, double V);
   TraceScope &arg(const char *Key, bool V);
 
-  bool active() const { return Active; }
+  bool active() const { return TraceOn; }
 
 private:
-  bool Active;
+  bool TraceOn;
+  bool FlightOn;
   const char *Name = nullptr;
   uint64_t StartUs = 0;
   std::string ArgsJson;
@@ -139,7 +176,8 @@ private:
 /// Records a point-in-time event.
 #define MIGRATOR_TRACE_INSTANT(NAME)                                           \
   do {                                                                         \
-    if (::migrator::obs::tracingEnabled())                                     \
+    if (::migrator::obs::tracingEnabled() ||                                   \
+        ::migrator::obs::flightRecorderEnabled())                              \
       ::migrator::obs::traceInstant(NAME);                                     \
   } while (0)
 

@@ -13,6 +13,11 @@
 
 using namespace migrator;
 
+obs::LockSite &migrator::detail::tableIndexLockSite() {
+  static obs::LockSite Site("table.index");
+  return Site;
+}
+
 //===----------------------------------------------------------------------===//
 // COW-storage switch (mirrors evalIndexEnabled in eval/Plan.cpp)
 //===----------------------------------------------------------------------===//
@@ -63,7 +68,7 @@ std::shared_ptr<Table::Payload> Table::clonePayload(const Payload &O) {
   // Built indexes carry over warm (rebuilding at every tester snapshot would
   // defeat warmth). The source may be a shared const snapshot with a lazy
   // build in flight, so read its index state under its mutex.
-  std::lock_guard<std::mutex> Lock(O.Idx.M);
+  std::lock_guard<obs::ProfiledMutex> Lock(O.Idx.M);
   N->Idx.Cols.resize(O.Idx.Cols.size());
   for (size_t C = 0; C < O.Idx.Cols.size(); ++C)
     if (O.Idx.Cols[C])
@@ -227,7 +232,7 @@ const std::vector<size_t> *Table::probeIndex(unsigned Col,
   // columns never alias it, and mutation requires exclusive ownership (and,
   // under COW, detaches from the shared payload first).
   IndexState &Idx = P->Idx;
-  std::lock_guard<std::mutex> Lock(Idx.M);
+  std::lock_guard<obs::ProfiledMutex> Lock(Idx.M);
   if (Idx.Cols.size() <= Col)
     Idx.Cols.resize(Schema->getNumAttrs());
   std::unique_ptr<ColumnIndex> &CI = Idx.Cols[Col];
@@ -244,7 +249,7 @@ const std::vector<size_t> *Table::probeIndex(unsigned Col,
 
 bool Table::hasIndex(unsigned Col) const {
   assert(P && "operation on a moved-from table");
-  std::lock_guard<std::mutex> Lock(P->Idx.M);
+  std::lock_guard<obs::ProfiledMutex> Lock(P->Idx.M);
   return Col < P->Idx.Cols.size() && P->Idx.Cols[Col] != nullptr;
 }
 

@@ -42,6 +42,7 @@
 #ifndef MIGRATOR_RELATIONAL_TABLE_H
 #define MIGRATOR_RELATIONAL_TABLE_H
 
+#include "obs/LockProfile.h"
 #include "relational/Schema.h"
 #include "relational/Value.h"
 
@@ -51,6 +52,15 @@
 #include <vector>
 
 namespace migrator {
+
+namespace detail {
+/// The shared `table.index` lock site. One site for every payload's index
+/// mutex: payloads are constructed hundreds of thousands of times per run,
+/// so per-payload site registration (a map lookup or list push) would
+/// serialize exactly the path COW exists to keep cheap — a function-local
+/// static reference costs one pointer store per payload instead.
+obs::LockSite &tableIndexLockSite();
+} // namespace detail
 
 /// Returns true when copy-on-write table storage is active (the default).
 /// Disabled by `migrate_tool --no-cow`, the MIGRATOR_NO_COW=1 environment
@@ -131,7 +141,7 @@ private:
   /// The lazily-built indexes plus the mutex serializing concurrent lazy
   /// builds on shared const snapshots.
   struct IndexState {
-    mutable std::mutex M;
+    mutable obs::ProfiledMutex M{detail::tableIndexLockSite()};
     std::vector<std::unique_ptr<ColumnIndex>> Cols; ///< One slot per attr.
   };
 

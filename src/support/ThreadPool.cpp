@@ -3,10 +3,23 @@
 #include "support/ThreadPool.h"
 
 #include "obs/Metrics.h"
+#include "obs/Trace.h"
 
 #include <cassert>
+#include <chrono>
+#include <string>
 
 using namespace migrator;
+
+obs::LockSite &migrator::detail::poolQueueLockSite() {
+  static obs::LockSite Site("pool.queue");
+  return Site;
+}
+
+obs::LockSite &migrator::detail::poolIdleLockSite() {
+  static obs::LockSite Site("pool.idle_cv");
+  return Site;
+}
 
 namespace {
 
@@ -14,6 +27,35 @@ namespace {
 /// Lets submit() and popOrSteal() prefer the thread's own deque.
 thread_local ThreadPool *CurrentPool = nullptr;
 thread_local unsigned CurrentIndex = 0;
+
+uint64_t elapsedUs(std::chrono::steady_clock::time_point Start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Start)
+          .count());
+}
+
+/// The per-worker instrument bundle, resolved once per worker thread.
+/// References are process-stable (the registry never deallocates), and the
+/// counters are published live — synthesize() snapshots its metrics delta
+/// before the pool is destroyed, so destructor-time publication would be
+/// invisible.
+struct WorkerCounters {
+  obs::Counter &Tasks;
+  obs::Counter &Steals;
+  obs::Counter &RunUs;
+  obs::Counter &IdleUs;
+
+  explicit WorkerCounters(unsigned Index) :
+      Tasks(obs::registry().counter(name(Index, "tasks"))),
+      Steals(obs::registry().counter(name(Index, "steals"))),
+      RunUs(obs::registry().counter(name(Index, "run_us"))),
+      IdleUs(obs::registry().counter(name(Index, "idle_us"))) {}
+
+  static std::string name(unsigned Index, const char *Leaf) {
+    return "pool.w" + std::to_string(Index) + "." + Leaf;
+  }
+};
 
 } // namespace
 
@@ -34,7 +76,7 @@ ThreadPool::~ThreadPool() {
   // leftovers are tasks whose group was abandoned, and dropping them is the
   // only safe option.
   {
-    std::lock_guard<std::mutex> Lock(IdleM);
+    std::lock_guard<obs::ProfiledMutex> Lock(IdleM);
     ShuttingDown = true;
   }
   IdleCv.notify_all();
@@ -53,24 +95,26 @@ void ThreadPool::submit(Task T) {
                      : NextQueue.fetch_add(1, std::memory_order_relaxed) %
                            Queues.size();
   {
-    std::lock_guard<std::mutex> Lock(Queues[Idx]->M);
+    std::lock_guard<obs::ProfiledMutex> Lock(Queues[Idx]->M);
     Queues[Idx]->Q.push_back(std::move(T));
   }
   QueuedTasks.fetch_add(1, std::memory_order_release);
   {
     // Touching IdleM orders this submission against any worker that just
     // re-checked QueuedTasks and is about to block (see workerLoop).
-    std::lock_guard<std::mutex> Lock(IdleM);
+    std::lock_guard<obs::ProfiledMutex> Lock(IdleM);
   }
   IdleCv.notify_one();
 }
 
-bool ThreadPool::popOrSteal(Task &Out) {
+bool ThreadPool::popOrSteal(Task &Out, bool *WasStolen) {
+  if (WasStolen)
+    *WasStolen = false;
   size_t N = Queues.size();
   // Own queue first, back end (LIFO).
   if (CurrentPool == this) {
     WorkQueue &Mine = *Queues[CurrentIndex];
-    std::lock_guard<std::mutex> Lock(Mine.M);
+    std::lock_guard<obs::ProfiledMutex> Lock(Mine.M);
     if (!Mine.Q.empty()) {
       Out = std::move(Mine.Q.back());
       Mine.Q.pop_back();
@@ -85,12 +129,14 @@ bool ThreadPool::popOrSteal(Task &Out) {
           : NextQueue.fetch_add(1, std::memory_order_relaxed);
   for (size_t K = 0; K < N; ++K) {
     WorkQueue &Victim = *Queues[(Start + K) % N];
-    std::lock_guard<std::mutex> Lock(Victim.M);
+    std::lock_guard<obs::ProfiledMutex> Lock(Victim.M);
     if (!Victim.Q.empty()) {
       Out = std::move(Victim.Q.front());
       Victim.Q.pop_front();
       QueuedTasks.fetch_sub(1, std::memory_order_relaxed);
       if (CurrentPool == this) {
+        if (WasStolen)
+          *WasStolen = true;
         NumSteals.fetch_add(1, std::memory_order_relaxed);
         MIGRATOR_COUNTER_ADD("pool.steals", 1);
       }
@@ -117,20 +163,46 @@ bool ThreadPool::tryRunOne() {
 void ThreadPool::workerLoop(unsigned Index) {
   CurrentPool = this;
   CurrentIndex = Index;
+  obs::setTraceThreadName("pool-worker-" + std::to_string(Index));
+  WorkerCounters C(Index);
   while (true) {
     Task T;
-    if (popOrSteal(T)) {
-      runTask(T);
+    bool Stolen = false;
+    if (popOrSteal(T, &Stolen)) {
+      const bool Timed = obs::metricsEnabled();
+      auto T0 = Timed ? std::chrono::steady_clock::now()
+                      : std::chrono::steady_clock::time_point();
+      {
+        MIGRATOR_TRACE_SCOPE_NAMED(Span, "pool.task");
+        Span.arg("worker", Index).arg("stolen", Stolen);
+        runTask(T);
+      }
+      if (Timed) {
+        C.Tasks.add(1);
+        if (Stolen)
+          C.Steals.add(1);
+        C.RunUs.add(elapsedUs(T0));
+      }
       continue;
     }
-    std::unique_lock<std::mutex> Lock(IdleM);
-    if (ShuttingDown)
+    const bool Timed = obs::metricsEnabled();
+    auto I0 = Timed ? std::chrono::steady_clock::now()
+                    : std::chrono::steady_clock::time_point();
+    bool Exit = false;
+    {
+      MIGRATOR_TRACE_SCOPE("pool.idle");
+      std::unique_lock<obs::ProfiledMutex> Lock(IdleM);
+      if (ShuttingDown)
+        Exit = true;
+      // Re-check under the lock: a submit() between our failed scan and
+      // here must be observed, because it takes IdleM before notifying.
+      else if (QueuedTasks.load(std::memory_order_acquire) == 0)
+        IdleCv.wait(Lock);
+    }
+    if (Timed)
+      C.IdleUs.add(elapsedUs(I0));
+    if (Exit)
       return;
-    // Re-check under the lock: a submit() between our failed scan and here
-    // must be observed, because it takes IdleM before notifying.
-    if (QueuedTasks.load(std::memory_order_acquire) > 0)
-      continue;
-    IdleCv.wait(Lock);
   }
 }
 

@@ -23,7 +23,13 @@
 ///    return values, and an escaping exception would terminate.
 ///
 /// Observability: `pool.tasks` counts submissions, `pool.steals` counts
-/// successful cross-worker steals (see docs/OBSERVABILITY.md).
+/// successful cross-worker steals; each worker additionally publishes a
+/// `pool.w<I>.tasks` / `.steals` / `.run_us` / `.idle_us` breakdown, labels
+/// its trace lane `pool-worker-<I>`, and wraps every task execution and
+/// idle wait in `pool.task` / `pool.idle` spans, so `--trace` output shows
+/// per-worker run/steal/idle timelines (see docs/OBSERVABILITY.md). The
+/// deque and idle-CV mutexes are profiled lock sites (`pool.queue`,
+/// `pool.idle_cv`) for `--profile-locks`.
 ///
 /// The pool makes no ordering guarantees; determinism of the synthesis
 /// result is owned by the algorithm layer (see docs/PERFORMANCE.md).
@@ -32,6 +38,8 @@
 
 #ifndef MIGRATOR_SUPPORT_THREADPOOL_H
 #define MIGRATOR_SUPPORT_THREADPOOL_H
+
+#include "obs/LockProfile.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -44,6 +52,13 @@
 #include <vector>
 
 namespace migrator {
+
+namespace detail {
+/// Shared lock sites for the pool's deques (all report as `pool.queue`)
+/// and the idle-wakeup mutex (`pool.idle_cv`).
+obs::LockSite &poolQueueLockSite();
+obs::LockSite &poolIdleLockSite();
+} // namespace detail
 
 class TaskGroup;
 
@@ -81,16 +96,18 @@ private:
     TaskGroup *Group = nullptr;
   };
 
-  /// One worker's deque. A plain mutex per deque: tasks here are coarse
-  /// (whole candidate tests / sketch solves), so queue traffic is far off
-  /// the hot path.
+  /// One worker's deque. A plain (profiled) mutex per deque: tasks here are
+  /// coarse (whole candidate tests / sketch solves), so queue traffic is
+  /// far off the hot path.
   struct WorkQueue {
-    std::mutex M;
+    obs::ProfiledMutex M{detail::poolQueueLockSite()};
     std::deque<Task> Q;
   };
 
   void submit(Task T);
-  bool popOrSteal(Task &Out);
+  /// \p WasStolen (optional) reports whether the task came from another
+  /// worker's deque — the per-worker steal attribution.
+  bool popOrSteal(Task &Out, bool *WasStolen = nullptr);
   void runTask(Task &T);
   void workerLoop(unsigned Index);
 
@@ -99,10 +116,11 @@ private:
 
   /// Wakeup protocol: QueuedTasks counts tasks sitting in queues; a worker
   /// only blocks after re-checking it under IdleM, and submit() touches
-  /// IdleM before notifying, so wakeups cannot be lost.
+  /// IdleM before notifying, so wakeups cannot be lost. (_any variant:
+  /// IdleM is a profiled wrapper, not a std::mutex.)
   std::atomic<size_t> QueuedTasks{0};
-  std::mutex IdleM;
-  std::condition_variable IdleCv;
+  obs::ProfiledMutex IdleM{detail::poolIdleLockSite()};
+  std::condition_variable_any IdleCv;
   bool ShuttingDown = false; ///< Guarded by IdleM.
 
   std::atomic<unsigned> NextQueue{0};

@@ -8,6 +8,11 @@
 
 using namespace migrator;
 
+obs::LockSite &migrator::detail::srcCacheLockSite() {
+  static obs::LockSite Site("src_cache");
+  return Site;
+}
+
 namespace {
 
 void appendValue(std::string &Key, const Value &V) {
@@ -100,7 +105,7 @@ SourceResultCache::extend(const PrefixState &Parent, const Invocation &Inv) {
   std::string Key;
   if (Cacheable) {
     Key = childKey(Parent.Id, '#', Inv);
-    std::lock_guard<std::mutex> Lock(M);
+    std::lock_guard<obs::ProfiledMutex> Lock(M);
     auto It = States.find(Key);
     if (It != States.end()) {
       countHit();
@@ -120,7 +125,7 @@ SourceResultCache::extend(const PrefixState &Parent, const Invocation &Inv) {
                  Uids.peekNext(), 0};
 
   if (Cacheable) {
-    std::lock_guard<std::mutex> Lock(M);
+    std::lock_guard<obs::ProfiledMutex> Lock(M);
     if (States.size() < MaxEntries) {
       St.Id = NextId.fetch_add(1, std::memory_order_relaxed);
       // First insert wins: a racing worker may have computed the same state;
@@ -142,7 +147,7 @@ SourceResultCache::query(const PrefixState &St, const Invocation &Query) {
   std::string Key;
   if (Cacheable) {
     Key = childKey(St.Id, '|', Query);
-    std::lock_guard<std::mutex> Lock(M);
+    std::lock_guard<obs::ProfiledMutex> Lock(M);
     auto It = Results.find(Key);
     if (It != Results.end()) {
       countHit();
@@ -159,7 +164,7 @@ SourceResultCache::query(const PrefixState &St, const Invocation &Query) {
   auto Shared = std::make_shared<const ResultTable>(std::move(*R));
 
   if (Cacheable) {
-    std::lock_guard<std::mutex> Lock(M);
+    std::lock_guard<obs::ProfiledMutex> Lock(M);
     if (Results.size() < MaxEntries) {
       auto [It, Inserted] = Results.try_emplace(std::move(Key), Shared);
       if (!Inserted)

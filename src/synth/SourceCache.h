@@ -45,6 +45,7 @@
 #define MIGRATOR_SYNTH_SOURCECACHE_H
 
 #include "eval/Evaluator.h"
+#include "obs/LockProfile.h"
 #include "relational/Database.h"
 #include "relational/ResultTable.h"
 
@@ -57,6 +58,12 @@
 #include <unordered_map>
 
 namespace migrator {
+
+namespace detail {
+/// The shared `src_cache` lock site (all SourceResultCache instances report
+/// under one name; one cache exists per synthesize() run in practice).
+obs::LockSite &srcCacheLockSite();
+} // namespace detail
 
 /// Memoized execution of one fixed source program over one fixed schema.
 class SourceResultCache {
@@ -118,7 +125,7 @@ private:
   Evaluator Eval;
   std::shared_ptr<const Database> EmptyDB;
 
-  mutable std::mutex M;
+  mutable obs::ProfiledMutex M{detail::srcCacheLockSite()};
   /// Next id handed to a stored prefix state (0 is the implicit root).
   std::atomic<uint64_t> NextId{1};
   std::unordered_map<std::string, PrefixState> States;

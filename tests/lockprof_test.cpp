@@ -1,0 +1,458 @@
+//===- tests/lockprof_test.cpp - Concurrency-observability tests -------------===//
+//
+// Coverage for the concurrency-observability layer: ProfiledMutex wait/hold
+// accounting (LockProfile*), sharded counter merging under concurrent flush
+// (MetricShard*), the per-thread flight recorder (Flight*), and the thread
+// pool's per-worker lanes and counters (WorkerLane*). scripts/check.sh runs
+// these suites under ThreadSanitizer as well.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Flight.h"
+#include "obs/Json.h"
+#include "obs/LockProfile.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fcntl.h>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <unistd.h>
+
+using namespace migrator;
+using namespace migrator::obs;
+
+namespace {
+
+/// Scoped lock-profiling enable; restores the default (off) on exit so
+/// suites stay independent of execution order.
+struct LockProfilingOn {
+  LockProfilingOn() { setLockProfilingEnabled(true); }
+  ~LockProfilingOn() { setLockProfilingEnabled(false); }
+};
+
+struct MetricsOn {
+  MetricsOn() { setMetricsEnabled(true); }
+  ~MetricsOn() { setMetricsEnabled(false); }
+};
+
+struct FlightOn {
+  FlightOn() {
+    flightClear();
+    setFlightRecorderEnabled(true);
+  }
+  ~FlightOn() { setFlightRecorderEnabled(false); }
+};
+
+/// The calling thread's flight lane, or nullptr.
+const FlightLane *laneFor(const std::vector<FlightLane> &Lanes,
+                          uint32_t Tid) {
+  for (const FlightLane &L : Lanes)
+    if (L.Tid == Tid)
+      return &L;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// LockProfile: the instrumented mutex wrappers
+//===----------------------------------------------------------------------===//
+
+TEST(LockProfile, UncontendedAcquisitionsAreCounted) {
+  static LockSite Site("test.lock.uncontended");
+  Site.reset();
+  LockProfilingOn Guard;
+  ProfiledMutex M(Site);
+  for (int I = 0; I < 10; ++I) {
+    std::lock_guard<ProfiledMutex> Lock(M);
+  }
+  EXPECT_EQ(Site.acquisitions(), 10u);
+  EXPECT_EQ(Site.contended(), 0u);
+  // Every exclusive hold lands one histogram sample, however short.
+  EXPECT_EQ(Site.holdHistogram().snapshot().Count, 10u);
+  EXPECT_EQ(Site.waitHistogram().snapshot().Count, 10u);
+}
+
+TEST(LockProfile, HoldTimeIsAttributed) {
+  static LockSite Site("test.lock.hold");
+  Site.reset();
+  LockProfilingOn Guard;
+  ProfiledMutex M(Site);
+  {
+    std::lock_guard<ProfiledMutex> Lock(M);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  // The 5ms sleep happened under the lock: >= 1ms of hold, ~0 wait.
+  EXPECT_GE(Site.holdNs(), 1000000u);
+  EXPECT_LT(Site.waitNs(), Site.holdNs());
+}
+
+TEST(LockProfile, ContendedWaitIsAttributed) {
+  static LockSite Site("test.lock.contended");
+  Site.reset();
+  LockProfilingOn Guard;
+  ProfiledMutex M(Site);
+  std::atomic<bool> Held{false};
+  std::thread Holder([&] {
+    std::lock_guard<ProfiledMutex> Lock(M);
+    Held.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  });
+  while (!Held.load())
+    std::this_thread::yield();
+  {
+    // The holder sleeps ~10ms with the lock: this acquisition must fail
+    // its try_lock and attribute the wait.
+    std::lock_guard<ProfiledMutex> Lock(M);
+  }
+  Holder.join();
+  EXPECT_EQ(Site.acquisitions(), 2u);
+  EXPECT_EQ(Site.contended(), 1u);
+  EXPECT_GE(Site.waitNs(), 1000000u);
+}
+
+TEST(LockProfile, DisabledPathRecordsNothing) {
+  static LockSite Site("test.lock.disabled");
+  Site.reset();
+  ASSERT_FALSE(lockProfilingEnabled());
+  ProfiledMutex M(Site);
+  for (int I = 0; I < 100; ++I) {
+    std::lock_guard<ProfiledMutex> Lock(M);
+  }
+  EXPECT_EQ(Site.acquisitions(), 0u);
+  EXPECT_EQ(Site.contended(), 0u);
+  EXPECT_EQ(Site.waitNs(), 0u);
+  EXPECT_EQ(Site.holdNs(), 0u);
+  EXPECT_EQ(Site.waitHistogram().snapshot().Count, 0u);
+  EXPECT_EQ(Site.holdHistogram().snapshot().Count, 0u);
+}
+
+TEST(LockProfile, ToggledMidHoldRecordsNoHold) {
+  static LockSite Site("test.lock.toggle");
+  Site.reset();
+  ProfiledMutex M(Site);
+  // Acquired unprofiled, released profiled: the unlock must not invent a
+  // hold interval it never timed (AcqNs == 0 sentinel).
+  M.lock();
+  setLockProfilingEnabled(true);
+  M.unlock();
+  setLockProfilingEnabled(false);
+  EXPECT_EQ(Site.acquisitions(), 0u);
+  EXPECT_EQ(Site.holdNs(), 0u);
+}
+
+TEST(LockProfile, SharedAcquisitionsCountWaitOnly) {
+  static LockSite Site("test.lock.shared");
+  Site.reset();
+  LockProfilingOn Guard;
+  ProfiledSharedMutex M(Site);
+  {
+    std::shared_lock<ProfiledSharedMutex> R(M);
+  }
+  EXPECT_EQ(Site.acquisitions(), 1u);
+  EXPECT_EQ(Site.holdHistogram().snapshot().Count, 0u);
+  {
+    std::lock_guard<ProfiledSharedMutex> W(M);
+  }
+  EXPECT_EQ(Site.acquisitions(), 2u);
+  EXPECT_EQ(Site.holdHistogram().snapshot().Count, 1u);
+}
+
+TEST(LockProfile, SnapshotRanksByTotalWait) {
+  static LockSite Quiet("test.lock.rank_quiet");
+  static LockSite Loud("test.lock.rank_loud");
+  Quiet.reset();
+  Loud.reset();
+  Quiet.recordWait(1000, false);
+  Loud.recordWait(50000000, true);
+  std::vector<LockSiteSnapshot> Snap = lockProfileSnapshot();
+  size_t QuietAt = Snap.size(), LoudAt = Snap.size();
+  for (size_t I = 0; I < Snap.size(); ++I) {
+    if (Snap[I].Name == "test.lock.rank_quiet")
+      QuietAt = I;
+    if (Snap[I].Name == "test.lock.rank_loud")
+      LoudAt = I;
+  }
+  ASSERT_LT(QuietAt, Snap.size());
+  ASSERT_LT(LoudAt, Snap.size());
+  EXPECT_LT(LoudAt, QuietAt) << "higher total wait must rank first";
+  Quiet.reset();
+  Loud.reset();
+}
+
+TEST(LockProfile, ReportAndJsonAreWellFormed) {
+  static LockSite Site("test.lock.report");
+  Site.reset();
+  Site.recordWait(2000, true);
+  Site.recordHold(5000);
+  std::string Report = lockProfileReport();
+  EXPECT_NE(Report.find("test.lock.report"), std::string::npos);
+  std::string Json = lockProfileJson();
+  std::string Error;
+  EXPECT_TRUE(validateJson(Json, &Error)) << Error;
+  EXPECT_NE(Json.find("\"site\":\"test.lock.report\""), std::string::npos);
+  Site.reset();
+}
+
+TEST(LockProfile, TouchedSitesFoldIntoMetricsSnapshot) {
+  static LockSite Site("test.lock.folded");
+  Site.reset();
+  LockProfilingOn LockGuard;
+  MetricsOn MetricsGuard;
+  ProfiledMutex M(Site);
+  {
+    std::lock_guard<ProfiledMutex> Lock(M);
+  }
+  MetricsSnapshot S = registry().snapshot();
+  ASSERT_TRUE(S.Counters.count("lock.test.lock.folded.acquisitions"));
+  EXPECT_EQ(S.Counters.at("lock.test.lock.folded.acquisitions"), 1u);
+  EXPECT_TRUE(S.Histograms.count("lock.test.lock.folded.wait_us"));
+  EXPECT_TRUE(S.Histograms.count("lock.test.lock.folded.hold_us"));
+  Site.reset();
+}
+
+TEST(LockProfile, ResetZeroesEverySite) {
+  static LockSite Site("test.lock.resettable");
+  Site.recordWait(123, true);
+  Site.recordHold(456);
+  resetLockProfile();
+  EXPECT_EQ(Site.acquisitions(), 0u);
+  EXPECT_EQ(Site.contended(), 0u);
+  EXPECT_EQ(Site.waitNs(), 0u);
+  EXPECT_EQ(Site.holdNs(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// MetricShard: the per-worker counter shards
+//===----------------------------------------------------------------------===//
+
+TEST(MetricShard, ConcurrentAddsMergeExactly) {
+  Counter C;
+  constexpr int Threads = 8, PerThread = 10000;
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < Threads; ++T)
+    Pool.emplace_back([&C] {
+      for (int I = 0; I < PerThread; ++I)
+        C.add(1);
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  EXPECT_EQ(C.value(), static_cast<uint64_t>(Threads) * PerThread);
+}
+
+TEST(MetricShard, ValueIsMonotoneUnderConcurrentFlush) {
+  // Each shard is monotone, so a merged read can never go backwards even
+  // while writers race the flush — the property delta subtraction needs.
+  Counter C;
+  std::atomic<bool> Stop{false};
+  std::thread Writer([&] {
+    while (!Stop.load(std::memory_order_relaxed))
+      C.add(3);
+  });
+  uint64_t Prev = 0;
+  for (int I = 0; I < 200; ++I) {
+    uint64_t Now = C.value();
+    EXPECT_GE(Now, Prev);
+    Prev = Now;
+  }
+  Stop.store(true);
+  Writer.join();
+  EXPECT_GE(C.value(), Prev);
+}
+
+TEST(MetricShard, DeltaAcrossThreadsIsExact) {
+  MetricsOn Guard;
+  Counter &C = registry().counter("test.shard.delta");
+  MetricsSnapshot Before = registry().snapshot();
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < 4; ++T)
+    Pool.emplace_back([&C] {
+      for (int I = 0; I < 1000; ++I)
+        C.add(1);
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  MetricsSnapshot Delta = registry().snapshot() - Before;
+  EXPECT_EQ(Delta.Counters.at("test.shard.delta"), 4000u);
+}
+
+TEST(MetricShard, ResetZeroesAllShards) {
+  Counter C;
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < 4; ++T)
+    Pool.emplace_back([&C] { C.add(7); });
+  for (std::thread &T : Pool)
+    T.join();
+  ASSERT_GT(C.value(), 0u);
+  C.reset();
+  EXPECT_EQ(C.value(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Flight: the per-thread flight recorder
+//===----------------------------------------------------------------------===//
+
+TEST(Flight, RecordsWithoutTracing) {
+  FlightOn Guard;
+  ASSERT_FALSE(tracingEnabled());
+  MIGRATOR_TRACE_INSTANT("test.flight.instant");
+  {
+    MIGRATOR_TRACE_SCOPE("test.flight.span");
+  }
+  std::vector<FlightLane> Lanes = flightLanes();
+  const FlightLane *Lane = laneFor(Lanes, obs::detail::traceCurrentTid());
+  ASSERT_NE(Lane, nullptr);
+  ASSERT_EQ(Lane->Events.size(), 2u);
+  EXPECT_STREQ(Lane->Events[0].Name, "test.flight.instant");
+  EXPECT_EQ(Lane->Events[0].Phase, 'i');
+  EXPECT_STREQ(Lane->Events[1].Name, "test.flight.span");
+  EXPECT_EQ(Lane->Events[1].Phase, 'X');
+  // The ring fed, the trace stream did not.
+  for (const TraceEvent &E : traceEvents())
+    EXPECT_NE(E.Name, "test.flight.span");
+}
+
+TEST(Flight, RingIsBoundedAndCountsDrops) {
+  FlightOn Guard;
+  constexpr size_t Extra = 100;
+  for (size_t I = 0; I < FlightRingCapacity + Extra; ++I)
+    MIGRATOR_TRACE_INSTANT("test.flight.flood");
+  std::vector<FlightLane> Lanes = flightLanes();
+  const FlightLane *Lane = laneFor(Lanes, obs::detail::traceCurrentTid());
+  ASSERT_NE(Lane, nullptr);
+  EXPECT_EQ(Lane->Events.size(), FlightRingCapacity);
+  EXPECT_EQ(Lane->Dropped, Extra);
+  // Oldest-first: the survivors are the *last* FlightRingCapacity events.
+  EXPECT_LE(Lane->Events.front().TsUs, Lane->Events.back().TsUs);
+}
+
+TEST(Flight, CleanJsonDumpIsWellFormed) {
+  FlightOn Guard;
+  MIGRATOR_TRACE_INSTANT("test.flight.json");
+  std::string Json = flightJson();
+  std::string Error;
+  EXPECT_TRUE(validateJson(Json, &Error)) << Error;
+  EXPECT_NE(Json.find("\"flightLanes\""), std::string::npos);
+  EXPECT_NE(Json.find("\"dropped\""), std::string::npos);
+  EXPECT_NE(Json.find("test.flight.json"), std::string::npos);
+}
+
+TEST(Flight, CrashPathDumpMatchesCleanShape) {
+  FlightOn Guard;
+  MIGRATOR_TRACE_INSTANT("test.flight.crash");
+  char Path[] = "/tmp/migrator_flight_XXXXXX";
+  int Fd = ::mkstemp(Path);
+  ASSERT_GE(Fd, 0);
+  flightDumpToFd(Fd);
+  ::close(Fd);
+  std::ifstream In(Path);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  ::unlink(Path);
+  std::string Text = Buf.str();
+  // Quiescent rings: the racy crash-path dump must agree with the clean
+  // shape and still be parseable JSON.
+  std::string Error;
+  EXPECT_TRUE(validateJson(Text, &Error)) << Error;
+  EXPECT_NE(Text.find("\"flightLanes\""), std::string::npos);
+  EXPECT_NE(Text.find("test.flight.crash"), std::string::npos);
+}
+
+TEST(Flight, ClearEmptiesEveryLane) {
+  FlightOn Guard;
+  MIGRATOR_TRACE_INSTANT("test.flight.cleared");
+  flightClear();
+  std::vector<FlightLane> Lanes = flightLanes();
+  const FlightLane *Lane = laneFor(Lanes, obs::detail::traceCurrentTid());
+  if (Lane) {
+    EXPECT_TRUE(Lane->Events.empty());
+    EXPECT_EQ(Lane->Dropped, 0u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// WorkerLane: per-worker pool counters and trace lanes
+//===----------------------------------------------------------------------===//
+
+TEST(WorkerLane, WorkersPublishPerWorkerCounters) {
+  MetricsOn Guard;
+  registry().reset();
+  constexpr int NumTasks = 8;
+  std::atomic<int> Done{0};
+  {
+    ThreadPool Pool(2);
+    TaskGroup Group(&Pool);
+    for (int I = 0; I < NumTasks; ++I)
+      Group.run([&Done] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        Done.fetch_add(1);
+      });
+    // Spin on our own flag instead of Group.wait(): a helping waiter would
+    // run tasks on this thread and they would escape the per-worker
+    // breakdown.
+    while (Done.load() < NumTasks)
+      std::this_thread::yield();
+  }
+  MetricsSnapshot S = registry().snapshot();
+  for (int W = 0; W < 2; ++W) {
+    std::string Prefix = "pool.w" + std::to_string(W) + ".";
+    EXPECT_TRUE(S.Counters.count(Prefix + "tasks")) << Prefix;
+    EXPECT_TRUE(S.Counters.count(Prefix + "steals")) << Prefix;
+    EXPECT_TRUE(S.Counters.count(Prefix + "run_us")) << Prefix;
+    EXPECT_TRUE(S.Counters.count(Prefix + "idle_us")) << Prefix;
+  }
+  EXPECT_EQ(S.Counters.at("pool.w0.tasks") + S.Counters.at("pool.w1.tasks"),
+            static_cast<uint64_t>(NumTasks));
+  EXPECT_GT(S.Counters.at("pool.w0.run_us") + S.Counters.at("pool.w1.run_us"),
+            0u);
+}
+
+TEST(WorkerLane, LanesAreNamedInTheTrace) {
+  startTracing();
+  {
+    ThreadPool Pool(2);
+    TaskGroup Group(&Pool);
+    std::atomic<int> Done{0};
+    for (int I = 0; I < 4; ++I)
+      Group.run([&Done] { Done.fetch_add(1); });
+    Group.wait();
+  }
+  stopTracing();
+  bool SawW0 = false, SawW1 = false;
+  for (const auto &[Tid, Name] : traceThreadNames()) {
+    SawW0 |= Name == "pool-worker-0";
+    SawW1 |= Name == "pool-worker-1";
+  }
+  EXPECT_TRUE(SawW0);
+  EXPECT_TRUE(SawW1);
+  std::string Json = traceJson();
+  EXPECT_NE(Json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(Json.find("pool-worker-0"), std::string::npos);
+  // Workers wrap their idle waits in spans, so a traced pool always has
+  // pool.idle events even if the main thread helped with every task.
+  bool SawIdle = false;
+  for (const TraceEvent &E : traceEvents())
+    SawIdle |= E.Name == "pool.idle";
+  EXPECT_TRUE(SawIdle);
+}
+
+TEST(WorkerLane, PoolLockSitesAreRegistered) {
+  // The sites register on first pool construction (each test runs in its
+  // own ctest process, so build one here).
+  { ThreadPool Pool(1); }
+  bool SawQueue = false, SawIdleCv = false;
+  for (const LockSite *S : lockSites()) {
+    SawQueue |= std::string(S->name()) == "pool.queue";
+    SawIdleCv |= std::string(S->name()) == "pool.idle_cv";
+  }
+  EXPECT_TRUE(SawQueue);
+  EXPECT_TRUE(SawIdleCv);
+}
+
+} // namespace

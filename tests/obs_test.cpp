@@ -201,6 +201,7 @@ TEST(ObsRegistry, TextAndJsonDumpsAreWellFormed) {
   std::string Text = S.str();
   EXPECT_NE(Text.find("test.dump.counter"), std::string::npos);
   EXPECT_NE(Text.find("42"), std::string::npos);
+  EXPECT_NE(Text.find("p95"), std::string::npos);
   EXPECT_NE(Text.find("p99"), std::string::npos);
 
   std::string Json = S.json();
@@ -208,6 +209,7 @@ TEST(ObsRegistry, TextAndJsonDumpsAreWellFormed) {
   EXPECT_TRUE(validateJson(Json, &Error)) << Error;
   EXPECT_NE(Json.find("\"test.dump.counter\":42"), std::string::npos);
   EXPECT_NE(Json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(Json.find("\"p95\""), std::string::npos);
 }
 
 TEST(ObsRegistry, MacrosAreInertWhenDisabled) {
