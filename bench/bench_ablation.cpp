@@ -14,6 +14,10 @@
 //  7. parallel engine — threads × batch sweep and source-cache on/off under
 //     the stress configuration (first-alternative bias off, so candidate
 //     testing dominates); see docs/PERFORMANCE.md.
+//  8. striped source cache at jobs=1 — the measurement behind the
+//     SourceCacheMinJobs default: does forcing the (now lock-striped)
+//     memo on a sequential run pay for its key hashing and state storage,
+//     or does the COW-backed recompute still win single-threaded?
 //
 //===----------------------------------------------------------------------===//
 
@@ -163,6 +167,28 @@ int main() {
     NoCache.Solver.BiasFirstAlternatives = false;
     NoCache.UseSourceCache = false;
     runConfig("source cache off", B, NoCache, 300);
+  }
+
+  // 8: the SourceCacheMinJobs policy measurement. Both configurations run
+  // sequentially (jobs=1, bias off); the only difference is whether the
+  // striped source-result memo is forced on. PR 8's striping removes
+  // cross-worker contention but cannot remove the per-probe key hashing
+  // and per-state storage a sequential run pays — if "cache on" loses
+  // here, the auto-disable default (SourceCacheMinJobs=2) stands.
+  for (const char *Name : {"Ambler-8", "coachup", "MathHotSpot"}) {
+    Benchmark B = loadBenchmark(Name);
+    std::printf("\n[%s] striped source cache at jobs=1 (bias off)\n", Name);
+    SynthOptions CacheOn;
+    CacheOn.Solver.BiasFirstAlternatives = false;
+    CacheOn.Deterministic = true;
+    CacheOn.UseSourceCache = true;
+    CacheOn.SourceCacheMinJobs = 1; // Force on despite jobs=1.
+    runConfig("striped cache on", B, CacheOn, 300);
+    SynthOptions CacheOff;
+    CacheOff.Solver.BiasFirstAlternatives = false;
+    CacheOff.Deterministic = true;
+    CacheOff.UseSourceCache = false;
+    runConfig("striped cache off", B, CacheOff, 300);
   }
   return 0;
 }

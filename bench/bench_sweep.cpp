@@ -1,4 +1,4 @@
-//===- bench/bench_sweep.cpp - Engine sweep (BENCH_PR6.json) ----------------===//
+//===- bench/bench_sweep.cpp - Engine sweep (BENCH_PR8.json) ----------------===//
 //
 // Measures the parallel synthesis engine, the indexed join engine, and the
 // copy-on-write state engine (docs/PERFORMANCE.md) and emits a
@@ -23,15 +23,29 @@
 //  * a contention section: each benchmark re-run at the sweep's widest
 //    jobs setting with lock profiling on, reporting per-site acquisition/
 //    contended counts, total wait/hold nanoseconds, and wait p50/p95 —
-//    which named lock the workers actually serialized on;
+//    which named lock the workers actually serialized on. The striped
+//    source cache reports per-stripe sites (src_cache.s0..s15); this
+//    section additionally emits a synthetic summed `src_cache` row so the
+//    ledger stays comparable across the PR 8 resharding;
+//  * a scaling section (PR 8): each benchmark synthesized at jobs in
+//    {1, 2, 4, 8} (thread counts beyond what the host can actually run in
+//    parallel are dropped), recording wall-clock, speedup and per-thread
+//    efficiency relative to jobs=1, the pool's task/steal counters, and
+//    the FNV-1a program hash — which must be identical at every thread
+//    count (deterministic mode). On a host that cannot run the full curve
+//    the section carries a machine-readable `skipped: true` marker plus a
+//    `skip_reason`, and the truncated rows still gate "more threads must
+//    not be slower" via scripts/bench_diff.py;
 //  * a meta block (git SHA, compiler, build type, nproc, CPU model,
 //    timestamp) so every BENCH_*.json in the ledger is attributable to a
-//    revision and a host. The sweep *refuses to run* when the scheduler
-//    affinity mask (nproc) disagrees with hardware_concurrency — numbers
-//    from a constrained container would silently poison the trajectory —
-//    unless MIGRATOR_SWEEP_IGNORE_NPROC=1 overrides.
+//    revision and a host. When the scheduler affinity mask (nproc)
+//    disagrees with hardware_concurrency — a constrained container — the
+//    sweep *runs anyway* and self-labels: both numbers land in the meta
+//    block and the scaling section's skip marker reflects the effective
+//    (smaller) core count. MIGRATOR_SWEEP_IGNORE_NPROC=1 silences the
+//    warning; it is no longer required to run.
 //
-// Usage: bench_sweep [output.json]     (default BENCH_PR6.json)
+// Usage: bench_sweep [output.json]     (default BENCH_PR8.json)
 //
 // Environment: MIGRATOR_BENCH_BUDGET caps the per-run budget (seconds);
 // MIGRATOR_SWEEP_BENCHMARKS is a comma-separated benchmark-name override;
@@ -57,6 +71,7 @@
 #include "relational/Table.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -462,29 +477,37 @@ std::string metaJson(bool Quick) {
   return O.str();
 }
 
-/// A sweep on a host whose affinity mask hides cores would record scaling
-/// numbers that look like engine regressions. Refuse, loudly, unless
-/// explicitly overridden.
+/// The cores this run can actually exercise in parallel: the smaller of
+/// the affinity mask and the machine's core count. Everything that labels
+/// or truncates the scaling sweep keys off this one number.
+unsigned effectiveCores() {
+  unsigned Nproc = affinityNproc();
+  unsigned Hw = std::thread::hardware_concurrency();
+  if (Hw == 0)
+    return Nproc ? Nproc : 1;
+  return std::min(Nproc ? Nproc : Hw, Hw);
+}
+
+/// A sweep on a host whose affinity mask hides cores used to refuse to run
+/// outright; since PR 8 the report is *self-labeling* — meta records both
+/// nproc and hardware_concurrency, and the scaling section carries a skip
+/// marker sized to the effective core count — so the sweep just warns.
+/// MIGRATOR_SWEEP_IGNORE_NPROC=1 silences the warning (kept for script
+/// compatibility; it no longer changes behaviour).
 void checkNprocAgreement() {
   unsigned Nproc = affinityNproc();
   unsigned Hw = std::thread::hardware_concurrency();
   if (Nproc == Hw || Hw == 0)
     return;
   const char *Ignore = std::getenv("MIGRATOR_SWEEP_IGNORE_NPROC");
-  if (Ignore && *Ignore && std::string_view(Ignore) != "0") {
-    std::fprintf(stderr,
-                 "warning: nproc (%u) != hardware_concurrency (%u); "
-                 "proceeding under MIGRATOR_SWEEP_IGNORE_NPROC\n",
-                 Nproc, Hw);
+  if (Ignore && *Ignore && std::string_view(Ignore) != "0")
     return;
-  }
   std::fprintf(stderr,
-               "error: scheduler affinity grants %u CPU(s) but the machine "
-               "reports %u — thread-scaling numbers from this run would be "
-               "misleading.\nUnpin the process, or set "
-               "MIGRATOR_SWEEP_IGNORE_NPROC=1 to record them anyway.\n",
-               Nproc, Hw);
-  std::exit(1);
+               "warning: scheduler affinity grants %u CPU(s) but the machine "
+               "reports %u — thread-scaling rows will be labeled with the "
+               "effective core count (%u) and the scaling section marked "
+               "accordingly.\n",
+               Nproc, Hw, effectiveCores());
 }
 
 //===----------------------------------------------------------------------===//
@@ -533,6 +556,17 @@ std::vector<ContentionRow> runContention(const Benchmark &B, unsigned Jobs) {
   obs::setLockProfilingEnabled(false);
 
   std::vector<ContentionRow> Rows;
+  // The striped source cache reports one site per stripe (src_cache.s0..).
+  // Ledger baselines predate the resharding and key contention rows by
+  // (benchmark, jobs, site), so alongside the per-stripe rows emit one
+  // synthetic `src_cache` row summing the counts across stripes; its
+  // percentiles are the worst stripe's (an upper bound — per-stripe
+  // percentiles cannot be merged exactly).
+  ContentionRow Agg;
+  Agg.Bench = B.Name;
+  Agg.Jobs = Jobs;
+  Agg.Site = "src_cache";
+  bool SawStripe = false;
   for (const obs::LockSiteSnapshot &S : obs::lockProfileSnapshot()) {
     ContentionRow Row;
     Row.Bench = B.Name;
@@ -544,6 +578,15 @@ std::vector<ContentionRow> runContention(const Benchmark &B, unsigned Jobs) {
     Row.HoldNs = S.HoldNs;
     Row.WaitUsP50 = S.WaitUs.percentile(0.50);
     Row.WaitUsP95 = S.WaitUs.percentile(0.95);
+    if (Row.Site.rfind("src_cache.s", 0) == 0) {
+      SawStripe = true;
+      Agg.Acquisitions += Row.Acquisitions;
+      Agg.Contended += Row.Contended;
+      Agg.WaitNs += Row.WaitNs;
+      Agg.HoldNs += Row.HoldNs;
+      Agg.WaitUsP50 = std::max(Agg.WaitUsP50, Row.WaitUsP50);
+      Agg.WaitUsP95 = std::max(Agg.WaitUsP95, Row.WaitUsP95);
+    }
     std::printf("  %-16s jobs=%u %-14s acq=%llu contended=%llu "
                 "wait=%.2fms hold=%.2fms\n",
                 B.Name.c_str(), Jobs, Row.Site.c_str(),
@@ -553,15 +596,181 @@ std::vector<ContentionRow> runContention(const Benchmark &B, unsigned Jobs) {
                 static_cast<double>(Row.HoldNs) / 1e6);
     Rows.push_back(std::move(Row));
   }
+  if (SawStripe) {
+    std::printf("  %-16s jobs=%u %-14s acq=%llu contended=%llu "
+                "wait=%.2fms hold=%.2fms  (summed over stripes)\n",
+                B.Name.c_str(), Jobs, Agg.Site.c_str(),
+                static_cast<unsigned long long>(Agg.Acquisitions),
+                static_cast<unsigned long long>(Agg.Contended),
+                static_cast<double>(Agg.WaitNs) / 1e6,
+                static_cast<double>(Agg.HoldNs) / 1e6);
+    Rows.push_back(std::move(Agg));
+  }
   std::fflush(stdout);
   obs::resetLockProfile();
   return Rows;
 }
 
+//===----------------------------------------------------------------------===//
+// Scaling section: the speedup curve (or its honest absence)
+//===----------------------------------------------------------------------===//
+
+/// One benchmark at one thread count, under the exact configuration a
+/// parallel user would run (default source-cache policy, batch 4,
+/// deterministic).
+struct ScalingRow {
+  std::string Bench;
+  unsigned Jobs = 1;
+  unsigned Batch = 4;
+  bool Ok = false;
+  double WallSec = 0;
+  double Speedup = 1.0;    ///< wall(jobs=1) / wall(this row).
+  double Efficiency = 1.0; ///< Speedup / Jobs — per-thread yield.
+  uint64_t PoolTasks = 0;
+  uint64_t PoolSteals = 0;
+  double StealRate = 0; ///< PoolSteals / PoolTasks.
+  std::string ProgHash;
+
+  std::string json() const {
+    std::ostringstream O;
+    O << "{\"benchmark\": " << obs::jsonString(Bench)
+      << ", \"jobs\": " << Jobs << ", \"batch\": " << Batch
+      << ", \"ok\": " << (Ok ? "true" : "false")
+      << ", \"wall_sec\": " << obs::jsonNumber(WallSec)
+      << ", \"speedup\": " << obs::jsonNumber(Speedup)
+      << ", \"efficiency\": " << obs::jsonNumber(Efficiency)
+      << ", \"pool_tasks\": " << PoolTasks
+      << ", \"pool_steals\": " << PoolSteals
+      << ", \"steal_rate\": " << obs::jsonNumber(StealRate)
+      << ", \"prog_hash\": " << obs::jsonString(ProgHash) << "}";
+    return O.str();
+  }
+};
+
+/// The whole section: swept rows plus the machine-readable skip marker for
+/// hosts that cannot run the full {1, 2, 4, 8} curve.
+struct ScalingSection {
+  bool Skipped = false;
+  std::string SkipReason;
+  unsigned EffectiveCores = 1;
+  std::vector<unsigned> JobsSwept;
+  std::vector<ScalingRow> Rows;
+
+  std::string json() const {
+    std::ostringstream O;
+    O << "{\n    \"skipped\": " << (Skipped ? "true" : "false")
+      << ",\n    \"skip_reason\": " << obs::jsonString(SkipReason)
+      << ",\n    \"effective_cores\": " << EffectiveCores
+      << ",\n    \"jobs_swept\": [";
+    for (size_t I = 0; I < JobsSwept.size(); ++I)
+      O << JobsSwept[I] << (I + 1 < JobsSwept.size() ? ", " : "");
+    O << "],\n    \"rows\": [\n";
+    for (size_t I = 0; I < Rows.size(); ++I)
+      O << "      " << Rows[I].json() << (I + 1 < Rows.size() ? ",\n" : "\n");
+    O << "    ]\n  }";
+    return O.str();
+  }
+};
+
+ScalingRow runScaling(const Benchmark &B, unsigned Jobs) {
+  SynthOptions Opts;
+  Opts.Solver.BiasFirstAlternatives = false; // Stress: testing dominates.
+  Opts.Jobs = Jobs;
+  Opts.Solver.Batch = 4;
+  Opts.Deterministic = true;
+  // Cache forced on at every thread count: the default SourceCacheMinJobs
+  // policy would flip the cache on between jobs=1 and jobs=2, and a
+  // scaling curve is only a scaling curve if thread count is the sole
+  // variable. (The policy itself is measured by bench_ablation Sec. 8.)
+  Opts.UseSourceCache = true;
+  Opts.SourceCacheMinJobs = 1;
+  Opts.TimeBudgetSec = budgetFor(B);
+
+  Timer Clock;
+  SynthResult R = synthesize(B.Source, B.Prog, B.Target, Opts);
+
+  ScalingRow Row;
+  Row.Bench = B.Name;
+  Row.Jobs = Jobs;
+  Row.Ok = R.succeeded();
+  Row.WallSec = Clock.elapsedSeconds();
+  Row.PoolTasks = counterOf(R, "pool.tasks");
+  Row.PoolSteals = counterOf(R, "pool.steals");
+  Row.StealRate = Row.PoolTasks
+                      ? static_cast<double>(Row.PoolSteals) /
+                            static_cast<double>(Row.PoolTasks)
+                      : 0.0;
+  Row.ProgHash = progHash(R);
+  return Row;
+}
+
+/// Runs the weak/strong-scaling sweep. The full curve is jobs in
+/// {1, 2, 4, 8}; thread counts the host cannot run in parallel are dropped
+/// (always keeping jobs=2, so every report — including single-core hosts —
+/// gates "adding a thread must not cost wall-clock"), and any truncation
+/// sets the skip marker bench_diff.py keys on.
+ScalingSection runScalingSweep(const std::vector<std::string> &Names,
+                               bool Quick) {
+  ScalingSection Sec;
+  Sec.EffectiveCores = effectiveCores();
+  const std::vector<unsigned> FullCurve = {1u, 2u, 4u, 8u};
+  for (unsigned J : FullCurve)
+    if (J <= std::max(2u, Quick ? 2u : Sec.EffectiveCores))
+      Sec.JobsSwept.push_back(J);
+  if (Sec.JobsSwept.size() < FullCurve.size()) {
+    Sec.Skipped = true;
+    std::ostringstream R;
+    if (Quick && Sec.EffectiveCores >= 4)
+      R << "quick mode: sweep truncated to jobs<=2";
+    else
+      R << "host has " << Sec.EffectiveCores << " effective core(s) (nproc="
+        << affinityNproc()
+        << ", hardware_concurrency=" << std::thread::hardware_concurrency()
+        << "); speedup curve beyond jobs=2 not measurable";
+    Sec.SkipReason = R.str();
+  }
+
+  std::printf("Scaling sweep (jobs in {");
+  for (size_t I = 0; I < Sec.JobsSwept.size(); ++I)
+    std::printf("%u%s", Sec.JobsSwept[I],
+                I + 1 < Sec.JobsSwept.size() ? ", " : "");
+  std::printf("}%s)\n", Sec.Skipped ? ", truncated" : "");
+
+  for (const std::string &Name : Names) {
+    Benchmark B = loadBenchmark(Name);
+    double BaseWall = 0;
+    std::string BaseHash;
+    for (unsigned Jobs : Sec.JobsSwept) {
+      ScalingRow Row = runScaling(B, Jobs);
+      if (Jobs == 1) {
+        BaseWall = Row.WallSec;
+        BaseHash = Row.ProgHash;
+      }
+      if (BaseWall > 0 && Row.WallSec > 0)
+        Row.Speedup = BaseWall / Row.WallSec;
+      Row.Efficiency = Row.Speedup / static_cast<double>(Row.Jobs);
+      std::printf("  %-16s jobs=%u %-4s wall=%.2fs speedup=%.2fx "
+                  "eff=%.2f steals=%llu/%llu hash=%s\n",
+                  B.Name.c_str(), Jobs, Row.Ok ? "ok" : "FAIL", Row.WallSec,
+                  Row.Speedup, Row.Efficiency,
+                  static_cast<unsigned long long>(Row.PoolSteals),
+                  static_cast<unsigned long long>(Row.PoolTasks),
+                  Row.ProgHash.c_str());
+      if (Row.Ok && !BaseHash.empty() && Row.ProgHash != BaseHash)
+        std::printf("  WARNING: %s program hash diverged at jobs=%u "
+                    "(determinism violation)\n",
+                    Name.c_str(), Jobs);
+      Sec.Rows.push_back(std::move(Row));
+    }
+    std::fflush(stdout);
+  }
+  return Sec;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
-  const char *OutPath = Argc > 1 ? Argv[1] : "BENCH_PR6.json";
+  const char *OutPath = Argc > 1 ? Argv[1] : "BENCH_PR8.json";
   const bool Quick = quickMode();
   if (Quick && !std::getenv("MIGRATOR_BENCH_BUDGET"))
     setenv("MIGRATOR_BENCH_BUDGET", "3", 1);
@@ -591,6 +800,10 @@ int main(int Argc, char **Argv) {
     // Cache ablation at jobs=1: hardware-independent work reduction.
     Rows.push_back(runOne(B, /*Jobs=*/1, /*Batch=*/1, /*UseCache=*/false));
   }
+
+  // Scaling sweep: the speedup curve (or its honest, machine-readable
+  // absence on hosts without the cores).
+  ScalingSection Scaling = runScalingSweep(Names, Quick);
 
   // Contention pass: the widest parallel configuration again, this time
   // with lock profiling on — which named lock did the workers wait on?
@@ -638,7 +851,8 @@ int main(int Argc, char **Argv) {
   std::ostringstream Out;
   Out << "{\n  \"meta\": " << metaJson(Quick)
       << ",\n  \"hardware_concurrency\": "
-      << std::thread::hardware_concurrency() << ",\n  \"contention\": [\n";
+      << std::thread::hardware_concurrency()
+      << ",\n  \"scaling\": " << Scaling.json() << ",\n  \"contention\": [\n";
   for (size_t I = 0; I < ContRows.size(); ++I)
     Out << "    " << ContRows[I].json()
         << (I + 1 < ContRows.size() ? ",\n" : "\n");

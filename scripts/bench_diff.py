@@ -5,16 +5,27 @@ Usage:
     scripts/bench_diff.py [options] BASELINE.json NEW.json
 
 Compares the two reports section by section — `results` (the parallel
-engine sweep), `state_engine`, `join_engine`, and `contention` — matching
-rows by their configuration key and flagging regressions beyond tolerance:
+engine sweep), `state_engine`, `join_engine`, `contention`, and `scaling`
+(the jobs-sweep speedup curve) — matching rows by their configuration key
+and flagging regressions beyond tolerance:
 
   * wall-clock per row            (--wall-tol, default +10%)
   * peak RSS per state-engine row (--rss-tol, default +15%)
   * sequences_run / work counters (--work-tol, default +25%)
   * total lock wait per site      (--wait-tol, default +50%)
+  * per-thread scaling efficiency (--eff-tol, default -20%; efficiency is
+    higher-is-better, so the tolerance bounds *loss*)
   * a benchmark that succeeded in the baseline but fails in the new run
   * a state-engine prog_hash that changed between runs of the same config
   * a baseline row with no matching row in the new run (coverage loss)
+
+The scaling section additionally self-checks the NEW report: within one
+benchmark, raising the thread count must never cost more than --eff-tol
+wall-clock over the jobs=1 row (even on a single-core host, where the
+curve is truncated and `scaling.skipped` is true), and the deterministic
+program hash must be identical at every swept thread count. Rows a
+truncated (skipped) new-run sweep could not produce are reported as notes,
+not regressions — the skip marker is machine-readable on purpose.
 
 Rows whose baseline wall time is below --min-wall-sec (default 0.25s) skip
 the wall comparison: sub-quarter-second runs are scheduler noise. Counter
@@ -131,6 +142,106 @@ def cmp_section(ledger, base_doc, new_doc, section, key_fields, metrics,
         ledger.note(f"{section}: {len(extra)} new row(s) not in baseline")
 
 
+def scaling_rows(doc):
+    """The scaling section stores its rows nested under the skip marker."""
+    sec = doc.get("scaling")
+    if not isinstance(sec, dict):
+        return {}, {}
+    out = {}
+    for row in sec.get("rows") or []:
+        try:
+            key = (row["benchmark"], row["jobs"])
+        except (KeyError, TypeError):
+            continue
+        out[key] = row
+    return sec, out
+
+
+def cmp_scaling(ledger, base_doc, new_doc, args):
+    bsec, base = scaling_rows(base_doc)
+    nsec, new = scaling_rows(new_doc)
+    if nsec and nsec.get("skipped"):
+        ledger.note(f"scaling: new run truncated "
+                    f"({nsec.get('skip_reason') or 'no reason recorded'})")
+    swept = set(nsec.get("jobs_swept") or []) if nsec else set()
+    for key, brow in sorted(base.items(), key=lambda kv: str(kv[0])):
+        where = key_str("scaling", key)
+        nrow = new.get(key)
+        if nrow is None:
+            if nsec.get("skipped") and key[1] not in swept:
+                ledger.note(f"{where}: not swept by truncated new run")
+            else:
+                ledger.regress(
+                    f"{where}: present in baseline, missing in new run")
+            continue
+        if brow.get("ok") and not nrow.get("ok"):
+            ledger.regress(f"{where}: succeeded in baseline, FAILS in new run")
+            continue
+        cmp_metric(ledger, where, "wall_sec", brow.get("wall_sec"),
+                   nrow.get("wall_sec"), args.wall_tol, args.min_wall_sec,
+                   "s")
+        # Efficiency is higher-is-better: regress on *loss* beyond --eff-tol.
+        beff, neff = brow.get("efficiency"), nrow.get("efficiency")
+        if (beff is not None and neff is not None and beff > 0
+                and brow.get("wall_sec", 0) >= args.min_wall_sec):
+            if neff < beff * (1.0 - args.eff_tol):
+                ledger.regress(
+                    f"{where}: efficiency {beff:.2f} -> {neff:.2f} "
+                    f"({100.0 * (neff - beff) / beff:+.1f}%, "
+                    f"tol -{100.0 * args.eff_tol:.0f}%)")
+            elif neff > beff * (1.0 + args.eff_tol):
+                ledger.improve(
+                    f"{where}: efficiency {beff:.2f} -> {neff:.2f} "
+                    f"({100.0 * (neff - beff) / beff:+.1f}%)")
+        if (brow.get("ok") and nrow.get("ok")
+                and brow.get("prog_hash") not in (None, "-")
+                and nrow.get("prog_hash") not in (None, "-")
+                and brow["prog_hash"] != nrow["prog_hash"]):
+            ledger.regress(
+                f"{where}: synthesized program changed "
+                f"({brow['prog_hash']} -> {nrow['prog_hash']})")
+
+
+def check_scaling_invariants(ledger, doc, name, args):
+    """In-file gates on one report's scaling rows: more threads must not
+    cost wall-clock beyond --eff-tol, and deterministic mode must produce
+    one program hash per benchmark across every swept thread count."""
+    _, rows = scaling_rows(doc)
+    by_bench = {}
+    for (bench, jobs), row in rows.items():
+        by_bench.setdefault(bench, {})[jobs] = row
+    for bench, sweep in sorted(by_bench.items()):
+        base = sweep.get(1)
+        if base is None or not base.get("ok"):
+            continue
+        hashes = {j: r.get("prog_hash") for j, r in sweep.items()
+                  if r.get("ok") and r.get("prog_hash") not in (None, "-")}
+        if len(set(hashes.values())) > 1:
+            ledger.regress(
+                f"scaling[{bench}] ({name}): program hash differs across "
+                f"thread counts: "
+                + ", ".join(f"jobs={j}:{h}" for j, h in sorted(hashes.items())))
+        # Quick-mode numbers are schema checks, not ledger entries (the
+        # sweep says so) — thread startup overhead dominates their tiny
+        # runs, so only the hash gate applies to them.
+        meta = doc.get("meta")
+        if isinstance(meta, dict) and meta.get("quick"):
+            continue
+        bwall = base.get("wall_sec", 0)
+        if bwall < args.min_wall_sec:
+            continue
+        for jobs, row in sorted(sweep.items()):
+            if jobs == 1 or not row.get("ok"):
+                continue
+            nwall = row.get("wall_sec")
+            if nwall is not None and nwall > bwall * (1.0 + args.eff_tol):
+                ledger.regress(
+                    f"scaling[{bench}, jobs={jobs}] ({name}): slower than "
+                    f"jobs=1 ({bwall:.2f}s -> {nwall:.2f}s, "
+                    f"+{100.0 * (nwall - bwall) / bwall:.1f}%, "
+                    f"tol +{100.0 * args.eff_tol:.0f}%)")
+
+
 def main():
     ap = argparse.ArgumentParser(
         description="Compare two bench_sweep BENCH_*.json reports.")
@@ -144,6 +255,9 @@ def main():
                     help="allowed work-counter growth (default 0.25)")
     ap.add_argument("--wait-tol", type=float, default=0.50,
                     help="allowed lock-wait growth (default 0.50)")
+    ap.add_argument("--eff-tol", type=float, default=0.20,
+                    help="allowed scaling-efficiency loss and in-file "
+                         "threads-cost-wall allowance (default 0.20)")
     ap.add_argument("--min-wall-sec", type=float, default=0.25,
                     help="skip wall comparison below this baseline (s)")
     ap.add_argument("--min-work", type=float, default=100,
@@ -188,6 +302,8 @@ def main():
         ("benchmark", "jobs", "site"),
         [("wait_ns", args.wait_tol, args.min_wait_ms * 1e6, "ns")],
         args)
+    cmp_scaling(ledger, base_doc, new_doc, args)
+    check_scaling_invariants(ledger, new_doc, args.new, args)
 
     for msg in ledger.notes:
         print(f"note:       {msg}")

@@ -2,25 +2,27 @@
 #===- scripts/bench_run.sh - Engine benchmark sweep -------------------------===#
 #
 # Builds the Release tree and runs bench_sweep, producing the
-# machine-readable BENCH_PR6.json report: a `meta` block (git SHA, compiler,
+# machine-readable BENCH_PR8.json report: a `meta` block (git SHA, compiler,
 # nproc, CPU model, UTC timestamp) so ledger entries are attributable; per
 # benchmark, wall-clock at jobs = 1, 2, and 4 (deterministic, batch 4) plus
-# a source-cache on/off pair; the join-engine ablation (indexed vs naive
-# nested-loop); the state-engine ablation (COW snapshots on/off x failure
-# corpus on/off, with peak RSS and a synthesized-program hash that must
-# match across configurations); and a `contention` section — per-lock-site
-# acquisition/wait/hold totals and wait percentiles from a dedicated
-# profiled re-run at the widest jobs setting. See docs/PERFORMANCE.md for
-# how to read the numbers — thread scaling is only meaningful on a
-# multi-core host, and the sweep refuses to run when the affinity mask
-# disagrees with hardware_concurrency (set MIGRATOR_SWEEP_IGNORE_NPROC=1 to
-# override).
+# a source-cache on/off pair; a `scaling` section — the jobs {1,2,4,8}
+# speedup/efficiency curve with per-row program hashes, truncated with a
+# machine-readable `skipped` marker on hosts without the cores; the
+# join-engine ablation (indexed vs naive nested-loop); the state-engine
+# ablation (COW snapshots on/off x failure corpus on/off, with peak RSS and
+# a synthesized-program hash that must match across configurations); and a
+# `contention` section — per-lock-site acquisition/wait/hold totals and
+# wait percentiles from a dedicated profiled re-run at the widest jobs
+# setting (striped src_cache.s<I> sites plus a summed `src_cache` row for
+# ledger continuity). See docs/PERFORMANCE.md for how to read the numbers.
+# When the affinity mask disagrees with hardware_concurrency the sweep
+# warns and self-labels (meta + skip marker) instead of refusing to run.
 #
 # Compare two reports with scripts/bench_diff.py — the regression ledger:
-#   scripts/bench_diff.py BENCH_PR5.json BENCH_PR6.json
+#   scripts/bench_diff.py BENCH_PR5.json BENCH_PR8.json
 #
 # Usage: scripts/bench_run.sh [build-dir] [output.json]
-#        (defaults: build, BENCH_PR6.json at the repo root)
+#        (defaults: build, BENCH_PR8.json at the repo root)
 #
 # Environment: MIGRATOR_BENCH_BUDGET (per-run seconds cap),
 # MIGRATOR_SWEEP_BENCHMARKS (comma-separated names), MIGRATOR_SWEEP_QUICK=1
@@ -32,7 +34,7 @@ set -euo pipefail
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$REPO/build}"
-OUT="${2:-$REPO/BENCH_PR6.json}"
+OUT="${2:-$REPO/BENCH_PR8.json}"
 
 echo "== configure + build (Release) =="
 cmake -B "$BUILD" -S "$REPO" -DCMAKE_BUILD_TYPE=Release

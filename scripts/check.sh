@@ -8,10 +8,11 @@
 # table-storage oracle), a migrate_tool observability smoke run whose
 # emitted trace/stats/flight JSON is validated with trace_check (per-worker
 # trace lanes, lock-contention metrics, flight-recorder dump), a
-# deterministic-mode byte-identity check with profiling enabled, a
-# bench_diff.py self-check (quick sweep vs itself must report zero
-# regressions; an injected wall-clock regression must be caught), and a
-# ThreadSanitizer pass over the parallel synthesis engine and the
+# deterministic-mode byte-identity check across jobs=1/2/4 (and with
+# profiling enabled), a bench_diff.py self-check (quick sweep vs itself
+# must report zero regressions; an injected wall-clock regression must be
+# caught), and a ThreadSanitizer pass over the parallel synthesis engine,
+# the striped source cache, the lock-free COW index path, and the
 # concurrency-observability layer (lock profiling, sharded counters, flight
 # recorder, worker lanes).
 #
@@ -81,14 +82,25 @@ MIGRATOR_TRACE="$TMP/env.trace.json" \
 "$BUILD/examples/migrate_tool" "$TMP/dbp/Ambler-8.dbp" App \
   Ambler_8Src Ambler_8Tgt --no-cow 120 > /dev/null
 
-echo "== deterministic mode is byte-identical with profiling on =="
+echo "== deterministic mode is byte-identical across thread counts =="
+# jobs=1 is the reference; jobs=2 and jobs=4 (plus profiling at jobs=2)
+# must reproduce it byte for byte — the acceptance gate for every change
+# to the striped source cache and the lock-free COW index path.
+"$BUILD/examples/migrate_tool" "$TMP/dbp/Ambler-8.dbp" App \
+  Ambler_8Src Ambler_8Tgt --jobs=1 --deterministic 120 \
+  > "$TMP/det.j1.out"
 "$BUILD/examples/migrate_tool" "$TMP/dbp/Ambler-8.dbp" App \
   Ambler_8Src Ambler_8Tgt --jobs=2 --deterministic 120 \
   > "$TMP/det.plain.out"
 "$BUILD/examples/migrate_tool" "$TMP/dbp/Ambler-8.dbp" App \
+  Ambler_8Src Ambler_8Tgt --jobs=4 --deterministic 120 \
+  > "$TMP/det.j4.out"
+"$BUILD/examples/migrate_tool" "$TMP/dbp/Ambler-8.dbp" App \
   Ambler_8Src Ambler_8Tgt --jobs=2 --deterministic --profile-locks \
   --flight-dump="$TMP/det.flight.json" 120 \
   > "$TMP/det.profiled.out"
+cmp "$TMP/det.j1.out" "$TMP/det.plain.out"
+cmp "$TMP/det.j1.out" "$TMP/det.j4.out"
 cmp "$TMP/det.plain.out" "$TMP/det.profiled.out"
 
 echo "== bench_diff.py regression-ledger self-check =="
@@ -121,9 +133,9 @@ if [ "${MIGRATOR_SKIP_TSAN:-0}" != "1" ]; then
     -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" \
     -DCMAKE_EXE_LINKER_FLAGS="$TSAN_FLAGS"
   cmake --build "$TSAN_BUILD" -j"$(nproc)" --target migrator_tests \
-    --target migrate_tool --target dump_benchmarks
+    --target migrate_tool --target dump_benchmarks --target trace_check
   ctest --test-dir "$TSAN_BUILD" --output-on-failure \
-    -R 'ThreadPool|ParallelSynth|SourceCache|SolveStats|TableCow|CowDifferential|LockProfile|MetricShard|Flight|WorkerLane'
+    -R 'ThreadPool|ParallelSynth|SourceCache|StripedSourceCache|CowIndexStress|ScalingDeterminism|SolveStats|TableCow|CowDifferential|LockProfile|MetricShard|Flight|WorkerLane'
   # A real parallel run under TSan: portfolio + batching + shared cache +
   # COW payloads shared across workers — with lock profiling and the
   # flight recorder live; then the same with the deep-copy storage oracle.

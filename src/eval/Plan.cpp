@@ -42,7 +42,9 @@ void migrator::setEvalIndexEnabled(bool On) {
 
 std::shared_ptr<const ChainPlan> PlanCache::chainPlan(const JoinChain &C) {
   {
-    std::lock_guard<obs::ProfiledMutex> Lock(M);
+    // Hits — the overwhelming majority — hold the lock in shared mode, so
+    // concurrent workers' lookups never serialize on each other.
+    std::shared_lock<obs::ProfiledSharedMutex> Lock(M);
     auto It = Plans.find(&C);
     if (It != Plans.end() && It->second->Chain == C) {
       MIGRATOR_COUNTER_ADD("plan.cache_hits", 1);
@@ -65,7 +67,7 @@ std::shared_ptr<const ChainPlan> PlanCache::chainPlan(const JoinChain &C) {
   }
   MIGRATOR_COUNTER_ADD("eval.plan_compiles", 1);
 
-  std::lock_guard<obs::ProfiledMutex> Lock(M);
+  std::unique_lock<obs::ProfiledSharedMutex> Lock(M);
   // First insert wins under races; address reuse overwrites the stale plan.
   Plans[&C] = Plan;
   return Plan;

@@ -80,7 +80,13 @@ struct ChainPlan {
 };
 
 /// Per-evaluator memo of chain plans. Thread-safe: the source-result cache
-/// shares one evaluator across portfolio workers.
+/// shares one evaluator across portfolio workers. Read-mostly by design —
+/// a synthesis run compiles a handful of plans and then serves millions of
+/// lookups — so the map sits behind a shared mutex: hits take the lock in
+/// shared (reader) mode and proceed concurrently across workers; only the
+/// rare compile upgrades to an exclusive hold. Before PR 8 every hit took
+/// an exclusive `plan_cache` mutex, a fixed per-lookup serialization point
+/// in jobs>1 contention profiles.
 class PlanCache {
 public:
   explicit PlanCache(const Schema &S) : S(S) {}
@@ -91,7 +97,7 @@ public:
 
 private:
   const Schema &S;
-  obs::ProfiledMutex M{detail::planCacheLockSite()};
+  obs::ProfiledSharedMutex M{detail::planCacheLockSite()};
   /// Keyed by chain address for O(1) lookups; every hit is validated
   /// against the stored structural copy before being served.
   std::unordered_map<const JoinChain *, std::shared_ptr<const ChainPlan>>

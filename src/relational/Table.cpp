@@ -5,18 +5,12 @@
 #include "obs/Metrics.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cassert>
 #include <cstdlib>
 #include <sstream>
 #include <string_view>
 
 using namespace migrator;
-
-obs::LockSite &migrator::detail::tableIndexLockSite() {
-  static obs::LockSite Site("table.index");
-  return Site;
-}
 
 //===----------------------------------------------------------------------===//
 // COW-storage switch (mirrors evalIndexEnabled in eval/Plan.cpp)
@@ -60,19 +54,52 @@ Table::Table(TableSchema S)
     : Schema(std::make_shared<const TableSchema>(std::move(S))),
       P(std::make_shared<Payload>()) {}
 
+Table::ColumnSlot *Table::ensureSlots(const Payload &Pl, size_t NumCols) {
+  // shared_ptr does not propagate const, but this helper is also reached
+  // through the const probe path — the slot array is index-cache state, not
+  // observable table content.
+  IndexState &Idx = const_cast<IndexState &>(Pl.Idx);
+  ColumnSlot *S = Idx.Slots.load(std::memory_order_acquire);
+  if (S)
+    return S;
+  std::call_once(Idx.SlotsOnce, [&] {
+    Idx.OwnedSlots = std::make_unique<ColumnSlot[]>(NumCols);
+    Idx.NumSlots = NumCols; // Plain write: release-published via Slots.
+    Idx.Slots.store(Idx.OwnedSlots.get(), std::memory_order_release);
+  });
+  return Idx.Slots.load(std::memory_order_acquire);
+}
+
 std::shared_ptr<Table::Payload> Table::clonePayload(const Payload &O) {
   auto N = std::make_shared<Payload>();
   // Rows are only written under exclusive ownership, so a shared source's
   // rows are stable; no lock needed for them.
   N->Rows = O.Rows;
-  // Built indexes carry over warm (rebuilding at every tester snapshot would
-  // defeat warmth). The source may be a shared const snapshot with a lazy
-  // build in flight, so read its index state under its mutex.
-  std::lock_guard<obs::ProfiledMutex> Lock(O.Idx.M);
-  N->Idx.Cols.resize(O.Idx.Cols.size());
-  for (size_t C = 0; C < O.Idx.Cols.size(); ++C)
-    if (O.Idx.Cols[C])
-      N->Idx.Cols[C] = std::make_unique<ColumnIndex>(*O.Idx.Cols[C]);
+  // Built indexes carry over warm (rebuilding at every tester snapshot
+  // would defeat warmth). Lock-free: each column's published pointer is
+  // read with acquire semantics; a lazy build still in flight on a shared
+  // snapshot has not published yet, so its column is simply left cold in
+  // the clone (an index is a cache — first probe there rebuilds it). This
+  // is what keeps COW detach contention-free: a worker cloning a hot
+  // shared snapshot never waits on another worker's index build.
+  const ColumnSlot *Src = O.Idx.Slots.load(std::memory_order_acquire);
+  if (Src) {
+    const size_t NumCols = O.Idx.NumSlots;
+    // The clone is private here, so its slot array can be installed
+    // directly; ensureSlots' null-check makes the bypassed once_flag safe.
+    N->Idx.OwnedSlots = std::make_unique<ColumnSlot[]>(NumCols);
+    N->Idx.NumSlots = NumCols;
+    unsigned Built = 0;
+    for (size_t C = 0; C < NumCols; ++C)
+      if (const ColumnIndex *CI = Src[C].Ptr.load(std::memory_order_acquire)) {
+        ColumnSlot &Dst = N->Idx.OwnedSlots[C];
+        Dst.Owned = std::make_unique<ColumnIndex>(*CI);
+        Dst.Ptr.store(Dst.Owned.get(), std::memory_order_relaxed);
+        ++Built;
+      }
+    N->Idx.NumBuilt.store(Built, std::memory_order_relaxed);
+    N->Idx.Slots.store(N->Idx.OwnedSlots.get(), std::memory_order_release);
+  }
   return N;
 }
 
@@ -125,13 +152,16 @@ void Table::insertRow(Row R) {
 }
 
 void Table::indexInsertedRow() {
-  if (P->Idx.Cols.empty())
+  IndexState &Idx = P->Idx;
+  if (Idx.NumBuilt.load(std::memory_order_relaxed) == 0)
     return;
+  ColumnSlot *Slots = Idx.Slots.load(std::memory_order_acquire);
+  assert(Slots && "built indexes but no slot array");
   const Row &R = P->Rows.back();
   size_t NewIdx = P->Rows.size() - 1;
   uint64_t Ops = 0;
-  for (size_t C = 0; C < P->Idx.Cols.size(); ++C)
-    if (ColumnIndex *CI = P->Idx.Cols[C].get()) {
+  for (size_t C = 0; C < Idx.NumSlots; ++C)
+    if (ColumnIndex *CI = Slots[C].Ptr.load(std::memory_order_relaxed)) {
       // NewIdx is the largest row index, so appending keeps buckets sorted.
       CI->Buckets[R[C]].push_back(NewIdx);
       ++Ops;
@@ -171,8 +201,14 @@ void Table::eraseRows(const std::vector<size_t> &Indices) {
   }
   Rows = std::move(Kept);
 
+  IndexState &Idx = P->Idx;
+  if (Idx.NumBuilt.load(std::memory_order_relaxed) == 0)
+    return;
+  ColumnSlot *Slots = Idx.Slots.load(std::memory_order_acquire);
+  assert(Slots && "built indexes but no slot array");
   uint64_t Ops = 0;
-  for (std::unique_ptr<ColumnIndex> &CI : P->Idx.Cols) {
+  for (size_t C = 0; C < Idx.NumSlots; ++C) {
+    ColumnIndex *CI = Slots[C].Ptr.load(std::memory_order_relaxed);
     if (!CI)
       continue;
     ++Ops;
@@ -193,19 +229,27 @@ void Table::setValue(size_t RowIdx, unsigned AttrIdx, Value V) {
   assert(RowIdx < P->Rows.size() && "row index out of range");
   assert(AttrIdx < Schema->getNumAttrs() && "attribute index out of range");
   detach();
-  if (AttrIdx < P->Idx.Cols.size() && P->Idx.Cols[AttrIdx]) {
-    ColumnIndex &CI = *P->Idx.Cols[AttrIdx];
-    const Value &Old = P->Rows[RowIdx][AttrIdx];
-    if (Old != V) {
-      auto OldIt = CI.Buckets.find(Old);
-      assert(OldIt != CI.Buckets.end() && "indexed value missing a bucket");
-      std::vector<size_t> &OldB = OldIt->second;
-      OldB.erase(std::lower_bound(OldB.begin(), OldB.end(), RowIdx));
-      if (OldB.empty())
-        CI.Buckets.erase(OldIt);
-      std::vector<size_t> &NewB = CI.Buckets[V];
-      NewB.insert(std::lower_bound(NewB.begin(), NewB.end(), RowIdx), RowIdx);
-      MIGRATOR_COUNTER_ADD("eval.index_maint_ops", 1);
+  IndexState &Idx = P->Idx;
+  if (Idx.NumBuilt.load(std::memory_order_relaxed) != 0) {
+    ColumnSlot *Slots = Idx.Slots.load(std::memory_order_acquire);
+    assert(Slots && "built indexes but no slot array");
+    ColumnIndex *CI = AttrIdx < Idx.NumSlots
+                          ? Slots[AttrIdx].Ptr.load(std::memory_order_relaxed)
+                          : nullptr;
+    if (CI) {
+      const Value &Old = P->Rows[RowIdx][AttrIdx];
+      if (Old != V) {
+        auto OldIt = CI->Buckets.find(Old);
+        assert(OldIt != CI->Buckets.end() && "indexed value missing a bucket");
+        std::vector<size_t> &OldB = OldIt->second;
+        OldB.erase(std::lower_bound(OldB.begin(), OldB.end(), RowIdx));
+        if (OldB.empty())
+          CI->Buckets.erase(OldIt);
+        std::vector<size_t> &NewB = CI->Buckets[V];
+        NewB.insert(std::lower_bound(NewB.begin(), NewB.end(), RowIdx),
+                    RowIdx);
+        MIGRATOR_COUNTER_ADD("eval.index_maint_ops", 1);
+      }
     }
   }
   P->Rows[RowIdx][AttrIdx] = std::move(V);
@@ -214,34 +258,35 @@ void Table::setValue(size_t RowIdx, unsigned AttrIdx, Value V) {
 void Table::clear() {
   assert(P && "operation on a moved-from table");
   // A fresh payload beats detach()+clear: no point cloning rows and indexes
-  // that are about to be dropped.
-  if (P.use_count() > 1) {
-    P = std::make_shared<Payload>();
-    return;
-  }
-  P->Rows.clear();
-  P->Idx.Cols.clear();
+  // that are about to be dropped. (With build-once index slots this is also
+  // the exclusive-ownership path — a used once_flag cannot be re-armed.)
+  P = std::make_shared<Payload>();
 }
 
 const std::vector<size_t> *Table::probeIndex(unsigned Col,
                                              const Value &V) const {
   assert(Col < Schema->getNumAttrs() && "column index out of range");
   assert(P && "operation on a moved-from table");
-  // Serialize against concurrent lazy builds on shared const snapshots. The
-  // returned bucket stays valid after unlock: buckets of other values or
-  // columns never alias it, and mutation requires exclusive ownership (and,
-  // under COW, detaches from the shared payload first).
-  IndexState &Idx = P->Idx;
-  std::lock_guard<obs::ProfiledMutex> Lock(Idx.M);
-  if (Idx.Cols.size() <= Col)
-    Idx.Cols.resize(Schema->getNumAttrs());
-  std::unique_ptr<ColumnIndex> &CI = Idx.Cols[Col];
+  ColumnSlot *Slots = ensureSlots(*P, Schema->getNumAttrs());
+  ColumnSlot &Slot = Slots[Col];
+  // Fast path: a built column is one acquire load — no lock, however many
+  // workers probe the same shared snapshot. Cold columns build exactly once
+  // under the slot's once_flag; concurrent first probers wait for the build
+  // (they need its data), everyone after reads the published pointer.
+  const ColumnIndex *CI = Slot.Ptr.load(std::memory_order_acquire);
   if (!CI) {
-    CI = std::make_unique<ColumnIndex>();
-    CI->Buckets.reserve(P->Rows.size());
-    for (size_t R = 0; R < P->Rows.size(); ++R)
-      CI->Buckets[P->Rows[R][Col]].push_back(R);
-    MIGRATOR_COUNTER_ADD("eval.index_builds", 1);
+    std::call_once(Slot.Once, [&] {
+      auto N = std::make_unique<ColumnIndex>();
+      N->Buckets.reserve(P->Rows.size());
+      for (size_t R = 0; R < P->Rows.size(); ++R)
+        N->Buckets[P->Rows[R][Col]].push_back(R);
+      MIGRATOR_COUNTER_ADD("eval.index_builds", 1);
+      IndexState &Idx = P->Idx;
+      Slot.Owned = std::move(N);
+      Idx.NumBuilt.fetch_add(1, std::memory_order_relaxed);
+      Slot.Ptr.store(Slot.Owned.get(), std::memory_order_release);
+    });
+    CI = Slot.Ptr.load(std::memory_order_acquire);
   }
   auto It = CI->Buckets.find(V);
   return It == CI->Buckets.end() ? nullptr : &It->second;
@@ -249,8 +294,9 @@ const std::vector<size_t> *Table::probeIndex(unsigned Col,
 
 bool Table::hasIndex(unsigned Col) const {
   assert(P && "operation on a moved-from table");
-  std::lock_guard<obs::ProfiledMutex> Lock(P->Idx.M);
-  return Col < P->Idx.Cols.size() && P->Idx.Cols[Col] != nullptr;
+  const ColumnSlot *Slots = P->Idx.Slots.load(std::memory_order_acquire);
+  return Slots && Col < P->Idx.NumSlots &&
+         Slots[Col].Ptr.load(std::memory_order_acquire) != nullptr;
 }
 
 std::string Table::str() const {

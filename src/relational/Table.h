@@ -32,35 +32,34 @@
 /// Thread safety: mutating methods require exclusive ownership of the
 /// *table object* (as before) — COW cloning keeps concurrently-held sibling
 /// snapshots untouched. probeIndex() is safe to call concurrently on a
-/// shared *const* table: the lazy build is serialized on a per-payload
-/// mutex, and once built the buckets of a const table never move. This
-/// matters because the source-result cache shares immutable database
-/// snapshots across portfolio workers.
+/// shared *const* table, and — new in PR 8 — is *lock-free after the
+/// build*: each column's index is built exactly once under a per-column
+/// `std::once_flag` and then published through an acquire/release atomic
+/// pointer, so steady-state probes (the overwhelming majority — the
+/// source-result cache shares hot immutable snapshots across every
+/// portfolio worker) take no lock at all. Before PR 8 every probe
+/// serialized on a per-payload mutex (`table.index`, a fixture of jobs>1
+/// contention profiles); that mutex no longer exists. COW detach is
+/// equally contention-free: cloning a payload reads each column's
+/// published pointer instead of locking — an index whose build is still in
+/// flight is simply not copied (it is a cache; the clone rebuilds on first
+/// probe), so a hot shared snapshot never funnels workers through a lock.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef MIGRATOR_RELATIONAL_TABLE_H
 #define MIGRATOR_RELATIONAL_TABLE_H
 
-#include "obs/LockProfile.h"
 #include "relational/Schema.h"
 #include "relational/Value.h"
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
 namespace migrator {
-
-namespace detail {
-/// The shared `table.index` lock site. One site for every payload's index
-/// mutex: payloads are constructed hundreds of thousands of times per run,
-/// so per-payload site registration (a map lookup or list push) would
-/// serialize exactly the path COW exists to keep cheap — a function-local
-/// static reference costs one pointer store per payload instead.
-obs::LockSite &tableIndexLockSite();
-} // namespace detail
 
 /// Returns true when copy-on-write table storage is active (the default).
 /// Disabled by `migrate_tool --no-cow`, the MIGRATOR_NO_COW=1 environment
@@ -138,28 +137,49 @@ private:
     std::unordered_map<Value, std::vector<size_t>> Buckets;
   };
 
-  /// The lazily-built indexes plus the mutex serializing concurrent lazy
-  /// builds on shared const snapshots.
+  /// One column's build-once slot: the index is constructed into Owned
+  /// under Once and then release-published through Ptr, so concurrent
+  /// probes of a built column are plain acquire loads with no lock.
+  struct ColumnSlot {
+    std::once_flag Once;
+    std::atomic<ColumnIndex *> Ptr{nullptr};
+    std::unique_ptr<ColumnIndex> Owned;
+  };
+
+  /// The lazily-built indexes. The slot array itself is allocated on the
+  /// first probe of any column (build-once, like the columns) so payload
+  /// construction — the COW hot path, hundreds of thousands per run —
+  /// costs no per-index allocation.
   struct IndexState {
-    mutable obs::ProfiledMutex M{detail::tableIndexLockSite()};
-    std::vector<std::unique_ptr<ColumnIndex>> Cols; ///< One slot per attr.
+    std::once_flag SlotsOnce;
+    std::atomic<ColumnSlot *> Slots{nullptr};
+    std::unique_ptr<ColumnSlot[]> OwnedSlots;
+    size_t NumSlots = 0; ///< Written before Slots is published; read after.
+    /// Built-column count: lets mutators skip index maintenance with one
+    /// relaxed load when nothing was ever built (the common case).
+    std::atomic<unsigned> NumBuilt{0};
   };
 
   /// The copy-on-write payload: everything a snapshot shares. Mutators
   /// detach() first, so a payload reachable from more than one table is
-  /// only ever written by the (mutex-serialized) lazy index build.
+  /// only ever written by the once-serialized lazy index builds.
   struct Payload {
     std::vector<Row> Rows;
     IndexState Idx;
   };
 
-  /// Deep-copies \p O (rows and built indexes), serializing against a lazy
-  /// index build in flight on a shared snapshot.
+  /// Deep-copies \p O (rows and *published* indexes). Lock-free: an index
+  /// build in flight on a shared snapshot is not waited for — its column
+  /// stays cold in the clone and rebuilds on first probe there.
   static std::shared_ptr<Payload> clonePayload(const Payload &O);
 
   /// Ensures exclusive payload ownership before a mutation, cloning the
   /// payload when it is shared.
   void detach();
+
+  /// Returns the payload's slot array, allocating (once) for \p NumCols
+  /// columns if this is the first index activity on the payload.
+  static ColumnSlot *ensureSlots(const Payload &P, size_t NumCols);
 
   /// Rebuilds nothing — registers \p R (already appended at index
   /// Rows.size()-1) in every built column index.

@@ -4,13 +4,27 @@
 
 #include "obs/Metrics.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace migrator;
 
-obs::LockSite &migrator::detail::srcCacheLockSite() {
-  static obs::LockSite Site("src_cache");
-  return Site;
+obs::LockSite &migrator::detail::srcCacheStripeSite(unsigned I) {
+  // One process-lifetime site per stripe index, named so a contention
+  // report can tell a single hot stripe (bad hashing) from load spread
+  // evenly across the memo (healthy striping).
+  static obs::LockSite S0("src_cache.s0"), S1("src_cache.s1"),
+      S2("src_cache.s2"), S3("src_cache.s3"), S4("src_cache.s4"),
+      S5("src_cache.s5"), S6("src_cache.s6"), S7("src_cache.s7"),
+      S8("src_cache.s8"), S9("src_cache.s9"), S10("src_cache.s10"),
+      S11("src_cache.s11"), S12("src_cache.s12"), S13("src_cache.s13"),
+      S14("src_cache.s14"), S15("src_cache.s15");
+  static obs::LockSite *Sites[SourceResultCache::NumStripes] = {
+      &S0, &S1, &S2,  &S3,  &S4,  &S5,  &S6,  &S7,
+      &S8, &S9, &S10, &S11, &S12, &S13, &S14, &S15};
+  static_assert(SourceResultCache::NumStripes == 16,
+                "stripe site table above must match NumStripes");
+  return *Sites[I % SourceResultCache::NumStripes];
 }
 
 namespace {
@@ -78,12 +92,27 @@ std::string migrator::invocationSeqKey(const InvocationSeq &Seq) {
   return Key;
 }
 
+unsigned SourceResultCache::stripeOf(uint64_t Id) {
+  // splitmix64 finalizer: parent ids are sequential, so without mixing,
+  // neighbouring prefixes — exactly the ones a wave of workers extends
+  // together — would pile onto neighbouring (often identical) stripes.
+  uint64_t H = Id + 0x9e3779b97f4a7c15ull;
+  H = (H ^ (H >> 30)) * 0xbf58476d1ce4e5b9ull;
+  H = (H ^ (H >> 27)) * 0x94d049bb133111ebull;
+  H ^= H >> 31;
+  return static_cast<unsigned>(H & (NumStripes - 1));
+}
+
 SourceResultCache::SourceResultCache(const Schema &SourceSchema,
                                      const Program &SourceProg,
                                      size_t MaxEntries)
     : SourceSchema(SourceSchema), SourceProg(SourceProg),
-      MaxEntries(MaxEntries), Eval(SourceSchema),
-      EmptyDB(std::make_shared<const Database>(SourceSchema)) {}
+      StripeCap(std::max<size_t>(1, MaxEntries / NumStripes)),
+      Eval(SourceSchema),
+      EmptyDB(std::make_shared<const Database>(SourceSchema)) {
+  for (unsigned I = 0; I < NumStripes; ++I)
+    Stripes.emplace_back(detail::srcCacheStripeSite(I));
+}
 
 void SourceResultCache::countHit() {
   Hits.fetch_add(1, std::memory_order_relaxed);
@@ -103,11 +132,13 @@ std::optional<SourceResultCache::PrefixState>
 SourceResultCache::extend(const PrefixState &Parent, const Invocation &Inv) {
   const bool Cacheable = (Parent.Id & UnstoredBit) == 0;
   std::string Key;
+  Stripe *S = nullptr;
   if (Cacheable) {
     Key = childKey(Parent.Id, '#', Inv);
-    std::lock_guard<obs::ProfiledMutex> Lock(M);
-    auto It = States.find(Key);
-    if (It != States.end()) {
+    S = &stripeFor(Parent.Id);
+    std::lock_guard<obs::ProfiledMutex> Lock(S->M);
+    auto It = S->States.find(Key);
+    if (It != S->States.end()) {
       countHit();
       return It->second;
     }
@@ -125,13 +156,13 @@ SourceResultCache::extend(const PrefixState &Parent, const Invocation &Inv) {
                  Uids.peekNext(), 0};
 
   if (Cacheable) {
-    std::lock_guard<obs::ProfiledMutex> Lock(M);
-    if (States.size() < MaxEntries) {
+    std::lock_guard<obs::ProfiledMutex> Lock(S->M);
+    if (S->States.size() < StripeCap) {
       St.Id = NextId.fetch_add(1, std::memory_order_relaxed);
       // First insert wins: a racing worker may have computed the same state;
       // both copies are identical, so either snapshot (and its id) serves
       // every reader.
-      auto [It, Inserted] = States.try_emplace(std::move(Key), St);
+      auto [It, Inserted] = S->States.try_emplace(std::move(Key), St);
       if (!Inserted)
         return It->second;
       return St;
@@ -145,11 +176,13 @@ std::shared_ptr<const ResultTable>
 SourceResultCache::query(const PrefixState &St, const Invocation &Query) {
   const bool Cacheable = (St.Id & UnstoredBit) == 0;
   std::string Key;
+  Stripe *S = nullptr;
   if (Cacheable) {
     Key = childKey(St.Id, '|', Query);
-    std::lock_guard<obs::ProfiledMutex> Lock(M);
-    auto It = Results.find(Key);
-    if (It != Results.end()) {
+    S = &stripeFor(St.Id);
+    std::lock_guard<obs::ProfiledMutex> Lock(S->M);
+    auto It = S->Results.find(Key);
+    if (It != S->Results.end()) {
       countHit();
       return It->second;
     }
@@ -164,9 +197,9 @@ SourceResultCache::query(const PrefixState &St, const Invocation &Query) {
   auto Shared = std::make_shared<const ResultTable>(std::move(*R));
 
   if (Cacheable) {
-    std::lock_guard<obs::ProfiledMutex> Lock(M);
-    if (Results.size() < MaxEntries) {
-      auto [It, Inserted] = Results.try_emplace(std::move(Key), Shared);
+    std::lock_guard<obs::ProfiledMutex> Lock(S->M);
+    if (S->Results.size() < StripeCap) {
+      auto [It, Inserted] = S->Results.try_emplace(std::move(Key), Shared);
       if (!Inserted)
         return It->second;
     }

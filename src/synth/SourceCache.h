@@ -33,11 +33,21 @@
 /// so the UID-bijection-aware result comparison behaves exactly as without
 /// the cache (guarded by `SourceCacheTest` / `ParallelSynthTest`).
 ///
-/// Thread safety: lookups and insertions take one mutex; executions run
-/// outside it, so concurrent workers may rarely duplicate a computation
-/// (first insert wins) but never block each other on evaluator work.
+/// Thread safety — *striped*, not single-lock: the memo is sharded into
+/// NumStripes cache-line-aligned stripes, each owning a slice of both maps
+/// and its own mutex (lock sites `src_cache.s<I>`). A probe hashes the
+/// parent state's numeric id to pick its stripe, so concurrent workers
+/// extending unrelated prefixes never touch the same lock — the single
+/// `src_cache` mutex was the top wait site in every jobs>1 contention
+/// profile before PR 8. Executions still run outside any lock, so workers
+/// may rarely duplicate a computation (first insert wins, per stripe) but
+/// never block each other on evaluator work. Determinism is unaffected:
+/// striping changes which mutex guards an entry, never what is stored.
 ///
-/// Observability: `tester.src_cache_hits` / `tester.src_cache_misses`.
+/// Observability: `tester.src_cache_hits` / `tester.src_cache_misses`;
+/// per-stripe lock metrics under `lock.src_cache.s<I>.*` (bench_sweep's
+/// contention section additionally reports the summed `src_cache`
+/// aggregate, keeping the ledger comparable across the resharding).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -51,6 +61,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -60,17 +71,25 @@
 namespace migrator {
 
 namespace detail {
-/// The shared `src_cache` lock site (all SourceResultCache instances report
-/// under one name; one cache exists per synthesize() run in practice).
-obs::LockSite &srcCacheLockSite();
+/// The `src_cache.s<I>` lock site for stripe \p I (all SourceResultCache
+/// instances share the per-stripe sites; one cache exists per synthesize()
+/// run in practice).
+obs::LockSite &srcCacheStripeSite(unsigned I);
 } // namespace detail
 
 /// Memoized execution of one fixed source program over one fixed schema.
 class SourceResultCache {
 public:
-  /// \p MaxEntries bounds each internal map; once full, further misses are
-  /// computed but not stored (the working set of a synthesis run is far
-  /// below the default bound — the cap only guards degenerate workloads).
+  /// Stripe count. Power of two (the stripe picker masks a mixed id hash);
+  /// 16 matches obs::Counter::NumShards — enough slots that a jobs<=16
+  /// fleet rarely collides, small enough that a cold cache stays cheap.
+  static constexpr unsigned NumStripes = 16;
+
+  /// \p MaxEntries bounds the cache overall; each stripe stores at most
+  /// MaxEntries / NumStripes entries per map, and further misses on a full
+  /// stripe are computed but not stored (the working set of a synthesis
+  /// run is far below the default bound — the cap only guards degenerate
+  /// workloads).
   SourceResultCache(const Schema &SourceSchema, const Program &SourceProg,
                     size_t MaxEntries = 1u << 20);
 
@@ -115,21 +134,39 @@ public:
   uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
   uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
 
+  /// The stripe index parent-state id \p Id maps to (test hook: the stress
+  /// test asserts that distinct parents spread across stripes).
+  static unsigned stripeOf(uint64_t Id);
+
 private:
   void countHit();
   void countMiss();
 
+  /// One lock-striped slice of the memo. Cache-line-aligned so two stripes'
+  /// mutexes never share a line (the whole point of striping is that
+  /// workers on different stripes proceed without interfering).
+  struct alignas(64) Stripe {
+    explicit Stripe(obs::LockSite &Site) : M(Site) {}
+    mutable obs::ProfiledMutex M;
+    std::unordered_map<std::string, PrefixState> States;
+    std::unordered_map<std::string, std::shared_ptr<const ResultTable>>
+        Results;
+  };
+
+  Stripe &stripeFor(uint64_t ParentId) {
+    return Stripes[stripeOf(ParentId)];
+  }
+
   const Schema &SourceSchema;
   const Program &SourceProg;
-  const size_t MaxEntries;
+  const size_t StripeCap; ///< Per-stripe, per-map entry bound.
   Evaluator Eval;
   std::shared_ptr<const Database> EmptyDB;
 
-  mutable obs::ProfiledMutex M{detail::srcCacheLockSite()};
   /// Next id handed to a stored prefix state (0 is the implicit root).
   std::atomic<uint64_t> NextId{1};
-  std::unordered_map<std::string, PrefixState> States;
-  std::unordered_map<std::string, std::shared_ptr<const ResultTable>> Results;
+  /// deque, not vector: stripes hold mutexes and must never move.
+  std::deque<Stripe> Stripes;
 
   std::atomic<uint64_t> Hits{0};
   std::atomic<uint64_t> Misses{0};

@@ -72,10 +72,14 @@ struct SynthOptions {
 
   /// Minimum Jobs value at which the source cache is actually attached.
   /// With copy-on-write table snapshots a sequential run recomputes source
-  /// prefixes faster than the cache can memoize them (the jobs=1 regression
-  /// measured in EXPERIMENTS.md), so by default the cache only rides along
-  /// when several workers share it. Set to 1 (or 0) to force the cache on
-  /// at any Jobs value — benches and tests measuring the cache itself do.
+  /// prefixes about as fast as the cache can memoize them, so by default
+  /// the cache only rides along when several workers share it. Re-measured
+  /// after the PR 8 lock-striping (bench_ablation Sec. 8): striping removes
+  /// cross-worker contention, not the per-probe key hashing and state
+  /// storage a jobs=1 run pays, and cache-on remains slightly slower
+  /// sequentially (coachup 1.2 s vs 1.1 s) — the default stands. Set to 1
+  /// (or 0) to force the cache on at any Jobs value — benches and tests
+  /// measuring the cache itself do.
   unsigned SourceCacheMinJobs = 2;
 };
 

@@ -1,0 +1,270 @@
+//===- tests/scaling_test.cpp - Multicore-scaling correctness stress ---------===//
+//
+// PR 8 removed the cross-worker serialization points of the parallel
+// engine: the source-result cache is lock-striped, the COW lazy index
+// build publishes through a per-column once_flag + atomic pointer instead
+// of a per-payload mutex, and the plan cache is read-mostly. These tests
+// hammer each redesigned structure from many threads (they are the TSan
+// targets scripts/check.sh names) and pin the engine's one non-negotiable
+// contract: Deterministic mode produces byte-identical programs at every
+// thread count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchsuite/Benchmark.h"
+#include "eval/Evaluator.h"
+#include "relational/Table.h"
+#include "synth/SourceCache.h"
+#include "synth/Synthesizer.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace migrator;
+using namespace migrator::test;
+
+namespace {
+
+/// FNV-1a over the synthesized program text — the same hash bench_sweep's
+/// scaling section records, so a ledger row and this test agree on what
+/// "byte-identical" means.
+uint64_t fnv1a(const std::string &S) {
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+/// A source program whose queries return fresh-UID values (the cache's
+/// hardest case: byte-identical UID numbering is load-bearing).
+struct MediaFixture {
+  ParseOutput Out;
+  const Schema *S = nullptr;
+  const Program *Prog = nullptr;
+
+  MediaFixture()
+      : Out(parseOrDie(R"(
+schema Media {
+  table Picture(PicId: int, Pic: binary)
+  table TA(TaId: int, TName: string, PicId: int)
+}
+program MediaApp on Media {
+  update addTA(id: int, name: string, pic: binary) {
+    insert into Picture join TA values (TaId: id, TName: name, Pic: pic);
+  }
+  update deleteTA(id: int) {
+    delete [TA] from Picture join TA where TaId = id;
+  }
+  query getTA(id: int) {
+    select TName, PicId from Picture join TA where TaId = id;
+  }
+}
+)")),
+        S(Out.findSchema("Media")), Prog(&Out.findProgram("MediaApp")->Prog) {}
+};
+
+Invocation addTA(int Id) {
+  return {"addTA",
+          {Value::makeInt(Id), Value::makeString("N" + std::to_string(Id)),
+           Value::makeBinary("b" + std::to_string(Id))}};
+}
+
+Invocation getTA(int Id) { return {"getTA", {Value::makeInt(Id)}}; }
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Striped source cache
+//===----------------------------------------------------------------------===//
+
+TEST(StripedSourceCacheTest, StripePickerSpreadsSequentialIds) {
+  // Parent ids are handed out sequentially; the stripe picker must not map
+  // runs of neighbouring ids onto one stripe (that would re-serialize the
+  // exact access pattern striping exists for).
+  std::set<unsigned> Seen;
+  std::vector<size_t> Load(SourceResultCache::NumStripes, 0);
+  for (uint64_t Id = 0; Id < 4096; ++Id) {
+    unsigned St = SourceResultCache::stripeOf(Id);
+    ASSERT_LT(St, SourceResultCache::NumStripes);
+    Seen.insert(St);
+    ++Load[St];
+  }
+  EXPECT_EQ(Seen.size(), SourceResultCache::NumStripes);
+  // No stripe should carry more than 2x its fair share of a uniform id
+  // range (splitmix64 mixing keeps the distribution tight in practice).
+  for (size_t L : Load)
+    EXPECT_LT(L, 2 * 4096 / SourceResultCache::NumStripes);
+}
+
+TEST(StripedSourceCacheTest, EightThreadStressMatchesDirectExecution) {
+  // Eight threads hammer one cache with overlapping sequences: shared
+  // prefixes (cross-thread hits on the same stripe), disjoint suffixes
+  // (concurrent inserts on many stripes), and repeated replays (pure
+  // hits). Every memoized result must be byte-identical to an uncached
+  // direct execution of the same sequence.
+  MediaFixture F;
+  SourceResultCache Cache(*F.S, *F.Prog);
+  constexpr unsigned NumThreads = 8;
+  constexpr int RoundsPerThread = 24;
+
+  std::atomic<unsigned> Failures{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (int R = 0; R < RoundsPerThread; ++R) {
+        // Sequences deliberately collide across threads: the prefix cycles
+        // through a small set so most extends are hits racing inserts.
+        InvocationSeq Seq;
+        Seq.push_back(addTA(R % 5));
+        Seq.push_back(addTA(static_cast<int>(T % 3) + 10));
+        if (R % 2)
+          Seq.push_back(addTA(R % 7 + 20));
+        Seq.push_back(getTA((R % 2) ? R % 7 + 20 : R % 5));
+        std::shared_ptr<const ResultTable> Cached = Cache.run(Seq);
+        std::optional<ResultTable> Direct = runSequence(*F.Prog, *F.S, Seq);
+        if (!Cached || !Direct || Cached->str() != Direct->str())
+          Failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_EQ(Failures.load(), 0u);
+  // The workload replays overlapping sequences, so the memo must have both
+  // served hits and absorbed inserts.
+  EXPECT_GT(Cache.hits(), 0u);
+  EXPECT_GT(Cache.misses(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Contention-free COW detach + lazy index build
+//===----------------------------------------------------------------------===//
+
+TEST(CowIndexStressTest, ConcurrentProbeAndDetach) {
+  // One hot shared snapshot: half the threads probe (racing lazy builds of
+  // three different columns), half copy the snapshot and immediately
+  // mutate their copy (detach-clone racing the builds). Before PR 8 every
+  // one of these operations funneled through the payload's `table.index`
+  // mutex; now only the first build of each column synchronizes at all.
+  TableSchema TS("T", {{"a", ValueType::Int},
+                       {"b", ValueType::Int},
+                       {"c", ValueType::String}});
+  Table Base(TS);
+  constexpr int NumRows = 256;
+  for (int I = 0; I < NumRows; ++I)
+    Base.insertRow({Value::makeInt(I), Value::makeInt(I % 17),
+                    Value::makeString("s" + std::to_string(I % 5))});
+  const Table &Shared = Base;
+
+  constexpr unsigned NumThreads = 8;
+  constexpr int Rounds = 64;
+  std::atomic<unsigned> Failures{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (int R = 0; R < Rounds; ++R) {
+        if (T % 2 == 0) {
+          // Prober: exercise all three columns on the shared snapshot.
+          const std::vector<size_t> *Hit =
+              Shared.probeIndex(0, Value::makeInt(R % NumRows));
+          if (!Hit || Hit->size() != 1 || (*Hit)[0] != size_t(R % NumRows))
+            Failures.fetch_add(1, std::memory_order_relaxed);
+          const std::vector<size_t> *Mod =
+              Shared.probeIndex(1, Value::makeInt(R % 17));
+          if (!Mod || Mod->empty())
+            Failures.fetch_add(1, std::memory_order_relaxed);
+          if (!Shared.probeIndex(2, Value::makeString("s0")))
+            Failures.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          // Snapshotter: COW-copy the shared table (refcount bump), then
+          // mutate the copy — the detach clone must observe either a fully
+          // published index or none, never a half-built one.
+          Table Copy(Shared);
+          Copy.insertRow({Value::makeInt(NumRows + R), Value::makeInt(99),
+                          Value::makeString("x")});
+          const std::vector<size_t> *Mine =
+              Copy.probeIndex(1, Value::makeInt(99));
+          if (!Mine || Mine->empty() || Mine->back() != size_t(NumRows))
+            Failures.fetch_add(1, std::memory_order_relaxed);
+          if (Copy.size() != size_t(NumRows) + 1)
+            Failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_EQ(Failures.load(), 0u);
+  // The base snapshot itself must be untouched by the copies' mutations.
+  EXPECT_EQ(Base.size(), size_t(NumRows));
+  EXPECT_TRUE(Base.hasIndex(0));
+  EXPECT_TRUE(Base.hasIndex(1));
+  EXPECT_TRUE(Base.hasIndex(2));
+}
+
+TEST(CowIndexStressTest, CloneSkipsUnpublishedBuildSafely) {
+  // A clone taken while no index exists starts cold and builds its own;
+  // a clone taken after a build starts warm. Both must answer probes
+  // identically.
+  TableSchema TS("U", {{"k", ValueType::Int}});
+  Table Cold(TS);
+  for (int I = 0; I < 32; ++I)
+    Cold.insertRow({Value::makeInt(I % 4)});
+
+  Table WarmSource(Cold);     // Shares the payload (COW).
+  Table ColdClone(Cold);      // Also shares — no index exists yet.
+  ColdClone.insertRow({Value::makeInt(4)}); // Detach before any build.
+  ASSERT_FALSE(ColdClone.sharesStorageWith(Cold));
+  EXPECT_FALSE(ColdClone.hasIndex(0));
+
+  ASSERT_NE(WarmSource.probeIndex(0, Value::makeInt(1)), nullptr);
+  Table WarmClone(WarmSource);
+  WarmClone.insertRow({Value::makeInt(4)}); // Detach copies the built index.
+  EXPECT_TRUE(WarmClone.hasIndex(0));
+
+  const std::vector<size_t> *A = ColdClone.probeIndex(0, Value::makeInt(2));
+  const std::vector<size_t> *B = WarmClone.probeIndex(0, Value::makeInt(2));
+  ASSERT_NE(A, nullptr);
+  ASSERT_NE(B, nullptr);
+  EXPECT_EQ(*A, *B);
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism across thread counts
+//===----------------------------------------------------------------------===//
+
+TEST(ScalingDeterminismTest, ProgramHashIdenticalAcrossJobs) {
+  // The acceptance bar for every scaling change: Deterministic mode is
+  // byte-identical at jobs 1, 2, 4, and 8 — asserted on the FNV-1a program
+  // hash, the same fingerprint the BENCH_PR8.json scaling rows carry.
+  for (const char *Name : {"Ambler-3", "Ambler-6"}) {
+    Benchmark B = loadBenchmark(Name);
+    uint64_t Reference = 0;
+    bool HaveRef = false;
+    for (unsigned Jobs : {1u, 2u, 4u, 8u}) {
+      SynthOptions Opts;
+      Opts.Jobs = Jobs;
+      Opts.Solver.Batch = 4;
+      Opts.Deterministic = true;
+      SynthResult R = synthesize(B.Source, B.Prog, B.Target, Opts);
+      ASSERT_TRUE(R.succeeded()) << Name << " jobs=" << Jobs;
+      uint64_t H = fnv1a(R.Prog->str());
+      if (!HaveRef) {
+        Reference = H;
+        HaveRef = true;
+      } else {
+        EXPECT_EQ(H, Reference) << Name << " hash diverged at jobs=" << Jobs;
+      }
+    }
+  }
+}
