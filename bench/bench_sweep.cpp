@@ -1,14 +1,14 @@
-//===- bench/bench_sweep.cpp - Engine sweep (BENCH_PR8.json) ----------------===//
+//===- bench/bench_sweep.cpp - Engine sweep (BENCH_PR10.json) ---------------===//
 //
-// Measures the parallel synthesis engine, the indexed join engine, and the
-// copy-on-write state engine (docs/PERFORMANCE.md) and emits a
-// machine-readable report:
+// Measures the parallel synthesis engine, the indexed join engine, the
+// copy-on-write state engine, and the incremental SAT engine
+// (docs/PERFORMANCE.md) and emits a machine-readable report:
 //
 //  * per benchmark, wall-clock at jobs = 1, 2, and 4 (batch 4,
-//    deterministic, first-alternative bias off so candidate testing
-//    dominates), plus a source-cache on/off pair at jobs = 1 (the cache
-//    forced on for its rows — by default synthesize() only attaches it in
-//    parallel mode);
+//    deterministic, the production rank-order enumeration — candidate
+//    testing still dominates), plus a source-cache on/off pair at jobs = 1
+//    (the cache forced on for its rows — by default synthesize() only
+//    attaches it in parallel mode);
 //  * an eval-dominated three-table-join workload evaluated with the indexed
 //    engine and with the naive nested-loop oracle (MIGRATOR_NO_INDEX
 //    semantics), reporting wall-clock and the eval.tuples_scanned /
@@ -36,6 +36,13 @@
 //    the section carries a machine-readable `skipped: true` marker plus a
 //    `skip_reason`, and the truncated rows still gate "more threads must
 //    not be slower" via scripts/bench_diff.py;
+//  * a solver section (PR 10): the persistent incremental SAT engine vs
+//    the scratch-per-encoding oracle, per benchmark in two modes —
+//    `pipeline` (the production configuration run to completion; the
+//    synthesized-program hash must be identical across engines) and
+//    `enum` (reverse-rank enumerative stress under a fixed budget; both
+//    engines draw the same canonical model sequence, so sat_call_us_total
+//    at the reported call count compares the SAT loop itself);
 //  * a meta block (git SHA, compiler, build type, nproc, CPU model,
 //    timestamp) so every BENCH_*.json in the ledger is attributable to a
 //    revision and a host. When the scheduler affinity mask (nproc)
@@ -45,7 +52,7 @@
 //    (smaller) core count. MIGRATOR_SWEEP_IGNORE_NPROC=1 silences the
 //    warning; it is no longer required to run.
 //
-// Usage: bench_sweep [output.json]     (default BENCH_PR8.json)
+// Usage: bench_sweep [output.json]     (default BENCH_PR10.json)
 //
 // Environment: MIGRATOR_BENCH_BUDGET caps the per-run budget (seconds);
 // MIGRATOR_SWEEP_BENCHMARKS is a comma-separated benchmark-name override;
@@ -69,6 +76,7 @@
 #include "obs/Metrics.h"
 #include "parse/Parser.h"
 #include "relational/Table.h"
+#include "sat/Solver.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -137,8 +145,11 @@ struct SweepRow {
 
 SweepRow runOne(const Benchmark &B, unsigned Jobs, unsigned Batch,
                 bool UseCache) {
+  // Production configuration (rank-order canonical enumeration). Candidate
+  // testing still dominates — on coachup the winning candidate alone costs
+  // ~1M bounded-testing sequences — so these rows measure the engine users
+  // actually run, not a solver microbenchmark.
   SynthOptions Opts;
-  Opts.Solver.BiasFirstAlternatives = false; // Stress: testing dominates.
   Opts.Jobs = Jobs;
   Opts.Solver.Batch = Batch;
   Opts.Deterministic = true;
@@ -358,7 +369,11 @@ struct StateEngineRow {
 
 StateEngineRow runStateEngine(const Benchmark &B, bool Cow, bool Corpus) {
   SynthOptions Opts;
-  Opts.Solver.BiasFirstAlternatives = false; // Stress: testing dominates.
+  // Deliberate stress: reverse-rank enumeration forces the tester through
+  // dozens of failing candidates, the snapshot/corpus workload this
+  // ablation exists to measure (rank order would find coachup's program
+  // on the first draw and never exercise the corpus).
+  Opts.Solver.BiasFirstAlternatives = false;
   Opts.Deterministic = true;
   Opts.Solver.UseFailureCorpus = Corpus;
   Opts.TimeBudgetSec = budgetFor(B);
@@ -394,6 +409,121 @@ StateEngineRow runStateEngine(const Benchmark &B, bool Cow, bool Corpus) {
               static_cast<unsigned long long>(Row.PeakRssKb),
               static_cast<unsigned long long>(Row.CowClones),
               static_cast<unsigned long long>(Row.CorpusKills),
+              Row.ProgHash.c_str());
+  std::fflush(stdout);
+  return Row;
+}
+
+//===----------------------------------------------------------------------===//
+// Solver-engine workload: incremental assumption solver vs scratch oracle
+//===----------------------------------------------------------------------===//
+
+/// One run of one benchmark under one SAT-engine configuration.
+///
+/// Three modes per benchmark:
+///   - "pipeline": the full synthesis pipeline in the production
+///     configuration, same options as the `results` rows at jobs=1 — these
+///     complete, so `ok`, `wall_sec`, and `prog_hash` carry the end-to-end
+///     claims (incremental and scratch must synthesize byte-identical
+///     programs, and the incremental wall must hold the ledger line).
+///   - "stress": the same MFI search under reverse-rank enumeration — the
+///     solver grinds through dozens of failing candidates (and their MFI
+///     clauses) before completing, so the cross-engine hash equality here
+///     exercises the canonical model order through real conflict traffic.
+///   - "enum": the enumerative stress configuration (reverse-rank
+///     enumeration, MaxIters bounded per sketch) under a fixed wall
+///     budget. The sketch stream is unbounded, so these rows never
+///     "complete"; because decisions are in canonical fixed order both
+///     engines draw the *same* model sequence and the budget merely
+///     truncates it — sat_call_us_total at the reported call count is the
+///     SAT-loop cost comparison.
+struct SolverEngineRow {
+  std::string Bench;
+  std::string Mode; // "pipeline" | "stress" | "enum"
+  bool Incremental = true;
+  bool Ok = false;
+  double WallSec = 0;
+  uint64_t SatCalls = 0;
+  uint64_t Conflicts = 0;
+  uint64_t SatCallUsTotal = 0;
+  uint64_t AssumptionCalls = 0;
+  uint64_t ReduceDbs = 0;
+  uint64_t DeletedClauses = 0;
+  uint64_t PeakRssKb = 0;
+  std::string ProgHash;
+
+  std::string json() const {
+    std::ostringstream O;
+    O << "{\"benchmark\": " << obs::jsonString(Bench)
+      << ", \"mode\": " << obs::jsonString(Mode)
+      << ", \"incremental\": " << (Incremental ? "true" : "false")
+      << ", \"ok\": " << (Ok ? "true" : "false")
+      << ", \"wall_sec\": " << obs::jsonNumber(WallSec)
+      << ", \"sat_calls\": " << SatCalls << ", \"conflicts\": " << Conflicts
+      << ", \"sat_call_us_total\": " << SatCallUsTotal
+      << ", \"assumption_calls\": " << AssumptionCalls
+      << ", \"reduce_dbs\": " << ReduceDbs
+      << ", \"deleted_clauses\": " << DeletedClauses
+      << ", \"peak_rss_kb\": " << PeakRssKb
+      << ", \"prog_hash\": " << obs::jsonString(ProgHash) << "}";
+    return O.str();
+  }
+};
+
+SolverEngineRow runSolverEngine(const Benchmark &B, const std::string &Mode,
+                                bool Incremental) {
+  SynthOptions Opts;
+  // "stress" and "enum" grind the SAT loop with reverse-rank enumeration;
+  // "pipeline" keeps the production rank order so it matches the `results`
+  // rows.
+  Opts.Solver.BiasFirstAlternatives = Mode == "pipeline";
+  Opts.Deterministic = true;
+  if (Mode == "enum") {
+    Opts.Solver.TheMode = SolverOptions::Mode::Enumerative;
+    Opts.Solver.MaxIters = 200;
+    Opts.TimeBudgetSec = std::min(60.0, budgetFor(B));
+  } else {
+    // Mirror runOne's jobs=1 configuration so wall_sec is comparable to the
+    // `results` rows of earlier ledger entries.
+    Opts.UseSourceCache = true;
+    Opts.SourceCacheMinJobs = 1;
+    Opts.TimeBudgetSec = budgetFor(B);
+  }
+
+  const bool Saved = sat::satIncrementalEnabled();
+  sat::setSatIncrementalEnabled(Incremental);
+  resetPeakRss();
+  Timer Clock;
+  SynthResult R = synthesize(B.Source, B.Prog, B.Target, Opts);
+  double Wall = Clock.elapsedSeconds();
+  uint64_t Rss = peakRssKb();
+  sat::setSatIncrementalEnabled(Saved);
+
+  SolverEngineRow Row;
+  Row.Bench = B.Name;
+  Row.Mode = Mode;
+  Row.Incremental = Incremental;
+  Row.Ok = R.succeeded();
+  Row.WallSec = Wall;
+  Row.SatCalls = counterOf(R, "solver.sat_calls");
+  Row.Conflicts = counterOf(R, "solver.sat_conflicts");
+  auto HistIt = R.Metrics.Histograms.find("solver.sat_call_us");
+  Row.SatCallUsTotal =
+      HistIt == R.Metrics.Histograms.end() ? 0 : HistIt->second.Sum;
+  Row.AssumptionCalls = counterOf(R, "sat.assumption_calls");
+  Row.ReduceDbs = counterOf(R, "sat.reduce_dbs");
+  Row.DeletedClauses = counterOf(R, "sat.deleted_clauses");
+  Row.PeakRssKb = Rss;
+  Row.ProgHash = progHash(R);
+  std::printf("  %-16s %-8s inc=%-3s %-4s wall=%.2fs sat_us=%llu "
+              "calls=%llu conf=%llu del=%llu rss=%lluKB hash=%s\n",
+              B.Name.c_str(), Row.Mode.c_str(), Incremental ? "on" : "off",
+              Row.Ok ? "ok" : "FAIL", Row.WallSec,
+              static_cast<unsigned long long>(Row.SatCallUsTotal),
+              static_cast<unsigned long long>(Row.SatCalls),
+              static_cast<unsigned long long>(Row.Conflicts),
+              static_cast<unsigned long long>(Row.DeletedClauses),
+              static_cast<unsigned long long>(Row.PeakRssKb),
               Row.ProgHash.c_str());
   std::fflush(stdout);
   return Row;
@@ -544,7 +674,6 @@ struct ContentionRow {
 /// enabled profiler adds clock reads to every lock operation.
 std::vector<ContentionRow> runContention(const Benchmark &B, unsigned Jobs) {
   SynthOptions Opts;
-  Opts.Solver.BiasFirstAlternatives = false;
   Opts.Jobs = Jobs;
   Opts.Solver.Batch = 4;
   Opts.Deterministic = true;
@@ -674,7 +803,6 @@ struct ScalingSection {
 
 ScalingRow runScaling(const Benchmark &B, unsigned Jobs) {
   SynthOptions Opts;
-  Opts.Solver.BiasFirstAlternatives = false; // Stress: testing dominates.
   Opts.Jobs = Jobs;
   Opts.Solver.Batch = 4;
   Opts.Deterministic = true;
@@ -770,7 +898,7 @@ ScalingSection runScalingSweep(const std::vector<std::string> &Names,
 } // namespace
 
 int main(int Argc, char **Argv) {
-  const char *OutPath = Argc > 1 ? Argv[1] : "BENCH_PR8.json";
+  const char *OutPath = Argc > 1 ? Argv[1] : "BENCH_PR10.json";
   const bool Quick = quickMode();
   if (Quick && !std::getenv("MIGRATOR_BENCH_BUDGET"))
     setenv("MIGRATOR_BENCH_BUDGET", "3", 1);
@@ -787,7 +915,7 @@ int main(int Argc, char **Argv) {
         Names.push_back(Tok);
   }
 
-  std::printf("Parallel engine sweep (bias off, deterministic) -> %s\n",
+  std::printf("Parallel engine sweep (deterministic, production config) -> %s\n",
               OutPath);
   const std::vector<unsigned> JobsList =
       Quick ? std::vector<unsigned>{1u, 2u} : std::vector<unsigned>{1u, 2u, 4u};
@@ -848,6 +976,48 @@ int main(int Argc, char **Argv) {
       }
   }
 
+  // Solver-engine ablation: the persistent assumption-based solver against
+  // the scratch-solver-per-encoding oracle. Pipeline rows complete and must
+  // agree byte-for-byte on the synthesized program (decisions are in
+  // canonical fixed order, so the model sequence is engine-independent);
+  // enum rows stress the SAT loop itself under a fixed budget.
+  std::printf("Solver engine ablation (incremental vs scratch oracle)\n");
+  std::vector<SolverEngineRow> SolverRows;
+  for (const std::string &Name : Names) {
+    Benchmark B = loadBenchmark(Name);
+    for (const char *Mode : {"pipeline", "stress", "enum"}) {
+      std::string IncHash;
+      uint64_t IncSatUs = 0, IncCalls = 0;
+      for (bool Incremental : {true, false}) {
+        SolverRows.push_back(runSolverEngine(B, Mode, Incremental));
+        const SolverEngineRow &Row = SolverRows.back();
+        if (Incremental) {
+          IncHash = Row.ProgHash;
+          IncSatUs = Row.SatCallUsTotal;
+          IncCalls = Row.SatCalls;
+        } else {
+          if (Row.ProgHash != IncHash)
+            std::printf("  WARNING: %s %s synthesized program differs "
+                        "between engines (%s vs %s)\n",
+                        Name.c_str(), Row.Mode.c_str(), IncHash.c_str(),
+                        Row.ProgHash.c_str());
+          if (Row.Mode != "pipeline" && Row.SatCallUsTotal > 0 &&
+              IncSatUs > 0)
+            std::printf("  %-16s %s sat-loop win: %.2fx "
+                        "(scratch %llu us / incremental %llu us; "
+                        "calls %llu vs %llu)\n",
+                        Name.c_str(), Row.Mode.c_str(),
+                        static_cast<double>(Row.SatCallUsTotal) /
+                            static_cast<double>(IncSatUs),
+                        static_cast<unsigned long long>(Row.SatCallUsTotal),
+                        static_cast<unsigned long long>(IncSatUs),
+                        static_cast<unsigned long long>(Row.SatCalls),
+                        static_cast<unsigned long long>(IncCalls));
+        }
+      }
+    }
+  }
+
   std::ostringstream Out;
   Out << "{\n  \"meta\": " << metaJson(Quick)
       << ",\n  \"hardware_concurrency\": "
@@ -864,6 +1034,10 @@ int main(int Argc, char **Argv) {
   for (size_t I = 0; I < StateRows.size(); ++I)
     Out << "    " << StateRows[I].json()
         << (I + 1 < StateRows.size() ? ",\n" : "\n");
+  Out << "  ],\n  \"solver\": [\n";
+  for (size_t I = 0; I < SolverRows.size(); ++I)
+    Out << "    " << SolverRows[I].json()
+        << (I + 1 < SolverRows.size() ? ",\n" : "\n");
   Out << "  ],\n  \"results\": [\n";
   for (size_t I = 0; I < Rows.size(); ++I)
     Out << "    " << Rows[I].json() << (I + 1 < Rows.size() ? ",\n" : "\n");

@@ -8,7 +8,8 @@
 //   migrate_tool <file> <program-name> <source-schema> <target-schema>
 //                [budget-seconds] [--sql] [--mode=mfi|enum|cegis]
 //                [--jobs=N] [--batch=N] [--deterministic] [--no-src-cache]
-//                [--no-index] [--no-cow] [--no-corpus]
+//                [--no-index] [--no-cow] [--no-corpus] [--no-incremental]
+//                [--dump-cnf=<dir>]
 //                [--trace=<file.json>] [--stats] [--stats-json=<file>]
 //                [--profile-locks] [--flight-dump=<file.json>]
 //
@@ -31,6 +32,14 @@
 // differential oracle for the sharing machinery, identical output;
 // --no-corpus disables failure-directed candidate screening (replaying
 // recent killer sequences before the full bounded enumeration).
+//
+// Solver engine (see docs/PERFORMANCE.md): --no-incremental (or
+// MIGRATOR_NO_INCREMENTAL=1) replaces the persistent incremental SAT
+// engine (assumption solving, clause learning across queries, reduceDB)
+// with a fresh scratch solver per encoding — the differential oracle for
+// the solver machinery; the synthesized program is identical either way.
+// --dump-cnf=<dir> writes each sketch's standalone CNF encoding to
+// <dir>/sketch_<n>.cnf in DIMACS format for offline analysis.
 //
 // Observability (see docs/OBSERVABILITY.md): --trace=<file> writes a Chrome
 // trace_event JSON of the run (load into chrome://tracing or Perfetto);
@@ -56,6 +65,8 @@
 #include "relational/Table.h"
 #include "ast/SqlPrinter.h"
 #include "parse/Parser.h"
+#include "sat/Solver.h"
+#include "synth/Encoder.h"
 #include "synth/Synthesizer.h"
 
 #include <algorithm>
@@ -166,6 +177,10 @@ int main(int Argc, char **Argv) {
       setTableCowEnabled(false);
     } else if (Arg == "--no-corpus") {
       Opts.Solver.UseFailureCorpus = false;
+    } else if (Arg == "--no-incremental") {
+      sat::setSatIncrementalEnabled(false);
+    } else if (Arg.rfind("--dump-cnf=", 0) == 0) {
+      setSketchCnfDumpDir(Arg.substr(11));
     } else if (Arg.rfind("--trace=", 0) == 0) {
       TracePath = Arg.substr(8);
     } else if (Arg == "--stats") {

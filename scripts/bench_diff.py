@@ -5,9 +5,11 @@ Usage:
     scripts/bench_diff.py [options] BASELINE.json NEW.json
 
 Compares the two reports section by section — `results` (the parallel
-engine sweep), `state_engine`, `join_engine`, `contention`, and `scaling`
-(the jobs-sweep speedup curve) — matching rows by their configuration key
-and flagging regressions beyond tolerance:
+engine sweep), `state_engine`, `join_engine`, `solver` (the incremental
+SAT-engine ablation), `contention`, and `scaling` (the jobs-sweep speedup
+curve) — matching rows by their configuration key and flagging regressions
+beyond tolerance. `--section NAME` (repeatable) restricts the comparison
+to the named section(s):
 
   * wall-clock per row            (--wall-tol, default +10%)
   * peak RSS per state-engine row (--rss-tol, default +15%)
@@ -264,6 +266,11 @@ def main():
                     help="skip counter comparison below this baseline")
     ap.add_argument("--min-wait-ms", type=float, default=5.0,
                     help="skip wait comparison below this baseline (ms)")
+    ap.add_argument("--section", action="append",
+                    choices=["results", "state_engine", "join_engine",
+                             "solver", "contention", "scaling"],
+                    help="compare only this section (repeatable; "
+                         "default: every section)")
     args = ap.parse_args()
 
     base_doc = load(args.baseline)
@@ -279,31 +286,46 @@ def main():
     print(f"new:      {args.new}  ({fmt_meta(new_doc)})")
 
     ledger = Ledger()
+    sections = set(args.section or ["results", "state_engine", "join_engine",
+                                    "solver", "contention", "scaling"])
     wall = ("wall_sec", args.wall_tol, args.min_wall_sec, "s")
-    cmp_section(
-        ledger, base_doc, new_doc, "results",
-        ("benchmark", "jobs", "batch", "src_cache"),
-        [wall, ("sequences_run", args.work_tol, args.min_work, ""),
-         ("iters", args.work_tol, args.min_work, "")],
-        args, check_ok=True)
-    cmp_section(
-        ledger, base_doc, new_doc, "state_engine",
-        ("benchmark", "cow", "corpus"),
-        [wall, ("peak_rss_kb", args.rss_tol, 0, "KB"),
-         ("sequences_run", args.work_tol, args.min_work, "")],
-        args, check_ok=True, check_hash=True)
-    cmp_section(
-        ledger, base_doc, new_doc, "join_engine",
-        ("indexed",),
-        [wall, ("tuples_scanned", args.work_tol, args.min_work, "")],
-        args)
-    cmp_section(
-        ledger, base_doc, new_doc, "contention",
-        ("benchmark", "jobs", "site"),
-        [("wait_ns", args.wait_tol, args.min_wait_ms * 1e6, "ns")],
-        args)
-    cmp_scaling(ledger, base_doc, new_doc, args)
-    check_scaling_invariants(ledger, new_doc, args.new, args)
+    if "results" in sections:
+        cmp_section(
+            ledger, base_doc, new_doc, "results",
+            ("benchmark", "jobs", "batch", "src_cache"),
+            [wall, ("sequences_run", args.work_tol, args.min_work, ""),
+             ("iters", args.work_tol, args.min_work, "")],
+            args, check_ok=True)
+    if "state_engine" in sections:
+        cmp_section(
+            ledger, base_doc, new_doc, "state_engine",
+            ("benchmark", "cow", "corpus"),
+            [wall, ("peak_rss_kb", args.rss_tol, 0, "KB"),
+             ("sequences_run", args.work_tol, args.min_work, "")],
+            args, check_ok=True, check_hash=True)
+    if "join_engine" in sections:
+        cmp_section(
+            ledger, base_doc, new_doc, "join_engine",
+            ("indexed",),
+            [wall, ("tuples_scanned", args.work_tol, args.min_work, "")],
+            args)
+    if "solver" in sections:
+        cmp_section(
+            ledger, base_doc, new_doc, "solver",
+            ("benchmark", "mode", "incremental"),
+            [wall, ("peak_rss_kb", args.rss_tol, 0, "KB"),
+             ("sat_call_us_total", args.work_tol, args.min_work, "us"),
+             ("conflicts", args.work_tol, args.min_work, "")],
+            args, check_ok=True, check_hash=True)
+    if "contention" in sections:
+        cmp_section(
+            ledger, base_doc, new_doc, "contention",
+            ("benchmark", "jobs", "site"),
+            [("wait_ns", args.wait_tol, args.min_wait_ms * 1e6, "ns")],
+            args)
+    if "scaling" in sections:
+        cmp_scaling(ledger, base_doc, new_doc, args)
+        check_scaling_invariants(ledger, new_doc, args.new, args)
 
     for msg in ledger.notes:
         print(f"note:       {msg}")

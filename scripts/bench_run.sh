@@ -2,7 +2,7 @@
 #===- scripts/bench_run.sh - Engine benchmark sweep -------------------------===#
 #
 # Builds the Release tree and runs bench_sweep, producing the
-# machine-readable BENCH_PR8.json report: a `meta` block (git SHA, compiler,
+# machine-readable BENCH_PR10.json report: a `meta` block (git SHA, compiler,
 # nproc, CPU model, UTC timestamp) so ledger entries are attributable; per
 # benchmark, wall-clock at jobs = 1, 2, and 4 (deterministic, batch 4) plus
 # a source-cache on/off pair; a `scaling` section — the jobs {1,2,4,8}
@@ -10,7 +10,11 @@
 # machine-readable `skipped` marker on hosts without the cores; the
 # join-engine ablation (indexed vs naive nested-loop); the state-engine
 # ablation (COW snapshots on/off x failure corpus on/off, with peak RSS and
-# a synthesized-program hash that must match across configurations); and a
+# a synthesized-program hash that must match across configurations); the
+# solver-engine ablation (persistent assumption-based SAT solver vs the
+# scratch-per-encoding oracle, in both the completing pipeline config and a
+# fixed-budget enumerative stress config, with `solver.sat_call_us` totals
+# and cross-engine program hashes that must agree); and a
 # `contention` section — per-lock-site acquisition/wait/hold totals and
 # wait percentiles from a dedicated profiled re-run at the widest jobs
 # setting (striped src_cache.s<I> sites plus a summed `src_cache` row for
@@ -19,10 +23,10 @@
 # warns and self-labels (meta + skip marker) instead of refusing to run.
 #
 # Compare two reports with scripts/bench_diff.py — the regression ledger:
-#   scripts/bench_diff.py BENCH_PR5.json BENCH_PR8.json
+#   scripts/bench_diff.py BENCH_PR8.json BENCH_PR10.json
 #
 # Usage: scripts/bench_run.sh [build-dir] [output.json]
-#        (defaults: build, BENCH_PR8.json at the repo root)
+#        (defaults: build, BENCH_PR10.json at the repo root)
 #
 # Environment: MIGRATOR_BENCH_BUDGET (per-run seconds cap),
 # MIGRATOR_SWEEP_BENCHMARKS (comma-separated names), MIGRATOR_SWEEP_QUICK=1
@@ -34,7 +38,7 @@ set -euo pipefail
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$REPO/build}"
-OUT="${2:-$REPO/BENCH_PR8.json}"
+OUT="${2:-$REPO/BENCH_PR10.json}"
 
 echo "== configure + build (Release) =="
 cmake -B "$BUILD" -S "$REPO" -DCMAKE_BUILD_TYPE=Release

@@ -2,10 +2,11 @@
 #===- scripts/check.sh - Sanitized build + tests + obs smoke run ------------===#
 #
 # The tier-1 verification script, strengthened: Debug build under
-# Address/UndefinedBehaviorSanitizer, the full ctest suite (run three times:
+# Address/UndefinedBehaviorSanitizer, the full ctest suite (run four times:
 # with the default engines, with MIGRATOR_NO_INDEX=1 forcing the naive
-# nested-loop join oracle, and with MIGRATOR_NO_COW=1 forcing the deep-copy
-# table-storage oracle), a migrate_tool observability smoke run whose
+# nested-loop join oracle, with MIGRATOR_NO_COW=1 forcing the deep-copy
+# table-storage oracle, and with MIGRATOR_NO_INCREMENTAL=1 forcing the
+# scratch-per-encoding SAT oracle), a migrate_tool observability smoke run whose
 # emitted trace/stats/flight JSON is validated with trace_check (per-worker
 # trace lanes, lock-contention metrics, flight-recorder dump), a
 # deterministic-mode byte-identity check across jobs=1/2/4 (and with
@@ -47,6 +48,9 @@ MIGRATOR_NO_INDEX=1 ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
 echo "== ctest (MIGRATOR_NO_COW=1: deep-copy storage oracle) =="
 MIGRATOR_NO_COW=1 ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
 
+echo "== ctest (MIGRATOR_NO_INCREMENTAL=1: scratch SAT-solver oracle) =="
+MIGRATOR_NO_INCREMENTAL=1 ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
+
 echo "== observability smoke run =="
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -81,6 +85,15 @@ MIGRATOR_TRACE="$TMP/env.trace.json" \
 # Deep-copy storage oracle end to end under ASan/UBSan.
 "$BUILD/examples/migrate_tool" "$TMP/dbp/Ambler-8.dbp" App \
   Ambler_8Src Ambler_8Tgt --no-cow 120 > /dev/null
+
+# Scratch SAT-solver oracle end to end under ASan/UBSan, plus a CNF dump
+# that must produce at least one well-formed DIMACS file.
+"$BUILD/examples/migrate_tool" "$TMP/dbp/Ambler-8.dbp" App \
+  Ambler_8Src Ambler_8Tgt --no-incremental 120 > /dev/null
+mkdir -p "$TMP/cnf"
+"$BUILD/examples/migrate_tool" "$TMP/dbp/Ambler-2.dbp" App \
+  Ambler_2Src Ambler_2Tgt --dump-cnf="$TMP/cnf" 120 > /dev/null
+grep -q '^p cnf ' "$TMP/cnf/sketch_0.cnf"
 
 echo "== deterministic mode is byte-identical across thread counts =="
 # jobs=1 is the reference; jobs=2 and jobs=4 (plus profiling at jobs=2)
@@ -135,7 +148,7 @@ if [ "${MIGRATOR_SKIP_TSAN:-0}" != "1" ]; then
   cmake --build "$TSAN_BUILD" -j"$(nproc)" --target migrator_tests \
     --target migrate_tool --target dump_benchmarks --target trace_check
   ctest --test-dir "$TSAN_BUILD" --output-on-failure \
-    -R 'ThreadPool|ParallelSynth|SourceCache|StripedSourceCache|CowIndexStress|ScalingDeterminism|SolveStats|TableCow|CowDifferential|LockProfile|MetricShard|Flight|WorkerLane'
+    -R 'ThreadPool|ParallelSynth|SourceCache|StripedSourceCache|CowIndexStress|ScalingDeterminism|SolveStats|TableCow|CowDifferential|LockProfile|MetricShard|Flight|WorkerLane|SatAssumption|SatReduceDb'
   # A real parallel run under TSan: portfolio + batching + shared cache +
   # COW payloads shared across workers — with lock profiling and the
   # flight recorder live; then the same with the deep-copy storage oracle.

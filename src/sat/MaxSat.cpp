@@ -9,6 +9,12 @@
 using namespace migrator;
 using namespace migrator::sat;
 
+MaxSatSolver::MaxSatSolver() : Incremental(satIncrementalEnabled()) {}
+
+uint64_t MaxSatSolver::getNumAssumptionCalls() const {
+  return Sat ? Sat->getNumAssumptionCalls() : 0;
+}
+
 int MaxSatSolver::addVars(int N) {
   assert(N >= 0 && "negative variable count");
   int First = NumVars;
@@ -187,7 +193,215 @@ bool MaxSatSolver::search(SearchState &St) {
   return true;
 }
 
+//===----------------------------------------------------------------------===//
+// Incremental engine: branch-and-bound over assumption probes
+//===----------------------------------------------------------------------===//
+
+/// Per-solve() state of the incremental engine. The branching skeleton
+/// (Order, phase preference, bound, leaf-only model recording) mirrors
+/// SearchState exactly; only the feasibility check differs.
+struct MaxSatSolver::ProbeState {
+  std::vector<int8_t> Assign; ///< -1 undef / 0 false / 1 true (decisions).
+  std::vector<Var> Order;     ///< Static branching order.
+  std::vector<Lit> Assumps;   ///< Solver literals of the decisions, in
+                              ///< decision order: each node's vector
+                              ///< extends its parent's by one literal.
+
+  uint64_t TotalSoft = 0;
+  uint64_t BestLost = 0;
+  bool HaveBest = false;
+  std::vector<bool> BestModel;
+
+  uint64_t Nodes = 0;
+  uint64_t NodeBudget = 0;
+  bool BudgetExhausted = false;
+  uint64_t BoundPrunes = 0;
+  uint64_t ConflictPrunes = 0;
+  uint64_t ModelsFound = 0;
+
+  const std::vector<SoftClause> *Soft = nullptr;
+
+  int8_t litValue(Lit L) const {
+    int8_t A = Assign[L.var()];
+    if (A == Undef)
+      return Undef;
+    return static_cast<int8_t>((A == 1) != L.negated() ? 1 : 0);
+  }
+
+  /// Weight of soft clauses every literal of which is decided false. Uses
+  /// only the branch-and-bound decisions (the solver's probe models are
+  /// never consulted), so the bound is weaker than the legacy engine's
+  /// propagation-aware one — it prunes less, never differently.
+  uint64_t lostWeight() const {
+    uint64_t Lost = 0;
+    for (const SoftClause &C : *Soft) {
+      bool AllFalse = true;
+      for (const Lit &L : C.Lits)
+        if (litValue(L) != 0) {
+          AllFalse = false;
+          break;
+        }
+      if (AllFalse)
+        Lost += C.Weight;
+    }
+    return Lost;
+  }
+};
+
+void MaxSatSolver::syncSat() {
+  if (!Sat)
+    Sat = std::make_unique<Solver>();
+  while (OrigToSat.size() < static_cast<size_t>(NumVars))
+    OrigToSat.push_back(Sat->newVar());
+  auto MapLit = [this](Lit L) {
+    Var V = OrigToSat[L.var()];
+    return L.negated() ? negLit(V) : posLit(V);
+  };
+  // Soft clause i becomes the hard relaxation clause (C_i ∨ r_i): setting
+  // r_i true "pays" for violating the soft. The branch-and-bound layer
+  // accounts the weights itself, so r_i never appears in an assumption —
+  // it only keeps the solver from treating softs as mandatory.
+  for (; SyncedSoft < Soft.size(); ++SyncedSoft) {
+    Var R = Sat->newVar();
+    RelaxOf.push_back(R);
+    std::vector<Lit> C;
+    C.reserve(Soft[SyncedSoft].Lits.size() + 1);
+    for (const Lit &L : Soft[SyncedSoft].Lits)
+      C.push_back(MapLit(L));
+    C.push_back(posLit(R));
+    Sat->addClause(std::move(C));
+  }
+  // New hard clauses (the enumerator's blocking clauses) may land on a
+  // standing trail; the incremental solver accepts them there.
+  for (; SyncedHard < Hard.size(); ++SyncedHard) {
+    std::vector<Lit> C;
+    C.reserve(Hard[SyncedHard].size());
+    for (const Lit &L : Hard[SyncedHard])
+      C.push_back(MapLit(L));
+    if (!Sat->addClause(std::move(C)))
+      return; // Root-level unsat is latched; probes below report it.
+  }
+}
+
+bool MaxSatSolver::probeSearch(ProbeState &St) {
+  if (St.NodeBudget != 0 && St.Nodes >= St.NodeBudget) {
+    St.BudgetExhausted = true;
+    return false;
+  }
+  ++St.Nodes;
+
+  // Feasibility probe: do the hard clauses have a model extending the
+  // decisions so far? An unsat answer prunes the whole subtree (strictly
+  // stronger than the legacy engine's single-clause conflict check).
+  if (Sat->solve(St.Assumps) != Solver::Result::Sat) {
+    ++St.ConflictPrunes;
+    return false;
+  }
+
+  uint64_t Lost = St.lostWeight();
+  if (St.HaveBest && Lost >= St.BestLost) {
+    ++St.BoundPrunes;
+    return false;
+  }
+
+  Var Next = -1;
+  for (Var V : St.Order)
+    if (St.Assign[V] == Undef) {
+      Next = V;
+      break;
+    }
+
+  if (Next < 0) {
+    // Total decision assignment; the probe above proved it a model of the
+    // hard clauses. Recording only here (never a probe's own model) keeps
+    // the returned optimum bit-identical to the legacy engine's.
+    ++St.ModelsFound;
+    St.BestLost = Lost;
+    St.HaveBest = true;
+    St.BestModel.resize(St.Assign.size());
+    for (size_t V = 0; V < St.Assign.size(); ++V)
+      St.BestModel[V] = St.Assign[V] == 1;
+    return true;
+  }
+
+  uint64_t PosW = 0, NegW = 0;
+  for (const SoftClause &C : *St.Soft)
+    for (const Lit &L : C.Lits) {
+      if (L.var() != Next)
+        continue;
+      (L.negated() ? NegW : PosW) += C.Weight;
+    }
+  bool First = PosW >= NegW;
+
+  for (int Phase = 0; Phase < 2; ++Phase) {
+    bool B = Phase == 0 ? First : !First;
+    St.Assign[Next] = B ? 1 : 0;
+    St.Assumps.push_back(B ? posLit(OrigToSat[Next])
+                           : negLit(OrigToSat[Next]));
+    probeSearch(St);
+    St.Assumps.pop_back();
+    St.Assign[Next] = Undef;
+    if (St.BudgetExhausted)
+      break;
+  }
+  return true;
+}
+
 std::optional<MaxSatResult> MaxSatSolver::solve(uint64_t NodeBudget) {
+  if (Incremental) {
+    syncSat();
+    ProbeState St;
+    St.Assign.assign(NumVars, Undef);
+    St.Soft = &Soft;
+    St.NodeBudget = NodeBudget;
+    St.TotalSoft = std::accumulate(
+        Soft.begin(), Soft.end(), uint64_t(0),
+        [](uint64_t Acc, const SoftClause &C) { return Acc + C.Weight; });
+
+    std::vector<uint64_t> VarWeight(NumVars, 0);
+    for (const SoftClause &C : Soft)
+      for (const Lit &L : C.Lits)
+        VarWeight[L.var()] += C.Weight;
+    St.Order.resize(NumVars);
+    std::iota(St.Order.begin(), St.Order.end(), 0);
+    std::stable_sort(St.Order.begin(), St.Order.end(),
+                     [&VarWeight](Var A, Var B) {
+                       return VarWeight[A] > VarWeight[B];
+                     });
+
+    probeSearch(St);
+
+    ++TheStats.Calls;
+    TheStats.Nodes += St.Nodes;
+    TheStats.BoundPrunes += St.BoundPrunes;
+    TheStats.ConflictPrunes += St.ConflictPrunes;
+    TheStats.ModelsFound += St.ModelsFound;
+
+    if (!St.HaveBest) {
+      // A budget too small to reach any leaf still owes the caller a model
+      // of the hard clauses if one exists: take an unconstrained probe's
+      // model and report its evaluated soft weight.
+      if (St.BudgetExhausted &&
+          Sat->solve(std::vector<Lit>()) == Solver::Result::Sat) {
+        MaxSatResult R;
+        R.Model.resize(NumVars);
+        for (int V = 0; V < NumVars; ++V)
+          R.Model[V] = Sat->modelValue(OrigToSat[V]);
+        R.Weight = 0;
+        for (const SoftClause &C : Soft)
+          for (const Lit &L : C.Lits)
+            if (R.Model[L.var()] != L.negated()) {
+              R.Weight += C.Weight;
+              break;
+            }
+        ++TheStats.ModelsFound;
+        return R;
+      }
+      return std::nullopt;
+    }
+    return MaxSatResult{St.BestModel, St.TotalSoft - St.BestLost};
+  }
+
   SearchState St;
   St.Assign.assign(NumVars, Undef);
   St.Hard = &Hard;

@@ -21,6 +21,7 @@
 #include "sat/Solver.h"
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -57,8 +58,24 @@ struct MaxSatStats {
 /// Usage: allocate variables, add hard and soft clauses, then call solve().
 /// Hard clauses may be added between solve() calls (the VC enumerator adds
 /// blocking clauses this way).
+///
+/// Two engines share the branch-and-bound skeleton (same static branching
+/// order, same soft-weight phase preference, model recorded only at total
+/// assignments), so both return the same depth-first-first optimum:
+///
+///  - Legacy: per-node unit propagation over the raw hard-clause list,
+///    search state rebuilt from scratch on every solve().
+///  - Incremental (default, see satIncrementalEnabled()): one persistent
+///    CDCL solver holds the hard clauses plus a relaxation clause
+///    (C_i ∨ r_i) per soft; each node is a feasibility probe
+///    solve(assumptions) whose assumption vector extends its parent's by
+///    one literal, so descending reuses the whole trail, and clauses
+///    learned under one probe prune every later probe — including across
+///    the blocking clauses the VC enumerator adds between solve() calls.
 class MaxSatSolver {
 public:
+  MaxSatSolver();
+
   /// Allocates \p N fresh variables; returns the first index.
   int addVars(int N);
 
@@ -79,6 +96,10 @@ public:
 
   const MaxSatStats &getStats() const { return TheStats; }
 
+  /// Assumption-guarded probes issued by the incremental engine (0 under
+  /// the legacy engine). Reported as the sat.assumption_calls counter.
+  uint64_t getNumAssumptionCalls() const;
+
 private:
   int NumVars = 0;
   MaxSatStats TheStats;
@@ -88,6 +109,19 @@ private:
   // Search state (rebuilt per solve()).
   struct SearchState;
   bool search(SearchState &St);
+
+  // Incremental engine: persistent CDCL solver, lazily synced with the
+  // clause lists above before each solve().
+  const bool Incremental;
+  std::unique_ptr<Solver> Sat;
+  std::vector<Var> OrigToSat; ///< MaxSAT variable -> solver variable.
+  std::vector<Var> RelaxOf;   ///< Soft clause index -> relaxation variable.
+  size_t SyncedHard = 0;      ///< Hard clauses already in the solver.
+  size_t SyncedSoft = 0;      ///< Soft clauses already relaxed-and-added.
+
+  struct ProbeState;
+  void syncSat();
+  bool probeSearch(ProbeState &St);
 };
 
 } // namespace sat

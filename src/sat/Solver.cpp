@@ -3,6 +3,10 @@
 #include "sat/Solver.h"
 
 #include <algorithm>
+#include <atomic>
+#include <climits>
+#include <cstdlib>
+#include <string_view>
 
 using namespace migrator;
 using namespace migrator::sat;
@@ -24,7 +28,31 @@ uint64_t luby(uint64_t I) {
   return 1ULL << (K - 1);
 }
 
+/// -1: follow the environment; 0/1: explicit override.
+std::atomic<int> IncrementalOverride{-1};
+
+bool envDisablesIncremental() {
+  static const bool Disabled = [] {
+    const char *E = std::getenv("MIGRATOR_NO_INCREMENTAL");
+    return E && *E && std::string_view(E) != "0";
+  }();
+  return Disabled;
+}
+
 } // namespace
+
+bool sat::satIncrementalEnabled() {
+  int O = IncrementalOverride.load(std::memory_order_relaxed);
+  if (O >= 0)
+    return O != 0;
+  return !envDisablesIncremental();
+}
+
+void sat::setSatIncrementalEnabled(bool On) {
+  IncrementalOverride.store(On ? 1 : 0, std::memory_order_relaxed);
+}
+
+Solver::Solver() : Incremental(satIncrementalEnabled()) {}
 
 Var Solver::newVar() {
   Var V = getNumVars();
@@ -34,7 +62,10 @@ Var Solver::newVar() {
   Reason.push_back(NoReason);
   Activity.push_back(0.0);
   SavedPhase.push_back(false);
+  UserPhase.push_back(false);
   HeapPos.push_back(-1);
+  Seen.push_back(0);
+  LevelStamp.push_back(0);
   Watches.emplace_back();
   Watches.emplace_back();
   heapInsert(V);
@@ -44,7 +75,10 @@ Var Solver::newVar() {
 bool Solver::addClause(std::vector<Lit> Lits) {
   if (Unsatisfiable)
     return false;
-  assert(decisionLevel() == 0 && "clauses must be added at the root level");
+  if (decisionLevel() > 0) {
+    assert(Incremental && "clauses must be added at the root level");
+    return addClauseOnTrail(std::move(Lits));
+  }
 
   // Simplify: sort, dedup, drop root-false literals, detect tautologies and
   // root-satisfied clauses.
@@ -78,6 +112,100 @@ bool Solver::addClause(std::vector<Lit> Lits) {
     return true;
   }
   attachClause(Clause{std::move(Out), /*Learned=*/false});
+  return true;
+}
+
+bool Solver::addClauseOnTrail(std::vector<Lit> Lits) {
+  // Incremental engine: a clause arrives while a trail from a previous
+  // solve(Assumptions) is still standing (e.g. a blocking clause over the
+  // model just returned). Simplify against level-0 facts only — assignments
+  // above the root are tentative — then backjump just far enough that the
+  // clause is no longer falsified, attach it, and leave propagation to the
+  // next solve() (PropHead trails any literal enqueued here).
+  std::sort(Lits.begin(), Lits.end());
+  std::vector<Lit> Out;
+  for (size_t I = 0; I < Lits.size(); ++I) {
+    Lit L = Lits[I];
+    assert(L.var() >= 0 && L.var() < getNumVars() && "literal out of range");
+    if (I + 1 < Lits.size() && Lits[I + 1] == ~L)
+      return true; // Tautology.
+    if (I > 0 && L == Lits[I - 1])
+      continue; // Duplicate.
+    int RV = rootValue(L.var());
+    if (RV != 0) {
+      bool TrueAtRoot = (RV > 0) != L.negated();
+      if (TrueAtRoot)
+        return true; // Permanently satisfied.
+      continue;      // Permanently falsified; drop.
+    }
+    Out.push_back(L);
+  }
+
+  if (Out.empty()) {
+    Unsatisfiable = true;
+    return false;
+  }
+  if (Out.size() == 1) {
+    // A unit over a root-free variable is a root fact: return to the root
+    // and take the legacy unit path.
+    cancelUntil(0);
+    enqueue(Out[0], NoReason);
+    if (propagate() != NoReason) {
+      Unsatisfiable = true;
+      return false;
+    }
+    return true;
+  }
+
+  // Order literals so the two best watch candidates sit at positions 0/1:
+  // non-false literals first, then false literals by descending assignment
+  // level. The input is sorted by literal code, so the stable sort keeps the
+  // result deterministic.
+  auto RankOf = [&](Lit L) {
+    return valueOf(L) == LFalse ? Level[L.var()] : INT_MAX;
+  };
+  std::stable_sort(Out.begin(), Out.end(),
+                   [&](Lit A, Lit B) { return RankOf(A) > RankOf(B); });
+  size_t NumNonFalse = 0;
+  while (NumNonFalse < Out.size() && valueOf(Out[NumNonFalse]) != LFalse)
+    ++NumNonFalse;
+
+  if (NumNonFalse >= 2) {
+    attachClause(Clause{std::move(Out), /*Learned=*/false});
+    return true;
+  }
+  if (NumNonFalse == 1) {
+    bool Undef = valueOf(Out[0]) == LUndef;
+    Lit First = Out[0];
+    int Ref = attachClause(Clause{std::move(Out), /*Learned=*/false});
+    if (Undef) {
+      // Unit under the current trail: assert it here; the next solve()
+      // propagates it (and a conflict on a later backtrack is caught by the
+      // watches).
+      ++Propagations;
+      enqueue(First, Ref);
+    }
+    return true;
+  }
+
+  // Fully falsified under the current trail. Backjump so it no longer is:
+  // Out[0]/Out[1] carry the two highest assignment levels.
+  int L0 = Level[Out[0].var()];
+  int L1 = Level[Out[1].var()];
+  assert(L0 >= L1 && L0 >= 1 && "root-false literals were dropped above");
+  if (L0 == L1) {
+    // Undo the shared level: both watches become unassigned.
+    cancelUntil(L0 - 1);
+    attachClause(Clause{std::move(Out), /*Learned=*/false});
+    return true;
+  }
+  // Undo down to the second-highest level: the clause becomes unit on
+  // Out[0], which we assert with the clause as its reason.
+  cancelUntil(L1);
+  Lit First = Out[0];
+  int Ref = attachClause(Clause{std::move(Out), /*Learned=*/false});
+  ++Propagations;
+  enqueue(First, Ref);
   return true;
 }
 
@@ -123,6 +251,8 @@ void Solver::cancelUntil(int TargetLevel) {
     SavedPhase[V] = Assigns[V] == LTrue;
     Assigns[V] = LUndef;
     Reason[V] = NoReason;
+    if (V < FixedCursor)
+      FixedCursor = V;
     if (HeapPos[V] < 0)
       heapInsert(V);
   }
@@ -179,11 +309,25 @@ int Solver::propagate() {
   return NoReason;
 }
 
-void Solver::analyze(int ConflRef, std::vector<Lit> &Learnt, int &BtLevel) {
+int Solver::computeLbd(const std::vector<Lit> &Lits) {
+  ++CurStamp;
+  int Count = 0;
+  for (const Lit &L : Lits) {
+    int Lv = Level[L.var()];
+    if (Lv == 0)
+      continue;
+    if (LevelStamp[Lv] != CurStamp) {
+      LevelStamp[Lv] = CurStamp;
+      ++Count;
+    }
+  }
+  return Count;
+}
+
+void Solver::analyze(int ConflRef, std::vector<Lit> &Learnt) {
   Learnt.clear();
   Learnt.push_back(Lit()); // Placeholder for the asserting literal.
 
-  std::vector<bool> Seen(getNumVars(), false);
   int PathCount = 0;
   Lit P;
   bool HaveP = false;
@@ -192,14 +336,23 @@ void Solver::analyze(int ConflRef, std::vector<Lit> &Learnt, int &BtLevel) {
   int Ref = ConflRef;
   do {
     assert(Ref != NoReason && "conflict analysis ran out of reasons");
-    const Clause &C = Clauses[Ref];
+    Clause &C = Clauses[Ref];
+    // Glucose-style refresh: a learned clause that keeps showing up in
+    // conflicts gets its glue re-measured (it can only shrink), protecting
+    // it from the next reduceDB pass.
+    if (Incremental && C.Learned) {
+      int NewLbd = computeLbd(C.Lits);
+      if (NewLbd < C.Lbd)
+        C.Lbd = NewLbd;
+    }
     for (const Lit &Q : C.Lits) {
       if (HaveP && Q == P)
         continue;
       Var V = Q.var();
       if (Seen[V] || Level[V] == 0)
         continue;
-      Seen[V] = true;
+      Seen[V] = 1;
+      ToClear.push_back(V);
       bumpActivity(V);
       if (Level[V] >= decisionLevel())
         ++PathCount;
@@ -213,25 +366,86 @@ void Solver::analyze(int ConflRef, std::vector<Lit> &Learnt, int &BtLevel) {
     --Index;
     HaveP = true;
     Ref = Reason[P.var()];
-    Seen[P.var()] = false;
+    Seen[P.var()] = 0;
     --PathCount;
   } while (PathCount > 0);
 
   Learnt[0] = ~P;
+  // On exit, Seen is still set exactly for the variables of Learnt[1..]
+  // (plus resolved-away current-level variables already cleared above);
+  // minimizeLearnt() relies on this, and the caller clears via ToClear.
+}
 
-  // Backtrack level: the highest level among the non-asserting literals.
-  BtLevel = 0;
-  size_t MaxIdx = 1;
-  for (size_t I = 1; I < Learnt.size(); ++I)
-    if (Level[Learnt[I].var()] > BtLevel) {
-      BtLevel = Level[Learnt[I].var()];
-      MaxIdx = I;
+void Solver::minimizeLearnt(std::vector<Lit> &Learnt) {
+  // Basic (non-recursive) learnt minimization: a literal is redundant if its
+  // reason clause is entirely covered by other learnt literals and root
+  // facts. Relies on the Seen marks analyze() left behind.
+  size_t Kept = 1;
+  for (size_t I = 1; I < Learnt.size(); ++I) {
+    Lit Q = Learnt[I];
+    int Ref = Reason[Q.var()];
+    bool Removable = Ref != NoReason;
+    if (Removable) {
+      for (const Lit &X : Clauses[Ref].Lits) {
+        if (X.var() == Q.var())
+          continue;
+        if (!Seen[X.var()] && Level[X.var()] != 0) {
+          Removable = false;
+          break;
+        }
+      }
     }
-  if (Learnt.size() > 1)
-    std::swap(Learnt[1], Learnt[MaxIdx]);
+    if (!Removable)
+      Learnt[Kept++] = Q;
+  }
+  Learnt.resize(Kept);
+}
+
+void Solver::analyzeFinal(Lit P) {
+  // solve(Assumptions) found assumption P falsified by the standing trail:
+  // collect the subset of assumption pseudo-decisions whose propagation
+  // forced ~P. Together with P they form an unsatisfiable conjunction.
+  Conflict.clear();
+  Conflict.push_back(P);
+  if (decisionLevel() == 0 || Level[P.var()] == 0)
+    return;
+
+  Seen[P.var()] = 1;
+  for (size_t I = Trail.size(); I > static_cast<size_t>(TrailLim[0]); --I) {
+    Var V = Trail[I - 1].var();
+    if (!Seen[V])
+      continue;
+    Seen[V] = 0;
+    if (Reason[V] == NoReason) {
+      // A decision above the root; while asserting assumptions every such
+      // decision is itself an assumption.
+      assert(Level[V] > 0 && "level-0 assignments have no decision");
+      Conflict.push_back(Trail[I - 1]);
+    } else {
+      const Clause &C = Clauses[Reason[V]];
+      for (const Lit &Q : C.Lits)
+        if (Q.var() != V && Level[Q.var()] > 0)
+          Seen[Q.var()] = 1;
+    }
+  }
+  Seen[P.var()] = 0;
 }
 
 Lit Solver::pickBranchLit() {
+  if (FixedOrder) {
+    // Canonical rule: lowest-indexed unassigned variable at its preferred
+    // phase. The cursor only moves forward within a descent and rewinds in
+    // cancelUntil(), so a whole descent scans each index at most once.
+    Var V = FixedCursor;
+    int N = getNumVars();
+    while (V < N && Assigns[V] != LUndef)
+      ++V;
+    FixedCursor = V;
+    if (V >= N)
+      return Lit();
+    ++FixedCursor;
+    return Lit(V, !UserPhase[V]);
+  }
   while (true) {
     if (Heap.empty())
       return Lit();
@@ -241,15 +455,143 @@ Lit Solver::pickBranchLit() {
   }
 }
 
-Solver::Result Solver::solve() {
+void Solver::reduceDB() {
+  // Which clauses are locked (serving as the reason of a standing
+  // assignment)? Those must survive so Reason[] stays valid.
+  std::vector<char> Locked(Clauses.size(), 0);
+  for (Var V = 0; V < getNumVars(); ++V)
+    if (Assigns[V] != LUndef && Reason[V] != NoReason)
+      Locked[Reason[V]] = 1;
+
+  auto RootSatisfied = [&](const Clause &C) {
+    for (const Lit &L : C.Lits)
+      if (Level[L.var()] == 0 && valueOf(L) == LTrue)
+        return true;
+    return false;
+  };
+
+  std::vector<char> Drop(Clauses.size(), 0);
+  std::vector<int> Cold;
+  for (int Ref = 0; Ref < static_cast<int>(Clauses.size()); ++Ref) {
+    if (Locked[Ref])
+      continue;
+    const Clause &C = Clauses[Ref];
+    if (RootSatisfied(C)) {
+      // Permanently satisfied — this is how retired (deactivated) sketch
+      // encodings get reclaimed, learned or original alike.
+      Drop[Ref] = 1;
+      continue;
+    }
+    if (!C.Learned || C.Lbd <= 2)
+      continue; // Originals and glue clauses are kept.
+    Cold.push_back(Ref);
+  }
+  // Delete the colder half: highest glue first, older first among ties.
+  std::stable_sort(Cold.begin(), Cold.end(), [&](int A, int B) {
+    if (Clauses[A].Lbd != Clauses[B].Lbd)
+      return Clauses[A].Lbd > Clauses[B].Lbd;
+    return A < B;
+  });
+  for (size_t I = 0; I < Cold.size() / 2; ++I)
+    Drop[Cold[I]] = 1;
+
+  uint64_t NumDropped = 0;
+  for (char D : Drop)
+    NumDropped += D;
+  ++ReduceDbs;
+  if (NumDropped == 0)
+    return;
+
+  // Compact the clause database and remap reason references (locked clauses
+  // were never dropped, so every live reference survives).
+  std::vector<int> Remap(Clauses.size(), -1);
+  std::vector<Clause> Compacted;
+  Compacted.reserve(Clauses.size() - NumDropped);
+  for (size_t Ref = 0; Ref < Clauses.size(); ++Ref) {
+    if (Drop[Ref])
+      continue;
+    Remap[Ref] = static_cast<int>(Compacted.size());
+    Compacted.push_back(std::move(Clauses[Ref]));
+  }
+  Clauses = std::move(Compacted);
+  for (Var V = 0; V < getNumVars(); ++V)
+    if (Reason[V] != NoReason) {
+      assert(Remap[Reason[V]] >= 0 && "dropped a locked clause");
+      Reason[V] = Remap[Reason[V]];
+    }
+  // Rebuild the watch lists; watches are always positions 0/1, so the exact
+  // watch pairs are preserved.
+  for (auto &WL : Watches)
+    WL.clear();
+  for (int Ref = 0; Ref < static_cast<int>(Clauses.size()); ++Ref) {
+    Watches[Clauses[Ref].Lits[0].Code].push_back(Ref);
+    Watches[Clauses[Ref].Lits[1].Code].push_back(Ref);
+  }
+  DeletedClauses += NumDropped;
+}
+
+void Solver::beginEncoding() {
+  // Reclaim whatever the previous encoding left behind. Every clause of a
+  // retired encoding — original or learned — is root-satisfied (an implied
+  // clause always has a negative literal, and retirement root-falsifies the
+  // encoding's variables), so this pass deletes them all and never touches
+  // live state.
+  reduceDB();
+  // Root-assigned variables can never be branched on again; dropping them
+  // from the heap makes the next encoding's heap layout (and hence its
+  // activity tie-breaking) identical to a fresh solver's.
+  size_t Kept = 0;
+  for (Var V : Heap) {
+    if (Assigns[V] == LUndef) {
+      Heap[Kept] = V;
+      HeapPos[V] = static_cast<int>(Kept);
+      ++Kept;
+    } else {
+      HeapPos[V] = -1;
+    }
+  }
+  Heap.resize(Kept);
+  for (int Pos = static_cast<int>(Kept) / 2 - 1; Pos >= 0; --Pos)
+    heapSiftDown(Pos);
+  // Per-encoding search scale: bumps and the reduction schedule restart
+  // exactly as on a fresh solver.
+  ActivityInc = 1.0;
+  LearnedSinceReduce = 0;
+  ReduceLimit = 2000;
+}
+
+Solver::Result Solver::solve() { return solve({}); }
+
+Solver::Result Solver::solve(const std::vector<Lit> &Assumptions) {
+  if (!Assumptions.empty())
+    ++AssumptionCalls;
+  Conflict.clear();
   if (Unsatisfiable)
     return Result::Unsat;
+
+  if (Incremental) {
+    // Trail reuse: keep the longest decision-level prefix consistent with
+    // this call's assumptions. Levels map 1:1 to assumption indices (each
+    // assumption claims exactly one level, vacuous or not), so matching
+    // against the previous assumption vector is exact.
+    if (Assumptions != LastAssumps) {
+      size_t K = 0;
+      size_t Max = std::min(Assumptions.size(), LastAssumps.size());
+      while (K < Max && Assumptions[K] == LastAssumps[K])
+        ++K;
+      cancelUntil(static_cast<int>(std::min(
+          K, static_cast<size_t>(decisionLevel()))));
+      LastAssumps = Assumptions;
+    }
+  } else {
+    assert(decisionLevel() == 0 && "legacy engine solves from the root");
+  }
 
   uint64_t RestartCount = 0;
   uint64_t ConflictsSinceRestart = 0;
   uint64_t RestartLimit = luby(RestartCount + 1) * 100;
 
-  if (propagate() != NoReason) {
+  if (decisionLevel() == 0 && propagate() != NoReason) {
     Unsatisfiable = true;
     return Result::Unsat;
   }
@@ -264,17 +606,69 @@ Solver::Result Solver::solve() {
         return Result::Unsat;
       }
       std::vector<Lit> Learnt;
+      analyze(ConflRef, Learnt);
+      if (Incremental && Learnt.size() > 1)
+        minimizeLearnt(Learnt);
+      for (Var V : ToClear)
+        Seen[V] = 0;
+      ToClear.clear();
+      int Lbd = computeLbd(Learnt);
+
+      // Backtrack level: the highest level among the non-asserting
+      // literals, which moves to position 1 to be watched.
       int BtLevel = 0;
-      analyze(ConflRef, Learnt, BtLevel);
+      size_t MaxIdx = 1;
+      for (size_t I = 1; I < Learnt.size(); ++I)
+        if (Level[Learnt[I].var()] > BtLevel) {
+          BtLevel = Level[Learnt[I].var()];
+          MaxIdx = I;
+        }
+      if (Learnt.size() > 1)
+        std::swap(Learnt[1], Learnt[MaxIdx]);
+
       cancelUntil(BtLevel);
       ++LearnedClauses;
+      ++LearnedSinceReduce;
+      LbdSum += static_cast<uint64_t>(Lbd);
+      ++LbdCount;
       if (Learnt.size() == 1) {
         enqueue(Learnt[0], NoReason);
       } else {
-        int Ref = attachClause(Clause{Learnt, /*Learned=*/true});
-        enqueue(Learnt[0], Ref);
+        Clause C{std::move(Learnt), /*Learned=*/true};
+        C.Lbd = Lbd;
+        Lit Asserting = C.Lits[0];
+        int Ref = attachClause(std::move(C));
+        enqueue(Asserting, Ref);
       }
       decayActivity();
+      if (Incremental && LearnedSinceReduce >= ReduceLimit) {
+        reduceDB();
+        LearnedSinceReduce = 0;
+        ReduceLimit += ReduceLimit / 2;
+      }
+      continue;
+    }
+
+    // Assert pending assumptions, one per iteration.
+    if (decisionLevel() < static_cast<int>(Assumptions.size())) {
+      Lit P = Assumptions[decisionLevel()];
+      LBool V = valueOf(P);
+      if (V == LTrue) {
+        // Already implied: claim the level without a decision so levels
+        // stay aligned with assumption indices.
+        TrailLim.push_back(static_cast<int>(Trail.size()));
+        continue;
+      }
+      if (V == LFalse) {
+        // Unsat relative to the assumptions: blame a subset and leave the
+        // solver un-latched.
+        analyzeFinal(P);
+        if (!Incremental)
+          cancelUntil(0);
+        return Result::Unsat;
+      }
+      TrailLim.push_back(static_cast<int>(Trail.size()));
+      enqueue(P, NoReason);
       continue;
     }
 
@@ -288,10 +682,12 @@ Solver::Result Solver::solve() {
 
     Lit Next = pickBranchLit();
     if (Next.Code < 0) {
-      // Total assignment: record the model and reset to the root so more
-      // clauses can be added afterwards.
+      // Total assignment: record the model. The legacy engine resets to the
+      // root so more clauses can be added afterwards; the incremental
+      // engine keeps the trail for the next query to extend or rewind.
       Model = Assigns;
-      cancelUntil(0);
+      if (!Incremental)
+        cancelUntil(0);
       return Result::Sat;
     }
     ++Decisions;

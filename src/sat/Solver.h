@@ -9,10 +9,53 @@
 /// A conflict-driven clause-learning SAT solver (the role Sat4J plays in the
 /// paper's implementation). Features: two-watched-literal propagation,
 /// first-UIP conflict analysis, VSIDS-style variable activities with a
-/// binary heap, phase saving, and Luby restarts. The solver is incremental
-/// in the sense the sketch-completion loop needs: clauses (in particular,
-/// blocking clauses) may be added between solve() calls and learned clauses
-/// are kept.
+/// binary heap, phase saving, and Luby restarts.
+///
+/// The solver is incremental at two granularities:
+///
+///  * Clauses (in particular, blocking clauses) may be added between solve()
+///    calls and learned clauses are kept — the per-encoder loop the sketch
+///    completion always used.
+///  * solve(Assumptions) solves under a temporary set of assumption
+///    literals, MiniSat-style: assumptions are asserted as pseudo-decisions
+///    at levels 1..k, and when the formula is unsatisfiable *relative to the
+///    assumptions* (but not absolutely), getConflict() returns the subset of
+///    assumptions the final-conflict analysis blames. This is what lets one
+///    long-lived solver serve many queries: sketch encodings guarded by
+///    activation literals, MaxSAT soft clauses guarded by relaxation
+///    variables — learned clauses, VSIDS activities, and saved phases all
+///    survive from one query to the next.
+///
+/// Because clauses accumulate across thousands of queries in that regime,
+/// the incremental engine also tracks LBD ("glue": the number of distinct
+/// decision levels in a learned clause) and periodically runs reduceDB(),
+/// which deletes the cold half of the learned clauses (keeping glue <= 2 and
+/// reason-locked ones) plus any clause already satisfied at the root —
+/// which is how retired, deactivated sketch encodings get reclaimed.
+///
+/// All behaviour new to the incremental engine (trail reuse across calls,
+/// non-root clause addition, learnt-clause minimization, clause-DB
+/// reduction) is gated on a per-solver flag captured from
+/// satIncrementalEnabled() at construction, so `MIGRATOR_NO_INCREMENTAL=1`
+/// (or setSatIncrementalEnabled(false)) reproduces the legacy engine —
+/// the differential oracle scripts/check.sh runs.
+///
+/// setFixedOrderDecisions(true) switches branching from VSIDS to a
+/// canonical rule: decide the lowest-indexed unassigned variable, always at
+/// its user-set phase (setPhase). Under that rule the model returned is the
+/// lexicographically least model of the formula with respect to (variable
+/// creation order, preferred phase): a variable only ever takes its
+/// non-preferred value when it is *forced* — by propagation or by an
+/// implied (learned) clause — and anything forced holds in every model
+/// extending the earlier-variable prefix. The model is therefore a pure
+/// semantic function of the clause set, independent of learned clauses,
+/// watch order, restarts, clause deletion, and of whether the search ran
+/// from scratch or continued an earlier trail. The sketch encoder runs its
+/// completion solvers in this mode on both engines: it is what makes the
+/// drawn model *sequence* — and hence the synthesized program — byte
+/// identical between the incremental engine and the scratch oracle, while
+/// the incremental engine's kept trail still turns each next-model query
+/// into a cheap lex-successor step instead of a full re-descent.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -59,12 +102,24 @@ inline Lit posLit(Var V) { return Lit(V, false); }
 /// Builds the negative literal of \p V.
 inline Lit negLit(Var V) { return Lit(V, true); }
 
+/// Whether newly constructed solvers use the incremental engine
+/// (solve-under-assumptions trail reuse, non-root clause addition, learnt
+/// minimization, LBD-guided clause-DB reduction). Defaults to on; the
+/// MIGRATOR_NO_INCREMENTAL environment variable or
+/// setSatIncrementalEnabled(false) turns it off — the differential oracle,
+/// following the `--no-index` / `--no-cow` precedent.
+bool satIncrementalEnabled();
+
+/// Programmatic override of the environment policy (benches flip this to
+/// measure the ablation in-process).
+void setSatIncrementalEnabled(bool On);
+
 /// CDCL SAT solver.
 class Solver {
 public:
   enum class Result { Sat, Unsat };
 
-  Solver() = default;
+  Solver();
 
   /// Allocates and returns a fresh variable.
   Var newVar();
@@ -78,9 +133,25 @@ public:
   uint64_t getNumPropagations() const { return Propagations; }
   uint64_t getNumLearnedClauses() const { return LearnedClauses; }
   uint64_t getNumRestarts() const { return Restarts; }
+  uint64_t getNumAssumptionCalls() const { return AssumptionCalls; }
+  uint64_t getNumReduceDbs() const { return ReduceDbs; }
+  uint64_t getNumDeletedClauses() const { return DeletedClauses; }
+  /// Sum / count of LBD values over all attached learned clauses, for
+  /// average-glue reporting (sat.avg_lbd).
+  uint64_t getLbdSum() const { return LbdSum; }
+  uint64_t getLbdCount() const { return LbdCount; }
+
+  /// Current clause-database size (original + learned still attached).
+  size_t getNumClauses() const { return Clauses.size(); }
 
   /// Adds a clause. Returns false if the formula became trivially
   /// unsatisfiable (which also latches the solver into UNSAT).
+  ///
+  /// Legacy engine: must be called with an empty trail (root level). The
+  /// incremental engine additionally accepts clauses while a trail from a
+  /// previous solve(Assumptions) is still in place — it backjumps just far
+  /// enough that the new clause is no longer falsified and defers
+  /// propagation to the next solve() call.
   bool addClause(std::vector<Lit> Lits);
 
   /// Adds the exactly-one constraint over \p Vars (at-least-one clause plus
@@ -88,10 +159,22 @@ public:
   /// indicator variables.
   bool addExactlyOne(const std::vector<Var> &Vars);
 
-  /// Sets the saved phase of \p V: the polarity tried first when branching.
+  /// Sets the preferred phase of \p V: the polarity tried first when
+  /// branching. Seeds the phase-saving state, and is the permanent
+  /// preferred polarity under fixed-order decisions.
   void setPhase(Var V, bool Positive) {
     assert(V >= 0 && V < getNumVars() && "variable out of range");
     SavedPhase[V] = Positive;
+    UserPhase[V] = Positive;
+  }
+
+  /// Switches branching to the canonical fixed-order rule (see the file
+  /// comment): decisions take the lowest-indexed unassigned variable at its
+  /// setPhase() polarity, making every model returned the lex-least one and
+  /// the solver's answers independent of search history.
+  void setFixedOrderDecisions(bool On) {
+    FixedOrder = On;
+    FixedCursor = 0;
   }
 
   /// Sets the initial VSIDS activity of \p V, biasing the branching order
@@ -102,12 +185,59 @@ public:
   /// Solves the current formula.
   Result solve();
 
+  /// Solves the current formula under \p Assumptions: every assumption
+  /// literal is temporarily asserted true (as a pseudo-decision), without
+  /// becoming part of the formula. An Unsat answer is relative to the
+  /// assumptions unless the formula itself was refuted at the root;
+  /// getConflict() then holds the blamed assumption subset. The incremental
+  /// engine keeps the satisfying trail between calls and reuses the longest
+  /// decision-level prefix consistent with the next call's assumptions.
+  Result solve(const std::vector<Lit> &Assumptions);
+
+  /// After solve(Assumptions) returned Unsat without latching the solver
+  /// (the formula is unsatisfiable only *under the assumptions*): the
+  /// subset of the assumptions, as given, whose conjunction the final
+  /// conflict analysis blames — re-asserting exactly these as unit clauses
+  /// yields an unsatisfiable formula. Empty when the formula is
+  /// unsatisfiable outright.
+  const std::vector<Lit> &getConflict() const { return Conflict; }
+
   /// After a Sat result: the model value of \p V.
   bool modelValue(Var V) const {
     assert(V >= 0 && V < getNumVars() && "variable out of range");
     assert(Model[V] != LUndef && "model not total");
     return Model[V] == LTrue;
   }
+
+  /// Root-level status of \p V: +1 fixed true, -1 fixed false, 0 not fixed
+  /// at the root (free or only assigned above level 0). Used by the sketch
+  /// encoder to retire encodings defensively.
+  int rootValue(Var V) const {
+    assert(V >= 0 && V < getNumVars() && "variable out of range");
+    if (Assigns[V] == LUndef || Level[V] != 0)
+      return 0;
+    return Assigns[V] == LTrue ? 1 : -1;
+  }
+
+  /// Reduces the learned-clause database: drops every clause already
+  /// satisfied at the root (learned or original — reclaiming retired,
+  /// deactivated encodings), keeps learned clauses that are reason-locked
+  /// or have glue (LBD) <= 2, and deletes the colder half of the rest
+  /// (highest LBD first, older first among ties). Fired automatically on a
+  /// geometric schedule by the incremental engine while solving; public so
+  /// tests and tools can force a pass (safe on either engine).
+  void reduceDB();
+
+  /// Marks an encoding boundary on a persistent solver: reclaims retired
+  /// (root-satisfied) clauses via reduceDB(), drops root-assigned variables
+  /// from the branching heap, and resets the activity increment and the
+  /// reduceDB schedule. After a predecessor encoding has been fully retired
+  /// (all its variables root-assigned), the next encoding's search is then
+  /// decision-for-decision identical to a fresh solver's — which is what
+  /// keeps synthesis results independent of how sketches are distributed
+  /// over portfolio ranks (the jobs-determinism contract) while the clause
+  /// database, trail machinery, and allocations still carry over.
+  void beginEncoding();
 
 private:
   // Three-valued assignment.
@@ -117,9 +247,14 @@ private:
   struct Clause {
     std::vector<Lit> Lits;
     bool Learned = false;
+    int Lbd = 0; ///< Glue of learned clauses; 0 for originals.
   };
 
   static constexpr int NoReason = -1;
+
+  /// Captured from satIncrementalEnabled() at construction; gates every
+  /// behavioural difference from the legacy engine.
+  const bool Incremental;
 
   // Clause database; index into Clauses acts as a clause reference.
   std::vector<Clause> Clauses;
@@ -134,12 +269,34 @@ private:
   std::vector<int> TrailLim;
   size_t PropHead = 0;
 
+  // Assumption machinery.
+  std::vector<Lit> Conflict;    ///< getConflict() result of the last call.
+  std::vector<Lit> LastAssumps; ///< Assumptions of the previous solve, for
+                                ///< trail-reuse prefix matching.
+
+  // Reusable analysis buffers (hoisted out of analyze() so the per-conflict
+  // cost is amortized).
+  std::vector<char> Seen;      ///< Var -> marked during analysis.
+  std::vector<Var> ToClear;    ///< Marked vars to unmark after analysis.
+  std::vector<int> LevelStamp; ///< Level -> stamp, for computeLbd().
+  int CurStamp = 0;
+
+  // reduceDB schedule (incremental engine only).
+  uint64_t LearnedSinceReduce = 0;
+  uint64_t ReduceLimit = 2000;
+
   // VSIDS.
   std::vector<double> Activity;
   double ActivityInc = 1.0;
   std::vector<int> HeapPos; ///< Var -> index in Heap, or -1.
   std::vector<Var> Heap;    ///< Binary max-heap ordered by activity.
   std::vector<bool> SavedPhase;
+  std::vector<bool> UserPhase; ///< setPhase() polarity; never overwritten
+                               ///< by phase saving.
+
+  // Fixed-order decision mode (see setFixedOrderDecisions).
+  bool FixedOrder = false;
+  Var FixedCursor = 0; ///< Lower bound on the lowest unassigned variable.
 
   bool Unsatisfiable = false;
   uint64_t Conflicts = 0;
@@ -147,6 +304,11 @@ private:
   uint64_t Propagations = 0;
   uint64_t LearnedClauses = 0;
   uint64_t Restarts = 0;
+  uint64_t AssumptionCalls = 0;
+  uint64_t ReduceDbs = 0;
+  uint64_t DeletedClauses = 0;
+  uint64_t LbdSum = 0;
+  uint64_t LbdCount = 0;
 
   // --- assignment helpers ---
   LBool valueOf(Lit L) const {
@@ -162,9 +324,13 @@ private:
 
   // --- search ---
   int propagate(); ///< Returns conflicting clause ref or NoReason.
-  void analyze(int ConflRef, std::vector<Lit> &Learnt, int &BtLevel);
+  void analyze(int ConflRef, std::vector<Lit> &Learnt);
+  void analyzeFinal(Lit P); ///< Fills Conflict with the blamed assumptions.
+  void minimizeLearnt(std::vector<Lit> &Learnt);
+  int computeLbd(const std::vector<Lit> &Lits);
   Lit pickBranchLit();
   int attachClause(Clause C); ///< Returns clause ref; caller ensures size>=2.
+  bool addClauseOnTrail(std::vector<Lit> Lits); ///< Non-root addClause.
 
   // --- VSIDS heap ---
   void bumpActivity(Var V);

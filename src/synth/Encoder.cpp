@@ -2,47 +2,118 @@
 
 #include "synth/Encoder.h"
 
+#include <atomic>
 #include <cassert>
+#include <fstream>
+#include <mutex>
 
 using namespace migrator;
 
+namespace {
+
+std::mutex DumpDirMutex;
+std::string DumpDir;                 // Guarded by DumpDirMutex.
+std::atomic<uint64_t> DumpCounter{0};
+
+std::string dumpDirSnapshot() {
+  std::lock_guard<std::mutex> Lock(DumpDirMutex);
+  return DumpDir;
+}
+
+} // namespace
+
+void migrator::setSketchCnfDumpDir(const std::string &Dir) {
+  std::lock_guard<std::mutex> Lock(DumpDirMutex);
+  DumpDir = Dir;
+}
+
 SketchEncoder::SketchEncoder(const Sketch &Sk, bool BiasFirstAlternatives)
-    : Sk(Sk) {
+    : Sk(Sk), Owned(std::make_unique<sat::Solver>()), S(Owned.get()) {
+  encode(BiasFirstAlternatives);
+  maybeDumpCnf();
+}
+
+SketchEncoder::SketchEncoder(const Sketch &Sk, bool BiasFirstAlternatives,
+                             sat::Solver &SharedSolver)
+    : Sk(Sk), S(&SharedSolver), Shared(true) {
+  encode(BiasFirstAlternatives);
+  maybeDumpCnf();
+}
+
+void SketchEncoder::encode(bool BiasFirstAlternatives) {
   const std::vector<Hole> &Holes = Sk.getHoles();
   if (Holes.empty()) {
     Trivial = true;
     return;
   }
+  // Sketch-completion solvers branch in canonical fixed order (lowest
+  // variable first, preferred phase): every model drawn is then the
+  // lex-least one remaining, a pure function of the encoding plus the
+  // blocking clauses so far. That makes the assignment sequence — and the
+  // synthesized program — identical across the incremental engine and the
+  // scratch oracle, and across portfolio ranks, no matter how their learned
+  // state differs.
+  S->setFixedOrderDecisions(true);
+  if (Shared) {
+    // Encoding boundary: reclaim the predecessor encoding's clauses and
+    // reset the branching state so this sketch's search is independent of
+    // which sketches the shared solver saw before (jobs-determinism).
+    S->beginEncoding();
+    Act = S->newVar();
+  }
   HoleVars.resize(Holes.size());
-  for (size_t H = 0; H < Holes.size(); ++H) {
-    HoleVars[H].resize(Holes[H].size());
-    // Bias the search toward each hole's first alternative (the smallest
-    // candidate chain / table list), deciding chain holes before the holes
-    // they constrain: models then prefer the simplest programs, which are
-    // cheaper to test and match the paper's outputs.
-    double Base = Holes[H].TheKind == Hole::Kind::Chain ||
-                          Holes[H].TheKind == Hole::Kind::ChainSet
-                      ? 2e-3
-                      : 1e-3;
-    for (size_t A = 0; A < Holes[H].size(); ++A) {
-      sat::Var V = Solver.newVar();
-      HoleVars[H][A] = V;
-      if (BiasFirstAlternatives) {
-        Solver.setPhase(V, A == 0);
-        Solver.setInitialActivity(
-            V,
-            Base * (1.0 - static_cast<double>(A) /
-                              (2.0 * static_cast<double>(Holes[H].size()))));
+  // Variable creation order is the decision order. Chain holes come first —
+  // models then settle candidate chains before the holes they constrain —
+  // and within a hole the alternatives keep their rank order, so with the
+  // first-alternative bias (phase = alternative 0) the lex-least models are
+  // the simplest programs: cheapest to test and matching the paper's
+  // outputs.
+  for (int ChainPass = 1; ChainPass >= 0; --ChainPass) {
+    for (size_t H = 0; H < Holes.size(); ++H) {
+      bool IsChain = Holes[H].TheKind == Hole::Kind::Chain ||
+                     Holes[H].TheKind == Hole::Kind::ChainSet;
+      if (IsChain != (ChainPass == 1))
+        continue;
+      HoleVars[H].resize(Holes[H].size());
+      for (size_t A = 0; A < Holes[H].size(); ++A) {
+        sat::Var V = S->newVar();
+        HoleVars[H][A] = V;
+        if (BiasFirstAlternatives)
+          S->setPhase(V, A == 0);
       }
     }
-    if (!Solver.addExactlyOne(HoleVars[H])) {
+  }
+  for (size_t H = 0; H < Holes.size(); ++H) {
+    if (!Shared) {
+      if (!S->addExactlyOne(HoleVars[H])) {
+        Unsat = true;
+        return;
+      }
+      continue;
+    }
+    // Shared mode: only the at-least-one clause needs the activation guard;
+    // the pairwise at-most-one clauses are all-negative and become
+    // root-satisfied once the encoding is retired.
+    std::vector<sat::Lit> Alo;
+    Alo.reserve(HoleVars[H].size() + 1);
+    Alo.push_back(sat::negLit(Act));
+    for (sat::Var V : HoleVars[H])
+      Alo.push_back(sat::posLit(V));
+    if (!S->addClause(std::move(Alo))) {
       Unsat = true;
       return;
     }
+    for (size_t I = 0; I < HoleVars[H].size(); ++I)
+      for (size_t J = I + 1; J < HoleVars[H].size(); ++J)
+        if (!S->addClause(
+                {sat::negLit(HoleVars[H][I]), sat::negLit(HoleVars[H][J])})) {
+          Unsat = true;
+          return;
+        }
   }
   for (const Incompatibility &I : Sk.getIncompatibilities())
-    if (!Solver.addClause({sat::negLit(HoleVars[I.HoleA][I.AltA]),
-                           sat::negLit(HoleVars[I.HoleB][I.AltB])})) {
+    if (!S->addClause({sat::negLit(HoleVars[I.HoleA][I.AltA]),
+                       sat::negLit(HoleVars[I.HoleB][I.AltB])})) {
       Unsat = true;
       return;
     }
@@ -57,7 +128,9 @@ std::optional<std::vector<unsigned>> SketchEncoder::nextAssignment() {
     TrivialUsed = true;
     return std::vector<unsigned>();
   }
-  if (Solver.solve() != sat::Solver::Result::Sat) {
+  sat::Solver::Result R =
+      Shared ? S->solve({sat::posLit(Act)}) : S->solve();
+  if (R != sat::Solver::Result::Sat) {
     Unsat = true;
     return std::nullopt;
   }
@@ -65,7 +138,7 @@ std::optional<std::vector<unsigned>> SketchEncoder::nextAssignment() {
   for (size_t H = 0; H < HoleVars.size(); ++H) {
     bool Found = false;
     for (size_t A = 0; A < HoleVars[H].size(); ++A)
-      if (Solver.modelValue(HoleVars[H][A])) {
+      if (S->modelValue(HoleVars[H][A])) {
         assert(!Found && "exactly-one constraint violated");
         Assign[H] = static_cast<unsigned>(A);
         Found = true;
@@ -87,7 +160,7 @@ void SketchEncoder::block(const std::vector<unsigned> &Assign,
   Clause.reserve(HoleIds.size());
   for (unsigned H : HoleIds)
     Clause.push_back(sat::negLit(HoleVars[H][Assign[H]]));
-  if (!Solver.addClause(std::move(Clause)))
+  if (!S->addClause(std::move(Clause)))
     Unsat = true;
 }
 
@@ -107,4 +180,62 @@ double SketchEncoder::blockedCount(const std::vector<unsigned> &HoleIds) const {
     if (!InClause[H])
       Count *= static_cast<double>(Sk.getHole(H).size());
   return Count;
+}
+
+void SketchEncoder::retire() {
+  if (!Shared || Trivial || Retired)
+    return;
+  Retired = true;
+  // ¬Act first: it satisfies the guarded at-least-one clauses, so the hole
+  // variables below can be root-falsified without propagating anything.
+  // Hole variables are never root-forced *true* (the all-false assignment
+  // satisfies every unguarded clause, so no positive unit is ever implied),
+  // but check rootValue defensively rather than latch the shared solver.
+  if (!S->addClause({sat::negLit(Act)}))
+    return;
+  for (const std::vector<sat::Var> &Alts : HoleVars)
+    for (sat::Var V : Alts) {
+      if (S->rootValue(V) != 0)
+        continue;
+      if (!S->addClause({sat::negLit(V)}))
+        return;
+    }
+}
+
+sat::DimacsProblem SketchEncoder::exportDimacs() const {
+  // Standalone renumbering: variable (hole H, alternative A) gets the next
+  // sequential index, independent of any shared-solver numbering.
+  sat::DimacsProblem P;
+  const std::vector<Hole> &Holes = Sk.getHoles();
+  std::vector<std::vector<sat::Var>> Vars(Holes.size());
+  for (size_t H = 0; H < Holes.size(); ++H) {
+    Vars[H].resize(Holes[H].size());
+    for (size_t A = 0; A < Holes[H].size(); ++A)
+      Vars[H][A] = P.NumVars++;
+  }
+  for (size_t H = 0; H < Holes.size(); ++H) {
+    std::vector<sat::Lit> Alo;
+    Alo.reserve(Vars[H].size());
+    for (sat::Var V : Vars[H])
+      Alo.push_back(sat::posLit(V));
+    P.Clauses.push_back(std::move(Alo));
+    for (size_t I = 0; I < Vars[H].size(); ++I)
+      for (size_t J = I + 1; J < Vars[H].size(); ++J)
+        P.Clauses.push_back(
+            {sat::negLit(Vars[H][I]), sat::negLit(Vars[H][J])});
+  }
+  for (const Incompatibility &I : Sk.getIncompatibilities())
+    P.Clauses.push_back({sat::negLit(Vars[I.HoleA][I.AltA]),
+                         sat::negLit(Vars[I.HoleB][I.AltB])});
+  return P;
+}
+
+void SketchEncoder::maybeDumpCnf() const {
+  std::string Dir = dumpDirSnapshot();
+  if (Dir.empty())
+    return;
+  uint64_t N = DumpCounter.fetch_add(1, std::memory_order_relaxed);
+  std::ofstream Out(Dir + "/sketch_" + std::to_string(N) + ".cnf");
+  if (Out)
+    Out << sat::toDimacs(exportDimacs());
 }

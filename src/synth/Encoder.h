@@ -14,27 +14,59 @@
 /// enumerative baseline, partial per minimum failing input for Migrator)
 /// are added through this interface.
 ///
+/// Two ownership modes:
+///
+///  * Standalone (the legacy arrangement): the encoder owns a private
+///    sat::Solver that dies with it.
+///  * Shared: the encoder borrows a long-lived solver and guards its
+///    at-least-one clauses with a fresh activation literal, querying via
+///    solve({Act}). Learned clauses, VSIDS activities, and saved phases
+///    then survive from one sketch to the next; retire() deactivates the
+///    encoding (root-asserts ¬Act and falsifies the hole variables) so the
+///    solver's reduceDB pass can reclaim it. Only the at-least-one clauses
+///    need the guard — at-most-one pairs, incompatibilities, and blocking
+///    clauses are all-negative, hence satisfied once their variables are
+///    root-false.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MIGRATOR_SYNTH_ENCODER_H
 #define MIGRATOR_SYNTH_ENCODER_H
 
+#include "sat/Dimacs.h"
 #include "sat/Solver.h"
 #include "sketch/Sketch.h"
 
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 namespace migrator {
 
-/// Owns the SAT instance encoding one sketch's completions.
+/// When non-empty, every constructed sketch encoding is also written to
+/// `<dir>/sketch_<n>.cnf` in DIMACS form (the standalone, unguarded
+/// encoding) for offline debugging and minimization. Thread-safe.
+void setSketchCnfDumpDir(const std::string &Dir);
+
+/// Owns (or borrows) the SAT instance encoding one sketch's completions.
 class SketchEncoder {
 public:
-  /// \p BiasFirstAlternatives seeds the SAT search toward each hole's first
-  /// alternative (smallest chains / table lists). The paper's solver has no
-  /// such heuristic; the comparison harnesses disable it for all strategies
-  /// so the contrast measures conflict learning, not the heuristic.
+  /// Standalone mode: a private solver per encoder.
+  ///
+  /// \p BiasFirstAlternatives picks the canonical model order: on, holes
+  /// enumerate alternatives in rank order (smallest chains / table lists
+  /// first); off, in reverse. Decisions are in canonical fixed order, so
+  /// this is a total order on models, not a heuristic nudge — the paper's
+  /// solver has no such preference, and the comparison harnesses disable
+  /// it for all strategies so the contrast measures conflict learning.
   explicit SketchEncoder(const Sketch &Sk, bool BiasFirstAlternatives = true);
+
+  /// Shared mode: encode into \p SharedSolver (which must outlive the
+  /// encoder), guarded by a fresh activation literal. The solver must use
+  /// the incremental engine.
+  SketchEncoder(const Sketch &Sk, bool BiasFirstAlternatives,
+                sat::Solver &SharedSolver);
 
   /// Asks the solver for a model. Returns the hole assignment (alternative
   /// index per hole) or nullopt when the space is exhausted.
@@ -54,19 +86,40 @@ public:
   /// counts "eliminates 18,225 programs"). Returned as double.
   double blockedCount(const std::vector<unsigned> &HoleIds) const;
 
+  /// Shared mode: permanently deactivates this encoding in the shared
+  /// solver — root-asserts ¬Act and root-falsifies every hole variable, so
+  /// all of the encoding's clauses become root-satisfied and reclaimable by
+  /// reduceDB(). Idempotent; a no-op in standalone mode and for trivial
+  /// sketches.
+  void retire();
+
+  /// The standalone (unguarded, self-contained) DIMACS form of this
+  /// sketch's encoding: sequentially numbered (hole, alternative) variables
+  /// with the exactly-one and incompatibility clauses. Blocking clauses and
+  /// learned state are not included — re-solving it from scratch must agree
+  /// with the first model draw modulo hole-variable semantics.
+  sat::DimacsProblem exportDimacs() const;
+
   const Sketch &getSketch() const { return Sk; }
 
   /// The underlying CDCL solver, exposed read-only so callers can report
   /// its search statistics (conflicts, decisions, propagations, ...).
-  const sat::Solver &getSatSolver() const { return Solver; }
+  const sat::Solver &getSatSolver() const { return *S; }
 
 private:
+  void encode(bool BiasFirstAlternatives);
+  void maybeDumpCnf() const;
+
   const Sketch &Sk;
-  sat::Solver Solver;
+  std::unique_ptr<sat::Solver> Owned; ///< Standalone mode only.
+  sat::Solver *S;                     ///< Owned.get() or the shared solver.
+  bool Shared = false;
+  sat::Var Act = -1; ///< Activation literal (shared mode only).
   std::vector<std::vector<sat::Var>> HoleVars; ///< [hole][alt] -> var.
   bool Trivial = false; ///< No holes: the single instantiation.
   bool TrivialUsed = false;
   bool Unsat = false;
+  bool Retired = false;
 };
 
 } // namespace migrator

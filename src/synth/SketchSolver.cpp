@@ -20,21 +20,65 @@ using namespace migrator;
 
 namespace {
 
-/// Copies the cumulative CDCL counters of \p Sat into \p Stats and publishes
-/// them to the metrics registry. Called once per solve() exit: the encoder
-/// (and its solver) is per-sketch, so cumulative values *are* this solve's
-/// values.
-void recordSatStats(const sat::Solver &Sat, SolveStats &Stats) {
-  Stats.SatConflicts = Sat.getNumConflicts();
-  Stats.SatDecisions = Sat.getNumDecisions();
-  Stats.SatPropagations = Sat.getNumPropagations();
-  Stats.SatLearnedClauses = Sat.getNumLearnedClauses();
-  Stats.SatRestarts = Sat.getNumRestarts();
+/// The CDCL counters of a persistent solver at one point in time. With the
+/// incremental engine one sat::Solver outlives many sketch encodings, so
+/// per-solve statistics must be differenced against a snapshot taken before
+/// the encoding was built; the legacy (per-encoder scratch solver) path uses
+/// a default-constructed (all-zero) snapshot, where delta == cumulative.
+struct SatSnapshot {
+  uint64_t Conflicts = 0;
+  uint64_t Decisions = 0;
+  uint64_t Propagations = 0;
+  uint64_t Learned = 0;
+  uint64_t Restarts = 0;
+  uint64_t AssumptionCalls = 0;
+  uint64_t ReduceDbs = 0;
+  uint64_t Deleted = 0;
+  uint64_t LbdSum = 0;
+  uint64_t LbdCount = 0;
+};
+
+SatSnapshot snapshotOf(const sat::Solver &Sat) {
+  SatSnapshot S;
+  S.Conflicts = Sat.getNumConflicts();
+  S.Decisions = Sat.getNumDecisions();
+  S.Propagations = Sat.getNumPropagations();
+  S.Learned = Sat.getNumLearnedClauses();
+  S.Restarts = Sat.getNumRestarts();
+  S.AssumptionCalls = Sat.getNumAssumptionCalls();
+  S.ReduceDbs = Sat.getNumReduceDbs();
+  S.Deleted = Sat.getNumDeletedClauses();
+  S.LbdSum = Sat.getLbdSum();
+  S.LbdCount = Sat.getLbdCount();
+  return S;
+}
+
+/// Records the CDCL work done since \p Before into \p Stats and publishes it
+/// to the metrics registry. Called once per solve() exit.
+void recordSatStats(const sat::Solver &Sat, const SatSnapshot &Before,
+                    SolveStats &Stats) {
+  Stats.SatConflicts = Sat.getNumConflicts() - Before.Conflicts;
+  Stats.SatDecisions = Sat.getNumDecisions() - Before.Decisions;
+  Stats.SatPropagations = Sat.getNumPropagations() - Before.Propagations;
+  Stats.SatLearnedClauses = Sat.getNumLearnedClauses() - Before.Learned;
+  Stats.SatRestarts = Sat.getNumRestarts() - Before.Restarts;
+  Stats.SatAssumptionCalls =
+      Sat.getNumAssumptionCalls() - Before.AssumptionCalls;
+  Stats.SatReduceDbs = Sat.getNumReduceDbs() - Before.ReduceDbs;
+  Stats.SatDeletedClauses = Sat.getNumDeletedClauses() - Before.Deleted;
   MIGRATOR_COUNTER_ADD("solver.sat_conflicts", Stats.SatConflicts);
   MIGRATOR_COUNTER_ADD("solver.sat_decisions", Stats.SatDecisions);
   MIGRATOR_COUNTER_ADD("solver.sat_propagations", Stats.SatPropagations);
   MIGRATOR_COUNTER_ADD("solver.sat_learned_clauses", Stats.SatLearnedClauses);
   MIGRATOR_COUNTER_ADD("solver.sat_restarts", Stats.SatRestarts);
+  MIGRATOR_COUNTER_ADD("sat.assumption_calls", Stats.SatAssumptionCalls);
+  MIGRATOR_COUNTER_ADD("sat.reduce_dbs", Stats.SatReduceDbs);
+  MIGRATOR_COUNTER_ADD("sat.deleted_clauses", Stats.SatDeletedClauses);
+  uint64_t LbdN = Sat.getLbdCount() - Before.LbdCount;
+  if (LbdN > 0) {
+    uint64_t LbdS = Sat.getLbdSum() - Before.LbdSum;
+    MIGRATOR_HISTOGRAM_RECORD("sat.avg_lbd", (LbdS + LbdN / 2) / LbdN);
+  }
 }
 
 } // namespace
@@ -52,6 +96,9 @@ SolveStats &SolveStats::operator+=(const SolveStats &O) {
   SatPropagations += O.SatPropagations;
   SatLearnedClauses += O.SatLearnedClauses;
   SatRestarts += O.SatRestarts;
+  SatAssumptionCalls += O.SatAssumptionCalls;
+  SatReduceDbs += O.SatReduceDbs;
+  SatDeletedClauses += O.SatDeletedClauses;
   MfiPruneHits += O.MfiPruneHits;
   MfiPruneMisses += O.MfiPruneMisses;
   Rejected += O.Rejected;
@@ -66,7 +113,10 @@ SketchSolver::SketchSolver(const Schema &SourceSchema,
       TargetSchema(TargetSchema), Opts(Opts), SrcCache(SrcCache), Pool(Pool),
       Tester(SourceSchema, SourceProg, TargetSchema, Opts.Test, SrcCache),
       Verifier(SourceSchema, SourceProg, TargetSchema, Opts.Verify,
-               SrcCache) {}
+               SrcCache) {
+  if (sat::satIncrementalEnabled())
+    PersistentSat = std::make_unique<sat::Solver>();
+}
 
 std::optional<Program> SketchSolver::solve(const Sketch &Sk,
                                            SolveStats &Stats,
@@ -74,7 +124,17 @@ std::optional<Program> SketchSolver::solve(const Sketch &Sk,
   MIGRATOR_TRACE_SCOPE_NAMED(Span, "solve.sketch");
   MIGRATOR_LATENCY_SCOPE("solver.solve_us");
   Timer Clock;
-  SketchEncoder Enc(Sk, Opts.BiasFirstAlternatives);
+  // Persistent mode: snapshot the shared solver's cumulative counters before
+  // the encoding is built, so the stats recorded below are this solve's
+  // deltas. Legacy mode: the encoder owns a scratch solver, and the zeroed
+  // snapshot makes delta == cumulative.
+  SatSnapshot Before;
+  if (PersistentSat)
+    Before = snapshotOf(*PersistentSat);
+  SketchEncoder Enc =
+      PersistentSat
+          ? SketchEncoder(Sk, Opts.BiasFirstAlternatives, *PersistentSat)
+          : SketchEncoder(Sk, Opts.BiasFirstAlternatives);
 
   // CEGIS example cache: failing inputs with their source-program results.
   struct Example {
@@ -356,7 +416,19 @@ std::optional<Program> SketchSolver::solve(const Sketch &Sk,
   };
 
   std::optional<Program> Result = Run();
-  recordSatStats(Enc.getSatSolver(), Stats);
+  // Persistent mode: deactivate this sketch's encoding so the shared
+  // solver's next reduceDB pass reclaims its clauses (a no-op otherwise).
+  Enc.retire();
+  recordSatStats(Enc.getSatSolver(), Before, Stats);
+  // Generational reset: variable indices (and the root facts retiring them)
+  // can never be reclaimed, so a very long-lived solver would make each
+  // encoding boundary's bookkeeping scans proportional to everything that
+  // ever lived in it. Once fully retired the old state is search-inert
+  // (beginEncoding() starts every encoding from a fresh-equivalent search),
+  // so swapping in a new solver is behavior-neutral and keeps those scans
+  // amortized O(1) per sketch.
+  if (PersistentSat && PersistentSat->getNumVars() > 512)
+    PersistentSat = std::make_unique<sat::Solver>();
   MIGRATOR_HISTOGRAM_RECORD("solver.candidates_per_sketch", Stats.Iters);
   if (Span.active())
     Span.arg("candidates", Stats.Iters)

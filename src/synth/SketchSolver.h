@@ -51,6 +51,7 @@
 
 #include <atomic>
 #include <limits>
+#include <memory>
 #include <optional>
 
 namespace migrator {
@@ -72,9 +73,13 @@ struct SolverOptions {
   uint64_t MaxIters = std::numeric_limits<uint64_t>::max();
   double TimeBudgetSec = std::numeric_limits<double>::infinity();
 
-  /// Seed the SAT search toward each hole's first (smallest) alternative.
-  /// On by default (the full system); the Table 2/3 harnesses turn it off
-  /// for every strategy to compare learning power on equal footing.
+  /// Enumerate each hole's alternatives in rank order (first = smallest).
+  /// Decisions run in canonical fixed order (see sat::Solver), so this
+  /// knob picks the preferred phase — and with it the whole model order:
+  /// on (default, the full system) the lex-least model takes every hole's
+  /// first alternative; off reverses to least-likely-first, the unbiased
+  /// worst case the Table 2/3 harnesses use to compare learning power on
+  /// equal footing.
   bool BiasFirstAlternatives = true;
 
   /// Models drawn — and candidates tested — per SAT round. The SAT solver
@@ -124,6 +129,10 @@ struct SolveStats {
   uint64_t SatPropagations = 0;
   uint64_t SatLearnedClauses = 0;
   uint64_t SatRestarts = 0;
+  uint64_t SatAssumptionCalls = 0; ///< solve(assumptions) queries (the
+                                   ///< persistent-solver path).
+  uint64_t SatReduceDbs = 0;       ///< Clause-DB reduction passes.
+  uint64_t SatDeletedClauses = 0;  ///< Clauses reclaimed by those passes.
   uint64_t MfiPruneHits = 0;   ///< Failing candidates blocked by a *partial*
                                ///< (MFI-derived) clause — each prunes many
                                ///< completions at once.
@@ -159,6 +168,12 @@ public:
 
   const SolverOptions &getOptions() const { return Opts; }
 
+  /// Updates the remaining time budget for subsequent solve() calls. The
+  /// synthesizer reuses one SketchSolver per portfolio rank across waves
+  /// (to keep the persistent SAT solver's learned state); the budget is the
+  /// only option that changes between waves.
+  void setTimeBudgetSec(double Sec) { Opts.TimeBudgetSec = Sec; }
+
 private:
   const Schema &SourceSchema;
   const Program &SourceProg;
@@ -168,6 +183,13 @@ private:
   ThreadPool *Pool;
   EquivalenceTester Tester;
   EquivalenceTester Verifier;
+
+  /// The long-lived SAT solver shared by every sketch encoding this solver
+  /// completes (created when the incremental engine is enabled; null in
+  /// legacy mode, where each encoder owns a scratch solver). Encodings are
+  /// guarded by activation literals and retired after each solve(), so
+  /// learned clauses, activities, and phases carry across sketches.
+  std::unique_ptr<sat::Solver> PersistentSat;
 };
 
 } // namespace migrator

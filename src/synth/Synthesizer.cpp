@@ -48,6 +48,28 @@ SynthResult migrator::synthesize(const Schema &SourceSchema,
 
   SolveStats Agg; // Merged across every solve via SolveStats::operator+=.
 
+  // Per-rank sketch-solver slots, reused across waves when the incremental
+  // SAT engine is on: slot R keeps rank R's persistent solver, so learned
+  // clauses, VSIDS activities, and saved phases carry from one wave's
+  // sketch to the next. Cross-wave state never races and never changes the
+  // answer: any cancellation implies some rank won, which ends synthesis,
+  // so every solve a later wave sees ran to completion — the jobs=1 and
+  // jobs=N searches remain identical. In legacy mode slots still cost
+  // nothing beyond the seed behaviour (a fresh scratch solver per encoder).
+  const bool ReuseSlots = sat::satIncrementalEnabled();
+  std::vector<std::unique_ptr<SketchSolver>> Slots;
+  auto SlotFor = [&](size_t R, const SolverOptions &SO) -> SketchSolver & {
+    if (Slots.size() <= R)
+      Slots.resize(R + 1);
+    if (!Slots[R] || !ReuseSlots)
+      Slots[R] = std::make_unique<SketchSolver>(SourceSchema, SourceProg,
+                                                TargetSchema, SO, Cache.get(),
+                                                Pool.get());
+    else
+      Slots[R]->setTimeBudgetSec(SO.TimeBudgetSec);
+    return *Slots[R];
+  };
+
   while (Result.Stats.NumVcs < Opts.MaxVcs) {
     double Remaining = Opts.TimeBudgetSec - Total.elapsedSeconds();
     if (Remaining <= 0) {
@@ -112,8 +134,7 @@ SynthResult migrator::synthesize(const Schema &SourceSchema,
       // Sequential portfolio: ranks in order, first success wins — the
       // same answer deterministic parallel mode produces.
       for (size_t R = 0; R < W; ++R) {
-        SketchSolver Solver(SourceSchema, SourceProg, TargetSchema,
-                            SolverOpts, Cache.get(), Pool.get());
+        SketchSolver &Solver = SlotFor(R, SolverOpts);
         Progs[R] = Solver.solve(Wave[R], WaveStats[R]);
         if (Progs[R]) {
           Result.Prog = std::move(*Progs[R]);
@@ -128,6 +149,11 @@ SynthResult migrator::synthesize(const Schema &SourceSchema,
       for (size_t I = 0; I < W; ++I)
         CancelFlags[I].store(false, std::memory_order_relaxed);
       std::atomic<int> FirstWinner{-1};
+      // Materialize this wave's slots sequentially before spawning tasks:
+      // each task then touches only its own pre-built slot, and the slot
+      // vector itself is never resized concurrently.
+      for (size_t R = 0; R < W; ++R)
+        SlotFor(R, SolverOpts);
       {
         TaskGroup Group(Pool.get());
         for (size_t R = 0; R < W; ++R)
@@ -136,8 +162,7 @@ SynthResult migrator::synthesize(const Schema &SourceSchema,
               WaveStats[R].Cancelled = true;
               return;
             }
-            SketchSolver Solver(SourceSchema, SourceProg, TargetSchema,
-                                SolverOpts, Cache.get(), Pool.get());
+            SketchSolver &Solver = *Slots[R];
             Progs[R] = Solver.solve(Wave[R], WaveStats[R], &CancelFlags[R]);
             if (!Progs[R])
               return;

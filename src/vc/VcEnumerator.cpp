@@ -261,10 +261,13 @@ struct VcEnumerator::Impl {
     if (!MaxSatBuilt)
       buildMaxSat();
     sat::MaxSatStats Pre = MS.getStats(); // Cumulative; report the delta.
+    uint64_t PreAssump = MS.getNumAssumptionCalls();
     std::optional<sat::MaxSatResult> R = MS.solve(Opts.MaxSatNodeBudget);
     if (obs::metricsEnabled()) {
       const sat::MaxSatStats &Post = MS.getStats();
       MIGRATOR_COUNTER_ADD("vc.maxsat_calls", 1);
+      MIGRATOR_COUNTER_ADD("sat.assumption_calls",
+                           MS.getNumAssumptionCalls() - PreAssump);
       MIGRATOR_COUNTER_ADD("vc.maxsat_nodes", Post.Nodes - Pre.Nodes);
       MIGRATOR_COUNTER_ADD("vc.maxsat_bound_prunes",
                            Post.BoundPrunes - Pre.BoundPrunes);

@@ -1,9 +1,13 @@
 //===- tests/dimacs_test.cpp - DIMACS CNF interchange tests -------------------===//
 
 #include "sat/Dimacs.h"
+#include "sketch/Sketch.h"
 #include "support/Rng.h"
+#include "synth/Encoder.h"
 
 #include <gtest/gtest.h>
+
+#include <optional>
 
 using namespace migrator;
 using namespace migrator::sat;
@@ -69,4 +73,53 @@ TEST(DimacsTest, SolveDimacsFindsModels) {
 
   auto U = parseDimacs("p cnf 1 2\n1 0\n-1 0\n");
   EXPECT_FALSE(solveDimacs(std::get<DimacsProblem>(U)).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Sketch-encoding dumps (--dump-cnf)
+//===----------------------------------------------------------------------===//
+
+TEST(DimacsTest, SketchEncodingRoundTripReSolvesIdentically) {
+  // The EncoderTest space: a 2-chain hole and a 3-attribute hole with two
+  // incompatible pairs — 4 valid assignments. The dumped CNF is standalone
+  // (fresh numbering, no activation literal, no learned state), so a
+  // serialize/parse/solve round trip must enumerate exactly the same
+  // space as the live encoder.
+  Sketch Sk;
+  Hole A;
+  A.TheKind = Hole::Kind::Chain;
+  A.Func = "f";
+  A.Chains = {JoinChain::table("X"), JoinChain::table("Y")};
+  unsigned HA = Sk.addHole(std::move(A));
+  Hole B;
+  B.TheKind = Hole::Kind::Attr;
+  B.Func = "f";
+  B.Attrs = {{"X", "a"}, {"Y", "a"}, {"Y", "b"}};
+  unsigned HB = Sk.addHole(std::move(B));
+  Sk.addIncompatibility({HA, 0, HB, 1});
+  Sk.addIncompatibility({HA, 0, HB, 2});
+
+  SketchEncoder Enc(Sk);
+  int LiveCount = 0;
+  while (std::optional<std::vector<unsigned>> Assign = Enc.nextAssignment()) {
+    ++LiveCount;
+    ASSERT_LE(LiveCount, 4);
+    Enc.blockAll(*Assign);
+  }
+  EXPECT_EQ(LiveCount, 4);
+
+  auto Reparsed = parseDimacs(toDimacs(Enc.exportDimacs()));
+  ASSERT_TRUE(std::holds_alternative<DimacsProblem>(Reparsed));
+  DimacsProblem P = std::get<DimacsProblem>(Reparsed);
+  EXPECT_EQ(P.NumVars, 5); // 2 + 3 hole variables, nothing else.
+  int DumpCount = 0;
+  while (std::optional<std::vector<bool>> M = solveDimacs(P)) {
+    ++DumpCount;
+    ASSERT_LE(DumpCount, 4);
+    std::vector<Lit> Block;
+    for (int V = 0; V < P.NumVars; ++V)
+      Block.push_back((*M)[V] ? negLit(V) : posLit(V));
+    P.Clauses.push_back(std::move(Block));
+  }
+  EXPECT_EQ(DumpCount, LiveCount);
 }

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 
 using namespace migrator;
 using namespace migrator::sat;
@@ -450,3 +451,235 @@ INSTANTIATE_TEST_SUITE_P(
                       RandomMaxSatCase{6, 5, 8, 12},
                       RandomMaxSatCase{8, 6, 12, 13},
                       RandomMaxSatCase{10, 8, 15, 14}));
+
+//===----------------------------------------------------------------------===//
+// Solve-under-assumptions and the incremental engine
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Forces a solver engine for its scope, restoring the ambient one.
+class EngineGuard {
+public:
+  explicit EngineGuard(bool Incremental) : Saved(satIncrementalEnabled()) {
+    setSatIncrementalEnabled(Incremental);
+  }
+  ~EngineGuard() { setSatIncrementalEnabled(Saved); }
+
+private:
+  bool Saved;
+};
+
+std::vector<std::vector<Lit>> randomClauses(Rng &R, int NumVars,
+                                            int NumClauses) {
+  std::vector<std::vector<Lit>> Cs;
+  for (int I = 0; I < NumClauses; ++I) {
+    std::vector<Lit> C;
+    for (int K = 0, Len = R.nextInt(1, 3); K < Len; ++K)
+      C.push_back(Lit(R.nextInt(0, NumVars - 1), R.chance(1, 2)));
+    Cs.push_back(std::move(C));
+  }
+  return Cs;
+}
+
+/// Appends each assumption as a unit clause: the reference semantics of
+/// solving under assumptions.
+std::vector<std::vector<Lit>>
+withUnits(std::vector<std::vector<Lit>> Clauses, const std::vector<Lit> &As) {
+  for (Lit A : As)
+    Clauses.push_back({A});
+  return Clauses;
+}
+
+} // namespace
+
+TEST(SatAssumption, AgreesWithScratchSolverOnRandomInstances) {
+  for (bool Engine : {false, true}) {
+    EngineGuard G(Engine);
+    Rng R(Engine ? 71 : 72);
+    for (int Iter = 0; Iter < 25; ++Iter) {
+      int NumVars = R.nextInt(3, 10);
+      std::vector<std::vector<Lit>> Clauses =
+          randomClauses(R, NumVars, R.nextInt(2, 18));
+      // One long-lived solver answers every query of this instance; each
+      // query is checked against brute force, a scratch solver with the
+      // assumptions as unit clauses, and (when unsat) its own conflict.
+      Solver P;
+      for (int V = 0; V < NumVars; ++V)
+        P.newVar();
+      for (const std::vector<Lit> &C : Clauses)
+        P.addClause(C);
+      for (int Query = 0; Query < 8; ++Query) {
+        std::vector<Lit> As;
+        for (int K = 0, N = R.nextInt(0, 3); K < N; ++K)
+          As.push_back(Lit(R.nextInt(0, NumVars - 1), R.chance(1, 2)));
+        bool Expected = bruteForceSat(NumVars, withUnits(Clauses, As));
+        Solver::Result Got = P.solve(As);
+        EXPECT_EQ(Got == Solver::Result::Sat, Expected)
+            << "engine " << Engine << " iter " << Iter << " query " << Query;
+        Solver Scratch;
+        for (int V = 0; V < NumVars; ++V)
+          Scratch.newVar();
+        bool Ok = true;
+        for (const std::vector<Lit> &C : withUnits(Clauses, As))
+          Ok = Scratch.addClause(C) && Ok;
+        EXPECT_EQ(!Ok || Scratch.solve() != Solver::Result::Sat,
+                  Got != Solver::Result::Sat);
+        if (Got == Solver::Result::Sat)
+          continue;
+        // The blamed subset must consist of given assumptions and be
+        // genuinely unsatisfiable when re-asserted as units.
+        const std::vector<Lit> &Conflict = P.getConflict();
+        for (Lit L : Conflict)
+          EXPECT_TRUE(std::find(As.begin(), As.end(), L) != As.end());
+        EXPECT_FALSE(bruteForceSat(NumVars, withUnits(Clauses, Conflict)));
+      }
+    }
+  }
+}
+
+TEST(SatAssumption, ConflictSubsetBlamesOnlyFailedAssumptions) {
+  for (bool Engine : {false, true}) {
+    EngineGuard G(Engine);
+    Solver S;
+    Var A = S.newVar(), B = S.newVar(), C = S.newVar(), D = S.newVar();
+    EXPECT_TRUE(S.addClause({negLit(A), negLit(B)}));
+    EXPECT_EQ(S.solve({posLit(C), posLit(A), posLit(B), posLit(D)}),
+              Solver::Result::Unsat);
+    const std::vector<Lit> &Conflict = S.getConflict();
+    EXPECT_FALSE(Conflict.empty());
+    for (Lit L : Conflict) {
+      EXPECT_TRUE(L == posLit(A) || L == posLit(B))
+          << "irrelevant assumption " << L.str() << " blamed";
+    }
+    // An assumption failure does not poison the solver.
+    EXPECT_EQ(S.solve({posLit(C), posLit(D)}), Solver::Result::Sat);
+    EXPECT_TRUE(S.modelValue(C));
+    EXPECT_TRUE(S.modelValue(D));
+    EXPECT_EQ(S.solve(), Solver::Result::Sat);
+    // Root-level unsatisfiability reports an empty conflict.
+    Solver S2;
+    Var X = S2.newVar();
+    Var Y = S2.newVar();
+    bool Ok = S2.addClause({posLit(X)});
+    Ok = S2.addClause({negLit(X)}) && Ok;
+    EXPECT_FALSE(Ok);
+    EXPECT_EQ(S2.solve({posLit(Y)}), Solver::Result::Unsat);
+    EXPECT_TRUE(S2.getConflict().empty());
+  }
+}
+
+TEST(SatAssumption, SatisfiedAndFlippedAssumptionsResolve) {
+  for (bool Engine : {false, true}) {
+    EngineGuard G(Engine);
+    Solver S;
+    Var A = S.newVar(), B = S.newVar();
+    EXPECT_TRUE(S.addClause({posLit(A)}));
+    // Already-true assumption (root fact) is vacuous.
+    EXPECT_EQ(S.solve({posLit(A)}), Solver::Result::Sat);
+    // Assumption flips across queries: the same free variable is pinned
+    // both ways in turn — the VC enumerator's probe pattern.
+    EXPECT_EQ(S.solve({posLit(A), posLit(B)}), Solver::Result::Sat);
+    EXPECT_TRUE(S.modelValue(B));
+    EXPECT_EQ(S.solve({posLit(A), negLit(B)}), Solver::Result::Sat);
+    EXPECT_FALSE(S.modelValue(B));
+    EXPECT_EQ(S.solve({negLit(A)}), Solver::Result::Unsat);
+    ASSERT_EQ(S.getConflict().size(), 1u);
+    EXPECT_EQ(S.getConflict()[0], negLit(A));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Learned-clause database reduction
+//===----------------------------------------------------------------------===//
+
+TEST(SatReduceDb, ModelEnumerationStaysSoundAcrossReductions) {
+  for (bool Engine : {false, true}) {
+    EngineGuard G(Engine);
+    Rng R(Engine ? 91 : 92);
+    // Plant a model so the instance is satisfiable, then enumerate models
+    // with full blocking clauses, reducing the learned database every few
+    // draws: reduction must never lose an original clause, invent a model,
+    // or corrupt the standing trail the incremental engine keeps.
+    const int NumVars = 12;
+    std::vector<bool> Planted(NumVars);
+    for (int V = 0; V < NumVars; ++V)
+      Planted[V] = R.chance(1, 2);
+    std::vector<std::vector<Lit>> Clauses;
+    for (int I = 0; I < 60; ++I) {
+      std::vector<Lit> C;
+      int Pin = R.nextInt(0, NumVars - 1);
+      C.push_back(Planted[Pin] ? posLit(Pin) : negLit(Pin));
+      for (int K = 0, Len = R.nextInt(1, 2); K < Len; ++K)
+        C.push_back(Lit(R.nextInt(0, NumVars - 1), R.chance(1, 2)));
+      Clauses.push_back(std::move(C));
+    }
+    Solver S;
+    for (int V = 0; V < NumVars; ++V)
+      S.newVar();
+    for (const std::vector<Lit> &C : Clauses)
+      ASSERT_TRUE(S.addClause(C));
+    std::set<std::vector<bool>> Seen;
+    int Draws = 0;
+    while (S.solve() == Solver::Result::Sat && Draws < 5000) {
+      ++Draws;
+      std::vector<bool> M(NumVars);
+      std::vector<Lit> Block;
+      for (int V = 0; V < NumVars; ++V) {
+        M[V] = S.modelValue(V);
+        Block.push_back(M[V] ? negLit(V) : posLit(V));
+      }
+      for (const std::vector<Lit> &C : Clauses) {
+        bool Sat = false;
+        for (Lit L : C)
+          Sat = Sat || M[L.var()] != L.negated();
+        EXPECT_TRUE(Sat) << "model violates an original clause";
+      }
+      EXPECT_TRUE(Seen.insert(M).second) << "model drawn twice";
+      if (!S.addClause(std::move(Block)))
+        break;
+      if (Draws % 16 == 0)
+        S.reduceDB();
+    }
+    EXPECT_GT(Draws, 0);
+    ASSERT_LT(Draws, 5000);
+    if (Draws >= 16)
+      EXPECT_GT(S.getNumReduceDbs(), 0u);
+    // Every planted-model instance keeps at least the planted model.
+    EXPECT_TRUE(Seen.count(Planted));
+  }
+}
+
+TEST(SatReduceDb, ConflictHeavyRunDeletesColdLearnedClauses) {
+  EngineGuard G(true);
+  // Pigeonhole PHP(6,5): unsatisfiable, conflict-heavy — the search learns
+  // far more clauses than the original encoding holds.
+  Solver S;
+  const int Pigeons = 6, Holes = 5;
+  std::vector<std::vector<Var>> P(Pigeons, std::vector<Var>(Holes));
+  for (int I = 0; I < Pigeons; ++I)
+    for (int H = 0; H < Holes; ++H)
+      P[I][H] = S.newVar();
+  for (int I = 0; I < Pigeons; ++I) {
+    std::vector<Lit> Alo;
+    for (int H = 0; H < Holes; ++H)
+      Alo.push_back(posLit(P[I][H]));
+    EXPECT_TRUE(S.addClause(std::move(Alo)));
+  }
+  for (int H = 0; H < Holes; ++H)
+    for (int I = 0; I < Pigeons; ++I)
+      for (int K = I + 1; K < Pigeons; ++K)
+        EXPECT_TRUE(S.addClause({negLit(P[I][H]), negLit(P[K][H])}));
+  EXPECT_EQ(S.solve(), Solver::Result::Unsat);
+  ASSERT_GT(S.getNumLearnedClauses(), 100u);
+  // Glue statistics were tracked while learning.
+  EXPECT_GT(S.getLbdCount(), 0u);
+  EXPECT_GE(S.getLbdSum(), S.getLbdCount());
+  size_t Before = S.getNumClauses();
+  S.reduceDB();
+  EXPECT_GT(S.getNumReduceDbs(), 0u);
+  EXPECT_GT(S.getNumDeletedClauses(), 0u);
+  EXPECT_LT(S.getNumClauses(), Before);
+  // Reduction keeps the refutation: the instance stays unsat.
+  EXPECT_EQ(S.solve(), Solver::Result::Unsat);
+}
